@@ -1,0 +1,49 @@
+//! Offline checker throughput over synthetic histories.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tank_consistency::{CheckOptions, Checker, Event};
+use tank_proto::{BlockId, Epoch, Ino, NodeId, WriteTag};
+use tank_sim::SimTime;
+
+fn history(n: usize) -> Vec<(SimTime, NodeId, Event)> {
+    let mut evs = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let node = NodeId((i % 8) as u32);
+        let ino = Ino(i % 64);
+        let idx = (i % 4) as u32;
+        let tag = WriteTag { writer: node, epoch: Epoch(i / 3 + 1), wseq: i };
+        let t = SimTime(i * 1000);
+        match i % 3 {
+            0 => evs.push((t, node, Event::WriteAcked { ino, idx, tag })),
+            1 => evs.push((
+                t,
+                NodeId(0),
+                Event::Hardened {
+                    initiator: node,
+                    block: BlockId(ino.0 * 4 + idx as u64),
+                    tag: WriteTag { writer: node, epoch: Epoch(i / 3 + 1), wseq: i - 1 },
+                    previous: WriteTag::default(),
+                },
+            )),
+            _ => evs.push((t, node, Event::ReadServed { ino, idx, tag, from_cache: i % 2 == 0 })),
+        }
+    }
+    evs
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checker");
+    for &n in &[10_000usize, 100_000] {
+        let evs = history(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("audit_{n}_events"), |b| {
+            let checker = Checker::new(CheckOptions::default());
+            b.iter(|| black_box(checker.run(&evs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

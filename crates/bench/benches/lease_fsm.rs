@@ -1,0 +1,51 @@
+//! Client lease state-machine hot paths: the per-message cost of
+//! opportunistic renewal (on_send + on_ack) and the poll cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tank_core::{ClientLease, LeaseConfig};
+use tank_proto::ReqSeq;
+use tank_sim::LocalNs;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lease_fsm");
+
+    g.bench_function("send_ack_renewal", |b| {
+        let mut lease = ClientLease::new(LeaseConfig::default());
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            seq += 1;
+            now += 1_000;
+            lease.on_send(ReqSeq(seq), LocalNs(now));
+            black_box(lease.on_ack(ReqSeq(seq), LocalNs(now + 500)));
+        });
+    });
+
+    g.bench_function("poll_quiet", |b| {
+        let mut lease = ClientLease::new(LeaseConfig::default());
+        lease.on_send(ReqSeq(1), LocalNs(0));
+        lease.on_ack(ReqSeq(1), LocalNs(1));
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 10_000;
+            black_box(lease.poll(LocalNs(now % 3_000_000_000)));
+        });
+    });
+
+    g.bench_function("phase_query", |b| {
+        let mut lease = ClientLease::new(LeaseConfig::default());
+        lease.on_send(ReqSeq(1), LocalNs(0));
+        lease.on_ack(ReqSeq(1), LocalNs(1));
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            black_box(lease.phase(LocalNs(now)));
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

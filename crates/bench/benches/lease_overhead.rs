@@ -1,0 +1,61 @@
+//! The abstract's "no computation at the locking authority" claim as a
+//! microbenchmark: the per-request lease cost at the server under the
+//! paper's passive authority (an empty-table check) vs stateful designs
+//! (per-client and per-object table updates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use tank_core::{LeaseAuthority, LeaseConfig};
+use tank_proto::NodeId;
+use tank_sim::LocalNs;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lease_overhead_per_request");
+
+    g.bench_function("tank_passive_empty_table", |b| {
+        let mut auth = LeaseAuthority::new(LeaseConfig::default());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(auth.may_ack(NodeId(i % 256)));
+        });
+    });
+
+    g.bench_function("heartbeat_table_update", |b| {
+        // Frangipani-style: every renewal writes the client's expiry.
+        let mut table: HashMap<NodeId, LocalNs> = HashMap::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            table.insert(NodeId(i % 256), LocalNs(i as u64));
+            black_box(table.len());
+        });
+    });
+
+    g.bench_function("v_lease_object_update", |b| {
+        // V-style: every op/renewal writes a (client, object) record.
+        let mut table: HashMap<(NodeId, u32), LocalNs> = HashMap::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            table.insert((NodeId(i % 256), i % 4096), LocalNs(i as u64));
+            black_box(table.len());
+        });
+    });
+
+    g.bench_function("heartbeat_expiry_scan_4096", |b| {
+        let mut table: HashMap<NodeId, LocalNs> = HashMap::new();
+        for i in 0..4096u32 {
+            table.insert(NodeId(i), LocalNs(i as u64));
+        }
+        b.iter(|| {
+            black_box(table.values().filter(|e| e.0 > 2048).count());
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

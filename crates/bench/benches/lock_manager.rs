@@ -1,0 +1,56 @@
+//! Lock-manager throughput: uncontended grant/release cycles, contended
+//! queue/demand/promote cycles, and steal-everything recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tank_proto::{Ino, LockMode, NodeId, ReqSeq, SessionId};
+use tank_server::lock::LockManager;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_manager");
+    let sess = SessionId(1);
+
+    g.bench_function("grant_release_uncontended", |b| {
+        let mut m = LockManager::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let ino = Ino(i % 1024);
+            black_box(m.request(NodeId(1), ino, LockMode::Exclusive, sess, ReqSeq(i)));
+            black_box(m.release(NodeId(1), ino, None));
+        });
+    });
+
+    g.bench_function("queue_and_promote_contended", |b| {
+        let mut m = LockManager::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let ino = Ino(7);
+            m.request(NodeId(1), ino, LockMode::Exclusive, sess, ReqSeq(i * 2));
+            m.request(NodeId(2), ino, LockMode::Exclusive, sess, ReqSeq(i * 2 + 1));
+            black_box(m.release(NodeId(1), ino, None)); // promotes 2
+            black_box(m.release(NodeId(2), ino, None));
+        });
+    });
+
+    g.bench_function("steal_all_64_holdings", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = LockManager::new();
+                for k in 0..64u64 {
+                    m.request(NodeId(9), Ino(k), LockMode::Exclusive, sess, ReqSeq(k));
+                }
+                m
+            },
+            |mut m| {
+                black_box(m.steal_all(NodeId(9)));
+            },
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

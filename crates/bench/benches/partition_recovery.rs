@@ -1,0 +1,46 @@
+//! End-to-end partition-recovery runs: wall-clock cost of simulating the
+//! full Figure-2 scenario (the unit of the fault-sweep experiments).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tank_client::fs::Script;
+use tank_client::FsOp;
+use tank_cluster::{Cluster, ClusterConfig};
+use tank_core::LeaseConfig;
+use tank_server::RecoveryPolicy;
+use tank_sim::{LocalNs, SimTime};
+
+fn figure2_run(seed: u64) -> bool {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = 2;
+    cfg.files = 1;
+    cfg.block_size = 512;
+    cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(2));
+    cfg.policy = RecoveryPolicy::LeaseFence;
+    let mut cluster = Cluster::build(cfg, seed);
+    let ms = LocalNs::from_millis;
+    cluster.attach_script(
+        0,
+        Script::new().at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![1; 512] }),
+    );
+    cluster.attach_script(
+        1,
+        Script::new().at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![2; 512] }),
+    );
+    cluster.isolate_control(0, SimTime::from_millis(1_000), Some(SimTime::from_millis(12_000)));
+    cluster.run_until(SimTime::from_secs(16));
+    cluster.finish().check.safe()
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("figure2_full_recovery_16s_virtual", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(figure2_run(seed))
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

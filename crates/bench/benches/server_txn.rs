@@ -1,0 +1,45 @@
+//! Metadata-transaction throughput (the server performance unit of §1.1:
+//! a metadata server is measured in transactions per second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tank_meta::MetaStore;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meta_transactions");
+
+    g.bench_function("create_lookup_unlink", |b| {
+        let mut s = MetaStore::new(1 << 20, 4096);
+        let root = s.root();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let name = format!("f{i}");
+            let ino = s.create(root, &name, i).unwrap();
+            black_box(s.lookup(root, &name).unwrap());
+            s.unlink(root, &name).unwrap();
+            black_box(ino);
+        });
+    });
+
+    g.bench_function("getattr_hot", |b| {
+        let mut s = MetaStore::new(1 << 20, 4096);
+        let ino = s.create(s.root(), "f", 0).unwrap();
+        b.iter(|| black_box(s.getattr(ino).unwrap()));
+    });
+
+    g.bench_function("alloc_commit_8_blocks", |b| {
+        let mut s = MetaStore::new(1 << 24, 4096);
+        let ino = s.create(s.root(), "f", 0).unwrap();
+        b.iter(|| {
+            let blocks = s.alloc_blocks(ino, 8).unwrap();
+            black_box(&blocks);
+            s.setattr(ino, Some(0), 1).unwrap(); // truncate frees them again
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Simulated SAN throughput: events/second through the disk actor,
+//! including the simulator's scheduling overhead — this bounds how much
+//! virtual traffic the experiments can model per wall second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tank_proto::{BlockId, Epoch, NetMsg, NodeId, SanMsg, WriteTag};
+use tank_sim::{Actor, ClockSpec, Ctx, LocalNs, NetId, NetParams, SimTime, World, WorldConfig};
+use tank_storage::{DiskConfig, DiskNode};
+
+struct Blaster {
+    disk: NodeId,
+    remaining: u32,
+    bs: usize,
+}
+
+impl Actor<NetMsg, ()> for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg, ()>) {
+        ctx.set_timer(LocalNs(1), 0);
+    }
+    fn on_message(&mut self, _f: NodeId, _n: NetId, _m: NetMsg, ctx: &mut Ctx<'_, NetMsg, ()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let tag = WriteTag { writer: ctx.node(), epoch: Epoch(1), wseq: self.remaining as u64 };
+            ctx.send(
+                NetId::SAN,
+                self.disk,
+                NetMsg::San(SanMsg::WriteBlock {
+                    req_id: self.remaining as u64,
+                    block: BlockId((self.remaining % 1024) as u64),
+                    data: vec![0u8; self.bs],
+                    tag,
+                }),
+            );
+        }
+    }
+    fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_, NetMsg, ()>) {
+        // Kick off a closed loop of writes.
+        let tag = WriteTag { writer: ctx.node(), epoch: Epoch(1), wseq: 0 };
+        ctx.send(
+            NetId::SAN,
+            self.disk,
+            NetMsg::San(SanMsg::WriteBlock { req_id: 0, block: BlockId(0), data: vec![0u8; self.bs], tag }),
+        );
+    }
+}
+
+fn run_io(n: u32, bs: usize) -> u64 {
+    let mut w: World<NetMsg> = World::new(WorldConfig::default());
+    w.add_network(NetId::SAN, NetParams::ideal(10_000));
+    let disk = w.add_node(
+        Box::new(DiskNode::<()>::unobserved(DiskConfig { blocks: 4096, block_size: bs })),
+        ClockSpec::ideal(),
+    );
+    w.add_node(Box::new(Blaster { disk, remaining: n, bs }), ClockSpec::ideal());
+    w.run_until(SimTime::from_secs(3600));
+    w.events_processed()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage_io");
+    for &bs in &[512usize, 4096] {
+        g.throughput(Throughput::Elements(10_000));
+        g.bench_function(format!("closed_loop_10k_writes_{bs}B"), |b| {
+            b.iter(|| black_box(run_io(10_000, bs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

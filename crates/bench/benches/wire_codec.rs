@@ -1,0 +1,67 @@
+//! Wire codec throughput for the real-network path.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tank_proto::message::{ReplyBody, RequestBody, ResponseOutcome};
+use tank_proto::{
+    BlockId, CtlMsg, Epoch, Ino, NetMsg, NodeId, ReqSeq, Request, Response, SanMsg, SessionId,
+    WireDecode, WireEncode, WriteTag,
+};
+
+fn msgs() -> Vec<(&'static str, NetMsg)> {
+    vec![
+        (
+            "keepalive_request",
+            NetMsg::Ctl(CtlMsg::Request(Request {
+                src: NodeId(3),
+                session: SessionId(9),
+                seq: ReqSeq(1234),
+                body: RequestBody::KeepAlive,
+            })),
+        ),
+        (
+            "lock_granted_16_blocks",
+            NetMsg::Ctl(CtlMsg::Response(Response {
+                dst: NodeId(3),
+                session: SessionId(9),
+                seq: ReqSeq(1234),
+                outcome: ResponseOutcome::Acked(Ok(ReplyBody::LockGranted {
+                    ino: Ino(77),
+                    mode: tank_proto::LockMode::Exclusive,
+                    epoch: Epoch(12),
+                    blocks: (0..16).map(BlockId).collect(),
+                    size: 65536,
+                })),
+            })),
+        ),
+        (
+            "san_write_4k",
+            NetMsg::San(SanMsg::WriteBlock {
+                req_id: 9,
+                block: BlockId(17),
+                data: vec![7u8; 4096],
+                tag: WriteTag { writer: NodeId(3), epoch: Epoch(12), wseq: 5 },
+            }),
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    for (name, msg) in msgs() {
+        let encoded: Bytes = msg.encoded();
+        let mut g = c.benchmark_group(format!("wire/{name}"));
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_function("encode", |b| b.iter(|| black_box(msg.encoded())));
+        g.bench_function("decode", |b| {
+            b.iter(|| {
+                let mut buf = encoded.clone();
+                black_box(NetMsg::decode(&mut buf).unwrap())
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! Write-back block cache.
+//!
+//! Caches whole blocks per inode, tracks dirtiness, and remembers the
+//! provenance tag of each cached version so reads served from cache can be
+//! audited by the offline checker exactly like reads served from disk.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tank_proto::{Ino, WriteTag};
+
+/// One cached block.
+#[derive(Debug, Clone)]
+pub struct CachedBlock {
+    /// Block contents (always a whole block).
+    pub data: Vec<u8>,
+    /// Tag of the version this data represents.
+    pub tag: WriteTag,
+    /// Dirty = newer than the on-disk copy; must be written back.
+    pub dirty: bool,
+}
+
+/// Per-client block cache.
+#[derive(Debug, Default)]
+pub struct BlockCache {
+    /// ino → (block index → block). BTreeMap so flush order is
+    /// deterministic.
+    files: HashMap<Ino, BTreeMap<u32, CachedBlock>>,
+    block_size: usize,
+    /// Total cached blocks (cheap len).
+    blocks: usize,
+}
+
+impl BlockCache {
+    /// Cache for blocks of `block_size` bytes.
+    pub fn new(block_size: usize) -> Self {
+        BlockCache { files: HashMap::new(), block_size, blocks: 0 }
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Total cached blocks.
+    pub fn len(&self) -> usize {
+        self.blocks
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks == 0
+    }
+
+    /// Look up a block.
+    pub fn get(&self, ino: Ino, idx: u32) -> Option<&CachedBlock> {
+        self.files.get(&ino)?.get(&idx)
+    }
+
+    /// Insert a *clean* block (fetched from disk). A no-op when the block
+    /// is already cached: while a lock is held, the cached copy is always
+    /// at least as new as the disk (only our own flushes change the disk),
+    /// and overwriting could clobber dirty data with a stale concurrent
+    /// read — a lost update plus a read-your-writes violation.
+    pub fn fill(&mut self, ino: Ino, idx: u32, data: Vec<u8>, tag: WriteTag) {
+        debug_assert_eq!(data.len(), self.block_size);
+        let file = self.files.entry(ino).or_default();
+        if file.contains_key(&idx) {
+            return;
+        }
+        file.insert(idx, CachedBlock { data, tag, dirty: false });
+        self.blocks += 1;
+    }
+
+    /// Write `data` at `offset` within block `idx`, marking it dirty with
+    /// `tag`. The block must already be cached (callers read-modify-write
+    /// uncached partial blocks) unless the write covers the whole block.
+    pub fn write(&mut self, ino: Ino, idx: u32, offset: usize, data: &[u8], tag: WriteTag) {
+        debug_assert!(offset + data.len() <= self.block_size);
+        let file = self.files.entry(ino).or_default();
+        match file.get_mut(&idx) {
+            Some(b) => {
+                b.data[offset..offset + data.len()].copy_from_slice(data);
+                b.tag = tag;
+                b.dirty = true;
+            }
+            None => {
+                assert!(
+                    offset == 0 && data.len() == self.block_size,
+                    "partial write to uncached block {ino}/{idx}: read-modify-write required"
+                );
+                file.insert(idx, CachedBlock { data: data.to_vec(), tag, dirty: true });
+                self.blocks += 1;
+            }
+        }
+    }
+
+    /// Dirty blocks of one inode, in index order.
+    pub fn dirty_of(&self, ino: Ino) -> Vec<(u32, Vec<u8>, WriteTag)> {
+        self.files
+            .get(&ino)
+            .map(|file| {
+                file.iter()
+                    .filter(|(_, b)| b.dirty)
+                    .map(|(idx, b)| (*idx, b.data.clone(), b.tag))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All inodes that currently have dirty blocks.
+    pub fn dirty_inos(&self) -> Vec<Ino> {
+        let mut v: Vec<Ino> = self
+            .files
+            .iter()
+            .filter(|(_, file)| file.values().any(|b| b.dirty))
+            .map(|(ino, _)| *ino)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Count of dirty blocks across all files.
+    pub fn dirty_count(&self) -> usize {
+        self.files.values().flat_map(|f| f.values()).filter(|b| b.dirty).count()
+    }
+
+    /// Mark a block clean after its write-back was acknowledged by the
+    /// disk — but only if the tag still matches (the block may have been
+    /// re-dirtied by a newer local write while the flush was in flight).
+    pub fn mark_clean(&mut self, ino: Ino, idx: u32, tag: WriteTag) {
+        if let Some(b) = self.files.get_mut(&ino).and_then(|f| f.get_mut(&idx)) {
+            if b.tag == tag {
+                b.dirty = false;
+            }
+        }
+    }
+
+    /// Drop every cached block of one inode (e.g. after releasing its
+    /// lock). Dirty data is discarded — callers flush first.
+    pub fn invalidate_ino(&mut self, ino: Ino) -> usize {
+        match self.files.remove(&ino) {
+            Some(file) => {
+                self.blocks -= file.len();
+                file.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Drop everything (lease expiry). Returns how many dirty blocks were
+    /// discarded — in a correct run that flushed first, zero.
+    pub fn invalidate_all(&mut self) -> usize {
+        let dirty = self.dirty_count();
+        self.files.clear();
+        self.blocks = 0;
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tank_proto::{Epoch, NodeId};
+
+    const F: Ino = Ino(1);
+
+    fn tag(wseq: u64) -> WriteTag {
+        WriteTag { writer: NodeId(1), epoch: Epoch(1), wseq }
+    }
+
+    fn cache() -> BlockCache {
+        BlockCache::new(8)
+    }
+
+    #[test]
+    fn fill_never_clobbers_an_existing_block() {
+        let mut c = cache();
+        c.write(F, 0, 0, &[9; 8], tag(5)); // dirty, newest
+        // A concurrent read's stale disk data arrives late:
+        c.fill(F, 0, vec![1; 8], tag(1));
+        let b = c.get(F, 0).unwrap();
+        assert!(b.dirty, "dirty data survives");
+        assert_eq!(b.data, vec![9; 8]);
+        assert_eq!(b.tag, tag(5));
+        // Clean blocks are also kept (they are as new as the disk).
+        let mut c = cache();
+        c.fill(F, 1, vec![2; 8], tag(2));
+        c.fill(F, 1, vec![3; 8], tag(3));
+        assert_eq!(c.get(F, 1).unwrap().tag, tag(2));
+    }
+
+    #[test]
+    fn fill_then_get_is_clean() {
+        let mut c = cache();
+        c.fill(F, 0, vec![1; 8], tag(1));
+        let b = c.get(F, 0).unwrap();
+        assert!(!b.dirty);
+        assert_eq!(b.data, vec![1; 8]);
+        assert_eq!(c.len(), 1);
+        assert!(c.dirty_inos().is_empty());
+    }
+
+    #[test]
+    fn write_marks_dirty_and_updates_tag() {
+        let mut c = cache();
+        c.fill(F, 0, vec![0; 8], tag(1));
+        c.write(F, 0, 2, &[7, 7], tag(2));
+        let b = c.get(F, 0).unwrap();
+        assert!(b.dirty);
+        assert_eq!(b.data, vec![0, 0, 7, 7, 0, 0, 0, 0]);
+        assert_eq!(b.tag, tag(2));
+        assert_eq!(c.dirty_of(F).len(), 1);
+    }
+
+    #[test]
+    fn whole_block_write_to_uncached_is_allowed() {
+        let mut c = cache();
+        c.write(F, 3, 0, &[9; 8], tag(1));
+        assert!(c.get(F, 3).unwrap().dirty);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-modify-write required")]
+    fn partial_write_to_uncached_panics() {
+        let mut c = cache();
+        c.write(F, 0, 2, &[1, 2], tag(1));
+    }
+
+    #[test]
+    fn mark_clean_respects_tag_races() {
+        let mut c = cache();
+        c.write(F, 0, 0, &[1; 8], tag(1));
+        // A newer local write lands while the flush of tag(1) is in
+        // flight...
+        c.write(F, 0, 0, &[2; 8], tag(2));
+        // ...so the flush completion for tag(1) must NOT clean the block.
+        c.mark_clean(F, 0, tag(1));
+        assert!(c.get(F, 0).unwrap().dirty, "newer dirty data must survive");
+        c.mark_clean(F, 0, tag(2));
+        assert!(!c.get(F, 0).unwrap().dirty);
+    }
+
+    #[test]
+    fn dirty_tracking_across_files() {
+        let mut c = cache();
+        c.write(Ino(1), 0, 0, &[1; 8], tag(1));
+        c.fill(Ino(2), 0, vec![0; 8], tag(2));
+        c.write(Ino(3), 0, 0, &[3; 8], tag(3));
+        assert_eq!(c.dirty_inos(), vec![Ino(1), Ino(3)]);
+        assert_eq!(c.dirty_count(), 2);
+    }
+
+    #[test]
+    fn invalidate_ino_and_all() {
+        let mut c = cache();
+        c.write(Ino(1), 0, 0, &[1; 8], tag(1));
+        c.fill(Ino(2), 0, vec![0; 8], tag(2));
+        assert_eq!(c.invalidate_ino(Ino(1)), 1);
+        assert_eq!(c.len(), 1);
+        c.write(Ino(2), 1, 0, &[5; 8], tag(3));
+        assert_eq!(c.invalidate_all(), 1, "one dirty block discarded");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn dirty_of_is_in_index_order() {
+        let mut c = cache();
+        c.write(F, 5, 0, &[5; 8], tag(5));
+        c.write(F, 1, 0, &[1; 8], tag(1));
+        c.write(F, 3, 0, &[3; 8], tag(3));
+        let idxs: Vec<u32> = c.dirty_of(F).iter().map(|(i, _, _)| *i).collect();
+        assert_eq!(idxs, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,263 @@
+//! The local-process file API: operations, results, observable events,
+//! and the workload-generator trait.
+
+use rand_chacha::ChaCha8Rng;
+use tank_proto::{Ino, OpId, WriteTag};
+use tank_sim::LocalNs;
+
+/// A file-system operation submitted by a local process.
+///
+/// Paths are absolute, `/`-separated; resolution happens against the
+/// server (each component lookup is a metadata transaction and therefore
+/// an opportunistic lease renewal).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsOp {
+    /// Create an empty file.
+    Create {
+        /// Absolute path of the new file.
+        path: String,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Absolute path of the new directory.
+        path: String,
+    },
+    /// Read a byte range.
+    Read {
+        /// File path.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u32,
+    },
+    /// Write a byte range (write-back: completes into the cache).
+    Write {
+        /// File path.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// The data.
+        data: Vec<u8>,
+    },
+    /// Stat a path.
+    Stat {
+        /// The path.
+        path: String,
+    },
+    /// List a directory.
+    List {
+        /// Directory path.
+        path: String,
+    },
+    /// Remove a file or empty directory.
+    Delete {
+        /// The path.
+        path: String,
+    },
+    /// Force write-back of a file's dirty blocks (and commit its size).
+    Flush {
+        /// File path.
+        path: String,
+    },
+    /// Release any lock held on the file (flushing first).
+    Release {
+        /// File path.
+        path: String,
+    },
+}
+
+impl FsOp {
+    /// The path the operation targets.
+    pub fn path(&self) -> &str {
+        match self {
+            FsOp::Create { path }
+            | FsOp::Mkdir { path }
+            | FsOp::Read { path, .. }
+            | FsOp::Write { path, .. }
+            | FsOp::Stat { path }
+            | FsOp::List { path }
+            | FsOp::Delete { path }
+            | FsOp::Flush { path }
+            | FsOp::Release { path } => path,
+        }
+    }
+
+    /// Short label for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FsOp::Create { .. } => "create",
+            FsOp::Mkdir { .. } => "mkdir",
+            FsOp::Read { .. } => "read",
+            FsOp::Write { .. } => "write",
+            FsOp::Stat { .. } => "stat",
+            FsOp::List { .. } => "list",
+            FsOp::Delete { .. } => "delete",
+            FsOp::Flush { .. } => "flush",
+            FsOp::Release { .. } => "release",
+        }
+    }
+}
+
+/// Successful operation payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsData {
+    /// Nothing to return.
+    Unit,
+    /// Bytes read.
+    Bytes(Vec<u8>),
+    /// Attributes: (size, is_dir, version).
+    Attr {
+        /// File size.
+        size: u64,
+        /// Directory flag.
+        is_dir: bool,
+        /// Metadata version.
+        version: u64,
+    },
+    /// Directory entries.
+    Entries(Vec<String>),
+}
+
+/// Operation errors as seen by local processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsErr {
+    /// No such file or directory.
+    NotFound,
+    /// Already exists.
+    Exists,
+    /// Out of space.
+    NoSpace,
+    /// Invalid operation (e.g. dir misuse).
+    Invalid,
+    /// The client is quiesced or dead: it has (or suspects it has) lost
+    /// contact with the server and will not start new work (§3.2 phase 3;
+    /// this is the honest error an isolated Storage Tank client returns,
+    /// where a fenced-only client would silently serve stale cache).
+    Suspended,
+    /// The operation was in flight when the lease expired; its effects are
+    /// not guaranteed (dirty data was flushed to disk, but locks are gone).
+    LeaseLost,
+    /// The file is locked by an unreachable client and the server's policy
+    /// honors its locks (§2's indefinite unavailability, surfaced when the
+    /// harness gives up waiting).
+    Unavailable,
+}
+
+/// Final result of one submitted operation.
+pub type FsResult = Result<FsData, FsErr>;
+
+/// Observable client events for the offline checker and the availability
+/// accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// A local process submitted an operation.
+    OpSubmitted {
+        /// Operation id (unique per client).
+        op: OpId,
+        /// Kind label (for reports).
+        kind: &'static str,
+    },
+    /// The operation completed (successfully or not).
+    OpCompleted {
+        /// Operation id.
+        op: OpId,
+        /// Kind label.
+        kind: &'static str,
+        /// Whether it succeeded.
+        ok: bool,
+        /// The error, if not.
+        err: Option<FsErr>,
+    },
+    /// A write was acknowledged to a local process *into the cache*: the
+    /// contract under write-back caching is that this version eventually
+    /// hardens (unless superseded by a newer local write, the file is
+    /// deleted, or the client fail-stops). A version that is acked here,
+    /// never superseded, and never hardened is a **lost update** — §2.1's
+    /// stranded dirty data.
+    WriteAcked {
+        /// Operation id.
+        op: OpId,
+        /// File.
+        ino: Ino,
+        /// Block index within the file.
+        idx: u32,
+        /// Version tag of the cached data.
+        tag: WriteTag,
+    },
+    /// A read returned data for one block, served from cache or disk; the
+    /// checker compares `tag` with what should have been visible.
+    ReadServed {
+        /// Operation id.
+        op: OpId,
+        /// File.
+        ino: Ino,
+        /// Block index.
+        idx: u32,
+        /// Version tag of the data served.
+        tag: WriteTag,
+        /// True if served from the local cache.
+        from_cache: bool,
+    },
+    /// The lease expired and the cache was invalidated; `discarded_dirty`
+    /// counts dirty blocks that had NOT been hardened (should be zero when
+    /// phase 4 had time to run).
+    CacheInvalidated {
+        /// Dirty blocks lost.
+        discarded_dirty: usize,
+    },
+    /// The client began quiescing (entered phase 3).
+    Quiesced,
+    /// The client resumed service (renewed after quiesce, or re-Helloed).
+    Resumed,
+}
+
+/// Closed-loop workload generator: after each completed operation the
+/// client asks for the next one plus a think time.
+pub trait OpGen {
+    /// The next operation, or `None` when the workload is exhausted.
+    fn next_op(&mut self, rng: &mut ChaCha8Rng, now: LocalNs) -> Option<(LocalNs, FsOp)>;
+}
+
+/// A fixed script of operations, each fired after a delay from client
+/// start measured on the client's own clock. Steps are scheduled
+/// independently (not closed-loop).
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    /// `(delay-from-start, op)` pairs.
+    pub steps: Vec<(LocalNs, FsOp)>,
+}
+
+impl Script {
+    /// Empty script.
+    pub fn new() -> Self {
+        Script::default()
+    }
+
+    /// Add a step firing `delay` after client start.
+    pub fn at(mut self, delay: LocalNs, op: FsOp) -> Self {
+        self.steps.push((delay, op));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_paths_and_kinds() {
+        let op = FsOp::Write { path: "/a/b".into(), offset: 0, data: vec![1] };
+        assert_eq!(op.path(), "/a/b");
+        assert_eq!(op.kind(), "write");
+        assert_eq!(FsOp::Stat { path: "/x".into() }.kind(), "stat");
+    }
+
+    #[test]
+    fn script_builder() {
+        let s = Script::new()
+            .at(LocalNs::from_millis(1), FsOp::Create { path: "/f".into() })
+            .at(LocalNs::from_millis(2), FsOp::Stat { path: "/f".into() });
+        assert_eq!(s.steps.len(), 2);
+    }
+}

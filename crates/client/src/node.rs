@@ -1,0 +1,1923 @@
+//! The Storage Tank client actor.
+
+use std::collections::{HashMap, HashSet};
+
+use tank_core::{ClientLease, LeaseAction, LeaseConfig, Phase};
+use tank_proto::message::{FsError, ReplyBody, RequestBody, ResponseOutcome};
+use tank_proto::{
+    stripe_disk, BlockId, CtlMsg, Epoch, Ino, LockMode, NackReason, NetMsg, NodeId, OpId,
+    PushBody, ReqSeq, Request, Response, SanMsg, ServerPush, SessionId, WriteTag,
+};
+use tank_sim::{Actor, Ctx, LocalNs, NetId, TimerId, TokenMap};
+
+use crate::cache::BlockCache;
+use crate::fs::{ClientEvent, FsData, FsErr, FsOp, FsResult, OpGen, Script};
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The metadata server.
+    pub server: NodeId,
+    /// The SAN disks (striping order must match the server's).
+    pub disks: Vec<NodeId>,
+    /// Lease contract (must match the server's).
+    pub lease: LeaseConfig,
+    /// Block size (must match the server's store).
+    pub block_size: usize,
+    /// Initial request retransmission timeout.
+    pub rto: LocalNs,
+    /// Retransmission backoff cap.
+    pub max_rto: LocalNs,
+    /// Periodic write-back interval (0 disables background flushing).
+    pub flush_interval: LocalNs,
+    /// Run the lease protocol (default). Disabled models the baseline
+    /// clients of steal/fence-based systems: no keep-alives, no quiesce,
+    /// no phase-4 flush, no local expiry — the client trusts its cache
+    /// until the server denies its session.
+    pub lease_enabled: bool,
+    /// How many generated (closed-loop) operations may be in flight at
+    /// once — the number of independent local processes. One blocked op
+    /// (e.g. a lock wait across a partition) then does not stop the
+    /// machine's other processes.
+    pub gen_concurrency: usize,
+    /// Maximum concurrent SAN writes per flush campaign (the initiator's
+    /// queue depth). Bounds how fast a dirty cache can harden — the knob
+    /// that makes phase-4 sizing (E2b) a real constraint.
+    pub flush_window: usize,
+    /// Ship data operations through the server (`ReadData`/`WriteData`)
+    /// instead of locking and doing direct SAN I/O — the traditional-
+    /// server baseline of §1.1 (server must run in the matching mode).
+    /// Data ops must be whole-block in this mode.
+    pub function_ship: bool,
+}
+
+impl ClientConfig {
+    /// Reasonable defaults against `server` and `disks`.
+    pub fn new(server: NodeId, disks: Vec<NodeId>) -> Self {
+        ClientConfig {
+            server,
+            disks,
+            lease: LeaseConfig::default(),
+            block_size: 4096,
+            rto: LocalNs::from_millis(250),
+            max_rto: LocalNs::from_secs(2),
+            flush_interval: LocalNs::from_secs(2),
+            lease_enabled: true,
+            gen_concurrency: 1,
+            flush_window: 16,
+            function_ship: false,
+        }
+    }
+}
+
+/// Client-side counters for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ClientStats {
+    /// Operations submitted by local processes.
+    pub submitted: u64,
+    /// Operations completed successfully.
+    pub completed: u64,
+    /// Operations refused because the client was quiesced/dead.
+    pub denied: u64,
+    /// Operations failed with an error.
+    pub failed: u64,
+    /// Read blocks served from the local cache.
+    pub cache_hits: u64,
+    /// Read blocks fetched from the SAN.
+    pub cache_misses: u64,
+    /// Dirty blocks written back to the SAN.
+    pub flushed_blocks: u64,
+    /// SAN I/Os rejected because this client was fenced.
+    pub fenced_io: u64,
+    /// Requests retransmitted.
+    pub retransmits: u64,
+}
+
+/// Timer tokens.
+#[derive(Debug, Clone, Copy)]
+enum ClientTimer {
+    /// Re-poll the lease state machine.
+    LeasePoll,
+    /// Retransmit a pending request.
+    ReqRetry(ReqSeq),
+    /// Periodic write-back.
+    PeriodicFlush,
+    /// Retry a NACKed Hello once the server may have finished timing us
+    /// out.
+    HelloRetry,
+    /// Fire the next closed-loop workload operation.
+    NextOp,
+    /// Fire scripted operation `i`.
+    ScriptOp(usize),
+}
+
+/// Why a request was sent — drives reply dispatch.
+#[derive(Debug, Clone)]
+enum Purpose {
+    Hello { sent_at: LocalNs },
+    KeepAlive,
+    /// A path-resolution lookup step for an op.
+    Resolve { op: OpId },
+    /// The final metadata action of an op.
+    Meta { op: OpId },
+    /// Lock acquisition for an inode (ops park on the ino). `gen` pins
+    /// the lock-state era the request belongs to: a response that crosses
+    /// a release/invalidation (gen bumped) is from a dead era and must be
+    /// ignored, or it would reinstate a stale epoch and block map.
+    Lock { ino: Ino, gen: u64 },
+    /// Block allocation on behalf of an op.
+    Alloc { op: OpId, ino: Ino },
+    /// Fire-and-forget size commit.
+    Commit { ino: Ino },
+    /// Commit whose completion triggers a lock release (demand path).
+    CommitThenRelease { ino: Ino },
+    /// Lock release of our current holding (success tears down local
+    /// state).
+    Release { ino: Ino },
+    /// Epoch-qualified cleanup release of a grant we never installed (or
+    /// no longer hold): the reply changes nothing locally.
+    ReleaseStale,
+    /// Push acknowledgement.
+    PushAckSend,
+}
+
+/// A request awaiting its response.
+struct PendingReq {
+    body: RequestBody,
+    purpose: Purpose,
+    session: SessionId,
+    cur_rto: LocalNs,
+    timer: Option<TimerId>,
+}
+
+/// Data-lock state for one inode.
+#[derive(Debug, Clone)]
+enum LockEntry {
+    /// A LockAcquire is in flight.
+    Acquiring,
+    /// Held with grant metadata; `upgrading` marks an in-flight upgrade.
+    Held(LockInfo),
+    /// A LockRelease is in flight. The grant metadata is kept so phase-4
+    /// flushing can still harden dirty blocks (writes are blocked, but
+    /// write-back to the SAN remains both allowed and required until the
+    /// lease dies).
+    Releasing(LockInfo),
+}
+
+/// Grant metadata + local file view.
+#[derive(Debug, Clone)]
+struct LockInfo {
+    mode: LockMode,
+    epoch: Epoch,
+    blocks: Vec<BlockId>,
+    /// Local size (includes uncommitted growth).
+    size: u64,
+    /// Size the server has confirmed.
+    committed_size: u64,
+    /// Per-epoch write sequence for tags.
+    wseq: u64,
+    upgrading: bool,
+}
+
+/// An in-flight local operation.
+struct ActiveOp {
+    op: FsOp,
+    state: OpState,
+    from_gen: bool,
+    /// Resolved target inode (once known).
+    ino: Option<Ino>,
+}
+
+/// Progress of an operation.
+#[derive(Debug)]
+enum OpState {
+    /// Resolving the path: component `idx` of `parts` under `cur`.
+    /// `to_parent` stops one short (Create/Mkdir/Delete address the
+    /// parent).
+    Resolve { parts: Vec<String>, idx: usize, cur: Ino, to_parent: bool },
+    /// Waiting for the final metadata reply.
+    MetaWait,
+    /// Parked until the lock (keyed in `parked`) is held in a covering
+    /// mode.
+    WaitLock { mode: LockMode },
+    /// Waiting for an AllocBlocks reply.
+    WaitAlloc,
+    /// Read/RMW: waiting for `waiting` SAN block reads.
+    SanReads { waiting: usize, then_write: bool },
+    /// Waiting for a flush campaign to finish.
+    WaitFlush,
+}
+
+/// What a pending SAN request was for.
+#[derive(Debug, Clone, Copy)]
+enum SanOp {
+    /// Block read feeding an op (read path or RMW prelude). `epoch` pins
+    /// the lock grant the read was issued under: a response landing after
+    /// the lock moved on must not populate the cache (it may be a stale
+    /// snapshot of a block someone else has since rewritten).
+    OpRead { op: OpId, ino: Ino, idx: u32, epoch: Epoch },
+    /// Write-back of a dirty block within a flush campaign.
+    FlushWrite { campaign: u64, ino: Ino, idx: u32, tag: WriteTag },
+}
+
+/// What happens when a flush campaign finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AfterFlush {
+    /// Nothing (phase-4 / periodic flushing).
+    Nothing,
+    /// Complete this op (Flush op).
+    CompleteOp(OpId),
+    /// Commit size then release the lock (demand, or Release op carrying
+    /// an op to complete afterwards).
+    Release { complete: Option<OpId> },
+}
+
+/// A flush campaign over one inode. Writes are issued `flush_window` at a
+/// time; `queue` holds the not-yet-issued tail.
+struct FlushCampaign {
+    ino: Ino,
+    remaining: usize,
+    in_flight: usize,
+    queue: std::collections::VecDeque<(u32, Vec<u8>, WriteTag)>,
+    after: AfterFlush,
+}
+
+/// The client node.
+pub struct ClientNode<Ob> {
+    cfg: ClientConfig,
+    id: NodeId,
+    lease: ClientLease,
+    session: Option<SessionId>,
+    serving: bool,
+    next_seq: u64,
+    pending: HashMap<ReqSeq, PendingReq>,
+    hello_inflight: bool,
+    seen_pushes: HashSet<u64>,
+    locks: HashMap<Ino, LockEntry>,
+    /// Name cache (dentry cache): full path → inode, learned from
+    /// resolutions. Metadata is only weakly consistent (§3 fn.1), so using
+    /// possibly-stale entries is within contract; the cache is dropped
+    /// with everything else at lease expiry.
+    name_cache: HashMap<String, Ino>,
+    /// Ops parked per ino waiting for a lock grant.
+    parked: HashMap<Ino, Vec<OpId>>,
+    /// Per-ino lock-state generation, bumped whenever the local holding is
+    /// torn down (release confirmed, lock failure, expiry). Never cleared:
+    /// Purpose::Lock responses from earlier generations are void.
+    lock_gen: HashMap<Ino, u64>,
+    /// Demands that arrived while the lock state was in motion (acquiring,
+    /// or releasing a *different* grant): ino → the demanded epoch. The
+    /// server has (or is about to have) granted us that epoch and wants it
+    /// back — handle the demand once the state settles. Answering "I hold
+    /// nothing" instead would blind-release the in-flight grant and leave
+    /// us writing under a dead epoch.
+    deferred_demands: HashMap<Ino, Epoch>,
+    cache: BlockCache,
+    ops: HashMap<OpId, ActiveOp>,
+    next_op_id: u64,
+    pending_san: HashMap<u64, SanOp>,
+    next_san_req: u64,
+    flushes: HashMap<u64, FlushCampaign>,
+    next_flush_id: u64,
+    timers: TokenMap<ClientTimer>,
+    gen: Option<Box<dyn OpGen>>,
+    script: Script,
+    /// A queued closed-loop op waiting for its think-time timer.
+    gen_op_queued: bool,
+    queued_gen_op: Option<FsOp>,
+    /// Ops to complete when a commit-then-release chain finishes.
+    release_after_commit: HashMap<Ino, Option<OpId>>,
+    /// Ops to complete when a release reply arrives.
+    release_completes: HashMap<Ino, Option<OpId>>,
+    next_poll_at: Option<LocalNs>,
+    /// Recent operation results (ring buffer) for harness/test harvesting.
+    results: std::collections::VecDeque<(OpId, FsResult)>,
+    stats: ClientStats,
+    observe: Box<dyn Fn(ClientEvent) -> Option<Ob>>,
+}
+
+/// Cap on the retained per-client result log.
+const RESULT_LOG_CAP: usize = 16_384;
+
+impl<Ob> ClientNode<Ob> {
+    /// New client. `observe` converts client events into world
+    /// observations.
+    pub fn new(cfg: ClientConfig, observe: Box<dyn Fn(ClientEvent) -> Option<Ob>>) -> Self {
+        let lease = ClientLease::new(cfg.lease);
+        let cache = BlockCache::new(cfg.block_size);
+        ClientNode {
+            cfg,
+            id: NodeId(u32::MAX),
+            lease,
+            session: None,
+            serving: false,
+            next_seq: 1,
+            pending: HashMap::new(),
+            hello_inflight: false,
+            seen_pushes: HashSet::new(),
+            locks: HashMap::new(),
+            name_cache: HashMap::new(),
+            parked: HashMap::new(),
+            lock_gen: HashMap::new(),
+            deferred_demands: HashMap::new(),
+            cache,
+            ops: HashMap::new(),
+            next_op_id: 1,
+            pending_san: HashMap::new(),
+            next_san_req: 1,
+            flushes: HashMap::new(),
+            next_flush_id: 1,
+            timers: TokenMap::new(),
+            gen: None,
+            script: Script::new(),
+            gen_op_queued: false,
+            queued_gen_op: None,
+            release_after_commit: HashMap::new(),
+            release_completes: HashMap::new(),
+            next_poll_at: None,
+            results: std::collections::VecDeque::new(),
+            stats: ClientStats::default(),
+            observe,
+        }
+    }
+
+    /// Client with no observer.
+    pub fn unobserved(cfg: ClientConfig) -> Self {
+        ClientNode::new(cfg, Box::new(|_| None))
+    }
+
+    /// Attach a closed-loop workload generator (before the world starts).
+    pub fn with_workload(mut self, gen: Box<dyn OpGen>) -> Self {
+        self.gen = Some(gen);
+        self
+    }
+
+    /// Attach a fixed script (before the world starts).
+    pub fn with_script(mut self, script: Script) -> Self {
+        self.script = script;
+        self
+    }
+
+    /// Setter form of [`with_workload`](Self::with_workload) for nodes
+    /// already registered in a world.
+    pub fn set_workload(&mut self, gen: Box<dyn OpGen>) {
+        self.gen = Some(gen);
+    }
+
+    /// Setter form of [`with_script`](Self::with_script).
+    pub fn set_script(&mut self, script: Script) {
+        self.script = script;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Recent operation results, oldest first (bounded ring).
+    pub fn results(&self) -> impl Iterator<Item = &(OpId, FsResult)> {
+        self.results.iter()
+    }
+
+    /// The result of one operation, if still retained.
+    pub fn result_of(&self, op: OpId) -> Option<&FsResult> {
+        self.results.iter().find(|(id, _)| *id == op).map(|(_, r)| r)
+    }
+
+    fn log_result(&mut self, id: OpId, result: &FsResult) {
+        if self.results.len() == RESULT_LOG_CAP {
+            self.results.pop_front();
+        }
+        self.results.push_back((id, result.clone()));
+    }
+
+    /// The embedded lease machine (diagnostics).
+    pub fn lease(&self) -> &ClientLease {
+        &self.lease
+    }
+
+    /// Dirty blocks currently in the cache.
+    pub fn dirty_blocks(&self) -> usize {
+        self.cache.dirty_count()
+    }
+
+    /// Whether the client currently admits new operations.
+    pub fn is_serving(&self) -> bool {
+        self.serving
+    }
+
+    fn gen_of(&self, ino: Ino) -> u64 {
+        self.lock_gen.get(&ino).copied().unwrap_or(0)
+    }
+
+    fn bump_gen(&mut self, ino: Ino) {
+        *self.lock_gen.entry(ino).or_insert(0) += 1;
+    }
+
+    fn emit(&mut self, ev: ClientEvent, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if let Some(ob) = (self.observe)(ev) {
+            ctx.observe(ob);
+        }
+    }
+
+    // ------------------------------------------------------- request engine
+
+    fn send_request(
+        &mut self,
+        body: RequestBody,
+        purpose: Purpose,
+        retry: bool,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) -> ReqSeq {
+        let seq = ReqSeq(self.next_seq);
+        self.next_seq += 1;
+        let session = self.session.unwrap_or(SessionId(0));
+        self.lease.on_send(seq, ctx.now());
+        let timer = if retry {
+            let token = self.timers.insert(ClientTimer::ReqRetry(seq));
+            Some(ctx.set_timer(self.cfg.rto, token))
+        } else {
+            None
+        };
+        self.pending.insert(
+            seq,
+            PendingReq { body: body.clone(), purpose, session, cur_rto: self.cfg.rto, timer },
+        );
+        ctx.send(
+            NetId::CONTROL,
+            self.cfg.server,
+            NetMsg::Ctl(CtlMsg::Request(Request { src: ctx.node(), session, seq, body })),
+        );
+        seq
+    }
+
+    fn retransmit(&mut self, seq: ReqSeq, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        // NOTE: the lease send-time for `seq` is NOT updated — the lease a
+        // future ACK grants must run from a send the ACK is known to
+        // follow, and only the first transmission has that property for
+        // every copy the server might be answering (§3.1).
+        let server = self.cfg.server;
+        let max_rto = self.cfg.max_rto;
+        let me = ctx.node();
+        let Some(p) = self.pending.get_mut(&seq) else { return };
+        p.cur_rto = LocalNs((p.cur_rto.0 * 2).min(max_rto.0));
+        let token = self.timers.insert(ClientTimer::ReqRetry(seq));
+        let delay = p.cur_rto;
+        let msg = Request { src: me, session: p.session, seq, body: p.body.clone() };
+        p.timer = Some(ctx.set_timer(delay, token));
+        self.stats.retransmits += 1;
+        ctx.send(NetId::CONTROL, server, NetMsg::Ctl(CtlMsg::Request(msg)));
+    }
+
+    fn drop_pending(&mut self, seq: ReqSeq, ctx: &mut Ctx<'_, NetMsg, Ob>) -> Option<PendingReq> {
+        let p = self.pending.remove(&seq)?;
+        if let Some(t) = p.timer {
+            ctx.cancel_timer(t);
+        }
+        Some(p)
+    }
+
+    // ----------------------------------------------------------- session
+
+    fn send_hello(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if self.hello_inflight {
+            return;
+        }
+        self.hello_inflight = true;
+        let sent_at = ctx.now();
+        self.send_request(RequestBody::Hello, Purpose::Hello { sent_at }, true, ctx);
+    }
+
+    fn on_hello_ok(&mut self, sent_at: LocalNs, session: SessionId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.hello_inflight = false;
+        self.session = Some(session);
+        self.lease.reset_session(sent_at, ctx.now());
+        let first_service = !self.serving;
+        self.serving = true;
+        if first_service {
+            self.emit(ClientEvent::Resumed, ctx);
+        }
+        self.pump_lease(ctx);
+        if self.cfg.flush_interval.0 > 0 {
+            let token = self.timers.insert(ClientTimer::PeriodicFlush);
+            ctx.set_timer(self.cfg.flush_interval, token);
+        }
+        self.maybe_next_gen_op(ctx);
+    }
+
+    /// Total local failure: lease expired or session declared dead by the
+    /// server. Everything volatile protocol state is reset and a fresh
+    /// session is sought.
+    fn local_expiry(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.serving = false;
+        // Fail every in-flight op (sorted: deterministic event order).
+        let mut op_ids: Vec<OpId> = self.ops.keys().copied().collect();
+        op_ids.sort();
+        for id in op_ids {
+            self.complete_op(id, Err(FsErr::LeaseLost), ctx);
+        }
+        // Abandon outstanding requests and campaigns.
+        let mut seqs: Vec<ReqSeq> = self.pending.keys().copied().collect();
+        seqs.sort();
+        for s in seqs {
+            self.drop_pending(s, ctx);
+        }
+        self.hello_inflight = false;
+        self.flushes.clear();
+        self.pending_san.clear();
+        self.parked.clear();
+        self.deferred_demands.clear();
+        let held: Vec<Ino> = self.locks.keys().copied().collect();
+        for ino in held {
+            self.bump_gen(ino);
+        }
+        self.locks.clear();
+        self.seen_pushes.clear();
+        let discarded = self.cache.invalidate_all();
+        self.name_cache.clear();
+        self.emit(ClientEvent::CacheInvalidated { discarded_dirty: discarded }, ctx);
+        self.session = None;
+        self.send_hello(ctx);
+    }
+
+    // ------------------------------------------------------- lease driving
+
+    fn pump_lease(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if !self.cfg.lease_enabled {
+            return;
+        }
+        let now = ctx.now();
+        for action in self.lease.poll(now) {
+            match action {
+                LeaseAction::SendKeepAlive => {
+                    self.send_request(RequestBody::KeepAlive, Purpose::KeepAlive, false, ctx);
+                }
+                LeaseAction::BeginQuiesce => {
+                    self.serving = false;
+                    self.emit(ClientEvent::Quiesced, ctx);
+                }
+                LeaseAction::BeginFlush => {
+                    // Phase 4: harden everything dirty. The control network
+                    // is presumed dead, so sizes are not committed — data
+                    // reaches disk, which is the §3.2 obligation.
+                    let inos = self.cache.dirty_inos();
+                    for ino in inos {
+                        self.start_flush(ino, AfterFlush::Nothing, ctx);
+                    }
+                }
+                LeaseAction::LeaseExpired => {
+                    self.local_expiry(ctx);
+                }
+                LeaseAction::Resume => {
+                    self.serving = true;
+                    self.emit(ClientEvent::Resumed, ctx);
+                    self.maybe_next_gen_op(ctx);
+                }
+            }
+        }
+        // Arm the next poll.
+        if let Some(at) = self.lease.next_wakeup(now) {
+            let due = at.max(now.plus(LocalNs(1)));
+            if self.next_poll_at.is_none_or(|p| due < p || p <= now) {
+                self.next_poll_at = Some(due);
+                let token = self.timers.insert(ClientTimer::LeasePoll);
+                ctx.set_timer(due.minus(now), token);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- workload
+
+    fn maybe_next_gen_op(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if self.gen_op_queued || self.gen.is_none() {
+            return;
+        }
+        // Closed loop over `gen_concurrency` local processes.
+        let in_flight = self.ops.values().filter(|o| o.from_gen).count();
+        if in_flight >= self.cfg.gen_concurrency.max(1) {
+            return;
+        }
+        let now = ctx.now();
+        let mut gen = self.gen.take().unwrap();
+        let next = gen.next_op(ctx.rng(), now);
+        self.gen = Some(gen);
+        if let Some((think, op)) = next {
+            self.queued_gen_op = Some(op);
+            self.gen_op_queued = true;
+            let token = self.timers.insert(ClientTimer::NextOp);
+            ctx.set_timer(think, token);
+        }
+    }
+
+    /// Submit an operation on behalf of a local process.
+    fn submit(&mut self, op: FsOp, from_gen: bool, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.stats.submitted += 1;
+        let id = OpId(self.next_op_id);
+        self.next_op_id += 1;
+        let kind = op.kind();
+        self.emit(ClientEvent::OpSubmitted { op: id, kind }, ctx);
+        if !self.serving {
+            // §3.2 phase 3+: new file-system requests are not serviced.
+            self.stats.denied += 1;
+            self.log_result(id, &Err(FsErr::Suspended));
+            self.emit(
+                ClientEvent::OpCompleted { op: id, kind, ok: false, err: Some(FsErr::Suspended) },
+                ctx,
+            );
+            if from_gen {
+                self.maybe_next_gen_op(ctx);
+            }
+            return;
+        }
+        let parts: Vec<String> = op
+            .path()
+            .split('/')
+            .filter(|p| !p.is_empty())
+            .map(str::to_owned)
+            .collect();
+        let to_parent = matches!(op, FsOp::Create { .. } | FsOp::Mkdir { .. } | FsOp::Delete { .. });
+        let root = Ino(1); // the server's root is always ino 1
+        let mut active = ActiveOp { op, state: OpState::MetaWait, from_gen, ino: None };
+        if to_parent && parts.is_empty() {
+            // Creating "/" or deleting "/" is invalid.
+            self.ops.insert(id, active);
+            return self.complete_op(id, Err(FsErr::Invalid), ctx);
+        }
+        if !to_parent {
+            if let Some(&ino) = self.name_cache.get(op_path(&active.op).as_str()) {
+                active.state = OpState::MetaWait;
+                self.ops.insert(id, active);
+                return self.op_resolved(id, ino, ctx);
+            }
+        }
+        let resolve_len = if to_parent { parts.len() - 1 } else { parts.len() };
+        if resolve_len == 0 {
+            // Target is the root itself (or a root-level create).
+            active.state = OpState::Resolve { parts, idx: 0, cur: root, to_parent };
+            self.ops.insert(id, active);
+            self.op_resolved(id, root, ctx);
+        } else {
+            active.state = OpState::Resolve { parts, idx: 0, cur: root, to_parent };
+            self.ops.insert(id, active);
+            self.resolve_step(id, ctx);
+        }
+    }
+
+    fn resolve_step(&mut self, id: OpId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(active) = self.ops.get(&id) else { return };
+        let OpState::Resolve { parts, idx, cur, to_parent } = &active.state else {
+            return;
+        };
+        let limit = if *to_parent { parts.len() - 1 } else { parts.len() };
+        if *idx >= limit {
+            let cur = *cur;
+            return self.op_resolved(id, cur, ctx);
+        }
+        let body = RequestBody::Lookup { parent: *cur, name: parts[*idx].clone() };
+        self.send_request(body, Purpose::Resolve { op: id }, true, ctx);
+    }
+
+    /// The op's target (or parent, for to_parent ops) is known.
+    fn op_resolved(&mut self, id: OpId, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(active) = self.ops.get_mut(&id) else { return };
+        active.ino = Some(ino);
+        if !matches!(
+            active.op,
+            FsOp::Create { .. } | FsOp::Mkdir { .. } | FsOp::Delete { .. }
+        ) {
+            self.name_cache.insert(op_path_of(&self.ops[&id].op), ino);
+        }
+        let Some(active) = self.ops.get_mut(&id) else { return };
+        match &active.op {
+            FsOp::Create { path } => {
+                let name = last_component(path);
+                active.state = OpState::MetaWait;
+                self.send_request(
+                    RequestBody::Create { parent: ino, name },
+                    Purpose::Meta { op: id },
+                    true,
+                    ctx,
+                );
+            }
+            FsOp::Mkdir { path } => {
+                let name = last_component(path);
+                active.state = OpState::MetaWait;
+                self.send_request(
+                    RequestBody::Mkdir { parent: ino, name },
+                    Purpose::Meta { op: id },
+                    true,
+                    ctx,
+                );
+            }
+            FsOp::Delete { path } => {
+                let name = last_component(path);
+                active.state = OpState::MetaWait;
+                self.send_request(
+                    RequestBody::Unlink { parent: ino, name },
+                    Purpose::Meta { op: id },
+                    true,
+                    ctx,
+                );
+            }
+            FsOp::Stat { .. } => {
+                active.state = OpState::MetaWait;
+                self.send_request(
+                    RequestBody::GetAttr { ino },
+                    Purpose::Meta { op: id },
+                    true,
+                    ctx,
+                );
+            }
+            FsOp::List { .. } => {
+                active.state = OpState::MetaWait;
+                self.send_request(
+                    RequestBody::ReadDir { dir: ino },
+                    Purpose::Meta { op: id },
+                    true,
+                    ctx,
+                );
+            }
+            FsOp::Read { offset, len, .. } => {
+                if self.cfg.function_ship {
+                    let (offset, len) = (*offset, *len);
+                    active.state = OpState::MetaWait;
+                    self.send_request(
+                        RequestBody::ReadData { ino, offset, len },
+                        Purpose::Meta { op: id },
+                        true,
+                        ctx,
+                    );
+                } else {
+                    self.ensure_lock_then(id, ino, LockMode::SharedRead, ctx);
+                }
+            }
+            FsOp::Write { offset, data, .. } => {
+                if self.cfg.function_ship {
+                    let (offset, data) = (*offset, data.clone());
+                    active.state = OpState::MetaWait;
+                    self.send_request(
+                        RequestBody::WriteData { ino, offset, data },
+                        Purpose::Meta { op: id },
+                        true,
+                        ctx,
+                    );
+                } else {
+                    self.ensure_lock_then(id, ino, LockMode::Exclusive, ctx);
+                }
+            }
+            FsOp::Flush { .. } => {
+                let dirty = self.cache.dirty_of(ino);
+                if dirty.is_empty() {
+                    self.finish_flush_commit(ino, Some(id), ctx);
+                } else {
+                    active.state = OpState::WaitFlush;
+                    self.start_flush(ino, AfterFlush::CompleteOp(id), ctx);
+                }
+            }
+            FsOp::Release { .. } => {
+                if !matches!(self.locks.get(&ino), Some(LockEntry::Held(_))) {
+                    return self.complete_op(id, Ok(FsData::Unit), ctx);
+                }
+                let dirty = self.cache.dirty_of(ino);
+                if dirty.is_empty() {
+                    self.ops.get_mut(&id).unwrap().state = OpState::WaitFlush;
+                    self.commit_then_release(ino, Some(id), ctx);
+                } else {
+                    self.ops.get_mut(&id).unwrap().state = OpState::WaitFlush;
+                    self.start_flush(ino, AfterFlush::Release { complete: Some(id) }, ctx);
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- locks
+
+    fn ensure_lock_then(&mut self, id: OpId, ino: Ino, mode: LockMode, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        match self.locks.get(&ino) {
+            Some(LockEntry::Held(info)) if info.mode.covers(mode) => {
+                self.run_data_op(id, ino, ctx);
+            }
+            Some(LockEntry::Held(info)) => {
+                // Upgrade needed.
+                let need_send = !info.upgrading;
+                if let Some(LockEntry::Held(info)) = self.locks.get_mut(&ino) {
+                    info.upgrading = true;
+                }
+                self.park(id, ino, mode);
+                if need_send {
+                    let gen = self.gen_of(ino);
+                    self.send_request(
+                        RequestBody::LockAcquire { ino, mode: LockMode::Exclusive },
+                        Purpose::Lock { ino, gen },
+                        true,
+                        ctx,
+                    );
+                }
+            }
+            Some(LockEntry::Acquiring) => self.park(id, ino, mode),
+            Some(LockEntry::Releasing(_)) => self.park(id, ino, mode),
+            None => {
+                self.locks.insert(ino, LockEntry::Acquiring);
+                self.park(id, ino, mode);
+                let gen = self.gen_of(ino);
+                self.send_request(
+                    RequestBody::LockAcquire { ino, mode },
+                    Purpose::Lock { ino, gen },
+                    true,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    fn park(&mut self, id: OpId, ino: Ino, mode: LockMode) {
+        if let Some(a) = self.ops.get_mut(&id) {
+            a.state = OpState::WaitLock { mode };
+        }
+        self.parked.entry(ino).or_default().push(id);
+    }
+
+    fn on_lock_granted(
+        &mut self,
+        ino: Ino,
+        mode: LockMode,
+        epoch: Epoch,
+        blocks: Vec<BlockId>,
+        size: u64,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        // A grant landing while we are releasing is from a dead era (the
+        // release is already on the wire; the server has executed or will
+        // execute it after the grant): installing it would let us write
+        // under an epoch the server no longer honours.
+        if matches!(self.locks.get(&ino), Some(LockEntry::Releasing(_))) {
+            return;
+        }
+        // Merge with an existing holding of the same epoch (duplicate or
+        // reordered grant): the block map and size only ever grow within
+        // an epoch, and the write-sequence counter must never reset (tags
+        // must stay monotone).
+        if let Some(LockEntry::Held(prev)) = self.locks.get_mut(&ino) {
+            if prev.epoch == epoch {
+                if blocks.len() > prev.blocks.len() {
+                    prev.blocks = blocks;
+                }
+                prev.size = prev.size.max(size);
+                prev.mode = mode;
+                prev.upgrading = false;
+                self.kick_parked(ino, ctx);
+                self.satisfy_deferred_demand(ino, ctx);
+                return;
+            }
+        }
+        self.locks.insert(
+            ino,
+            LockEntry::Held(LockInfo {
+                mode,
+                epoch,
+                blocks,
+                size,
+                committed_size: size,
+                wseq: 0,
+                upgrading: false,
+            }),
+        );
+        self.kick_parked(ino, ctx);
+        self.satisfy_deferred_demand(ino, ctx);
+    }
+
+    /// A demand arrived while the lock state was in motion: now that it
+    /// settled (grant landed / release confirmed), hand the demanded grant
+    /// over — or tell the server it is already gone.
+    fn satisfy_deferred_demand(&mut self, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(demanded) = self.deferred_demands.remove(&ino) else {
+            return;
+        };
+        match self.locks.get(&ino) {
+            Some(LockEntry::Held(_)) => {
+                // Hand the holding over (flush first), full teardown.
+                if self.cache.dirty_of(ino).is_empty() {
+                    self.commit_then_release(ino, None, ctx);
+                } else {
+                    self.start_flush(ino, AfterFlush::Release { complete: None }, ctx);
+                }
+            }
+            Some(LockEntry::Releasing(info)) if info.epoch == demanded => {}
+            Some(LockEntry::Releasing(_)) | Some(LockEntry::Acquiring) => {
+                // Still in motion: keep waiting.
+                self.deferred_demands.insert(ino, demanded);
+            }
+            None => {
+                self.send_request(
+                    RequestBody::LockRelease { ino, epoch: demanded },
+                    Purpose::ReleaseStale,
+                    false,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    fn kick_parked(&mut self, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(ids) = self.parked.remove(&ino) else { return };
+        let mut still_parked = Vec::new();
+        for id in ids {
+            let Some(a) = self.ops.get(&id) else { continue };
+            let OpState::WaitLock { mode } = a.state else { continue };
+            match self.locks.get(&ino) {
+                Some(LockEntry::Held(info)) if info.mode.covers(mode) => {
+                    self.run_data_op(id, ino, ctx);
+                }
+                Some(LockEntry::Held(info)) => {
+                    // Held but not covering: (re)request the upgrade.
+                    let need_send = !info.upgrading;
+                    if let Some(LockEntry::Held(info)) = self.locks.get_mut(&ino) {
+                        info.upgrading = true;
+                    }
+                    still_parked.push(id);
+                    if need_send {
+                        let gen = self.gen_of(ino);
+                        self.send_request(
+                            RequestBody::LockAcquire { ino, mode: LockMode::Exclusive },
+                            Purpose::Lock { ino, gen },
+                            true,
+                            ctx,
+                        );
+                    }
+                }
+                Some(LockEntry::Acquiring) | Some(LockEntry::Releasing(_)) => still_parked.push(id),
+                None => {
+                    // Lock vanished (release/expiry): restart acquisition.
+                    self.locks.insert(ino, LockEntry::Acquiring);
+                    still_parked.push(id);
+                    let gen = self.gen_of(ino);
+                    self.send_request(
+                        RequestBody::LockAcquire { ino, mode },
+                        Purpose::Lock { ino, gen },
+                        true,
+                        ctx,
+                    );
+                }
+            }
+        }
+        if !still_parked.is_empty() {
+            self.parked.entry(ino).or_default().extend(still_parked);
+        }
+    }
+
+    // ------------------------------------------------------------ data ops
+
+    /// The op holds a covering lock; run its data phase.
+    fn run_data_op(&mut self, id: OpId, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(active) = self.ops.get(&id) else { return };
+        match &active.op {
+            FsOp::Read { offset, len, .. } => {
+                let (offset, len) = (*offset, *len);
+                self.run_read(id, ino, offset, len, ctx);
+            }
+            FsOp::Write { offset, data, .. } => {
+                let (offset, dlen) = (*offset, data.len());
+                self.run_write_prepare(id, ino, offset, dlen, ctx);
+            }
+            _ => unreachable!("only read/write take the data path"),
+        }
+    }
+
+    fn run_read(&mut self, id: OpId, ino: Ino, offset: u64, len: u32, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(LockEntry::Held(info)) = self.locks.get(&ino) else {
+            return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
+        };
+        let size = info.size;
+        let nblocks = info.blocks.len();
+        let blocks = info.blocks.clone();
+        if offset >= size || len == 0 {
+            return self.complete_op(id, Ok(FsData::Bytes(Vec::new())), ctx);
+        }
+        let end = (offset + len as u64).min(size);
+        let bs = self.cfg.block_size as u64;
+        let first = (offset / bs) as u32;
+        let last = ((end - 1) / bs) as u32;
+        let epoch = match self.locks.get(&ino) {
+            Some(LockEntry::Held(info)) => info.epoch,
+            _ => return self.complete_op(id, Err(FsErr::LeaseLost), ctx),
+        };
+        let mut waiting = 0;
+        for idx in first..=last {
+            if self.cache.get(ino, idx).is_none() && (idx as usize) < nblocks {
+                waiting += 1;
+                self.san_read(ino, idx, blocks[idx as usize], SanOp::OpRead { op: id, ino, idx, epoch }, ctx);
+            }
+        }
+        if waiting == 0 {
+            self.finish_read(id, ino, ctx);
+        } else if let Some(a) = self.ops.get_mut(&id) {
+            a.state = OpState::SanReads { waiting, then_write: false };
+        }
+    }
+
+    fn finish_read(&mut self, id: OpId, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(active) = self.ops.get(&id) else { return };
+        let FsOp::Read { offset, len, .. } = &active.op else { return };
+        let (offset, len) = (*offset, *len);
+        let Some(LockEntry::Held(info)) = self.locks.get(&ino) else {
+            return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
+        };
+        let size = info.size;
+        let bs = self.cfg.block_size as u64;
+        let end = (offset + len as u64).min(size);
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let first = (offset / bs) as u32;
+        let last = ((end - 1) / bs) as u32;
+        let mut served: Vec<(u32, WriteTag, bool)> = Vec::new();
+        for idx in first..=last {
+            let bstart = idx as u64 * bs;
+            let lo = offset.max(bstart) - bstart;
+            let hi = end.min(bstart + bs) - bstart;
+            match self.cache.get(ino, idx) {
+                Some(b) => {
+                    out.extend_from_slice(&b.data[lo as usize..hi as usize]);
+                    self.stats.cache_hits += 1;
+                    served.push((idx, b.tag, true));
+                }
+                None => {
+                    // Hole (never-written block): zeros.
+                    out.extend(std::iter::repeat_n(0u8, (hi - lo) as usize));
+                    served.push((idx, WriteTag::default(), true));
+                }
+            }
+        }
+        for (idx, tag, from_cache) in served {
+            self.emit(ClientEvent::ReadServed { op: id, ino, idx, tag, from_cache }, ctx);
+        }
+        self.complete_op(id, Ok(FsData::Bytes(out)), ctx);
+    }
+
+    fn run_write_prepare(
+        &mut self,
+        id: OpId,
+        ino: Ino,
+        offset: u64,
+        dlen: usize,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        let bs = self.cfg.block_size as u64;
+        let end = offset + dlen as u64;
+        let needed = end.div_ceil(bs) as usize;
+        let Some(LockEntry::Held(info)) = self.locks.get(&ino) else {
+            return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
+        };
+        if needed > info.blocks.len() {
+            let count = (needed - info.blocks.len()) as u32;
+            if let Some(a) = self.ops.get_mut(&id) {
+                a.state = OpState::WaitAlloc;
+            }
+            self.send_request(
+                RequestBody::AllocBlocks { ino, count },
+                Purpose::Alloc { op: id, ino },
+                true,
+                ctx,
+            );
+            return;
+        }
+        // Read-modify-write: partial blocks that may hold live data and
+        // are not cached must be fetched first.
+        let size = info.size;
+        let blocks = info.blocks.clone();
+        let epoch = info.epoch;
+        let first = (offset / bs) as u32;
+        let last = ((end - 1) / bs) as u32;
+        let mut waiting = 0;
+        for idx in first..=last {
+            let bstart = idx as u64 * bs;
+            let covers_fully = offset <= bstart && end >= bstart + bs;
+            let has_live_data = bstart < size && (idx as usize) < blocks.len();
+            if !covers_fully && has_live_data && self.cache.get(ino, idx).is_none() {
+                waiting += 1;
+                self.san_read(ino, idx, blocks[idx as usize], SanOp::OpRead { op: id, ino, idx, epoch }, ctx);
+            }
+        }
+        if waiting == 0 {
+            self.apply_write(id, ino, ctx);
+        } else if let Some(a) = self.ops.get_mut(&id) {
+            a.state = OpState::SanReads { waiting, then_write: true };
+        }
+    }
+
+    fn apply_write(&mut self, id: OpId, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(active) = self.ops.get(&id) else { return };
+        let FsOp::Write { offset, data, .. } = &active.op else { return };
+        let (offset, data) = (*offset, data.clone());
+        // §3.2: by phase 4 the flush snapshot is final. An in-flight write
+        // completing now would dirty the cache *behind* the flush and be
+        // discarded at expiry — refuse it instead of lying to the process.
+        if self.cfg.lease_enabled
+            && matches!(self.lease.phase(ctx.now()), Phase::ExpectedFailure | Phase::Expired)
+        {
+            return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
+        }
+        let me = ctx.node();
+        let bs = self.cfg.block_size as u64;
+        let end = offset + data.len() as u64;
+        let (epoch, wseq_base) = match self.locks.get(&ino) {
+            Some(LockEntry::Held(info)) => (info.epoch, info.wseq),
+            _ => return self.complete_op(id, Err(FsErr::LeaseLost), ctx),
+        };
+        let first = (offset / bs) as u32;
+        let last = ((end - 1) / bs) as u32;
+        let mut acked: Vec<(u32, WriteTag)> = Vec::new();
+        let mut wseq = wseq_base;
+        for idx in first..=last {
+            let bstart = idx as u64 * bs;
+            let lo = offset.max(bstart);
+            let hi = end.min(bstart + bs);
+            wseq += 1;
+            let tag = WriteTag { writer: me, epoch, wseq };
+            let slice = &data[(lo - offset) as usize..(hi - offset) as usize];
+            let covers_fully = lo == bstart && hi == bstart + bs;
+            if self.cache.get(ino, idx).is_none() && !covers_fully {
+                // Block has no live data (RMW skipped it): surround with
+                // zeroes.
+                let mut full = vec![0u8; bs as usize];
+                full[(lo - bstart) as usize..(hi - bstart) as usize].copy_from_slice(slice);
+                self.cache.write(ino, idx, 0, &full, tag);
+            } else {
+                self.cache.write(ino, idx, (lo - bstart) as usize, slice, tag);
+            }
+            acked.push((idx, tag));
+        }
+        let grew = {
+            let Some(LockEntry::Held(info)) = self.locks.get_mut(&ino) else {
+                return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
+            };
+            info.wseq = wseq;
+            if end > info.size {
+                info.size = end;
+            }
+            info.size > info.committed_size
+        };
+        for (idx, tag) in acked {
+            self.emit(ClientEvent::WriteAcked { op: id, ino, idx, tag }, ctx);
+        }
+        if grew {
+            // Commit size growth eagerly so other clients' views (block
+            // map + size) stay fresh; data itself remains write-back.
+            let new_size = match self.locks.get(&ino) {
+                Some(LockEntry::Held(info)) => info.size,
+                _ => end,
+            };
+            self.send_request(
+                RequestBody::CommitWrite { ino, new_size },
+                Purpose::Commit { ino },
+                true,
+                ctx,
+            );
+        }
+        self.complete_op(id, Ok(FsData::Unit), ctx);
+    }
+
+    // --------------------------------------------------------------- SAN
+
+    fn san_read(&mut self, _ino: Ino, _idx: u32, block: BlockId, what: SanOp, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let req_id = self.next_san_req;
+        self.next_san_req += 1;
+        self.pending_san.insert(req_id, what);
+        self.stats.cache_misses += 1;
+        let disk = self.cfg.disks[stripe_disk(block, self.cfg.disks.len())];
+        ctx.send(NetId::SAN, disk, NetMsg::San(SanMsg::ReadBlock { req_id, block }));
+    }
+
+    fn start_flush(&mut self, ino: Ino, after: AfterFlush, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let dirty = self.cache.dirty_of(ino);
+        let nblocks = match self.locks.get(&ino) {
+            Some(LockEntry::Held(info)) | Some(LockEntry::Releasing(info)) => info.blocks.len(),
+            _ => 0,
+        };
+        let queue: std::collections::VecDeque<_> = dirty
+            .into_iter()
+            .filter(|(idx, _, _)| (*idx as usize) < nblocks)
+            .collect();
+        if queue.is_empty() {
+            return self.flush_done(ino, after, ctx);
+        }
+        let campaign = self.next_flush_id;
+        self.next_flush_id += 1;
+        self.flushes.insert(
+            campaign,
+            FlushCampaign { ino, remaining: queue.len(), in_flight: 0, queue, after },
+        );
+        self.issue_flush_writes(campaign, ctx);
+    }
+
+    /// Issue queued flush writes up to the window.
+    fn issue_flush_writes(&mut self, campaign: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let window = self.cfg.flush_window.max(1);
+        loop {
+            let Some(c) = self.flushes.get_mut(&campaign) else { return };
+            if c.in_flight >= window {
+                return;
+            }
+            let Some((idx, data, tag)) = c.queue.pop_front() else { return };
+            let ino = c.ino;
+            c.in_flight += 1;
+            let block = match self.locks.get(&ino) {
+                Some(LockEntry::Held(info)) | Some(LockEntry::Releasing(info)) => {
+                    info.blocks.get(idx as usize).copied()
+                }
+                _ => None,
+            };
+            let Some(block) = block else {
+                // Lock vanished mid-campaign: count the block as done.
+                if let Some(c) = self.flushes.get_mut(&campaign) {
+                    c.in_flight -= 1;
+                    c.remaining -= 1;
+                }
+                continue;
+            };
+            let req_id = self.next_san_req;
+            self.next_san_req += 1;
+            self.pending_san.insert(req_id, SanOp::FlushWrite { campaign, ino, idx, tag });
+            let disk = self.cfg.disks[stripe_disk(block, self.cfg.disks.len())];
+            ctx.send(NetId::SAN, disk, NetMsg::San(SanMsg::WriteBlock { req_id, block, data, tag }));
+        }
+    }
+
+    fn flush_done(&mut self, ino: Ino, after: AfterFlush, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        match after {
+            AfterFlush::Nothing => {}
+            AfterFlush::CompleteOp(id) => {
+                self.finish_flush_commit(ino, Some(id), ctx);
+            }
+            AfterFlush::Release { complete } => {
+                // An in-flight write may have re-dirtied the file behind
+                // the campaign's snapshot; flush again until clean, only
+                // then release (releasing would discard the dirty data).
+                // Without a held lock (or mapped blocks) nothing can be
+                // flushed — proceed to the release rather than looping.
+                let nblocks = match self.locks.get(&ino) {
+                    Some(LockEntry::Held(info)) | Some(LockEntry::Releasing(info)) => {
+                        info.blocks.len()
+                    }
+                    _ => 0,
+                };
+                let flushable = self
+                    .cache
+                    .dirty_of(ino)
+                    .iter()
+                    .any(|(idx, _, _)| (*idx as usize) < nblocks);
+                if flushable {
+                    self.start_flush(ino, AfterFlush::Release { complete }, ctx);
+                } else {
+                    self.commit_then_release(ino, complete, ctx);
+                }
+            }
+        }
+    }
+
+    /// Commit the size if it grew, then complete the Flush op.
+    fn finish_flush_commit(&mut self, ino: Ino, complete: Option<OpId>, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if let Some(LockEntry::Held(info)) = self.locks.get(&ino) {
+            if info.size > info.committed_size {
+                let new_size = info.size;
+                self.send_request(
+                    RequestBody::CommitWrite { ino, new_size },
+                    Purpose::Commit { ino },
+                    true,
+                    ctx,
+                );
+            }
+        }
+        if let Some(id) = complete {
+            self.complete_op(id, Ok(FsData::Unit), ctx);
+        }
+    }
+
+    /// Demand path tail: ensure committed size, then release.
+    fn commit_then_release(&mut self, ino: Ino, complete: Option<OpId>, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        // Stash the op to complete on the release reply via Purpose.
+        let needs_commit = match self.locks.get(&ino) {
+            Some(LockEntry::Held(info)) => info.size > info.committed_size,
+            _ => false,
+        };
+        if needs_commit {
+            let new_size = match self.locks.get(&ino) {
+                Some(LockEntry::Held(info)) => info.size,
+                _ => 0,
+            };
+            self.release_after_commit.insert(ino, complete);
+            self.send_request(
+                RequestBody::CommitWrite { ino, new_size },
+                Purpose::CommitThenRelease { ino },
+                true,
+                ctx,
+            );
+        } else {
+            self.send_release(ino, complete, ctx);
+        }
+    }
+
+    fn send_release(&mut self, ino: Ino, complete: Option<OpId>, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        // Final gate: a write may have slipped in during the commit round
+        // trip. Releasing with dirty blocks would discard acknowledged
+        // data, so flush again first. Once `Releasing` is set below, no
+        // further write can apply.
+        if !self.cache.dirty_of(ino).is_empty()
+            && matches!(self.locks.get(&ino), Some(LockEntry::Held(_)))
+        {
+            return self.start_flush(ino, AfterFlush::Release { complete }, ctx);
+        }
+        // Name the exact grant being released so a racing newer grant at
+        // the server cannot be torn down by this message. The grant info
+        // moves into the Releasing state (still needed for flushing).
+        let epoch = match self.locks.get(&ino) {
+            Some(LockEntry::Held(info)) | Some(LockEntry::Releasing(info)) => info.epoch,
+            _ => Epoch(0),
+        };
+        match self.locks.get(&ino).cloned() {
+            Some(LockEntry::Held(info)) => {
+                self.locks.insert(ino, LockEntry::Releasing(info));
+            }
+            Some(LockEntry::Releasing(_)) => {}
+            _ => {
+                // Nothing held: nothing to transition; the request below
+                // (with its exact epoch) is pure server-side cleanup.
+            }
+        }
+        self.release_completes.insert(ino, complete);
+        self.send_request(
+            RequestBody::LockRelease { ino, epoch },
+            Purpose::Release { ino },
+            true,
+            ctx,
+        );
+    }
+
+    fn on_released(&mut self, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.locks.remove(&ino);
+        self.cache.invalidate_ino(ino);
+        if let Some(complete) = self.release_completes.remove(&ino).flatten() {
+            self.complete_op(complete, Ok(FsData::Unit), ctx);
+        }
+        // Ops that arrived while releasing re-acquire.
+        self.kick_parked(ino, ctx);
+    }
+
+    // ------------------------------------------------------------- pushes
+
+    fn on_push(&mut self, push: ServerPush, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        // Always ack (stops server retries); handle the body once.
+        self.send_request(
+            RequestBody::PushAck { push_seq: push.push_seq },
+            Purpose::PushAckSend,
+            false,
+            ctx,
+        );
+        if !self.seen_pushes.insert(push.push_seq) {
+            return;
+        }
+        match push.body {
+            PushBody::Demand { ino, epoch, .. } => {
+                match self.locks.get(&ino) {
+                    Some(LockEntry::Held(_)) => {
+                        // Hand our holding over (flush first), with full
+                        // local teardown. Even when the demand names a
+                        // different grant generation, releasing what we
+                        // hold is safe — epoch-qualified releases cannot
+                        // hurt a grant that is not ours-as-held.
+                        let dirty = self.cache.dirty_of(ino);
+                        if dirty.is_empty() {
+                            self.commit_then_release(ino, None, ctx);
+                        } else {
+                            self.start_flush(ino, AfterFlush::Release { complete: None }, ctx);
+                        }
+                    }
+                    Some(LockEntry::Releasing(info)) if info.epoch == epoch => {
+                        // Already releasing exactly this grant.
+                    }
+                    Some(LockEntry::Releasing(_)) | Some(LockEntry::Acquiring) => {
+                        // The demanded grant is still in motion toward us
+                        // (a grant racing this demand, possibly behind a
+                        // release of an older grant). Handle it when the
+                        // state settles.
+                        self.deferred_demands.insert(ino, epoch);
+                    }
+                    None => {
+                        // We hold nothing (e.g. already expired locally):
+                        // release exactly the demanded grant so the server
+                        // can move on — qualified by its epoch, so this
+                        // cannot tear down a newer grant racing toward us.
+                        self.send_request(
+                            RequestBody::LockRelease { ino, epoch },
+                            Purpose::ReleaseStale,
+                            false,
+                            ctx,
+                        );
+                    }
+                }
+            }
+            PushBody::Invalidate { ino } => {
+                self.cache.invalidate_ino(ino);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ replies
+
+    fn on_response(&mut self, resp: Response, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(p) = self.drop_pending(resp.seq, ctx) else { return };
+        match resp.outcome {
+            ResponseOutcome::Acked(result) => {
+                let renewed = self.lease.on_ack(resp.seq, ctx.now());
+                if renewed {
+                    self.pump_lease(ctx);
+                }
+                self.dispatch_reply(p.purpose, result, ctx);
+            }
+            ResponseOutcome::Nacked(reason) => self.on_nack(reason, p, ctx),
+        }
+    }
+
+    fn on_nack(&mut self, reason: NackReason, p: PendingReq, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        match reason {
+            NackReason::LeaseTimingOut => {
+                // §3.3: we missed a message; cache is invalid; enter phase
+                // 3 directly and prepare for recovery.
+                self.lease.on_nack(ctx.now());
+                let was_hello = matches!(p.purpose, Purpose::Hello { .. });
+                self.fail_purpose(p.purpose, FsErr::Suspended, ctx);
+                if was_hello {
+                    // The server is still timing us out; try again after
+                    // a respectful delay (its timer will fire eventually).
+                    let token = self.timers.insert(ClientTimer::HelloRetry);
+                    ctx.set_timer(LocalNs::from_millis(500), token);
+                }
+                self.pump_lease(ctx);
+            }
+            NackReason::SessionExpired | NackReason::StaleSession => {
+                // Our session is dead at the server: locks stolen. Unless
+                // this was the Hello itself, restart with a fresh session.
+                if matches!(p.purpose, Purpose::Hello { .. }) {
+                    self.hello_inflight = false;
+                    self.send_hello(ctx);
+                } else {
+                    self.fail_purpose(p.purpose, FsErr::LeaseLost, ctx);
+                    self.local_expiry(ctx);
+                }
+            }
+        }
+    }
+
+    fn fail_purpose(&mut self, purpose: Purpose, err: FsErr, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        match purpose {
+            Purpose::Resolve { op } | Purpose::Meta { op } | Purpose::Alloc { op, .. } => {
+                self.complete_op(op, Err(err), ctx);
+            }
+            Purpose::Lock { ino, gen } => {
+                if gen != self.gen_of(ino) {
+                    return; // a dead era's request; already handled
+                }
+                match self.locks.get_mut(&ino) {
+                    Some(LockEntry::Held(info)) => {
+                        // A holding exists (established by some other
+                        // response); this failed request was at most an
+                        // upgrade. The holding — and its dirty cache —
+                        // stay; only the waiters give up.
+                        info.upgrading = false;
+                    }
+                    Some(LockEntry::Acquiring) => {
+                        // Nothing was ever granted in this era: clear the
+                        // placeholder. No data can be cached under it.
+                        self.locks.remove(&ino);
+                        self.bump_gen(ino);
+                        self.cache.invalidate_ino(ino);
+                    }
+                    _ => {}
+                }
+                let ids = self.parked.remove(&ino).unwrap_or_default();
+                for id in ids {
+                    self.complete_op(id, Err(err), ctx);
+                }
+            }
+            Purpose::Release { ino } => {
+                // The release was NACKed: its fate at the server is
+                // unknown. Keep the Releasing state and the cache — the
+                // lease machinery now owns recovery (phase-4 flush still
+                // works from the retained grant info; expiry or session
+                // reset cleans up).
+                let _ = ino;
+            }
+            Purpose::CommitThenRelease { ino } => {
+                let complete = self.release_after_commit.remove(&ino).flatten();
+                self.send_release(ino, complete, ctx);
+            }
+            Purpose::Hello { .. } => {
+                self.hello_inflight = false;
+            }
+            Purpose::KeepAlive
+            | Purpose::Commit { .. }
+            | Purpose::PushAckSend
+            | Purpose::ReleaseStale => {}
+        }
+    }
+
+    fn dispatch_reply(
+        &mut self,
+        purpose: Purpose,
+        result: Result<ReplyBody, FsError>,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        match purpose {
+            Purpose::Hello { sent_at } => {
+                if let Ok(ReplyBody::HelloOk { session }) = result {
+                    self.on_hello_ok(sent_at, session, ctx);
+                } else {
+                    self.hello_inflight = false;
+                    self.send_hello(ctx);
+                }
+            }
+            Purpose::KeepAlive | Purpose::PushAckSend => {}
+            Purpose::Resolve { op } => match result {
+                Ok(ReplyBody::Resolved { ino, attr }) => {
+                    let Some(a) = self.ops.get_mut(&op) else { return };
+                    if let OpState::Resolve { idx, cur, parts, to_parent } = &mut a.state {
+                        *cur = ino;
+                        *idx += 1;
+                        let limit = if *to_parent { parts.len() - 1 } else { parts.len() };
+                        if *idx >= limit {
+                            // Resolution finished. Stat can complete right
+                            // here from the lookup's attributes.
+                            if matches!(a.op, FsOp::Stat { .. }) {
+                                return self.complete_op(
+                                    op,
+                                    Ok(FsData::Attr {
+                                        size: attr.size,
+                                        is_dir: attr.is_dir,
+                                        version: attr.version,
+                                    }),
+                                    ctx,
+                                );
+                            }
+                            self.op_resolved(op, ino, ctx);
+                        } else {
+                            self.resolve_step(op, ctx);
+                        }
+                    }
+                }
+                Ok(_) => self.complete_op(op, Err(FsErr::Invalid), ctx),
+                Err(e) => {
+                    let e = map_fs_error(e);
+                    self.complete_op(op, Err(e), ctx);
+                }
+            },
+            Purpose::Meta { op } => {
+                let outcome: FsResult = match result {
+                    Ok(ReplyBody::Created { .. }) | Ok(ReplyBody::Ok) => Ok(FsData::Unit),
+                    Ok(ReplyBody::Attr { attr }) => Ok(FsData::Attr {
+                        size: attr.size,
+                        is_dir: attr.is_dir,
+                        version: attr.version,
+                    }),
+                    Ok(ReplyBody::Dir { entries }) => {
+                        Ok(FsData::Entries(entries.into_iter().map(|(n, _)| n).collect()))
+                    }
+                    Ok(ReplyBody::Data { data }) => Ok(FsData::Bytes(data)),
+                    Ok(_) => Err(FsErr::Invalid),
+                    Err(e) => Err(map_fs_error(e)),
+                };
+                self.complete_op(op, outcome, ctx);
+            }
+            Purpose::Lock { ino, gen } => {
+                if gen != self.gen_of(ino) {
+                    // Stale response from a previous lock era (we released
+                    // or invalidated since): applying it would reinstate a
+                    // dead epoch. If the server actually granted it post-
+                    // release, its re-demand will find us holding nothing
+                    // and clean up.
+                    return;
+                }
+                match result {
+                    Ok(ReplyBody::LockGranted { ino: gino, mode, epoch, blocks, size }) => {
+                        debug_assert_eq!(ino, gino);
+                        self.on_lock_granted(ino, mode, epoch, blocks, size, ctx);
+                    }
+                    Ok(_) | Err(_) => {
+                        let err = match result {
+                            Err(e) => map_fs_error(e),
+                            _ => FsErr::Invalid,
+                        };
+                        match self.locks.get_mut(&ino) {
+                            Some(LockEntry::Held(info)) => {
+                                info.upgrading = false;
+                            }
+                            Some(LockEntry::Acquiring) => {
+                                self.locks.remove(&ino);
+                                self.bump_gen(ino);
+                                self.cache.invalidate_ino(ino);
+                            }
+                            _ => {}
+                        }
+                        let ids = self.parked.remove(&ino).unwrap_or_default();
+                        for id in ids {
+                            self.complete_op(id, Err(err), ctx);
+                        }
+                    }
+                }
+            },
+            Purpose::Alloc { op, ino } => match result {
+                Ok(ReplyBody::Allocated { blocks }) => {
+                    // Allocation only grows a file; a shorter map here is
+                    // a reordered/stale reply and must not shrink ours
+                    // (dirty blocks past the map would become unflushable).
+                    if let Some(LockEntry::Held(info)) = self.locks.get_mut(&ino) {
+                        if blocks.len() > info.blocks.len() {
+                            info.blocks = blocks;
+                        }
+                    }
+                    // Re-run the write: allocation may now suffice.
+                    self.run_data_op(op, ino, ctx);
+                }
+                Ok(_) => self.complete_op(op, Err(FsErr::Invalid), ctx),
+                Err(e) => {
+                    let e = map_fs_error(e);
+                    self.complete_op(op, Err(e), ctx);
+                }
+            },
+            Purpose::Commit { ino } => {
+                if result.is_ok() {
+                    if let Some(LockEntry::Held(info)) = self.locks.get_mut(&ino) {
+                        info.committed_size = info.size.max(info.committed_size);
+                    }
+                }
+            }
+            Purpose::CommitThenRelease { ino } => {
+                if result.is_ok() {
+                    if let Some(LockEntry::Held(info)) = self.locks.get_mut(&ino) {
+                        info.committed_size = info.size.max(info.committed_size);
+                    }
+                }
+                let complete = self.release_after_commit.remove(&ino).flatten();
+                self.send_release(ino, complete, ctx);
+            }
+            Purpose::Release { ino } => {
+                self.on_released(ino, ctx);
+            }
+            Purpose::ReleaseStale => {}
+        }
+    }
+
+    // --------------------------------------------------------- completion
+
+    fn complete_op(&mut self, id: OpId, result: FsResult, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(active) = self.ops.remove(&id) else { return };
+        match &active.op {
+            FsOp::Delete { path } => {
+                self.name_cache.remove(&canonical(path));
+            }
+            _ => {
+                // A NotFound against a cached resolution means the entry
+                // went stale (deleted/recreated elsewhere): drop it.
+                if matches!(result, Err(FsErr::NotFound)) {
+                    self.name_cache.remove(&canonical(active.op.path()));
+                }
+            }
+        }
+        // Drop any parked references to this op.
+        if let Some(ino) = active.ino {
+            if let Some(v) = self.parked.get_mut(&ino) {
+                v.retain(|x| *x != id);
+            }
+        }
+        let kind = active.op.kind();
+        match &result {
+            Ok(_) => self.stats.completed += 1,
+            Err(_) => self.stats.failed += 1,
+        }
+        let err = result.as_ref().err().copied();
+        self.log_result(id, &result);
+        self.emit(ClientEvent::OpCompleted { op: id, kind, ok: result.is_ok(), err }, ctx);
+        if active.from_gen {
+            // Note: gen_op_queued tracks the *queued* (timer-armed) op,
+            // which is not this one; only ask for more work.
+            self.maybe_next_gen_op(ctx);
+        }
+    }
+
+    fn on_san_resp(&mut self, san: SanMsg, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        match san {
+            SanMsg::ReadResp { req_id, result } => {
+                let Some(SanOp::OpRead { op, ino, idx, epoch }) = self.pending_san.remove(&req_id)
+                else {
+                    return;
+                };
+                // The lock this read was issued under must still be the
+                // one we hold: a response that crossed a release/re-grant
+                // is a stale snapshot and must not enter the cache.
+                let still_valid = matches!(
+                    self.locks.get(&ino),
+                    Some(LockEntry::Held(info)) if info.epoch == epoch
+                );
+                if !still_valid {
+                    return self.complete_op(op, Err(FsErr::LeaseLost), ctx);
+                }
+                match result {
+                    Ok(ok) => {
+                        self.cache.fill(ino, idx, ok.data, ok.tag);
+                        let Some(a) = self.ops.get_mut(&op) else { return };
+                        if let OpState::SanReads { waiting, then_write } = &mut a.state {
+                            *waiting -= 1;
+                            if *waiting == 0 {
+                                let then_write = *then_write;
+                                if then_write {
+                                    self.apply_write(op, ino, ctx);
+                                } else {
+                                    self.finish_read(op, ino, ctx);
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if e == tank_proto::SanError::Fenced {
+                            self.stats.fenced_io += 1;
+                        }
+                        self.complete_op(op, Err(FsErr::LeaseLost), ctx);
+                    }
+                }
+            }
+            SanMsg::WriteResp { req_id, result } => {
+                let Some(SanOp::FlushWrite { campaign, ino, idx, tag }) =
+                    self.pending_san.remove(&req_id)
+                else {
+                    return;
+                };
+                match result {
+                    Ok(()) => {
+                        self.cache.mark_clean(ino, idx, tag);
+                        self.stats.flushed_blocks += 1;
+                    }
+                    Err(e) => {
+                        if e == tank_proto::SanError::Fenced {
+                            self.stats.fenced_io += 1;
+                        }
+                        // The block stays dirty; a later flush may retry.
+                    }
+                }
+                let done = {
+                    let Some(c) = self.flushes.get_mut(&campaign) else { return };
+                    c.in_flight -= 1;
+                    c.remaining -= 1;
+                    c.remaining == 0
+                };
+                if done {
+                    let c = self.flushes.remove(&campaign).unwrap();
+                    self.flush_done(c.ino, c.after, ctx);
+                } else {
+                    self.issue_flush_writes(campaign, ctx);
+                }
+            }
+            other => {
+                debug_assert!(false, "client got unexpected SAN message {other:?}");
+            }
+        }
+    }
+}
+
+/// Map server-side file-system errors to the local API.
+fn map_fs_error(e: FsError) -> FsErr {
+    match e {
+        FsError::NotFound => FsErr::NotFound,
+        FsError::Exists => FsErr::Exists,
+        FsError::NoSpace => FsErr::NoSpace,
+        FsError::NotLocked | FsError::Invalid => FsErr::Invalid,
+        FsError::Unavailable => FsErr::Unavailable,
+    }
+}
+
+/// Canonical form of a path (strip duplicate slashes) used as the name
+/// cache key.
+fn canonical(path: &str) -> String {
+    let mut s = String::with_capacity(path.len() + 1);
+    for part in path.split('/').filter(|p| !p.is_empty()) {
+        s.push('/');
+        s.push_str(part);
+    }
+    if s.is_empty() {
+        s.push('/');
+    }
+    s
+}
+
+fn op_path(op: &FsOp) -> String {
+    canonical(op.path())
+}
+
+fn op_path_of(op: &FsOp) -> String {
+    canonical(op.path())
+}
+
+fn last_component(path: &str) -> String {
+    path.split('/').rfind(|p| !p.is_empty()).unwrap_or("").to_owned()
+}
+
+impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.id = ctx.node();
+        // Arm scripted ops. Script times are *delays from client start*
+        // measured on the client's own clock (clocks are not offset-
+        // synchronized, so absolute local times would be meaningless).
+        let steps: Vec<(LocalNs, FsOp)> = self.script.steps.clone();
+        for (i, (delay, _)) in steps.iter().enumerate() {
+            let token = self.timers.insert(ClientTimer::ScriptOp(i));
+            ctx.set_timer(*delay, token);
+        }
+        self.send_hello(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, _net: NetId, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        match msg {
+            NetMsg::Ctl(CtlMsg::Response(resp)) => self.on_response(resp, ctx),
+            NetMsg::Ctl(CtlMsg::Push(push)) => self.on_push(push, ctx),
+            NetMsg::San(san) => self.on_san_resp(san, ctx),
+            NetMsg::Ctl(CtlMsg::Request(_)) => {
+                debug_assert!(false, "client got a request");
+            }
+        }
+        self.pump_lease(ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(t) = self.timers.take(token) else { return };
+        match t {
+            ClientTimer::LeasePoll => {
+                self.next_poll_at = None;
+                self.pump_lease(ctx);
+            }
+            ClientTimer::ReqRetry(seq) => {
+                if self.pending.contains_key(&seq) {
+                    self.retransmit(seq, ctx);
+                }
+            }
+            ClientTimer::HelloRetry => {
+                if self.session.is_none() {
+                    self.send_hello(ctx);
+                }
+            }
+            ClientTimer::PeriodicFlush => {
+                if self.session.is_some() {
+                    for ino in self.cache.dirty_inos() {
+                        // Skip files already being flushed.
+                        if !self.flushes.values().any(|c| c.ino == ino) {
+                            self.start_flush(ino, AfterFlush::Nothing, ctx);
+                        }
+                    }
+                    let token = self.timers.insert(ClientTimer::PeriodicFlush);
+                    ctx.set_timer(self.cfg.flush_interval, token);
+                }
+            }
+            ClientTimer::NextOp => {
+                if let Some(op) = self.queued_gen_op.take() {
+                    self.gen_op_queued = false;
+                    self.submit(op, true, ctx);
+                    // With spare concurrency, line up the next op now.
+                    self.maybe_next_gen_op(ctx);
+                } else {
+                    self.gen_op_queued = false;
+                }
+            }
+            ClientTimer::ScriptOp(i) => {
+                let op = self.script.steps[i].1.clone();
+                self.submit(op, false, ctx);
+            }
+        }
+        self.pump_lease(ctx);
+    }
+
+    fn on_crash(&mut self) {}
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        // Volatile state is gone: caches, locks, lease, session, pending
+        // everything. (The workload generator and script also restart from
+        // wherever they were — local processes died with the machine.)
+        self.lease = ClientLease::new(self.cfg.lease);
+        self.session = None;
+        self.serving = false;
+        self.next_seq += 1_000_000; // fresh seq space for the new life
+        self.pending.clear();
+        self.hello_inflight = false;
+        self.seen_pushes.clear();
+        let held: Vec<Ino> = self.locks.keys().copied().collect();
+        for ino in held {
+            self.bump_gen(ino);
+        }
+        self.locks.clear();
+        self.name_cache.clear();
+        self.parked.clear();
+        self.deferred_demands.clear();
+        self.cache.invalidate_all();
+        self.ops.clear();
+        self.pending_san.clear();
+        self.flushes.clear();
+        self.gen_op_queued = false;
+        self.queued_gen_op = None;
+        self.next_poll_at = None;
+        self.send_hello(ctx);
+    }
+}

@@ -1,0 +1,106 @@
+//! Model-based property test of the write-back cache.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tank_client::BlockCache;
+use tank_proto::{Epoch, Ino, NodeId, WriteTag};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Whole-block dirty write.
+    Write { ino: u64, idx: u32, fill: u8 },
+    /// Clean fill from "disk" (must never clobber).
+    Fill { ino: u64, idx: u32, fill: u8 },
+    /// Flush completion for the block's current tag.
+    MarkCleanCurrent { ino: u64, idx: u32 },
+    /// Flush completion with a stale tag (must not clean).
+    MarkCleanStale { ino: u64, idx: u32 },
+    /// Drop one file.
+    InvalidateIno { ino: u64 },
+    /// Drop everything.
+    InvalidateAll,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..4, 0u32..6, any::<u8>()).prop_map(|(ino, idx, fill)| Op::Write { ino, idx, fill }),
+        (0u64..4, 0u32..6, any::<u8>()).prop_map(|(ino, idx, fill)| Op::Fill { ino, idx, fill }),
+        (0u64..4, 0u32..6).prop_map(|(ino, idx)| Op::MarkCleanCurrent { ino, idx }),
+        (0u64..4, 0u32..6).prop_map(|(ino, idx)| Op::MarkCleanStale { ino, idx }),
+        (0u64..4).prop_map(|ino| Op::InvalidateIno { ino }),
+        Just(Op::InvalidateAll),
+    ]
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ModelBlock {
+    data: Vec<u8>,
+    tag: WriteTag,
+    dirty: bool,
+}
+
+proptest! {
+    /// The cache agrees with a straightforward model under arbitrary op
+    /// interleavings: contents/tags/dirtiness match exactly, fills never
+    /// clobber, stale clean-marks never clean, and the dirty accounting is
+    /// exact.
+    #[test]
+    fn cache_matches_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        const BS: usize = 8;
+        let mut cache = BlockCache::new(BS);
+        let mut model: HashMap<(u64, u32), ModelBlock> = HashMap::new();
+        let mut wseq = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Write { ino, idx, fill } => {
+                    wseq += 1;
+                    let tag = WriteTag { writer: NodeId(1), epoch: Epoch(1), wseq };
+                    cache.write(Ino(ino), idx, 0, &[fill; BS], tag);
+                    model.insert((ino, idx), ModelBlock { data: vec![fill; BS], tag, dirty: true });
+                }
+                Op::Fill { ino, idx, fill } => {
+                    wseq += 1;
+                    let tag = WriteTag { writer: NodeId(9), epoch: Epoch(1), wseq };
+                    cache.fill(Ino(ino), idx, vec![fill; BS], tag);
+                    model.entry((ino, idx)).or_insert(ModelBlock {
+                        data: vec![fill; BS],
+                        tag,
+                        dirty: false,
+                    });
+                }
+                Op::MarkCleanCurrent { ino, idx } => {
+                    if let Some(b) = model.get_mut(&(ino, idx)) {
+                        cache.mark_clean(Ino(ino), idx, b.tag);
+                        b.dirty = false;
+                    }
+                }
+                Op::MarkCleanStale { ino, idx } => {
+                    let stale = WriteTag { writer: NodeId(1), epoch: Epoch(0), wseq: 0 };
+                    cache.mark_clean(Ino(ino), idx, stale);
+                    // Model: unchanged (tag can never match a live block's
+                    // tag because wseq starts at 1).
+                }
+                Op::InvalidateIno { ino } => {
+                    cache.invalidate_ino(Ino(ino));
+                    model.retain(|(i, _), _| *i != ino);
+                }
+                Op::InvalidateAll => {
+                    cache.invalidate_all();
+                    model.clear();
+                }
+            }
+
+            // Full-state comparison.
+            prop_assert_eq!(cache.len(), model.len());
+            let model_dirty = model.values().filter(|b| b.dirty).count();
+            prop_assert_eq!(cache.dirty_count(), model_dirty);
+            for ((ino, idx), mb) in &model {
+                let cb = cache.get(Ino(*ino), *idx).expect("model block present");
+                prop_assert_eq!(&cb.data, &mb.data);
+                prop_assert_eq!(cb.tag, mb.tag);
+                prop_assert_eq!(cb.dirty, mb.dirty);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! E11 — §6: fencing against slow computers.
+//!
+//! "One of the assumptions in the lease-based safety protocol is that
+//! clocks are rate synchronized, which implies that computers do not
+//! exhibit partial failure by executing commands slowly. ... At the same
+//! time the server times-out a client's locks, it constructs a fence ...
+//! The fence prevents late commands, from a slow computer, from accessing
+//! the disk after locks are stolen."
+//!
+//! Sweep the slow client's outbound delay: once its flush writes arrive
+//! after the steal (~4.3s here), only the fence keeps the disk history
+//! monotone.
+
+use tank_client::fs::Script;
+use tank_client::FsOp;
+use tank_cluster::table::Table;
+use tank_cluster::{Cluster, ClusterConfig};
+use tank_core::LeaseConfig;
+use tank_server::RecoveryPolicy;
+use tank_sim::{LocalNs, SimTime};
+
+const BS: usize = 512;
+
+fn run(policy: RecoveryPolicy, delay_ms: u64, seed: u64) -> (u64, usize, usize) {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = 2;
+    cfg.files = 1;
+    cfg.block_size = BS;
+    cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(2));
+    cfg.lease.epsilon = 0.01;
+    cfg.policy = policy;
+    let mut cluster = Cluster::build(cfg, seed);
+    let ms = LocalNs::from_millis;
+    cluster.attach_script(
+        0,
+        Script::new().at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xAA; BS] }),
+    );
+    cluster.attach_script(
+        1,
+        Script::new().at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xBB; BS] }),
+    );
+    cluster.slow_client(0, SimTime::from_millis(600), delay_ms * 1_000_000, None);
+    cluster.run_until(SimTime::from_secs(25));
+    let r = cluster.finish();
+    (
+        r.check.fence_rejections,
+        r.check.write_order_violations.len(),
+        r.check.lost_updates.len(),
+    )
+}
+
+fn main() {
+    println!("E11 — §6 slow computer: outbound delay sweep (τ=2s ⇒ steal ≈ 4.3s)");
+    let mut t = Table::new(&[
+        "outbound delay (ms)",
+        "policy",
+        "fence rejections",
+        "order violations",
+        "lost updates",
+    ]);
+    for delay in [0u64, 500, 2_000, 8_000] {
+        for policy in [RecoveryPolicy::LeaseFence, RecoveryPolicy::StealImmediately] {
+            let (rej, order, lost) = run(policy, delay, 77);
+            t.row(vec![
+                delay.to_string(),
+                format!("{policy:?}"),
+                rej.to_string(),
+                order.to_string(),
+                lost.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+    println!("shape: below the steal horizon both policies are clean; past it, only the");
+    println!("fence keeps late commands off the disk (rejections instead of violations).");
+    println!("the fenced slow computer's own write is sacrificed (lost update) — §6:");
+    println!("\"while fencing cannot guarantee data consistency, it can prevent");
+    println!("unsynchronized conflicting accesses that the lease-based protocol does");
+    println!("not detect.\"");
+}

@@ -1,0 +1,110 @@
+//! E8 — §3.2/§6: choosing τ.
+//!
+//! τ trades recovery speed against maintenance cost and flush headroom:
+//!
+//! * contested-file unavailability after a failure ≈ detection + τ(1+ε)
+//!   (grows linearly with τ);
+//! * idle-client keep-alive traffic ∝ 1/τ;
+//! * phase-4 length ∝ τ — small τ risks stranding dirty data.
+//!
+//! The sweep reports all three per τ, from the full stack.
+
+use tank_baselines::{run_lease_layer, LayerParams, Scheme};
+use tank_client::fs::Script;
+use tank_client::FsOp;
+use tank_cluster::table::{f, Table};
+use tank_cluster::{Cluster, ClusterConfig};
+use tank_core::LeaseConfig;
+use tank_server::RecoveryPolicy;
+use tank_sim::{LocalNs, NetParams, SimTime};
+
+const BS: usize = 512;
+
+/// Unavailability of a contested file after the holder is isolated.
+fn unavailability_s(tau: LocalNs, seed: u64) -> Option<f64> {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = 2;
+    cfg.files = 1;
+    cfg.block_size = BS;
+    cfg.lease = LeaseConfig::with_tau(tau);
+    cfg.lease.epsilon = 0.01;
+    cfg.policy = RecoveryPolicy::LeaseFence;
+    let mut cluster = Cluster::build(cfg, seed);
+    let ms = LocalNs::from_millis;
+    let c0 = Script::new()
+        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![1; BS] });
+    let c1 = Script::new()
+        .at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![2; BS] });
+    cluster.attach_script(0, c0);
+    cluster.attach_script(1, c1);
+    cluster.isolate_control(0, SimTime::from_millis(1_000), None);
+    cluster.run_until(SimTime::from_secs(5).after(tau.0 * 4));
+    let report = cluster.finish();
+    let c1id = cluster.clients[1];
+    report
+        .check
+        .unavailability
+        .iter()
+        .find(|w| w.client == c1id)
+        .and_then(|w| w.until.map(|u| (u.0 - w.from.0) as f64 / 1e9))
+}
+
+/// Dirty blocks stranded when a client with `dirty` blocks is isolated
+/// (phase 4 = 15% of τ; SAN 2ms/block, queue depth 4).
+fn stranded(tau: LocalNs, dirty: u32, seed: u64) -> u64 {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = 1;
+    cfg.files = 1;
+    cfg.file_blocks = dirty;
+    cfg.block_size = 4096;
+    cfg.lease = LeaseConfig::with_tau(tau);
+    cfg.policy = RecoveryPolicy::LeaseFence;
+    cfg.san_net = NetParams { latency_ns: 2_000_000, jitter_ns: 200_000, drop_prob: 0.0, dup_prob: 0.0 };
+    cfg.flush_interval = LocalNs(0);
+    cfg.flush_window = 4;
+    let mut cluster = Cluster::build(cfg, seed);
+    let mut script = Script::new();
+    for b in 0..dirty {
+        script = script.at(
+            LocalNs::from_millis(500 + b as u64 / 4),
+            FsOp::Write { path: "/f0".into(), offset: b as u64 * 4096, data: vec![b as u8; 4096] },
+        );
+    }
+    cluster.attach_script(0, script);
+    cluster.isolate_control(0, SimTime::from_millis(1_600), None);
+    cluster.run_until(SimTime::from_secs(4).after(tau.0 * 3));
+    cluster.finish().check.dirty_discarded
+}
+
+fn main() {
+    println!("E8 — τ sweep (ε=0.01; unavailability from holder isolation; 256 dirty blocks)");
+    let mut t = Table::new(&[
+        "tau (s)",
+        "unavailability (s)",
+        "idle keep-alives /min/client",
+        "stranded dirty of 256",
+    ]);
+    for tau_s in [1u64, 2, 5, 10, 30] {
+        let tau = LocalNs::from_secs(tau_s);
+        let unavail = unavailability_s(tau, 11).map(f).unwrap_or_else(|| "∞".into());
+        // Idle keep-alive rate from the lease layer (per client per min).
+        let layer = run_lease_layer(
+            Scheme::Tank,
+            LayerParams {
+                clients: 4,
+                objects_per_client: 16,
+                op_period: None,
+                tau,
+                duration: SimTime::from_secs(120),
+                seed: 3,
+            },
+        );
+        let ka_rate = layer.maintenance_msgs as f64 / 4.0 / 2.0; // per client per minute
+        let lost = stranded(tau, 256, 5);
+        t.row(vec![tau_s.to_string(), unavail, f(ka_rate), lost.to_string()]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("shape: unavailability ≈ detect + τ(1+ε) (linear in τ); keep-alive cost ∝ 1/τ;");
+    println!("stranding falls to zero once phase 4 (15% of τ) covers the dirty cache.");
+}

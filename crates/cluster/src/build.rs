@@ -1,0 +1,412 @@
+//! Cluster configuration and construction.
+#![allow(clippy::field_reassign_with_default)]
+
+use rand::RngExt;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use tank_client::fs::Script;
+use tank_client::{ClientConfig, ClientNode, OpGen};
+use tank_consistency::{CheckOptions, Checker, Event};
+use tank_core::{legal_rate_range, LeaseConfig};
+use tank_proto::{NetMsg, NodeId};
+use tank_server::{DataPath, RecoveryPolicy, ServerConfig, ServerNode};
+use tank_sim::world::Control;
+use tank_sim::{ClockSpec, LocalNs, NetId, NetParams, SimTime, World, WorldConfig};
+use tank_storage::{DiskConfig, DiskNode};
+
+use crate::events::{map_client, map_disk, map_server};
+use crate::report::RunReport;
+
+/// Whole-cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of client nodes.
+    pub clients: usize,
+    /// Number of SAN disks.
+    pub disks: usize,
+    /// Files pre-created as `/f0 … /f{n-1}`.
+    pub files: usize,
+    /// Blocks pre-allocated per file.
+    pub file_blocks: u32,
+    /// Block size in bytes (whole cluster).
+    pub block_size: usize,
+    /// Total shared blocks on the store.
+    pub total_blocks: u64,
+    /// Lease contract.
+    pub lease: LeaseConfig,
+    /// Server recovery policy.
+    pub policy: RecoveryPolicy,
+    /// Data path (direct SAN vs function shipping).
+    pub data_path: DataPath,
+    /// Control network characteristics.
+    pub ctl_net: NetParams,
+    /// SAN characteristics.
+    pub san_net: NetParams,
+    /// Draw per-node clock rates uniformly from the legal range for
+    /// `lease.epsilon` (false = ideal clocks everywhere).
+    pub skew_clocks: bool,
+    /// Whether clients run the lease protocol (disable to model the
+    /// baseline clients of steal/fence-based systems).
+    pub client_lease_enabled: bool,
+    /// §3.3 NACK optimization at the server (disable for the E4 strawman).
+    pub nack_suspect: bool,
+    /// Concurrent closed-loop operations per client (local processes).
+    pub gen_concurrency: usize,
+    /// Client periodic write-back interval (0 disables).
+    pub flush_interval: LocalNs,
+    /// Client flush queue depth (concurrent SAN writes per campaign).
+    pub flush_window: usize,
+    /// Record a human-readable trace.
+    pub record_trace: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            clients: 2,
+            disks: 2,
+            files: 4,
+            file_blocks: 4,
+            block_size: 4096,
+            total_blocks: 1 << 16,
+            lease: LeaseConfig::default(),
+            policy: RecoveryPolicy::LeaseFence,
+            data_path: DataPath::DirectSan,
+            ctl_net: NetParams::default(),
+            san_net: NetParams { latency_ns: 50_000, jitter_ns: 20_000, drop_prob: 0.0, dup_prob: 0.0 },
+            skew_clocks: true,
+            client_lease_enabled: true,
+            nack_suspect: true,
+            gen_concurrency: 1,
+            flush_interval: LocalNs::from_secs(2),
+            flush_window: 16,
+            record_trace: false,
+        }
+    }
+}
+
+/// Role of a node in the standard cluster topology, used when callers
+/// pin clocks explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// The i-th disk.
+    Disk(usize),
+    /// The metadata server.
+    Server,
+    /// The i-th client.
+    Client(usize),
+}
+
+/// A built cluster: the world plus the id map.
+pub struct Cluster {
+    /// The simulated world (exposed for advanced scenarios).
+    pub world: World<NetMsg, Event>,
+    /// Disk node ids.
+    pub disks: Vec<NodeId>,
+    /// The server node id.
+    pub server: NodeId,
+    /// Client node ids, index-aligned with the config.
+    pub clients: Vec<NodeId>,
+    cfg: ClusterConfig,
+    seed: u64,
+    crashes: Vec<(NodeId, SimTime)>,
+}
+
+impl Cluster {
+    /// Build a cluster per `cfg`, deterministically from `seed`. Client
+    /// and server clocks are drawn from the legal rate range when
+    /// `cfg.skew_clocks` is set.
+    pub fn build(cfg: ClusterConfig, seed: u64) -> Cluster {
+        let mut clock_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC10C_C10C);
+        let (lo, hi) = legal_rate_range(cfg.lease.epsilon);
+        let skew = cfg.skew_clocks;
+        Self::build_with_clocks(cfg, seed, &mut |role| match role {
+            NodeRole::Disk(_) => ClockSpec::ideal(),
+            NodeRole::Server | NodeRole::Client(_) => {
+                if skew {
+                    ClockSpec {
+                        rate: clock_rng.random_range(lo..=hi),
+                        offset_ns: clock_rng.random_range(0..1_000_000_000),
+                    }
+                } else {
+                    ClockSpec::ideal()
+                }
+            }
+        })
+    }
+
+    /// Build with caller-pinned clocks (adversarial timing experiments).
+    pub fn build_with_clocks(
+        cfg: ClusterConfig,
+        seed: u64,
+        clock_of: &mut dyn FnMut(NodeRole) -> ClockSpec,
+    ) -> Cluster {
+        assert!(cfg.clients >= 1 && cfg.disks >= 1);
+        cfg.lease.validate().expect("lease config");
+        let mut world: World<NetMsg, Event> =
+            World::new(WorldConfig { seed, record_trace: cfg.record_trace });
+        world.add_network(NetId::CONTROL, cfg.ctl_net);
+        world.add_network(NetId::SAN, cfg.san_net);
+
+        let mut disks = Vec::new();
+        for i in 0..cfg.disks {
+            let node = DiskNode::new(
+                DiskConfig { blocks: cfg.total_blocks, block_size: cfg.block_size },
+                Box::new(map_disk),
+            );
+            disks.push(world.add_node(Box::new(node), clock_of(NodeRole::Disk(i))));
+        }
+
+        let mut scfg = ServerConfig::default();
+        scfg.lease = cfg.lease;
+        scfg.policy = cfg.policy;
+        scfg.data_path = cfg.data_path;
+        scfg.nack_suspect = cfg.nack_suspect;
+        scfg.disks = disks.clone();
+        let server_node: ServerNode<Event> = ServerNode::new(
+            scfg,
+            cfg.total_blocks,
+            cfg.block_size,
+            Box::new(map_server),
+        );
+        let server = world.add_node(Box::new(server_node), clock_of(NodeRole::Server));
+
+        let mut clients = Vec::new();
+        for i in 0..cfg.clients {
+            let mut ccfg = ClientConfig::new(server, disks.clone());
+            ccfg.lease = cfg.lease;
+            ccfg.block_size = cfg.block_size;
+            ccfg.lease_enabled = cfg.client_lease_enabled;
+            ccfg.gen_concurrency = cfg.gen_concurrency;
+            ccfg.flush_interval = cfg.flush_interval;
+            ccfg.flush_window = cfg.flush_window;
+            ccfg.function_ship = matches!(cfg.data_path, DataPath::FunctionShip);
+            let node: ClientNode<Event> = ClientNode::new(ccfg, Box::new(map_client));
+            clients.push(world.add_node(Box::new(node), clock_of(NodeRole::Client(i))));
+        }
+
+        // Pre-create the shared files.
+        {
+            let srv = world
+                .node_mut::<ServerNode<Event>>(server)
+                .expect("server downcast");
+            for i in 0..cfg.files {
+                srv.precreate_file(&format!("f{i}"), cfg.file_blocks);
+            }
+        }
+
+        Cluster { world, disks, server, clients, cfg, seed, crashes: Vec::new() }
+    }
+
+    /// The configuration this cluster was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Attach a closed-loop workload to client `idx`.
+    pub fn attach_workload(&mut self, idx: usize, gen: Box<dyn OpGen>) {
+        let id = self.clients[idx];
+        self.world
+            .node_mut::<ClientNode<Event>>(id)
+            .expect("client downcast")
+            .set_workload(gen);
+    }
+
+    /// Attach a fixed script to client `idx`.
+    pub fn attach_script(&mut self, idx: usize, script: Script) {
+        let id = self.clients[idx];
+        self.world
+            .node_mut::<ClientNode<Event>>(id)
+            .expect("client downcast")
+            .set_script(script);
+    }
+
+    /// Sever client `idx` from the server on the **control network only**
+    /// (both directions) at `at`, healing at `heal` if given — Figure 2's
+    /// scenario: the SAN stays reachable.
+    pub fn isolate_control(&mut self, idx: usize, at: SimTime, heal: Option<SimTime>) {
+        let c = self.clients[idx];
+        let s = self.server;
+        self.world
+            .schedule_control(at, Control::BlockPair { net: NetId::CONTROL, a: c, b: s });
+        if let Some(h) = heal {
+            self.world
+                .schedule_control(h, Control::UnblockPair { net: NetId::CONTROL, a: c, b: s });
+        }
+    }
+
+    /// Sever client `idx` from every disk on the SAN (both directions) —
+    /// the dual failure, where metadata flows but data cannot.
+    pub fn isolate_san(&mut self, idx: usize, at: SimTime, heal: Option<SimTime>) {
+        let c = self.clients[idx];
+        for &d in &self.disks {
+            self.world
+                .schedule_control(at, Control::BlockPair { net: NetId::SAN, a: c, b: d });
+            if let Some(h) = heal {
+                self.world
+                    .schedule_control(h, Control::UnblockPair { net: NetId::SAN, a: c, b: d });
+            }
+        }
+    }
+
+    /// Block only the direction client→server (asymmetric partition: the
+    /// client hears the server but cannot reach it).
+    pub fn isolate_control_outbound(&mut self, idx: usize, at: SimTime, heal: Option<SimTime>) {
+        let c = self.clients[idx];
+        let s = self.server;
+        self.world
+            .schedule_control(at, Control::BlockDirected { net: NetId::CONTROL, src: c, dst: s });
+        if let Some(h) = heal {
+            self.world.schedule_control(
+                h,
+                Control::UnblockDirected { net: NetId::CONTROL, src: c, dst: s },
+            );
+        }
+    }
+
+    /// Make client `idx` a §6 "slow computer" from `at`: every datagram it
+    /// sends (on both networks) is delayed an extra `extra_ns`. Its
+    /// commands — including SAN writes — arrive late, which is exactly the
+    /// failure mode fencing exists to stop. `until` restores full speed.
+    pub fn slow_client(&mut self, idx: usize, at: SimTime, extra_ns: u64, until: Option<SimTime>) {
+        let c = self.clients[idx];
+        self.world
+            .schedule_control(at, Control::SetNodeOutboundDelay { node: c, extra_ns });
+        if let Some(u) = until {
+            self.world
+                .schedule_control(u, Control::SetNodeOutboundDelay { node: c, extra_ns: 0 });
+        }
+    }
+
+    /// Fail-stop client `idx` at `at`, optionally restarting it.
+    pub fn crash_client(&mut self, idx: usize, at: SimTime, restart: Option<SimTime>) {
+        let c = self.clients[idx];
+        self.world.schedule_control(at, Control::Crash { node: c });
+        self.crashes.push((c, at));
+        if let Some(r) = restart {
+            self.world.schedule_control(r, Control::Restart { node: c });
+        }
+    }
+
+    /// Run the world to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Let in-flight work settle: a few lease periods and flush intervals
+    /// past the given instant, so write-back data reaches disk before the
+    /// checker rules on it.
+    pub fn settle(&mut self) {
+        let tau_true = self.cfg.lease.tau.0 * 2 + 5_000_000_000;
+        let t = self.world.now().after(tau_true);
+        self.world.run_until(t);
+    }
+
+    /// Harvest the report (does not consume the cluster: call once at the
+    /// end; calling mid-run reports the prefix).
+    pub fn finish(&mut self) -> RunReport {
+        let observations = self.world.observations().to_vec();
+        // Write-back grace: a couple of flush intervals plus slack —
+        // younger dirty data at run end is normal, not stranded.
+        let grace_ns = 2 * 2_000_000_000 + 1_000_000_000;
+        let checker = Checker::new(CheckOptions {
+            crashes: self.crashes.clone(),
+            end: self.world.now(),
+            grace_ns,
+        });
+        let check = checker.run(&observations);
+        RunReport::assemble(self, check)
+    }
+
+    /// A client node (downcast), for scenario-specific inspection.
+    pub fn client(&self, idx: usize) -> &ClientNode<Event> {
+        self.world
+            .node_ref::<ClientNode<Event>>(self.clients[idx])
+            .expect("client downcast")
+    }
+
+    /// The server node (downcast).
+    pub fn server_node(&self) -> &ServerNode<Event> {
+        self.world
+            .node_ref::<ServerNode<Event>>(self.server)
+            .expect("server downcast")
+    }
+
+    /// A disk node (downcast).
+    pub fn disk(&self, idx: usize) -> &DiskNode<Event> {
+        self.world
+            .node_ref::<DiskNode<Event>>(self.disks[idx])
+            .expect("disk downcast")
+    }
+
+    /// The build seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Crash times recorded so far (exposed for custom checking).
+    pub fn crash_times(&self) -> &[(NodeId, SimTime)] {
+        &self.crashes
+    }
+
+    /// Convert a server-relative local duration to true ns (for scheduling
+    /// harness actions in terms of lease periods).
+    pub fn server_local_to_true(&self, d: LocalNs) -> u64 {
+        self.world.clock(self.server).local_delta_to_true(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::UniformGen;
+
+    #[test]
+    fn build_and_run_a_quiet_cluster() {
+        let cfg = ClusterConfig::default();
+        let mut c = Cluster::build(cfg, 7);
+        c.run_until(SimTime::from_secs(3));
+        let report = c.finish();
+        assert!(report.check.safe());
+        // Idle clients stay alive purely via keep-alives; the authority
+        // never arms a timer.
+        assert_eq!(report.authority.timers_started, 0);
+        assert_eq!(report.authority_memory_bytes, 0);
+    }
+
+    #[test]
+    fn workload_cluster_is_safe_and_does_work() {
+        let mut cfg = ClusterConfig::default();
+        cfg.clients = 3;
+        cfg.files = 6;
+        let mut c = Cluster::build(cfg, 11);
+        for i in 0..3 {
+            c.attach_workload(i, Box::new(UniformGen::default_for(6)));
+        }
+        c.run_until(SimTime::from_secs(20));
+        c.settle();
+        let report = c.finish();
+        assert!(report.check.safe(), "violations: {:?}", report.check);
+        assert!(report.check.ops_ok > 50, "ops flowed: {}", report.check.ops_ok);
+        assert!(report.check.reads_checked > 0);
+        assert!(report.check.writes_acked > 0);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let run = |seed| {
+            let mut cfg = ClusterConfig::default();
+            cfg.clients = 2;
+            let mut c = Cluster::build(cfg, seed);
+            for i in 0..2 {
+                c.attach_workload(i, Box::new(UniformGen::default_for(4)));
+            }
+            c.run_until(SimTime::from_secs(5));
+            let r = c.finish();
+            (r.check.ops_ok, r.msg.ctl_sent, r.msg.san_sent)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

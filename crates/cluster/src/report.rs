@@ -1,0 +1,174 @@
+//! Run reports: everything an experiment needs to print its table.
+
+use serde::Serialize;
+use tank_client::ClientStats;
+use tank_consistency::CheckReport;
+use tank_core::AuthorityStats;
+use tank_server::ServerStats;
+use tank_sim::{NetId, SimTime};
+
+use crate::build::Cluster;
+
+/// Message-traffic summary.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MsgSummary {
+    /// Control-network datagrams sent.
+    pub ctl_sent: u64,
+    /// Control-network datagrams delivered.
+    pub ctl_delivered: u64,
+    /// Control-network bytes sent.
+    pub ctl_bytes: u64,
+    /// SAN datagrams sent.
+    pub san_sent: u64,
+    /// SAN bytes sent.
+    pub san_bytes: u64,
+    /// Dedicated lease messages (keep-alive requests).
+    pub keepalives: u64,
+    /// Protocol NACK responses.
+    pub nacks: u64,
+    /// Lock-demand pushes.
+    pub demands: u64,
+    /// Per-kind sent counts on the control network, sorted by kind.
+    pub per_kind_ctl: Vec<(String, u64)>,
+}
+
+/// Full report of one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// The seed the run was built from.
+    pub seed: u64,
+    /// Virtual end time.
+    pub end: SimTime,
+    /// Traffic summary.
+    pub msg: MsgSummary,
+    /// Server operation counters.
+    pub server: ServerStats,
+    /// Lease-authority accounting (the "passive server" evidence).
+    pub authority: AuthorityStats,
+    /// Authority lease-state bytes held at harvest (0 in normal operation).
+    pub authority_memory_bytes: usize,
+    /// Metadata transactions executed.
+    pub meta_transactions: u64,
+    /// Per-client counters.
+    pub clients: Vec<ClientStats>,
+    /// Safety/liveness audit.
+    pub check: CheckReport,
+}
+
+impl RunReport {
+    /// Assemble from a finished cluster.
+    pub fn assemble(cluster: &Cluster, check: CheckReport) -> RunReport {
+        let stats = cluster.world.stats();
+        let mut per_kind_ctl = Vec::new();
+        for (kind, net, c) in stats.iter() {
+            if net == NetId::CONTROL && c.sent > 0 {
+                per_kind_ctl.push((kind.to_owned(), c.sent));
+            }
+        }
+        let msg = MsgSummary {
+            ctl_sent: stats.sent_on(NetId::CONTROL),
+            ctl_delivered: stats.delivered_on(NetId::CONTROL),
+            ctl_bytes: stats.bytes_on(NetId::CONTROL),
+            san_sent: stats.sent_on(NetId::SAN),
+            san_bytes: stats.bytes_on(NetId::SAN),
+            keepalives: stats.sent_kind("keep_alive", NetId::CONTROL),
+            nacks: stats.sent_kind("nack", NetId::CONTROL),
+            demands: stats.sent_kind("demand", NetId::CONTROL),
+            per_kind_ctl,
+        };
+        let server = cluster.server_node();
+        RunReport {
+            seed: cluster.seed(),
+            end: cluster.world.now(),
+            msg,
+            server: server.stats(),
+            authority: server.authority().stats(),
+            authority_memory_bytes: server.authority().memory_bytes(),
+            meta_transactions: server.meta().transactions(),
+            clients: (0..cluster.clients.len()).map(|i| cluster.client(i).stats()).collect(),
+            check,
+        }
+    }
+
+    /// Aggregate client counters.
+    pub fn client_totals(&self) -> ClientStats {
+        let mut t = ClientStats::default();
+        for c in &self.clients {
+            t.submitted += c.submitted;
+            t.completed += c.completed;
+            t.denied += c.denied;
+            t.failed += c.failed;
+            t.cache_hits += c.cache_hits;
+            t.cache_misses += c.cache_misses;
+            t.flushed_blocks += c.flushed_blocks;
+            t.fenced_io += c.fenced_io;
+            t.retransmits += c.retransmits;
+        }
+        t
+    }
+
+    /// JSON form (for EXPERIMENTS.md regeneration).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "run seed={} end={}", self.seed, self.end)?;
+        writeln!(
+            f,
+            "  ctl: {} msgs ({} B, {} keep-alive, {} nack, {} demand)  san: {} msgs ({} B)",
+            self.msg.ctl_sent,
+            self.msg.ctl_bytes,
+            self.msg.keepalives,
+            self.msg.nacks,
+            self.msg.demands,
+            self.msg.san_sent,
+            self.msg.san_bytes
+        )?;
+        writeln!(
+            f,
+            "  server: {} reqs, {} meta txns, {} pushes, {} delivery errors, {} steals ({} locks), {} fences",
+            self.server.requests,
+            self.meta_transactions,
+            self.server.pushes_sent,
+            self.server.delivery_errors,
+            self.server.steals,
+            self.server.locks_stolen,
+            self.server.fences_completed
+        )?;
+        writeln!(
+            f,
+            "  authority: {} empty-checks, {} tracked-checks, {} timers, {} expirations, mem {} B (peak {} clients)",
+            self.authority.empty_checks,
+            self.authority.tracked_checks,
+            self.authority.timers_started,
+            self.authority.expirations,
+            self.authority_memory_bytes,
+            self.authority.peak_tracked
+        )?;
+        let t = self.client_totals();
+        writeln!(
+            f,
+            "  clients: {} ops ok, {} denied, {} failed; cache {}/{} hit/miss; {} flushed; {} fenced-IO",
+            self.check.ops_ok,
+            self.check.ops_denied,
+            self.check.ops_failed,
+            t.cache_hits,
+            t.cache_misses,
+            t.flushed_blocks,
+            t.fenced_io
+        )?;
+        writeln!(
+            f,
+            "  safety: {} lost updates, {} stale reads, {} order violations, {} fence rejections → {}",
+            self.check.lost_updates.len(),
+            self.check.stale_reads.len(),
+            self.check.write_order_violations.len(),
+            self.check.fence_rejections,
+            if self.check.safe() { "SAFE" } else { "VIOLATED" }
+        )?;
+        Ok(())
+    }
+}

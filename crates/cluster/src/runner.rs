@@ -1,0 +1,121 @@
+//! Parallel seed sweeps.
+//!
+//! Experiments repeat runs over seeds to report means; each run is an
+//! independent single-threaded world, so seeds parallelize perfectly
+//! across OS threads via `crossbeam::scope`.
+
+use crossbeam::thread;
+
+use crate::report::RunReport;
+
+/// Aggregate over a seed sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SeedSummary {
+    /// Individual reports, in seed order.
+    pub runs: Vec<RunReport>,
+}
+
+impl SeedSummary {
+    /// Mean of a per-run metric.
+    pub fn mean(&self, f: impl Fn(&RunReport) -> f64) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(&f).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Max of a per-run metric.
+    pub fn max(&self, f: impl Fn(&RunReport) -> f64) -> f64 {
+        self.runs.iter().map(&f).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum across runs.
+    pub fn total(&self, f: impl Fn(&RunReport) -> u64) -> u64 {
+        self.runs.iter().map(&f).sum()
+    }
+
+    /// True when every run's audit passed.
+    pub fn all_safe(&self) -> bool {
+        self.runs.iter().all(|r| r.check.safe())
+    }
+}
+
+/// Run `seeds` runs of `build_and_run` in parallel (bounded by available
+/// parallelism) and collect the reports in seed order.
+pub fn run_seeds(
+    seeds: &[u64],
+    build_and_run: impl Fn(u64) -> RunReport + Sync,
+) -> SeedSummary {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    let mut runs: Vec<Option<RunReport>> = Vec::new();
+    runs.resize_with(seeds.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<RunReport>>> =
+        runs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let report = build_and_run(seeds[i]);
+                *slots[i].lock().unwrap() = Some(report);
+            });
+        }
+    })
+    .expect("seed sweep worker panicked");
+
+    SeedSummary {
+        runs: slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every seed produced a report"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{Cluster, ClusterConfig};
+    use crate::workload::UniformGen;
+    use tank_sim::SimTime;
+
+    fn quick_run(seed: u64) -> RunReport {
+        let mut cfg = ClusterConfig::default();
+        cfg.clients = 2;
+        let mut c = Cluster::build(cfg, seed);
+        for i in 0..2 {
+            c.attach_workload(i, Box::new(UniformGen::default_for(4)));
+        }
+        c.run_until(SimTime::from_secs(3));
+        c.finish()
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let seeds = [1u64, 2, 3, 4, 5, 6];
+        let parallel = run_seeds(&seeds, quick_run);
+        assert_eq!(parallel.runs.len(), 6);
+        for (i, run) in parallel.runs.iter().enumerate() {
+            let solo = quick_run(seeds[i]);
+            assert_eq!(run.check.ops_ok, solo.check.ops_ok, "seed {} differs", seeds[i]);
+            assert_eq!(run.msg.ctl_sent, solo.msg.ctl_sent);
+        }
+        assert!(parallel.all_safe());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let seeds = [1u64, 2];
+        let s = run_seeds(&seeds, quick_run);
+        let mean = s.mean(|r| r.check.ops_ok as f64);
+        let max = s.max(|r| r.check.ops_ok as f64);
+        assert!(mean > 0.0 && max >= mean);
+        assert!(s.total(|r| r.check.ops_ok) > 0);
+    }
+}

@@ -1,0 +1,454 @@
+//! The offline checker.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use tank_proto::{BlockId, Ino, NodeId, WriteTag};
+use tank_sim::SimTime;
+
+use crate::event::Event;
+
+/// Checker configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// Fail-stop crash times per client. Writes acknowledged before a
+    /// crash are excused from the lost-update check: volatile state is
+    /// legitimately lost with the machine (§1.2). Harnesses that restart
+    /// clients record every crash instant.
+    pub crashes: Vec<(NodeId, SimTime)>,
+    /// Run end (defaults to the last event's timestamp if smaller).
+    pub end: SimTime,
+    /// Write-back grace: a final acked version younger than this at run
+    /// end is *allowed* to still be dirty (the periodic flush simply has
+    /// not come around yet) and is not counted as lost. Harnesses set
+    /// this to a couple of flush intervals; zero means strict.
+    pub grace_ns: u64,
+}
+
+/// A write acknowledged to a local process that never reached shared
+/// storage (§2.1's stranded dirty data).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LostUpdate {
+    /// The client whose process was told the write succeeded.
+    pub client: NodeId,
+    /// File and block.
+    pub ino: Ino,
+    /// Block index.
+    pub idx: u32,
+    /// The lost version.
+    pub tag: WriteTag,
+    /// When it was acknowledged.
+    pub acked_at: SimTime,
+}
+
+/// A read that returned a version older than one already hardened.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StaleRead {
+    /// The reading client.
+    pub client: NodeId,
+    /// File and block.
+    pub ino: Ino,
+    /// Block index.
+    pub idx: u32,
+    /// What the read returned.
+    pub served: WriteTag,
+    /// The newer version that was already on disk.
+    pub newest_hardened: WriteTag,
+    /// When the read was served.
+    pub at: SimTime,
+    /// Whether the stale data came from the local cache.
+    pub from_cache: bool,
+}
+
+/// A block's hardened history going backwards in epoch order — the late
+/// command fencing exists to stop, or concurrent unsynchronized writers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WriteOrderViolation {
+    /// The block.
+    pub block: BlockId,
+    /// The out-of-order (older) version that landed.
+    pub landed: WriteTag,
+    /// The newer version it overwrote.
+    pub over: WriteTag,
+    /// When.
+    pub at: SimTime,
+}
+
+/// A window during which a client's lock request sat blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct UnavailWindow {
+    /// The waiting client.
+    pub client: NodeId,
+    /// The contested file.
+    pub ino: Ino,
+    /// When the request was queued.
+    pub from: SimTime,
+    /// When it was granted (`None`: never, within the run).
+    pub until: Option<SimTime>,
+}
+
+/// Full audit of one run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CheckReport {
+    /// Stranded acknowledged writes.
+    pub lost_updates: Vec<LostUpdate>,
+    /// Reads that returned superseded data.
+    pub stale_reads: Vec<StaleRead>,
+    /// Epoch-order regressions on disk.
+    pub write_order_violations: Vec<WriteOrderViolation>,
+    /// Lock-wait windows.
+    pub unavailability: Vec<UnavailWindow>,
+    /// Operations denied by quiesced/dead clients.
+    pub ops_denied: u64,
+    /// Operations completed successfully.
+    pub ops_ok: u64,
+    /// Operations failed (any error).
+    pub ops_failed: u64,
+    /// I/Os rejected by fences (a *success* of the fencing mechanism).
+    pub fence_rejections: u64,
+    /// Dirty blocks discarded at cache invalidations (should equal the
+    /// number of lost updates attributable to invalidation).
+    pub dirty_discarded: u64,
+    /// Total reads audited.
+    pub reads_checked: u64,
+    /// Total distinct write versions acknowledged.
+    pub writes_acked: u64,
+}
+
+impl CheckReport {
+    /// True when no safety property was violated. (Unavailability is a
+    /// liveness observation, not a safety violation.)
+    pub fn safe(&self) -> bool {
+        self.lost_updates.is_empty()
+            && self.stale_reads.is_empty()
+            && self.write_order_violations.is_empty()
+    }
+}
+
+/// The checker. Feed it a full observation stream, get a report.
+pub struct Checker {
+    opts: CheckOptions,
+}
+
+impl Checker {
+    /// Checker with options.
+    pub fn new(opts: CheckOptions) -> Self {
+        Checker { opts }
+    }
+
+    /// Audit a run.
+    pub fn run(&self, events: &[(SimTime, NodeId, Event)]) -> CheckReport {
+        let mut report = CheckReport::default();
+
+        // Last acknowledged write per (client, ino, idx).
+        let mut last_acked: HashMap<(NodeId, Ino, u32), (WriteTag, SimTime)> = HashMap::new();
+        // Every hardened tag (for lost-update lookup).
+        let mut hardened_tags: HashMap<WriteTag, SimTime> = HashMap::new();
+        // tag → (ino, idx) learned from acks (for locating hardened events).
+        let mut tag_location: HashMap<WriteTag, (Ino, u32)> = HashMap::new();
+        // Newest hardened version per (ino, idx) as the scan advances.
+        let mut newest_on_disk: HashMap<(Ino, u32), WriteTag> = HashMap::new();
+        // Newest hardened version per raw block (order check).
+        let mut newest_per_block: HashMap<BlockId, WriteTag> = HashMap::new();
+        // Open lock-wait windows.
+        let mut open_waits: HashMap<(NodeId, Ino), SimTime> = HashMap::new();
+
+        for (t, node, ev) in events {
+            match ev {
+                Event::WriteAcked { ino, idx, tag } => {
+                    report.writes_acked += 1;
+                    last_acked.insert((*node, *ino, *idx), (*tag, *t));
+                    tag_location.insert(*tag, (*ino, *idx));
+                }
+                Event::Hardened { block, tag, .. } => {
+                    hardened_tags.insert(*tag, *t);
+                    // Order check per physical block.
+                    match newest_per_block.get(block) {
+                        Some(cur) if tag.order_key() < cur.order_key() => {
+                            report.write_order_violations.push(WriteOrderViolation {
+                                block: *block,
+                                landed: *tag,
+                                over: *cur,
+                                at: *t,
+                            });
+                        }
+                        Some(cur) if tag.order_key() >= cur.order_key() => {
+                            newest_per_block.insert(*block, *tag);
+                        }
+                        _ => {
+                            newest_per_block.insert(*block, *tag);
+                        }
+                    }
+                    if let Some(loc) = tag_location.get(tag) {
+                        let entry = newest_on_disk.entry(*loc).or_default();
+                        if tag.order_key() > entry.order_key() {
+                            *entry = *tag;
+                        }
+                    }
+                }
+                Event::ReadServed { ino, idx, tag, from_cache } => {
+                    report.reads_checked += 1;
+                    if let Some(newest) = newest_on_disk.get(&(*ino, *idx)) {
+                        if newest.order_key() > tag.order_key() {
+                            report.stale_reads.push(StaleRead {
+                                client: *node,
+                                ino: *ino,
+                                idx: *idx,
+                                served: *tag,
+                                newest_hardened: *newest,
+                                at: *t,
+                                from_cache: *from_cache,
+                            });
+                        }
+                    }
+                }
+                Event::OpCompleted { ok, err, .. } => {
+                    if *ok {
+                        report.ops_ok += 1;
+                    } else if err.as_deref() == Some("Suspended") {
+                        report.ops_denied += 1;
+                    } else {
+                        report.ops_failed += 1;
+                    }
+                }
+                Event::CacheInvalidated { discarded_dirty } => {
+                    report.dirty_discarded += *discarded_dirty as u64;
+                }
+                Event::FenceRejected { .. } => {
+                    report.fence_rejections += 1;
+                }
+                Event::RequestBlocked { client, ino } => {
+                    open_waits.entry((*client, *ino)).or_insert(*t);
+                }
+                Event::LockGranted { client, ino, .. } => {
+                    if let Some(from) = open_waits.remove(&(*client, *ino)) {
+                        report.unavailability.push(UnavailWindow {
+                            client: *client,
+                            ino: *ino,
+                            from,
+                            until: Some(*t),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Never-granted waits.
+        for ((client, ino), from) in open_waits {
+            report.unavailability.push(UnavailWindow { client, ino, from, until: None });
+        }
+        report
+            .unavailability
+            .sort_by_key(|w| (w.from, w.client, w.ino));
+
+        // Lost updates: final acked versions that never hardened.
+        let end = events
+            .last()
+            .map(|(t, _, _)| *t)
+            .unwrap_or(SimTime::ZERO)
+            .max(self.opts.end);
+        for ((client, ino, idx), (tag, acked_at)) in last_acked {
+            if hardened_tags.contains_key(&tag) {
+                continue;
+            }
+            // Within the write-back grace at run end: legitimately dirty.
+            if acked_at.0 + self.opts.grace_ns > end.0 {
+                continue;
+            }
+            // Excused when the client fail-stopped after the ack: volatile
+            // loss is the accepted semantics of a crash.
+            let crashed = self
+                .opts
+                .crashes
+                .iter()
+                .any(|(c, tc)| *c == client && *tc >= acked_at);
+            if crashed {
+                continue;
+            }
+            report.lost_updates.push(LostUpdate { client, ino, idx, tag, acked_at });
+        }
+        report.lost_updates.sort_by_key(|l| (l.acked_at, l.client.0, l.ino, l.idx));
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tank_proto::Epoch;
+
+    const C1: NodeId = NodeId(10);
+    const C2: NodeId = NodeId(11);
+    const F: Ino = Ino(1);
+    const B: BlockId = BlockId(100);
+
+    fn tag(writer: NodeId, epoch: u64, wseq: u64) -> WriteTag {
+        WriteTag { writer, epoch: Epoch(epoch), wseq }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn check(events: Vec<(SimTime, NodeId, Event)>) -> CheckReport {
+        Checker::new(CheckOptions::default()).run(&events)
+    }
+
+    #[test]
+    fn grace_window_excuses_recent_dirty_data() {
+        let w = tag(C1, 1, 1);
+        let events = vec![(t(1000), C1, Event::WriteAcked { ino: F, idx: 0, tag: w })];
+        // Strict: lost. With 5s grace and end at 2s: excused. With end at
+        // 30s: lost again (it had plenty of time to flush).
+        assert_eq!(check(events.clone()).lost_updates.len(), 1);
+        let lenient = Checker::new(CheckOptions {
+            end: t(2000),
+            grace_ns: 5_000_000_000,
+            ..Default::default()
+        });
+        assert!(lenient.run(&events).safe());
+        let late_end = Checker::new(CheckOptions {
+            end: t(30_000),
+            grace_ns: 5_000_000_000,
+            ..Default::default()
+        });
+        assert_eq!(late_end.run(&events).lost_updates.len(), 1);
+    }
+
+    #[test]
+    fn clean_write_flush_read_is_safe() {
+        let w = tag(C1, 1, 1);
+        let events = vec![
+            (t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: w }),
+            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: w, previous: WriteTag::default() }),
+            (t(3), C2, Event::ReadServed { ino: F, idx: 0, tag: w, from_cache: false }),
+        ];
+        let r = check(events);
+        assert!(r.safe(), "{r:?}");
+        assert_eq!(r.writes_acked, 1);
+        assert_eq!(r.reads_checked, 1);
+    }
+
+    #[test]
+    fn unhardened_final_write_is_a_lost_update() {
+        let w = tag(C1, 1, 1);
+        let r = check(vec![(t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: w })]);
+        assert_eq!(r.lost_updates.len(), 1);
+        assert_eq!(r.lost_updates[0].tag, w);
+        assert!(!r.safe());
+    }
+
+    #[test]
+    fn coalesced_intermediate_versions_are_not_lost() {
+        // Two acked writes to the same block; only the newer hardens
+        // (write-back coalescing) — that is correct behaviour.
+        let w1 = tag(C1, 1, 1);
+        let w2 = tag(C1, 1, 2);
+        let r = check(vec![
+            (t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: w1 }),
+            (t(2), C1, Event::WriteAcked { ino: F, idx: 0, tag: w2 }),
+            (t(3), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: w2, previous: WriteTag::default() }),
+        ]);
+        assert!(r.safe(), "{r:?}");
+    }
+
+    #[test]
+    fn crash_excuses_pending_writes() {
+        let w = tag(C1, 1, 1);
+        let events = vec![(t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: w })];
+        let r = Checker::new(CheckOptions { crashes: vec![(C1, t(5))], ..Default::default() })
+            .run(&events);
+        assert!(r.safe(), "volatile loss at crash is excused");
+        // But a crash *before* the ack excuses nothing.
+        let r = Checker::new(CheckOptions { crashes: vec![(C1, t(0))], ..Default::default() })
+            .run(&events);
+        assert_eq!(r.lost_updates.len(), 1);
+    }
+
+    #[test]
+    fn read_of_superseded_version_is_stale() {
+        let old = tag(C1, 1, 1);
+        let new = tag(C2, 2, 1);
+        let r = check(vec![
+            (t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: old }),
+            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: old, previous: WriteTag::default() }),
+            (t(3), C2, Event::WriteAcked { ino: F, idx: 0, tag: new }),
+            (t(4), NodeId(0), Event::Hardened { initiator: C2, block: B, tag: new, previous: old }),
+            // C1, fenced and oblivious, serves its stale cache.
+            (t(5), C1, Event::ReadServed { ino: F, idx: 0, tag: old, from_cache: true }),
+        ]);
+        assert_eq!(r.stale_reads.len(), 1);
+        assert_eq!(r.stale_reads[0].served, old);
+        assert_eq!(r.stale_reads[0].newest_hardened, new);
+        assert!(r.stale_reads[0].from_cache);
+    }
+
+    #[test]
+    fn read_before_the_newer_harden_is_fine() {
+        let old = tag(C1, 1, 1);
+        let new = tag(C2, 2, 1);
+        let r = check(vec![
+            (t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: old }),
+            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: old, previous: WriteTag::default() }),
+            (t(3), C1, Event::ReadServed { ino: F, idx: 0, tag: old, from_cache: true }),
+            (t(4), C2, Event::WriteAcked { ino: F, idx: 0, tag: new }),
+            (t(5), NodeId(0), Event::Hardened { initiator: C2, block: B, tag: new, previous: old }),
+        ]);
+        assert!(r.safe(), "{r:?}");
+    }
+
+    #[test]
+    fn late_write_from_old_epoch_is_an_order_violation() {
+        let old = tag(C1, 1, 5);
+        let new = tag(C2, 2, 1);
+        let r = check(vec![
+            (t(1), NodeId(0), Event::Hardened { initiator: C2, block: B, tag: new, previous: WriteTag::default() }),
+            // C1's late command lands after C2's newer write.
+            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: old, previous: new }),
+        ]);
+        assert_eq!(r.write_order_violations.len(), 1);
+        assert_eq!(r.write_order_violations[0].landed, old);
+        assert_eq!(r.write_order_violations[0].over, new);
+    }
+
+    #[test]
+    fn unavailability_windows_open_and_close() {
+        let r = check(vec![
+            (t(10), NodeId(0), Event::RequestBlocked { client: C2, ino: F }),
+            (t(500), NodeId(0), Event::LockGranted { client: C2, ino: F, epoch: Epoch(2), mode: tank_proto::LockMode::Exclusive }),
+            (t(600), NodeId(0), Event::RequestBlocked { client: C1, ino: F }),
+        ]);
+        assert_eq!(r.unavailability.len(), 2);
+        assert_eq!(r.unavailability[0].from, t(10));
+        assert_eq!(r.unavailability[0].until, Some(t(500)));
+        assert_eq!(r.unavailability[1].until, None, "never granted");
+    }
+
+    #[test]
+    fn op_accounting() {
+        let r = check(vec![
+            (t(1), C1, Event::OpCompleted { op: tank_proto::OpId(1), kind: "read", ok: true, err: None }),
+            (t(2), C1, Event::OpCompleted { op: tank_proto::OpId(2), kind: "read", ok: false, err: Some("Suspended".into()) }),
+            (t(3), C1, Event::OpCompleted { op: tank_proto::OpId(3), kind: "read", ok: false, err: Some("NotFound".into()) }),
+            (t(4), C1, Event::FenceRejected { initiator: C1, was_write: true }),
+            (t(5), C1, Event::CacheInvalidated { discarded_dirty: 3 }),
+        ]);
+        assert_eq!(r.ops_ok, 1);
+        assert_eq!(r.ops_denied, 1);
+        assert_eq!(r.ops_failed, 1);
+        assert_eq!(r.fence_rejections, 1);
+        assert_eq!(r.dirty_discarded, 3);
+    }
+
+    #[test]
+    fn same_tag_rewrite_is_not_a_violation() {
+        // A retried SAN write of the same version may land twice.
+        let w = tag(C1, 1, 1);
+        let r = check(vec![
+            (t(1), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: w, previous: WriteTag::default() }),
+            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: w, previous: w }),
+        ]);
+        assert!(r.safe(), "{r:?}");
+    }
+}

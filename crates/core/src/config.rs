@@ -1,0 +1,180 @@
+//! Lease protocol configuration.
+
+use serde::{Deserialize, Serialize};
+use tank_sim::LocalNs;
+
+/// Configuration of the lease contract between a client and a server.
+///
+/// The contract is symmetric knowledge: both sides are configured with the
+/// same lease period `τ` and clock-rate bound `ε`. The phase fractions are
+/// client-local policy (the paper's Figure 4 gives the shape but no
+/// numbers; defaults here leave phase 4 enough room to flush a large dirty
+/// cache at SAN speeds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeaseConfig {
+    /// The lease period τ, counted on the local clock of whichever machine
+    /// is measuring.
+    pub tau: LocalNs,
+    /// Known bound on *pairwise relative* clock rates (§3): an interval of
+    /// length `t` on one machine's clock measures within
+    /// `(t/(1+ε), t(1+ε))` on another's.
+    pub epsilon: f64,
+    /// Fraction of τ at which phase 1 (valid) ends and phase 2 (renewal —
+    /// actively send keep-alives) begins.
+    pub renew_frac: f64,
+    /// Fraction of τ at which phase 3 (suspect — stop admitting new
+    /// file-system requests, quiesce in-flight ones) begins.
+    pub suspect_frac: f64,
+    /// Fraction of τ at which phase 4 (expected failure — flush all dirty
+    /// data to shared storage) begins.
+    pub flush_frac: f64,
+    /// Interval between keep-alive attempts while in phase 2.
+    pub keepalive_interval: LocalNs,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        let tau = LocalNs::from_secs(10);
+        LeaseConfig {
+            tau,
+            epsilon: 1e-3,
+            renew_frac: 0.40,
+            suspect_frac: 0.70,
+            flush_frac: 0.85,
+            keepalive_interval: LocalNs(tau.0 / 20),
+        }
+    }
+}
+
+impl LeaseConfig {
+    /// A config with the given τ, other knobs scaled proportionally.
+    pub fn with_tau(tau: LocalNs) -> Self {
+        LeaseConfig {
+            tau,
+            keepalive_interval: LocalNs((tau.0 / 20).max(1)),
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants; returns a human-readable complaint if broken.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tau.0 == 0 {
+            return Err("tau must be positive".into());
+        }
+        if !(self.epsilon >= 0.0 && self.epsilon.is_finite()) {
+            return Err(format!("epsilon must be finite and >= 0, got {}", self.epsilon));
+        }
+        let fr = [self.renew_frac, self.suspect_frac, self.flush_frac];
+        if fr.iter().any(|f| !(0.0..1.0).contains(f)) {
+            return Err(format!("phase fractions must lie in [0,1): {fr:?}"));
+        }
+        if !(self.renew_frac < self.suspect_frac && self.suspect_frac < self.flush_frac) {
+            return Err(format!(
+                "phase fractions must be increasing: renew {} < suspect {} < flush {}",
+                self.renew_frac, self.suspect_frac, self.flush_frac
+            ));
+        }
+        if self.keepalive_interval.0 == 0 {
+            return Err("keepalive_interval must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Local offset into the lease at which phase 2 begins.
+    #[inline]
+    pub fn renew_offset(&self) -> LocalNs {
+        LocalNs((self.tau.0 as f64 * self.renew_frac) as u64)
+    }
+
+    /// Local offset into the lease at which phase 3 begins.
+    #[inline]
+    pub fn suspect_offset(&self) -> LocalNs {
+        LocalNs((self.tau.0 as f64 * self.suspect_frac) as u64)
+    }
+
+    /// Local offset into the lease at which phase 4 begins.
+    #[inline]
+    pub fn flush_offset(&self) -> LocalNs {
+        LocalNs((self.tau.0 as f64 * self.flush_frac) as u64)
+    }
+
+    /// The server-side timeout `τ(1+ε)`, counted on the server's clock
+    /// (§3: "the server starts a timer that goes off at a time τ(1+ε)
+    /// later ... the server knows that τ(1+ε) represents a time of at
+    /// least τ at the client").
+    #[inline]
+    pub fn server_timeout(&self) -> LocalNs {
+        LocalNs((self.tau.0 as f64 * (1.0 + self.epsilon)).ceil() as u64)
+    }
+}
+
+/// The legal range of per-node clock rates (relative to true time) such
+/// that every *pair* of nodes respects the ε bound: drawing each node's
+/// rate from `[(1+ε)^-1/2, (1+ε)^1/2]` guarantees any ratio is within
+/// `1+ε`.
+///
+/// The harness draws clock specs from this range; the Theorem 3.1 negative
+/// control deliberately exceeds it.
+pub fn legal_rate_range(epsilon: f64) -> (f64, f64) {
+    let s = (1.0 + epsilon).sqrt();
+    (1.0 / s, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        LeaseConfig::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn with_tau_scales_keepalive() {
+        let c = LeaseConfig::with_tau(LocalNs::from_secs(2));
+        assert_eq!(c.keepalive_interval, LocalNs::from_millis(100));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn offsets_are_ordered() {
+        let c = LeaseConfig::default();
+        assert!(c.renew_offset() < c.suspect_offset());
+        assert!(c.suspect_offset() < c.flush_offset());
+        assert!(c.flush_offset() < c.tau);
+    }
+
+    #[test]
+    fn server_timeout_exceeds_tau_exactly_when_epsilon_positive() {
+        let mut c = LeaseConfig::default();
+        c.epsilon = 0.0;
+        assert_eq!(c.server_timeout(), c.tau);
+        c.epsilon = 0.1;
+        assert_eq!(c.server_timeout().0, (c.tau.0 as f64 * 1.1).ceil() as u64);
+    }
+
+    #[test]
+    fn validation_catches_bad_fractions() {
+        let mut c = LeaseConfig::default();
+        c.renew_frac = 0.9;
+        assert!(c.validate().is_err(), "non-increasing fractions rejected");
+        let mut c = LeaseConfig::default();
+        c.flush_frac = 1.0;
+        assert!(c.validate().is_err(), "fraction of 1.0 rejected");
+        let mut c = LeaseConfig::default();
+        c.tau = LocalNs(0);
+        assert!(c.validate().is_err());
+        let mut c = LeaseConfig::default();
+        c.epsilon = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn legal_rate_range_bounds_pairwise_ratio() {
+        for &eps in &[0.0, 1e-4, 1e-2, 0.5] {
+            let (lo, hi) = legal_rate_range(eps);
+            assert!((hi / lo - (1.0 + eps)).abs() < 1e-12);
+            assert!(lo <= 1.0 && 1.0 <= hi);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The paper's contribution: Storage Tank's lease-based safety protocol as
+//! sans-io state machines.
+//!
+//! Two state machines implement §3 of Burns, Rees & Long (IPPS 2000):
+//!
+//! * [`ClientLease`] — the client side: a **single lease per server**
+//!   obtained *opportunistically* on every acknowledged client-initiated
+//!   message (the lease runs from the message's *send* time `t_C1`, §3.1),
+//!   a four-phase local lifecycle (valid → renewal → suspect → expected
+//!   failure, Figure 4), the NACK fast-path into phase 3 (§3.3), and the
+//!   expiry latch after which cached data and locks are dead until a new
+//!   session is established.
+//!
+//! * [`LeaseAuthority`] — the server side: **completely passive** during
+//!   normal operation (no lease records, no timers, no lease messages;
+//!   §3: "the key feature of the server's protocol is that it retains no
+//!   state about client leases"). Only a *delivery error* arms a per-client
+//!   timer of `τ(1+ε)` in server-local time; while the timer runs the
+//!   server must not ACK that client (it NACKs valid requests instead), and
+//!   when it fires the client's locks may be stolen and the client fenced.
+//!
+//! Both machines are sans-io: they receive timestamps and return actions,
+//! never touching clocks, sockets or the simulator. The same code drives
+//! the deterministic simulation (`tank-sim` worlds) and the real UDP
+//! binding (`tank-net`).
+//!
+//! [`theorem`] encodes Theorem 3.1 as an executable timing model used by
+//! property tests and by experiment E1.
+
+pub mod authority;
+pub mod client;
+pub mod config;
+pub mod theorem;
+
+pub use authority::{AuthorityStats, ClientStanding, LeaseAuthority};
+pub use client::{ClientLease, LeaseAction, Phase};
+pub use config::{legal_rate_range, LeaseConfig};
+pub use theorem::TimingScenario;

@@ -1,0 +1,139 @@
+//! Property tests on the client lease machine's invariants.
+
+use proptest::prelude::*;
+use tank_core::{ClientLease, LeaseAction, LeaseConfig, Phase};
+use tank_proto::ReqSeq;
+use tank_sim::LocalNs;
+
+/// Abstract driver events.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Send a request after `dt` ns.
+    Send(u64),
+    /// ACK the given fraction of outstanding sends (oldest first) after
+    /// `dt` ns.
+    AckOldest(u64),
+    /// A NACK arrives after `dt` ns.
+    Nack(u64),
+    /// Just advance time and poll.
+    Tick(u64),
+}
+
+fn arb_ev() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u64..2_000_000_000).prop_map(Ev::Send),
+        (0u64..2_000_000_000).prop_map(Ev::AckOldest),
+        (0u64..2_000_000_000).prop_map(Ev::Nack),
+        (0u64..4_000_000_000).prop_map(Ev::Tick),
+    ]
+}
+
+proptest! {
+    /// Machine-wide invariants under arbitrary event sequences:
+    /// * phases move monotonically except through renewal (ACK) or reset;
+    /// * after expiry is observed, nothing short of `reset_session`
+    ///   resurrects service;
+    /// * `next_wakeup` is never in the past;
+    /// * poll is idempotent at a fixed instant (no repeated edge actions).
+    #[test]
+    fn lease_machine_invariants(evs in proptest::collection::vec(arb_ev(), 1..120)) {
+        let cfg = LeaseConfig::with_tau(LocalNs::from_secs(2));
+        let mut lease = ClientLease::new(cfg);
+        let mut now = LocalNs(0);
+        let mut seq = 0u64;
+        let mut outstanding: Vec<ReqSeq> = Vec::new();
+        let mut expired_seen = false;
+
+        // Bootstrap a lease.
+        lease.on_send(ReqSeq(0), now);
+        lease.on_ack(ReqSeq(0), LocalNs(1));
+
+        for ev in evs {
+            let dt = match &ev {
+                Ev::Send(d) | Ev::AckOldest(d) | Ev::Nack(d) | Ev::Tick(d) => *d,
+            };
+            now = now.plus(LocalNs(dt));
+            match ev {
+                Ev::Send(_) => {
+                    seq += 1;
+                    lease.on_send(ReqSeq(seq), now);
+                    outstanding.push(ReqSeq(seq));
+                }
+                Ev::AckOldest(_) => {
+                    if !outstanding.is_empty() {
+                        let s = outstanding.remove(0);
+                        lease.on_ack(s, now);
+                    }
+                }
+                Ev::Nack(_) => lease.on_nack(now),
+                Ev::Tick(_) => {}
+            }
+            let actions = lease.poll(now);
+            let phase = lease.phase(now);
+            if phase == Phase::Expired {
+                expired_seen = true;
+            }
+            if expired_seen {
+                prop_assert_eq!(lease.phase(now), Phase::Expired,
+                    "expiry is latched");
+                prop_assert!(!lease.may_admit(now));
+            }
+            // Wakeups are never in the past.
+            if let Some(w) = lease.next_wakeup(now) {
+                prop_assert!(w > now, "wakeup {w:?} <= now {now:?}");
+            }
+            // Polling again at the same instant yields no duplicate edge
+            // actions (keep-alives are rate-limited; transitions are
+            // edge-triggered).
+            let again = lease.poll(now);
+            prop_assert!(again.is_empty(), "second poll at same instant: {again:?} after {actions:?}");
+        }
+    }
+
+    /// The keep-alive stream while continuously in phase 2 is bounded by
+    /// the configured interval: over any span, at most
+    /// `span/keepalive_interval + 1` keep-alives.
+    #[test]
+    fn keepalive_rate_is_bounded(poll_gap_ms in 1u64..400, polls in 10usize..200) {
+        let cfg = LeaseConfig::with_tau(LocalNs::from_secs(10));
+        let mut lease = ClientLease::new(cfg);
+        lease.on_send(ReqSeq(1), LocalNs(0));
+        lease.on_ack(ReqSeq(1), LocalNs(1));
+        let mut kas = 0u64;
+        let start = cfg.renew_offset();
+        let mut now = start;
+        for _ in 0..polls {
+            for a in lease.poll(now) {
+                if a == LeaseAction::SendKeepAlive {
+                    kas += 1;
+                }
+            }
+            if lease.phase(now) >= Phase::Suspect {
+                break;
+            }
+            now = now.plus(LocalNs::from_millis(poll_gap_ms));
+        }
+        let span = now.0 - start.0;
+        let bound = span / cfg.keepalive_interval.0 + 1;
+        prop_assert!(kas <= bound, "{kas} keep-alives in {span}ns (bound {bound})");
+    }
+
+    /// Renewal from a send at time t yields expiry exactly t + τ whenever
+    /// it is the newest acknowledged send.
+    #[test]
+    fn expiry_tracks_newest_acknowledged_send(
+        sends in proptest::collection::vec(1u64..1_000_000_000, 1..20),
+    ) {
+        let cfg = LeaseConfig::with_tau(LocalNs::from_secs(5));
+        let mut lease = ClientLease::new(cfg);
+        let mut t = 0u64;
+        for (i, dt) in sends.iter().enumerate() {
+            t += dt;
+            let seq = ReqSeq(i as u64 + 1);
+            lease.on_send(seq, LocalNs(t));
+            // Ack immediately.
+            lease.on_ack(seq, LocalNs(t + 1));
+            prop_assert_eq!(lease.expiry(), Some(LocalNs(t + cfg.tau.0)));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Shared-disk block allocation.
+//!
+//! A word-packed bitmap with a rotating allocation cursor: allocation is
+//! O(1) amortized, frees are O(1), and the structure stays compact for the
+//! multi-gigabyte virtual stores the scalability experiments use.
+
+use tank_proto::BlockId;
+
+/// Bitmap allocator over a fixed pool of blocks.
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    /// One bit per block; set = allocated.
+    words: Vec<u64>,
+    total: u64,
+    allocated: u64,
+    /// Next word to try, advanced on successful allocation (first-fit with
+    /// a rotating start avoids rescanning a full prefix every call).
+    cursor: usize,
+}
+
+impl BlockAllocator {
+    /// Allocator over blocks `0..total`.
+    pub fn new(total: u64) -> Self {
+        let words = vec![0u64; total.div_ceil(64) as usize];
+        BlockAllocator { words, total, allocated: 0, cursor: 0 }
+    }
+
+    /// Total pool size.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Blocks currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Blocks still free.
+    pub fn free(&self) -> u64 {
+        self.total - self.allocated
+    }
+
+    /// Allocate `count` blocks. Returns `None` (allocating nothing) if the
+    /// pool cannot satisfy the whole request.
+    pub fn alloc(&mut self, count: u32) -> Option<Vec<BlockId>> {
+        let count = count as u64;
+        if count > self.free() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        let nwords = self.words.len();
+        let mut w = self.cursor;
+        while (out.len() as u64) < count {
+            if self.words[w] != u64::MAX {
+                let word = self.words[w];
+                // Claim free bits in this word until satisfied.
+                let mut free_bits = !word;
+                while free_bits != 0 && (out.len() as u64) < count {
+                    let bit = free_bits.trailing_zeros() as u64;
+                    let blk = (w as u64) * 64 + bit;
+                    if blk >= self.total {
+                        break; // tail bits beyond the pool
+                    }
+                    self.words[w] |= 1 << bit;
+                    free_bits &= free_bits - 1;
+                    out.push(BlockId(blk));
+                }
+            }
+            w = (w + 1) % nwords;
+            if w == self.cursor && (out.len() as u64) < count {
+                // Full scan without satisfying the request: only possible
+                // if `free()` lied, i.e. a bookkeeping bug.
+                unreachable!("allocator bookkeeping out of sync");
+            }
+        }
+        self.cursor = w;
+        self.allocated += count;
+        Some(out)
+    }
+
+    /// Free one block. Panics on double-free (a server bug, not an input
+    /// error).
+    pub fn dealloc(&mut self, block: BlockId) {
+        assert!(block.0 < self.total, "free of out-of-range {block}");
+        let w = (block.0 / 64) as usize;
+        let bit = block.0 % 64;
+        assert!(self.words[w] & (1 << bit) != 0, "double free of {block}");
+        self.words[w] &= !(1 << bit);
+        self.allocated -= 1;
+    }
+
+    /// Whether a block is currently allocated.
+    pub fn is_allocated(&self, block: BlockId) -> bool {
+        if block.0 >= self.total {
+            return false;
+        }
+        self.words[(block.0 / 64) as usize] & (1 << (block.0 % 64)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn allocates_distinct_blocks() {
+        let mut a = BlockAllocator::new(1000);
+        let got = a.alloc(100).unwrap();
+        let set: HashSet<_> = got.iter().collect();
+        assert_eq!(set.len(), 100, "no duplicates");
+        assert!(got.iter().all(|b| b.0 < 1000));
+        assert_eq!(a.allocated(), 100);
+        assert_eq!(a.free(), 900);
+    }
+
+    #[test]
+    fn exhaustion_is_all_or_nothing() {
+        let mut a = BlockAllocator::new(10);
+        assert!(a.alloc(8).is_some());
+        assert!(a.alloc(3).is_none(), "cannot partially satisfy");
+        assert_eq!(a.allocated(), 8, "failed request allocated nothing");
+        assert!(a.alloc(2).is_some());
+        assert_eq!(a.free(), 0);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut a = BlockAllocator::new(64);
+        let got = a.alloc(64).unwrap();
+        for b in &got[..32] {
+            a.dealloc(*b);
+        }
+        assert_eq!(a.free(), 32);
+        let again = a.alloc(32).unwrap();
+        let expected: HashSet<_> = got[..32].iter().copied().collect();
+        let actual: HashSet<_> = again.into_iter().collect();
+        assert_eq!(expected, actual, "freed blocks are reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = BlockAllocator::new(8);
+        let b = a.alloc(1).unwrap()[0];
+        a.dealloc(b);
+        a.dealloc(b);
+    }
+
+    #[test]
+    fn non_multiple_of_64_pool_never_hands_out_tail() {
+        let mut a = BlockAllocator::new(70);
+        let got = a.alloc(70).unwrap();
+        assert!(got.iter().all(|b| b.0 < 70));
+        assert!(a.alloc(1).is_none());
+    }
+
+    #[test]
+    fn is_allocated_tracks_state() {
+        let mut a = BlockAllocator::new(8);
+        let b = a.alloc(1).unwrap()[0];
+        assert!(a.is_allocated(b));
+        a.dealloc(b);
+        assert!(!a.is_allocated(b));
+        assert!(!a.is_allocated(BlockId(999)));
+    }
+
+    #[test]
+    fn cursor_rotation_spreads_allocations() {
+        let mut a = BlockAllocator::new(256);
+        let first = a.alloc(64).unwrap();
+        for b in &first {
+            a.dealloc(*b);
+        }
+        let second = a.alloc(64).unwrap();
+        // After freeing, the cursor has moved on: fresh blocks come from
+        // later in the pool before wrapping.
+        assert_ne!(first, second);
+    }
+}

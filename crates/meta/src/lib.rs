@@ -1,0 +1,26 @@
+//! Metadata substrate for the Storage Tank server.
+//!
+//! The paper separates metadata from data (§1.1): shared SAN disks hold
+//! only file *blocks*; everything else — the namespace, inode attributes,
+//! and the map from files to block addresses — lives on the server's
+//! private, metadata-optimized storage. This crate is that private store:
+//!
+//! * [`InodeTable`] — inode allocation and attributes;
+//! * [`Namespace`] — a hierarchical directory tree;
+//! * [`BlockAllocator`] — allocation of shared-disk blocks to files;
+//! * [`MetaStore`] — the façade combining them with the operations the
+//!   server exposes (create/lookup/mkdir/readdir/unlink/attr/alloc).
+//!
+//! Everything here is plain single-threaded data structure code: the server
+//! actor owns one `MetaStore` and serializes access through its message
+//! loop, exactly as a metadata server owns its private disks.
+
+pub mod alloc;
+pub mod inode;
+pub mod namespace;
+pub mod store;
+
+pub use alloc::BlockAllocator;
+pub use inode::{Inode, InodeTable};
+pub use namespace::Namespace;
+pub use store::{MetaError, MetaStore};

@@ -1,0 +1,92 @@
+//! Property tests for the metadata substrate.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tank_meta::{BlockAllocator, MetaStore};
+use tank_proto::BlockId;
+
+proptest! {
+    /// Under any interleaving of allocations and frees, the allocator
+    /// never double-allocates a live block and its accounting stays exact.
+    #[test]
+    fn allocator_never_double_allocates(
+        ops in proptest::collection::vec((any::<bool>(), 1u32..16), 1..200),
+    ) {
+        let mut a = BlockAllocator::new(256);
+        let mut live: Vec<BlockId> = Vec::new();
+        let mut live_set: HashSet<BlockId> = HashSet::new();
+        for (is_alloc, n) in ops {
+            if is_alloc {
+                if let Some(got) = a.alloc(n) {
+                    prop_assert_eq!(got.len(), n as usize);
+                    for b in got {
+                        prop_assert!(live_set.insert(b), "block {} double-allocated", b);
+                        live.push(b);
+                    }
+                }
+            } else if let Some(b) = live.pop() {
+                live_set.remove(&b);
+                a.dealloc(b);
+            }
+            prop_assert_eq!(a.allocated() as usize, live.len());
+            prop_assert_eq!(a.free() as usize, 256 - live.len());
+        }
+    }
+
+    /// Namespace operations keep lookup consistent with the mutation
+    /// history: after any sequence of create/unlink on distinct names,
+    /// lookup succeeds exactly for the live ones.
+    #[test]
+    fn namespace_matches_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u8..16), 1..100),
+    ) {
+        let mut s = MetaStore::new(1024, 512);
+        let root = s.root();
+        let mut model: HashSet<u8> = HashSet::new();
+        for (create, name_id) in ops {
+            let name = format!("f{name_id}");
+            if create {
+                let r = s.create(root, &name, 0);
+                prop_assert_eq!(r.is_ok(), !model.contains(&name_id));
+                model.insert(name_id);
+            } else {
+                let r = s.unlink(root, &name);
+                prop_assert_eq!(r.is_ok(), model.remove(&name_id));
+            }
+        }
+        for id in 0u8..16 {
+            prop_assert_eq!(
+                s.lookup(root, &format!("f{id}")).is_ok(),
+                model.contains(&id)
+            );
+        }
+        prop_assert_eq!(s.readdir(root).unwrap().len(), model.len());
+    }
+
+    /// Block maps only grow through allocation and shrink exactly to the
+    /// truncated size; freed blocks are reusable.
+    #[test]
+    fn alloc_truncate_cycle(
+        rounds in proptest::collection::vec((1u32..8, 0u64..8), 1..40),
+    ) {
+        let mut s = MetaStore::new(128, 512);
+        let ino = s.create(s.root(), "f", 0).unwrap();
+        for (grow, keep_blocks) in rounds {
+            let before = s.file_extent(ino).unwrap().0.len();
+            match s.alloc_blocks(ino, grow) {
+                Ok(map) => prop_assert_eq!(map.len(), before + grow as usize),
+                Err(_) => {
+                    // Pool exhausted: truncate everything and move on.
+                    s.setattr(ino, Some(0), 0).unwrap();
+                    continue;
+                }
+            }
+            let keep = keep_blocks.min((before + grow as usize) as u64);
+            s.commit_write(ino, (before + grow as usize) as u64 * 512, 0).unwrap();
+            s.setattr(ino, Some(keep * 512), 0).unwrap();
+            let (map, size) = s.file_extent(ino).unwrap();
+            prop_assert_eq!(size, keep * 512);
+            prop_assert_eq!(map.len() as u64, keep);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! `tankcli` — a one-shot command-line client for `tankd`.
+//!
+//! ```sh
+//! tankcli 127.0.0.1:4800 mkdir /docs
+//! tankcli 127.0.0.1:4800 create /docs/a.txt
+//! tankcli 127.0.0.1:4800 ls /docs
+//! tankcli 127.0.0.1:4800 stat /docs/a.txt
+//! tankcli 127.0.0.1:4800 lock /docs/a.txt     # acquire X, hold until ^C
+//! tankcli 127.0.0.1:4800 bench 1000           # request RTT microbenchmark
+//! ```
+
+use tank_core::LeaseConfig;
+use tank_net::TankClient;
+use tank_proto::{Ino, LockMode};
+
+fn usage() -> ! {
+    eprintln!("usage: tankcli ADDR (ls|stat|create|mkdir|rm) PATH | ADDR lock PATH | ADDR bench N");
+    std::process::exit(2);
+}
+
+/// Resolve an absolute path, returning (parent, leaf-name, leaf-ino-if-any).
+async fn resolve(
+    client: &TankClient,
+    path: &str,
+) -> Result<(Ino, String, Option<Ino>), Box<dyn std::error::Error>> {
+    let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+    let mut cur = client.root();
+    for part in parts.iter().take(parts.len().saturating_sub(1)) {
+        cur = client.lookup(cur, part).await?.0;
+    }
+    let leaf = parts.last().map(|s| s.to_string()).unwrap_or_default();
+    let leaf_ino = if leaf.is_empty() {
+        Some(cur)
+    } else {
+        client.lookup(cur, &leaf).await.ok().map(|(i, _)| i)
+    };
+    Ok((cur, leaf, leaf_ino))
+}
+
+#[tokio::main(flavor = "current_thread")]
+async fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let addr = &args[0];
+    let cmd = args[1].as_str();
+    let client = TankClient::connect(addr, LeaseConfig::default()).await?;
+
+    match (cmd, args.get(2)) {
+        ("ls", Some(path)) => {
+            let (_, _, ino) = resolve(&client, path).await?;
+            let dir = ino.ok_or("no such directory")?;
+            for (name, ino) in client.readdir(dir).await? {
+                println!("{ino}\t{name}");
+            }
+        }
+        ("stat", Some(path)) => {
+            let (_, _, ino) = resolve(&client, path).await?;
+            let ino = ino.ok_or("no such path")?;
+            let attr = client.getattr(ino).await?;
+            println!(
+                "{ino}: size={} version={} {}",
+                attr.size,
+                attr.version,
+                if attr.is_dir { "dir" } else { "file" }
+            );
+        }
+        ("create", Some(path)) => {
+            let (parent, name, _) = resolve(&client, path).await?;
+            let ino = client.create(parent, &name).await?;
+            println!("created {ino}");
+        }
+        ("mkdir", Some(path)) => {
+            let (parent, name, _) = resolve(&client, path).await?;
+            let ino = client.mkdir(parent, &name).await?;
+            println!("created {ino}");
+        }
+        ("rm", Some(path)) => {
+            let (parent, name, _) = resolve(&client, path).await?;
+            client.unlink(parent, &name).await?;
+            println!("removed {path}");
+        }
+        ("lock", Some(path)) => {
+            let (_, _, ino) = resolve(&client, path).await?;
+            let ino = ino.ok_or("no such path")?;
+            let epoch = client.lock(ino, LockMode::Exclusive).await?;
+            println!("holding X lock on {ino} (epoch {epoch:?}); ^C to exit");
+            println!("(watch another tankcli lock the same path: this client auto-releases on demand)");
+            tokio::signal::ctrl_c().await?;
+            let _ = client.release(ino, epoch).await;
+        }
+        ("bench", Some(n)) => {
+            let n: u32 = n.parse()?;
+            let start = std::time::Instant::now();
+            for _ in 0..n {
+                client.keep_alive().await?;
+            }
+            let total = start.elapsed();
+            println!(
+                "{n} request round-trips in {total:?} ({:.1} µs/req); lease renewals: {}",
+                total.as_micros() as f64 / n as f64,
+                client.renewals()
+            );
+        }
+        _ => usage(),
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! `tankd` — a Storage Tank lease/lock/metadata server on UDP.
+//!
+//! ```sh
+//! tankd [BIND_ADDR]          # default 127.0.0.1:4800
+//! ```
+//!
+//! Serves the control-network protocol: sessions, metadata, data locks
+//! with demand/revocation, and the paper's passive lease authority.
+//! Ctrl-C to stop (prints final counters).
+
+use tank_net::server::{LeaseServer, NetServerConfig};
+
+#[tokio::main(flavor = "current_thread")]
+async fn main() -> std::io::Result<()> {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:4800".into());
+    let handle = LeaseServer::spawn(&addr, NetServerConfig::default()).await?;
+    eprintln!("tankd listening on {}", handle.addr);
+    tokio::signal::ctrl_c().await?;
+    let stats = handle.stop().await;
+    eprintln!("tankd stopped: {stats:?}");
+    Ok(())
+}

@@ -1,0 +1,370 @@
+//! The async UDP client.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use tank_core::{ClientLease, LeaseAction, LeaseConfig, Phase};
+use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
+use tank_proto::{
+    CtlMsg, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request, SessionId,
+    WireDecode, WireEncode,
+};
+use tokio::net::UdpSocket;
+use tokio::sync::oneshot;
+
+use crate::mono_now;
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetClientError {
+    /// The server NACKed the request.
+    Nacked(NackReason),
+    /// The operation failed at the file-system level.
+    Fs(FsError),
+    /// No response within the retry budget.
+    Timeout,
+    /// Unexpected reply shape.
+    Protocol,
+    /// Socket trouble.
+    Io(String),
+}
+
+impl std::fmt::Display for NetClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetClientError::Nacked(r) => write!(f, "nacked: {r:?}"),
+            NetClientError::Fs(e) => write!(f, "fs error: {e:?}"),
+            NetClientError::Timeout => write!(f, "request timed out"),
+            NetClientError::Protocol => write!(f, "protocol violation"),
+            NetClientError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetClientError {}
+
+type Result<T> = std::result::Result<T, NetClientError>;
+
+struct ClientState {
+    lease: ClientLease,
+    session: Option<SessionId>,
+    next_seq: u64,
+    pending: HashMap<ReqSeq, oneshot::Sender<ResponseOutcome>>,
+    seen_pushes: std::collections::HashSet<u64>,
+    /// Locks currently held (demands auto-release them).
+    held: std::collections::HashSet<Ino>,
+}
+
+/// An async Storage Tank protocol client over UDP.
+///
+/// Every acknowledged request renews the lease from its *send* time; a
+/// background task mirrors the client lease machine's wakeup schedule to
+/// send keep-alives while idle. Lock demands are answered automatically
+/// (PushAck then release — this demo client holds no data cache).
+pub struct TankClient {
+    sock: Arc<UdpSocket>,
+    state: Arc<Mutex<ClientState>>,
+    /// Keep-alive task handle (aborted on drop).
+    tasks: Vec<tokio::task::JoinHandle<()>>,
+    /// Request retry budget.
+    retries: u32,
+    /// Per-attempt timeout.
+    rto: std::time::Duration,
+}
+
+impl Drop for TankClient {
+    fn drop(&mut self) {
+        for t in &self.tasks {
+            t.abort();
+        }
+    }
+}
+
+impl TankClient {
+    /// Connect (UDP-"connect") to a server and establish a session.
+    pub async fn connect(server: &str, lease: LeaseConfig) -> Result<TankClient> {
+        let sock = UdpSocket::bind("127.0.0.1:0")
+            .await
+            .map_err(|e| NetClientError::Io(e.to_string()))?;
+        sock.connect(server).await.map_err(|e| NetClientError::Io(e.to_string()))?;
+        let sock = Arc::new(sock);
+        let state = Arc::new(Mutex::new(ClientState {
+            lease: ClientLease::new(lease),
+            session: None,
+            next_seq: 1,
+            pending: HashMap::new(),
+            seen_pushes: std::collections::HashSet::new(),
+            held: std::collections::HashSet::new(),
+        }));
+        let mut client = TankClient {
+            sock: sock.clone(),
+            state: state.clone(),
+            tasks: Vec::new(),
+            retries: 8,
+            rto: std::time::Duration::from_millis(150),
+        };
+        client.tasks.push(tokio::spawn(Self::recv_loop(sock.clone(), state.clone())));
+        client.tasks.push(tokio::spawn(Self::lease_loop(sock.clone(), state.clone())));
+        client.hello().await?;
+        Ok(client)
+    }
+
+    /// The receive loop: responses complete pending requests (and renew
+    /// the lease); pushes are acknowledged and demands auto-released.
+    async fn recv_loop(sock: Arc<UdpSocket>, state: Arc<Mutex<ClientState>>) {
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let Ok(n) = sock.recv(&mut buf).await else { break };
+            let mut bytes = Bytes::copy_from_slice(&buf[..n]);
+            let Ok(msg) = NetMsg::decode(&mut bytes) else { continue };
+            match msg {
+                NetMsg::Ctl(CtlMsg::Response(resp)) => {
+                    let waiter = {
+                        let mut st = state.lock();
+                        if resp.is_ack() {
+                            st.lease.on_ack(resp.seq, mono_now());
+                        } else {
+                            st.lease.on_nack(mono_now());
+                        }
+                        st.pending.remove(&resp.seq)
+                    };
+                    if let Some(w) = waiter {
+                        let _ = w.send(resp.outcome);
+                    }
+                }
+                NetMsg::Ctl(CtlMsg::Push(push)) => {
+                    Self::on_push(&sock, &state, push).await;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    async fn on_push(
+        sock: &Arc<UdpSocket>,
+        state: &Arc<Mutex<ClientState>>,
+        push: tank_proto::ServerPush,
+    ) {
+        let (session, fresh) = {
+            let mut st = state.lock();
+            (st.session.unwrap_or(SessionId(0)), st.seen_pushes.insert(push.push_seq))
+        };
+        // Always ack.
+        let ack = Self::raw_request(state, session, RequestBody::PushAck { push_seq: push.push_seq });
+        let _ = sock.send(&ack.1).await;
+        if !fresh {
+            return;
+        }
+        if let PushBody::Demand { ino, epoch, .. } = push.body {
+            // No data cache to flush in this client: release immediately,
+            // naming the demanded grant.
+            let (seq, bytes) =
+                Self::raw_request(state, session, RequestBody::LockRelease { ino, epoch });
+            let _ = seq;
+            let _ = sock.send(&bytes).await;
+            state.lock().held.remove(&ino);
+        }
+    }
+
+    /// The keep-alive loop: sleeps until the lease machine's next wakeup
+    /// and sends keep-alives when it asks for them.
+    async fn lease_loop(sock: Arc<UdpSocket>, state: Arc<Mutex<ClientState>>) {
+        loop {
+            let (sleep_for, keepalive) = {
+                let mut st = state.lock();
+                let now = mono_now();
+                let mut ka = false;
+                for action in st.lease.poll(now) {
+                    if action == LeaseAction::SendKeepAlive {
+                        ka = true;
+                    }
+                }
+                let next = st
+                    .lease
+                    .next_wakeup(now)
+                    .map(|at| std::time::Duration::from_nanos(at.0.saturating_sub(now.0)))
+                    .unwrap_or(std::time::Duration::from_millis(200));
+                (next.max(std::time::Duration::from_millis(10)), ka)
+            };
+            if keepalive {
+                let session = state.lock().session.unwrap_or(SessionId(0));
+                let (_, bytes) = Self::raw_request(&state, session, RequestBody::KeepAlive);
+                let _ = sock.send(&bytes).await;
+            }
+            tokio::time::sleep(sleep_for).await;
+        }
+    }
+
+    /// Allocate a sequence number, register the send with the lease
+    /// machine, and encode the datagram. (No pending entry: fire-and-forget
+    /// sends like PushAck/KeepAlive use this directly.)
+    fn raw_request(
+        state: &Arc<Mutex<ClientState>>,
+        session: SessionId,
+        body: RequestBody,
+    ) -> (ReqSeq, Vec<u8>) {
+        let mut st = state.lock();
+        let seq = ReqSeq(st.next_seq);
+        st.next_seq += 1;
+        st.lease.on_send(seq, mono_now());
+        let req = Request { src: NodeId(0), session, seq, body };
+        (seq, NetMsg::Ctl(CtlMsg::Request(req)).encoded().to_vec())
+    }
+
+    /// Send a request with retries; returns the server's outcome.
+    async fn request(&self, body: RequestBody) -> Result<ReplyBody> {
+        let session = self.state.lock().session.unwrap_or(SessionId(0));
+        let (seq, bytes) = {
+            let mut st = self.state.lock();
+            let seq = ReqSeq(st.next_seq);
+            st.next_seq += 1;
+            st.lease.on_send(seq, mono_now());
+            let req = Request { src: NodeId(0), session, seq, body };
+            (seq, NetMsg::Ctl(CtlMsg::Request(req)).encoded().to_vec())
+        };
+        for _attempt in 0..=self.retries {
+            let (tx, rx) = oneshot::channel();
+            self.state.lock().pending.insert(seq, tx);
+            self.sock
+                .send(&bytes)
+                .await
+                .map_err(|e| NetClientError::Io(e.to_string()))?;
+            match tokio::time::timeout(self.rto, rx).await {
+                Ok(Ok(ResponseOutcome::Acked(Ok(reply)))) => return Ok(reply),
+                Ok(Ok(ResponseOutcome::Acked(Err(e)))) => return Err(NetClientError::Fs(e)),
+                Ok(Ok(ResponseOutcome::Nacked(r))) => return Err(NetClientError::Nacked(r)),
+                Ok(Err(_)) | Err(_) => {
+                    // lost or timed out: retry with the SAME seq (the
+                    // server's dedup window makes this at-most-once).
+                    self.state.lock().pending.remove(&seq);
+                }
+            }
+        }
+        Err(NetClientError::Timeout)
+    }
+
+    async fn hello(&self) -> Result<()> {
+        let sent_at = mono_now();
+        match self.request(RequestBody::Hello).await? {
+            ReplyBody::HelloOk { session } => {
+                let mut st = self.state.lock();
+                st.session = Some(session);
+                st.lease.reset_session(sent_at, mono_now());
+                st.held.clear();
+                st.seen_pushes.clear();
+                Ok(())
+            }
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// Re-establish a session after expiry (public for tests/tools).
+    pub async fn rehello(&self) -> Result<()> {
+        self.hello().await
+    }
+
+    /// Current lease phase on this client's clock.
+    pub fn lease_phase(&self) -> Phase {
+        let mut st = self.state.lock();
+        let now = mono_now();
+        let _ = st.lease.poll(now);
+        st.lease.phase(now)
+    }
+
+    /// Number of lease renewals observed.
+    pub fn renewals(&self) -> u64 {
+        self.state.lock().lease.renewal_count()
+    }
+
+    /// Keep-alives the lease machine has requested.
+    pub fn keepalives(&self) -> u64 {
+        self.state.lock().lease.keepalive_count()
+    }
+
+    /// Create a file under `parent`.
+    pub async fn create(&self, parent: Ino, name: &str) -> Result<Ino> {
+        match self.request(RequestBody::Create { parent, name: name.into() }).await? {
+            ReplyBody::Created { ino } => Ok(ino),
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// Make a directory.
+    pub async fn mkdir(&self, parent: Ino, name: &str) -> Result<Ino> {
+        match self.request(RequestBody::Mkdir { parent, name: name.into() }).await? {
+            ReplyBody::Created { ino } => Ok(ino),
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// Resolve a name.
+    pub async fn lookup(&self, parent: Ino, name: &str) -> Result<(Ino, FileAttr)> {
+        match self.request(RequestBody::Lookup { parent, name: name.into() }).await? {
+            ReplyBody::Resolved { ino, attr } => Ok((ino, attr)),
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// Fetch attributes.
+    pub async fn getattr(&self, ino: Ino) -> Result<FileAttr> {
+        match self.request(RequestBody::GetAttr { ino }).await? {
+            ReplyBody::Attr { attr } => Ok(attr),
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// List a directory.
+    pub async fn readdir(&self, dir: Ino) -> Result<Vec<(String, Ino)>> {
+        match self.request(RequestBody::ReadDir { dir }).await? {
+            ReplyBody::Dir { entries } => Ok(entries),
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// Remove a file.
+    pub async fn unlink(&self, parent: Ino, name: &str) -> Result<()> {
+        match self.request(RequestBody::Unlink { parent, name: name.into() }).await? {
+            ReplyBody::Ok => Ok(()),
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// Acquire a data lock; waits for the grant (the server answers when
+    /// the lock becomes available).
+    pub async fn lock(&self, ino: Ino, mode: LockMode) -> Result<tank_proto::Epoch> {
+        match self.request(RequestBody::LockAcquire { ino, mode }).await? {
+            ReplyBody::LockGranted { epoch, .. } => {
+                self.state.lock().held.insert(ino);
+                Ok(epoch)
+            }
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// Release a data lock (the grant to release is named by its epoch).
+    pub async fn release(&self, ino: Ino, epoch: tank_proto::Epoch) -> Result<()> {
+        match self.request(RequestBody::LockRelease { ino, epoch }).await? {
+            ReplyBody::Ok => {
+                self.state.lock().held.remove(&ino);
+                Ok(())
+            }
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// Send one explicit keep-alive (normally the background task does
+    /// this when the lease machine asks).
+    pub async fn keep_alive(&self) -> Result<()> {
+        match self.request(RequestBody::KeepAlive).await? {
+            ReplyBody::Ok => Ok(()),
+            _ => Err(NetClientError::Protocol),
+        }
+    }
+
+    /// The root inode of the server's namespace.
+    pub fn root(&self) -> Ino {
+        Ino(1)
+    }
+}

@@ -1,0 +1,52 @@
+//! Real-network binding of the Storage Tank lease protocol.
+//!
+//! The simulator proves the protocol's properties; this crate proves the
+//! protocol is not simulator-bound. The *same* sans-io state machines —
+//! [`tank_core::ClientLease`], [`tank_core::LeaseAuthority`], the lock
+//! manager, session table and metadata store — are driven here by tokio
+//! timers and UDP datagrams instead of virtual time and a virtual network:
+//!
+//! * [`LeaseServer`] — a metadata/lock/lease server on a UDP socket
+//!   (`tankd` is its binary form). No SAN exists here, so the data path is
+//!   metadata + locks only and fencing is recorded rather than enforced;
+//!   everything lease-related is the real protocol: opportunistic renewal,
+//!   NACKs for suspect clients, `τ(1+ε)` timers, steal-on-expiry.
+//! * [`TankClient`] — an async client: request/retry with stable sequence
+//!   numbers (at-most-once at the server), implicit lease renewal on every
+//!   acknowledged request, a keep-alive task driven by the lease machine's
+//!   own wakeup schedule, and automatic demand handling.
+//!
+//! Timestamps given to the sans-io cores are monotonic nanoseconds from a
+//! process-local epoch ([`mono_now`]), which is exactly the "local clock"
+//! the paper's rate-synchronization assumption speaks about.
+
+pub mod client;
+pub mod server;
+
+pub use client::TankClient;
+pub use server::{LeaseServer, ServerHandle};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use tank_sim::LocalNs;
+
+/// Monotonic local time in nanoseconds since the first call in this
+/// process — the node's "local clock".
+pub fn mono_now() -> LocalNs {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    LocalNs(epoch.elapsed().as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mono_now_is_monotone() {
+        let a = mono_now();
+        let b = mono_now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,538 @@
+//! The UDP lease/lock/metadata server.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use tank_core::{ClientStanding, LeaseAuthority, LeaseConfig};
+use tank_meta::{MetaError, MetaStore};
+use tank_proto::message::{FsError, ReplyBody, RequestBody, ResponseOutcome};
+use tank_proto::{
+    CtlMsg, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request, Response,
+    ServerPush, SessionId, WireDecode, WireEncode,
+};
+use tank_server::lock::{Grant, LockManager, LockRequestOutcome};
+use tank_server::session::{Admission, SessionTable};
+use tokio::net::UdpSocket;
+use tokio::sync::mpsc;
+
+use crate::mono_now;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Lease contract.
+    pub lease: LeaseConfig,
+    /// Push retry interval.
+    pub push_retry: std::time::Duration,
+    /// Push retry budget before a delivery error is declared.
+    pub push_retries: u32,
+    /// Post-PushAck release deadline.
+    pub release_timeout: std::time::Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            lease: LeaseConfig::default(),
+            push_retry: std::time::Duration::from_millis(200),
+            push_retries: 3,
+            release_timeout: std::time::Duration::from_secs(2),
+        }
+    }
+}
+
+/// Internal commands multiplexed into the single-threaded server loop.
+enum Cmd {
+    Datagram(SocketAddr, NetMsg),
+    PushRetry(u64),
+    ReleaseWait(u64),
+    LeaseExpiry(NodeId),
+}
+
+struct PendingPush {
+    addr: SocketAddr,
+    dst: NodeId,
+    session: SessionId,
+    body: PushBody,
+    retries_left: u32,
+    acked: bool,
+}
+
+/// Counters exposed to tests/operators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetServerStats {
+    /// Requests executed.
+    pub requests: u64,
+    /// NACKs sent.
+    pub nacks: u64,
+    /// Delivery errors declared.
+    pub delivery_errors: u64,
+    /// Steals performed.
+    pub steals: u64,
+}
+
+/// The server state, owned by the run loop.
+pub struct LeaseServer {
+    cfg: NetServerConfig,
+    sock: Arc<UdpSocket>,
+    tx: mpsc::UnboundedSender<Cmd>,
+    meta: MetaStore,
+    locks: LockManager,
+    authority: LeaseAuthority,
+    sessions: SessionTable,
+    /// addr ⟷ node id mapping (ids assigned on first contact).
+    ids: HashMap<SocketAddr, NodeId>,
+    addrs: HashMap<NodeId, SocketAddr>,
+    next_id: u32,
+    pushes: HashMap<u64, PendingPush>,
+    next_push: u64,
+    stats: NetServerStats,
+}
+
+/// Handle returned by [`LeaseServer::spawn`].
+pub struct ServerHandle {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    join: tokio::task::JoinHandle<NetServerStats>,
+    shutdown: mpsc::UnboundedSender<()>,
+}
+
+impl ServerHandle {
+    /// Stop the server and return its final counters.
+    pub async fn stop(self) -> NetServerStats {
+        let _ = self.shutdown.send(());
+        self.join.await.unwrap_or_default()
+    }
+}
+
+impl LeaseServer {
+    /// Bind `addr` and run the server on a background task.
+    pub async fn spawn(addr: &str, cfg: NetServerConfig) -> std::io::Result<ServerHandle> {
+        let sock = Arc::new(UdpSocket::bind(addr).await?);
+        let bound = sock.local_addr()?;
+        let (tx, rx) = mpsc::unbounded_channel();
+        let (stop_tx, stop_rx) = mpsc::unbounded_channel();
+        let server = LeaseServer {
+            cfg,
+            sock: sock.clone(),
+            tx: tx.clone(),
+            meta: MetaStore::new(1 << 16, 4096),
+            locks: LockManager::new(),
+            authority: LeaseAuthority::new(LeaseConfig::default()),
+            sessions: SessionTable::new(),
+            ids: HashMap::new(),
+            addrs: HashMap::new(),
+            next_id: 1,
+            pushes: HashMap::new(),
+            next_push: 1,
+            stats: NetServerStats::default(),
+        };
+        let mut server = server;
+        server.authority = LeaseAuthority::new(server.cfg.lease);
+        let join = tokio::spawn(server.run(rx, stop_rx));
+        // Receiver task: socket → channel.
+        tokio::spawn(async move {
+            let mut buf = vec![0u8; 64 * 1024];
+            loop {
+                let Ok((n, peer)) = sock.recv_from(&mut buf).await else { break };
+                let mut bytes = Bytes::copy_from_slice(&buf[..n]);
+                if let Ok(msg) = NetMsg::decode(&mut bytes) {
+                    if tx.send(Cmd::Datagram(peer, msg)).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        Ok(ServerHandle { addr: bound, join, shutdown: stop_tx })
+    }
+
+    async fn run(
+        mut self,
+        mut rx: mpsc::UnboundedReceiver<Cmd>,
+        mut stop: mpsc::UnboundedReceiver<()>,
+    ) -> NetServerStats {
+        loop {
+            tokio::select! {
+                cmd = rx.recv() => match cmd {
+                    Some(cmd) => self.handle(cmd).await,
+                    None => break,
+                },
+                _ = stop.recv() => break,
+            }
+        }
+        self.stats
+    }
+
+    fn node_of(&mut self, addr: SocketAddr) -> NodeId {
+        if let Some(&id) = self.ids.get(&addr) {
+            return id;
+        }
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.ids.insert(addr, id);
+        self.addrs.insert(id, addr);
+        id
+    }
+
+    async fn send(&self, addr: SocketAddr, msg: &NetMsg) {
+        let bytes = msg.encoded();
+        let _ = self.sock.send_to(&bytes, addr).await;
+    }
+
+    async fn respond(
+        &mut self,
+        addr: SocketAddr,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        outcome: ResponseOutcome,
+    ) {
+        let resp = Response { dst: client, session, seq, outcome };
+        if resp.is_ack() {
+            self.sessions.record_response(client, seq, resp.clone());
+        } else {
+            self.stats.nacks += 1;
+        }
+        self.send(addr, &NetMsg::Ctl(CtlMsg::Response(resp))).await;
+    }
+
+    async fn handle(&mut self, cmd: Cmd) {
+        match cmd {
+            Cmd::Datagram(addr, NetMsg::Ctl(CtlMsg::Request(req))) => {
+                self.on_request(addr, req).await;
+            }
+            Cmd::Datagram(..) => {}
+            Cmd::PushRetry(push_seq) => {
+                let Some(p) = self.pushes.get_mut(&push_seq) else { return };
+                if p.acked {
+                    return;
+                }
+                if p.retries_left == 0 {
+                    let dst = p.dst;
+                    self.delivery_error(dst);
+                } else {
+                    p.retries_left -= 1;
+                    self.send_push(push_seq).await;
+                }
+            }
+            Cmd::ReleaseWait(push_seq) => {
+                if let Some(p) = self.pushes.remove(&push_seq) {
+                    let still_held = match &p.body {
+                        PushBody::Demand { ino, epoch, .. } => {
+                            self.locks.holding_epoch(p.dst, *ino) == Some(*epoch)
+                        }
+                        _ => false,
+                    };
+                    if still_held {
+                        self.delivery_error(p.dst);
+                    }
+                }
+            }
+            Cmd::LeaseExpiry(client) => {
+                if self.authority.on_timer(client, mono_now()) {
+                    // No SAN here: fencing is a no-op; steal directly.
+                    self.stats.steals += 1;
+                    let (_stolen, grants) = self.locks.steal_all(client);
+                    self.deliver_grants(grants).await;
+                }
+            }
+        }
+    }
+
+    fn delivery_error(&mut self, client: NodeId) {
+        self.stats.delivery_errors += 1;
+        let done: Vec<u64> = self
+            .pushes
+            .iter()
+            .filter(|(_, p)| p.dst == client)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in done {
+            self.pushes.remove(&k);
+        }
+        if let Some(fires_at) = self.authority.on_delivery_error(client, mono_now()) {
+            let delay = std::time::Duration::from_nanos(fires_at.0.saturating_sub(mono_now().0));
+            let tx = self.tx.clone();
+            tokio::spawn(async move {
+                tokio::time::sleep(delay).await;
+                let _ = tx.send(Cmd::LeaseExpiry(client));
+            });
+        }
+    }
+
+    async fn send_push(&mut self, push_seq: u64) {
+        let Some(p) = self.pushes.get(&push_seq) else { return };
+        let msg = NetMsg::Ctl(CtlMsg::Push(ServerPush {
+            dst: p.dst,
+            session: p.session,
+            push_seq,
+            body: p.body.clone(),
+        }));
+        let addr = p.addr;
+        self.send(addr, &msg).await;
+        let tx = self.tx.clone();
+        let delay = self.cfg.push_retry;
+        tokio::spawn(async move {
+            tokio::time::sleep(delay).await;
+            let _ = tx.send(Cmd::PushRetry(push_seq));
+        });
+    }
+
+    /// Returns grants unblocked when the holder had no live session.
+    async fn start_demand(&mut self, holder: NodeId, ino: Ino, mode_needed: LockMode) -> Vec<Grant> {
+        let dup = self.pushes.values().any(|p| {
+            p.dst == holder && matches!(p.body, PushBody::Demand { ino: i, .. } if i == ino)
+        });
+        if dup {
+            return Vec::new();
+        }
+        let (Some(session), Some(&addr)) =
+            (self.sessions.current(holder), self.addrs.get(&holder))
+        else {
+            return self.locks.release(holder, ino, None);
+        };
+        let Some(epoch) = self.locks.holding_epoch(holder, ino) else {
+            return Vec::new();
+        };
+        let push_seq = self.next_push;
+        self.next_push += 1;
+        self.pushes.insert(
+            push_seq,
+            PendingPush {
+                addr,
+                dst: holder,
+                session,
+                body: PushBody::Demand { ino, mode_needed, epoch },
+                retries_left: self.cfg.push_retries,
+                acked: false,
+            },
+        );
+        self.send_push(push_seq).await;
+        Vec::new()
+    }
+
+    async fn deliver_grants(&mut self, grants: Vec<Grant>) {
+        let mut queue: std::collections::VecDeque<Grant> = grants.into();
+        while !queue.is_empty() {
+            let mut touched: Vec<Ino> = Vec::new();
+            let batch: Vec<Grant> = queue.drain(..).collect();
+            touched.extend(batch.iter().map(|g| g.ino));
+            touched.sort();
+            touched.dedup();
+            for g in batch {
+                if let Some((session, seq)) = g.answers {
+                let Some(&addr) = self.addrs.get(&g.client) else { continue };
+                let (blocks, size) = self.meta.file_extent(g.ino).unwrap_or((Vec::new(), 0));
+                self.respond(
+                    addr,
+                    g.client,
+                    session,
+                    seq,
+                    ResponseOutcome::Acked(Ok(ReplyBody::LockGranted {
+                        ino: g.ino,
+                        mode: g.mode,
+                        epoch: g.epoch,
+                        blocks,
+                        size,
+                    })),
+                )
+                .await;
+                }
+            }
+            for ino in touched {
+                for (holder, mode) in self.locks.pending_demands(ino) {
+                    let more = self.start_demand(holder, ino, mode).await;
+                    queue.extend(more);
+                }
+            }
+        }
+    }
+
+    fn map_meta<T>(r: Result<T, MetaError>) -> Result<T, FsError> {
+        r.map_err(|e| match e {
+            MetaError::NotFound => FsError::NotFound,
+            MetaError::Exists => FsError::Exists,
+            MetaError::Invalid => FsError::Invalid,
+            MetaError::NoSpace => FsError::NoSpace,
+        })
+    }
+
+    async fn on_request(&mut self, addr: SocketAddr, req: Request) {
+        let client = self.node_of(addr);
+        match self.authority.standing_of(client) {
+            ClientStanding::Good => {}
+            ClientStanding::Suspect { .. } => {
+                return self
+                    .respond(
+                        addr,
+                        client,
+                        req.session,
+                        req.seq,
+                        ResponseOutcome::Nacked(NackReason::LeaseTimingOut),
+                    )
+                    .await;
+            }
+            ClientStanding::Expired => {
+                if !matches!(req.body, RequestBody::Hello) {
+                    return self
+                        .respond(
+                            addr,
+                            client,
+                            req.session,
+                            req.seq,
+                            ResponseOutcome::Nacked(NackReason::SessionExpired),
+                        )
+                        .await;
+                }
+            }
+        }
+        if matches!(req.body, RequestBody::Hello) {
+            self.stats.requests += 1;
+            let (_stolen, grants) = self.locks.steal_all(client);
+            self.deliver_grants(grants).await;
+            self.authority.on_new_session(client);
+            let session = self.sessions.begin(client);
+            return self
+                .respond(
+                    addr,
+                    client,
+                    session,
+                    req.seq,
+                    ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session })),
+                )
+                .await;
+        }
+        match self.sessions.admit(client, req.session, req.seq) {
+            Admission::Execute => {
+                self.stats.requests += 1;
+                self.execute(addr, client, req).await;
+            }
+            Admission::Replay(resp) => {
+                self.send(addr, &NetMsg::Ctl(CtlMsg::Response(*resp))).await;
+            }
+            Admission::InProgress => {}
+            Admission::WrongSession => {
+                self.respond(
+                    addr,
+                    client,
+                    req.session,
+                    req.seq,
+                    ResponseOutcome::Nacked(NackReason::StaleSession),
+                )
+                .await;
+            }
+        }
+    }
+
+    async fn execute(&mut self, addr: SocketAddr, client: NodeId, req: Request) {
+        let now = mono_now().0;
+        let session = req.session;
+        let seq = req.seq;
+        let result: Result<ReplyBody, FsError> = match req.body {
+            RequestBody::Hello => unreachable!(),
+            RequestBody::KeepAlive => Ok(ReplyBody::Ok),
+            RequestBody::Create { parent, name } => {
+                Self::map_meta(self.meta.create(parent, &name, now)).map(|ino| ReplyBody::Created { ino })
+            }
+            RequestBody::Mkdir { parent, name } => {
+                Self::map_meta(self.meta.mkdir(parent, &name, now)).map(|ino| ReplyBody::Created { ino })
+            }
+            RequestBody::Lookup { parent, name } => Self::map_meta(self.meta.lookup(parent, &name))
+                .map(|(ino, attr)| ReplyBody::Resolved { ino, attr }),
+            RequestBody::ReadDir { dir } => {
+                Self::map_meta(self.meta.readdir(dir)).map(|entries| ReplyBody::Dir { entries })
+            }
+            RequestBody::Unlink { parent, name } => {
+                match self.meta.lookup(parent, &name) {
+                    Ok((ino, _)) if self.locks.is_contended(ino) => Err(FsError::Unavailable),
+                    _ => Self::map_meta(self.meta.unlink(parent, &name)).map(|_| ReplyBody::Ok),
+                }
+            }
+            RequestBody::GetAttr { ino } => {
+                Self::map_meta(self.meta.getattr(ino)).map(|attr| ReplyBody::Attr { attr })
+            }
+            RequestBody::SetAttr { ino, size } => {
+                Self::map_meta(self.meta.setattr(ino, size, now)).map(|attr| ReplyBody::Attr { attr })
+            }
+            RequestBody::LockAcquire { ino, mode } => {
+                if let Err(e) = Self::map_meta(self.meta.getattr(ino)) {
+                    Err(e)
+                } else {
+                    match self.locks.request(client, ino, mode, session, seq) {
+                        LockRequestOutcome::Granted(g) => {
+                            let (blocks, size) =
+                                self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
+                            Ok(ReplyBody::LockGranted { ino, mode, epoch: g.epoch, blocks, size })
+                        }
+                        LockRequestOutcome::AlreadyHeld(epoch, held) => {
+                            let (blocks, size) =
+                                self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
+                            Ok(ReplyBody::LockGranted { ino, mode: held, epoch, blocks, size })
+                        }
+                        LockRequestOutcome::Queued { demand_from } => {
+                            let mut grants = Vec::new();
+                            for holder in demand_from {
+                                grants.extend(self.start_demand(holder, ino, mode).await);
+                            }
+                            self.deliver_grants(grants).await;
+                            return; // grant answers later
+                        }
+                    }
+                }
+            }
+            RequestBody::LockRelease { ino, epoch } => {
+                let grants = self.locks.release(client, ino, Some(epoch));
+                let done: Vec<u64> = self
+                    .pushes
+                    .iter()
+                    .filter(|(_, p)| {
+                        p.dst == client
+                            && matches!(p.body, PushBody::Demand { ino: i, .. } if i == ino)
+                    })
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in done {
+                    self.pushes.remove(&k);
+                }
+                self.deliver_grants(grants).await;
+                Ok(ReplyBody::Ok)
+            }
+            RequestBody::PushAck { push_seq } => {
+                if let Some(p) = self.pushes.get_mut(&push_seq) {
+                    if !p.acked {
+                        p.acked = true;
+                        let tx = self.tx.clone();
+                        let delay = self.cfg.release_timeout;
+                        tokio::spawn(async move {
+                            tokio::time::sleep(delay).await;
+                            let _ = tx.send(Cmd::ReleaseWait(push_seq));
+                        });
+                    }
+                }
+                Ok(ReplyBody::Ok)
+            }
+            RequestBody::AllocBlocks { ino, count } => {
+                if !self.locks.holds(client, ino, LockMode::Exclusive) {
+                    Err(FsError::NotLocked)
+                } else {
+                    Self::map_meta(self.meta.alloc_blocks(ino, count))
+                        .map(|blocks| ReplyBody::Allocated { blocks })
+                }
+            }
+            RequestBody::CommitWrite { ino, new_size } => {
+                if !self.locks.holds(client, ino, LockMode::Exclusive) {
+                    Err(FsError::NotLocked)
+                } else {
+                    Self::map_meta(self.meta.commit_write(ino, new_size, now)).map(|_| ReplyBody::Ok)
+                }
+            }
+            RequestBody::ReadData { .. } | RequestBody::WriteData { .. } => {
+                // No SAN behind this server; data stays with the client.
+                Err(FsError::Invalid)
+            }
+        };
+        self.respond(addr, client, session, seq, ResponseOutcome::Acked(result)).await;
+    }
+}

@@ -1,0 +1,80 @@
+//! Data-lock modes.
+//!
+//! The paper's clients hold "data locks" that permit reading and writing
+//! file data and protect cached copies (§2). We model the classic two-mode
+//! lattice: many concurrent shared readers, or one exclusive owner.
+
+use serde::{Deserialize, Serialize};
+
+/// Mode of a data lock on an inode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Shared: the holder may read file data and cache clean copies.
+    SharedRead,
+    /// Exclusive: the holder may read and write, and may cache dirty
+    /// (written-back-later) data.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Whether two locks in these modes may be held simultaneously by
+    /// different clients.
+    #[inline]
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::SharedRead, LockMode::SharedRead))
+    }
+
+    /// Whether a holder in mode `self` already covers a request for `want`
+    /// (no upgrade needed).
+    #[inline]
+    pub fn covers(self, want: LockMode) -> bool {
+        match (self, want) {
+            (LockMode::Exclusive, _) => true,
+            (LockMode::SharedRead, LockMode::SharedRead) => true,
+            (LockMode::SharedRead, LockMode::Exclusive) => false,
+        }
+    }
+
+    /// Whether the mode permits writes (and therefore dirty caching).
+    #[inline]
+    pub fn allows_write(self) -> bool {
+        matches!(self, LockMode::Exclusive)
+    }
+}
+
+impl std::fmt::Display for LockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockMode::SharedRead => write!(f, "S"),
+            LockMode::Exclusive => write!(f, "X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        assert!(SharedRead.compatible(SharedRead));
+        assert!(!SharedRead.compatible(Exclusive));
+        assert!(!Exclusive.compatible(SharedRead));
+        assert!(!Exclusive.compatible(Exclusive));
+    }
+
+    #[test]
+    fn coverage() {
+        assert!(Exclusive.covers(SharedRead));
+        assert!(Exclusive.covers(Exclusive));
+        assert!(SharedRead.covers(SharedRead));
+        assert!(!SharedRead.covers(Exclusive));
+    }
+
+    #[test]
+    fn write_permission() {
+        assert!(Exclusive.allows_write());
+        assert!(!SharedRead.allows_write());
+    }
+}

@@ -1,0 +1,389 @@
+//! Control-network message set (client ⟷ server).
+//!
+//! Three top-level shapes exist, mirroring §3 of the paper:
+//!
+//! * [`Request`] — always client-initiated, carries a sequence number, and
+//!   is answered by exactly one [`Response`]. A client implicitly renews its
+//!   lease whenever a request it initiated is *acknowledged* (§3.1).
+//! * [`Response`] — the server's answer. An acknowledged response (ACK)
+//!   renews the lease even if the file-system operation inside failed (e.g.
+//!   `NotFound`): receipt was acknowledged, which is all leasing needs. A
+//!   negatively-acknowledged response (NACK) is the §3.3 signal: the request
+//!   was valid but the server has begun timing out the client's lease, so
+//!   the client must treat its cache as invalid and enter phase 3 directly.
+//! * [`ServerPush`] — server-initiated (lock demands, cache invalidations).
+//!   Pushes never renew leases (§3.1: "Clients are not granted leases when
+//!   servers initiate communication") and are retried until the client
+//!   responds; persistent failure to respond is the delivery error that arms
+//!   the lease authority.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{BlockId, Epoch, Ino, NodeId, ReqSeq, SessionId};
+use crate::lock::LockMode;
+
+/// A message on the control network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CtlMsg {
+    /// Client-initiated request.
+    Request(Request),
+    /// Server's answer to a request.
+    Response(Response),
+    /// Server-initiated push (demand/invalidate).
+    Push(ServerPush),
+}
+
+/// A client-initiated request datagram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// The sending client (redundant with the network envelope, but kept in
+    /// the message so the wire format is self-contained).
+    pub src: NodeId,
+    /// Session incarnation this request belongs to.
+    pub session: SessionId,
+    /// Per-session sequence number for at-most-once delivery.
+    pub seq: ReqSeq,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// Operations a client can request from the metadata server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Establish (or, after lease expiry, re-establish) a session.
+    Hello,
+    /// NULL message whose only purpose is to be ACKed, renewing the lease
+    /// (§3.1: "we do provide an extra protocol message, with no metadata or
+    /// lock function, for the sole purpose of renewing a lease").
+    KeepAlive,
+    /// Create a file under a directory.
+    Create { parent: Ino, name: String },
+    /// Resolve a name under a directory.
+    Lookup { parent: Ino, name: String },
+    /// Create a directory.
+    Mkdir { parent: Ino, name: String },
+    /// List a directory.
+    ReadDir { dir: Ino },
+    /// Remove a file.
+    Unlink { parent: Ino, name: String },
+    /// Fetch attributes.
+    GetAttr { ino: Ino },
+    /// Truncate / touch metadata.
+    SetAttr { ino: Ino, size: Option<u64> },
+    /// Acquire (or upgrade) a data lock on an inode. The grant carries the
+    /// block map so the client can perform SAN I/O directly.
+    LockAcquire { ino: Ino, mode: LockMode },
+    /// Release a data lock (voluntarily or in answer to a demand). The
+    /// epoch names the grant being released: the server ignores a release
+    /// whose epoch does not match the current holding, so a stale or
+    /// blind release (one that raced a newer grant) cannot tear down a
+    /// grant the client doesn't know it owns.
+    LockRelease { ino: Ino, epoch: Epoch },
+    /// Immediate acknowledgement of a server push; stops push retries while
+    /// the client is still flushing prior to release.
+    PushAck { push_seq: u64 },
+    /// Ask the server to allocate additional blocks to a file (data
+    /// allocation is a server responsibility, §1.1).
+    AllocBlocks { ino: Ino, count: u32 },
+    /// Commit new file size/mtime after the client hardened data to the SAN.
+    CommitWrite { ino: Ino, new_size: u64 },
+    /// Function-shipped read (baseline data path: server performs the I/O).
+    ReadData { ino: Ino, offset: u64, len: u32 },
+    /// Function-shipped write.
+    WriteData { ino: Ino, offset: u64, data: Vec<u8> },
+}
+
+impl RequestBody {
+    /// Short static label for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestBody::Hello => "hello",
+            RequestBody::KeepAlive => "keep_alive",
+            RequestBody::Create { .. } => "create",
+            RequestBody::Lookup { .. } => "lookup",
+            RequestBody::Mkdir { .. } => "mkdir",
+            RequestBody::ReadDir { .. } => "readdir",
+            RequestBody::Unlink { .. } => "unlink",
+            RequestBody::GetAttr { .. } => "getattr",
+            RequestBody::SetAttr { .. } => "setattr",
+            RequestBody::LockAcquire { .. } => "lock_acquire",
+            RequestBody::LockRelease { .. } => "lock_release",
+            RequestBody::PushAck { .. } => "push_ack",
+            RequestBody::AllocBlocks { .. } => "alloc_blocks",
+            RequestBody::CommitWrite { .. } => "commit_write",
+            RequestBody::ReadData { .. } => "read_data",
+            RequestBody::WriteData { .. } => "write_data",
+        }
+    }
+}
+
+/// File attributes returned by metadata operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FileAttr {
+    /// Logical file size in bytes.
+    pub size: u64,
+    /// Modification time (server-local nanoseconds; metadata is only weakly
+    /// consistent, §3, so this is informational).
+    pub mtime: u64,
+    /// Metadata version, bumped on every mutation.
+    pub version: u64,
+    /// True for directories.
+    pub is_dir: bool,
+}
+
+/// Successful operation results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplyBody {
+    /// New session established.
+    HelloOk { session: SessionId },
+    /// Generic acknowledgement with no payload (keep-alive, release, ack,
+    /// commit, unlink...).
+    Ok,
+    /// A namespace entry was created.
+    Created { ino: Ino },
+    /// Name resolution result.
+    Resolved { ino: Ino, attr: FileAttr },
+    /// Attributes.
+    Attr { attr: FileAttr },
+    /// Directory listing.
+    Dir { entries: Vec<(String, Ino)> },
+    /// Lock granted. Carries everything the client needs for direct SAN
+    /// access: the epoch stamping subsequent writes, the block map, and the
+    /// current size.
+    LockGranted {
+        ino: Ino,
+        mode: LockMode,
+        epoch: Epoch,
+        blocks: Vec<BlockId>,
+        size: u64,
+    },
+    /// Additional blocks allocated to the file (full new map returned).
+    Allocated { blocks: Vec<BlockId> },
+    /// Function-shipped read result.
+    Data { data: Vec<u8> },
+}
+
+/// File-system level errors. These ride inside an *acknowledged* response:
+/// the server received and processed the request, so the lease is renewed;
+/// the operation simply failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsError {
+    /// No such file or directory.
+    NotFound,
+    /// Name already exists.
+    Exists,
+    /// Out of blocks on the shared store.
+    NoSpace,
+    /// Operation requires a lock the client does not hold.
+    NotLocked,
+    /// Directory operations on non-directories and similar misuse.
+    Invalid,
+    /// The lock is currently held in a conflicting mode and the server chose
+    /// to deny rather than queue (used when the holder is unreachable and
+    /// recovery policy forbids stealing — the §2 "unavailable" outcome).
+    Unavailable,
+}
+
+/// Protocol-level negative acknowledgement reasons (§3.3).
+///
+/// A NACK tells the client that the server will not execute transactions on
+/// its behalf and will not renew its lease. Distinct from [`FsError`]: a
+/// NACKed client must consider its cache invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NackReason {
+    /// The server has begun timing out this client's lease and therefore
+    /// "can neither acknowledge the message ... nor execute a transaction on
+    /// the client's behalf" (§3.3).
+    LeaseTimingOut,
+    /// The client's session is no longer valid (its locks were stolen after
+    /// lease expiry); it must send `Hello` to start a new session.
+    SessionExpired,
+    /// Sequence/session mismatch (stale duplicate from an old incarnation).
+    StaleSession,
+}
+
+/// Outcome carried by a [`Response`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponseOutcome {
+    /// ACK: the server acknowledges receipt; lease renewed. The inner result
+    /// is the file-system outcome.
+    Acked(Result<ReplyBody, FsError>),
+    /// NACK: receipt *not* acknowledged for lease purposes.
+    Nacked(NackReason),
+}
+
+/// The server's answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The client the response is addressed to.
+    pub dst: NodeId,
+    /// Echo of the request's session.
+    pub session: SessionId,
+    /// Echo of the request's sequence number; the client uses it to find the
+    /// send timestamp `t_C1` from which the renewed lease runs (§3.1).
+    pub seq: ReqSeq,
+    /// ACK or NACK.
+    pub outcome: ResponseOutcome,
+}
+
+impl Response {
+    /// True when this response renews the client's lease.
+    #[inline]
+    pub fn is_ack(&self) -> bool {
+        matches!(self.outcome, ResponseOutcome::Acked(_))
+    }
+}
+
+/// Server-initiated push bodies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PushBody {
+    /// Demand that the client downgrade/release its lock on `ino` so a
+    /// conflicting request can be granted. The client flushes dirty data
+    /// first, then releases. `epoch` names the holding being demanded, so
+    /// a client that holds nothing can answer with an epoch-qualified
+    /// release that cannot hurt a newer grant.
+    Demand { ino: Ino, mode_needed: LockMode, epoch: Epoch },
+    /// Invalidate any cached data/attributes for `ino` (metadata changed).
+    Invalidate { ino: Ino },
+}
+
+impl PushBody {
+    /// Short static label for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PushBody::Demand { .. } => "demand",
+            PushBody::Invalidate { .. } => "invalidate",
+        }
+    }
+}
+
+/// A server-initiated push datagram. Retried until `PushAck`ed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerPush {
+    /// The target client.
+    pub dst: NodeId,
+    /// Session the push belongs to.
+    pub session: SessionId,
+    /// Server-assigned push sequence (namespace disjoint from [`ReqSeq`]).
+    pub push_seq: u64,
+    /// What is being pushed.
+    pub body: PushBody,
+}
+
+impl CtlMsg {
+    /// Short static label for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CtlMsg::Request(r) => r.body.kind(),
+            CtlMsg::Response(r) => match &r.outcome {
+                ResponseOutcome::Acked(_) => "response",
+                ResponseOutcome::Nacked(_) => "nack",
+            },
+            CtlMsg::Push(p) => p.body.kind(),
+        }
+    }
+
+    /// True for pure lease-maintenance traffic (keep-alive requests and the
+    /// responses to them cannot be distinguished here, so only the request
+    /// side is counted; the overhead experiments double it).
+    pub fn is_lease_overhead(&self) -> bool {
+        matches!(
+            self,
+            CtlMsg::Request(Request { body: RequestBody::KeepAlive, .. })
+        )
+    }
+
+    /// Approximate wire size in bytes (header + body).
+    pub fn size_hint(&self) -> usize {
+        const HDR: usize = 24;
+        HDR + match self {
+            CtlMsg::Request(r) => match &r.body {
+                RequestBody::WriteData { data, .. } => 16 + data.len(),
+                RequestBody::Create { name, .. }
+                | RequestBody::Lookup { name, .. }
+                | RequestBody::Mkdir { name, .. }
+                | RequestBody::Unlink { name, .. } => 8 + name.len(),
+                _ => 16,
+            },
+            CtlMsg::Response(r) => match &r.outcome {
+                ResponseOutcome::Acked(Ok(ReplyBody::Data { data })) => 8 + data.len(),
+                ResponseOutcome::Acked(Ok(ReplyBody::Dir { entries })) => {
+                    8 + entries.iter().map(|(n, _)| n.len() + 12).sum::<usize>()
+                }
+                ResponseOutcome::Acked(Ok(ReplyBody::LockGranted { blocks, .. }))
+                | ResponseOutcome::Acked(Ok(ReplyBody::Allocated { blocks })) => {
+                    24 + 8 * blocks.len()
+                }
+                _ => 16,
+            },
+            CtlMsg::Push(_) => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(body: RequestBody) -> CtlMsg {
+        CtlMsg::Request(Request {
+            src: NodeId(3),
+            session: SessionId(1),
+            seq: ReqSeq(9),
+            body,
+        })
+    }
+
+    #[test]
+    fn ack_with_fs_error_still_renews() {
+        let resp = Response {
+            dst: NodeId(3),
+            session: SessionId(1),
+            seq: ReqSeq(9),
+            outcome: ResponseOutcome::Acked(Err(FsError::NotFound)),
+        };
+        assert!(resp.is_ack(), "application errors are still protocol ACKs");
+    }
+
+    #[test]
+    fn nack_does_not_renew() {
+        let resp = Response {
+            dst: NodeId(3),
+            session: SessionId(1),
+            seq: ReqSeq(9),
+            outcome: ResponseOutcome::Nacked(NackReason::LeaseTimingOut),
+        };
+        assert!(!resp.is_ack());
+    }
+
+    #[test]
+    fn keepalive_is_lease_overhead_and_nothing_else_is() {
+        assert!(req(RequestBody::KeepAlive).is_lease_overhead());
+        assert!(!req(RequestBody::GetAttr { ino: Ino(1) }).is_lease_overhead());
+        assert!(!req(RequestBody::Hello).is_lease_overhead());
+    }
+
+    #[test]
+    fn size_hint_scales_with_payload() {
+        let small = req(RequestBody::KeepAlive).size_hint();
+        let big = req(RequestBody::WriteData {
+            ino: Ino(1),
+            offset: 0,
+            data: vec![0u8; 4096],
+        })
+        .size_hint();
+        assert!(big > small + 4000);
+    }
+
+    #[test]
+    fn kinds_are_stable_labels() {
+        assert_eq!(req(RequestBody::KeepAlive).kind(), "keep_alive");
+        let push = CtlMsg::Push(ServerPush {
+            dst: NodeId(1),
+            session: SessionId(0),
+            push_seq: 1,
+            body: PushBody::Demand { ino: Ino(5), mode_needed: LockMode::Exclusive, epoch: crate::ids::Epoch(1) },
+        });
+        assert_eq!(push.kind(), "demand");
+    }
+}

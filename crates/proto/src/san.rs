@@ -1,0 +1,157 @@
+//! Storage-area-network message set (initiator ⟷ disk).
+//!
+//! Disks are deliberately dumb, matching §2 of the paper: "Disk drives on a
+//! SAN cannot execute non-storage code and consequently cannot maintain
+//! views and send data messages as required." A disk only answers block
+//! reads/writes and honours fencing commands; it never initiates traffic and
+//! participates in no distributed protocol.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{BlockId, NodeId, WriteTag};
+
+/// Administrative fencing operations, issued by the server to a disk.
+///
+/// Fencing "instructs the SAN-attached storage devices to no longer accept
+/// I/O requests from the isolated computer", and the device "must enforce
+/// this denial of access indefinitely" (§1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FenceOp {
+    /// Stop serving the initiator.
+    Fence,
+    /// Resume serving the initiator (after an administrator or recovery
+    /// protocol re-admits it).
+    Unfence,
+}
+
+/// A message on the SAN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SanMsg {
+    /// Read one block.
+    ReadBlock {
+        /// Initiator-chosen correlation id.
+        req_id: u64,
+        /// Block address.
+        block: BlockId,
+    },
+    /// Write one block.
+    WriteBlock {
+        /// Initiator-chosen correlation id.
+        req_id: u64,
+        /// Block address.
+        block: BlockId,
+        /// Payload (a full block).
+        data: Vec<u8>,
+        /// Provenance tag for the consistency checker; ignored by protocol
+        /// logic (real disks store bytes, not tags).
+        tag: WriteTag,
+    },
+    /// Answer to `ReadBlock`.
+    ReadResp {
+        /// Echo of the request id.
+        req_id: u64,
+        /// The outcome.
+        result: Result<SanReadOk, SanError>,
+    },
+    /// Answer to `WriteBlock`.
+    WriteResp {
+        /// Echo of the request id.
+        req_id: u64,
+        /// The outcome.
+        result: Result<(), SanError>,
+    },
+    /// Fence/unfence an initiator (server → disk). Disks acknowledge so the
+    /// server knows the fence is in force before stealing locks.
+    FenceCmd {
+        /// Correlation id.
+        req_id: u64,
+        /// The initiator whose access changes.
+        target: NodeId,
+        /// Fence or unfence.
+        op: FenceOp,
+    },
+    /// Answer to `FenceCmd`.
+    FenceResp {
+        /// Echo of the request id.
+        req_id: u64,
+    },
+}
+
+/// Payload of a successful block read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SanReadOk {
+    /// Block contents.
+    pub data: Vec<u8>,
+    /// Tag of the write that produced these contents (checker metadata).
+    pub tag: WriteTag,
+}
+
+/// Which of `ndisks` disks a block lives on: blocks are striped
+/// round-robin. Client and server must agree on placement, so the rule
+/// lives here in the shared protocol crate.
+#[inline]
+pub fn stripe_disk(block: crate::ids::BlockId, ndisks: usize) -> usize {
+    assert!(ndisks > 0, "no disks");
+    (block.0 % ndisks as u64) as usize
+}
+
+/// SAN-level I/O errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SanError {
+    /// The initiator is fenced; the disk enforces denial indefinitely.
+    Fenced,
+    /// Block address out of range.
+    BadAddress,
+    /// Injected device failure.
+    DeviceError,
+}
+
+impl SanMsg {
+    /// Short static label for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SanMsg::ReadBlock { .. } => "san_read",
+            SanMsg::WriteBlock { .. } => "san_write",
+            SanMsg::ReadResp { .. } => "san_read_resp",
+            SanMsg::WriteResp { .. } => "san_write_resp",
+            SanMsg::FenceCmd { .. } => "san_fence",
+            SanMsg::FenceResp { .. } => "san_fence_resp",
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn size_hint(&self) -> usize {
+        const HDR: usize = 16;
+        HDR + match self {
+            SanMsg::WriteBlock { data, .. } => 32 + data.len(),
+            SanMsg::ReadResp { result: Ok(ok), .. } => 32 + ok.data.len(),
+            _ => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Epoch;
+
+    #[test]
+    fn write_carries_data_in_size_hint() {
+        let w = SanMsg::WriteBlock {
+            req_id: 1,
+            block: BlockId(0),
+            data: vec![7u8; 512],
+            tag: WriteTag { writer: NodeId(1), epoch: Epoch(1), wseq: 0 },
+        };
+        assert!(w.size_hint() >= 512);
+        assert_eq!(w.kind(), "san_write");
+    }
+
+    #[test]
+    fn fence_roundtrip_labels() {
+        let f = SanMsg::FenceCmd { req_id: 9, target: NodeId(2), op: FenceOp::Fence };
+        assert_eq!(f.kind(), "san_fence");
+        let r = SanMsg::FenceResp { req_id: 9 };
+        assert_eq!(r.kind(), "san_fence_resp");
+    }
+}

@@ -1,0 +1,162 @@
+//! At-most-once delivery bookkeeping.
+//!
+//! The paper's datagram messages "include version numbers for 'at most
+//! once' delivery semantics" (§3). [`DedupWindow`] is the receiver side: it
+//! tracks, per session, which request sequence numbers have been seen, so a
+//! retried datagram is executed at most once while the cached response can
+//! still be re-sent.
+//!
+//! The window is bounded: sequence numbers at or below the low watermark are
+//! rejected as stale; a sparse set tracks seen numbers above it. With
+//! in-order senders the set stays tiny; under loss/reorder it is bounded by
+//! the retry window.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ReqSeq;
+
+/// Verdict for an incoming sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqVerdict {
+    /// First sighting: execute the request.
+    Fresh,
+    /// Already executed: re-send the cached response but do not re-execute.
+    Duplicate,
+    /// Below the window: too old to have a cached response; drop.
+    Stale,
+}
+
+/// Receiver-side duplicate-suppression window for one (client, session).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DedupWindow {
+    /// All sequence numbers `<= low` have been seen.
+    low: u64,
+    /// Seen numbers above `low` (sparse under reordering).
+    seen: BTreeSet<u64>,
+    /// Maximum distance kept above `low` before old entries are compacted
+    /// into staleness. Zero means unbounded.
+    max_span: u64,
+}
+
+impl DedupWindow {
+    /// Create a window that keeps at most `max_span` entries of reorder
+    /// history (0 = unbounded).
+    pub fn with_span(max_span: u64) -> Self {
+        DedupWindow { low: 0, seen: BTreeSet::new(), max_span }
+    }
+
+    /// Classify and record an incoming sequence number.
+    pub fn observe(&mut self, seq: ReqSeq) -> SeqVerdict {
+        let s = seq.0;
+        if s == 0 || s <= self.low {
+            // Seq numbers start at 1; 0 is never valid.
+            return if s == 0 { SeqVerdict::Stale } else { SeqVerdict::Duplicate };
+        }
+        if self.seen.contains(&s) {
+            return SeqVerdict::Duplicate;
+        }
+        self.seen.insert(s);
+        self.compact();
+        SeqVerdict::Fresh
+    }
+
+    /// Advance `low` over any contiguous run and enforce the span bound.
+    fn compact(&mut self) {
+        while self.seen.remove(&(self.low + 1)) {
+            self.low += 1;
+        }
+        if self.max_span != 0 {
+            while let Some(&max) = self.seen.iter().next_back() {
+                if max - self.low <= self.max_span {
+                    break;
+                }
+                // Window overflow: treat the oldest gap as delivered so the
+                // window slides. This sacrifices duplicate detection for
+                // sequence numbers older than the span, which is the
+                // standard trade-off for bounded state.
+                self.low += 1;
+                self.seen.remove(&self.low);
+            }
+        }
+    }
+
+    /// Number of retained sparse entries (memory accounting).
+    pub fn sparse_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Highest sequence number at or below which everything was seen.
+    pub fn low_watermark(&self) -> ReqSeq {
+        ReqSeq(self.low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> DedupWindow {
+        DedupWindow::with_span(1024)
+    }
+
+    #[test]
+    fn in_order_stream_is_fresh_and_compact() {
+        let mut win = w();
+        for s in 1..=100u64 {
+            assert_eq!(win.observe(ReqSeq(s)), SeqVerdict::Fresh);
+        }
+        assert_eq!(win.sparse_len(), 0, "contiguous run compacts to watermark");
+        assert_eq!(win.low_watermark(), ReqSeq(100));
+    }
+
+    #[test]
+    fn duplicates_detected_before_and_after_compaction() {
+        let mut win = w();
+        assert_eq!(win.observe(ReqSeq(1)), SeqVerdict::Fresh);
+        assert_eq!(win.observe(ReqSeq(1)), SeqVerdict::Duplicate);
+        assert_eq!(win.observe(ReqSeq(3)), SeqVerdict::Fresh);
+        assert_eq!(win.observe(ReqSeq(3)), SeqVerdict::Duplicate);
+        assert_eq!(win.observe(ReqSeq(2)), SeqVerdict::Fresh);
+        assert_eq!(win.observe(ReqSeq(2)), SeqVerdict::Duplicate);
+    }
+
+    #[test]
+    fn zero_is_never_valid() {
+        let mut win = w();
+        assert_eq!(win.observe(ReqSeq(0)), SeqVerdict::Stale);
+    }
+
+    #[test]
+    fn reordering_leaves_sparse_entries_then_compacts() {
+        let mut win = w();
+        assert_eq!(win.observe(ReqSeq(5)), SeqVerdict::Fresh);
+        assert_eq!(win.observe(ReqSeq(4)), SeqVerdict::Fresh);
+        assert_eq!(win.sparse_len(), 2);
+        for s in 1..=3 {
+            assert_eq!(win.observe(ReqSeq(s)), SeqVerdict::Fresh);
+        }
+        assert_eq!(win.sparse_len(), 0);
+        assert_eq!(win.low_watermark(), ReqSeq(5));
+    }
+
+    #[test]
+    fn span_bound_limits_memory() {
+        let mut win = DedupWindow::with_span(8);
+        // Only even numbers arrive: gaps never fill, window must slide.
+        for s in (2..=200u64).step_by(2) {
+            win.observe(ReqSeq(s));
+        }
+        assert!(win.sparse_len() <= 9, "sparse set bounded by span");
+    }
+
+    #[test]
+    fn unbounded_window_never_slides() {
+        let mut win = DedupWindow::with_span(0);
+        for s in (2..=200u64).step_by(2) {
+            assert_eq!(win.observe(ReqSeq(s)), SeqVerdict::Fresh);
+        }
+        assert_eq!(win.sparse_len(), 100);
+    }
+}

@@ -1,0 +1,831 @@
+//! Compact binary wire codec for the protocol messages.
+//!
+//! The simulator passes messages as in-memory values, but the real-network
+//! binding (`tank-net`) and the codec benchmarks need a byte format. The
+//! encoding is a hand-rolled tag/length scheme over [`bytes`]: fixed-width
+//! little-endian integers, `u8` enum discriminants, `u16`-prefixed strings,
+//! and `u32`-prefixed byte/array payloads. No self-description, no schema
+//! evolution — both ends are this crate.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::ids::{BlockId, Epoch, Ino, NodeId, ReqSeq, SessionId, WriteTag};
+use crate::lock::LockMode;
+use crate::message::{
+    CtlMsg, FileAttr, FsError, NackReason, PushBody, ReplyBody, Request, RequestBody, Response,
+    ResponseOutcome, ServerPush,
+};
+use crate::san::{FenceOp, SanMsg, SanError, SanReadOk};
+use crate::NetMsg;
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes mid-message.
+    Truncated,
+    /// Unknown enum discriminant.
+    BadTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending discriminant.
+        tag: u8,
+    },
+    /// String payload was not UTF-8.
+    BadUtf8,
+    /// Length prefix exceeded sanity bounds.
+    TooLong,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag { what, tag } => write!(f, "bad tag {tag} for {what}"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::TooLong => write!(f, "length prefix exceeds bound"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum accepted byte-payload length (defensive bound for the UDP path).
+const MAX_BYTES: usize = 1 << 22;
+/// Maximum accepted array element count.
+const MAX_ELEMS: usize = 1 << 20;
+
+/// Types encodable to the wire format.
+pub trait WireEncode {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Encode into a fresh buffer.
+    fn encoded(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+}
+
+/// Types decodable from the wire format.
+pub trait WireDecode: Sized {
+    /// Decode one value, consuming from `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, WireError> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut Bytes) -> Result<u16, WireError> {
+    need(buf, 2)?;
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, WireError> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, WireError> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    let len = get_u16(buf)? as usize;
+    need(buf, len)?;
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Vec<u8>, WireError> {
+    let len = get_u32(buf)? as usize;
+    if len > MAX_BYTES {
+        return Err(WireError::TooLong);
+    }
+    need(buf, len)?;
+    Ok(buf.split_to(len).to_vec())
+}
+
+fn put_blocks(buf: &mut BytesMut, blocks: &[BlockId]) {
+    buf.put_u32_le(blocks.len() as u32);
+    for b in blocks {
+        buf.put_u64_le(b.0);
+    }
+}
+
+fn get_blocks(buf: &mut Bytes) -> Result<Vec<BlockId>, WireError> {
+    let n = get_u32(buf)? as usize;
+    if n > MAX_ELEMS {
+        return Err(WireError::TooLong);
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(BlockId(get_u64(buf)?));
+    }
+    Ok(v)
+}
+
+fn put_tag(buf: &mut BytesMut, tag: &WriteTag) {
+    buf.put_u32_le(tag.writer.0);
+    buf.put_u64_le(tag.epoch.0);
+    buf.put_u64_le(tag.wseq);
+}
+
+fn get_tag(buf: &mut Bytes) -> Result<WriteTag, WireError> {
+    Ok(WriteTag {
+        writer: NodeId(get_u32(buf)?),
+        epoch: Epoch(get_u64(buf)?),
+        wseq: get_u64(buf)?,
+    })
+}
+
+fn put_mode(buf: &mut BytesMut, m: LockMode) {
+    buf.put_u8(match m {
+        LockMode::SharedRead => 0,
+        LockMode::Exclusive => 1,
+    });
+}
+
+fn get_mode(buf: &mut Bytes) -> Result<LockMode, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(LockMode::SharedRead),
+        1 => Ok(LockMode::Exclusive),
+        t => Err(WireError::BadTag { what: "LockMode", tag: t }),
+    }
+}
+
+fn put_attr(buf: &mut BytesMut, a: &FileAttr) {
+    buf.put_u64_le(a.size);
+    buf.put_u64_le(a.mtime);
+    buf.put_u64_le(a.version);
+    buf.put_u8(a.is_dir as u8);
+}
+
+fn get_attr(buf: &mut Bytes) -> Result<FileAttr, WireError> {
+    Ok(FileAttr {
+        size: get_u64(buf)?,
+        mtime: get_u64(buf)?,
+        version: get_u64(buf)?,
+        is_dir: get_u8(buf)? != 0,
+    })
+}
+
+// ----------------------------------------------------------- RequestBody
+
+impl WireEncode for RequestBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            RequestBody::Hello => buf.put_u8(0),
+            RequestBody::KeepAlive => buf.put_u8(1),
+            RequestBody::Create { parent, name } => {
+                buf.put_u8(2);
+                buf.put_u64_le(parent.0);
+                put_str(buf, name);
+            }
+            RequestBody::Lookup { parent, name } => {
+                buf.put_u8(3);
+                buf.put_u64_le(parent.0);
+                put_str(buf, name);
+            }
+            RequestBody::Mkdir { parent, name } => {
+                buf.put_u8(4);
+                buf.put_u64_le(parent.0);
+                put_str(buf, name);
+            }
+            RequestBody::ReadDir { dir } => {
+                buf.put_u8(5);
+                buf.put_u64_le(dir.0);
+            }
+            RequestBody::Unlink { parent, name } => {
+                buf.put_u8(6);
+                buf.put_u64_le(parent.0);
+                put_str(buf, name);
+            }
+            RequestBody::GetAttr { ino } => {
+                buf.put_u8(7);
+                buf.put_u64_le(ino.0);
+            }
+            RequestBody::SetAttr { ino, size } => {
+                buf.put_u8(8);
+                buf.put_u64_le(ino.0);
+                match size {
+                    Some(s) => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(*s);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            RequestBody::LockAcquire { ino, mode } => {
+                buf.put_u8(9);
+                buf.put_u64_le(ino.0);
+                put_mode(buf, *mode);
+            }
+            RequestBody::LockRelease { ino, epoch } => {
+                buf.put_u8(10);
+                buf.put_u64_le(ino.0);
+                buf.put_u64_le(epoch.0);
+            }
+            RequestBody::PushAck { push_seq } => {
+                buf.put_u8(11);
+                buf.put_u64_le(*push_seq);
+            }
+            RequestBody::AllocBlocks { ino, count } => {
+                buf.put_u8(12);
+                buf.put_u64_le(ino.0);
+                buf.put_u32_le(*count);
+            }
+            RequestBody::CommitWrite { ino, new_size } => {
+                buf.put_u8(13);
+                buf.put_u64_le(ino.0);
+                buf.put_u64_le(*new_size);
+            }
+            RequestBody::ReadData { ino, offset, len } => {
+                buf.put_u8(14);
+                buf.put_u64_le(ino.0);
+                buf.put_u64_le(*offset);
+                buf.put_u32_le(*len);
+            }
+            RequestBody::WriteData { ino, offset, data } => {
+                buf.put_u8(15);
+                buf.put_u64_le(ino.0);
+                buf.put_u64_le(*offset);
+                put_bytes(buf, data);
+            }
+        }
+    }
+}
+
+impl WireDecode for RequestBody {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_u8(buf)? {
+            0 => RequestBody::Hello,
+            1 => RequestBody::KeepAlive,
+            2 => RequestBody::Create { parent: Ino(get_u64(buf)?), name: get_str(buf)? },
+            3 => RequestBody::Lookup { parent: Ino(get_u64(buf)?), name: get_str(buf)? },
+            4 => RequestBody::Mkdir { parent: Ino(get_u64(buf)?), name: get_str(buf)? },
+            5 => RequestBody::ReadDir { dir: Ino(get_u64(buf)?) },
+            6 => RequestBody::Unlink { parent: Ino(get_u64(buf)?), name: get_str(buf)? },
+            7 => RequestBody::GetAttr { ino: Ino(get_u64(buf)?) },
+            8 => {
+                let ino = Ino(get_u64(buf)?);
+                let size = if get_u8(buf)? != 0 { Some(get_u64(buf)?) } else { None };
+                RequestBody::SetAttr { ino, size }
+            }
+            9 => RequestBody::LockAcquire { ino: Ino(get_u64(buf)?), mode: get_mode(buf)? },
+            10 => RequestBody::LockRelease { ino: Ino(get_u64(buf)?), epoch: Epoch(get_u64(buf)?) },
+            11 => RequestBody::PushAck { push_seq: get_u64(buf)? },
+            12 => RequestBody::AllocBlocks { ino: Ino(get_u64(buf)?), count: get_u32(buf)? },
+            13 => RequestBody::CommitWrite { ino: Ino(get_u64(buf)?), new_size: get_u64(buf)? },
+            14 => RequestBody::ReadData {
+                ino: Ino(get_u64(buf)?),
+                offset: get_u64(buf)?,
+                len: get_u32(buf)?,
+            },
+            15 => RequestBody::WriteData {
+                ino: Ino(get_u64(buf)?),
+                offset: get_u64(buf)?,
+                data: get_bytes(buf)?,
+            },
+            t => return Err(WireError::BadTag { what: "RequestBody", tag: t }),
+        })
+    }
+}
+
+// ------------------------------------------------------------- ReplyBody
+
+impl WireEncode for ReplyBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ReplyBody::HelloOk { session } => {
+                buf.put_u8(0);
+                buf.put_u64_le(session.0);
+            }
+            ReplyBody::Ok => buf.put_u8(1),
+            ReplyBody::Created { ino } => {
+                buf.put_u8(2);
+                buf.put_u64_le(ino.0);
+            }
+            ReplyBody::Resolved { ino, attr } => {
+                buf.put_u8(3);
+                buf.put_u64_le(ino.0);
+                put_attr(buf, attr);
+            }
+            ReplyBody::Attr { attr } => {
+                buf.put_u8(4);
+                put_attr(buf, attr);
+            }
+            ReplyBody::Dir { entries } => {
+                buf.put_u8(5);
+                buf.put_u32_le(entries.len() as u32);
+                for (name, ino) in entries {
+                    put_str(buf, name);
+                    buf.put_u64_le(ino.0);
+                }
+            }
+            ReplyBody::LockGranted { ino, mode, epoch, blocks, size } => {
+                buf.put_u8(6);
+                buf.put_u64_le(ino.0);
+                put_mode(buf, *mode);
+                buf.put_u64_le(epoch.0);
+                put_blocks(buf, blocks);
+                buf.put_u64_le(*size);
+            }
+            ReplyBody::Allocated { blocks } => {
+                buf.put_u8(7);
+                put_blocks(buf, blocks);
+            }
+            ReplyBody::Data { data } => {
+                buf.put_u8(8);
+                put_bytes(buf, data);
+            }
+        }
+    }
+}
+
+impl WireDecode for ReplyBody {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_u8(buf)? {
+            0 => ReplyBody::HelloOk { session: SessionId(get_u64(buf)?) },
+            1 => ReplyBody::Ok,
+            2 => ReplyBody::Created { ino: Ino(get_u64(buf)?) },
+            3 => ReplyBody::Resolved { ino: Ino(get_u64(buf)?), attr: get_attr(buf)? },
+            4 => ReplyBody::Attr { attr: get_attr(buf)? },
+            5 => {
+                let n = get_u32(buf)? as usize;
+                if n > MAX_ELEMS {
+                    return Err(WireError::TooLong);
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_str(buf)?;
+                    entries.push((name, Ino(get_u64(buf)?)));
+                }
+                ReplyBody::Dir { entries }
+            }
+            6 => ReplyBody::LockGranted {
+                ino: Ino(get_u64(buf)?),
+                mode: get_mode(buf)?,
+                epoch: Epoch(get_u64(buf)?),
+                blocks: get_blocks(buf)?,
+                size: get_u64(buf)?,
+            },
+            7 => ReplyBody::Allocated { blocks: get_blocks(buf)? },
+            8 => ReplyBody::Data { data: get_bytes(buf)? },
+            t => return Err(WireError::BadTag { what: "ReplyBody", tag: t }),
+        })
+    }
+}
+
+// -------------------------------------------------------- errors/outcomes
+
+fn fs_error_tag(e: FsError) -> u8 {
+    match e {
+        FsError::NotFound => 0,
+        FsError::Exists => 1,
+        FsError::NoSpace => 2,
+        FsError::NotLocked => 3,
+        FsError::Invalid => 4,
+        FsError::Unavailable => 5,
+    }
+}
+
+fn fs_error_from(tag: u8) -> Result<FsError, WireError> {
+    Ok(match tag {
+        0 => FsError::NotFound,
+        1 => FsError::Exists,
+        2 => FsError::NoSpace,
+        3 => FsError::NotLocked,
+        4 => FsError::Invalid,
+        5 => FsError::Unavailable,
+        t => return Err(WireError::BadTag { what: "FsError", tag: t }),
+    })
+}
+
+fn nack_tag(n: NackReason) -> u8 {
+    match n {
+        NackReason::LeaseTimingOut => 0,
+        NackReason::SessionExpired => 1,
+        NackReason::StaleSession => 2,
+    }
+}
+
+fn nack_from(tag: u8) -> Result<NackReason, WireError> {
+    Ok(match tag {
+        0 => NackReason::LeaseTimingOut,
+        1 => NackReason::SessionExpired,
+        2 => NackReason::StaleSession,
+        t => return Err(WireError::BadTag { what: "NackReason", tag: t }),
+    })
+}
+
+// --------------------------------------------------------------- CtlMsg
+
+impl WireEncode for CtlMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CtlMsg::Request(r) => {
+                buf.put_u8(0);
+                buf.put_u32_le(r.src.0);
+                buf.put_u64_le(r.session.0);
+                buf.put_u64_le(r.seq.0);
+                r.body.encode(buf);
+            }
+            CtlMsg::Response(r) => {
+                buf.put_u8(1);
+                buf.put_u32_le(r.dst.0);
+                buf.put_u64_le(r.session.0);
+                buf.put_u64_le(r.seq.0);
+                match &r.outcome {
+                    ResponseOutcome::Acked(Ok(body)) => {
+                        buf.put_u8(0);
+                        body.encode(buf);
+                    }
+                    ResponseOutcome::Acked(Err(e)) => {
+                        buf.put_u8(1);
+                        buf.put_u8(fs_error_tag(*e));
+                    }
+                    ResponseOutcome::Nacked(n) => {
+                        buf.put_u8(2);
+                        buf.put_u8(nack_tag(*n));
+                    }
+                }
+            }
+            CtlMsg::Push(p) => {
+                buf.put_u8(2);
+                buf.put_u32_le(p.dst.0);
+                buf.put_u64_le(p.session.0);
+                buf.put_u64_le(p.push_seq);
+                match &p.body {
+                    PushBody::Demand { ino, mode_needed, epoch } => {
+                        buf.put_u8(0);
+                        buf.put_u64_le(ino.0);
+                        put_mode(buf, *mode_needed);
+                        buf.put_u64_le(epoch.0);
+                    }
+                    PushBody::Invalidate { ino } => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(ino.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl WireDecode for CtlMsg {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_u8(buf)? {
+            0 => CtlMsg::Request(Request {
+                src: NodeId(get_u32(buf)?),
+                session: SessionId(get_u64(buf)?),
+                seq: ReqSeq(get_u64(buf)?),
+                body: RequestBody::decode(buf)?,
+            }),
+            1 => {
+                let dst = NodeId(get_u32(buf)?);
+                let session = SessionId(get_u64(buf)?);
+                let seq = ReqSeq(get_u64(buf)?);
+                let outcome = match get_u8(buf)? {
+                    0 => ResponseOutcome::Acked(Ok(ReplyBody::decode(buf)?)),
+                    1 => ResponseOutcome::Acked(Err(fs_error_from(get_u8(buf)?)?)),
+                    2 => ResponseOutcome::Nacked(nack_from(get_u8(buf)?)?),
+                    t => return Err(WireError::BadTag { what: "ResponseOutcome", tag: t }),
+                };
+                CtlMsg::Response(Response { dst, session, seq, outcome })
+            }
+            2 => {
+                let dst = NodeId(get_u32(buf)?);
+                let session = SessionId(get_u64(buf)?);
+                let push_seq = get_u64(buf)?;
+                let body = match get_u8(buf)? {
+                    0 => PushBody::Demand {
+                        ino: Ino(get_u64(buf)?),
+                        mode_needed: get_mode(buf)?,
+                        epoch: Epoch(get_u64(buf)?),
+                    },
+                    1 => PushBody::Invalidate { ino: Ino(get_u64(buf)?) },
+                    t => return Err(WireError::BadTag { what: "PushBody", tag: t }),
+                };
+                CtlMsg::Push(ServerPush { dst, session, push_seq, body })
+            }
+            t => return Err(WireError::BadTag { what: "CtlMsg", tag: t }),
+        })
+    }
+}
+
+// ---------------------------------------------------------------- SanMsg
+
+impl WireEncode for SanMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SanMsg::ReadBlock { req_id, block } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(block.0);
+            }
+            SanMsg::WriteBlock { req_id, block, data, tag } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*req_id);
+                buf.put_u64_le(block.0);
+                put_bytes(buf, data);
+                put_tag(buf, tag);
+            }
+            SanMsg::ReadResp { req_id, result } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*req_id);
+                match result {
+                    Ok(ok) => {
+                        buf.put_u8(0);
+                        put_bytes(buf, &ok.data);
+                        put_tag(buf, &ok.tag);
+                    }
+                    Err(e) => {
+                        buf.put_u8(1);
+                        buf.put_u8(san_error_tag(*e));
+                    }
+                }
+            }
+            SanMsg::WriteResp { req_id, result } => {
+                buf.put_u8(3);
+                buf.put_u64_le(*req_id);
+                match result {
+                    Ok(()) => buf.put_u8(0),
+                    Err(e) => {
+                        buf.put_u8(1);
+                        buf.put_u8(san_error_tag(*e));
+                    }
+                }
+            }
+            SanMsg::FenceCmd { req_id, target, op } => {
+                buf.put_u8(4);
+                buf.put_u64_le(*req_id);
+                buf.put_u32_le(target.0);
+                buf.put_u8(matches!(op, FenceOp::Unfence) as u8);
+            }
+            SanMsg::FenceResp { req_id } => {
+                buf.put_u8(5);
+                buf.put_u64_le(*req_id);
+            }
+        }
+    }
+}
+
+fn san_error_tag(e: SanError) -> u8 {
+    match e {
+        SanError::Fenced => 0,
+        SanError::BadAddress => 1,
+        SanError::DeviceError => 2,
+    }
+}
+
+fn san_error_from(tag: u8) -> Result<SanError, WireError> {
+    Ok(match tag {
+        0 => SanError::Fenced,
+        1 => SanError::BadAddress,
+        2 => SanError::DeviceError,
+        t => return Err(WireError::BadTag { what: "SanError", tag: t }),
+    })
+}
+
+impl WireDecode for SanMsg {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_u8(buf)? {
+            0 => SanMsg::ReadBlock { req_id: get_u64(buf)?, block: BlockId(get_u64(buf)?) },
+            1 => SanMsg::WriteBlock {
+                req_id: get_u64(buf)?,
+                block: BlockId(get_u64(buf)?),
+                data: get_bytes(buf)?,
+                tag: get_tag(buf)?,
+            },
+            2 => {
+                let req_id = get_u64(buf)?;
+                let result = match get_u8(buf)? {
+                    0 => Ok(SanReadOk { data: get_bytes(buf)?, tag: get_tag(buf)? }),
+                    1 => Err(san_error_from(get_u8(buf)?)?),
+                    t => return Err(WireError::BadTag { what: "ReadResp", tag: t }),
+                };
+                SanMsg::ReadResp { req_id, result }
+            }
+            3 => {
+                let req_id = get_u64(buf)?;
+                let result = match get_u8(buf)? {
+                    0 => Ok(()),
+                    1 => Err(san_error_from(get_u8(buf)?)?),
+                    t => return Err(WireError::BadTag { what: "WriteResp", tag: t }),
+                };
+                SanMsg::WriteResp { req_id, result }
+            }
+            4 => SanMsg::FenceCmd {
+                req_id: get_u64(buf)?,
+                target: NodeId(get_u32(buf)?),
+                op: if get_u8(buf)? != 0 { FenceOp::Unfence } else { FenceOp::Fence },
+            },
+            5 => SanMsg::FenceResp { req_id: get_u64(buf)? },
+            t => return Err(WireError::BadTag { what: "SanMsg", tag: t }),
+        })
+    }
+}
+
+// ---------------------------------------------------------------- NetMsg
+
+impl WireEncode for NetMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            NetMsg::Ctl(m) => {
+                buf.put_u8(0);
+                m.encode(buf);
+            }
+            NetMsg::San(m) => {
+                buf.put_u8(1);
+                m.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for NetMsg {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_u8(buf)? {
+            0 => NetMsg::Ctl(CtlMsg::decode(buf)?),
+            1 => NetMsg::San(SanMsg::decode(buf)?),
+            t => return Err(WireError::BadTag { what: "NetMsg", tag: t }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: NetMsg) {
+        let mut enc = msg.encoded();
+        let dec = NetMsg::decode(&mut enc).expect("decode");
+        assert_eq!(dec, msg);
+        assert_eq!(enc.remaining(), 0, "no trailing bytes");
+    }
+
+    #[test]
+    fn roundtrip_requests() {
+        let bodies = vec![
+            RequestBody::Hello,
+            RequestBody::KeepAlive,
+            RequestBody::Create { parent: Ino(1), name: "a.txt".into() },
+            RequestBody::Lookup { parent: Ino(1), name: "b".into() },
+            RequestBody::Mkdir { parent: Ino(1), name: "d".into() },
+            RequestBody::ReadDir { dir: Ino(1) },
+            RequestBody::Unlink { parent: Ino(1), name: "a.txt".into() },
+            RequestBody::GetAttr { ino: Ino(2) },
+            RequestBody::SetAttr { ino: Ino(2), size: Some(100) },
+            RequestBody::SetAttr { ino: Ino(2), size: None },
+            RequestBody::LockAcquire { ino: Ino(2), mode: LockMode::Exclusive },
+            RequestBody::LockRelease { ino: Ino(2), epoch: Epoch(4) },
+            RequestBody::PushAck { push_seq: 77 },
+            RequestBody::AllocBlocks { ino: Ino(2), count: 8 },
+            RequestBody::CommitWrite { ino: Ino(2), new_size: 4096 },
+            RequestBody::ReadData { ino: Ino(2), offset: 512, len: 128 },
+            RequestBody::WriteData { ino: Ino(2), offset: 0, data: vec![1, 2, 3] },
+        ];
+        for body in bodies {
+            roundtrip(NetMsg::Ctl(CtlMsg::Request(Request {
+                src: NodeId(5),
+                session: SessionId(2),
+                seq: ReqSeq(42),
+                body,
+            })));
+        }
+    }
+
+    #[test]
+    fn roundtrip_responses() {
+        let outcomes = vec![
+            ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session: SessionId(3) })),
+            ResponseOutcome::Acked(Ok(ReplyBody::Ok)),
+            ResponseOutcome::Acked(Ok(ReplyBody::Created { ino: Ino(9) })),
+            ResponseOutcome::Acked(Ok(ReplyBody::Resolved {
+                ino: Ino(9),
+                attr: FileAttr { size: 1, mtime: 2, version: 3, is_dir: false },
+            })),
+            ResponseOutcome::Acked(Ok(ReplyBody::Attr {
+                attr: FileAttr { size: 0, mtime: 0, version: 1, is_dir: true },
+            })),
+            ResponseOutcome::Acked(Ok(ReplyBody::Dir {
+                entries: vec![("x".into(), Ino(1)), ("y".into(), Ino(2))],
+            })),
+            ResponseOutcome::Acked(Ok(ReplyBody::LockGranted {
+                ino: Ino(9),
+                mode: LockMode::SharedRead,
+                epoch: Epoch(12),
+                blocks: vec![BlockId(3), BlockId(4)],
+                size: 8192,
+            })),
+            ResponseOutcome::Acked(Ok(ReplyBody::Allocated { blocks: vec![BlockId(5)] })),
+            ResponseOutcome::Acked(Ok(ReplyBody::Data { data: vec![9; 100] })),
+            ResponseOutcome::Acked(Err(FsError::NotFound)),
+            ResponseOutcome::Acked(Err(FsError::Unavailable)),
+            ResponseOutcome::Nacked(NackReason::LeaseTimingOut),
+            ResponseOutcome::Nacked(NackReason::SessionExpired),
+            ResponseOutcome::Nacked(NackReason::StaleSession),
+        ];
+        for outcome in outcomes {
+            roundtrip(NetMsg::Ctl(CtlMsg::Response(Response {
+                dst: NodeId(5),
+                session: SessionId(2),
+                seq: ReqSeq(42),
+                outcome,
+            })));
+        }
+    }
+
+    #[test]
+    fn roundtrip_pushes() {
+        for body in [
+            PushBody::Demand { ino: Ino(7), mode_needed: LockMode::Exclusive, epoch: Epoch(3) },
+            PushBody::Invalidate { ino: Ino(7) },
+        ] {
+            roundtrip(NetMsg::Ctl(CtlMsg::Push(ServerPush {
+                dst: NodeId(1),
+                session: SessionId(4),
+                push_seq: 10,
+                body,
+            })));
+        }
+    }
+
+    #[test]
+    fn roundtrip_san() {
+        let tag = WriteTag { writer: NodeId(3), epoch: Epoch(8), wseq: 2 };
+        let msgs = vec![
+            SanMsg::ReadBlock { req_id: 1, block: BlockId(2) },
+            SanMsg::WriteBlock { req_id: 2, block: BlockId(2), data: vec![1; 512], tag },
+            SanMsg::ReadResp {
+                req_id: 1,
+                result: Ok(SanReadOk { data: vec![1; 512], tag }),
+            },
+            SanMsg::ReadResp { req_id: 1, result: Err(SanError::Fenced) },
+            SanMsg::WriteResp { req_id: 2, result: Ok(()) },
+            SanMsg::WriteResp { req_id: 2, result: Err(SanError::DeviceError) },
+            SanMsg::FenceCmd { req_id: 3, target: NodeId(7), op: FenceOp::Fence },
+            SanMsg::FenceCmd { req_id: 3, target: NodeId(7), op: FenceOp::Unfence },
+            SanMsg::FenceResp { req_id: 3 },
+        ];
+        for m in msgs {
+            roundtrip(NetMsg::San(m));
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let msg = NetMsg::Ctl(CtlMsg::Request(Request {
+            src: NodeId(5),
+            session: SessionId(2),
+            seq: ReqSeq(42),
+            body: RequestBody::Create { parent: Ino(1), name: "hello".into() },
+        }));
+        let full = msg.encoded();
+        for cut in 0..full.len() {
+            let mut trunc = full.slice(0..cut);
+            assert!(
+                NetMsg::decode(&mut trunc).is_err(),
+                "decoding {cut}/{} bytes must fail",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_reports_enum() {
+        let mut buf = Bytes::from_static(&[9u8]);
+        match NetMsg::decode(&mut buf) {
+            Err(WireError::BadTag { what, tag }) => {
+                assert_eq!(what, "NetMsg");
+                assert_eq!(tag, 9);
+            }
+            other => panic!("expected BadTag, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Server configuration: recovery policy, data path, timing knobs.
+
+use tank_core::LeaseConfig;
+use tank_proto::NodeId;
+use tank_sim::LocalNs;
+
+/// What the server does about a client that stops responding while
+/// holding locks — the axis of the paper's entire argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum RecoveryPolicy {
+    /// Honor the locks of unreachable clients indefinitely (§2's outcome
+    /// without a safety protocol: the file stays unavailable until the
+    /// partition heals).
+    HonorLocks,
+    /// Steal locks immediately, no fencing — safe for function-shipping
+    /// servers, *unsafe* on a SAN (§1.2): the isolated client keeps
+    /// writing shared disks.
+    StealImmediately,
+    /// Fence the client at the disks, then steal (§2.1): stops conflicting
+    /// writes but strands the client's dirty cache and lets it serve stale
+    /// reads to local processes.
+    FenceThenSteal,
+    /// The paper's protocol: arm the passive lease authority's `τ(1+ε)`
+    /// timer, NACK the client meanwhile, fence and steal when it fires —
+    /// by which time the client has quiesced, flushed, and invalidated
+    /// itself.
+    LeaseFence,
+}
+
+/// Whether clients reach data directly on the SAN or ship I/O through the
+/// server (the traditional-server baseline of §1.1 / experiment E9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum DataPath {
+    /// Clients perform block I/O themselves (Storage Tank).
+    DirectSan,
+    /// Clients send `ReadData`/`WriteData` requests; the server performs
+    /// the block I/O on their behalf.
+    FunctionShip,
+}
+
+/// Full server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Lease contract (shared with clients).
+    pub lease: LeaseConfig,
+    /// Recovery policy for unresponsive clients.
+    pub policy: RecoveryPolicy,
+    /// Data path mode.
+    pub data_path: DataPath,
+    /// The SAN disks this server manages (fencing targets).
+    pub disks: Vec<NodeId>,
+    /// Interval between push (demand) retries.
+    pub push_retry_interval: LocalNs,
+    /// Number of unanswered push attempts that constitute a delivery
+    /// error.
+    pub push_retries: u32,
+    /// After a client `PushAck`s a demand, how long the server waits for
+    /// the actual release before declaring a delivery error anyway (the
+    /// client may be flushing a large cache; it must not take forever).
+    pub release_timeout: LocalNs,
+    /// §3.3: answer valid requests from suspect clients with NACKs so they
+    /// learn their cache is invalid immediately. Disabled, the server
+    /// silently ignores them (the strawman the paper rejects as causing
+    /// "further unnecessary message traffic"): the client keeps
+    /// retransmitting until its own lease machinery gives up.
+    pub nack_suspect: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            lease: LeaseConfig::default(),
+            policy: RecoveryPolicy::LeaseFence,
+            data_path: DataPath::DirectSan,
+            disks: Vec::new(),
+            push_retry_interval: LocalNs::from_millis(200),
+            push_retries: 3,
+            release_timeout: LocalNs::from_secs(2),
+            nack_suspect: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_protocol() {
+        let c = ServerConfig::default();
+        assert_eq!(c.policy, RecoveryPolicy::LeaseFence);
+        assert_eq!(c.data_path, DataPath::DirectSan);
+        assert!(c.push_retries >= 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Events the server reports to the world's observation stream.
+//!
+//! The consistency checker and availability accounting consume these
+//! offline; protocol behaviour never depends on them.
+
+use tank_proto::{Epoch, Ino, LockMode, NodeId, ReqSeq};
+
+/// One observable server-side event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// A data lock was granted.
+    LockGranted {
+        /// New holder.
+        client: NodeId,
+        /// Locked inode.
+        ino: Ino,
+        /// Grant epoch.
+        epoch: Epoch,
+        /// Granted mode.
+        mode: LockMode,
+    },
+    /// A client voluntarily released a lock.
+    LockReleased {
+        /// Former holder.
+        client: NodeId,
+        /// Inode.
+        ino: Ino,
+        /// Epoch of the released grant.
+        epoch: Epoch,
+    },
+    /// The server stole a lock (recovery).
+    LockStolen {
+        /// Former holder.
+        client: NodeId,
+        /// Inode.
+        ino: Ino,
+        /// Epoch of the stolen grant.
+        epoch: Epoch,
+    },
+    /// A conflicting lock request was queued (start of an unavailability
+    /// window for that client/inode).
+    RequestBlocked {
+        /// The waiting client.
+        client: NodeId,
+        /// The contested inode.
+        ino: Ino,
+        /// The waiter's request seq (matched to the later grant).
+        seq: ReqSeq,
+    },
+    /// A delivery error was declared for a client.
+    DeliveryError {
+        /// The unresponsive client.
+        client: NodeId,
+    },
+    /// The lease authority's timer fired; the client's lease is expired at
+    /// the server.
+    LeaseExpired {
+        /// The timed-out client.
+        client: NodeId,
+    },
+    /// A fence was established at every disk for the client.
+    Fenced {
+        /// The fenced client.
+        client: NodeId,
+    },
+    /// A client established a fresh session.
+    NewSession {
+        /// The client.
+        client: NodeId,
+    },
+}

@@ -1,0 +1,172 @@
+//! Fence controller: establishes fences at every disk before lock theft.
+//!
+//! §6: "At the same time the server times-out a client's locks, it
+//! constructs a fence between that client and its storage devices. The
+//! fence prevents late commands, from a slow computer, from accessing the
+//! disk after locks are stolen."
+//!
+//! Fencing a client means sending `FenceCmd` to every disk and waiting for
+//! every `FenceResp`; only then is the fence in force and stealing safe.
+//! The controller tracks in-flight fence campaigns and tells the node when
+//! one completes. Fence commands ride the SAN, which the failure model
+//! assumes healthy between server and disks (the paper scopes SAN
+//! partitions to fencing's pre-existing semantics).
+
+use std::collections::{HashMap, HashSet};
+
+use tank_proto::{FenceOp, NodeId};
+
+/// An in-flight fence (or unfence) campaign for one client.
+#[derive(Debug, Clone)]
+struct Campaign {
+    client: NodeId,
+    op: FenceOp,
+    awaiting: HashSet<NodeId>,
+}
+
+/// Tracks fence campaigns across the server's disks.
+#[derive(Debug, Clone, Default)]
+pub struct FenceController {
+    next_req: u64,
+    /// req_id → campaign. One campaign spans all disks and uses one req_id
+    /// per disk, all mapping to the same campaign id.
+    campaigns: HashMap<u64, Campaign>,
+    /// req_id → campaign id.
+    requests: HashMap<u64, u64>,
+    /// Clients with a fence currently in force.
+    fenced: HashSet<NodeId>,
+}
+
+impl FenceController {
+    /// Empty controller.
+    pub fn new() -> Self {
+        FenceController::default()
+    }
+
+    /// Begin fencing (or unfencing) `client` at `disks`. Returns the
+    /// `(req_id, disk)` pairs to send `FenceCmd`s for. Empty `disks`
+    /// completes immediately — the caller must treat a `Some` return of
+    /// zero sends as already-complete.
+    pub fn begin(
+        &mut self,
+        client: NodeId,
+        op: FenceOp,
+        disks: &[NodeId],
+    ) -> Vec<(u64, NodeId)> {
+        let campaign_id = self.next_req;
+        self.next_req += 1;
+        let mut sends = Vec::with_capacity(disks.len());
+        let mut awaiting = HashSet::new();
+        for &d in disks {
+            let req_id = self.next_req;
+            self.next_req += 1;
+            self.requests.insert(req_id, campaign_id);
+            awaiting.insert(d);
+            sends.push((req_id, d));
+        }
+        if awaiting.is_empty() {
+            // Degenerate: no disks; apply the effect immediately.
+            self.apply(client, op);
+        } else {
+            self.campaigns.insert(campaign_id, Campaign { client, op, awaiting });
+        }
+        sends
+    }
+
+    /// A `FenceResp` arrived from `disk` for `req_id`. Returns
+    /// `Some((client, op))` when this completes the campaign.
+    pub fn on_response(&mut self, req_id: u64, disk: NodeId) -> Option<(NodeId, FenceOp)> {
+        let campaign_id = self.requests.remove(&req_id)?;
+        let campaign = self.campaigns.get_mut(&campaign_id)?;
+        campaign.awaiting.remove(&disk);
+        if campaign.awaiting.is_empty() {
+            let c = self.campaigns.remove(&campaign_id).unwrap();
+            self.apply(c.client, c.op);
+            Some((c.client, c.op))
+        } else {
+            None
+        }
+    }
+
+    fn apply(&mut self, client: NodeId, op: FenceOp) {
+        match op {
+            FenceOp::Fence => {
+                self.fenced.insert(client);
+            }
+            FenceOp::Unfence => {
+                self.fenced.remove(&client);
+            }
+        }
+    }
+
+    /// Whether `client` is fenced (server's view).
+    pub fn is_fenced(&self, client: NodeId) -> bool {
+        self.fenced.contains(&client)
+    }
+
+    /// In-flight campaigns (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.campaigns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: NodeId = NodeId(7);
+    const D1: NodeId = NodeId(0);
+    const D2: NodeId = NodeId(1);
+
+    #[test]
+    fn campaign_completes_when_all_disks_answer() {
+        let mut f = FenceController::new();
+        let sends = f.begin(C, FenceOp::Fence, &[D1, D2]);
+        assert_eq!(sends.len(), 2);
+        assert!(!f.is_fenced(C));
+        assert_eq!(f.on_response(sends[0].0, D1), None);
+        assert_eq!(f.on_response(sends[1].0, D2), Some((C, FenceOp::Fence)));
+        assert!(f.is_fenced(C));
+        assert_eq!(f.in_flight(), 0);
+    }
+
+    #[test]
+    fn unfence_clears_the_flag() {
+        let mut f = FenceController::new();
+        let sends = f.begin(C, FenceOp::Fence, &[D1]);
+        f.on_response(sends[0].0, D1);
+        assert!(f.is_fenced(C));
+        let sends = f.begin(C, FenceOp::Unfence, &[D1]);
+        assert_eq!(f.on_response(sends[0].0, D1), Some((C, FenceOp::Unfence)));
+        assert!(!f.is_fenced(C));
+    }
+
+    #[test]
+    fn duplicate_or_unknown_responses_are_ignored() {
+        let mut f = FenceController::new();
+        let sends = f.begin(C, FenceOp::Fence, &[D1]);
+        assert!(f.on_response(sends[0].0, D1).is_some());
+        assert!(f.on_response(sends[0].0, D1).is_none(), "duplicate resp");
+        assert!(f.on_response(999, D2).is_none(), "unknown req");
+    }
+
+    #[test]
+    fn zero_disk_campaign_applies_immediately() {
+        let mut f = FenceController::new();
+        let sends = f.begin(C, FenceOp::Fence, &[]);
+        assert!(sends.is_empty());
+        assert!(f.is_fenced(C));
+    }
+
+    #[test]
+    fn concurrent_campaigns_for_different_clients() {
+        let mut f = FenceController::new();
+        let s1 = f.begin(NodeId(10), FenceOp::Fence, &[D1, D2]);
+        let s2 = f.begin(NodeId(11), FenceOp::Fence, &[D1, D2]);
+        assert_eq!(f.in_flight(), 2);
+        assert_eq!(f.on_response(s2[0].0, D1), None);
+        assert_eq!(f.on_response(s2[1].0, D2), Some((NodeId(11), FenceOp::Fence)));
+        assert_eq!(f.on_response(s1[0].0, D1), None);
+        assert_eq!(f.on_response(s1[1].0, D2), Some((NodeId(10), FenceOp::Fence)));
+    }
+}

@@ -1,0 +1,871 @@
+//! The Storage Tank server actor.
+//!
+//! Wires the metadata store, lock manager, passive lease authority, fence
+//! controller and session table into one message-driven node. See the
+//! crate docs for the architecture; the key protocol rules enforced here:
+//!
+//! * every client-initiated request is answered exactly once (dedup via
+//!   the session window; duplicates replay the cached response);
+//! * application errors ride inside ACKs (they still renew leases);
+//!   protocol NACKs (§3.3) are reserved for suspect/expired clients;
+//! * the server never initiates lease traffic; its only initiated messages
+//!   are pushes (lock demands), and a push that stays unanswered through
+//!   its retry budget *is* the delivery error that engages the configured
+//!   [`RecoveryPolicy`];
+//! * with [`RecoveryPolicy::LeaseFence`], once the authority's timer is
+//!   armed the client is never ACKed again until it re-Hellos after the
+//!   steal (§3.1's correctness rule), and fencing is constructed before
+//!   locks are redistributed (§6).
+
+use std::collections::HashMap;
+
+use tank_core::{ClientStanding, LeaseAuthority};
+use tank_meta::{MetaError, MetaStore};
+use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
+use tank_proto::{
+    CtlMsg, FenceOp, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request,
+    Response, SanMsg, ServerPush, SessionId, WriteTag,
+};
+use tank_sim::{Actor, Ctx, LocalNs, NetId, TimerId, TokenMap};
+
+use crate::config::{DataPath, RecoveryPolicy, ServerConfig};
+use crate::events::ServerEvent;
+use crate::fence::FenceController;
+use crate::lock::{Grant, LockManager, LockRequestOutcome};
+use crate::session::{Admission, SessionTable};
+
+/// Operation counters for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ServerStats {
+    /// Requests received (after dedup).
+    pub requests: u64,
+    /// Protocol NACKs sent.
+    pub nacks: u64,
+    /// Pushes (demands/invalidations) sent, including retries.
+    pub pushes_sent: u64,
+    /// Delivery errors declared.
+    pub delivery_errors: u64,
+    /// Lock-steal campaigns executed.
+    pub steals: u64,
+    /// Individual locks stolen.
+    pub locks_stolen: u64,
+    /// Fence campaigns completed.
+    pub fences_completed: u64,
+    /// Duplicate requests replayed from the response cache.
+    pub replays: u64,
+}
+
+/// Timer tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerTimer {
+    /// Retry an unacknowledged push.
+    PushRetry(u64),
+    /// A demand was PushAcked but the release never arrived.
+    ReleaseWait(u64),
+    /// The lease authority's τ(1+ε) timer for a client.
+    LeaseExpiry(NodeId),
+}
+
+/// An outstanding server push.
+#[derive(Debug, Clone)]
+struct PendingPush {
+    dst: NodeId,
+    session: SessionId,
+    body: PushBody,
+    retries_left: u32,
+    acked: bool,
+    timer: Option<TimerId>,
+}
+
+/// A function-shipped I/O waiting on the SAN.
+#[derive(Debug, Clone)]
+struct SanPending {
+    client: NodeId,
+    session: SessionId,
+    seq: ReqSeq,
+    /// For writes: (ino, resulting size) committed on success.
+    commit: Option<(Ino, u64)>,
+}
+
+/// The server node.
+pub struct ServerNode<Ob> {
+    cfg: ServerConfig,
+    id: Option<NodeId>,
+    meta: MetaStore,
+    locks: LockManager,
+    authority: LeaseAuthority,
+    sessions: SessionTable,
+    fences: FenceController,
+    next_push_seq: u64,
+    pushes: HashMap<u64, PendingPush>,
+    timers: TokenMap<ServerTimer>,
+    pending_san: HashMap<u64, SanPending>,
+    next_san_req: u64,
+    stats: ServerStats,
+    observe: Box<dyn Fn(ServerEvent) -> Option<Ob>>,
+}
+
+impl<Ob> ServerNode<Ob> {
+    /// New server with a fresh metadata store over `total_blocks` blocks.
+    pub fn new(
+        cfg: ServerConfig,
+        total_blocks: u64,
+        block_size: usize,
+        observe: Box<dyn Fn(ServerEvent) -> Option<Ob>>,
+    ) -> Self {
+        let authority = LeaseAuthority::new(cfg.lease);
+        ServerNode {
+            cfg,
+            id: None,
+            meta: MetaStore::new(total_blocks, block_size),
+            locks: LockManager::new(),
+            authority,
+            sessions: SessionTable::new(),
+            fences: FenceController::new(),
+            next_push_seq: 1,
+            pushes: HashMap::new(),
+            timers: TokenMap::new(),
+            pending_san: HashMap::new(),
+            next_san_req: 1,
+            stats: ServerStats::default(),
+            observe,
+        }
+    }
+
+    /// Server with no observer.
+    pub fn unobserved(cfg: ServerConfig, total_blocks: u64, block_size: usize) -> Self {
+        ServerNode::new(cfg, total_blocks, block_size, Box::new(|_| None))
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// The lease authority (accounting access for the experiments).
+    pub fn authority(&self) -> &LeaseAuthority {
+        &self.authority
+    }
+
+    /// The metadata store (harvest access).
+    pub fn meta(&self) -> &MetaStore {
+        &self.meta
+    }
+
+    /// The lock manager (harvest access).
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Root inode convenience.
+    pub fn root_ino(&self) -> Ino {
+        self.meta.root()
+    }
+
+    /// Pre-create a file with `blocks` allocated blocks and a committed
+    /// size covering them (harness setup; not a protocol path). Returns
+    /// its inode.
+    pub fn precreate_file(&mut self, name: &str, blocks: u32) -> Ino {
+        let root = self.meta.root();
+        let ino = self.meta.create(root, name, 0).expect("precreate: create");
+        if blocks > 0 {
+            self.meta.alloc_blocks(ino, blocks).expect("precreate: alloc");
+            let size = blocks as u64 * self.meta.block_size() as u64;
+            self.meta.commit_write(ino, size, 0).expect("precreate: commit");
+        }
+        ino
+    }
+
+    fn emit(&mut self, ev: ServerEvent, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if let Some(ob) = (self.observe)(ev) {
+            ctx.observe(ob);
+        }
+    }
+
+    // ------------------------------------------------------------ replies
+
+    fn respond(
+        &mut self,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        outcome: ResponseOutcome,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        let resp = Response { dst: client, session, seq, outcome };
+        if resp.is_ack() {
+            self.sessions.record_response(client, seq, resp.clone());
+        } else {
+            self.stats.nacks += 1;
+        }
+        ctx.send(NetId::CONTROL, client, NetMsg::Ctl(CtlMsg::Response(resp)));
+    }
+
+    fn ack(
+        &mut self,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        result: Result<ReplyBody, FsError>,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        self.respond(client, session, seq, ResponseOutcome::Acked(result), ctx);
+    }
+
+    fn nack(
+        &mut self,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        reason: NackReason,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        self.respond(client, session, seq, ResponseOutcome::Nacked(reason), ctx);
+    }
+
+    // ------------------------------------------------------------- pushes
+
+    /// Issue a demand to `holder`. When the holder has no live session its
+    /// lock is released instead; the resulting grants are *returned* (not
+    /// delivered) so callers can process them iteratively — recursing here
+    /// can overflow the stack under long waiter chains.
+    #[must_use]
+    fn start_demand(
+        &mut self,
+        holder: NodeId,
+        ino: Ino,
+        mode_needed: LockMode,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) -> Vec<Grant> {
+        // One outstanding demand per (holder, ino) is enough.
+        let dup = self.pushes.values().any(|p| {
+            p.dst == holder && matches!(p.body, PushBody::Demand { ino: i, .. } if i == ino)
+        });
+        if dup {
+            return Vec::new();
+        }
+        let Some(session) = self.sessions.current(holder) else {
+            // Holder has no live session (already reset): treat as
+            // released.
+            return self.locks.release(holder, ino, None);
+        };
+        let Some(epoch) = self.locks.holding_epoch(holder, ino) else {
+            return Vec::new(); // no longer a holder; nothing to demand
+        };
+        let push_seq = self.next_push_seq;
+        self.next_push_seq += 1;
+        self.pushes.insert(
+            push_seq,
+            PendingPush {
+                dst: holder,
+                session,
+                body: PushBody::Demand { ino, mode_needed, epoch },
+                retries_left: self.cfg.push_retries,
+                acked: false,
+                timer: None,
+            },
+        );
+        self.send_push(push_seq, ctx);
+        Vec::new()
+    }
+
+    fn send_push(&mut self, push_seq: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let interval = self.cfg.push_retry_interval;
+        let Some(p) = self.pushes.get_mut(&push_seq) else { return };
+        let msg = ServerPush {
+            dst: p.dst,
+            session: p.session,
+            push_seq,
+            body: p.body.clone(),
+        };
+        let dst = p.dst;
+        let token = self.timers.insert(ServerTimer::PushRetry(push_seq));
+        let timer = ctx.set_timer(interval, token);
+        if let Some(p) = self.pushes.get_mut(&push_seq) {
+            p.timer = Some(timer);
+        }
+        self.stats.pushes_sent += 1;
+        ctx.send(NetId::CONTROL, dst, NetMsg::Ctl(CtlMsg::Push(msg)));
+    }
+
+    /// Cancel pushes matching `pred` (their goal was achieved).
+    fn cancel_pushes(
+        &mut self,
+        pred: impl Fn(&PendingPush) -> bool,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        let mut done: Vec<u64> = self
+            .pushes
+            .iter()
+            .filter(|(_, p)| pred(p))
+            .map(|(k, _)| *k)
+            .collect();
+        done.sort_unstable();
+        for k in done {
+            if let Some(p) = self.pushes.remove(&k) {
+                if let Some(t) = p.timer {
+                    ctx.cancel_timer(t);
+                }
+            }
+            self.timers.cancel_where(|t| {
+                matches!(t, ServerTimer::PushRetry(s) | ServerTimer::ReleaseWait(s) if *s == k)
+            });
+        }
+    }
+
+    // ----------------------------------------------------------- recovery
+
+    fn delivery_error(&mut self, client: NodeId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.stats.delivery_errors += 1;
+        self.emit(ServerEvent::DeliveryError { client }, ctx);
+        // Stop pushing at the unresponsive client.
+        self.cancel_pushes(|p| p.dst == client, ctx);
+        match self.cfg.policy {
+            RecoveryPolicy::HonorLocks => {
+                // §2 without a safety protocol: locked data simply stays
+                // unavailable until the client reappears.
+            }
+            RecoveryPolicy::StealImmediately => {
+                self.sessions.remove(client);
+                self.do_steal(client, ctx);
+            }
+            RecoveryPolicy::FenceThenSteal => {
+                self.sessions.remove(client);
+                self.begin_fence(client, ctx);
+            }
+            RecoveryPolicy::LeaseFence => {
+                let now = ctx.now();
+                if let Some(fires_at) = self.authority.on_delivery_error(client, now) {
+                    let delay = LocalNs(fires_at.0.saturating_sub(now.0));
+                    let token = self.timers.insert(ServerTimer::LeaseExpiry(client));
+                    ctx.set_timer(delay, token);
+                }
+            }
+        }
+    }
+
+    fn begin_fence(&mut self, client: NodeId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let disks = self.cfg.disks.clone();
+        let sends = self.fences.begin(client, FenceOp::Fence, &disks);
+        if sends.is_empty() {
+            // No disks configured: fence is trivially in force.
+            self.fence_complete(client, ctx);
+            return;
+        }
+        for (req_id, disk) in sends {
+            ctx.send(
+                NetId::SAN,
+                disk,
+                NetMsg::San(SanMsg::FenceCmd { req_id, target: client, op: FenceOp::Fence }),
+            );
+        }
+    }
+
+    fn begin_unfence(&mut self, client: NodeId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let disks = self.cfg.disks.clone();
+        for (req_id, disk) in self.fences.begin(client, FenceOp::Unfence, &disks) {
+            ctx.send(
+                NetId::SAN,
+                disk,
+                NetMsg::San(SanMsg::FenceCmd { req_id, target: client, op: FenceOp::Unfence }),
+            );
+        }
+    }
+
+    fn fence_complete(&mut self, client: NodeId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.stats.fences_completed += 1;
+        self.emit(ServerEvent::Fenced { client }, ctx);
+        self.do_steal(client, ctx);
+    }
+
+    fn do_steal(&mut self, client: NodeId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.stats.steals += 1;
+        let (stolen, grants) = self.locks.steal_all(client);
+        self.stats.locks_stolen += stolen.len() as u64;
+        for (ino, epoch) in stolen {
+            self.emit(ServerEvent::LockStolen { client, ino, epoch }, ctx);
+        }
+        self.deliver_grants(grants, ctx);
+    }
+
+    /// Deliver grants and issue follow-up demands, iteratively: demands to
+    /// session-less holders release their locks, which may produce further
+    /// grants, and so on — a work queue keeps the stack flat.
+    fn deliver_grants(&mut self, grants: Vec<Grant>, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let mut queue: std::collections::VecDeque<Grant> = grants.into();
+        let mut guard = 0u32;
+        while !queue.is_empty() {
+            guard += 1;
+            assert!(guard < 1_000_000, "grant delivery failed to converge");
+            let mut touched: Vec<Ino> = Vec::new();
+            while let Some(g) = queue.pop_front() {
+                touched.push(g.ino);
+                self.emit(
+                    ServerEvent::LockGranted { client: g.client, ino: g.ino, epoch: g.epoch, mode: g.mode },
+                    ctx,
+                );
+                if let Some((session, seq)) = g.answers {
+                    // The waiter may have re-sessioned while queued; answer
+                    // on the session it asked with (a stale client ignores
+                    // it).
+                    let (blocks, size) = self
+                        .meta
+                        .file_extent(g.ino)
+                        .unwrap_or((Vec::new(), 0));
+                    self.ack(
+                        g.client,
+                        session,
+                        seq,
+                        Ok(ReplyBody::LockGranted { ino: g.ino, mode: g.mode, epoch: g.epoch, blocks, size }),
+                        ctx,
+                    );
+                }
+            }
+            // The queue may still have waiters blocked by the *new*
+            // holders: (re-)demand on their behalf, or the queue wedges.
+            touched.sort();
+            touched.dedup();
+            for ino in touched {
+                for (holder, mode) in self.locks.pending_demands(ino) {
+                    queue.extend(self.start_demand(holder, ino, mode, ctx));
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- requests
+
+    fn do_hello(&mut self, client: NodeId, req: &Request, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        // A fresh session abandons everything the old incarnation held.
+        let (stolen, grants) = self.locks.steal_all(client);
+        for (ino, epoch) in stolen {
+            self.emit(ServerEvent::LockReleased { client, ino, epoch }, ctx);
+        }
+        self.deliver_grants(grants, ctx);
+        self.authority.on_new_session(client);
+        if self.fences.is_fenced(client) {
+            self.begin_unfence(client, ctx);
+        }
+        let session = self.sessions.begin(client);
+        self.emit(ServerEvent::NewSession { client }, ctx);
+        // Hello replies are addressed with the *new* session so the lease
+        // renewal lands in the new incarnation.
+        self.respond(
+            client,
+            session,
+            req.seq,
+            ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session })),
+            ctx,
+        );
+    }
+
+    fn map_meta<T>(r: Result<T, MetaError>) -> Result<T, FsError> {
+        r.map_err(|e| match e {
+            MetaError::NotFound => FsError::NotFound,
+            MetaError::Exists => FsError::Exists,
+            MetaError::Invalid => FsError::Invalid,
+            MetaError::NoSpace => FsError::NoSpace,
+        })
+    }
+
+    fn execute(&mut self, client: NodeId, req: Request, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let session = req.session;
+        let seq = req.seq;
+        let now = ctx.now().0;
+        let result: Result<ReplyBody, FsError> = match req.body {
+            RequestBody::Hello => unreachable!("hello handled before execute"),
+            RequestBody::KeepAlive => Ok(ReplyBody::Ok),
+            RequestBody::Create { parent, name } => {
+                Self::map_meta(self.meta.create(parent, &name, now))
+                    .map(|ino| ReplyBody::Created { ino })
+            }
+            RequestBody::Mkdir { parent, name } => {
+                Self::map_meta(self.meta.mkdir(parent, &name, now))
+                    .map(|ino| ReplyBody::Created { ino })
+            }
+            RequestBody::Lookup { parent, name } => {
+                Self::map_meta(self.meta.lookup(parent, &name))
+                    .map(|(ino, attr)| ReplyBody::Resolved { ino, attr })
+            }
+            RequestBody::ReadDir { dir } => Self::map_meta(self.meta.readdir(dir))
+                .map(|entries| ReplyBody::Dir { entries }),
+            RequestBody::Unlink { parent, name } => {
+                // Unlinking a locked file would free its blocks for
+                // reallocation while a holder may still flush to them —
+                // block reuse corruption. Deny while contended.
+                match self.meta.lookup(parent, &name) {
+                    Ok((ino, _)) if self.locks.is_contended(ino) => Err(FsError::Unavailable),
+                    _ => Self::map_meta(self.meta.unlink(parent, &name)).map(|_| ReplyBody::Ok),
+                }
+            }
+            RequestBody::GetAttr { ino } => {
+                Self::map_meta(self.meta.getattr(ino)).map(|attr| ReplyBody::Attr { attr })
+            }
+            RequestBody::SetAttr { ino, size } => {
+                // Truncation changes data visibility: it requires the
+                // exclusive lock, like any other write.
+                if size.is_some() && !self.locks.holds(client, ino, LockMode::Exclusive) {
+                    Err(FsError::NotLocked)
+                } else {
+                    Self::map_meta(self.meta.setattr(ino, size, now))
+                        .map(|attr| ReplyBody::Attr { attr })
+                }
+            }
+            RequestBody::LockAcquire { ino, mode } => {
+                return self.do_lock_acquire(client, session, seq, ino, mode, ctx);
+            }
+            RequestBody::LockRelease { ino, epoch } => {
+                let held = self.locks.holding_epoch(client, ino);
+                let grants = self.locks.release(client, ino, Some(epoch));
+                if held == Some(epoch) {
+                    self.emit(ServerEvent::LockReleased { client, ino, epoch }, ctx);
+                    // The demand (if any) is satisfied.
+                    self.cancel_pushes(
+                        |p| {
+                            p.dst == client
+                                && matches!(p.body, PushBody::Demand { ino: i, .. } if i == ino)
+                        },
+                        ctx,
+                    );
+                }
+                self.deliver_grants(grants, ctx);
+                Ok(ReplyBody::Ok)
+            }
+            RequestBody::PushAck { push_seq } => {
+                self.do_push_ack(push_seq, ctx);
+                Ok(ReplyBody::Ok)
+            }
+            RequestBody::AllocBlocks { ino, count } => {
+                if !self.locks.holds(client, ino, LockMode::Exclusive) {
+                    Err(FsError::NotLocked)
+                } else {
+                    Self::map_meta(self.meta.alloc_blocks(ino, count))
+                        .map(|blocks| ReplyBody::Allocated { blocks })
+                }
+            }
+            RequestBody::CommitWrite { ino, new_size } => {
+                if !self.locks.holds(client, ino, LockMode::Exclusive) {
+                    Err(FsError::NotLocked)
+                } else {
+                    Self::map_meta(self.meta.commit_write(ino, new_size, now))
+                        .map(|_| ReplyBody::Ok)
+                }
+            }
+            RequestBody::ReadData { ino, offset, len } => {
+                return self.do_read_data(client, session, seq, ino, offset, len, ctx);
+            }
+            RequestBody::WriteData { ino, offset, data } => {
+                return self.do_write_data(client, session, seq, ino, offset, data, ctx);
+            }
+        };
+        self.ack(client, session, seq, result, ctx);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_lock_acquire(
+        &mut self,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        ino: Ino,
+        mode: LockMode,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        // Locking a nonexistent file is an application error.
+        let attr: Result<FileAttr, FsError> = Self::map_meta(self.meta.getattr(ino));
+        if let Err(e) = attr {
+            return self.ack(client, session, seq, Err(e), ctx);
+        }
+        match self.locks.request(client, ino, mode, session, seq) {
+            LockRequestOutcome::Granted(g) => {
+                self.emit(
+                    ServerEvent::LockGranted { client, ino, epoch: g.epoch, mode },
+                    ctx,
+                );
+                let (blocks, size) = self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
+                self.ack(
+                    client,
+                    session,
+                    seq,
+                    Ok(ReplyBody::LockGranted { ino, mode, epoch: g.epoch, blocks, size }),
+                    ctx,
+                );
+            }
+            LockRequestOutcome::AlreadyHeld(epoch, held_mode) => {
+                let (blocks, size) = self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
+                self.ack(
+                    client,
+                    session,
+                    seq,
+                    Ok(ReplyBody::LockGranted { ino, mode: held_mode, epoch, blocks, size }),
+                    ctx,
+                );
+            }
+            LockRequestOutcome::Queued { demand_from } => {
+                self.emit(ServerEvent::RequestBlocked { client, ino, seq }, ctx);
+                let mut grants = Vec::new();
+                for holder in demand_from {
+                    grants.extend(self.start_demand(holder, ino, mode, ctx));
+                }
+                self.deliver_grants(grants, ctx);
+                // No reply yet: the grant answers the request later.
+            }
+        }
+    }
+
+    fn do_push_ack(&mut self, push_seq: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(p) = self.pushes.get_mut(&push_seq) else { return };
+        if p.acked {
+            return;
+        }
+        p.acked = true;
+        if let Some(t) = p.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.timers
+            .cancel_where(|t| matches!(t, ServerTimer::PushRetry(s) if *s == push_seq));
+        match p.body {
+            PushBody::Demand { .. } => {
+                // The client is flushing; give it bounded time to release.
+                let timeout = self.cfg.release_timeout;
+                let token = self.timers.insert(ServerTimer::ReleaseWait(push_seq));
+                let timer = ctx.set_timer(timeout, token);
+                if let Some(p) = self.pushes.get_mut(&push_seq) {
+                    p.timer = Some(timer);
+                }
+            }
+            PushBody::Invalidate { .. } => {
+                // Ack completes an invalidation.
+                self.pushes.remove(&push_seq);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_read_data(
+        &mut self,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        ino: Ino,
+        offset: u64,
+        len: u32,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        if self.cfg.data_path != DataPath::FunctionShip {
+            return self.ack(client, session, seq, Err(FsError::Invalid), ctx);
+        }
+        let bs = self.meta.block_size() as u64;
+        assert!(offset.is_multiple_of(bs) && len as u64 == bs, "function-ship I/O is whole-block");
+        let Ok((blocks, size)) = self.meta.file_extent(ino) else {
+            return self.ack(client, session, seq, Err(FsError::NotFound), ctx);
+        };
+        let idx = (offset / bs) as usize;
+        if offset >= size || idx >= blocks.len() {
+            // Reading past EOF returns zeroes without touching the SAN.
+            return self.ack(
+                client,
+                session,
+                seq,
+                Ok(ReplyBody::Data { data: vec![0u8; len as usize] }),
+                ctx,
+            );
+        }
+        let req_id = self.next_san_req;
+        self.next_san_req += 1;
+        self.pending_san
+            .insert(req_id, SanPending { client, session, seq, commit: None });
+        let disk = self.disk_for(blocks[idx]);
+        ctx.send(NetId::SAN, disk, NetMsg::San(SanMsg::ReadBlock { req_id, block: blocks[idx] }));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_write_data(
+        &mut self,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        ino: Ino,
+        offset: u64,
+        data: Vec<u8>,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        if self.cfg.data_path != DataPath::FunctionShip {
+            return self.ack(client, session, seq, Err(FsError::Invalid), ctx);
+        }
+        let bs = self.meta.block_size() as u64;
+        assert!(offset.is_multiple_of(bs) && data.len() as u64 == bs, "function-ship I/O is whole-block");
+        let idx = (offset / bs) as usize;
+        let Ok((mut blocks, _)) = self.meta.file_extent(ino) else {
+            return self.ack(client, session, seq, Err(FsError::NotFound), ctx);
+        };
+        if idx >= blocks.len() {
+            let need = (idx + 1 - blocks.len()) as u32;
+            match Self::map_meta(self.meta.alloc_blocks(ino, need)) {
+                Ok(b) => blocks = b,
+                Err(e) => return self.ack(client, session, seq, Err(e), ctx),
+            }
+        }
+        let req_id = self.next_san_req;
+        self.next_san_req += 1;
+        let new_size = offset + bs;
+        self.pending_san
+            .insert(req_id, SanPending { client, session, seq, commit: Some((ino, new_size)) });
+        // The server serializes all function-shipped writes, so a stamped
+        // epoch gives the checker the same total order locks would.
+        let tag = WriteTag { writer: client, epoch: self.locks.stamp_epoch(), wseq: 0 };
+        let block = blocks[idx];
+        let disk = self.disk_for(block);
+        ctx.send(
+            NetId::SAN,
+            disk,
+            NetMsg::San(SanMsg::WriteBlock { req_id, block, data, tag }),
+        );
+    }
+
+    /// Which disk a block lives on (shared striping rule from tank-proto).
+    fn disk_for(&self, block: tank_proto::BlockId) -> NodeId {
+        self.cfg.disks[tank_proto::stripe_disk(block, self.cfg.disks.len())]
+    }
+
+    fn on_san(&mut self, san: SanMsg, from: NodeId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        match san {
+            SanMsg::FenceResp { req_id } => {
+                if let Some((client, FenceOp::Fence)) = self.fences.on_response(req_id, from) {
+                    self.fence_complete(client, ctx);
+                }
+            }
+            SanMsg::ReadResp { req_id, result } => {
+                let Some(p) = self.pending_san.remove(&req_id) else { return };
+                let reply = match result {
+                    Ok(ok) => Ok(ReplyBody::Data { data: ok.data }),
+                    Err(_) => Err(FsError::Invalid),
+                };
+                self.ack(p.client, p.session, p.seq, reply, ctx);
+            }
+            SanMsg::WriteResp { req_id, result } => {
+                let Some(p) = self.pending_san.remove(&req_id) else { return };
+                let reply = match result {
+                    Ok(()) => {
+                        if let Some((ino, new_size)) = p.commit {
+                            let now = ctx.now().0;
+                            let _ = self.meta.commit_write(ino, new_size, now);
+                        }
+                        Ok(ReplyBody::Ok)
+                    }
+                    Err(_) => Err(FsError::Invalid),
+                };
+                self.ack(p.client, p.session, p.seq, reply, ctx);
+            }
+            other => {
+                debug_assert!(false, "server got unexpected SAN message {other:?}");
+            }
+        }
+    }
+
+    fn on_request(&mut self, from: NodeId, req: Request, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        // Lease authority gate first (§3.3): a suspect client gets NACKs,
+        // an expired client gets NACKs for everything but Hello.
+        match self.authority.standing_of(from) {
+            ClientStanding::Good => {}
+            ClientStanding::Suspect { .. } => {
+                if self.cfg.nack_suspect {
+                    self.nack(from, req.session, req.seq, NackReason::LeaseTimingOut, ctx);
+                }
+                // Without the §3.3 optimization the request is silently
+                // ignored — correct but wasteful.
+                return;
+            }
+            ClientStanding::Expired => {
+                if matches!(req.body, RequestBody::Hello) {
+                    self.stats.requests += 1;
+                    return self.do_hello(from, &req, ctx);
+                }
+                return self.nack(from, req.session, req.seq, NackReason::SessionExpired, ctx);
+            }
+        }
+        if matches!(req.body, RequestBody::Hello) {
+            self.stats.requests += 1;
+            return self.do_hello(from, &req, ctx);
+        }
+        match self.sessions.admit(from, req.session, req.seq) {
+            Admission::Execute => {
+                self.stats.requests += 1;
+                self.execute(from, req, ctx);
+            }
+            Admission::Replay(resp) => {
+                self.stats.replays += 1;
+                ctx.send(NetId::CONTROL, from, NetMsg::Ctl(CtlMsg::Response(*resp)));
+            }
+            Admission::InProgress => {}
+            Admission::WrongSession => {
+                self.nack(from, req.session, req.seq, NackReason::StaleSession, ctx);
+            }
+        }
+    }
+}
+
+impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.id = Some(ctx.node());
+    }
+
+    fn on_message(&mut self, from: NodeId, _net: NetId, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        match msg {
+            NetMsg::Ctl(CtlMsg::Request(req)) => self.on_request(from, req, ctx),
+            NetMsg::San(san) => self.on_san(san, from, ctx),
+            NetMsg::Ctl(other) => {
+                debug_assert!(false, "server got unexpected control message {other:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(t) = self.timers.take(token) else { return };
+        match t {
+            ServerTimer::PushRetry(push_seq) => {
+                let Some(p) = self.pushes.get_mut(&push_seq) else { return };
+                if p.acked {
+                    return;
+                }
+                if p.retries_left == 0 {
+                    let dst = p.dst;
+                    self.delivery_error(dst, ctx);
+                } else {
+                    p.retries_left -= 1;
+                    self.send_push(push_seq, ctx);
+                }
+            }
+            ServerTimer::ReleaseWait(push_seq) => {
+                if let Some(p) = self.pushes.remove(&push_seq) {
+                    // PushAcked but never released — unless the demanded
+                    // grant is already gone (a voluntary release crossed
+                    // the demand), which satisfies it without a release
+                    // message naming this push.
+                    let still_held = match &p.body {
+                        PushBody::Demand { ino, epoch, .. } => {
+                            self.locks.holding_epoch(p.dst, *ino) == Some(*epoch)
+                        }
+                        _ => false,
+                    };
+                    if still_held {
+                        self.delivery_error(p.dst, ctx);
+                    }
+                }
+            }
+            ServerTimer::LeaseExpiry(client) => {
+                let now = ctx.now();
+                if self.authority.on_timer(client, now) {
+                    self.emit(ServerEvent::LeaseExpired { client }, ctx);
+                    self.begin_fence(client, ctx);
+                }
+            }
+        }
+    }
+
+    // Servers are assumed highly available and to recover their lock/lease
+    // state (§6: "Storage Tank uses a combined policy of lock reassertion
+    // and hardware supported replication ... it is assumed that Storage
+    // Tank servers are highly available"). A restart therefore keeps state.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, NetMsg, Ob>) {}
+}

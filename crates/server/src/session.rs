@@ -1,0 +1,178 @@
+//! Per-client session state: incarnations, at-most-once windows, response
+//! caching for duplicate suppression.
+
+use std::collections::HashMap;
+
+use tank_proto::seqwin::SeqVerdict;
+use tank_proto::{DedupWindow, NodeId, ReqSeq, Response, SessionId};
+
+/// What the server should do with an incoming request's (session, seq).
+#[derive(Debug, Clone)]
+pub enum Admission {
+    /// Fresh request: execute it.
+    Execute,
+    /// Duplicate of a request already answered: re-send this response.
+    Replay(Box<Response>),
+    /// Duplicate of a request still in progress (e.g. a queued lock
+    /// request): ignore; the answer will go out when ready.
+    InProgress,
+    /// Wrong session id (stale incarnation): NACK `StaleSession`.
+    WrongSession,
+}
+
+/// One client's session.
+#[derive(Debug, Clone)]
+struct Session {
+    id: SessionId,
+    window: DedupWindow,
+    /// Responses kept for replay, pruned against the window's watermark.
+    replay: HashMap<ReqSeq, Response>,
+}
+
+/// All client sessions.
+#[derive(Debug, Clone, Default)]
+pub struct SessionTable {
+    sessions: HashMap<NodeId, Session>,
+    next_session: u64,
+}
+
+/// Reorder history kept per session (requests further behind than this are
+/// treated as stale).
+const WINDOW_SPAN: u64 = 4096;
+
+impl SessionTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        SessionTable::default()
+    }
+
+    /// Begin a fresh session for `client`, superseding any previous one.
+    pub fn begin(&mut self, client: NodeId) -> SessionId {
+        self.next_session += 1;
+        let id = SessionId(self.next_session);
+        self.sessions.insert(
+            client,
+            Session { id, window: DedupWindow::with_span(WINDOW_SPAN), replay: HashMap::new() },
+        );
+        id
+    }
+
+    /// The client's current session id, if any.
+    pub fn current(&self, client: NodeId) -> Option<SessionId> {
+        self.sessions.get(&client).map(|s| s.id)
+    }
+
+    /// Classify an incoming request.
+    pub fn admit(&mut self, client: NodeId, session: SessionId, seq: ReqSeq) -> Admission {
+        let Some(s) = self.sessions.get_mut(&client) else {
+            return Admission::WrongSession;
+        };
+        if s.id != session {
+            return Admission::WrongSession;
+        }
+        match s.window.observe(seq) {
+            SeqVerdict::Fresh => Admission::Execute,
+            SeqVerdict::Duplicate => match s.replay.get(&seq) {
+                Some(r) => Admission::Replay(Box::new(r.clone())),
+                None => Admission::InProgress,
+            },
+            SeqVerdict::Stale => Admission::InProgress,
+        }
+    }
+
+    /// Record the response to a fresh request so later duplicates replay
+    /// it. Prunes entries the window can no longer ask about.
+    pub fn record_response(&mut self, client: NodeId, seq: ReqSeq, resp: Response) {
+        if let Some(s) = self.sessions.get_mut(&client) {
+            if s.id != resp.session {
+                return; // response for a dead incarnation
+            }
+            s.replay.insert(seq, resp);
+            if s.replay.len() > (2 * WINDOW_SPAN as usize) {
+                let low = s.window.low_watermark().0.saturating_sub(WINDOW_SPAN);
+                s.replay.retain(|k, _| k.0 > low);
+            }
+        }
+    }
+
+    /// Drop a client's session entirely.
+    pub fn remove(&mut self, client: NodeId) {
+        self.sessions.remove(&client);
+    }
+
+    /// Approximate memory used by replay caches (diagnostics).
+    pub fn replay_entries(&self) -> usize {
+        self.sessions.values().map(|s| s.replay.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tank_proto::message::{ReplyBody, ResponseOutcome};
+
+    const C: NodeId = NodeId(4);
+
+    fn resp(session: SessionId, seq: ReqSeq) -> Response {
+        Response { dst: C, session, seq, outcome: ResponseOutcome::Acked(Ok(ReplyBody::Ok)) }
+    }
+
+    #[test]
+    fn unknown_client_is_wrong_session() {
+        let mut t = SessionTable::new();
+        assert!(matches!(t.admit(C, SessionId(1), ReqSeq(1)), Admission::WrongSession));
+    }
+
+    #[test]
+    fn fresh_then_replay() {
+        let mut t = SessionTable::new();
+        let sid = t.begin(C);
+        assert!(matches!(t.admit(C, sid, ReqSeq(1)), Admission::Execute));
+        // Duplicate before response recorded: in progress.
+        assert!(matches!(t.admit(C, sid, ReqSeq(1)), Admission::InProgress));
+        t.record_response(C, ReqSeq(1), resp(sid, ReqSeq(1)));
+        match t.admit(C, sid, ReqSeq(1)) {
+            Admission::Replay(r) => assert_eq!(r.seq, ReqSeq(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_incarnation_invalidates_old() {
+        let mut t = SessionTable::new();
+        let old = t.begin(C);
+        let new = t.begin(C);
+        assert_ne!(old, new);
+        assert!(matches!(t.admit(C, old, ReqSeq(1)), Admission::WrongSession));
+        assert!(matches!(t.admit(C, new, ReqSeq(1)), Admission::Execute));
+    }
+
+    #[test]
+    fn session_ids_are_globally_unique() {
+        let mut t = SessionTable::new();
+        let a = t.begin(NodeId(1));
+        let b = t.begin(NodeId(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn replay_cache_is_bounded() {
+        let mut t = SessionTable::new();
+        let sid = t.begin(C);
+        for i in 1..=(3 * WINDOW_SPAN) {
+            t.admit(C, sid, ReqSeq(i));
+            t.record_response(C, ReqSeq(i), resp(sid, ReqSeq(i)));
+        }
+        assert!(t.replay_entries() <= 2 * WINDOW_SPAN as usize + 1);
+    }
+
+    #[test]
+    fn stale_responses_are_not_recorded() {
+        let mut t = SessionTable::new();
+        let old = t.begin(C);
+        let new = t.begin(C);
+        t.record_response(C, ReqSeq(1), resp(old, ReqSeq(1)));
+        assert!(matches!(t.admit(C, new, ReqSeq(1)), Admission::Execute));
+        assert_eq!(t.replay_entries(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Datagram network model with directional partitions.
+//!
+//! A [`Network`] delivers datagrams with configurable latency, jitter, loss
+//! and duplication. Link blocking is *directional*: `block(a, b)` stops
+//! traffic from `a` to `b` without affecting `b → a`. Symmetric partitions
+//! are built from directional blocks, and a world holds several networks
+//! (control + SAN), which is how the paper's two-network asymmetric
+//! partition views (§2) arise: a symmetric partition of one network is an
+//! asymmetric partition of the combined system.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// Identifies one of the world's networks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NetId(pub u8);
+
+impl NetId {
+    /// Conventional id of the general-purpose control network.
+    pub const CONTROL: NetId = NetId(0);
+    /// Conventional id of the storage area network.
+    pub const SAN: NetId = NetId(1);
+}
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            NetId::CONTROL => write!(f, "ctl"),
+            NetId::SAN => write!(f, "san"),
+            NetId(n) => write!(f, "net{n}"),
+        }
+    }
+}
+
+/// Delivery characteristics of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetParams {
+    /// Base one-way latency in true nanoseconds.
+    pub latency_ns: u64,
+    /// Uniform extra jitter in `[0, jitter_ns]` true nanoseconds.
+    pub jitter_ns: u64,
+    /// Probability a datagram is silently lost.
+    pub drop_prob: f64,
+    /// Probability a datagram is delivered twice (duplicated in flight).
+    pub dup_prob: f64,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        // A healthy LAN: 100µs ± 50µs, no loss.
+        NetParams { latency_ns: 100_000, jitter_ns: 50_000, drop_prob: 0.0, dup_prob: 0.0 }
+    }
+}
+
+impl NetParams {
+    /// A lossless, zero-jitter network (useful in unit tests that assert on
+    /// exact timings).
+    pub fn ideal(latency_ns: u64) -> NetParams {
+        NetParams { latency_ns, jitter_ns: 0, drop_prob: 0.0, dup_prob: 0.0 }
+    }
+}
+
+/// One datagram network: parameters plus current fault state.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Delivery characteristics (mutable mid-run by fault injection).
+    pub params: NetParams,
+    /// Directed blocked links: `(src, dst)` present means datagrams from
+    /// `src` to `dst` vanish.
+    blocked: HashSet<(NodeId, NodeId)>,
+}
+
+impl Network {
+    /// Create a network with the given parameters.
+    pub fn new(params: NetParams) -> Network {
+        Network { params, blocked: HashSet::new() }
+    }
+
+    /// Block the directed link `src → dst`.
+    pub fn block_directed(&mut self, src: NodeId, dst: NodeId) {
+        self.blocked.insert((src, dst));
+    }
+
+    /// Unblock the directed link `src → dst`.
+    pub fn unblock_directed(&mut self, src: NodeId, dst: NodeId) {
+        self.blocked.remove(&(src, dst));
+    }
+
+    /// Block both directions between `a` and `b`.
+    pub fn block_pair(&mut self, a: NodeId, b: NodeId) {
+        self.block_directed(a, b);
+        self.block_directed(b, a);
+    }
+
+    /// Unblock both directions between `a` and `b`.
+    pub fn unblock_pair(&mut self, a: NodeId, b: NodeId) {
+        self.unblock_directed(a, b);
+        self.unblock_directed(b, a);
+    }
+
+    /// Partition the network into groups: traffic within a group flows,
+    /// traffic between different groups is blocked (both directions).
+    /// Nodes not mentioned keep their existing links.
+    pub fn partition(&mut self, groups: &[&[NodeId]]) {
+        for (i, ga) in groups.iter().enumerate() {
+            for gb in groups.iter().skip(i + 1) {
+                for &a in ga.iter() {
+                    for &b in gb.iter() {
+                        self.block_pair(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove every block (heal the network completely).
+    pub fn heal(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Is the directed link `src → dst` blocked?
+    #[inline]
+    pub fn is_blocked(&self, src: NodeId, dst: NodeId) -> bool {
+        self.blocked.contains(&(src, dst))
+    }
+
+    /// Number of blocked directed links (diagnostics).
+    pub fn blocked_links(&self) -> usize {
+        self.blocked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: NodeId = NodeId(0);
+    const B: NodeId = NodeId(1);
+    const C: NodeId = NodeId(2);
+    const D: NodeId = NodeId(3);
+
+    #[test]
+    fn directional_blocking_is_one_way() {
+        let mut n = Network::new(NetParams::default());
+        n.block_directed(A, B);
+        assert!(n.is_blocked(A, B));
+        assert!(!n.is_blocked(B, A));
+        n.unblock_directed(A, B);
+        assert!(!n.is_blocked(A, B));
+    }
+
+    #[test]
+    fn pair_blocking_is_symmetric() {
+        let mut n = Network::new(NetParams::default());
+        n.block_pair(A, B);
+        assert!(n.is_blocked(A, B) && n.is_blocked(B, A));
+        n.unblock_pair(A, B);
+        assert_eq!(n.blocked_links(), 0);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_only() {
+        let mut n = Network::new(NetParams::default());
+        n.partition(&[&[A, B], &[C, D]]);
+        assert!(n.is_blocked(A, C) && n.is_blocked(C, A));
+        assert!(n.is_blocked(B, D) && n.is_blocked(D, B));
+        assert!(!n.is_blocked(A, B));
+        assert!(!n.is_blocked(C, D));
+    }
+
+    #[test]
+    fn three_way_partition() {
+        let mut n = Network::new(NetParams::default());
+        n.partition(&[&[A], &[B], &[C]]);
+        assert_eq!(n.blocked_links(), 6);
+        n.heal();
+        assert_eq!(n.blocked_links(), 0);
+    }
+
+    #[test]
+    fn net_ids_display() {
+        assert_eq!(NetId::CONTROL.to_string(), "ctl");
+        assert_eq!(NetId::SAN.to_string(), "san");
+        assert_eq!(NetId(7).to_string(), "net7");
+    }
+}

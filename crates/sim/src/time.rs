@@ -1,0 +1,259 @@
+//! Virtual time and rate-skewed per-node clocks.
+//!
+//! The paper's only clock assumption (§3) is *rate synchronization*: clocks
+//! advance at rates within a known bound ε of each other, with no absolute
+//! or relative offset synchronization. We model a node's clock as
+//! `local(t) = offset + rate · t` over global virtual time `t`, with
+//! `rate ∈ [1/(1+ε), 1+ε]`. Protocol code receives only [`LocalNs`] values;
+//! [`SimTime`] is visible to the harness for instrumentation.
+
+use serde::{Deserialize, Serialize};
+
+/// Global ("true") virtual time in nanoseconds since world start.
+///
+/// Only the simulator and the measurement harness see this; protocol code
+/// must never branch on it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// World start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Saturating addition of a true-time delta in nanoseconds.
+    #[inline]
+    pub fn after(self, delta_ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(delta_ns))
+    }
+
+    /// Seconds as a float, for report output only.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A timestamp or duration on some node's *local* clock, in nanoseconds.
+///
+/// Whether a value is a point or a span is contextual, as with `u64`
+/// nanosecond APIs generally; the protocol layer wraps points in richer
+/// types where the distinction matters.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct LocalNs(pub u64);
+
+impl LocalNs {
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> LocalNs {
+        LocalNs(s * 1_000_000_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> LocalNs {
+        LocalNs(ms * 1_000_000)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn plus(self, d: LocalNs) -> LocalNs {
+        LocalNs(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn minus(self, d: LocalNs) -> LocalNs {
+        LocalNs(self.0.saturating_sub(d.0))
+    }
+
+    /// Seconds as a float, for report output only.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+/// Specification for a node's clock, chosen by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockSpec {
+    /// Rate of the local clock relative to true time. The paper's ε bound
+    /// requires `rate ∈ [1/(1+ε), 1+ε]`; the harness enforces this (or
+    /// deliberately violates it for negative controls).
+    pub rate: f64,
+    /// Arbitrary initial offset in local nanoseconds — clocks are *not*
+    /// offset-synchronized (§3: "It does not require absolute or relative
+    /// time synchronization").
+    pub offset_ns: u64,
+}
+
+impl Default for ClockSpec {
+    fn default() -> Self {
+        ClockSpec { rate: 1.0, offset_ns: 0 }
+    }
+}
+
+impl ClockSpec {
+    /// A perfect clock.
+    pub fn ideal() -> ClockSpec {
+        ClockSpec::default()
+    }
+
+    /// Fastest legal clock for skew bound `epsilon`.
+    pub fn fastest(epsilon: f64) -> ClockSpec {
+        ClockSpec { rate: 1.0 + epsilon, offset_ns: 0 }
+    }
+
+    /// Slowest legal clock for skew bound `epsilon`.
+    pub fn slowest(epsilon: f64) -> ClockSpec {
+        ClockSpec { rate: 1.0 / (1.0 + epsilon), offset_ns: 0 }
+    }
+}
+
+/// A node's clock: a pure function of virtual time.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    rate: f64,
+    offset_ns: u64,
+}
+
+impl Clock {
+    /// Build from a spec. Rates must be positive and finite.
+    pub fn new(spec: ClockSpec) -> Clock {
+        assert!(
+            spec.rate.is_finite() && spec.rate > 0.0,
+            "clock rate must be positive and finite, got {}",
+            spec.rate
+        );
+        Clock { rate: spec.rate, offset_ns: spec.offset_ns }
+    }
+
+    /// The clock's rate relative to true time.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Read the local clock at true time `t`. Monotone non-decreasing in `t`.
+    #[inline]
+    pub fn local(&self, t: SimTime) -> LocalNs {
+        LocalNs(self.offset_ns.saturating_add((t.0 as f64 * self.rate) as u64))
+    }
+
+    /// Convert a *local* duration to the true-time delta after which the
+    /// local clock will have advanced by at least that much. Rounds up so a
+    /// timer never fires locally early.
+    #[inline]
+    pub fn local_delta_to_true(&self, d: LocalNs) -> u64 {
+        (d.0 as f64 / self.rate).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_is_identity() {
+        let c = Clock::new(ClockSpec::ideal());
+        assert_eq!(c.local(SimTime::from_secs(3)), LocalNs::from_secs(3));
+        assert_eq!(c.local_delta_to_true(LocalNs::from_millis(5)), 5_000_000);
+    }
+
+    #[test]
+    fn fast_clock_reads_ahead_and_timers_fire_sooner_in_true_time() {
+        let c = Clock::new(ClockSpec { rate: 1.1, offset_ns: 0 });
+        let read = c.local(SimTime::from_secs(10));
+        assert!(read > LocalNs::from_secs(10));
+        // A 1s local timer elapses in less than 1s of true time.
+        assert!(c.local_delta_to_true(LocalNs::from_secs(1)) < 1_000_000_000);
+    }
+
+    #[test]
+    fn slow_clock_reads_behind() {
+        let c = Clock::new(ClockSpec::slowest(0.1));
+        assert!(c.local(SimTime::from_secs(10)) < LocalNs::from_secs(10));
+        assert!(c.local_delta_to_true(LocalNs::from_secs(1)) > 1_000_000_000);
+    }
+
+    #[test]
+    fn offset_shifts_reads_without_changing_rate() {
+        let c = Clock::new(ClockSpec { rate: 1.0, offset_ns: 500 });
+        assert_eq!(c.local(SimTime(0)), LocalNs(500));
+        assert_eq!(c.local(SimTime(100)), LocalNs(600));
+    }
+
+    #[test]
+    fn timer_never_fires_locally_early() {
+        // For awkward rates, local_delta_to_true must round so that after
+        // the returned true delta the local clock moved >= d.
+        for &rate in &[0.9_f64, 1.0, 1.000001, 1.37, 0.731] {
+            let c = Clock::new(ClockSpec { rate, offset_ns: 0 });
+            for &d in &[1u64, 999, 1_000_000, 123_456_789] {
+                let dt = c.local_delta_to_true(LocalNs(d));
+                let before = c.local(SimTime(1_000_000));
+                let after = c.local(SimTime(1_000_000 + dt));
+                assert!(
+                    after.0 - before.0 + 1 >= d,
+                    "rate {rate}, d {d}: moved {}",
+                    after.0 - before.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_reads() {
+        let c = Clock::new(ClockSpec { rate: 0.97, offset_ns: 123 });
+        let mut prev = LocalNs(0);
+        for t in (0..10_000_000u64).step_by(997) {
+            let now = c.local(SimTime(t));
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clock rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = Clock::new(ClockSpec { rate: 0.0, offset_ns: 0 });
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SimTime::from_millis(1500), SimTime(1_500_000_000));
+        assert_eq!(SimTime::from_micros(3), SimTime(3_000));
+        assert_eq!(LocalNs::from_millis(2).plus(LocalNs(5)), LocalNs(2_000_005));
+        assert_eq!(LocalNs(10).minus(LocalNs(25)), LocalNs(0));
+        assert_eq!(SimTime(500).after(u64::MAX), SimTime(u64::MAX));
+    }
+}

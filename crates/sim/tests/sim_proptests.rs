@@ -1,0 +1,64 @@
+//! Property tests for the simulator's foundations.
+
+use proptest::prelude::*;
+use tank_sim::{Clock, ClockSpec, LocalNs, SimTime};
+
+proptest! {
+    /// Local clocks are monotone in true time for any legal rate/offset.
+    #[test]
+    fn clocks_are_monotone(
+        rate in 0.5f64..2.0,
+        offset in 0u64..10_000_000_000,
+        times in proptest::collection::vec(0u64..100_000_000_000, 2..50),
+    ) {
+        let clock = Clock::new(ClockSpec { rate, offset_ns: offset });
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut prev = None;
+        for t in sorted {
+            let local = clock.local(SimTime(t));
+            if let Some(p) = prev {
+                prop_assert!(local >= p);
+            }
+            prev = Some(local);
+        }
+    }
+
+    /// A timer armed for a local duration never fires locally early: after
+    /// the returned true delta, the local clock has advanced by at least
+    /// the requested duration (within 1ns of f64 rounding).
+    #[test]
+    fn timers_never_fire_locally_early(
+        rate in 0.5f64..2.0,
+        offset in 0u64..1_000_000_000,
+        base in 0u64..50_000_000_000,
+        delay in 1u64..10_000_000_000,
+    ) {
+        let clock = Clock::new(ClockSpec { rate, offset_ns: offset });
+        let dt = clock.local_delta_to_true(LocalNs(delay));
+        let before = clock.local(SimTime(base));
+        let after = clock.local(SimTime(base + dt));
+        prop_assert!(
+            after.0 + 1 >= before.0 + delay,
+            "moved {} local ns, wanted {}",
+            after.0 - before.0,
+            delay
+        );
+    }
+
+    /// Pairwise rate ratios drawn from tank-core's legal range respect the
+    /// ε contract (the bridge between the sim's per-node rates and the
+    /// paper's pairwise assumption).
+    #[test]
+    fn legal_rate_pairs_respect_epsilon(
+        eps in 0.0f64..0.2,
+        a_unit in 0.0f64..=1.0,
+        b_unit in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = tank_core::legal_rate_range(eps);
+        let a = lo + a_unit * (hi - lo);
+        let b = lo + b_unit * (hi - lo);
+        let ratio = if a > b { a / b } else { b / a };
+        prop_assert!(ratio <= (1.0 + eps) * (1.0 + 1e-12));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: the disk against a trivial model, plus fencing
+//! semantics under arbitrary interleavings.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tank_proto::{BlockId, Epoch, NodeId, SanError, WriteTag};
+use tank_storage::{DiskConfig, DiskNode};
+
+/// Direct (non-actor) disk driver for model checking. The actor layer is
+/// covered by the unit tests; here we exercise the storage semantics.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { initiator: u32, block: u64, fill: u8 },
+    Read { initiator: u32, block: u64 },
+    Fence { target: u32 },
+    Unfence { target: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..4, 0u64..16, any::<u8>()).prop_map(|(i, b, f)| Op::Write { initiator: i, block: b, fill: f }),
+        (0u32..4, 0u64..16).prop_map(|(i, b)| Op::Read { initiator: i, block: b }),
+        (0u32..4).prop_map(|t| Op::Fence { target: t }),
+        (0u32..4).prop_map(|t| Op::Unfence { target: t }),
+    ]
+}
+
+proptest! {
+    /// The disk behaves exactly like a fenced hash map: reads see the last
+    /// non-fenced write; fenced initiators can neither read nor write;
+    /// unfencing restores access; contents survive fencing episodes.
+    #[test]
+    fn disk_matches_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        const BS: usize = 16;
+        let mut disk = DiskNode::<()>::unobserved(DiskConfig { blocks: 16, block_size: BS });
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut fenced: std::collections::HashSet<u32> = Default::default();
+        let mut wseq = 0u64;
+
+        // Use the testing-visible surface: the actor processes messages,
+        // but the pure read/write methods are private — drive via the
+        // public harness accessors instead.
+        for op in ops {
+            match op {
+                Op::Write { initiator, block, fill } => {
+                    wseq += 1;
+                    let tag = WriteTag { writer: NodeId(initiator), epoch: Epoch(1), wseq };
+                    let data = vec![fill; BS];
+                    let result = disk.testing_write(NodeId(initiator), BlockId(block), data.clone(), tag);
+                    if fenced.contains(&initiator) {
+                        prop_assert_eq!(result, Err(SanError::Fenced));
+                    } else {
+                        prop_assert!(result.is_ok());
+                        model.insert(block, data);
+                    }
+                }
+                Op::Read { initiator, block } => {
+                    let result = disk.testing_read(NodeId(initiator), BlockId(block));
+                    if fenced.contains(&initiator) {
+                        prop_assert_eq!(result.err(), Some(SanError::Fenced));
+                    } else {
+                        let got = result.unwrap();
+                        let want = model.get(&block).cloned().unwrap_or_else(|| vec![0u8; BS]);
+                        prop_assert_eq!(got.data, want);
+                    }
+                }
+                Op::Fence { target } => {
+                    disk.testing_fence(NodeId(target), true);
+                    fenced.insert(target);
+                }
+                Op::Unfence { target } => {
+                    disk.testing_fence(NodeId(target), false);
+                    fenced.remove(&target);
+                }
+            }
+        }
+    }
+}

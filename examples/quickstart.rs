@@ -1,0 +1,60 @@
+//! Quickstart: build a two-client Storage Tank cluster, do some file I/O,
+//! and read the run report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tank_client::fs::Script;
+use tank_client::FsOp;
+use tank_cluster::workload::UniformGen;
+use tank_cluster::{Cluster, ClusterConfig};
+use tank_sim::{LocalNs, SimTime};
+
+fn main() {
+    // A cluster: 2 SAN disks, 1 metadata/lock server, 2 clients, with the
+    // paper's lease protocol (RecoveryPolicy::LeaseFence) and randomly
+    // rate-skewed clocks within the ε contract. Everything is virtual and
+    // deterministic: same seed, same run, every time.
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = 2;
+    cfg.files = 4; // pre-created as /f0 … /f3
+    let mut cluster = Cluster::build(cfg, 2026);
+
+    // Client 0 runs a fixed script: create a file, write it (write-back:
+    // the op completes into the local cache), read it back, stat it.
+    let ms = LocalNs::from_millis;
+    cluster.attach_script(
+        0,
+        Script::new()
+            .at(ms(100), FsOp::Create { path: "/hello".into() })
+            .at(ms(200), FsOp::Write { path: "/hello".into(), offset: 0, data: b"storage tank".to_vec() })
+            .at(ms(300), FsOp::Read { path: "/hello".into(), offset: 0, len: 12 })
+            .at(ms(400), FsOp::Stat { path: "/hello".into() }),
+    );
+
+    // Client 1 runs a random closed-loop workload over the shared files.
+    cluster.attach_workload(1, Box::new(UniformGen::default_for(4)));
+
+    // Run five virtual seconds.
+    cluster.run_until(SimTime::from_secs(5));
+
+    // Client 0's scripted results.
+    println!("client 0 results:");
+    for (op, result) in cluster.client(0).results() {
+        println!("  {op:?}: {result:?}");
+    }
+
+    // The full report: traffic, server counters, lease-authority
+    // accounting, and the safety audit.
+    let report = cluster.finish();
+    println!();
+    println!("{report}");
+    assert!(report.check.safe(), "a healthy run has no violations");
+
+    // The paper's claim, visible in one line: the lease authority held no
+    // state and started no timers.
+    assert_eq!(report.authority.timers_started, 0);
+    assert_eq!(report.authority_memory_bytes, 0);
+    println!("lease authority stayed passive: 0 bytes, 0 timers — as published.");
+}

@@ -1,0 +1,61 @@
+//! Scale smoke: a 16-client cluster under a Zipf workload for a minute of
+//! virtual time — safety holds, the lease authority stays passive, and
+//! opportunistic renewal keeps dedicated lease traffic at zero.
+
+use tank_cluster::workload::{Mix, ZipfGen};
+use tank_cluster::{Cluster, ClusterConfig};
+use tank_sim::{LocalNs, NetId, SimTime};
+
+#[test]
+fn sixteen_clients_one_virtual_minute() {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = 16;
+    cfg.disks = 4;
+    cfg.files = 32;
+    cfg.file_blocks = 4;
+    cfg.block_size = 4096;
+    cfg.gen_concurrency = 2;
+    let mut cluster = Cluster::build(cfg, 20260707);
+    let mix = Mix {
+        read_frac: 0.7,
+        meta_frac: 0.2,
+        io_size: 2048,
+        max_offset: 3 * 4096,
+        think_mean: LocalNs::from_millis(40),
+    };
+    for i in 0..16 {
+        cluster.attach_workload(i, Box::new(ZipfGen::new(32, 0.9, mix)));
+    }
+    cluster.run_until(SimTime::from_secs(60));
+    cluster.settle();
+    let report = cluster.finish();
+
+    assert!(report.check.safe(), "{:#?}", report.check);
+    assert!(
+        report.check.ops_ok > 15_000,
+        "16 clients × ~25 ops/s × 60 s: got {}",
+        report.check.ops_ok
+    );
+    // Under heavy Zipf contention the server may very occasionally time a
+    // demand out against a slow-to-release (but healthy) client — the
+    // protocol cannot distinguish slow from dead (§6) and resolves it
+    // safely through the lease path. Passivity must still hold to within
+    // those rare events, and residual lease state must drain.
+    assert!(
+        report.server.delivery_errors <= 3,
+        "demand timeouts should be rare: {}",
+        report.server.delivery_errors
+    );
+    assert!(report.authority.timers_started <= report.server.delivery_errors);
+    assert_eq!(report.authority_memory_bytes, 0, "all lease state drained");
+    // Busy clients renew almost purely opportunistically; the only
+    // keep-alives belong to the rare timed-out client riding out its
+    // suspect window (it is refused ACKs, so it keeps probing). Bound the
+    // total well below one per client-second.
+    let kas = cluster.world.stats().sent_kind("keep_alive", NetId::CONTROL);
+    assert!(kas < 16 * 60 / 4, "dedicated lease traffic stayed negligible: {kas}");
+    // Locks churned heavily and fairly (every client got work done).
+    for (i, c) in report.clients.iter().enumerate() {
+        assert!(c.completed > 200, "client {i} starved: {c:?}");
+    }
+}
