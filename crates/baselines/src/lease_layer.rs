@@ -18,8 +18,7 @@ use serde::Serialize;
 use tank_core::{ClientLease, LeaseAction, LeaseAuthority, LeaseConfig};
 use tank_proto::ReqSeq;
 use tank_sim::{
-    Actor, ClockSpec, Ctx, LocalNs, NetId, NetParams, NodeId, Payload, SimTime, World,
-    WorldConfig,
+    Actor, ClockSpec, Ctx, LocalNs, NetId, NetParams, NodeId, Payload, SimTime, World, WorldConfig,
 };
 
 /// Which lease scheme the layer runs.
@@ -182,7 +181,8 @@ impl LayerClient {
     }
 
     fn think(&self, rng: &mut ChaCha8Rng) -> Option<LocalNs> {
-        self.op_period.map(|p| LocalNs(rng.random_range(0..=p.0 * 2)))
+        self.op_period
+            .map(|p| LocalNs(rng.random_range(0..=p.0 * 2)))
     }
 
     fn send_op(&mut self, ctx: &mut Ctx<'_, LayerMsg, ()>) {
@@ -243,7 +243,13 @@ impl Actor<LayerMsg, ()> for LayerClient {
         }
     }
 
-    fn on_message(&mut self, _from: NodeId, _net: NetId, msg: LayerMsg, ctx: &mut Ctx<'_, LayerMsg, ()>) {
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        _net: NetId,
+        msg: LayerMsg,
+        ctx: &mut Ctx<'_, LayerMsg, ()>,
+    ) {
         match msg {
             LayerMsg::OpAck { seq } | LayerMsg::KeepAlive { seq } => {
                 // (KeepAlive never arrives at a client; the arm exists for
@@ -306,7 +312,6 @@ impl Actor<LayerMsg, ()> for LayerClient {
             _ => {}
         }
     }
-
 }
 
 /// The layer server.
@@ -369,7 +374,13 @@ impl Actor<LayerMsg, ()> for LayerServer {
         }
     }
 
-    fn on_message(&mut self, from: NodeId, net: NetId, msg: LayerMsg, ctx: &mut Ctx<'_, LayerMsg, ()>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        net: NetId,
+        msg: LayerMsg,
+        ctx: &mut Ctx<'_, LayerMsg, ()>,
+    ) {
         let now = ctx.now();
         match msg {
             LayerMsg::Op { seq } => {
@@ -437,7 +448,10 @@ impl Actor<LayerMsg, ()> for LayerServer {
 
 /// Run one lease-layer world and report.
 pub fn run_lease_layer(scheme: Scheme, params: LayerParams) -> LayerReport {
-    let mut world: World<LayerMsg> = World::new(WorldConfig { seed: params.seed, record_trace: false });
+    let mut world: World<LayerMsg> = World::new(WorldConfig {
+        seed: params.seed,
+        record_trace: false,
+    });
     world.add_network(NetId::CONTROL, NetParams::default());
     let server = world.add_node(
         Box::new(LayerServer::new(scheme, &params)),
@@ -448,7 +462,10 @@ pub fn run_lease_layer(scheme: Scheme, params: LayerParams) -> LayerReport {
         let rate = rate_rng.random_range(0.9995..1.0005);
         world.add_node(
             Box::new(LayerClient::new(scheme, server, &params)),
-            ClockSpec { rate, offset_ns: rate_rng.next_u64() % 1_000_000_000 },
+            ClockSpec {
+                rate,
+                offset_ns: rate_rng.next_u64() % 1_000_000_000,
+            },
         );
     }
     world.run_until(params.duration);
@@ -465,7 +482,11 @@ pub fn run_lease_layer(scheme: Scheme, params: LayerParams) -> LayerReport {
         // For Tank, count only *tracked* work (state-dependent); the
         // empty-table standing checks are the claimed-zero cost and are
         // reported via the authority stats in E6's detail columns.
-        Scheme::Tank => srv.tank.as_ref().map(|t| t.stats().tracked_checks).unwrap_or(0),
+        Scheme::Tank => srv
+            .tank
+            .as_ref()
+            .map(|t| t.stats().tracked_checks)
+            .unwrap_or(0),
         _ => srv.lease_ops,
     };
     LayerReport {
@@ -519,8 +540,20 @@ mod tests {
 
     #[test]
     fn v_lease_maintenance_scales_with_objects() {
-        let small = run_lease_layer(Scheme::VLease, LayerParams { objects_per_client: 16, ..params() });
-        let big = run_lease_layer(Scheme::VLease, LayerParams { objects_per_client: 128, ..params() });
+        let small = run_lease_layer(
+            Scheme::VLease,
+            LayerParams {
+                objects_per_client: 16,
+                ..params()
+            },
+        );
+        let big = run_lease_layer(
+            Scheme::VLease,
+            LayerParams {
+                objects_per_client: 128,
+                ..params()
+            },
+        );
         assert!(
             big.maintenance_msgs > 3 * small.maintenance_msgs,
             "per-object renewal grows with the cache: {} vs {}",
@@ -535,18 +568,32 @@ mod tests {
     fn heartbeat_maintenance_is_constant_per_client_and_stateful() {
         let r = run_lease_layer(Scheme::Heartbeat, params());
         // 4 clients × (30s / (5s/3)) ≈ 72 heartbeats.
-        assert!((50..120).contains(&r.maintenance_msgs), "{}", r.maintenance_msgs);
+        assert!(
+            (50..120).contains(&r.maintenance_msgs),
+            "{}",
+            r.maintenance_msgs
+        );
         assert!(r.peak_lease_bytes > 0, "server tracks every client");
         assert!(r.server_lease_ops > 0, "scans and updates cost work");
         // But it does NOT scale with objects.
-        let big = run_lease_layer(Scheme::Heartbeat, LayerParams { objects_per_client: 1024, ..params() });
+        let big = run_lease_layer(
+            Scheme::Heartbeat,
+            LayerParams {
+                objects_per_client: 1024,
+                ..params()
+            },
+        );
         assert_eq!(big.maintenance_msgs, r.maintenance_msgs);
     }
 
     #[test]
     fn nfs_polling_scales_with_objects_and_proves_the_point() {
         let r = run_lease_layer(Scheme::NfsPoll, params());
-        assert!(r.maintenance_msgs > 500, "polling is chatty: {}", r.maintenance_msgs);
+        assert!(
+            r.maintenance_msgs > 500,
+            "polling is chatty: {}",
+            r.maintenance_msgs
+        );
         assert_eq!(r.peak_lease_bytes, 0);
     }
 

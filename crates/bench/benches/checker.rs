@@ -12,7 +12,11 @@ fn history(n: usize) -> Vec<(SimTime, NodeId, Event)> {
         let node = NodeId((i % 8) as u32);
         let ino = Ino(i % 64);
         let idx = (i % 4) as u32;
-        let tag = WriteTag { writer: node, epoch: Epoch(i / 3 + 1), wseq: i };
+        let tag = WriteTag {
+            writer: node,
+            epoch: Epoch(i / 3 + 1),
+            wseq: i,
+        };
         let t = SimTime(i * 1000);
         match i % 3 {
             0 => evs.push((t, node, Event::WriteAcked { ino, idx, tag })),
@@ -22,11 +26,24 @@ fn history(n: usize) -> Vec<(SimTime, NodeId, Event)> {
                 Event::Hardened {
                     initiator: node,
                     block: BlockId(ino.0 * 4 + idx as u64),
-                    tag: WriteTag { writer: node, epoch: Epoch(i / 3 + 1), wseq: i - 1 },
+                    tag: WriteTag {
+                        writer: node,
+                        epoch: Epoch(i / 3 + 1),
+                        wseq: i - 1,
+                    },
                     previous: WriteTag::default(),
                 },
             )),
-            _ => evs.push((t, node, Event::ReadServed { ino, idx, tag, from_cache: i % 2 == 0 })),
+            _ => evs.push((
+                t,
+                node,
+                Event::ReadServed {
+                    ino,
+                    idx,
+                    tag,
+                    from_cache: i % 2 == 0,
+                },
+            )),
         }
     }
     evs

@@ -21,13 +21,31 @@ fn figure2_run(seed: u64) -> bool {
     let ms = LocalNs::from_millis;
     cluster.attach_script(
         0,
-        Script::new().at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![1; 512] }),
+        Script::new().at(
+            ms(500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![1; 512],
+            },
+        ),
     );
     cluster.attach_script(
         1,
-        Script::new().at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![2; 512] }),
+        Script::new().at(
+            ms(1_500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![2; 512],
+            },
+        ),
     );
-    cluster.isolate_control(0, SimTime::from_millis(1_000), Some(SimTime::from_millis(12_000)));
+    cluster.isolate_control(
+        0,
+        SimTime::from_millis(1_000),
+        Some(SimTime::from_millis(12_000)),
+    );
     cluster.run_until(SimTime::from_secs(16));
     cluster.finish().check.safe()
 }

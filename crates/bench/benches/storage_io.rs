@@ -21,7 +21,11 @@ impl Actor<NetMsg, ()> for Blaster {
     fn on_message(&mut self, _f: NodeId, _n: NetId, _m: NetMsg, ctx: &mut Ctx<'_, NetMsg, ()>) {
         if self.remaining > 0 {
             self.remaining -= 1;
-            let tag = WriteTag { writer: ctx.node(), epoch: Epoch(1), wseq: self.remaining as u64 };
+            let tag = WriteTag {
+                writer: ctx.node(),
+                epoch: Epoch(1),
+                wseq: self.remaining as u64,
+            };
             ctx.send(
                 NetId::SAN,
                 self.disk,
@@ -36,11 +40,20 @@ impl Actor<NetMsg, ()> for Blaster {
     }
     fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_, NetMsg, ()>) {
         // Kick off a closed loop of writes.
-        let tag = WriteTag { writer: ctx.node(), epoch: Epoch(1), wseq: 0 };
+        let tag = WriteTag {
+            writer: ctx.node(),
+            epoch: Epoch(1),
+            wseq: 0,
+        };
         ctx.send(
             NetId::SAN,
             self.disk,
-            NetMsg::San(SanMsg::WriteBlock { req_id: 0, block: BlockId(0), data: vec![0u8; self.bs], tag }),
+            NetMsg::San(SanMsg::WriteBlock {
+                req_id: 0,
+                block: BlockId(0),
+                data: vec![0u8; self.bs],
+                tag,
+            }),
         );
     }
 }
@@ -49,10 +62,20 @@ fn run_io(n: u32, bs: usize) -> u64 {
     let mut w: World<NetMsg> = World::new(WorldConfig::default());
     w.add_network(NetId::SAN, NetParams::ideal(10_000));
     let disk = w.add_node(
-        Box::new(DiskNode::<()>::unobserved(DiskConfig { blocks: 4096, block_size: bs })),
+        Box::new(DiskNode::<()>::unobserved(DiskConfig {
+            blocks: 4096,
+            block_size: bs,
+        })),
         ClockSpec::ideal(),
     );
-    w.add_node(Box::new(Blaster { disk, remaining: n, bs }), ClockSpec::ideal());
+    w.add_node(
+        Box::new(Blaster {
+            disk,
+            remaining: n,
+            bs,
+        }),
+        ClockSpec::ideal(),
+    );
     w.run_until(SimTime::from_secs(3600));
     w.events_processed()
 }

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use tank_proto::message::{ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
-    BlockId, CtlMsg, Epoch, Ino, NetMsg, NodeId, ReqSeq, Request, Response, SanMsg, SessionId,
-    WireDecode, WireEncode, WriteTag,
+    BlockId, CtlMsg, Epoch, Incarnation, Ino, NetMsg, NodeId, ReqSeq, Request, Response, SanMsg,
+    SessionId, WireDecode, WireEncode, WriteTag,
 };
 
 fn msgs() -> Vec<(&'static str, NetMsg)> {
@@ -26,6 +26,7 @@ fn msgs() -> Vec<(&'static str, NetMsg)> {
                 dst: NodeId(3),
                 session: SessionId(9),
                 seq: ReqSeq(1234),
+                incarnation: Incarnation(1),
                 outcome: ResponseOutcome::Acked(Ok(ReplyBody::LockGranted {
                     ino: Ino(77),
                     mode: tank_proto::LockMode::Exclusive,
@@ -41,7 +42,11 @@ fn msgs() -> Vec<(&'static str, NetMsg)> {
                 req_id: 9,
                 block: BlockId(17),
                 data: vec![7u8; 4096],
-                tag: WriteTag { writer: NodeId(3), epoch: Epoch(12), wseq: 5 },
+                tag: WriteTag {
+                    writer: NodeId(3),
+                    epoch: Epoch(12),
+                    wseq: 5,
+                },
             }),
         ),
     ]

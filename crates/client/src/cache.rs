@@ -33,7 +33,11 @@ pub struct BlockCache {
 impl BlockCache {
     /// Cache for blocks of `block_size` bytes.
     pub fn new(block_size: usize) -> Self {
-        BlockCache { files: HashMap::new(), block_size, blocks: 0 }
+        BlockCache {
+            files: HashMap::new(),
+            block_size,
+            blocks: 0,
+        }
     }
 
     /// The configured block size.
@@ -67,7 +71,14 @@ impl BlockCache {
         if file.contains_key(&idx) {
             return;
         }
-        file.insert(idx, CachedBlock { data, tag, dirty: false });
+        file.insert(
+            idx,
+            CachedBlock {
+                data,
+                tag,
+                dirty: false,
+            },
+        );
         self.blocks += 1;
     }
 
@@ -88,7 +99,14 @@ impl BlockCache {
                     offset == 0 && data.len() == self.block_size,
                     "partial write to uncached block {ino}/{idx}: read-modify-write required"
                 );
-                file.insert(idx, CachedBlock { data: data.to_vec(), tag, dirty: true });
+                file.insert(
+                    idx,
+                    CachedBlock {
+                        data: data.to_vec(),
+                        tag,
+                        dirty: true,
+                    },
+                );
                 self.blocks += 1;
             }
         }
@@ -121,7 +139,11 @@ impl BlockCache {
 
     /// Count of dirty blocks across all files.
     pub fn dirty_count(&self) -> usize {
-        self.files.values().flat_map(|f| f.values()).filter(|b| b.dirty).count()
+        self.files
+            .values()
+            .flat_map(|f| f.values())
+            .filter(|b| b.dirty)
+            .count()
     }
 
     /// Mark a block clean after its write-back was acknowledged by the
@@ -165,7 +187,11 @@ mod tests {
     const F: Ino = Ino(1);
 
     fn tag(wseq: u64) -> WriteTag {
-        WriteTag { writer: NodeId(1), epoch: Epoch(1), wseq }
+        WriteTag {
+            writer: NodeId(1),
+            epoch: Epoch(1),
+            wseq,
+        }
     }
 
     fn cache() -> BlockCache {
@@ -176,7 +202,7 @@ mod tests {
     fn fill_never_clobbers_an_existing_block() {
         let mut c = cache();
         c.write(F, 0, 0, &[9; 8], tag(5)); // dirty, newest
-        // A concurrent read's stale disk data arrives late:
+                                           // A concurrent read's stale disk data arrives late:
         c.fill(F, 0, vec![1; 8], tag(1));
         let b = c.get(F, 0).unwrap();
         assert!(b.dirty, "dirty data survives");

@@ -247,7 +247,11 @@ mod tests {
 
     #[test]
     fn op_paths_and_kinds() {
-        let op = FsOp::Write { path: "/a/b".into(), offset: 0, data: vec![1] };
+        let op = FsOp::Write {
+            path: "/a/b".into(),
+            offset: 0,
+            data: vec![1],
+        };
         assert_eq!(op.path(), "/a/b");
         assert_eq!(op.kind(), "write");
         assert_eq!(FsOp::Stat { path: "/x".into() }.kind(), "stat");

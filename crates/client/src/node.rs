@@ -5,8 +5,8 @@ use std::collections::{HashMap, HashSet};
 use tank_core::{ClientLease, LeaseAction, LeaseConfig, Phase};
 use tank_proto::message::{FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
-    stripe_disk, BlockId, CtlMsg, Epoch, Ino, LockMode, NackReason, NetMsg, NodeId, OpId,
-    PushBody, ReqSeq, Request, Response, SanMsg, ServerPush, SessionId, WriteTag,
+    stripe_disk, BlockId, CtlMsg, Epoch, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId,
+    OpId, PushBody, ReqSeq, Request, Response, SanMsg, ServerPush, SessionId, WriteTag,
 };
 use tank_sim::{Actor, Ctx, LocalNs, NetId, TimerId, TokenMap};
 
@@ -114,26 +114,44 @@ enum ClientTimer {
 /// Why a request was sent — drives reply dispatch.
 #[derive(Debug, Clone)]
 enum Purpose {
-    Hello { sent_at: LocalNs },
+    Hello {
+        sent_at: LocalNs,
+    },
     KeepAlive,
     /// A path-resolution lookup step for an op.
-    Resolve { op: OpId },
+    Resolve {
+        op: OpId,
+    },
     /// The final metadata action of an op.
-    Meta { op: OpId },
+    Meta {
+        op: OpId,
+    },
     /// Lock acquisition for an inode (ops park on the ino). `gen` pins
     /// the lock-state era the request belongs to: a response that crosses
     /// a release/invalidation (gen bumped) is from a dead era and must be
     /// ignored, or it would reinstate a stale epoch and block map.
-    Lock { ino: Ino, gen: u64 },
+    Lock {
+        ino: Ino,
+        gen: u64,
+    },
     /// Block allocation on behalf of an op.
-    Alloc { op: OpId, ino: Ino },
+    Alloc {
+        op: OpId,
+        ino: Ino,
+    },
     /// Fire-and-forget size commit.
-    Commit { ino: Ino },
+    Commit {
+        ino: Ino,
+    },
     /// Commit whose completion triggers a lock release (demand path).
-    CommitThenRelease { ino: Ino },
+    CommitThenRelease {
+        ino: Ino,
+    },
     /// Lock release of our current holding (success tears down local
     /// state).
-    Release { ino: Ino },
+    Release {
+        ino: Ino,
+    },
     /// Epoch-qualified cleanup release of a grant we never installed (or
     /// no longer hold): the reply changes nothing locally.
     ReleaseStale,
@@ -194,7 +212,12 @@ enum OpState {
     /// Resolving the path: component `idx` of `parts` under `cur`.
     /// `to_parent` stops one short (Create/Mkdir/Delete address the
     /// parent).
-    Resolve { parts: Vec<String>, idx: usize, cur: Ino, to_parent: bool },
+    Resolve {
+        parts: Vec<String>,
+        idx: usize,
+        cur: Ino,
+        to_parent: bool,
+    },
     /// Waiting for the final metadata reply.
     MetaWait,
     /// Parked until the lock (keyed in `parked`) is held in a covering
@@ -215,9 +238,19 @@ enum SanOp {
     /// the lock grant the read was issued under: a response landing after
     /// the lock moved on must not populate the cache (it may be a stale
     /// snapshot of a block someone else has since rewritten).
-    OpRead { op: OpId, ino: Ino, idx: u32, epoch: Epoch },
+    OpRead {
+        op: OpId,
+        ino: Ino,
+        idx: u32,
+        epoch: Epoch,
+    },
     /// Write-back of a dirty block within a flush campaign.
-    FlushWrite { campaign: u64, ino: Ino, idx: u32, tag: WriteTag },
+    FlushWrite {
+        campaign: u64,
+        ino: Ino,
+        idx: u32,
+        tag: WriteTag,
+    },
 }
 
 /// What happens when a flush campaign finishes.
@@ -248,6 +281,9 @@ pub struct ClientNode<Ob> {
     id: NodeId,
     lease: ClientLease,
     session: Option<SessionId>,
+    /// The server incarnation the last response carried. A change means
+    /// the server crashed and restarted (losing our session and locks).
+    server_incarnation: Option<Incarnation>,
     serving: bool,
     next_seq: u64,
     pending: HashMap<ReqSeq, PendingReq>,
@@ -310,6 +346,7 @@ impl<Ob> ClientNode<Ob> {
             id: NodeId(u32::MAX),
             lease,
             session: None,
+            server_incarnation: None,
             serving: false,
             next_seq: 1,
             pending: HashMap::new(),
@@ -381,7 +418,10 @@ impl<Ob> ClientNode<Ob> {
 
     /// The result of one operation, if still retained.
     pub fn result_of(&self, op: OpId) -> Option<&FsResult> {
-        self.results.iter().find(|(id, _)| *id == op).map(|(_, r)| r)
+        self.results
+            .iter()
+            .find(|(id, _)| *id == op)
+            .map(|(_, r)| r)
     }
 
     fn log_result(&mut self, id: OpId, result: &FsResult) {
@@ -441,12 +481,23 @@ impl<Ob> ClientNode<Ob> {
         };
         self.pending.insert(
             seq,
-            PendingReq { body: body.clone(), purpose, session, cur_rto: self.cfg.rto, timer },
+            PendingReq {
+                body: body.clone(),
+                purpose,
+                session,
+                cur_rto: self.cfg.rto,
+                timer,
+            },
         );
         ctx.send(
             NetId::CONTROL,
             self.cfg.server,
-            NetMsg::Ctl(CtlMsg::Request(Request { src: ctx.node(), session, seq, body })),
+            NetMsg::Ctl(CtlMsg::Request(Request {
+                src: ctx.node(),
+                session,
+                seq,
+                body,
+            })),
         );
         seq
     }
@@ -459,11 +510,18 @@ impl<Ob> ClientNode<Ob> {
         let server = self.cfg.server;
         let max_rto = self.cfg.max_rto;
         let me = ctx.node();
-        let Some(p) = self.pending.get_mut(&seq) else { return };
+        let Some(p) = self.pending.get_mut(&seq) else {
+            return;
+        };
         p.cur_rto = LocalNs((p.cur_rto.0 * 2).min(max_rto.0));
         let token = self.timers.insert(ClientTimer::ReqRetry(seq));
         let delay = p.cur_rto;
-        let msg = Request { src: me, session: p.session, seq, body: p.body.clone() };
+        let msg = Request {
+            src: me,
+            session: p.session,
+            seq,
+            body: p.body.clone(),
+        };
         p.timer = Some(ctx.set_timer(delay, token));
         self.stats.retransmits += 1;
         ctx.send(NetId::CONTROL, server, NetMsg::Ctl(CtlMsg::Request(msg)));
@@ -535,7 +593,12 @@ impl<Ob> ClientNode<Ob> {
         self.seen_pushes.clear();
         let discarded = self.cache.invalidate_all();
         self.name_cache.clear();
-        self.emit(ClientEvent::CacheInvalidated { discarded_dirty: discarded }, ctx);
+        self.emit(
+            ClientEvent::CacheInvalidated {
+                discarded_dirty: discarded,
+            },
+            ctx,
+        );
         self.session = None;
         self.send_hello(ctx);
     }
@@ -621,7 +684,12 @@ impl<Ob> ClientNode<Ob> {
             self.stats.denied += 1;
             self.log_result(id, &Err(FsErr::Suspended));
             self.emit(
-                ClientEvent::OpCompleted { op: id, kind, ok: false, err: Some(FsErr::Suspended) },
+                ClientEvent::OpCompleted {
+                    op: id,
+                    kind,
+                    ok: false,
+                    err: Some(FsErr::Suspended),
+                },
                 ctx,
             );
             if from_gen {
@@ -635,9 +703,17 @@ impl<Ob> ClientNode<Ob> {
             .filter(|p| !p.is_empty())
             .map(str::to_owned)
             .collect();
-        let to_parent = matches!(op, FsOp::Create { .. } | FsOp::Mkdir { .. } | FsOp::Delete { .. });
+        let to_parent = matches!(
+            op,
+            FsOp::Create { .. } | FsOp::Mkdir { .. } | FsOp::Delete { .. }
+        );
         let root = Ino(1); // the server's root is always ino 1
-        let mut active = ActiveOp { op, state: OpState::MetaWait, from_gen, ino: None };
+        let mut active = ActiveOp {
+            op,
+            state: OpState::MetaWait,
+            from_gen,
+            ino: None,
+        };
         if to_parent && parts.is_empty() {
             // Creating "/" or deleting "/" is invalid.
             self.ops.insert(id, active);
@@ -650,36 +726,67 @@ impl<Ob> ClientNode<Ob> {
                 return self.op_resolved(id, ino, ctx);
             }
         }
-        let resolve_len = if to_parent { parts.len() - 1 } else { parts.len() };
+        let resolve_len = if to_parent {
+            parts.len() - 1
+        } else {
+            parts.len()
+        };
         if resolve_len == 0 {
             // Target is the root itself (or a root-level create).
-            active.state = OpState::Resolve { parts, idx: 0, cur: root, to_parent };
+            active.state = OpState::Resolve {
+                parts,
+                idx: 0,
+                cur: root,
+                to_parent,
+            };
             self.ops.insert(id, active);
             self.op_resolved(id, root, ctx);
         } else {
-            active.state = OpState::Resolve { parts, idx: 0, cur: root, to_parent };
+            active.state = OpState::Resolve {
+                parts,
+                idx: 0,
+                cur: root,
+                to_parent,
+            };
             self.ops.insert(id, active);
             self.resolve_step(id, ctx);
         }
     }
 
     fn resolve_step(&mut self, id: OpId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(active) = self.ops.get(&id) else { return };
-        let OpState::Resolve { parts, idx, cur, to_parent } = &active.state else {
+        let Some(active) = self.ops.get(&id) else {
             return;
         };
-        let limit = if *to_parent { parts.len() - 1 } else { parts.len() };
+        let OpState::Resolve {
+            parts,
+            idx,
+            cur,
+            to_parent,
+        } = &active.state
+        else {
+            return;
+        };
+        let limit = if *to_parent {
+            parts.len() - 1
+        } else {
+            parts.len()
+        };
         if *idx >= limit {
             let cur = *cur;
             return self.op_resolved(id, cur, ctx);
         }
-        let body = RequestBody::Lookup { parent: *cur, name: parts[*idx].clone() };
+        let body = RequestBody::Lookup {
+            parent: *cur,
+            name: parts[*idx].clone(),
+        };
         self.send_request(body, Purpose::Resolve { op: id }, true, ctx);
     }
 
     /// The op's target (or parent, for to_parent ops) is known.
     fn op_resolved(&mut self, id: OpId, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(active) = self.ops.get_mut(&id) else { return };
+        let Some(active) = self.ops.get_mut(&id) else {
+            return;
+        };
         active.ino = Some(ino);
         if !matches!(
             active.op,
@@ -687,7 +794,9 @@ impl<Ob> ClientNode<Ob> {
         ) {
             self.name_cache.insert(op_path_of(&self.ops[&id].op), ino);
         }
-        let Some(active) = self.ops.get_mut(&id) else { return };
+        let Some(active) = self.ops.get_mut(&id) else {
+            return;
+        };
         match &active.op {
             FsOp::Create { path } => {
                 let name = last_component(path);
@@ -792,7 +901,13 @@ impl<Ob> ClientNode<Ob> {
 
     // -------------------------------------------------------------- locks
 
-    fn ensure_lock_then(&mut self, id: OpId, ino: Ino, mode: LockMode, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn ensure_lock_then(
+        &mut self,
+        id: OpId,
+        ino: Ino,
+        mode: LockMode,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
         match self.locks.get(&ino) {
             Some(LockEntry::Held(info)) if info.mode.covers(mode) => {
                 self.run_data_op(id, ino, ctx);
@@ -807,7 +922,10 @@ impl<Ob> ClientNode<Ob> {
                 if need_send {
                     let gen = self.gen_of(ino);
                     self.send_request(
-                        RequestBody::LockAcquire { ino, mode: LockMode::Exclusive },
+                        RequestBody::LockAcquire {
+                            ino,
+                            mode: LockMode::Exclusive,
+                        },
                         Purpose::Lock { ino, gen },
                         true,
                         ctx,
@@ -909,7 +1027,10 @@ impl<Ob> ClientNode<Ob> {
             }
             None => {
                 self.send_request(
-                    RequestBody::LockRelease { ino, epoch: demanded },
+                    RequestBody::LockRelease {
+                        ino,
+                        epoch: demanded,
+                    },
                     Purpose::ReleaseStale,
                     false,
                     ctx,
@@ -919,11 +1040,15 @@ impl<Ob> ClientNode<Ob> {
     }
 
     fn kick_parked(&mut self, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(ids) = self.parked.remove(&ino) else { return };
+        let Some(ids) = self.parked.remove(&ino) else {
+            return;
+        };
         let mut still_parked = Vec::new();
         for id in ids {
             let Some(a) = self.ops.get(&id) else { continue };
-            let OpState::WaitLock { mode } = a.state else { continue };
+            let OpState::WaitLock { mode } = a.state else {
+                continue;
+            };
             match self.locks.get(&ino) {
                 Some(LockEntry::Held(info)) if info.mode.covers(mode) => {
                     self.run_data_op(id, ino, ctx);
@@ -938,7 +1063,10 @@ impl<Ob> ClientNode<Ob> {
                     if need_send {
                         let gen = self.gen_of(ino);
                         self.send_request(
-                            RequestBody::LockAcquire { ino, mode: LockMode::Exclusive },
+                            RequestBody::LockAcquire {
+                                ino,
+                                mode: LockMode::Exclusive,
+                            },
                             Purpose::Lock { ino, gen },
                             true,
                             ctx,
@@ -969,7 +1097,9 @@ impl<Ob> ClientNode<Ob> {
 
     /// The op holds a covering lock; run its data phase.
     fn run_data_op(&mut self, id: OpId, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(active) = self.ops.get(&id) else { return };
+        let Some(active) = self.ops.get(&id) else {
+            return;
+        };
         match &active.op {
             FsOp::Read { offset, len, .. } => {
                 let (offset, len) = (*offset, *len);
@@ -983,7 +1113,14 @@ impl<Ob> ClientNode<Ob> {
         }
     }
 
-    fn run_read(&mut self, id: OpId, ino: Ino, offset: u64, len: u32, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn run_read(
+        &mut self,
+        id: OpId,
+        ino: Ino,
+        offset: u64,
+        len: u32,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
         let Some(LockEntry::Held(info)) = self.locks.get(&ino) else {
             return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
         };
@@ -1005,19 +1142,37 @@ impl<Ob> ClientNode<Ob> {
         for idx in first..=last {
             if self.cache.get(ino, idx).is_none() && (idx as usize) < nblocks {
                 waiting += 1;
-                self.san_read(ino, idx, blocks[idx as usize], SanOp::OpRead { op: id, ino, idx, epoch }, ctx);
+                self.san_read(
+                    ino,
+                    idx,
+                    blocks[idx as usize],
+                    SanOp::OpRead {
+                        op: id,
+                        ino,
+                        idx,
+                        epoch,
+                    },
+                    ctx,
+                );
             }
         }
         if waiting == 0 {
             self.finish_read(id, ino, ctx);
         } else if let Some(a) = self.ops.get_mut(&id) {
-            a.state = OpState::SanReads { waiting, then_write: false };
+            a.state = OpState::SanReads {
+                waiting,
+                then_write: false,
+            };
         }
     }
 
     fn finish_read(&mut self, id: OpId, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(active) = self.ops.get(&id) else { return };
-        let FsOp::Read { offset, len, .. } = &active.op else { return };
+        let Some(active) = self.ops.get(&id) else {
+            return;
+        };
+        let FsOp::Read { offset, len, .. } = &active.op else {
+            return;
+        };
         let (offset, len) = (*offset, *len);
         let Some(LockEntry::Held(info)) = self.locks.get(&ino) else {
             return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
@@ -1047,7 +1202,16 @@ impl<Ob> ClientNode<Ob> {
             }
         }
         for (idx, tag, from_cache) in served {
-            self.emit(ClientEvent::ReadServed { op: id, ino, idx, tag, from_cache }, ctx);
+            self.emit(
+                ClientEvent::ReadServed {
+                    op: id,
+                    ino,
+                    idx,
+                    tag,
+                    from_cache,
+                },
+                ctx,
+            );
         }
         self.complete_op(id, Ok(FsData::Bytes(out)), ctx);
     }
@@ -1093,25 +1257,46 @@ impl<Ob> ClientNode<Ob> {
             let has_live_data = bstart < size && (idx as usize) < blocks.len();
             if !covers_fully && has_live_data && self.cache.get(ino, idx).is_none() {
                 waiting += 1;
-                self.san_read(ino, idx, blocks[idx as usize], SanOp::OpRead { op: id, ino, idx, epoch }, ctx);
+                self.san_read(
+                    ino,
+                    idx,
+                    blocks[idx as usize],
+                    SanOp::OpRead {
+                        op: id,
+                        ino,
+                        idx,
+                        epoch,
+                    },
+                    ctx,
+                );
             }
         }
         if waiting == 0 {
             self.apply_write(id, ino, ctx);
         } else if let Some(a) = self.ops.get_mut(&id) {
-            a.state = OpState::SanReads { waiting, then_write: true };
+            a.state = OpState::SanReads {
+                waiting,
+                then_write: true,
+            };
         }
     }
 
     fn apply_write(&mut self, id: OpId, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(active) = self.ops.get(&id) else { return };
-        let FsOp::Write { offset, data, .. } = &active.op else { return };
+        let Some(active) = self.ops.get(&id) else {
+            return;
+        };
+        let FsOp::Write { offset, data, .. } = &active.op else {
+            return;
+        };
         let (offset, data) = (*offset, data.clone());
         // §3.2: by phase 4 the flush snapshot is final. An in-flight write
         // completing now would dirty the cache *behind* the flush and be
         // discarded at expiry — refuse it instead of lying to the process.
         if self.cfg.lease_enabled
-            && matches!(self.lease.phase(ctx.now()), Phase::ExpectedFailure | Phase::Expired)
+            && matches!(
+                self.lease.phase(ctx.now()),
+                Phase::ExpectedFailure | Phase::Expired
+            )
         {
             return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
         }
@@ -1131,7 +1316,11 @@ impl<Ob> ClientNode<Ob> {
             let lo = offset.max(bstart);
             let hi = end.min(bstart + bs);
             wseq += 1;
-            let tag = WriteTag { writer: me, epoch, wseq };
+            let tag = WriteTag {
+                writer: me,
+                epoch,
+                wseq,
+            };
             let slice = &data[(lo - offset) as usize..(hi - offset) as usize];
             let covers_fully = lo == bstart && hi == bstart + bs;
             if self.cache.get(ino, idx).is_none() && !covers_fully {
@@ -1141,7 +1330,8 @@ impl<Ob> ClientNode<Ob> {
                 full[(lo - bstart) as usize..(hi - bstart) as usize].copy_from_slice(slice);
                 self.cache.write(ino, idx, 0, &full, tag);
             } else {
-                self.cache.write(ino, idx, (lo - bstart) as usize, slice, tag);
+                self.cache
+                    .write(ino, idx, (lo - bstart) as usize, slice, tag);
             }
             acked.push((idx, tag));
         }
@@ -1156,7 +1346,15 @@ impl<Ob> ClientNode<Ob> {
             info.size > info.committed_size
         };
         for (idx, tag) in acked {
-            self.emit(ClientEvent::WriteAcked { op: id, ino, idx, tag }, ctx);
+            self.emit(
+                ClientEvent::WriteAcked {
+                    op: id,
+                    ino,
+                    idx,
+                    tag,
+                },
+                ctx,
+            );
         }
         if grew {
             // Commit size growth eagerly so other clients' views (block
@@ -1177,13 +1375,24 @@ impl<Ob> ClientNode<Ob> {
 
     // --------------------------------------------------------------- SAN
 
-    fn san_read(&mut self, _ino: Ino, _idx: u32, block: BlockId, what: SanOp, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn san_read(
+        &mut self,
+        _ino: Ino,
+        _idx: u32,
+        block: BlockId,
+        what: SanOp,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
         let req_id = self.next_san_req;
         self.next_san_req += 1;
         self.pending_san.insert(req_id, what);
         self.stats.cache_misses += 1;
         let disk = self.cfg.disks[stripe_disk(block, self.cfg.disks.len())];
-        ctx.send(NetId::SAN, disk, NetMsg::San(SanMsg::ReadBlock { req_id, block }));
+        ctx.send(
+            NetId::SAN,
+            disk,
+            NetMsg::San(SanMsg::ReadBlock { req_id, block }),
+        );
     }
 
     fn start_flush(&mut self, ino: Ino, after: AfterFlush, ctx: &mut Ctx<'_, NetMsg, Ob>) {
@@ -1203,7 +1412,13 @@ impl<Ob> ClientNode<Ob> {
         self.next_flush_id += 1;
         self.flushes.insert(
             campaign,
-            FlushCampaign { ino, remaining: queue.len(), in_flight: 0, queue, after },
+            FlushCampaign {
+                ino,
+                remaining: queue.len(),
+                in_flight: 0,
+                queue,
+                after,
+            },
         );
         self.issue_flush_writes(campaign, ctx);
     }
@@ -1212,11 +1427,15 @@ impl<Ob> ClientNode<Ob> {
     fn issue_flush_writes(&mut self, campaign: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         let window = self.cfg.flush_window.max(1);
         loop {
-            let Some(c) = self.flushes.get_mut(&campaign) else { return };
+            let Some(c) = self.flushes.get_mut(&campaign) else {
+                return;
+            };
             if c.in_flight >= window {
                 return;
             }
-            let Some((idx, data, tag)) = c.queue.pop_front() else { return };
+            let Some((idx, data, tag)) = c.queue.pop_front() else {
+                return;
+            };
             let ino = c.ino;
             c.in_flight += 1;
             let block = match self.locks.get(&ino) {
@@ -1235,9 +1454,26 @@ impl<Ob> ClientNode<Ob> {
             };
             let req_id = self.next_san_req;
             self.next_san_req += 1;
-            self.pending_san.insert(req_id, SanOp::FlushWrite { campaign, ino, idx, tag });
+            self.pending_san.insert(
+                req_id,
+                SanOp::FlushWrite {
+                    campaign,
+                    ino,
+                    idx,
+                    tag,
+                },
+            );
             let disk = self.cfg.disks[stripe_disk(block, self.cfg.disks.len())];
-            ctx.send(NetId::SAN, disk, NetMsg::San(SanMsg::WriteBlock { req_id, block, data, tag }));
+            ctx.send(
+                NetId::SAN,
+                disk,
+                NetMsg::San(SanMsg::WriteBlock {
+                    req_id,
+                    block,
+                    data,
+                    tag,
+                }),
+            );
         }
     }
 
@@ -1274,7 +1510,12 @@ impl<Ob> ClientNode<Ob> {
     }
 
     /// Commit the size if it grew, then complete the Flush op.
-    fn finish_flush_commit(&mut self, ino: Ino, complete: Option<OpId>, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn finish_flush_commit(
+        &mut self,
+        ino: Ino,
+        complete: Option<OpId>,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
         if let Some(LockEntry::Held(info)) = self.locks.get(&ino) {
             if info.size > info.committed_size {
                 let new_size = info.size;
@@ -1292,7 +1533,12 @@ impl<Ob> ClientNode<Ob> {
     }
 
     /// Demand path tail: ensure committed size, then release.
-    fn commit_then_release(&mut self, ino: Ino, complete: Option<OpId>, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn commit_then_release(
+        &mut self,
+        ino: Ino,
+        complete: Option<OpId>,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
         // Stash the op to complete on the release reply via Purpose.
         let needs_commit = match self.locks.get(&ino) {
             Some(LockEntry::Held(info)) => info.size > info.committed_size,
@@ -1366,7 +1612,9 @@ impl<Ob> ClientNode<Ob> {
     fn on_push(&mut self, push: ServerPush, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         // Always ack (stops server retries); handle the body once.
         self.send_request(
-            RequestBody::PushAck { push_seq: push.push_seq },
+            RequestBody::PushAck {
+                push_seq: push.push_seq,
+            },
             Purpose::PushAckSend,
             false,
             ctx,
@@ -1423,7 +1671,16 @@ impl<Ob> ClientNode<Ob> {
     // ------------------------------------------------------------ replies
 
     fn on_response(&mut self, resp: Response, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(p) = self.drop_pending(resp.seq, ctx) else { return };
+        // Detect a server restart before anything else: the incarnation is
+        // stamped on every response, so even a NACK for a long-forgotten
+        // sequence number tells us the server we knew is gone.
+        let restarted = self
+            .server_incarnation
+            .replace(resp.incarnation)
+            .is_some_and(|known| known != resp.incarnation);
+        let Some(p) = self.drop_pending(resp.seq, ctx) else {
+            return;
+        };
         match resp.outcome {
             ResponseOutcome::Acked(result) => {
                 let renewed = self.lease.on_ack(resp.seq, ctx.now());
@@ -1432,11 +1689,17 @@ impl<Ob> ClientNode<Ob> {
                 }
                 self.dispatch_reply(p.purpose, result, ctx);
             }
-            ResponseOutcome::Nacked(reason) => self.on_nack(reason, p, ctx),
+            ResponseOutcome::Nacked(reason) => self.on_nack(reason, restarted, p, ctx),
         }
     }
 
-    fn on_nack(&mut self, reason: NackReason, p: PendingReq, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn on_nack(
+        &mut self,
+        reason: NackReason,
+        restarted: bool,
+        p: PendingReq,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
         match reason {
             NackReason::LeaseTimingOut => {
                 // §3.3: we missed a message; cache is invalid; enter phase
@@ -1452,6 +1715,9 @@ impl<Ob> ClientNode<Ob> {
                 }
                 self.pump_lease(ctx);
             }
+            NackReason::SessionExpired | NackReason::StaleSession if restarted => {
+                self.on_server_restart(p, ctx);
+            }
             NackReason::SessionExpired | NackReason::StaleSession => {
                 // Our session is dead at the server: locks stolen. Unless
                 // this was the Hello itself, restart with a fresh session.
@@ -1463,7 +1729,50 @@ impl<Ob> ClientNode<Ob> {
                     self.local_expiry(ctx);
                 }
             }
+            NackReason::Recovering => {
+                // The restarted server is inside its grace window. Unlike
+                // the NACKs above this does not condemn anything: our lease
+                // and cache are still good (the server grants nothing that
+                // could conflict until the window closes). The operation
+                // just cannot be served yet.
+                let was_hello = matches!(p.purpose, Purpose::Hello { .. });
+                self.fail_purpose(p.purpose, FsErr::Unavailable, ctx);
+                if was_hello {
+                    let token = self.timers.insert(ClientTimer::HelloRetry);
+                    ctx.set_timer(LocalNs::from_millis(500), token);
+                }
+            }
         }
+    }
+
+    /// The server's incarnation changed under us: it crashed, restarted,
+    /// and lost our session and lock state. Our lease is still good and
+    /// the restarted server grants nothing that could conflict with us
+    /// until its grace window closes, so dirty state is *not* condemned.
+    /// A clean client (no locks, nothing dirty) simply re-registers. A
+    /// client with holdings takes the normal phase-3/4 walk — quiesce,
+    /// flush dirty blocks to the SAN, then tear down and re-`Hello` at its
+    /// own expiry — exactly the sequence the grace window was sized to
+    /// wait out.
+    fn on_server_restart(&mut self, p: PendingReq, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if self.locks.is_empty() && self.cache.dirty_count() == 0 {
+            if matches!(p.purpose, Purpose::Hello { .. }) {
+                self.hello_inflight = false;
+                self.send_hello(ctx);
+            } else {
+                self.fail_purpose(p.purpose, FsErr::LeaseLost, ctx);
+                self.local_expiry(ctx);
+            }
+            return;
+        }
+        self.lease.on_nack(ctx.now());
+        let was_hello = matches!(p.purpose, Purpose::Hello { .. });
+        self.fail_purpose(p.purpose, FsErr::Suspended, ctx);
+        if was_hello {
+            let token = self.timers.insert(ClientTimer::HelloRetry);
+            ctx.set_timer(LocalNs::from_millis(500), token);
+        }
+        self.pump_lease(ctx);
     }
 
     fn fail_purpose(&mut self, purpose: Purpose, err: FsErr, ctx: &mut Ctx<'_, NetMsg, Ob>) {
@@ -1537,11 +1846,23 @@ impl<Ob> ClientNode<Ob> {
             Purpose::KeepAlive | Purpose::PushAckSend => {}
             Purpose::Resolve { op } => match result {
                 Ok(ReplyBody::Resolved { ino, attr }) => {
-                    let Some(a) = self.ops.get_mut(&op) else { return };
-                    if let OpState::Resolve { idx, cur, parts, to_parent } = &mut a.state {
+                    let Some(a) = self.ops.get_mut(&op) else {
+                        return;
+                    };
+                    if let OpState::Resolve {
+                        idx,
+                        cur,
+                        parts,
+                        to_parent,
+                    } = &mut a.state
+                    {
                         *cur = ino;
                         *idx += 1;
-                        let limit = if *to_parent { parts.len() - 1 } else { parts.len() };
+                        let limit = if *to_parent {
+                            parts.len() - 1
+                        } else {
+                            parts.len()
+                        };
                         if *idx >= limit {
                             // Resolution finished. Stat can complete right
                             // here from the lookup's attributes.
@@ -1576,9 +1897,9 @@ impl<Ob> ClientNode<Ob> {
                         is_dir: attr.is_dir,
                         version: attr.version,
                     }),
-                    Ok(ReplyBody::Dir { entries }) => {
-                        Ok(FsData::Entries(entries.into_iter().map(|(n, _)| n).collect()))
-                    }
+                    Ok(ReplyBody::Dir { entries }) => Ok(FsData::Entries(
+                        entries.into_iter().map(|(n, _)| n).collect(),
+                    )),
                     Ok(ReplyBody::Data { data }) => Ok(FsData::Bytes(data)),
                     Ok(_) => Err(FsErr::Invalid),
                     Err(e) => Err(map_fs_error(e)),
@@ -1595,7 +1916,13 @@ impl<Ob> ClientNode<Ob> {
                     return;
                 }
                 match result {
-                    Ok(ReplyBody::LockGranted { ino: gino, mode, epoch, blocks, size }) => {
+                    Ok(ReplyBody::LockGranted {
+                        ino: gino,
+                        mode,
+                        epoch,
+                        blocks,
+                        size,
+                    }) => {
                         debug_assert_eq!(ino, gino);
                         self.on_lock_granted(ino, mode, epoch, blocks, size, ctx);
                     }
@@ -1621,7 +1948,7 @@ impl<Ob> ClientNode<Ob> {
                         }
                     }
                 }
-            },
+            }
             Purpose::Alloc { op, ino } => match result {
                 Ok(ReplyBody::Allocated { blocks }) => {
                     // Allocation only grows a file; a shorter map here is
@@ -1667,7 +1994,9 @@ impl<Ob> ClientNode<Ob> {
     // --------------------------------------------------------- completion
 
     fn complete_op(&mut self, id: OpId, result: FsResult, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(active) = self.ops.remove(&id) else { return };
+        let Some(active) = self.ops.remove(&id) else {
+            return;
+        };
         match &active.op {
             FsOp::Delete { path } => {
                 self.name_cache.remove(&canonical(path));
@@ -1693,7 +2022,15 @@ impl<Ob> ClientNode<Ob> {
         }
         let err = result.as_ref().err().copied();
         self.log_result(id, &result);
-        self.emit(ClientEvent::OpCompleted { op: id, kind, ok: result.is_ok(), err }, ctx);
+        self.emit(
+            ClientEvent::OpCompleted {
+                op: id,
+                kind,
+                ok: result.is_ok(),
+                err,
+            },
+            ctx,
+        );
         if active.from_gen {
             // Note: gen_op_queued tracks the *queued* (timer-armed) op,
             // which is not this one; only ask for more work.
@@ -1704,7 +2041,12 @@ impl<Ob> ClientNode<Ob> {
     fn on_san_resp(&mut self, san: SanMsg, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         match san {
             SanMsg::ReadResp { req_id, result } => {
-                let Some(SanOp::OpRead { op, ino, idx, epoch }) = self.pending_san.remove(&req_id)
+                let Some(SanOp::OpRead {
+                    op,
+                    ino,
+                    idx,
+                    epoch,
+                }) = self.pending_san.remove(&req_id)
                 else {
                     return;
                 };
@@ -1721,8 +2063,14 @@ impl<Ob> ClientNode<Ob> {
                 match result {
                     Ok(ok) => {
                         self.cache.fill(ino, idx, ok.data, ok.tag);
-                        let Some(a) = self.ops.get_mut(&op) else { return };
-                        if let OpState::SanReads { waiting, then_write } = &mut a.state {
+                        let Some(a) = self.ops.get_mut(&op) else {
+                            return;
+                        };
+                        if let OpState::SanReads {
+                            waiting,
+                            then_write,
+                        } = &mut a.state
+                        {
                             *waiting -= 1;
                             if *waiting == 0 {
                                 let then_write = *then_write;
@@ -1743,8 +2091,12 @@ impl<Ob> ClientNode<Ob> {
                 }
             }
             SanMsg::WriteResp { req_id, result } => {
-                let Some(SanOp::FlushWrite { campaign, ino, idx, tag }) =
-                    self.pending_san.remove(&req_id)
+                let Some(SanOp::FlushWrite {
+                    campaign,
+                    ino,
+                    idx,
+                    tag,
+                }) = self.pending_san.remove(&req_id)
                 else {
                     return;
                 };
@@ -1761,7 +2113,9 @@ impl<Ob> ClientNode<Ob> {
                     }
                 }
                 let done = {
-                    let Some(c) = self.flushes.get_mut(&campaign) else { return };
+                    let Some(c) = self.flushes.get_mut(&campaign) else {
+                        return;
+                    };
                     c.in_flight -= 1;
                     c.remaining -= 1;
                     c.remaining == 0
@@ -1814,7 +2168,10 @@ fn op_path_of(op: &FsOp) -> String {
 }
 
 fn last_component(path: &str) -> String {
-    path.split('/').rfind(|p| !p.is_empty()).unwrap_or("").to_owned()
+    path.split('/')
+        .rfind(|p| !p.is_empty())
+        .unwrap_or("")
+        .to_owned()
 }
 
 impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
@@ -1831,7 +2188,13 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
         self.send_hello(ctx);
     }
 
-    fn on_message(&mut self, _from: NodeId, _net: NetId, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        _net: NetId,
+        msg: NetMsg,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
         match msg {
             NetMsg::Ctl(CtlMsg::Response(resp)) => self.on_response(resp, ctx),
             NetMsg::Ctl(CtlMsg::Push(push)) => self.on_push(push, ctx),
@@ -1844,7 +2207,9 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(t) = self.timers.take(token) else { return };
+        let Some(t) = self.timers.take(token) else {
+            return;
+        };
         match t {
             ClientTimer::LeasePoll => {
                 self.next_poll_at = None;

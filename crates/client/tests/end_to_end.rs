@@ -1,8 +1,8 @@
 //! End-to-end protocol smoke tests: one server, disks, clients, all real
 //! actors in a deterministic world.
 
-use tank_client::{ClientConfig, ClientNode, FsData, FsErr, FsOp};
 use tank_client::fs::Script;
+use tank_client::{ClientConfig, ClientNode, FsData, FsErr, FsOp};
 use tank_core::LeaseConfig;
 use tank_proto::{NetMsg, NodeId, OpId};
 use tank_server::{ServerConfig, ServerNode};
@@ -20,21 +20,33 @@ struct Rig {
 /// Build a world: 2 disks, 1 server, `nclients` clients with the given
 /// scripts.
 fn rig(scripts: Vec<Script>, lease: LeaseConfig) -> Rig {
-    let mut world: World<NetMsg> = World::new(WorldConfig { seed: 42, record_trace: false });
+    let mut world: World<NetMsg> = World::new(WorldConfig {
+        seed: 42,
+        record_trace: false,
+    });
     world.add_network(NetId::CONTROL, NetParams::ideal(200_000)); // 0.2ms
     world.add_network(NetId::SAN, NetParams::ideal(100_000)); // 0.1ms
     let d0 = world.add_node(
-        Box::new(DiskNode::<()>::unobserved(DiskConfig { blocks: 4096, block_size: BS })),
+        Box::new(DiskNode::<()>::unobserved(DiskConfig {
+            blocks: 4096,
+            block_size: BS,
+        })),
         ClockSpec::ideal(),
     );
     let d1 = world.add_node(
-        Box::new(DiskNode::<()>::unobserved(DiskConfig { blocks: 4096, block_size: BS })),
+        Box::new(DiskNode::<()>::unobserved(DiskConfig {
+            blocks: 4096,
+            block_size: BS,
+        })),
         ClockSpec::ideal(),
     );
     let mut scfg = ServerConfig::default();
     scfg.lease = lease;
     scfg.disks = vec![d0, d1];
-    let server = world.add_node(Box::new(ServerNode::<()>::unobserved(scfg, 4096, BS)), ClockSpec::ideal());
+    let server = world.add_node(
+        Box::new(ServerNode::<()>::unobserved(scfg, 4096, BS)),
+        ClockSpec::ideal(),
+    );
     let mut clients = Vec::new();
     for script in scripts {
         let mut ccfg = ClientConfig::new(server, vec![d0, d1]);
@@ -43,7 +55,11 @@ fn rig(scripts: Vec<Script>, lease: LeaseConfig) -> Rig {
         let node = ClientNode::<()>::unobserved(ccfg).with_script(script);
         clients.push(world.add_node(Box::new(node), ClockSpec::ideal()));
     }
-    Rig { world, server, clients }
+    Rig {
+        world,
+        server,
+        clients,
+    }
 }
 
 fn results_of(rig: &Rig, client: usize) -> Vec<(OpId, Result<FsData, FsErr>)> {
@@ -64,8 +80,22 @@ fn create_write_read_roundtrip_on_one_client() {
     let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
     let script = Script::new()
         .at(ms(10), FsOp::Create { path: "/f".into() })
-        .at(ms(50), FsOp::Write { path: "/f".into(), offset: 0, data: data.clone() })
-        .at(ms(100), FsOp::Read { path: "/f".into(), offset: 0, len: 1000 })
+        .at(
+            ms(50),
+            FsOp::Write {
+                path: "/f".into(),
+                offset: 0,
+                data: data.clone(),
+            },
+        )
+        .at(
+            ms(100),
+            FsOp::Read {
+                path: "/f".into(),
+                offset: 0,
+                len: 1000,
+            },
+        )
         .at(ms(150), FsOp::Stat { path: "/f".into() });
     let mut r = rig(vec![script], LeaseConfig::default());
     r.world.run_until(SimTime::from_secs(1));
@@ -73,7 +103,11 @@ fn create_write_read_roundtrip_on_one_client() {
     assert_eq!(res.len(), 4, "all four ops completed: {res:?}");
     assert_eq!(res[0].1, Ok(FsData::Unit), "create");
     assert_eq!(res[1].1, Ok(FsData::Unit), "write (into cache)");
-    assert_eq!(res[2].1, Ok(FsData::Bytes(data)), "read returns written bytes");
+    assert_eq!(
+        res[2].1,
+        Ok(FsData::Bytes(data)),
+        "read returns written bytes"
+    );
     match &res[3].1 {
         Ok(FsData::Attr { size, is_dir, .. }) => {
             assert_eq!(*size, 1000, "size committed eagerly");
@@ -89,14 +123,34 @@ fn read_across_clients_after_flush_and_release() {
     // C0's bytes (fetched from the shared disk, not C1's empty cache).
     let payload = vec![7u8; 2 * BS];
     let s0 = Script::new()
-        .at(ms(10), FsOp::Create { path: "/shared".into() })
-        .at(ms(50), FsOp::Write { path: "/shared".into(), offset: 0, data: payload.clone() })
-        .at(ms(100), FsOp::Release { path: "/shared".into() });
-    let s1 = Script::new().at(ms(300), FsOp::Read {
-        path: "/shared".into(),
-        offset: 0,
-        len: (2 * BS) as u32,
-    });
+        .at(
+            ms(10),
+            FsOp::Create {
+                path: "/shared".into(),
+            },
+        )
+        .at(
+            ms(50),
+            FsOp::Write {
+                path: "/shared".into(),
+                offset: 0,
+                data: payload.clone(),
+            },
+        )
+        .at(
+            ms(100),
+            FsOp::Release {
+                path: "/shared".into(),
+            },
+        );
+    let s1 = Script::new().at(
+        ms(300),
+        FsOp::Read {
+            path: "/shared".into(),
+            offset: 0,
+            len: (2 * BS) as u32,
+        },
+    );
     let mut r = rig(vec![s0, s1], LeaseConfig::default());
     r.world.run_until(SimTime::from_secs(1));
     let res1 = results_of(&r, 1);
@@ -114,9 +168,30 @@ fn demand_revocation_moves_exclusive_lock_between_live_clients() {
     let b = vec![2u8; BS];
     let s0 = Script::new()
         .at(ms(10), FsOp::Create { path: "/f".into() })
-        .at(ms(50), FsOp::Write { path: "/f".into(), offset: 0, data: a })
-        .at(ms(900), FsOp::Read { path: "/f".into(), offset: 0, len: BS as u32 });
-    let s1 = Script::new().at(ms(200), FsOp::Write { path: "/f".into(), offset: 0, data: b.clone() });
+        .at(
+            ms(50),
+            FsOp::Write {
+                path: "/f".into(),
+                offset: 0,
+                data: a,
+            },
+        )
+        .at(
+            ms(900),
+            FsOp::Read {
+                path: "/f".into(),
+                offset: 0,
+                len: BS as u32,
+            },
+        );
+    let s1 = Script::new().at(
+        ms(200),
+        FsOp::Write {
+            path: "/f".into(),
+            offset: 0,
+            data: b.clone(),
+        },
+    );
     let mut r = rig(vec![s0, s1], LeaseConfig::default());
     r.world.run_until(SimTime::from_secs(2));
     let res0 = results_of(&r, 0);
@@ -124,20 +199,48 @@ fn demand_revocation_moves_exclusive_lock_between_live_clients() {
     assert_eq!(res1.len(), 1, "C1's write completed: {res1:?}");
     assert!(res1[0].1.is_ok());
     assert_eq!(res0.len(), 3, "C0 ops: {res0:?}");
-    assert_eq!(res0[2].1, Ok(FsData::Bytes(b)), "C0 sees C1's bytes after revocation");
+    assert_eq!(
+        res0[2].1,
+        Ok(FsData::Bytes(b)),
+        "C0 sees C1's bytes after revocation"
+    );
 }
 
 #[test]
 fn shared_readers_coexist() {
     let s0 = Script::new()
         .at(ms(10), FsOp::Create { path: "/f".into() })
-        .at(ms(20), FsOp::Write { path: "/f".into(), offset: 0, data: vec![9u8; BS] })
+        .at(
+            ms(20),
+            FsOp::Write {
+                path: "/f".into(),
+                offset: 0,
+                data: vec![9u8; BS],
+            },
+        )
         .at(ms(60), FsOp::Release { path: "/f".into() })
-        .at(ms(200), FsOp::Read { path: "/f".into(), offset: 0, len: 16 });
-    let s1 = Script::new().at(ms(210), FsOp::Read { path: "/f".into(), offset: 0, len: 16 });
+        .at(
+            ms(200),
+            FsOp::Read {
+                path: "/f".into(),
+                offset: 0,
+                len: 16,
+            },
+        );
+    let s1 = Script::new().at(
+        ms(210),
+        FsOp::Read {
+            path: "/f".into(),
+            offset: 0,
+            len: 16,
+        },
+    );
     let mut r = rig(vec![s0, s1], LeaseConfig::default());
     r.world.run_until(SimTime::from_secs(1));
-    assert_eq!(results_of(&r, 0).last().unwrap().1, Ok(FsData::Bytes(vec![9u8; 16])));
+    assert_eq!(
+        results_of(&r, 0).last().unwrap().1,
+        Ok(FsData::Bytes(vec![9u8; 16]))
+    );
     assert_eq!(results_of(&r, 1)[0].1, Ok(FsData::Bytes(vec![9u8; 16])));
     // Both ended holding shared locks; server sees no waiters.
     let srv = r.world.node_ref::<ServerNode<()>>(r.server).unwrap();
@@ -148,13 +251,33 @@ fn shared_readers_coexist() {
 fn metadata_operations_roundtrip() {
     let s0 = Script::new()
         .at(ms(10), FsOp::Mkdir { path: "/d".into() })
-        .at(ms(20), FsOp::Create { path: "/d/x".into() })
-        .at(ms(30), FsOp::Create { path: "/d/y".into() })
+        .at(
+            ms(20),
+            FsOp::Create {
+                path: "/d/x".into(),
+            },
+        )
+        .at(
+            ms(30),
+            FsOp::Create {
+                path: "/d/y".into(),
+            },
+        )
         .at(ms(40), FsOp::List { path: "/d".into() })
-        .at(ms(50), FsOp::Delete { path: "/d/x".into() })
+        .at(
+            ms(50),
+            FsOp::Delete {
+                path: "/d/x".into(),
+            },
+        )
         .at(ms(60), FsOp::List { path: "/d".into() })
         .at(ms(70), FsOp::Stat { path: "/d".into() })
-        .at(ms(80), FsOp::Delete { path: "/nope".into() });
+        .at(
+            ms(80),
+            FsOp::Delete {
+                path: "/nope".into(),
+            },
+        );
     let mut r = rig(vec![s0], LeaseConfig::default());
     r.world.run_until(SimTime::from_secs(1));
     let res = results_of(&r, 0);
@@ -176,10 +299,31 @@ fn sub_block_rmw_write_preserves_surrounding_bytes() {
     expect[100..104].copy_from_slice(&[9, 9, 9, 9]);
     let s0 = Script::new()
         .at(ms(10), FsOp::Create { path: "/f".into() })
-        .at(ms(20), FsOp::Write { path: "/f".into(), offset: 0, data: vec![5u8; BS] })
+        .at(
+            ms(20),
+            FsOp::Write {
+                path: "/f".into(),
+                offset: 0,
+                data: vec![5u8; BS],
+            },
+        )
         .at(ms(60), FsOp::Release { path: "/f".into() })
-        .at(ms(100), FsOp::Write { path: "/f".into(), offset: 100, data: vec![9u8; 4] })
-        .at(ms(150), FsOp::Read { path: "/f".into(), offset: 0, len: BS as u32 });
+        .at(
+            ms(100),
+            FsOp::Write {
+                path: "/f".into(),
+                offset: 100,
+                data: vec![9u8; 4],
+            },
+        )
+        .at(
+            ms(150),
+            FsOp::Read {
+                path: "/f".into(),
+                offset: 0,
+                len: BS as u32,
+            },
+        );
     let mut r = rig(vec![s0], LeaseConfig::default());
     r.world.run_until(SimTime::from_secs(1));
     let res = results_of(&r, 0);
@@ -199,9 +343,15 @@ fn keepalives_preserve_idle_client_lease() {
     r.world.run_until(SimTime::from_secs(10));
     let res = results_of(&r, 0);
     assert_eq!(res.len(), 2);
-    assert!(res[1].1.is_ok(), "late op served: lease never lapsed: {res:?}");
+    assert!(
+        res[1].1.is_ok(),
+        "late op served: lease never lapsed: {res:?}"
+    );
     let c = r.world.node_ref::<ClientNode<()>>(r.clients[0]).unwrap();
-    assert!(c.lease().keepalive_count() > 0, "keep-alives actually flowed");
+    assert!(
+        c.lease().keepalive_count() > 0,
+        "keep-alives actually flowed"
+    );
     // And the server never armed a lease timer.
     let srv = r.world.node_ref::<ServerNode<()>>(r.server).unwrap();
     assert_eq!(srv.authority().stats().timers_started, 0);
@@ -225,7 +375,10 @@ fn busy_client_renews_opportunistically_with_zero_keepalives() {
     r.world.run_until(SimTime::from_millis(9_900));
     let c = r.world.node_ref::<ClientNode<()>>(r.clients[0]).unwrap();
     assert_eq!(c.lease().keepalive_count(), 0, "no dedicated lease traffic");
-    assert!(c.lease().renewal_count() > 20, "renewed by ordinary messages");
+    assert!(
+        c.lease().renewal_count() > 20,
+        "renewed by ordinary messages"
+    );
     assert_eq!(
         r.world.stats().sent_kind("keep_alive", NetId::CONTROL),
         0,

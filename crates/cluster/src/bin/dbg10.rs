@@ -14,7 +14,12 @@ fn main() {
     cfg.lease.epsilon = 0.01;
     cfg.policy = RecoveryPolicy::LeaseFence;
     cfg.gen_concurrency = 4;
-    cfg.ctl_net = NetParams { latency_ns: 300_000, jitter_ns: 400_000, drop_prob: 0.05, dup_prob: 0.02 };
+    cfg.ctl_net = NetParams {
+        latency_ns: 300_000,
+        jitter_ns: 400_000,
+        drop_prob: 0.05,
+        dup_prob: 0.02,
+    };
     let mut cluster = Cluster::build(cfg, 1);
     for i in 0..3 {
         cluster.attach_workload(i, Box::new(UniformGen::default_for(3)));
@@ -22,17 +27,29 @@ fn main() {
     cluster.run_until(SimTime::from_secs(20));
     cluster.settle();
     let r = cluster.finish();
-    println!("stale={} order={} lost={}", r.check.stale_reads.len(), r.check.write_order_violations.len(), r.check.lost_updates.len());
+    println!(
+        "stale={} order={} lost={}",
+        r.check.stale_reads.len(),
+        r.check.write_order_violations.len(),
+        r.check.lost_updates.len()
+    );
     if let Some(sr) = r.check.stale_reads.first() {
         println!("first stale: {sr:?}");
     }
     for (t, n, e) in cluster.world.observations() {
         let txt = format!("{e:?}");
-        if t.0 < 22_400_000_000 || t.0 > 23_400_000_000 { continue; }
-        let rel = txt.contains("DeliveryError") || txt.contains("LeaseExpired") || txt.contains("Fenced")
-            || txt.contains("Stolen") || txt.contains("NewSession")
-            || txt.contains("Quiesced") || txt.contains("CacheInval")
-            || (txt.contains("Ino(4)") && (txt.contains("LockGranted") || txt.contains("LockReleased")));
+        if t.0 < 22_400_000_000 || t.0 > 23_400_000_000 {
+            continue;
+        }
+        let rel = txt.contains("DeliveryError")
+            || txt.contains("LeaseExpired")
+            || txt.contains("Fenced")
+            || txt.contains("Stolen")
+            || txt.contains("NewSession")
+            || txt.contains("Quiesced")
+            || txt.contains("CacheInval")
+            || (txt.contains("Ino(4)")
+                && (txt.contains("LockGranted") || txt.contains("LockReleased")));
         if rel {
             println!("{t} {n} {}", &txt[..txt.len().min(150)]);
         }

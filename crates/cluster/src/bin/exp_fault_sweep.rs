@@ -46,7 +46,7 @@ fn chaos_run(policy: RecoveryPolicy, lease_clients: bool, seed: u64) -> RunRepor
     for _ in 0..2 {
         let victim = rng.random_range(0..3);
         let at = SimTime::from_millis(rng.random_range(2_000..12_000));
-        let dur = rng.random_range(4_000..10_000);
+        let dur = rng.random_range(4_000u64..10_000);
         cluster.isolate_control(victim, at, Some(at.after(dur * 1_000_000)));
     }
     let crash_victim = rng.random_range(0..3);
@@ -90,7 +90,8 @@ fn main() {
             s.total(|r| r.check.ops_ok).to_string(),
             s.total(|r| r.check.lost_updates.len() as u64).to_string(),
             s.total(|r| r.check.stale_reads.len() as u64).to_string(),
-            s.total(|r| r.check.write_order_violations.len() as u64).to_string(),
+            s.total(|r| r.check.write_order_violations.len() as u64)
+                .to_string(),
             s.total(|r| r.check.dirty_discarded).to_string(),
             s.total(|r| r.check.fence_rejections).to_string(),
             format!("{violating}/{}", s.runs.len()),

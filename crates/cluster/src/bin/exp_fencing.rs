@@ -30,19 +30,58 @@ fn run(policy: RecoveryPolicy, lease_clients: bool, seed: u64) -> RunReport {
     // C0 dirties several blocks, then operates obliviously while isolated.
     let mut c0 = Script::new();
     for b in 0..6u64 {
-        c0 = c0.at(ms(400 + b * 30), FsOp::Write { path: "/f0".into(), offset: b * BS as u64, data: vec![0xA0 + b as u8; BS] });
+        c0 = c0.at(
+            ms(400 + b * 30),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: b * BS as u64,
+                data: vec![0xA0 + b as u8; BS],
+            },
+        );
     }
     for k in 0..8u64 {
         c0 = c0
-            .at(ms(2_200 + k * 700), FsOp::Read { path: "/f0".into(), offset: (k % 6) * BS as u64, len: 64 })
-            .at(ms(2_500 + k * 700), FsOp::Write { path: "/f0".into(), offset: (k % 6) * BS as u64, data: vec![0xC0 + k as u8; BS] });
+            .at(
+                ms(2_200 + k * 700),
+                FsOp::Read {
+                    path: "/f0".into(),
+                    offset: (k % 6) * BS as u64,
+                    len: 64,
+                },
+            )
+            .at(
+                ms(2_500 + k * 700),
+                FsOp::Write {
+                    path: "/f0".into(),
+                    offset: (k % 6) * BS as u64,
+                    data: vec![0xC0 + k as u8; BS],
+                },
+            );
     }
     let c1 = Script::new()
-        .at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xBB; BS] })
-        .at(ms(6_000), FsOp::Read { path: "/f0".into(), offset: 0, len: 64 });
+        .at(
+            ms(1_500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xBB; BS],
+            },
+        )
+        .at(
+            ms(6_000),
+            FsOp::Read {
+                path: "/f0".into(),
+                offset: 0,
+                len: 64,
+            },
+        );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
-    cluster.isolate_control(0, SimTime::from_millis(1_000), Some(SimTime::from_millis(15_000)));
+    cluster.isolate_control(
+        0,
+        SimTime::from_millis(1_000),
+        Some(SimTime::from_millis(15_000)),
+    );
     cluster.run_until(SimTime::from_secs(25));
     cluster.finish()
 }
@@ -60,7 +99,11 @@ fn main() {
         "safe runs",
     ]);
     for (label, policy, lease) in [
-        ("FenceThenSteal (§2.1)", RecoveryPolicy::FenceThenSteal, false),
+        (
+            "FenceThenSteal (§2.1)",
+            RecoveryPolicy::FenceThenSteal,
+            false,
+        ),
         ("LeaseFence (§3)", RecoveryPolicy::LeaseFence, true),
     ] {
         let s = run_seeds(&seeds, |seed| run(policy, lease, seed));
@@ -68,10 +111,15 @@ fn main() {
             label.into(),
             s.total(|r| r.check.lost_updates.len() as u64).to_string(),
             s.total(|r| r.check.stale_reads.len() as u64).to_string(),
-            s.total(|r| r.check.write_order_violations.len() as u64).to_string(),
+            s.total(|r| r.check.write_order_violations.len() as u64)
+                .to_string(),
             s.total(|r| r.check.fence_rejections).to_string(),
             s.total(|r| r.check.ops_denied).to_string(),
-            format!("{}/{}", s.runs.iter().filter(|r| r.check.safe()).count(), s.runs.len()),
+            format!(
+                "{}/{}",
+                s.runs.iter().filter(|r| r.check.safe()).count(),
+                s.runs.len()
+            ),
         ]);
     }
     print!("{}", t.render());

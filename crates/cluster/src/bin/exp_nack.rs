@@ -37,19 +37,35 @@ fn run(nack: bool, seed: u64) -> Outcome {
     cfg.nack_suspect = nack;
     let mut cluster = Cluster::build(cfg, seed);
     let ms = LocalNs::from_millis;
-    let mut c0 = Script::new()
-        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![1; BS] });
+    let mut c0 = Script::new().at(
+        ms(500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![1; BS],
+        },
+    );
     let mut tt = 800;
     while tt < 10_000 {
         c0 = c0.at(ms(tt), FsOp::Stat { path: "/f0".into() });
         tt += 300;
     }
-    let c1 = Script::new()
-        .at(ms(1_200), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![2; BS] });
+    let c1 = Script::new().at(
+        ms(1_200),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![2; BS],
+        },
+    );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
     // Transient partition: heals before the τ(1+ε) timer fires.
-    cluster.isolate_control(0, SimTime::from_millis(1_000), Some(SimTime::from_millis(2_500)));
+    cluster.isolate_control(
+        0,
+        SimTime::from_millis(1_000),
+        Some(SimTime::from_millis(2_500)),
+    );
     cluster.run_until(SimTime::from_secs(15));
     let report = cluster.finish();
     let c0id = cluster.clients[0];

@@ -23,7 +23,12 @@ fn sweep(label: &str, params_of: &dyn Fn(usize) -> LayerParams, xs: &[usize]) {
         "lease server-ops",
     ]);
     for &x in xs {
-        for scheme in [Scheme::Tank, Scheme::VLease, Scheme::Heartbeat, Scheme::NfsPoll] {
+        for scheme in [
+            Scheme::Tank,
+            Scheme::VLease,
+            Scheme::Heartbeat,
+            Scheme::NfsPoll,
+        ] {
             let r = run_lease_layer(scheme, params_of(x));
             t.row(vec![
                 x.to_string(),
@@ -56,14 +61,33 @@ fn main() {
     println!();
     sweep(
         "objects/client",
-        &|m| LayerParams { objects_per_client: m, ..base },
+        &|m| LayerParams {
+            objects_per_client: m,
+            ..base
+        },
         &[16, 64, 256, 1024],
     );
     println!();
     println!("E6b — idle clients (caching but not operating): tank falls back to keep-alives");
-    let mut t = Table::new(&["scheme", "maint msgs", "lease bytes (peak)", "lease server-ops"]);
-    for scheme in [Scheme::Tank, Scheme::VLease, Scheme::Heartbeat, Scheme::NfsPoll] {
-        let r = run_lease_layer(scheme, LayerParams { op_period: None, ..base });
+    let mut t = Table::new(&[
+        "scheme",
+        "maint msgs",
+        "lease bytes (peak)",
+        "lease server-ops",
+    ]);
+    for scheme in [
+        Scheme::Tank,
+        Scheme::VLease,
+        Scheme::Heartbeat,
+        Scheme::NfsPoll,
+    ] {
+        let r = run_lease_layer(
+            scheme,
+            LayerParams {
+                op_period: None,
+                ..base
+            },
+        );
         t.row(vec![
             r.scheme.label().into(),
             r.maintenance_msgs.to_string(),

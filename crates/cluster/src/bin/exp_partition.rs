@@ -27,15 +27,53 @@ fn run(policy: RecoveryPolicy, lease_clients: bool, seed: u64) -> Vec<String> {
     let mut cluster = Cluster::build(cfg, seed);
     let ms = LocalNs::from_millis;
     let c0 = Script::new()
-        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xAA; BS] })
-        .at(ms(2_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xA2; BS] })
-        .at(ms(4_500), FsOp::Read { path: "/f0".into(), offset: 0, len: 64 })
-        .at(ms(5_000), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xA3; BS] });
-    let c1 = Script::new()
-        .at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xBB; BS] });
+        .at(
+            ms(500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xAA; BS],
+            },
+        )
+        .at(
+            ms(2_500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xA2; BS],
+            },
+        )
+        .at(
+            ms(4_500),
+            FsOp::Read {
+                path: "/f0".into(),
+                offset: 0,
+                len: 64,
+            },
+        )
+        .at(
+            ms(5_000),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xA3; BS],
+            },
+        );
+    let c1 = Script::new().at(
+        ms(1_500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![0xBB; BS],
+        },
+    );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
-    cluster.isolate_control(0, SimTime::from_millis(1_000), Some(SimTime::from_millis(12_000)));
+    cluster.isolate_control(
+        0,
+        SimTime::from_millis(1_000),
+        Some(SimTime::from_millis(12_000)),
+    );
     cluster.run_until(SimTime::from_secs(20));
     let report = cluster.finish();
 
@@ -58,7 +96,11 @@ fn run(policy: RecoveryPolicy, lease_clients: bool, seed: u64) -> Vec<String> {
         report.check.stale_reads.len().to_string(),
         report.check.write_order_violations.len().to_string(),
         report.check.fence_rejections.to_string(),
-        if report.check.safe() { "SAFE".into() } else { "VIOLATED".into() },
+        if report.check.safe() {
+            "SAFE".into()
+        } else {
+            "VIOLATED".into()
+        },
     ]
 }
 

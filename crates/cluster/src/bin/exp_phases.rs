@@ -32,7 +32,7 @@ fn phase_timeline() {
     let mut seq = 100u64;
     for step in 0..=22 {
         let now = LocalNs(step * 500_000_000); // 0.5s steps
-        // The active client does an op every step and gets it ACKed.
+                                               // The active client does an op every step and gets it ACKed.
         seq += 1;
         active.on_send(ReqSeq(seq), now);
         active.on_ack(ReqSeq(seq), now.plus(LocalNs(500_000)));
@@ -64,7 +64,12 @@ fn flush_completion(dirty_blocks: u32, seed: u64) -> (usize, usize) {
     cfg.policy = RecoveryPolicy::LeaseFence;
     // Slow SAN so large flushes genuinely take time: 2ms/op one way,
     // queue depth 4, and no periodic flush (isolate phase 4's work).
-    cfg.san_net = tank_sim::NetParams { latency_ns: 2_000_000, jitter_ns: 200_000, drop_prob: 0.0, dup_prob: 0.0 };
+    cfg.san_net = tank_sim::NetParams {
+        latency_ns: 2_000_000,
+        jitter_ns: 200_000,
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+    };
     cfg.flush_interval = LocalNs(0);
     cfg.flush_window = 4;
     let mut cluster = Cluster::build(cfg, seed);
@@ -74,7 +79,11 @@ fn flush_completion(dirty_blocks: u32, seed: u64) -> (usize, usize) {
     for b in 0..dirty_blocks {
         script = script.at(
             LocalNs::from_millis(500 + b as u64 / 4),
-            FsOp::Write { path: "/f0".into(), offset: b as u64 * BS as u64, data: vec![b as u8; BS] },
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: b as u64 * BS as u64,
+                data: vec![b as u8; BS],
+            },
         );
     }
     cluster.attach_script(0, script);
@@ -82,7 +91,10 @@ fn flush_completion(dirty_blocks: u32, seed: u64) -> (usize, usize) {
     cluster.run_until(SimTime::from_secs(12));
     let report = cluster.finish();
     let discarded = report.check.dirty_discarded as usize;
-    (dirty_blocks as usize - discarded.min(dirty_blocks as usize), dirty_blocks as usize)
+    (
+        dirty_blocks as usize - discarded.min(dirty_blocks as usize),
+        dirty_blocks as usize,
+    )
 }
 
 fn main() {
@@ -92,7 +104,11 @@ fn main() {
     let mut t = Table::new(&["dirty blocks", "hardened before expiry", "fraction"]);
     for n in [64u32, 128, 256, 384, 512, 768, 1024] {
         let (done, total) = flush_completion(n, 5);
-        t.row(vec![n.to_string(), done.to_string(), f(done as f64 / total as f64)]);
+        t.row(vec![
+            n.to_string(),
+            done.to_string(),
+            f(done as f64 / total as f64),
+        ]);
     }
     print!("{}", t.render());
     println!();

@@ -1,0 +1,98 @@
+//! E12 — server fail-stop recovery (§6 discipline): the grace-window
+//! scoreboard.
+//!
+//! The metadata server crashes and restarts mid-run under contending
+//! write load, losing its volatile state (sessions, locks, lease
+//! bookkeeping). With the τ(1+ε) recovery grace window (the default) the
+//! restarted server refuses grants and mutations until every lease that
+//! might have been outstanding at the crash has expired on its holder's
+//! own clock — the same Theorem 3.1 inequality that makes
+//! steal-after-timeout safe, re-aimed at a restart. The negative control
+//! disables the window and grants immediately.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tank_cluster::table::Table;
+use tank_cluster::workload::{Mix, PrimaryBiasGen};
+use tank_cluster::{run_seeds, Cluster, ClusterConfig, RunReport};
+use tank_core::LeaseConfig;
+use tank_sim::{LocalNs, SimTime};
+
+fn crash_run(grace: bool, seed: u64) -> RunReport {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = 3;
+    cfg.disks = 2;
+    cfg.files = 3;
+    cfg.file_blocks = 4;
+    cfg.block_size = 512;
+    cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(2));
+    cfg.lease.epsilon = 0.01;
+    cfg.recovery_grace = grace;
+    cfg.gen_concurrency = 4;
+    let mut cluster = Cluster::build(cfg, seed);
+
+    let mix = Mix {
+        read_frac: 0.4,
+        meta_frac: 0.05,
+        io_size: 512,
+        max_offset: 1536,
+        think_mean: LocalNs::from_millis(8),
+    };
+    for i in 0..3 {
+        cluster.attach_workload(i, Box::new(PrimaryBiasGen::new(i, 3, 0.8, mix)));
+    }
+
+    // Seeded crash schedule: crash under load, restart after an outage
+    // that straddles the clients' 2s lease — sometimes before any lease
+    // expires, sometimes after they all have.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0A5);
+    let crash_at = SimTime::from_millis(rng.random_range(6_000u64..10_000));
+    let outage_ms = rng.random_range(500u64..5_000);
+    cluster.crash_server(crash_at, crash_at.after(outage_ms * 1_000_000));
+
+    cluster.run_until(SimTime::from_secs(25));
+    cluster.settle();
+    cluster.finish()
+}
+
+fn main() {
+    let nseeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let seeds: Vec<u64> = (0..nseeds).collect();
+    println!(
+        "E12 — {nseeds} seeded server crash/restart schedules × grace window (3 clients, τ=2s)"
+    );
+    let mut t = Table::new(&[
+        "grace window",
+        "ops ok (total)",
+        "recovery NACKs",
+        "early grants",
+        "lost",
+        "stale",
+        "order-viol",
+        "violating seeds",
+    ]);
+    for grace in [true, false] {
+        let s = run_seeds(&seeds, |seed| crash_run(grace, seed));
+        let violating = s.runs.iter().filter(|r| !r.check.safe()).count();
+        t.row(vec![
+            if grace { "τ(1+ε)" } else { "disabled" }.to_string(),
+            s.total(|r| r.check.ops_ok).to_string(),
+            s.total(|r| r.server.recovery_nacks).to_string(),
+            s.total(|r| r.check.early_grants.len() as u64).to_string(),
+            s.total(|r| r.check.lost_updates.len() as u64).to_string(),
+            s.total(|r| r.check.stale_reads.len() as u64).to_string(),
+            s.total(|r| r.check.write_order_violations.len() as u64)
+                .to_string(),
+            format!("{violating}/{}", s.runs.len()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("expected: with the grace window, zero violations on every seed — the");
+    println!("restarted server waits out the maximum outstanding lease before its");
+    println!("first grant. Disabled, grants land while pre-crash leases are live");
+    println!("(early-grant column) and the checker catches the resulting corruption.");
+}

@@ -80,7 +80,13 @@ impl tank_client::OpGen for PrivateFileGen {
         now: tank_sim::LocalNs,
     ) -> Option<(tank_sim::LocalNs, tank_client::FsOp)> {
         let (think, op) = self.inner.next_op(rng, now)?;
-        let align = |o: u64| if self.block_align { (o / 4096) * 4096 } else { o };
+        let align = |o: u64| {
+            if self.block_align {
+                (o / 4096) * 4096
+            } else {
+                o
+            }
+        };
         let op = match op {
             tank_client::FsOp::Read { offset, len, .. } => tank_client::FsOp::Read {
                 path: self.path.clone(),
@@ -90,9 +96,15 @@ impl tank_client::OpGen for PrivateFileGen {
             tank_client::FsOp::Write { offset, data, .. } => tank_client::FsOp::Write {
                 path: self.path.clone(),
                 offset: align(offset),
-                data: if self.block_align { vec![7u8; 4096] } else { data },
+                data: if self.block_align {
+                    vec![7u8; 4096]
+                } else {
+                    data
+                },
             },
-            tank_client::FsOp::Stat { .. } => tank_client::FsOp::Stat { path: self.path.clone() },
+            tank_client::FsOp::Stat { .. } => tank_client::FsOp::Stat {
+                path: self.path.clone(),
+            },
             other => other,
         };
         Some((think, op))
@@ -101,7 +113,9 @@ impl tank_client::OpGen for PrivateFileGen {
 
 fn main() {
     println!("E9 — server load per unit of client work: direct SAN vs function shipping");
-    println!("(30s, 60/30/10 read/write/meta, 4KiB I/O; function-ship moves data through the server)");
+    println!(
+        "(30s, 60/30/10 read/write/meta, 4KiB I/O; function-ship moves data through the server)"
+    );
     let mut t = Table::new(&[
         "clients",
         "path",

@@ -33,11 +33,25 @@ fn run(policy: RecoveryPolicy, delay_ms: u64, seed: u64) -> (u64, usize, usize) 
     let ms = LocalNs::from_millis;
     cluster.attach_script(
         0,
-        Script::new().at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xAA; BS] }),
+        Script::new().at(
+            ms(500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xAA; BS],
+            },
+        ),
     );
     cluster.attach_script(
         1,
-        Script::new().at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xBB; BS] }),
+        Script::new().at(
+            ms(1_500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xBB; BS],
+            },
+        ),
     );
     cluster.slow_client(0, SimTime::from_millis(600), delay_ms * 1_000_000, None);
     cluster.run_until(SimTime::from_secs(25));

@@ -31,10 +31,22 @@ fn unavailability_s(tau: LocalNs, seed: u64) -> Option<f64> {
     cfg.policy = RecoveryPolicy::LeaseFence;
     let mut cluster = Cluster::build(cfg, seed);
     let ms = LocalNs::from_millis;
-    let c0 = Script::new()
-        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![1; BS] });
-    let c1 = Script::new()
-        .at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![2; BS] });
+    let c0 = Script::new().at(
+        ms(500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![1; BS],
+        },
+    );
+    let c1 = Script::new().at(
+        ms(1_500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![2; BS],
+        },
+    );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
     cluster.isolate_control(0, SimTime::from_millis(1_000), None);
@@ -59,7 +71,12 @@ fn stranded(tau: LocalNs, dirty: u32, seed: u64) -> u64 {
     cfg.block_size = 4096;
     cfg.lease = LeaseConfig::with_tau(tau);
     cfg.policy = RecoveryPolicy::LeaseFence;
-    cfg.san_net = NetParams { latency_ns: 2_000_000, jitter_ns: 200_000, drop_prob: 0.0, dup_prob: 0.0 };
+    cfg.san_net = NetParams {
+        latency_ns: 2_000_000,
+        jitter_ns: 200_000,
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+    };
     cfg.flush_interval = LocalNs(0);
     cfg.flush_window = 4;
     let mut cluster = Cluster::build(cfg, seed);
@@ -67,7 +84,11 @@ fn stranded(tau: LocalNs, dirty: u32, seed: u64) -> u64 {
     for b in 0..dirty {
         script = script.at(
             LocalNs::from_millis(500 + b as u64 / 4),
-            FsOp::Write { path: "/f0".into(), offset: b as u64 * 4096, data: vec![b as u8; 4096] },
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: b as u64 * 4096,
+                data: vec![b as u8; 4096],
+            },
         );
     }
     cluster.attach_script(0, script);
@@ -86,7 +107,9 @@ fn main() {
     ]);
     for tau_s in [1u64, 2, 5, 10, 30] {
         let tau = LocalNs::from_secs(tau_s);
-        let unavail = unavailability_s(tau, 11).map(f).unwrap_or_else(|| "∞".into());
+        let unavail = unavailability_s(tau, 11)
+            .map(f)
+            .unwrap_or_else(|| "∞".into());
         // Idle keep-alive rate from the lease layer (per client per min).
         let layer = run_lease_layer(
             Scheme::Tank,
@@ -101,7 +124,12 @@ fn main() {
         );
         let ka_rate = layer.maintenance_msgs as f64 / 4.0 / 2.0; // per client per minute
         let lost = stranded(tau, 256, 5);
-        t.row(vec![tau_s.to_string(), unavail, f(ka_rate), lost.to_string()]);
+        t.row(vec![
+            tau_s.to_string(),
+            unavail,
+            f(ka_rate),
+            lost.to_string(),
+        ]);
     }
     print!("{}", t.render());
     println!();

@@ -69,14 +69,32 @@ fn simulated_gap(eps: f64, seed: u64) -> Option<(f64, f64)> {
     cfg.policy = RecoveryPolicy::LeaseFence;
     cfg.skew_clocks = false;
     let mut cluster = Cluster::build_with_clocks(cfg, seed, &mut |role| match role {
-        tank_cluster::build::NodeRole::Server => ClockSpec { rate: hi, offset_ns: 17 },
-        tank_cluster::build::NodeRole::Client(0) => ClockSpec { rate: lo, offset_ns: 911 },
+        tank_cluster::build::NodeRole::Server => ClockSpec {
+            rate: hi,
+            offset_ns: 17,
+        },
+        tank_cluster::build::NodeRole::Client(0) => ClockSpec {
+            rate: lo,
+            offset_ns: 911,
+        },
         _ => ClockSpec::ideal(),
     });
-    let c0 = Script::new()
-        .at(LocalNs::from_millis(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![1; 512] });
-    let c1 = Script::new()
-        .at(LocalNs::from_millis(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![2; 512] });
+    let c0 = Script::new().at(
+        LocalNs::from_millis(500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![1; 512],
+        },
+    );
+    let c1 = Script::new().at(
+        LocalNs::from_millis(1_500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![2; 512],
+        },
+    );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
     cluster.isolate_control(0, SimTime::from_millis(1_000), None);
@@ -111,7 +129,13 @@ fn main() {
                     format!("{}", gap_ms >= 0.0),
                 ]);
             }
-            None => t.row(vec![format!("{eps}"), "-".into(), "-".into(), "-".into(), "-".into()]),
+            None => t.row(vec![
+                format!("{eps}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     print!("{}", t.render());

@@ -35,7 +35,10 @@ fn main() {
         "v-lease lease bytes",
     ]);
     for m in [8usize, 32, 128, 512, 2048] {
-        let p = LayerParams { objects_per_client: m, ..base };
+        let p = LayerParams {
+            objects_per_client: m,
+            ..base
+        };
         let tank = run_lease_layer(Scheme::Tank, p);
         let v = run_lease_layer(Scheme::VLease, p);
         t.row(vec![

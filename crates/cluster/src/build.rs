@@ -51,6 +51,10 @@ pub struct ClusterConfig {
     pub client_lease_enabled: bool,
     /// §3.3 NACK optimization at the server (disable for the E4 strawman).
     pub nack_suspect: bool,
+    /// Server recovery grace window after a fail-stop restart (disable
+    /// only as the negative control: a restarted server that grants
+    /// immediately races surviving lease holders and loses updates).
+    pub recovery_grace: bool,
     /// Concurrent closed-loop operations per client (local processes).
     pub gen_concurrency: usize,
     /// Client periodic write-back interval (0 disables).
@@ -74,10 +78,16 @@ impl Default for ClusterConfig {
             policy: RecoveryPolicy::LeaseFence,
             data_path: DataPath::DirectSan,
             ctl_net: NetParams::default(),
-            san_net: NetParams { latency_ns: 50_000, jitter_ns: 20_000, drop_prob: 0.0, dup_prob: 0.0 },
+            san_net: NetParams {
+                latency_ns: 50_000,
+                jitter_ns: 20_000,
+                drop_prob: 0.0,
+                dup_prob: 0.0,
+            },
             skew_clocks: true,
             client_lease_enabled: true,
             nack_suspect: true,
+            recovery_grace: true,
             gen_concurrency: 1,
             flush_interval: LocalNs::from_secs(2),
             flush_window: 16,
@@ -111,6 +121,7 @@ pub struct Cluster {
     cfg: ClusterConfig,
     seed: u64,
     crashes: Vec<(NodeId, SimTime)>,
+    server_restarts: Vec<SimTime>,
 }
 
 impl Cluster {
@@ -144,15 +155,20 @@ impl Cluster {
     ) -> Cluster {
         assert!(cfg.clients >= 1 && cfg.disks >= 1);
         cfg.lease.validate().expect("lease config");
-        let mut world: World<NetMsg, Event> =
-            World::new(WorldConfig { seed, record_trace: cfg.record_trace });
+        let mut world: World<NetMsg, Event> = World::new(WorldConfig {
+            seed,
+            record_trace: cfg.record_trace,
+        });
         world.add_network(NetId::CONTROL, cfg.ctl_net);
         world.add_network(NetId::SAN, cfg.san_net);
 
         let mut disks = Vec::new();
         for i in 0..cfg.disks {
             let node = DiskNode::new(
-                DiskConfig { blocks: cfg.total_blocks, block_size: cfg.block_size },
+                DiskConfig {
+                    blocks: cfg.total_blocks,
+                    block_size: cfg.block_size,
+                },
                 Box::new(map_disk),
             );
             disks.push(world.add_node(Box::new(node), clock_of(NodeRole::Disk(i))));
@@ -163,13 +179,10 @@ impl Cluster {
         scfg.policy = cfg.policy;
         scfg.data_path = cfg.data_path;
         scfg.nack_suspect = cfg.nack_suspect;
+        scfg.recovery_grace = cfg.recovery_grace;
         scfg.disks = disks.clone();
-        let server_node: ServerNode<Event> = ServerNode::new(
-            scfg,
-            cfg.total_blocks,
-            cfg.block_size,
-            Box::new(map_server),
-        );
+        let server_node: ServerNode<Event> =
+            ServerNode::new(scfg, cfg.total_blocks, cfg.block_size, Box::new(map_server));
         let server = world.add_node(Box::new(server_node), clock_of(NodeRole::Server));
 
         let mut clients = Vec::new();
@@ -196,7 +209,16 @@ impl Cluster {
             }
         }
 
-        Cluster { world, disks, server, clients, cfg, seed, crashes: Vec::new() }
+        Cluster {
+            world,
+            disks,
+            server,
+            clients,
+            cfg,
+            seed,
+            crashes: Vec::new(),
+            server_restarts: Vec::new(),
+        }
     }
 
     /// The configuration this cluster was built from.
@@ -228,11 +250,23 @@ impl Cluster {
     pub fn isolate_control(&mut self, idx: usize, at: SimTime, heal: Option<SimTime>) {
         let c = self.clients[idx];
         let s = self.server;
-        self.world
-            .schedule_control(at, Control::BlockPair { net: NetId::CONTROL, a: c, b: s });
+        self.world.schedule_control(
+            at,
+            Control::BlockPair {
+                net: NetId::CONTROL,
+                a: c,
+                b: s,
+            },
+        );
         if let Some(h) = heal {
-            self.world
-                .schedule_control(h, Control::UnblockPair { net: NetId::CONTROL, a: c, b: s });
+            self.world.schedule_control(
+                h,
+                Control::UnblockPair {
+                    net: NetId::CONTROL,
+                    a: c,
+                    b: s,
+                },
+            );
         }
     }
 
@@ -241,11 +275,23 @@ impl Cluster {
     pub fn isolate_san(&mut self, idx: usize, at: SimTime, heal: Option<SimTime>) {
         let c = self.clients[idx];
         for &d in &self.disks {
-            self.world
-                .schedule_control(at, Control::BlockPair { net: NetId::SAN, a: c, b: d });
+            self.world.schedule_control(
+                at,
+                Control::BlockPair {
+                    net: NetId::SAN,
+                    a: c,
+                    b: d,
+                },
+            );
             if let Some(h) = heal {
-                self.world
-                    .schedule_control(h, Control::UnblockPair { net: NetId::SAN, a: c, b: d });
+                self.world.schedule_control(
+                    h,
+                    Control::UnblockPair {
+                        net: NetId::SAN,
+                        a: c,
+                        b: d,
+                    },
+                );
             }
         }
     }
@@ -255,12 +301,22 @@ impl Cluster {
     pub fn isolate_control_outbound(&mut self, idx: usize, at: SimTime, heal: Option<SimTime>) {
         let c = self.clients[idx];
         let s = self.server;
-        self.world
-            .schedule_control(at, Control::BlockDirected { net: NetId::CONTROL, src: c, dst: s });
+        self.world.schedule_control(
+            at,
+            Control::BlockDirected {
+                net: NetId::CONTROL,
+                src: c,
+                dst: s,
+            },
+        );
         if let Some(h) = heal {
             self.world.schedule_control(
                 h,
-                Control::UnblockDirected { net: NetId::CONTROL, src: c, dst: s },
+                Control::UnblockDirected {
+                    net: NetId::CONTROL,
+                    src: c,
+                    dst: s,
+                },
             );
         }
     }
@@ -274,9 +330,26 @@ impl Cluster {
         self.world
             .schedule_control(at, Control::SetNodeOutboundDelay { node: c, extra_ns });
         if let Some(u) = until {
-            self.world
-                .schedule_control(u, Control::SetNodeOutboundDelay { node: c, extra_ns: 0 });
+            self.world.schedule_control(
+                u,
+                Control::SetNodeOutboundDelay {
+                    node: c,
+                    extra_ns: 0,
+                },
+            );
         }
+    }
+
+    /// Fail-stop the metadata server at `at` and restart it at `restart`.
+    /// Sessions, locks, and lease state are volatile and lost; metadata
+    /// and fence state survive on the shared disks. The restart instant
+    /// is recorded so the checker can police the recovery grace window.
+    pub fn crash_server(&mut self, at: SimTime, restart: SimTime) {
+        let s = self.server;
+        self.world.schedule_control(at, Control::Crash { node: s });
+        self.world
+            .schedule_control(restart, Control::Restart { node: s });
+        self.server_restarts.push(restart);
     }
 
     /// Fail-stop client `idx` at `at`, optionally restarting it.
@@ -310,8 +383,18 @@ impl Cluster {
         // Write-back grace: a couple of flush intervals plus slack —
         // younger dirty data at run end is normal, not stranded.
         let grace_ns = 2 * 2_000_000_000 + 1_000_000_000;
+        // Tightest true-time lower bound on the server's local grace
+        // window τ(1+ε): a fast-but-legal server clock (rate 1+ε) burns
+        // through it in τ true nanoseconds.
+        let recovery_grace_ns = if self.server_restarts.is_empty() {
+            0
+        } else {
+            self.cfg.lease.tau.0
+        };
         let checker = Checker::new(CheckOptions {
             crashes: self.crashes.clone(),
+            server_restarts: self.server_restarts.clone(),
+            recovery_grace_ns,
             end: self.world.now(),
             grace_ns,
         });
@@ -388,7 +471,11 @@ mod tests {
         c.settle();
         let report = c.finish();
         assert!(report.check.safe(), "violations: {:?}", report.check);
-        assert!(report.check.ops_ok > 50, "ops flowed: {}", report.check.ops_ok);
+        assert!(
+            report.check.ops_ok > 50,
+            "ops flowed: {}",
+            report.check.ops_ok
+        );
         assert!(report.check.reads_checked > 0);
         assert!(report.check.writes_acked > 0);
     }

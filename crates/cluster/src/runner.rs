@@ -2,9 +2,7 @@
 //!
 //! Experiments repeat runs over seeds to report means; each run is an
 //! independent single-threaded world, so seeds parallelize perfectly
-//! across OS threads via `crossbeam::scope`.
-
-use crossbeam::thread;
+//! across OS threads via `std::thread::scope`.
 
 use crate::report::RunReport;
 
@@ -42,10 +40,7 @@ impl SeedSummary {
 
 /// Run `seeds` runs of `build_and_run` in parallel (bounded by available
 /// parallelism) and collect the reports in seed order.
-pub fn run_seeds(
-    seeds: &[u64],
-    build_and_run: impl Fn(u64) -> RunReport + Sync,
-) -> SeedSummary {
+pub fn run_seeds(seeds: &[u64], build_and_run: impl Fn(u64) -> RunReport + Sync) -> SeedSummary {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -56,9 +51,9 @@ pub fn run_seeds(
     let slots: Vec<std::sync::Mutex<Option<RunReport>>> =
         runs.iter().map(|_| std::sync::Mutex::new(None)).collect();
 
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= seeds.len() {
                     break;
@@ -67,13 +62,16 @@ pub fn run_seeds(
                 *slots[i].lock().unwrap() = Some(report);
             });
         }
-    })
-    .expect("seed sweep worker panicked");
+    });
 
     SeedSummary {
         runs: slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("every seed produced a report"))
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every seed produced a report")
+            })
             .collect(),
     }
 }
@@ -103,7 +101,11 @@ mod tests {
         assert_eq!(parallel.runs.len(), 6);
         for (i, run) in parallel.runs.iter().enumerate() {
             let solo = quick_run(seeds[i]);
-            assert_eq!(run.check.ops_ok, solo.check.ops_ok, "seed {} differs", seeds[i]);
+            assert_eq!(
+                run.check.ops_ok, solo.check.ops_ok,
+                "seed {} differs",
+                seeds[i]
+            );
             assert_eq!(run.msg.ctl_sent, solo.msg.ctl_sent);
         }
         assert!(parallel.all_safe());

@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header length).
@@ -91,7 +94,7 @@ mod tests {
     fn float_formats() {
         assert_eq!(f(0.0), "0");
         assert_eq!(f(1234.5), "1234");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(7.38159), "7.38");
         assert_eq!(f(0.01234), "0.0123");
     }
 }

@@ -54,10 +54,18 @@ impl Mix {
             0
         };
         if rng.random_bool(self.read_frac) {
-            FsOp::Read { path, offset, len: self.io_size }
+            FsOp::Read {
+                path,
+                offset,
+                len: self.io_size,
+            }
         } else {
             let base = (offset % 251) as u8;
-            FsOp::Write { path, offset, data: vec![base; self.io_size as usize] }
+            FsOp::Write {
+                path,
+                offset,
+                data: vec![base; self.io_size as usize],
+            }
         }
     }
 }
@@ -73,7 +81,11 @@ pub struct UniformGen {
 impl UniformGen {
     /// Uniform generator with explicit mix.
     pub fn new(files: usize, mix: Mix) -> Self {
-        UniformGen { files, mix, remaining: None }
+        UniformGen {
+            files,
+            mix,
+            remaining: None,
+        }
     }
 
     /// Uniform generator with the default mix.
@@ -148,7 +160,10 @@ pub struct HotFileGen {
 impl HotFileGen {
     /// All traffic on `path`.
     pub fn new(path: impl Into<String>, mix: Mix) -> Self {
-        HotFileGen { path: path.into(), mix }
+        HotFileGen {
+            path: path.into(),
+            mix,
+        }
     }
 }
 
@@ -177,7 +192,12 @@ impl PrimaryBiasGen {
     /// Generator biased `bias` (e.g. 0.8) toward `/f{primary}` out of
     /// `files` shared files.
     pub fn new(primary: usize, files: usize, bias: f64, mix: Mix) -> Self {
-        PrimaryBiasGen { primary: format!("/f{primary}"), files, bias, mix }
+        PrimaryBiasGen {
+            primary: format!("/f{primary}"),
+            files,
+            bias,
+            mix,
+        }
     }
 }
 
@@ -211,7 +231,12 @@ impl MetaOnlyGen {
 impl OpGen for MetaOnlyGen {
     fn next_op(&mut self, rng: &mut ChaCha8Rng, _now: LocalNs) -> Option<(LocalNs, FsOp)> {
         let f = rng.random_range(0..self.files);
-        Some((self.period, FsOp::Stat { path: format!("/f{f}") }))
+        Some((
+            self.period,
+            FsOp::Stat {
+                path: format!("/f{f}"),
+            },
+        ))
     }
 }
 

@@ -23,6 +23,19 @@ pub struct CheckOptions {
     /// not come around yet) and is not counted as lost. Harnesses set
     /// this to a couple of flush intervals; zero means strict.
     pub grace_ns: u64,
+    /// Fail-stop *restart* instants of the metadata server. Unlike client
+    /// crashes these excuse nothing — the whole point of the recovery
+    /// protocol is that server loss of volatile lock/lease state must not
+    /// lose acknowledged data. Together with [`recovery_grace_ns`]
+    /// (`Self::recovery_grace_ns`) they let the checker flag grants issued
+    /// before a restarted server could know they are safe, even in runs
+    /// where the grace window was disabled and no recovery events exist.
+    pub server_restarts: Vec<SimTime>,
+    /// The minimum safe post-restart grant blackout, `τ(1+ε)`: every
+    /// lease outstanding at the crash has provably expired after this
+    /// long. Zero disables the restart-proximity check (the event-driven
+    /// grants-during-recovery check still runs).
+    pub recovery_grace_ns: u64,
 }
 
 /// A write acknowledged to a local process that never reached shared
@@ -74,6 +87,24 @@ pub struct WriteOrderViolation {
     pub at: SimTime,
 }
 
+/// A lock grant a freshly-restarted server had no right to issue: either
+/// inside its own announced recovery window, or (with
+/// [`CheckOptions::recovery_grace_ns`]) sooner after a restart than every
+/// pre-crash lease could have expired. A surviving holder may still be
+/// writing under the old grant — this is how a restarted server loses
+/// updates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EarlyGrant {
+    /// The client granted the lock.
+    pub client: NodeId,
+    /// The locked file.
+    pub ino: Ino,
+    /// When the grant happened.
+    pub at: SimTime,
+    /// The server restart the grant followed too closely.
+    pub restart_at: SimTime,
+}
+
 /// A window during which a client's lock request sat blocked.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct UnavailWindow {
@@ -96,6 +127,10 @@ pub struct CheckReport {
     pub stale_reads: Vec<StaleRead>,
     /// Epoch-order regressions on disk.
     pub write_order_violations: Vec<WriteOrderViolation>,
+    /// Grants a restarted server issued before its recovery window closed.
+    pub early_grants: Vec<EarlyGrant>,
+    /// Server recovery windows observed in the event stream.
+    pub server_recoveries: u64,
     /// Lock-wait windows.
     pub unavailability: Vec<UnavailWindow>,
     /// Operations denied by quiesced/dead clients.
@@ -122,6 +157,7 @@ impl CheckReport {
         self.lost_updates.is_empty()
             && self.stale_reads.is_empty()
             && self.write_order_violations.is_empty()
+            && self.early_grants.is_empty()
     }
 }
 
@@ -152,6 +188,8 @@ impl Checker {
         let mut newest_per_block: HashMap<BlockId, WriteTag> = HashMap::new();
         // Open lock-wait windows.
         let mut open_waits: HashMap<(NodeId, Ino), SimTime> = HashMap::new();
+        // Server recovery window currently open (restart instant).
+        let mut recovering_since: Option<SimTime> = None;
 
         for (t, node, ev) in events {
             match ev {
@@ -186,7 +224,12 @@ impl Checker {
                         }
                     }
                 }
-                Event::ReadServed { ino, idx, tag, from_cache } => {
+                Event::ReadServed {
+                    ino,
+                    idx,
+                    tag,
+                    from_cache,
+                } => {
                     report.reads_checked += 1;
                     if let Some(newest) = newest_on_disk.get(&(*ino, *idx)) {
                         if newest.order_key() > tag.order_key() {
@@ -229,6 +272,34 @@ impl Checker {
                             until: Some(*t),
                         });
                     }
+                    // A grant inside an announced recovery window, or
+                    // closer to a known restart than τ(1+ε), is unsafe.
+                    let restart_at = recovering_since.or_else(|| {
+                        if self.opts.recovery_grace_ns == 0 {
+                            return None;
+                        }
+                        self.opts
+                            .server_restarts
+                            .iter()
+                            .copied()
+                            .filter(|r| r.0 <= t.0 && t.0 < r.0 + self.opts.recovery_grace_ns)
+                            .max()
+                    });
+                    if let Some(restart_at) = restart_at {
+                        report.early_grants.push(EarlyGrant {
+                            client: *client,
+                            ino: *ino,
+                            at: *t,
+                            restart_at,
+                        });
+                    }
+                }
+                Event::ServerRecovering => {
+                    report.server_recoveries += 1;
+                    recovering_since = Some(*t);
+                }
+                Event::ServerRecovered => {
+                    recovering_since = None;
                 }
                 _ => {}
             }
@@ -236,7 +307,12 @@ impl Checker {
 
         // Never-granted waits.
         for ((client, ino), from) in open_waits {
-            report.unavailability.push(UnavailWindow { client, ino, from, until: None });
+            report.unavailability.push(UnavailWindow {
+                client,
+                ino,
+                from,
+                until: None,
+            });
         }
         report
             .unavailability
@@ -266,9 +342,17 @@ impl Checker {
             if crashed {
                 continue;
             }
-            report.lost_updates.push(LostUpdate { client, ino, idx, tag, acked_at });
+            report.lost_updates.push(LostUpdate {
+                client,
+                ino,
+                idx,
+                tag,
+                acked_at,
+            });
         }
-        report.lost_updates.sort_by_key(|l| (l.acked_at, l.client.0, l.ino, l.idx));
+        report
+            .lost_updates
+            .sort_by_key(|l| (l.acked_at, l.client.0, l.ino, l.idx));
         report
     }
 }
@@ -284,7 +368,11 @@ mod tests {
     const B: BlockId = BlockId(100);
 
     fn tag(writer: NodeId, epoch: u64, wseq: u64) -> WriteTag {
-        WriteTag { writer, epoch: Epoch(epoch), wseq }
+        WriteTag {
+            writer,
+            epoch: Epoch(epoch),
+            wseq,
+        }
     }
 
     fn t(ms: u64) -> SimTime {
@@ -298,7 +386,15 @@ mod tests {
     #[test]
     fn grace_window_excuses_recent_dirty_data() {
         let w = tag(C1, 1, 1);
-        let events = vec![(t(1000), C1, Event::WriteAcked { ino: F, idx: 0, tag: w })];
+        let events = vec![(
+            t(1000),
+            C1,
+            Event::WriteAcked {
+                ino: F,
+                idx: 0,
+                tag: w,
+            },
+        )];
         // Strict: lost. With 5s grace and end at 2s: excused. With end at
         // 30s: lost again (it had plenty of time to flush).
         assert_eq!(check(events.clone()).lost_updates.len(), 1);
@@ -320,9 +416,35 @@ mod tests {
     fn clean_write_flush_read_is_safe() {
         let w = tag(C1, 1, 1);
         let events = vec![
-            (t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: w }),
-            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: w, previous: WriteTag::default() }),
-            (t(3), C2, Event::ReadServed { ino: F, idx: 0, tag: w, from_cache: false }),
+            (
+                t(1),
+                C1,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: w,
+                },
+            ),
+            (
+                t(2),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C1,
+                    block: B,
+                    tag: w,
+                    previous: WriteTag::default(),
+                },
+            ),
+            (
+                t(3),
+                C2,
+                Event::ReadServed {
+                    ino: F,
+                    idx: 0,
+                    tag: w,
+                    from_cache: false,
+                },
+            ),
         ];
         let r = check(events);
         assert!(r.safe(), "{r:?}");
@@ -333,7 +455,15 @@ mod tests {
     #[test]
     fn unhardened_final_write_is_a_lost_update() {
         let w = tag(C1, 1, 1);
-        let r = check(vec![(t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: w })]);
+        let r = check(vec![(
+            t(1),
+            C1,
+            Event::WriteAcked {
+                ino: F,
+                idx: 0,
+                tag: w,
+            },
+        )]);
         assert_eq!(r.lost_updates.len(), 1);
         assert_eq!(r.lost_updates[0].tag, w);
         assert!(!r.safe());
@@ -346,9 +476,34 @@ mod tests {
         let w1 = tag(C1, 1, 1);
         let w2 = tag(C1, 1, 2);
         let r = check(vec![
-            (t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: w1 }),
-            (t(2), C1, Event::WriteAcked { ino: F, idx: 0, tag: w2 }),
-            (t(3), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: w2, previous: WriteTag::default() }),
+            (
+                t(1),
+                C1,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: w1,
+                },
+            ),
+            (
+                t(2),
+                C1,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: w2,
+                },
+            ),
+            (
+                t(3),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C1,
+                    block: B,
+                    tag: w2,
+                    previous: WriteTag::default(),
+                },
+            ),
         ]);
         assert!(r.safe(), "{r:?}");
     }
@@ -356,13 +511,27 @@ mod tests {
     #[test]
     fn crash_excuses_pending_writes() {
         let w = tag(C1, 1, 1);
-        let events = vec![(t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: w })];
-        let r = Checker::new(CheckOptions { crashes: vec![(C1, t(5))], ..Default::default() })
-            .run(&events);
+        let events = vec![(
+            t(1),
+            C1,
+            Event::WriteAcked {
+                ino: F,
+                idx: 0,
+                tag: w,
+            },
+        )];
+        let r = Checker::new(CheckOptions {
+            crashes: vec![(C1, t(5))],
+            ..Default::default()
+        })
+        .run(&events);
         assert!(r.safe(), "volatile loss at crash is excused");
         // But a crash *before* the ack excuses nothing.
-        let r = Checker::new(CheckOptions { crashes: vec![(C1, t(0))], ..Default::default() })
-            .run(&events);
+        let r = Checker::new(CheckOptions {
+            crashes: vec![(C1, t(0))],
+            ..Default::default()
+        })
+        .run(&events);
         assert_eq!(r.lost_updates.len(), 1);
     }
 
@@ -371,12 +540,55 @@ mod tests {
         let old = tag(C1, 1, 1);
         let new = tag(C2, 2, 1);
         let r = check(vec![
-            (t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: old }),
-            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: old, previous: WriteTag::default() }),
-            (t(3), C2, Event::WriteAcked { ino: F, idx: 0, tag: new }),
-            (t(4), NodeId(0), Event::Hardened { initiator: C2, block: B, tag: new, previous: old }),
+            (
+                t(1),
+                C1,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: old,
+                },
+            ),
+            (
+                t(2),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C1,
+                    block: B,
+                    tag: old,
+                    previous: WriteTag::default(),
+                },
+            ),
+            (
+                t(3),
+                C2,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: new,
+                },
+            ),
+            (
+                t(4),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C2,
+                    block: B,
+                    tag: new,
+                    previous: old,
+                },
+            ),
             // C1, fenced and oblivious, serves its stale cache.
-            (t(5), C1, Event::ReadServed { ino: F, idx: 0, tag: old, from_cache: true }),
+            (
+                t(5),
+                C1,
+                Event::ReadServed {
+                    ino: F,
+                    idx: 0,
+                    tag: old,
+                    from_cache: true,
+                },
+            ),
         ]);
         assert_eq!(r.stale_reads.len(), 1);
         assert_eq!(r.stale_reads[0].served, old);
@@ -389,11 +601,54 @@ mod tests {
         let old = tag(C1, 1, 1);
         let new = tag(C2, 2, 1);
         let r = check(vec![
-            (t(1), C1, Event::WriteAcked { ino: F, idx: 0, tag: old }),
-            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: old, previous: WriteTag::default() }),
-            (t(3), C1, Event::ReadServed { ino: F, idx: 0, tag: old, from_cache: true }),
-            (t(4), C2, Event::WriteAcked { ino: F, idx: 0, tag: new }),
-            (t(5), NodeId(0), Event::Hardened { initiator: C2, block: B, tag: new, previous: old }),
+            (
+                t(1),
+                C1,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: old,
+                },
+            ),
+            (
+                t(2),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C1,
+                    block: B,
+                    tag: old,
+                    previous: WriteTag::default(),
+                },
+            ),
+            (
+                t(3),
+                C1,
+                Event::ReadServed {
+                    ino: F,
+                    idx: 0,
+                    tag: old,
+                    from_cache: true,
+                },
+            ),
+            (
+                t(4),
+                C2,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: new,
+                },
+            ),
+            (
+                t(5),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C2,
+                    block: B,
+                    tag: new,
+                    previous: old,
+                },
+            ),
         ]);
         assert!(r.safe(), "{r:?}");
     }
@@ -403,9 +658,27 @@ mod tests {
         let old = tag(C1, 1, 5);
         let new = tag(C2, 2, 1);
         let r = check(vec![
-            (t(1), NodeId(0), Event::Hardened { initiator: C2, block: B, tag: new, previous: WriteTag::default() }),
+            (
+                t(1),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C2,
+                    block: B,
+                    tag: new,
+                    previous: WriteTag::default(),
+                },
+            ),
             // C1's late command lands after C2's newer write.
-            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: old, previous: new }),
+            (
+                t(2),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C1,
+                    block: B,
+                    tag: old,
+                    previous: new,
+                },
+            ),
         ]);
         assert_eq!(r.write_order_violations.len(), 1);
         assert_eq!(r.write_order_violations[0].landed, old);
@@ -415,9 +688,26 @@ mod tests {
     #[test]
     fn unavailability_windows_open_and_close() {
         let r = check(vec![
-            (t(10), NodeId(0), Event::RequestBlocked { client: C2, ino: F }),
-            (t(500), NodeId(0), Event::LockGranted { client: C2, ino: F, epoch: Epoch(2), mode: tank_proto::LockMode::Exclusive }),
-            (t(600), NodeId(0), Event::RequestBlocked { client: C1, ino: F }),
+            (
+                t(10),
+                NodeId(0),
+                Event::RequestBlocked { client: C2, ino: F },
+            ),
+            (
+                t(500),
+                NodeId(0),
+                Event::LockGranted {
+                    client: C2,
+                    ino: F,
+                    epoch: Epoch(2),
+                    mode: tank_proto::LockMode::Exclusive,
+                },
+            ),
+            (
+                t(600),
+                NodeId(0),
+                Event::RequestBlocked { client: C1, ino: F },
+            ),
         ]);
         assert_eq!(r.unavailability.len(), 2);
         assert_eq!(r.unavailability[0].from, t(10));
@@ -428,10 +718,44 @@ mod tests {
     #[test]
     fn op_accounting() {
         let r = check(vec![
-            (t(1), C1, Event::OpCompleted { op: tank_proto::OpId(1), kind: "read", ok: true, err: None }),
-            (t(2), C1, Event::OpCompleted { op: tank_proto::OpId(2), kind: "read", ok: false, err: Some("Suspended".into()) }),
-            (t(3), C1, Event::OpCompleted { op: tank_proto::OpId(3), kind: "read", ok: false, err: Some("NotFound".into()) }),
-            (t(4), C1, Event::FenceRejected { initiator: C1, was_write: true }),
+            (
+                t(1),
+                C1,
+                Event::OpCompleted {
+                    op: tank_proto::OpId(1),
+                    kind: "read",
+                    ok: true,
+                    err: None,
+                },
+            ),
+            (
+                t(2),
+                C1,
+                Event::OpCompleted {
+                    op: tank_proto::OpId(2),
+                    kind: "read",
+                    ok: false,
+                    err: Some("Suspended".into()),
+                },
+            ),
+            (
+                t(3),
+                C1,
+                Event::OpCompleted {
+                    op: tank_proto::OpId(3),
+                    kind: "read",
+                    ok: false,
+                    err: Some("NotFound".into()),
+                },
+            ),
+            (
+                t(4),
+                C1,
+                Event::FenceRejected {
+                    initiator: C1,
+                    was_write: true,
+                },
+            ),
             (t(5), C1, Event::CacheInvalidated { discarded_dirty: 3 }),
         ]);
         assert_eq!(r.ops_ok, 1);
@@ -446,8 +770,26 @@ mod tests {
         // A retried SAN write of the same version may land twice.
         let w = tag(C1, 1, 1);
         let r = check(vec![
-            (t(1), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: w, previous: WriteTag::default() }),
-            (t(2), NodeId(0), Event::Hardened { initiator: C1, block: B, tag: w, previous: w }),
+            (
+                t(1),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C1,
+                    block: B,
+                    tag: w,
+                    previous: WriteTag::default(),
+                },
+            ),
+            (
+                t(2),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C1,
+                    block: B,
+                    tag: w,
+                    previous: w,
+                },
+            ),
         ]);
         assert!(r.safe(), "{r:?}");
     }

@@ -127,6 +127,12 @@ pub enum Event {
         /// The client.
         client: NodeId,
     },
+    /// The server restarted after a fail-stop crash and entered its
+    /// recovery grace window (no grants or mutations until every lease
+    /// that might have been outstanding at the crash has expired).
+    ServerRecovering,
+    /// The server's recovery grace window closed; normal service resumed.
+    ServerRecovered,
 
     // -------------------------------------------------------------- disk
     /// A write reached shared storage.

@@ -27,5 +27,7 @@
 pub mod checker;
 pub mod event;
 
-pub use checker::{CheckOptions, CheckReport, Checker, LostUpdate, StaleRead, UnavailWindow, WriteOrderViolation};
+pub use checker::{
+    CheckOptions, CheckReport, Checker, LostUpdate, StaleRead, UnavailWindow, WriteOrderViolation,
+};
 pub use event::Event;

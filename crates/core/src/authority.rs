@@ -71,7 +71,11 @@ impl LeaseAuthority {
     /// New authority with no state.
     pub fn new(cfg: LeaseConfig) -> Self {
         cfg.validate().expect("invalid lease config");
-        LeaseAuthority { cfg, tracked: HashMap::new(), stats: AuthorityStats::default() }
+        LeaseAuthority {
+            cfg,
+            tracked: HashMap::new(),
+            stats: AuthorityStats::default(),
+        }
     }
 
     /// The configuration in force.
@@ -88,7 +92,8 @@ impl LeaseAuthority {
             Some(_) => None, // already suspect or expired
             None => {
                 let fires_at = now.plus(self.cfg.server_timeout());
-                self.tracked.insert(client, ClientStanding::Suspect { fires_at });
+                self.tracked
+                    .insert(client, ClientStanding::Suspect { fires_at });
                 self.stats.timers_started += 1;
                 self.stats.peak_tracked = self.stats.peak_tracked.max(self.tracked.len());
                 Some(fires_at)
@@ -120,7 +125,10 @@ impl LeaseAuthority {
             return ClientStanding::Good;
         }
         self.stats.tracked_checks += 1;
-        self.tracked.get(&client).copied().unwrap_or(ClientStanding::Good)
+        self.tracked
+            .get(&client)
+            .copied()
+            .unwrap_or(ClientStanding::Good)
     }
 
     /// Whether the server may ACK this client (§3.1 correctness rule: "the
@@ -143,7 +151,10 @@ impl LeaseAuthority {
     /// debug builds.
     pub fn on_new_session(&mut self, client: NodeId) {
         debug_assert!(
-            !matches!(self.tracked.get(&client), Some(ClientStanding::Suspect { .. })),
+            !matches!(
+                self.tracked.get(&client),
+                Some(ClientStanding::Suspect { .. })
+            ),
             "cannot reset a client whose expiry timer is still running"
         );
         self.tracked.remove(&client);
@@ -152,8 +163,7 @@ impl LeaseAuthority {
     /// Bytes of lease state currently held. Zero during normal operation —
     /// measured, not asserted, by experiment E6.
     pub fn memory_bytes(&self) -> usize {
-        self.tracked.len()
-            * (std::mem::size_of::<NodeId>() + std::mem::size_of::<ClientStanding>())
+        self.tracked.len() * (std::mem::size_of::<NodeId>() + std::mem::size_of::<ClientStanding>())
     }
 
     /// Number of tracked (suspect or expired) clients.
@@ -188,7 +198,11 @@ mod tests {
             assert!(a.may_ack(C1));
             assert!(a.may_ack(C2));
         }
-        assert_eq!(a.memory_bytes(), 0, "no lease memory during normal operation");
+        assert_eq!(
+            a.memory_bytes(),
+            0,
+            "no lease memory during normal operation"
+        );
         assert_eq!(a.tracked_len(), 0);
         let s = a.stats();
         assert_eq!(s.empty_checks, 2000);

@@ -9,8 +9,8 @@
 
 use std::collections::HashMap;
 
-use tank_sim::LocalNs;
 use tank_proto::ReqSeq;
+use tank_sim::LocalNs;
 
 use crate::config::LeaseConfig;
 
@@ -332,7 +332,10 @@ mod tests {
         assert!(l.may_admit(LocalNs(S)));
         assert!(l.may_admit(LocalNs(5 * S)), "phase 2 still serves");
         assert!(!l.may_admit(LocalNs(7 * S)), "phase 3 stops admitting");
-        assert!(l.cache_usable(LocalNs(9 * S)), "phase 4 may still flush from cache");
+        assert!(
+            l.cache_usable(LocalNs(9 * S)),
+            "phase 4 may still flush from cache"
+        );
         assert!(!l.cache_usable(LocalNs(10 * S)));
     }
 
@@ -363,7 +366,10 @@ mod tests {
         let mut l = granted(LocalNs(0));
         assert!(l.poll(LocalNs(S)).is_empty());
         assert_eq!(l.poll(LocalNs(7 * S)), vec![LeaseAction::BeginQuiesce]);
-        assert_eq!(l.poll(LocalNs(8_600_000_000)), vec![LeaseAction::BeginFlush]);
+        assert_eq!(
+            l.poll(LocalNs(8_600_000_000)),
+            vec![LeaseAction::BeginFlush]
+        );
         assert_eq!(l.poll(LocalNs(10 * S)), vec![LeaseAction::LeaseExpired]);
         // Latched: nothing more.
         assert!(l.poll(LocalNs(11 * S)).is_empty());
@@ -408,7 +414,10 @@ mod tests {
         l.on_send(ReqSeq(2), LocalNs(5 * S));
         assert!(l.on_ack(ReqSeq(2), LocalNs(5 * S + 1000)));
         let actions = l.poll(LocalNs(5 * S + 2000));
-        assert!(actions.is_empty(), "no Resume needed when service never stopped: {actions:?}");
+        assert!(
+            actions.is_empty(),
+            "no Resume needed when service never stopped: {actions:?}"
+        );
         assert_eq!(l.phase(LocalNs(5 * S + 2000)), Phase::Valid);
     }
 
@@ -428,7 +437,11 @@ mod tests {
     fn nack_jumps_to_suspect_and_blocks_renewal() {
         let mut l = granted(LocalNs(0));
         l.on_nack(LocalNs(S));
-        assert_eq!(l.phase(LocalNs(S)), Phase::Suspect, "§3.3: directly to phase 3");
+        assert_eq!(
+            l.phase(LocalNs(S)),
+            Phase::Suspect,
+            "§3.3: directly to phase 3"
+        );
         assert_eq!(l.poll(LocalNs(S)), vec![LeaseAction::BeginQuiesce]);
         // Later ACKs for in-flight requests must not resurrect the lease.
         l.on_send(ReqSeq(5), LocalNs(S));
@@ -441,7 +454,10 @@ mod tests {
         let mut l = granted(LocalNs(0));
         l.on_nack(LocalNs(S));
         l.poll(LocalNs(S));
-        assert_eq!(l.poll(LocalNs(8_600_000_000)), vec![LeaseAction::BeginFlush]);
+        assert_eq!(
+            l.poll(LocalNs(8_600_000_000)),
+            vec![LeaseAction::BeginFlush]
+        );
         assert_eq!(l.poll(LocalNs(10 * S)), vec![LeaseAction::LeaseExpired]);
     }
 
@@ -473,13 +489,21 @@ mod tests {
         assert_eq!(l.next_wakeup(LocalNs(S)), Some(LocalNs(4 * S)));
         l.poll(LocalNs(4 * S)); // keep-alive sent, next due 4.5s
         let w = l.next_wakeup(LocalNs(4 * S + 1)).unwrap();
-        assert_eq!(w, LocalNs(4_500_000_000), "keep-alive earlier than 7s boundary");
+        assert_eq!(
+            w,
+            LocalNs(4_500_000_000),
+            "keep-alive earlier than 7s boundary"
+        );
         let mut l2 = ClientLease::new(cfg());
         assert_eq!(l2.next_wakeup(LocalNs(0)), None);
         l2.on_send(ReqSeq(1), LocalNs(0));
         l2.on_ack(ReqSeq(1), LocalNs(1));
         l2.poll(LocalNs(10 * S));
-        assert_eq!(l2.next_wakeup(LocalNs(10 * S)), None, "latched expired sleeps forever");
+        assert_eq!(
+            l2.next_wakeup(LocalNs(10 * S)),
+            None,
+            "latched expired sleeps forever"
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl LeaseConfig {
             return Err("tau must be positive".into());
         }
         if !(self.epsilon >= 0.0 && self.epsilon.is_finite()) {
-            return Err(format!("epsilon must be finite and >= 0, got {}", self.epsilon));
+            return Err(format!(
+                "epsilon must be finite and >= 0, got {}",
+                self.epsilon
+            ));
         }
         let fr = [self.renew_frac, self.suspect_frac, self.flush_frac];
         if fr.iter().any(|f| !(0.0..1.0).contains(f)) {

@@ -135,7 +135,11 @@ mod tests {
         assert!(s.within_contract());
         // Exactly at the contract boundary the margin is analytically zero;
         // allow sub-microsecond floating-point slop either way.
-        assert!(s.margin().abs() < 1e3, "boundary case has ~zero margin: {}", s.margin());
+        assert!(
+            s.margin().abs() < 1e3,
+            "boundary case has ~zero margin: {}",
+            s.margin()
+        );
     }
 
     #[test]
@@ -151,7 +155,10 @@ mod tests {
         let eps = 0.01;
         let (lo, hi) = legal_rate_range(eps);
         let early = TimingScenario::earliest(lo, hi, 0.0, 0.0, TAU, eps);
-        let late = TimingScenario { error_at: 5e9, ..early };
+        let late = TimingScenario {
+            error_at: 5e9,
+            ..early
+        };
         assert!(late.margin() > early.margin());
     }
 

@@ -22,7 +22,12 @@ impl BlockAllocator {
     /// Allocator over blocks `0..total`.
     pub fn new(total: u64) -> Self {
         let words = vec![0u64; total.div_ceil(64) as usize];
-        BlockAllocator { words, total, allocated: 0, cursor: 0 }
+        BlockAllocator {
+            words,
+            total,
+            allocated: 0,
+            cursor: 0,
+        }
     }
 
     /// Total pool size.

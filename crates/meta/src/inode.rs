@@ -26,7 +26,15 @@ pub struct Inode {
 
 impl Inode {
     fn new(ino: Ino, is_dir: bool) -> Self {
-        Inode { ino, is_dir, size: 0, mtime: 0, version: 1, blocks: Vec::new(), nlink: 1 }
+        Inode {
+            ino,
+            is_dir,
+            size: 0,
+            mtime: 0,
+            version: 1,
+            blocks: Vec::new(),
+            nlink: 1,
+        }
     }
 }
 
@@ -40,7 +48,10 @@ pub struct InodeTable {
 impl InodeTable {
     /// Empty table; inode numbers start at 1 (0 is never valid).
     pub fn new() -> Self {
-        InodeTable { next: 1, map: HashMap::new() }
+        InodeTable {
+            next: 1,
+            map: HashMap::new(),
+        }
     }
 
     /// Allocate a fresh inode.

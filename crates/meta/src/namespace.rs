@@ -20,7 +20,11 @@ impl Namespace {
     pub fn new(root: Ino) -> Self {
         let mut dirs = HashMap::new();
         dirs.insert(root, BTreeMap::new());
-        Namespace { root, dirs, parent: HashMap::new() }
+        Namespace {
+            root,
+            dirs,
+            parent: HashMap::new(),
+        }
     }
 
     /// The root directory.
@@ -152,7 +156,11 @@ mod tests {
         n.link(Ino(2), "sub", Ino(3), true).unwrap();
         n.link(Ino(3), "f", Ino(4), false).unwrap();
         assert_eq!(n.resolve_path("/dir/sub/f"), Ok(Ino(4)));
-        assert_eq!(n.resolve_path("dir/sub"), Ok(Ino(3)), "leading slash optional");
+        assert_eq!(
+            n.resolve_path("dir/sub"),
+            Ok(Ino(3)),
+            "leading slash optional"
+        );
         assert_eq!(n.resolve_path("/"), Ok(ROOT));
         assert_eq!(n.resolve_path("/dir/nope"), Err(NsError::NotFound));
         assert_eq!(n.resolve_path("/dir/sub/f/deeper"), Err(NsError::NotADir));

@@ -118,7 +118,12 @@ impl MetaStore {
 
     /// Truncate (only shrinking frees blocks; growth happens through
     /// explicit allocation).
-    pub fn setattr(&mut self, ino: Ino, size: Option<u64>, now: u64) -> Result<FileAttr, MetaError> {
+    pub fn setattr(
+        &mut self,
+        ino: Ino,
+        size: Option<u64>,
+        now: u64,
+    ) -> Result<FileAttr, MetaError> {
         self.transactions += 1;
         let block_size = self.block_size as u64;
         let inode = self.inodes.get_mut(ino).ok_or(MetaError::NotFound)?;

@@ -5,8 +5,8 @@
 //! tankcli 127.0.0.1:4800 create /docs/a.txt
 //! tankcli 127.0.0.1:4800 ls /docs
 //! tankcli 127.0.0.1:4800 stat /docs/a.txt
-//! tankcli 127.0.0.1:4800 lock /docs/a.txt     # acquire X, hold until ^C
-//! tankcli 127.0.0.1:4800 bench 1000           # request RTT microbenchmark
+//! tankcli 127.0.0.1:4800 lock /docs/a.txt SECS  # hold X for SECS
+//! tankcli 127.0.0.1:4800 bench 1000             # request RTT microbenchmark
 //! ```
 
 use tank_core::LeaseConfig;
@@ -14,51 +14,52 @@ use tank_net::TankClient;
 use tank_proto::{Ino, LockMode};
 
 fn usage() -> ! {
-    eprintln!("usage: tankcli ADDR (ls|stat|create|mkdir|rm) PATH | ADDR lock PATH | ADDR bench N");
+    eprintln!(
+        "usage: tankcli ADDR (ls|stat|create|mkdir|rm) PATH | ADDR lock PATH SECS | ADDR bench N"
+    );
     std::process::exit(2);
 }
 
 /// Resolve an absolute path, returning (parent, leaf-name, leaf-ino-if-any).
-async fn resolve(
+fn resolve(
     client: &TankClient,
     path: &str,
 ) -> Result<(Ino, String, Option<Ino>), Box<dyn std::error::Error>> {
     let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
     let mut cur = client.root();
     for part in parts.iter().take(parts.len().saturating_sub(1)) {
-        cur = client.lookup(cur, part).await?.0;
+        cur = client.lookup(cur, part)?.0;
     }
     let leaf = parts.last().map(|s| s.to_string()).unwrap_or_default();
     let leaf_ino = if leaf.is_empty() {
         Some(cur)
     } else {
-        client.lookup(cur, &leaf).await.ok().map(|(i, _)| i)
+        client.lookup(cur, &leaf).ok().map(|(i, _)| i)
     };
     Ok((cur, leaf, leaf_ino))
 }
 
-#[tokio::main(flavor = "current_thread")]
-async fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
         usage();
     }
     let addr = &args[0];
     let cmd = args[1].as_str();
-    let client = TankClient::connect(addr, LeaseConfig::default()).await?;
+    let client = TankClient::connect(addr, LeaseConfig::default())?;
 
     match (cmd, args.get(2)) {
         ("ls", Some(path)) => {
-            let (_, _, ino) = resolve(&client, path).await?;
+            let (_, _, ino) = resolve(&client, path)?;
             let dir = ino.ok_or("no such directory")?;
-            for (name, ino) in client.readdir(dir).await? {
+            for (name, ino) in client.readdir(dir)? {
                 println!("{ino}\t{name}");
             }
         }
         ("stat", Some(path)) => {
-            let (_, _, ino) = resolve(&client, path).await?;
+            let (_, _, ino) = resolve(&client, path)?;
             let ino = ino.ok_or("no such path")?;
-            let attr = client.getattr(ino).await?;
+            let attr = client.getattr(ino)?;
             println!(
                 "{ino}: size={} version={} {}",
                 attr.size,
@@ -67,34 +68,37 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         ("create", Some(path)) => {
-            let (parent, name, _) = resolve(&client, path).await?;
-            let ino = client.create(parent, &name).await?;
+            let (parent, name, _) = resolve(&client, path)?;
+            let ino = client.create(parent, &name)?;
             println!("created {ino}");
         }
         ("mkdir", Some(path)) => {
-            let (parent, name, _) = resolve(&client, path).await?;
-            let ino = client.mkdir(parent, &name).await?;
+            let (parent, name, _) = resolve(&client, path)?;
+            let ino = client.mkdir(parent, &name)?;
             println!("created {ino}");
         }
         ("rm", Some(path)) => {
-            let (parent, name, _) = resolve(&client, path).await?;
-            client.unlink(parent, &name).await?;
+            let (parent, name, _) = resolve(&client, path)?;
+            client.unlink(parent, &name)?;
             println!("removed {path}");
         }
         ("lock", Some(path)) => {
-            let (_, _, ino) = resolve(&client, path).await?;
+            let (_, _, ino) = resolve(&client, path)?;
             let ino = ino.ok_or("no such path")?;
-            let epoch = client.lock(ino, LockMode::Exclusive).await?;
-            println!("holding X lock on {ino} (epoch {epoch:?}); ^C to exit");
-            println!("(watch another tankcli lock the same path: this client auto-releases on demand)");
-            tokio::signal::ctrl_c().await?;
-            let _ = client.release(ino, epoch).await;
+            let secs: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(30);
+            let epoch = client.lock(ino, LockMode::Exclusive)?;
+            println!("holding X lock on {ino} (epoch {epoch:?}) for {secs}s");
+            println!(
+                "(watch another tankcli lock the same path: this client auto-releases on demand)"
+            );
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            let _ = client.release(ino, epoch);
         }
         ("bench", Some(n)) => {
             let n: u32 = n.parse()?;
             let start = std::time::Instant::now();
             for _ in 0..n {
-                client.keep_alive().await?;
+                client.keep_alive()?;
             }
             let total = start.elapsed();
             println!(

@@ -1,19 +1,21 @@
-//! The async UDP client.
+//! The synchronous UDP client.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use tank_core::{ClientLease, LeaseAction, LeaseConfig, Phase};
 use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     CtlMsg, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request, SessionId,
     WireDecode, WireEncode,
 };
-use tokio::net::UdpSocket;
-use tokio::sync::oneshot;
 
+use crate::fault::{FaultConfig, FaultySocket};
 use crate::mono_now;
 
 /// Client-side errors.
@@ -51,44 +53,65 @@ struct ClientState {
     lease: ClientLease,
     session: Option<SessionId>,
     next_seq: u64,
-    pending: HashMap<ReqSeq, oneshot::Sender<ResponseOutcome>>,
+    pending: HashMap<ReqSeq, mpsc::Sender<ResponseOutcome>>,
     seen_pushes: std::collections::HashSet<u64>,
     /// Locks currently held (demands auto-release them).
     held: std::collections::HashSet<Ino>,
+    /// The server incarnation stamped on the last response seen. A
+    /// change means the server restarted since we last heard from it.
+    server_incarnation: Option<u64>,
 }
 
-/// An async Storage Tank protocol client over UDP.
+/// A synchronous Storage Tank protocol client over UDP.
 ///
 /// Every acknowledged request renews the lease from its *send* time; a
-/// background task mirrors the client lease machine's wakeup schedule to
-/// send keep-alives while idle. Lock demands are answered automatically
-/// (PushAck then release — this demo client holds no data cache).
+/// background thread mirrors the client lease machine's wakeup schedule
+/// to send keep-alives while idle. Lock demands are answered
+/// automatically (PushAck then release — this demo client holds no data
+/// cache). Retransmissions reuse the request's sequence number (the
+/// server's dedup window makes delivery at-most-once) under exponential
+/// backoff with jitter; `Recovering` NACKs are retried after a delay,
+/// and a stale session is transparently re-established with a fresh
+/// Hello.
 pub struct TankClient {
-    sock: Arc<UdpSocket>,
+    sock: Arc<FaultySocket>,
     state: Arc<Mutex<ClientState>>,
-    /// Keep-alive task handle (aborted on drop).
-    tasks: Vec<tokio::task::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    rng: Mutex<ChaCha8Rng>,
     /// Request retry budget.
     retries: u32,
-    /// Per-attempt timeout.
-    rto: std::time::Duration,
+    /// Initial per-attempt timeout; doubles per retry up to `max_rto`.
+    rto: Duration,
+    /// Backoff ceiling.
+    max_rto: Duration,
 }
 
 impl Drop for TankClient {
     fn drop(&mut self) {
-        for t in &self.tasks {
-            t.abort();
-        }
+        // Background threads watch this flag and exit within one read
+        // timeout / sleep chunk.
+        self.stop.store(true, Ordering::SeqCst);
     }
 }
 
 impl TankClient {
     /// Connect (UDP-"connect") to a server and establish a session.
-    pub async fn connect(server: &str, lease: LeaseConfig) -> Result<TankClient> {
-        let sock = UdpSocket::bind("127.0.0.1:0")
-            .await
+    pub fn connect(server: &str, lease: LeaseConfig) -> Result<TankClient> {
+        Self::connect_with(server, lease, FaultConfig::none())
+    }
+
+    /// Connect through a fault-injecting socket (tests).
+    pub fn connect_with(
+        server: &str,
+        lease: LeaseConfig,
+        faults: FaultConfig,
+    ) -> Result<TankClient> {
+        let sock = FaultySocket::bind("127.0.0.1:0", faults)
             .map_err(|e| NetClientError::Io(e.to_string()))?;
-        sock.connect(server).await.map_err(|e| NetClientError::Io(e.to_string()))?;
+        sock.connect(server)
+            .map_err(|e| NetClientError::Io(e.to_string()))?;
+        sock.set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(|e| NetClientError::Io(e.to_string()))?;
         let sock = Arc::new(sock);
         let state = Arc::new(Mutex::new(ClientState {
             lease: ClientLease::new(lease),
@@ -97,35 +120,55 @@ impl TankClient {
             pending: HashMap::new(),
             seen_pushes: std::collections::HashSet::new(),
             held: std::collections::HashSet::new(),
+            server_incarnation: None,
         }));
-        let mut client = TankClient {
+        let stop = Arc::new(AtomicBool::new(false));
+        let client = TankClient {
             sock: sock.clone(),
             state: state.clone(),
-            tasks: Vec::new(),
+            stop: stop.clone(),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(faults.seed ^ 0xBAC0_FF5E)),
             retries: 8,
-            rto: std::time::Duration::from_millis(150),
+            rto: Duration::from_millis(150),
+            max_rto: Duration::from_secs(2),
         };
-        client.tasks.push(tokio::spawn(Self::recv_loop(sock.clone(), state.clone())));
-        client.tasks.push(tokio::spawn(Self::lease_loop(sock.clone(), state.clone())));
-        client.hello().await?;
+        {
+            let (sock, state, stop) = (sock.clone(), state.clone(), stop.clone());
+            std::thread::spawn(move || Self::recv_loop(&sock, &state, &stop));
+        }
+        std::thread::spawn(move || Self::lease_loop(&sock, &state, &stop));
+        client.hello()?;
         Ok(client)
     }
 
     /// The receive loop: responses complete pending requests (and renew
     /// the lease); pushes are acknowledged and demands auto-released.
-    async fn recv_loop(sock: Arc<UdpSocket>, state: Arc<Mutex<ClientState>>) {
+    fn recv_loop(sock: &Arc<FaultySocket>, state: &Arc<Mutex<ClientState>>, stop: &AtomicBool) {
         let mut buf = vec![0u8; 64 * 1024];
-        loop {
-            let Ok(n) = sock.recv(&mut buf).await else { break };
+        while !stop.load(Ordering::SeqCst) {
+            let Ok(n) = sock.recv(&mut buf) else { continue };
+            // Re-check after the blocking recv: a dropped client must not
+            // answer a demand that raced with its own shutdown.
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
             let mut bytes = Bytes::copy_from_slice(&buf[..n]);
-            let Ok(msg) = NetMsg::decode(&mut bytes) else { continue };
+            let Ok(msg) = NetMsg::decode(&mut bytes) else {
+                continue;
+            };
             match msg {
                 NetMsg::Ctl(CtlMsg::Response(resp)) => {
                     let waiter = {
-                        let mut st = state.lock();
+                        let mut st = state.lock().unwrap();
+                        st.server_incarnation = Some(resp.incarnation.0);
                         if resp.is_ack() {
                             st.lease.on_ack(resp.seq, mono_now());
-                        } else {
+                        } else if !matches!(
+                            resp.outcome,
+                            ResponseOutcome::Nacked(NackReason::Recovering)
+                        ) {
+                            // A Recovering NACK does not condemn the
+                            // lease — it only means "ask again later".
                             st.lease.on_nack(mono_now());
                         }
                         st.pending.remove(&resp.seq)
@@ -135,25 +178,34 @@ impl TankClient {
                     }
                 }
                 NetMsg::Ctl(CtlMsg::Push(push)) => {
-                    Self::on_push(&sock, &state, push).await;
+                    Self::on_push(sock, state, push);
                 }
                 _ => {}
             }
         }
     }
 
-    async fn on_push(
-        sock: &Arc<UdpSocket>,
+    fn on_push(
+        sock: &Arc<FaultySocket>,
         state: &Arc<Mutex<ClientState>>,
         push: tank_proto::ServerPush,
     ) {
         let (session, fresh) = {
-            let mut st = state.lock();
-            (st.session.unwrap_or(SessionId(0)), st.seen_pushes.insert(push.push_seq))
+            let mut st = state.lock().unwrap();
+            (
+                st.session.unwrap_or(SessionId(0)),
+                st.seen_pushes.insert(push.push_seq),
+            )
         };
         // Always ack.
-        let ack = Self::raw_request(state, session, RequestBody::PushAck { push_seq: push.push_seq });
-        let _ = sock.send(&ack.1).await;
+        let ack = Self::raw_request(
+            state,
+            session,
+            RequestBody::PushAck {
+                push_seq: push.push_seq,
+            },
+        );
+        let _ = sock.send(&ack.1);
         if !fresh {
             return;
         }
@@ -163,17 +215,17 @@ impl TankClient {
             let (seq, bytes) =
                 Self::raw_request(state, session, RequestBody::LockRelease { ino, epoch });
             let _ = seq;
-            let _ = sock.send(&bytes).await;
-            state.lock().held.remove(&ino);
+            let _ = sock.send(&bytes);
+            state.lock().unwrap().held.remove(&ino);
         }
     }
 
     /// The keep-alive loop: sleeps until the lease machine's next wakeup
     /// and sends keep-alives when it asks for them.
-    async fn lease_loop(sock: Arc<UdpSocket>, state: Arc<Mutex<ClientState>>) {
-        loop {
+    fn lease_loop(sock: &Arc<FaultySocket>, state: &Arc<Mutex<ClientState>>, stop: &AtomicBool) {
+        while !stop.load(Ordering::SeqCst) {
             let (sleep_for, keepalive) = {
-                let mut st = state.lock();
+                let mut st = state.lock().unwrap();
                 let now = mono_now();
                 let mut ka = false;
                 for action in st.lease.poll(now) {
@@ -184,16 +236,22 @@ impl TankClient {
                 let next = st
                     .lease
                     .next_wakeup(now)
-                    .map(|at| std::time::Duration::from_nanos(at.0.saturating_sub(now.0)))
-                    .unwrap_or(std::time::Duration::from_millis(200));
-                (next.max(std::time::Duration::from_millis(10)), ka)
+                    .map(|at| Duration::from_nanos(at.0.saturating_sub(now.0)))
+                    .unwrap_or(Duration::from_millis(200));
+                (next.max(Duration::from_millis(10)), ka)
             };
             if keepalive {
-                let session = state.lock().session.unwrap_or(SessionId(0));
-                let (_, bytes) = Self::raw_request(&state, session, RequestBody::KeepAlive);
-                let _ = sock.send(&bytes).await;
+                let session = state.lock().unwrap().session.unwrap_or(SessionId(0));
+                let (_, bytes) = Self::raw_request(state, session, RequestBody::KeepAlive);
+                let _ = sock.send(&bytes);
             }
-            tokio::time::sleep(sleep_for).await;
+            // Sleep in short chunks so drop is responsive.
+            let mut left = sleep_for;
+            while left > Duration::ZERO && !stop.load(Ordering::SeqCst) {
+                let chunk = left.min(Duration::from_millis(50));
+                std::thread::sleep(chunk);
+                left = left.saturating_sub(chunk);
+            }
         }
     }
 
@@ -205,51 +263,95 @@ impl TankClient {
         session: SessionId,
         body: RequestBody,
     ) -> (ReqSeq, Vec<u8>) {
-        let mut st = state.lock();
+        let mut st = state.lock().unwrap();
         let seq = ReqSeq(st.next_seq);
         st.next_seq += 1;
         st.lease.on_send(seq, mono_now());
-        let req = Request { src: NodeId(0), session, seq, body };
+        let req = Request {
+            src: NodeId(0),
+            session,
+            seq,
+            body,
+        };
         (seq, NetMsg::Ctl(CtlMsg::Request(req)).encoded().to_vec())
     }
 
-    /// Send a request with retries; returns the server's outcome.
-    async fn request(&self, body: RequestBody) -> Result<ReplyBody> {
-        let session = self.state.lock().session.unwrap_or(SessionId(0));
+    /// Multiply a timeout by a jitter factor in `[0.75, 1.25]` so retry
+    /// storms from concurrent clients decorrelate.
+    fn jitter(&self, d: Duration) -> Duration {
+        let f = self.rng.lock().unwrap().random_range(0.75f64..=1.25);
+        Duration::from_nanos((d.as_nanos() as f64 * f) as u64)
+    }
+
+    /// One request attempt cycle: same sequence number across
+    /// retransmissions, per-attempt timeout doubling up to the ceiling.
+    fn attempt(&self, body: RequestBody) -> Result<ReplyBody> {
         let (seq, bytes) = {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
+            let session = st.session.unwrap_or(SessionId(0));
             let seq = ReqSeq(st.next_seq);
             st.next_seq += 1;
             st.lease.on_send(seq, mono_now());
-            let req = Request { src: NodeId(0), session, seq, body };
+            let req = Request {
+                src: NodeId(0),
+                session,
+                seq,
+                body,
+            };
             (seq, NetMsg::Ctl(CtlMsg::Request(req)).encoded().to_vec())
         };
+        let mut rto = self.rto;
         for _attempt in 0..=self.retries {
-            let (tx, rx) = oneshot::channel();
-            self.state.lock().pending.insert(seq, tx);
+            let (tx, rx) = mpsc::channel();
+            self.state.lock().unwrap().pending.insert(seq, tx);
             self.sock
                 .send(&bytes)
-                .await
                 .map_err(|e| NetClientError::Io(e.to_string()))?;
-            match tokio::time::timeout(self.rto, rx).await {
-                Ok(Ok(ResponseOutcome::Acked(Ok(reply)))) => return Ok(reply),
-                Ok(Ok(ResponseOutcome::Acked(Err(e)))) => return Err(NetClientError::Fs(e)),
-                Ok(Ok(ResponseOutcome::Nacked(r))) => return Err(NetClientError::Nacked(r)),
-                Ok(Err(_)) | Err(_) => {
-                    // lost or timed out: retry with the SAME seq (the
-                    // server's dedup window makes this at-most-once).
-                    self.state.lock().pending.remove(&seq);
+            match rx.recv_timeout(self.jitter(rto)) {
+                Ok(ResponseOutcome::Acked(Ok(reply))) => return Ok(reply),
+                Ok(ResponseOutcome::Acked(Err(e))) => return Err(NetClientError::Fs(e)),
+                Ok(ResponseOutcome::Nacked(r)) => return Err(NetClientError::Nacked(r)),
+                Err(_) => {
+                    // Lost or timed out: retry with the SAME seq (the
+                    // server's dedup window makes this at-most-once) and
+                    // back off exponentially.
+                    self.state.lock().unwrap().pending.remove(&seq);
+                    rto = (rto * 2).min(self.max_rto);
                 }
             }
         }
         Err(NetClientError::Timeout)
     }
 
-    async fn hello(&self) -> Result<()> {
+    /// Send a request, transparently riding out server recovery windows
+    /// and stale sessions.
+    fn request(&self, body: RequestBody) -> Result<ReplyBody> {
+        // Recovering NACKs last at most one grace window τ(1+ε); the
+        // wait budget here comfortably exceeds any test-scale window.
+        let mut recovery_waits = 100u32;
+        let mut rehellos = 2u32;
+        loop {
+            match self.attempt(body.clone()) {
+                Err(NetClientError::Nacked(NackReason::Recovering)) if recovery_waits > 0 => {
+                    recovery_waits -= 1;
+                    std::thread::sleep(self.jitter(Duration::from_millis(100)));
+                }
+                Err(NetClientError::Nacked(
+                    NackReason::StaleSession | NackReason::SessionExpired,
+                )) if rehellos > 0 => {
+                    rehellos -= 1;
+                    self.hello()?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn hello(&self) -> Result<()> {
         let sent_at = mono_now();
-        match self.request(RequestBody::Hello).await? {
+        match self.attempt(RequestBody::Hello)? {
             ReplyBody::HelloOk { session } => {
-                let mut st = self.state.lock();
+                let mut st = self.state.lock().unwrap();
                 st.session = Some(session);
                 st.lease.reset_session(sent_at, mono_now());
                 st.held.clear();
@@ -261,13 +363,13 @@ impl TankClient {
     }
 
     /// Re-establish a session after expiry (public for tests/tools).
-    pub async fn rehello(&self) -> Result<()> {
-        self.hello().await
+    pub fn rehello(&self) -> Result<()> {
+        self.hello()
     }
 
     /// Current lease phase on this client's clock.
     pub fn lease_phase(&self) -> Phase {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let now = mono_now();
         let _ = st.lease.poll(now);
         st.lease.phase(now)
@@ -275,57 +377,75 @@ impl TankClient {
 
     /// Number of lease renewals observed.
     pub fn renewals(&self) -> u64 {
-        self.state.lock().lease.renewal_count()
+        self.state.lock().unwrap().lease.renewal_count()
     }
 
     /// Keep-alives the lease machine has requested.
     pub fn keepalives(&self) -> u64 {
-        self.state.lock().lease.keepalive_count()
+        self.state.lock().unwrap().lease.keepalive_count()
+    }
+
+    /// The incarnation number stamped on the last response seen (a
+    /// change between observations means the server restarted).
+    pub fn server_incarnation(&self) -> Option<u64> {
+        self.state.lock().unwrap().server_incarnation
     }
 
     /// Create a file under `parent`.
-    pub async fn create(&self, parent: Ino, name: &str) -> Result<Ino> {
-        match self.request(RequestBody::Create { parent, name: name.into() }).await? {
+    pub fn create(&self, parent: Ino, name: &str) -> Result<Ino> {
+        match self.request(RequestBody::Create {
+            parent,
+            name: name.into(),
+        })? {
             ReplyBody::Created { ino } => Ok(ino),
             _ => Err(NetClientError::Protocol),
         }
     }
 
     /// Make a directory.
-    pub async fn mkdir(&self, parent: Ino, name: &str) -> Result<Ino> {
-        match self.request(RequestBody::Mkdir { parent, name: name.into() }).await? {
+    pub fn mkdir(&self, parent: Ino, name: &str) -> Result<Ino> {
+        match self.request(RequestBody::Mkdir {
+            parent,
+            name: name.into(),
+        })? {
             ReplyBody::Created { ino } => Ok(ino),
             _ => Err(NetClientError::Protocol),
         }
     }
 
     /// Resolve a name.
-    pub async fn lookup(&self, parent: Ino, name: &str) -> Result<(Ino, FileAttr)> {
-        match self.request(RequestBody::Lookup { parent, name: name.into() }).await? {
+    pub fn lookup(&self, parent: Ino, name: &str) -> Result<(Ino, FileAttr)> {
+        match self.request(RequestBody::Lookup {
+            parent,
+            name: name.into(),
+        })? {
             ReplyBody::Resolved { ino, attr } => Ok((ino, attr)),
             _ => Err(NetClientError::Protocol),
         }
     }
 
     /// Fetch attributes.
-    pub async fn getattr(&self, ino: Ino) -> Result<FileAttr> {
-        match self.request(RequestBody::GetAttr { ino }).await? {
+    pub fn getattr(&self, ino: Ino) -> Result<FileAttr> {
+        match self.request(RequestBody::GetAttr { ino })? {
             ReplyBody::Attr { attr } => Ok(attr),
             _ => Err(NetClientError::Protocol),
         }
     }
 
     /// List a directory.
-    pub async fn readdir(&self, dir: Ino) -> Result<Vec<(String, Ino)>> {
-        match self.request(RequestBody::ReadDir { dir }).await? {
+    pub fn readdir(&self, dir: Ino) -> Result<Vec<(String, Ino)>> {
+        match self.request(RequestBody::ReadDir { dir })? {
             ReplyBody::Dir { entries } => Ok(entries),
             _ => Err(NetClientError::Protocol),
         }
     }
 
     /// Remove a file.
-    pub async fn unlink(&self, parent: Ino, name: &str) -> Result<()> {
-        match self.request(RequestBody::Unlink { parent, name: name.into() }).await? {
+    pub fn unlink(&self, parent: Ino, name: &str) -> Result<()> {
+        match self.request(RequestBody::Unlink {
+            parent,
+            name: name.into(),
+        })? {
             ReplyBody::Ok => Ok(()),
             _ => Err(NetClientError::Protocol),
         }
@@ -333,10 +453,10 @@ impl TankClient {
 
     /// Acquire a data lock; waits for the grant (the server answers when
     /// the lock becomes available).
-    pub async fn lock(&self, ino: Ino, mode: LockMode) -> Result<tank_proto::Epoch> {
-        match self.request(RequestBody::LockAcquire { ino, mode }).await? {
+    pub fn lock(&self, ino: Ino, mode: LockMode) -> Result<tank_proto::Epoch> {
+        match self.request(RequestBody::LockAcquire { ino, mode })? {
             ReplyBody::LockGranted { epoch, .. } => {
-                self.state.lock().held.insert(ino);
+                self.state.lock().unwrap().held.insert(ino);
                 Ok(epoch)
             }
             _ => Err(NetClientError::Protocol),
@@ -344,20 +464,20 @@ impl TankClient {
     }
 
     /// Release a data lock (the grant to release is named by its epoch).
-    pub async fn release(&self, ino: Ino, epoch: tank_proto::Epoch) -> Result<()> {
-        match self.request(RequestBody::LockRelease { ino, epoch }).await? {
+    pub fn release(&self, ino: Ino, epoch: tank_proto::Epoch) -> Result<()> {
+        match self.request(RequestBody::LockRelease { ino, epoch })? {
             ReplyBody::Ok => {
-                self.state.lock().held.remove(&ino);
+                self.state.lock().unwrap().held.remove(&ino);
                 Ok(())
             }
             _ => Err(NetClientError::Protocol),
         }
     }
 
-    /// Send one explicit keep-alive (normally the background task does
+    /// Send one explicit keep-alive (normally the background thread does
     /// this when the lease machine asks).
-    pub async fn keep_alive(&self) -> Result<()> {
-        match self.request(RequestBody::KeepAlive).await? {
+    pub fn keep_alive(&self) -> Result<()> {
+        match self.request(RequestBody::KeepAlive)? {
             ReplyBody::Ok => Ok(()),
             _ => Err(NetClientError::Protocol),
         }

@@ -3,27 +3,38 @@
 //! The simulator proves the protocol's properties; this crate proves the
 //! protocol is not simulator-bound. The *same* sans-io state machines —
 //! [`tank_core::ClientLease`], [`tank_core::LeaseAuthority`], the lock
-//! manager, session table and metadata store — are driven here by tokio
-//! timers and UDP datagrams instead of virtual time and a virtual network:
+//! manager, session table and metadata store — are driven here by OS
+//! threads, wall-clock timers and UDP datagrams instead of virtual time
+//! and a virtual network:
 //!
 //! * [`LeaseServer`] — a metadata/lock/lease server on a UDP socket
 //!   (`tankd` is its binary form). No SAN exists here, so the data path is
 //!   metadata + locks only and fencing is recorded rather than enforced;
 //!   everything lease-related is the real protocol: opportunistic renewal,
-//!   NACKs for suspect clients, `τ(1+ε)` timers, steal-on-expiry.
-//! * [`TankClient`] — an async client: request/retry with stable sequence
-//!   numbers (at-most-once at the server), implicit lease renewal on every
-//!   acknowledged request, a keep-alive task driven by the lease machine's
-//!   own wakeup schedule, and automatic demand handling.
+//!   NACKs for suspect clients, `τ(1+ε)` timers, steal-on-expiry, and the
+//!   fail-stop recovery grace window (`--recover`): a restarted server
+//!   refuses grants and mutations for `τ(1+ε)` so every lease that might
+//!   have been outstanding at the crash has expired on its holder's clock.
+//! * [`TankClient`] — a synchronous client: request/retry with stable
+//!   sequence numbers (at-most-once at the server) under exponential
+//!   backoff with jitter, implicit lease renewal on every acknowledged
+//!   request, a keep-alive thread driven by the lease machine's own wakeup
+//!   schedule, automatic demand handling, and server-restart detection via
+//!   the incarnation number stamped on every response.
+//! * [`FaultySocket`] — a seeded fault-injection shim (drop / duplicate /
+//!   delay, per direction) both endpoints use as their transport, so the
+//!   retry and dedup machinery is exercised against real datagram loss.
 //!
 //! Timestamps given to the sans-io cores are monotonic nanoseconds from a
 //! process-local epoch ([`mono_now`]), which is exactly the "local clock"
 //! the paper's rate-synchronization assumption speaks about.
 
 pub mod client;
+pub mod fault;
 pub mod server;
 
 pub use client::TankClient;
+pub use fault::{DirFaults, FaultConfig, FaultySocket};
 pub use server::{LeaseServer, ServerHandle};
 
 use std::sync::OnceLock;

@@ -1,22 +1,23 @@
-//! The UDP lease/lock/metadata server.
+//! The UDP lease/lock/metadata server (synchronous, single I/O thread).
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use tank_core::{ClientStanding, LeaseAuthority, LeaseConfig};
 use tank_meta::{MetaError, MetaStore};
 use tank_proto::message::{FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
-    CtlMsg, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request, Response,
-    ServerPush, SessionId, WireDecode, WireEncode,
+    CtlMsg, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request,
+    Response, ServerPush, SessionId, WireDecode, WireEncode,
 };
 use tank_server::lock::{Grant, LockManager, LockRequestOutcome};
 use tank_server::session::{Admission, SessionTable};
-use tokio::net::UdpSocket;
-use tokio::sync::mpsc;
 
+use crate::fault::{FaultConfig, FaultySocket};
 use crate::mono_now;
 
 /// Server tuning knobs.
@@ -25,30 +26,73 @@ pub struct NetServerConfig {
     /// Lease contract.
     pub lease: LeaseConfig,
     /// Push retry interval.
-    pub push_retry: std::time::Duration,
+    pub push_retry: Duration,
     /// Push retry budget before a delivery error is declared.
     pub push_retries: u32,
     /// Post-PushAck release deadline.
-    pub release_timeout: std::time::Duration,
+    pub release_timeout: Duration,
+    /// This server instance's incarnation number, stamped on every
+    /// response. An operator restarting a crashed server must pass a
+    /// larger value than the previous instance used, so clients can
+    /// tell a restart from a long network outage.
+    pub incarnation: u64,
+    /// Start in the recovery grace window: refuse lock grants and
+    /// metadata mutations for `τ(1+ε)` after startup, so every lease
+    /// that might have been outstanding at the crash has expired on its
+    /// holder's own clock (and that holder has quiesced) before any
+    /// conflicting grant can be issued. Set this whenever the bind
+    /// address may have served an earlier incarnation.
+    pub recover: bool,
+    /// Fault injection applied to this server's socket.
+    pub faults: FaultConfig,
 }
 
 impl Default for NetServerConfig {
     fn default() -> Self {
         NetServerConfig {
             lease: LeaseConfig::default(),
-            push_retry: std::time::Duration::from_millis(200),
+            push_retry: Duration::from_millis(200),
             push_retries: 3,
-            release_timeout: std::time::Duration::from_secs(2),
+            release_timeout: Duration::from_secs(2),
+            incarnation: 1,
+            recover: false,
+            faults: FaultConfig::none(),
         }
     }
 }
 
-/// Internal commands multiplexed into the single-threaded server loop.
-enum Cmd {
-    Datagram(SocketAddr, NetMsg),
+/// Timer events multiplexed into the single-threaded server loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerEv {
     PushRetry(u64),
     ReleaseWait(u64),
     LeaseExpiry(NodeId),
+    RecoveryDone,
+}
+
+/// Heap entry ordered so the earliest deadline pops first.
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    ev: TimerEv,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
 }
 
 struct PendingPush {
@@ -67,17 +111,21 @@ pub struct NetServerStats {
     pub requests: u64,
     /// NACKs sent.
     pub nacks: u64,
+    /// Duplicate requests answered from the replay cache (at-most-once
+    /// in action: the request was *not* re-executed).
+    pub replays: u64,
     /// Delivery errors declared.
     pub delivery_errors: u64,
     /// Steals performed.
     pub steals: u64,
+    /// Requests refused because the recovery grace window was open.
+    pub recovery_nacks: u64,
 }
 
 /// The server state, owned by the run loop.
 pub struct LeaseServer {
     cfg: NetServerConfig,
-    sock: Arc<UdpSocket>,
-    tx: mpsc::UnboundedSender<Cmd>,
+    sock: Arc<FaultySocket>,
     meta: MetaStore,
     locks: LockManager,
     authority: LeaseAuthority,
@@ -88,6 +136,10 @@ pub struct LeaseServer {
     next_id: u32,
     pushes: HashMap<u64, PendingPush>,
     next_push: u64,
+    timers: BinaryHeap<TimerEntry>,
+    next_timer: u64,
+    incarnation: Incarnation,
+    recovering: bool,
     stats: NetServerStats,
 }
 
@@ -95,74 +147,148 @@ pub struct LeaseServer {
 pub struct ServerHandle {
     /// The bound address (useful with port 0).
     pub addr: SocketAddr,
-    join: tokio::task::JoinHandle<NetServerStats>,
-    shutdown: mpsc::UnboundedSender<()>,
+    join: std::thread::JoinHandle<NetServerStats>,
+    stop: Arc<AtomicBool>,
 }
 
 impl ServerHandle {
     /// Stop the server and return its final counters.
-    pub async fn stop(self) -> NetServerStats {
-        let _ = self.shutdown.send(());
-        self.join.await.unwrap_or_default()
+    pub fn stop(self) -> NetServerStats {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join.join().unwrap_or_default()
     }
 }
 
 impl LeaseServer {
-    /// Bind `addr` and run the server on a background task.
-    pub async fn spawn(addr: &str, cfg: NetServerConfig) -> std::io::Result<ServerHandle> {
-        let sock = Arc::new(UdpSocket::bind(addr).await?);
+    /// Bind `addr` and run the server on a background thread.
+    pub fn spawn(addr: &str, cfg: NetServerConfig) -> std::io::Result<ServerHandle> {
+        let sock = Arc::new(FaultySocket::bind(addr, cfg.faults)?);
         let bound = sock.local_addr()?;
-        let (tx, rx) = mpsc::unbounded_channel();
-        let (stop_tx, stop_rx) = mpsc::unbounded_channel();
-        let server = LeaseServer {
-            cfg,
-            sock: sock.clone(),
-            tx: tx.clone(),
+        let mut server = LeaseServer {
+            sock,
             meta: MetaStore::new(1 << 16, 4096),
             locks: LockManager::new(),
-            authority: LeaseAuthority::new(LeaseConfig::default()),
+            authority: LeaseAuthority::new(cfg.lease),
             sessions: SessionTable::new(),
             ids: HashMap::new(),
             addrs: HashMap::new(),
             next_id: 1,
             pushes: HashMap::new(),
             next_push: 1,
+            timers: BinaryHeap::new(),
+            next_timer: 1,
+            incarnation: Incarnation(cfg.incarnation),
+            recovering: false,
             stats: NetServerStats::default(),
+            cfg,
         };
-        let mut server = server;
-        server.authority = LeaseAuthority::new(server.cfg.lease);
-        let join = tokio::spawn(server.run(rx, stop_rx));
-        // Receiver task: socket → channel.
-        tokio::spawn(async move {
-            let mut buf = vec![0u8; 64 * 1024];
-            loop {
-                let Ok((n, peer)) = sock.recv_from(&mut buf).await else { break };
-                let mut bytes = Bytes::copy_from_slice(&buf[..n]);
-                if let Ok(msg) = NetMsg::decode(&mut bytes) {
-                    if tx.send(Cmd::Datagram(peer, msg)).is_err() {
-                        break;
-                    }
-                }
-            }
-        });
-        Ok(ServerHandle { addr: bound, join, shutdown: stop_tx })
+        if server.cfg.recover {
+            // Diskless recovery (§6): no lease state survived the crash,
+            // so wait out one full server-side lease period before
+            // granting anything. Every lease that might have been live at
+            // the crash expires on its holder's clock within τ(1+ε) of
+            // the crash — and the crash predates our startup.
+            server.recovering = true;
+            let grace = Duration::from_nanos(server.cfg.lease.server_timeout().0);
+            server.arm(grace, TimerEv::RecoveryDone);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let join = std::thread::spawn(move || server.run(&stop2));
+        Ok(ServerHandle {
+            addr: bound,
+            join,
+            stop,
+        })
     }
 
-    async fn run(
-        mut self,
-        mut rx: mpsc::UnboundedReceiver<Cmd>,
-        mut stop: mpsc::UnboundedReceiver<()>,
-    ) -> NetServerStats {
-        loop {
-            tokio::select! {
-                cmd = rx.recv() => match cmd {
-                    Some(cmd) => self.handle(cmd).await,
-                    None => break,
-                },
-                _ = stop.recv() => break,
+    fn run(mut self, stop: &AtomicBool) -> NetServerStats {
+        let mut buf = vec![0u8; 64 * 1024];
+        while !stop.load(Ordering::SeqCst) {
+            self.fire_due_timers();
+            let wait = self
+                .timers
+                .peek()
+                .map(|t| t.at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(10))
+                .clamp(Duration::from_millis(1), Duration::from_millis(10));
+            let _ = self.sock.set_read_timeout(Some(wait));
+            match self.sock.recv_from(&mut buf) {
+                Ok((n, peer)) => {
+                    let mut bytes = Bytes::copy_from_slice(&buf[..n]);
+                    if let Ok(NetMsg::Ctl(CtlMsg::Request(req))) = NetMsg::decode(&mut bytes) {
+                        self.on_request(peer, req);
+                    }
+                }
+                Err(_) => continue, // timeout or transient error
             }
         }
         self.stats
+    }
+
+    fn arm(&mut self, after: Duration, ev: TimerEv) {
+        let seq = self.next_timer;
+        self.next_timer += 1;
+        self.timers.push(TimerEntry {
+            at: Instant::now() + after,
+            seq,
+            ev,
+        });
+    }
+
+    fn fire_due_timers(&mut self) {
+        loop {
+            match self.timers.peek() {
+                Some(t) if t.at <= Instant::now() => {}
+                _ => break,
+            }
+            let ev = self.timers.pop().expect("peeked").ev;
+            self.on_timer(ev);
+        }
+    }
+
+    fn on_timer(&mut self, ev: TimerEv) {
+        match ev {
+            TimerEv::PushRetry(push_seq) => {
+                let Some(p) = self.pushes.get_mut(&push_seq) else {
+                    return;
+                };
+                if p.acked {
+                    return;
+                }
+                if p.retries_left == 0 {
+                    let dst = p.dst;
+                    self.delivery_error(dst);
+                } else {
+                    p.retries_left -= 1;
+                    self.send_push(push_seq);
+                }
+            }
+            TimerEv::ReleaseWait(push_seq) => {
+                if let Some(p) = self.pushes.remove(&push_seq) {
+                    let still_held = match &p.body {
+                        PushBody::Demand { ino, epoch, .. } => {
+                            self.locks.holding_epoch(p.dst, *ino) == Some(*epoch)
+                        }
+                        _ => false,
+                    };
+                    if still_held {
+                        self.delivery_error(p.dst);
+                    }
+                }
+            }
+            TimerEv::LeaseExpiry(client) => {
+                if self.authority.on_timer(client, mono_now()) {
+                    // No SAN here: fencing is a no-op; steal directly.
+                    self.stats.steals += 1;
+                    let (_stolen, grants) = self.locks.steal_all(client);
+                    self.deliver_grants(grants);
+                }
+            }
+            TimerEv::RecoveryDone => {
+                self.recovering = false;
+            }
+        }
     }
 
     fn node_of(&mut self, addr: SocketAddr) -> NodeId {
@@ -176,12 +302,12 @@ impl LeaseServer {
         id
     }
 
-    async fn send(&self, addr: SocketAddr, msg: &NetMsg) {
+    fn send(&self, addr: SocketAddr, msg: &NetMsg) {
         let bytes = msg.encoded();
-        let _ = self.sock.send_to(&bytes, addr).await;
+        let _ = self.sock.send_to(&bytes, addr);
     }
 
-    async fn respond(
+    fn respond(
         &mut self,
         addr: SocketAddr,
         client: NodeId,
@@ -189,56 +315,37 @@ impl LeaseServer {
         seq: ReqSeq,
         outcome: ResponseOutcome,
     ) {
-        let resp = Response { dst: client, session, seq, outcome };
+        let resp = Response {
+            dst: client,
+            session,
+            seq,
+            incarnation: self.incarnation,
+            outcome,
+        };
         if resp.is_ack() {
             self.sessions.record_response(client, seq, resp.clone());
         } else {
             self.stats.nacks += 1;
         }
-        self.send(addr, &NetMsg::Ctl(CtlMsg::Response(resp))).await;
+        self.send(addr, &NetMsg::Ctl(CtlMsg::Response(resp)));
     }
 
-    async fn handle(&mut self, cmd: Cmd) {
-        match cmd {
-            Cmd::Datagram(addr, NetMsg::Ctl(CtlMsg::Request(req))) => {
-                self.on_request(addr, req).await;
-            }
-            Cmd::Datagram(..) => {}
-            Cmd::PushRetry(push_seq) => {
-                let Some(p) = self.pushes.get_mut(&push_seq) else { return };
-                if p.acked {
-                    return;
-                }
-                if p.retries_left == 0 {
-                    let dst = p.dst;
-                    self.delivery_error(dst);
-                } else {
-                    p.retries_left -= 1;
-                    self.send_push(push_seq).await;
-                }
-            }
-            Cmd::ReleaseWait(push_seq) => {
-                if let Some(p) = self.pushes.remove(&push_seq) {
-                    let still_held = match &p.body {
-                        PushBody::Demand { ino, epoch, .. } => {
-                            self.locks.holding_epoch(p.dst, *ino) == Some(*epoch)
-                        }
-                        _ => false,
-                    };
-                    if still_held {
-                        self.delivery_error(p.dst);
-                    }
-                }
-            }
-            Cmd::LeaseExpiry(client) => {
-                if self.authority.on_timer(client, mono_now()) {
-                    // No SAN here: fencing is a no-op; steal directly.
-                    self.stats.steals += 1;
-                    let (_stolen, grants) = self.locks.steal_all(client);
-                    self.deliver_grants(grants).await;
-                }
-            }
-        }
+    /// Requests that need the server's full authority: lock grants and
+    /// metadata mutations. These are refused during the recovery grace
+    /// window; everything else (Hello, KeepAlive, reads, releases,
+    /// PushAcks) is served so surviving clients can wind down cleanly.
+    fn needs_full_service(body: &RequestBody) -> bool {
+        matches!(
+            body,
+            RequestBody::LockAcquire { .. }
+                | RequestBody::Create { .. }
+                | RequestBody::Mkdir { .. }
+                | RequestBody::Unlink { .. }
+                | RequestBody::SetAttr { .. }
+                | RequestBody::AllocBlocks { .. }
+                | RequestBody::CommitWrite { .. }
+                | RequestBody::WriteData { .. }
+        )
     }
 
     fn delivery_error(&mut self, client: NodeId) {
@@ -253,17 +360,15 @@ impl LeaseServer {
             self.pushes.remove(&k);
         }
         if let Some(fires_at) = self.authority.on_delivery_error(client, mono_now()) {
-            let delay = std::time::Duration::from_nanos(fires_at.0.saturating_sub(mono_now().0));
-            let tx = self.tx.clone();
-            tokio::spawn(async move {
-                tokio::time::sleep(delay).await;
-                let _ = tx.send(Cmd::LeaseExpiry(client));
-            });
+            let delay = Duration::from_nanos(fires_at.0.saturating_sub(mono_now().0));
+            self.arm(delay, TimerEv::LeaseExpiry(client));
         }
     }
 
-    async fn send_push(&mut self, push_seq: u64) {
-        let Some(p) = self.pushes.get(&push_seq) else { return };
+    fn send_push(&mut self, push_seq: u64) {
+        let Some(p) = self.pushes.get(&push_seq) else {
+            return;
+        };
         let msg = NetMsg::Ctl(CtlMsg::Push(ServerPush {
             dst: p.dst,
             session: p.session,
@@ -271,25 +376,20 @@ impl LeaseServer {
             body: p.body.clone(),
         }));
         let addr = p.addr;
-        self.send(addr, &msg).await;
-        let tx = self.tx.clone();
+        self.send(addr, &msg);
         let delay = self.cfg.push_retry;
-        tokio::spawn(async move {
-            tokio::time::sleep(delay).await;
-            let _ = tx.send(Cmd::PushRetry(push_seq));
-        });
+        self.arm(delay, TimerEv::PushRetry(push_seq));
     }
 
     /// Returns grants unblocked when the holder had no live session.
-    async fn start_demand(&mut self, holder: NodeId, ino: Ino, mode_needed: LockMode) -> Vec<Grant> {
+    fn start_demand(&mut self, holder: NodeId, ino: Ino, mode_needed: LockMode) -> Vec<Grant> {
         let dup = self.pushes.values().any(|p| {
             p.dst == holder && matches!(p.body, PushBody::Demand { ino: i, .. } if i == ino)
         });
         if dup {
             return Vec::new();
         }
-        let (Some(session), Some(&addr)) =
-            (self.sessions.current(holder), self.addrs.get(&holder))
+        let (Some(session), Some(&addr)) = (self.sessions.current(holder), self.addrs.get(&holder))
         else {
             return self.locks.release(holder, ino, None);
         };
@@ -304,16 +404,20 @@ impl LeaseServer {
                 addr,
                 dst: holder,
                 session,
-                body: PushBody::Demand { ino, mode_needed, epoch },
+                body: PushBody::Demand {
+                    ino,
+                    mode_needed,
+                    epoch,
+                },
                 retries_left: self.cfg.push_retries,
                 acked: false,
             },
         );
-        self.send_push(push_seq).await;
+        self.send_push(push_seq);
         Vec::new()
     }
 
-    async fn deliver_grants(&mut self, grants: Vec<Grant>) {
+    fn deliver_grants(&mut self, grants: Vec<Grant>) {
         let mut queue: std::collections::VecDeque<Grant> = grants.into();
         while !queue.is_empty() {
             let mut touched: Vec<Ino> = Vec::new();
@@ -323,27 +427,28 @@ impl LeaseServer {
             touched.dedup();
             for g in batch {
                 if let Some((session, seq)) = g.answers {
-                let Some(&addr) = self.addrs.get(&g.client) else { continue };
-                let (blocks, size) = self.meta.file_extent(g.ino).unwrap_or((Vec::new(), 0));
-                self.respond(
-                    addr,
-                    g.client,
-                    session,
-                    seq,
-                    ResponseOutcome::Acked(Ok(ReplyBody::LockGranted {
-                        ino: g.ino,
-                        mode: g.mode,
-                        epoch: g.epoch,
-                        blocks,
-                        size,
-                    })),
-                )
-                .await;
+                    let Some(&addr) = self.addrs.get(&g.client) else {
+                        continue;
+                    };
+                    let (blocks, size) = self.meta.file_extent(g.ino).unwrap_or((Vec::new(), 0));
+                    self.respond(
+                        addr,
+                        g.client,
+                        session,
+                        seq,
+                        ResponseOutcome::Acked(Ok(ReplyBody::LockGranted {
+                            ino: g.ino,
+                            mode: g.mode,
+                            epoch: g.epoch,
+                            blocks,
+                            size,
+                        })),
+                    );
                 }
             }
             for ino in touched {
                 for (holder, mode) in self.locks.pending_demands(ino) {
-                    let more = self.start_demand(holder, ino, mode).await;
+                    let more = self.start_demand(holder, ino, mode);
                     queue.extend(more);
                 }
             }
@@ -359,58 +464,78 @@ impl LeaseServer {
         })
     }
 
-    async fn on_request(&mut self, addr: SocketAddr, req: Request) {
+    fn on_request(&mut self, addr: SocketAddr, req: Request) {
         let client = self.node_of(addr);
+        // The recovery gate comes first: while the grace window is open
+        // nothing may be granted or mutated, no matter how fresh the
+        // session looks. The NACK does not condemn the client's cache —
+        // it means "retry after a delay".
+        if self.recovering && Self::needs_full_service(&req.body) {
+            self.stats.recovery_nacks += 1;
+            return self.respond(
+                addr,
+                client,
+                req.session,
+                req.seq,
+                ResponseOutcome::Nacked(NackReason::Recovering),
+            );
+        }
         match self.authority.standing_of(client) {
             ClientStanding::Good => {}
             ClientStanding::Suspect { .. } => {
-                return self
-                    .respond(
+                return self.respond(
+                    addr,
+                    client,
+                    req.session,
+                    req.seq,
+                    ResponseOutcome::Nacked(NackReason::LeaseTimingOut),
+                );
+            }
+            ClientStanding::Expired => {
+                if !matches!(req.body, RequestBody::Hello) {
+                    return self.respond(
                         addr,
                         client,
                         req.session,
                         req.seq,
-                        ResponseOutcome::Nacked(NackReason::LeaseTimingOut),
-                    )
-                    .await;
-            }
-            ClientStanding::Expired => {
-                if !matches!(req.body, RequestBody::Hello) {
-                    return self
-                        .respond(
-                            addr,
-                            client,
-                            req.session,
-                            req.seq,
-                            ResponseOutcome::Nacked(NackReason::SessionExpired),
-                        )
-                        .await;
+                        ResponseOutcome::Nacked(NackReason::SessionExpired),
+                    );
                 }
             }
         }
         if matches!(req.body, RequestBody::Hello) {
+            // Hello sits outside the session dedup window; duplicates
+            // are suppressed by (client, seq) so a replayed datagram
+            // cannot mint a second session and orphan the first.
+            if let Some(resp) = self.sessions.hello_replay(client, req.seq) {
+                self.stats.replays += 1;
+                self.send(addr, &NetMsg::Ctl(CtlMsg::Response(resp)));
+                return;
+            }
             self.stats.requests += 1;
             let (_stolen, grants) = self.locks.steal_all(client);
-            self.deliver_grants(grants).await;
+            self.deliver_grants(grants);
             self.authority.on_new_session(client);
             let session = self.sessions.begin(client);
-            return self
-                .respond(
-                    addr,
-                    client,
-                    session,
-                    req.seq,
-                    ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session })),
-                )
-                .await;
+            let resp = Response {
+                dst: client,
+                session,
+                seq: req.seq,
+                incarnation: self.incarnation,
+                outcome: ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session })),
+            };
+            self.sessions.record_hello(client, req.seq, resp.clone());
+            self.send(addr, &NetMsg::Ctl(CtlMsg::Response(resp)));
+            return;
         }
         match self.sessions.admit(client, req.session, req.seq) {
             Admission::Execute => {
                 self.stats.requests += 1;
-                self.execute(addr, client, req).await;
+                self.execute(addr, client, req);
             }
             Admission::Replay(resp) => {
-                self.send(addr, &NetMsg::Ctl(CtlMsg::Response(*resp))).await;
+                self.stats.replays += 1;
+                self.send(addr, &NetMsg::Ctl(CtlMsg::Response(*resp)));
             }
             Admission::InProgress => {}
             Admission::WrongSession => {
@@ -420,13 +545,12 @@ impl LeaseServer {
                     req.session,
                     req.seq,
                     ResponseOutcome::Nacked(NackReason::StaleSession),
-                )
-                .await;
+                );
             }
         }
     }
 
-    async fn execute(&mut self, addr: SocketAddr, client: NodeId, req: Request) {
+    fn execute(&mut self, addr: SocketAddr, client: NodeId, req: Request) {
         let now = mono_now().0;
         let session = req.session;
         let seq = req.seq;
@@ -434,28 +558,27 @@ impl LeaseServer {
             RequestBody::Hello => unreachable!(),
             RequestBody::KeepAlive => Ok(ReplyBody::Ok),
             RequestBody::Create { parent, name } => {
-                Self::map_meta(self.meta.create(parent, &name, now)).map(|ino| ReplyBody::Created { ino })
+                Self::map_meta(self.meta.create(parent, &name, now))
+                    .map(|ino| ReplyBody::Created { ino })
             }
             RequestBody::Mkdir { parent, name } => {
-                Self::map_meta(self.meta.mkdir(parent, &name, now)).map(|ino| ReplyBody::Created { ino })
+                Self::map_meta(self.meta.mkdir(parent, &name, now))
+                    .map(|ino| ReplyBody::Created { ino })
             }
             RequestBody::Lookup { parent, name } => Self::map_meta(self.meta.lookup(parent, &name))
                 .map(|(ino, attr)| ReplyBody::Resolved { ino, attr }),
             RequestBody::ReadDir { dir } => {
                 Self::map_meta(self.meta.readdir(dir)).map(|entries| ReplyBody::Dir { entries })
             }
-            RequestBody::Unlink { parent, name } => {
-                match self.meta.lookup(parent, &name) {
-                    Ok((ino, _)) if self.locks.is_contended(ino) => Err(FsError::Unavailable),
-                    _ => Self::map_meta(self.meta.unlink(parent, &name)).map(|_| ReplyBody::Ok),
-                }
-            }
+            RequestBody::Unlink { parent, name } => match self.meta.lookup(parent, &name) {
+                Ok((ino, _)) if self.locks.is_contended(ino) => Err(FsError::Unavailable),
+                _ => Self::map_meta(self.meta.unlink(parent, &name)).map(|_| ReplyBody::Ok),
+            },
             RequestBody::GetAttr { ino } => {
                 Self::map_meta(self.meta.getattr(ino)).map(|attr| ReplyBody::Attr { attr })
             }
-            RequestBody::SetAttr { ino, size } => {
-                Self::map_meta(self.meta.setattr(ino, size, now)).map(|attr| ReplyBody::Attr { attr })
-            }
+            RequestBody::SetAttr { ino, size } => Self::map_meta(self.meta.setattr(ino, size, now))
+                .map(|attr| ReplyBody::Attr { attr }),
             RequestBody::LockAcquire { ino, mode } => {
                 if let Err(e) = Self::map_meta(self.meta.getattr(ino)) {
                     Err(e)
@@ -464,19 +587,31 @@ impl LeaseServer {
                         LockRequestOutcome::Granted(g) => {
                             let (blocks, size) =
                                 self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
-                            Ok(ReplyBody::LockGranted { ino, mode, epoch: g.epoch, blocks, size })
+                            Ok(ReplyBody::LockGranted {
+                                ino,
+                                mode,
+                                epoch: g.epoch,
+                                blocks,
+                                size,
+                            })
                         }
                         LockRequestOutcome::AlreadyHeld(epoch, held) => {
                             let (blocks, size) =
                                 self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
-                            Ok(ReplyBody::LockGranted { ino, mode: held, epoch, blocks, size })
+                            Ok(ReplyBody::LockGranted {
+                                ino,
+                                mode: held,
+                                epoch,
+                                blocks,
+                                size,
+                            })
                         }
                         LockRequestOutcome::Queued { demand_from } => {
                             let mut grants = Vec::new();
                             for holder in demand_from {
-                                grants.extend(self.start_demand(holder, ino, mode).await);
+                                grants.extend(self.start_demand(holder, ino, mode));
                             }
-                            self.deliver_grants(grants).await;
+                            self.deliver_grants(grants);
                             return; // grant answers later
                         }
                     }
@@ -496,20 +631,20 @@ impl LeaseServer {
                 for k in done {
                     self.pushes.remove(&k);
                 }
-                self.deliver_grants(grants).await;
+                self.deliver_grants(grants);
                 Ok(ReplyBody::Ok)
             }
             RequestBody::PushAck { push_seq } => {
+                let mut arm_release = false;
                 if let Some(p) = self.pushes.get_mut(&push_seq) {
                     if !p.acked {
                         p.acked = true;
-                        let tx = self.tx.clone();
-                        let delay = self.cfg.release_timeout;
-                        tokio::spawn(async move {
-                            tokio::time::sleep(delay).await;
-                            let _ = tx.send(Cmd::ReleaseWait(push_seq));
-                        });
+                        arm_release = true;
                     }
+                }
+                if arm_release {
+                    let delay = self.cfg.release_timeout;
+                    self.arm(delay, TimerEv::ReleaseWait(push_seq));
                 }
                 Ok(ReplyBody::Ok)
             }
@@ -525,7 +660,8 @@ impl LeaseServer {
                 if !self.locks.holds(client, ino, LockMode::Exclusive) {
                     Err(FsError::NotLocked)
                 } else {
-                    Self::map_meta(self.meta.commit_write(ino, new_size, now)).map(|_| ReplyBody::Ok)
+                    Self::map_meta(self.meta.commit_write(ino, new_size, now))
+                        .map(|_| ReplyBody::Ok)
                 }
             }
             RequestBody::ReadData { .. } | RequestBody::WriteData { .. } => {
@@ -533,6 +669,6 @@ impl LeaseServer {
                 Err(FsError::Invalid)
             }
         };
-        self.respond(addr, client, session, seq, ResponseOutcome::Acked(result)).await;
+        self.respond(addr, client, session, seq, ResponseOutcome::Acked(result));
     }
 }

@@ -85,6 +85,34 @@ impl SessionId {
     }
 }
 
+/// A server incarnation number, bumped each time the metadata server
+/// restarts after a fail-stop crash.
+///
+/// The server stamps its incarnation on every [`crate::Response`], so a
+/// client can detect a restart (the incarnation it sees changes) even
+/// though the server keeps no durable session state: the client then
+/// discards its dead session, flushes what its still-valid lease lets it
+/// flush, and re-registers with `Hello`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Incarnation(pub u64);
+
+impl Incarnation {
+    /// The next incarnation (used by a restarting server).
+    #[inline]
+    pub fn next(self) -> Incarnation {
+        Incarnation(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Incarnation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inc{}", self.0)
+    }
+}
+
 /// A lock epoch: a server-issued, per-inode monotonically increasing counter
 /// stamped on every lock grant.
 ///
@@ -153,8 +181,16 @@ mod tests {
 
     #[test]
     fn write_tag_ordering_prefers_epoch() {
-        let a = WriteTag { writer: NodeId(1), epoch: Epoch(1), wseq: 99 };
-        let b = WriteTag { writer: NodeId(2), epoch: Epoch(2), wseq: 0 };
+        let a = WriteTag {
+            writer: NodeId(1),
+            epoch: Epoch(1),
+            wseq: 99,
+        };
+        let b = WriteTag {
+            writer: NodeId(2),
+            epoch: Epoch(2),
+            wseq: 0,
+        };
         assert!(a.order_key() < b.order_key());
     }
 

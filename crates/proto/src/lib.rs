@@ -28,7 +28,9 @@ pub mod san;
 pub mod seqwin;
 pub mod wire;
 
-pub use ids::{BlockId, Epoch, FileHandle, Ino, NodeId, OpId, ReqSeq, SessionId, WriteTag};
+pub use ids::{
+    BlockId, Epoch, FileHandle, Incarnation, Ino, NodeId, OpId, ReqSeq, SessionId, WriteTag,
+};
 pub use lock::LockMode;
 pub use message::{
     CtlMsg, NackReason, PushBody, ReplyBody, Request, RequestBody, Response, ServerPush,

@@ -19,7 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::ids::{BlockId, Epoch, Ino, NodeId, ReqSeq, SessionId};
+use crate::ids::{BlockId, Epoch, Incarnation, Ino, NodeId, ReqSeq, SessionId};
 use crate::lock::LockMode;
 
 /// A message on the control network.
@@ -90,7 +90,11 @@ pub enum RequestBody {
     /// Function-shipped read (baseline data path: server performs the I/O).
     ReadData { ino: Ino, offset: u64, len: u32 },
     /// Function-shipped write.
-    WriteData { ino: Ino, offset: u64, data: Vec<u8> },
+    WriteData {
+        ino: Ino,
+        offset: u64,
+        data: Vec<u8>,
+    },
 }
 
 impl RequestBody {
@@ -200,6 +204,14 @@ pub enum NackReason {
     SessionExpired,
     /// Sequence/session mismatch (stale duplicate from an old incarnation).
     StaleSession,
+    /// The server recently restarted and is inside its recovery grace
+    /// window: it cannot grant locks or mutate metadata until every lease
+    /// that might have been outstanding at the crash has expired, because
+    /// its volatile lock state is gone and granting early could conflict
+    /// with a surviving holder. Unlike the other NACKs this one does *not*
+    /// condemn the client's cache — the client's lease (and its SAN access)
+    /// is still good; it should re-register and retry after a delay.
+    Recovering,
 }
 
 /// Outcome carried by a [`Response`].
@@ -222,6 +234,11 @@ pub struct Response {
     /// Echo of the request's sequence number; the client uses it to find the
     /// send timestamp `t_C1` from which the renewed lease runs (§3.1).
     pub seq: ReqSeq,
+    /// The server incarnation that produced this response. A client that
+    /// observes a different incarnation than the one its session was
+    /// established under knows the server restarted (fail-stop) and its
+    /// session/lock state is gone: it must quiesce, flush, and re-`Hello`.
+    pub incarnation: Incarnation,
     /// ACK or NACK.
     pub outcome: ResponseOutcome,
 }
@@ -242,7 +259,11 @@ pub enum PushBody {
     /// first, then releases. `epoch` names the holding being demanded, so
     /// a client that holds nothing can answer with an epoch-qualified
     /// release that cannot hurt a newer grant.
-    Demand { ino: Ino, mode_needed: LockMode, epoch: Epoch },
+    Demand {
+        ino: Ino,
+        mode_needed: LockMode,
+        epoch: Epoch,
+    },
     /// Invalidate any cached data/attributes for `ino` (metadata changed).
     Invalidate { ino: Ino },
 }
@@ -289,7 +310,10 @@ impl CtlMsg {
     pub fn is_lease_overhead(&self) -> bool {
         matches!(
             self,
-            CtlMsg::Request(Request { body: RequestBody::KeepAlive, .. })
+            CtlMsg::Request(Request {
+                body: RequestBody::KeepAlive,
+                ..
+            })
         )
     }
 
@@ -340,6 +364,7 @@ mod tests {
             dst: NodeId(3),
             session: SessionId(1),
             seq: ReqSeq(9),
+            incarnation: Incarnation(1),
             outcome: ResponseOutcome::Acked(Err(FsError::NotFound)),
         };
         assert!(resp.is_ack(), "application errors are still protocol ACKs");
@@ -351,6 +376,7 @@ mod tests {
             dst: NodeId(3),
             session: SessionId(1),
             seq: ReqSeq(9),
+            incarnation: Incarnation(1),
             outcome: ResponseOutcome::Nacked(NackReason::LeaseTimingOut),
         };
         assert!(!resp.is_ack());
@@ -382,7 +408,11 @@ mod tests {
             dst: NodeId(1),
             session: SessionId(0),
             push_seq: 1,
-            body: PushBody::Demand { ino: Ino(5), mode_needed: LockMode::Exclusive, epoch: crate::ids::Epoch(1) },
+            body: PushBody::Demand {
+                ino: Ino(5),
+                mode_needed: LockMode::Exclusive,
+                epoch: crate::ids::Epoch(1),
+            },
         });
         assert_eq!(push.kind(), "demand");
     }

@@ -141,7 +141,11 @@ mod tests {
             req_id: 1,
             block: BlockId(0),
             data: vec![7u8; 512],
-            tag: WriteTag { writer: NodeId(1), epoch: Epoch(1), wseq: 0 },
+            tag: WriteTag {
+                writer: NodeId(1),
+                epoch: Epoch(1),
+                wseq: 0,
+            },
         };
         assert!(w.size_hint() >= 512);
         assert_eq!(w.kind(), "san_write");
@@ -149,7 +153,11 @@ mod tests {
 
     #[test]
     fn fence_roundtrip_labels() {
-        let f = SanMsg::FenceCmd { req_id: 9, target: NodeId(2), op: FenceOp::Fence };
+        let f = SanMsg::FenceCmd {
+            req_id: 9,
+            target: NodeId(2),
+            op: FenceOp::Fence,
+        };
         assert_eq!(f.kind(), "san_fence");
         let r = SanMsg::FenceResp { req_id: 9 };
         assert_eq!(r.kind(), "san_fence_resp");

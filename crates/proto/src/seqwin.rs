@@ -44,7 +44,11 @@ impl DedupWindow {
     /// Create a window that keeps at most `max_span` entries of reorder
     /// history (0 = unbounded).
     pub fn with_span(max_span: u64) -> Self {
-        DedupWindow { low: 0, seen: BTreeSet::new(), max_span }
+        DedupWindow {
+            low: 0,
+            seen: BTreeSet::new(),
+            max_span,
+        }
     }
 
     /// Classify and record an incoming sequence number.
@@ -52,7 +56,11 @@ impl DedupWindow {
         let s = seq.0;
         if s == 0 || s <= self.low {
             // Seq numbers start at 1; 0 is never valid.
-            return if s == 0 { SeqVerdict::Stale } else { SeqVerdict::Duplicate };
+            return if s == 0 {
+                SeqVerdict::Stale
+            } else {
+                SeqVerdict::Duplicate
+            };
         }
         if self.seen.contains(&s) {
             return SeqVerdict::Duplicate;

@@ -9,13 +9,13 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::ids::{BlockId, Epoch, Ino, NodeId, ReqSeq, SessionId, WriteTag};
+use crate::ids::{BlockId, Epoch, Incarnation, Ino, NodeId, ReqSeq, SessionId, WriteTag};
 use crate::lock::LockMode;
 use crate::message::{
     CtlMsg, FileAttr, FsError, NackReason, PushBody, ReplyBody, Request, RequestBody, Response,
     ResponseOutcome, ServerPush,
 };
-use crate::san::{FenceOp, SanMsg, SanError, SanReadOk};
+use crate::san::{FenceOp, SanError, SanMsg, SanReadOk};
 use crate::NetMsg;
 
 /// Errors produced while decoding.
@@ -174,7 +174,10 @@ fn get_mode(buf: &mut Bytes) -> Result<LockMode, WireError> {
     match get_u8(buf)? {
         0 => Ok(LockMode::SharedRead),
         1 => Ok(LockMode::Exclusive),
-        t => Err(WireError::BadTag { what: "LockMode", tag: t }),
+        t => Err(WireError::BadTag {
+            what: "LockMode",
+            tag: t,
+        }),
     }
 }
 
@@ -285,22 +288,56 @@ impl WireDecode for RequestBody {
         Ok(match get_u8(buf)? {
             0 => RequestBody::Hello,
             1 => RequestBody::KeepAlive,
-            2 => RequestBody::Create { parent: Ino(get_u64(buf)?), name: get_str(buf)? },
-            3 => RequestBody::Lookup { parent: Ino(get_u64(buf)?), name: get_str(buf)? },
-            4 => RequestBody::Mkdir { parent: Ino(get_u64(buf)?), name: get_str(buf)? },
-            5 => RequestBody::ReadDir { dir: Ino(get_u64(buf)?) },
-            6 => RequestBody::Unlink { parent: Ino(get_u64(buf)?), name: get_str(buf)? },
-            7 => RequestBody::GetAttr { ino: Ino(get_u64(buf)?) },
+            2 => RequestBody::Create {
+                parent: Ino(get_u64(buf)?),
+                name: get_str(buf)?,
+            },
+            3 => RequestBody::Lookup {
+                parent: Ino(get_u64(buf)?),
+                name: get_str(buf)?,
+            },
+            4 => RequestBody::Mkdir {
+                parent: Ino(get_u64(buf)?),
+                name: get_str(buf)?,
+            },
+            5 => RequestBody::ReadDir {
+                dir: Ino(get_u64(buf)?),
+            },
+            6 => RequestBody::Unlink {
+                parent: Ino(get_u64(buf)?),
+                name: get_str(buf)?,
+            },
+            7 => RequestBody::GetAttr {
+                ino: Ino(get_u64(buf)?),
+            },
             8 => {
                 let ino = Ino(get_u64(buf)?);
-                let size = if get_u8(buf)? != 0 { Some(get_u64(buf)?) } else { None };
+                let size = if get_u8(buf)? != 0 {
+                    Some(get_u64(buf)?)
+                } else {
+                    None
+                };
                 RequestBody::SetAttr { ino, size }
             }
-            9 => RequestBody::LockAcquire { ino: Ino(get_u64(buf)?), mode: get_mode(buf)? },
-            10 => RequestBody::LockRelease { ino: Ino(get_u64(buf)?), epoch: Epoch(get_u64(buf)?) },
-            11 => RequestBody::PushAck { push_seq: get_u64(buf)? },
-            12 => RequestBody::AllocBlocks { ino: Ino(get_u64(buf)?), count: get_u32(buf)? },
-            13 => RequestBody::CommitWrite { ino: Ino(get_u64(buf)?), new_size: get_u64(buf)? },
+            9 => RequestBody::LockAcquire {
+                ino: Ino(get_u64(buf)?),
+                mode: get_mode(buf)?,
+            },
+            10 => RequestBody::LockRelease {
+                ino: Ino(get_u64(buf)?),
+                epoch: Epoch(get_u64(buf)?),
+            },
+            11 => RequestBody::PushAck {
+                push_seq: get_u64(buf)?,
+            },
+            12 => RequestBody::AllocBlocks {
+                ino: Ino(get_u64(buf)?),
+                count: get_u32(buf)?,
+            },
+            13 => RequestBody::CommitWrite {
+                ino: Ino(get_u64(buf)?),
+                new_size: get_u64(buf)?,
+            },
             14 => RequestBody::ReadData {
                 ino: Ino(get_u64(buf)?),
                 offset: get_u64(buf)?,
@@ -311,7 +348,12 @@ impl WireDecode for RequestBody {
                 offset: get_u64(buf)?,
                 data: get_bytes(buf)?,
             },
-            t => return Err(WireError::BadTag { what: "RequestBody", tag: t }),
+            t => {
+                return Err(WireError::BadTag {
+                    what: "RequestBody",
+                    tag: t,
+                })
+            }
         })
     }
 }
@@ -347,7 +389,13 @@ impl WireEncode for ReplyBody {
                     buf.put_u64_le(ino.0);
                 }
             }
-            ReplyBody::LockGranted { ino, mode, epoch, blocks, size } => {
+            ReplyBody::LockGranted {
+                ino,
+                mode,
+                epoch,
+                blocks,
+                size,
+            } => {
                 buf.put_u8(6);
                 buf.put_u64_le(ino.0);
                 put_mode(buf, *mode);
@@ -370,11 +418,20 @@ impl WireEncode for ReplyBody {
 impl WireDecode for ReplyBody {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(match get_u8(buf)? {
-            0 => ReplyBody::HelloOk { session: SessionId(get_u64(buf)?) },
+            0 => ReplyBody::HelloOk {
+                session: SessionId(get_u64(buf)?),
+            },
             1 => ReplyBody::Ok,
-            2 => ReplyBody::Created { ino: Ino(get_u64(buf)?) },
-            3 => ReplyBody::Resolved { ino: Ino(get_u64(buf)?), attr: get_attr(buf)? },
-            4 => ReplyBody::Attr { attr: get_attr(buf)? },
+            2 => ReplyBody::Created {
+                ino: Ino(get_u64(buf)?),
+            },
+            3 => ReplyBody::Resolved {
+                ino: Ino(get_u64(buf)?),
+                attr: get_attr(buf)?,
+            },
+            4 => ReplyBody::Attr {
+                attr: get_attr(buf)?,
+            },
             5 => {
                 let n = get_u32(buf)? as usize;
                 if n > MAX_ELEMS {
@@ -394,9 +451,18 @@ impl WireDecode for ReplyBody {
                 blocks: get_blocks(buf)?,
                 size: get_u64(buf)?,
             },
-            7 => ReplyBody::Allocated { blocks: get_blocks(buf)? },
-            8 => ReplyBody::Data { data: get_bytes(buf)? },
-            t => return Err(WireError::BadTag { what: "ReplyBody", tag: t }),
+            7 => ReplyBody::Allocated {
+                blocks: get_blocks(buf)?,
+            },
+            8 => ReplyBody::Data {
+                data: get_bytes(buf)?,
+            },
+            t => {
+                return Err(WireError::BadTag {
+                    what: "ReplyBody",
+                    tag: t,
+                })
+            }
         })
     }
 }
@@ -422,7 +488,12 @@ fn fs_error_from(tag: u8) -> Result<FsError, WireError> {
         3 => FsError::NotLocked,
         4 => FsError::Invalid,
         5 => FsError::Unavailable,
-        t => return Err(WireError::BadTag { what: "FsError", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "FsError",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -431,6 +502,7 @@ fn nack_tag(n: NackReason) -> u8 {
         NackReason::LeaseTimingOut => 0,
         NackReason::SessionExpired => 1,
         NackReason::StaleSession => 2,
+        NackReason::Recovering => 3,
     }
 }
 
@@ -439,7 +511,13 @@ fn nack_from(tag: u8) -> Result<NackReason, WireError> {
         0 => NackReason::LeaseTimingOut,
         1 => NackReason::SessionExpired,
         2 => NackReason::StaleSession,
-        t => return Err(WireError::BadTag { what: "NackReason", tag: t }),
+        3 => NackReason::Recovering,
+        t => {
+            return Err(WireError::BadTag {
+                what: "NackReason",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -460,6 +538,7 @@ impl WireEncode for CtlMsg {
                 buf.put_u32_le(r.dst.0);
                 buf.put_u64_le(r.session.0);
                 buf.put_u64_le(r.seq.0);
+                buf.put_u64_le(r.incarnation.0);
                 match &r.outcome {
                     ResponseOutcome::Acked(Ok(body)) => {
                         buf.put_u8(0);
@@ -481,7 +560,11 @@ impl WireEncode for CtlMsg {
                 buf.put_u64_le(p.session.0);
                 buf.put_u64_le(p.push_seq);
                 match &p.body {
-                    PushBody::Demand { ino, mode_needed, epoch } => {
+                    PushBody::Demand {
+                        ino,
+                        mode_needed,
+                        epoch,
+                    } => {
                         buf.put_u8(0);
                         buf.put_u64_le(ino.0);
                         put_mode(buf, *mode_needed);
@@ -510,13 +593,25 @@ impl WireDecode for CtlMsg {
                 let dst = NodeId(get_u32(buf)?);
                 let session = SessionId(get_u64(buf)?);
                 let seq = ReqSeq(get_u64(buf)?);
+                let incarnation = Incarnation(get_u64(buf)?);
                 let outcome = match get_u8(buf)? {
                     0 => ResponseOutcome::Acked(Ok(ReplyBody::decode(buf)?)),
                     1 => ResponseOutcome::Acked(Err(fs_error_from(get_u8(buf)?)?)),
                     2 => ResponseOutcome::Nacked(nack_from(get_u8(buf)?)?),
-                    t => return Err(WireError::BadTag { what: "ResponseOutcome", tag: t }),
+                    t => {
+                        return Err(WireError::BadTag {
+                            what: "ResponseOutcome",
+                            tag: t,
+                        })
+                    }
                 };
-                CtlMsg::Response(Response { dst, session, seq, outcome })
+                CtlMsg::Response(Response {
+                    dst,
+                    session,
+                    seq,
+                    incarnation,
+                    outcome,
+                })
             }
             2 => {
                 let dst = NodeId(get_u32(buf)?);
@@ -528,12 +623,29 @@ impl WireDecode for CtlMsg {
                         mode_needed: get_mode(buf)?,
                         epoch: Epoch(get_u64(buf)?),
                     },
-                    1 => PushBody::Invalidate { ino: Ino(get_u64(buf)?) },
-                    t => return Err(WireError::BadTag { what: "PushBody", tag: t }),
+                    1 => PushBody::Invalidate {
+                        ino: Ino(get_u64(buf)?),
+                    },
+                    t => {
+                        return Err(WireError::BadTag {
+                            what: "PushBody",
+                            tag: t,
+                        })
+                    }
                 };
-                CtlMsg::Push(ServerPush { dst, session, push_seq, body })
+                CtlMsg::Push(ServerPush {
+                    dst,
+                    session,
+                    push_seq,
+                    body,
+                })
             }
-            t => return Err(WireError::BadTag { what: "CtlMsg", tag: t }),
+            t => {
+                return Err(WireError::BadTag {
+                    what: "CtlMsg",
+                    tag: t,
+                })
+            }
         })
     }
 }
@@ -548,7 +660,12 @@ impl WireEncode for SanMsg {
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(block.0);
             }
-            SanMsg::WriteBlock { req_id, block, data, tag } => {
+            SanMsg::WriteBlock {
+                req_id,
+                block,
+                data,
+                tag,
+            } => {
                 buf.put_u8(1);
                 buf.put_u64_le(*req_id);
                 buf.put_u64_le(block.0);
@@ -608,14 +725,22 @@ fn san_error_from(tag: u8) -> Result<SanError, WireError> {
         0 => SanError::Fenced,
         1 => SanError::BadAddress,
         2 => SanError::DeviceError,
-        t => return Err(WireError::BadTag { what: "SanError", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "SanError",
+                tag: t,
+            })
+        }
     })
 }
 
 impl WireDecode for SanMsg {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(match get_u8(buf)? {
-            0 => SanMsg::ReadBlock { req_id: get_u64(buf)?, block: BlockId(get_u64(buf)?) },
+            0 => SanMsg::ReadBlock {
+                req_id: get_u64(buf)?,
+                block: BlockId(get_u64(buf)?),
+            },
             1 => SanMsg::WriteBlock {
                 req_id: get_u64(buf)?,
                 block: BlockId(get_u64(buf)?),
@@ -625,9 +750,17 @@ impl WireDecode for SanMsg {
             2 => {
                 let req_id = get_u64(buf)?;
                 let result = match get_u8(buf)? {
-                    0 => Ok(SanReadOk { data: get_bytes(buf)?, tag: get_tag(buf)? }),
+                    0 => Ok(SanReadOk {
+                        data: get_bytes(buf)?,
+                        tag: get_tag(buf)?,
+                    }),
                     1 => Err(san_error_from(get_u8(buf)?)?),
-                    t => return Err(WireError::BadTag { what: "ReadResp", tag: t }),
+                    t => {
+                        return Err(WireError::BadTag {
+                            what: "ReadResp",
+                            tag: t,
+                        })
+                    }
                 };
                 SanMsg::ReadResp { req_id, result }
             }
@@ -636,17 +769,33 @@ impl WireDecode for SanMsg {
                 let result = match get_u8(buf)? {
                     0 => Ok(()),
                     1 => Err(san_error_from(get_u8(buf)?)?),
-                    t => return Err(WireError::BadTag { what: "WriteResp", tag: t }),
+                    t => {
+                        return Err(WireError::BadTag {
+                            what: "WriteResp",
+                            tag: t,
+                        })
+                    }
                 };
                 SanMsg::WriteResp { req_id, result }
             }
             4 => SanMsg::FenceCmd {
                 req_id: get_u64(buf)?,
                 target: NodeId(get_u32(buf)?),
-                op: if get_u8(buf)? != 0 { FenceOp::Unfence } else { FenceOp::Fence },
+                op: if get_u8(buf)? != 0 {
+                    FenceOp::Unfence
+                } else {
+                    FenceOp::Fence
+                },
             },
-            5 => SanMsg::FenceResp { req_id: get_u64(buf)? },
-            t => return Err(WireError::BadTag { what: "SanMsg", tag: t }),
+            5 => SanMsg::FenceResp {
+                req_id: get_u64(buf)?,
+            },
+            t => {
+                return Err(WireError::BadTag {
+                    what: "SanMsg",
+                    tag: t,
+                })
+            }
         })
     }
 }
@@ -673,7 +822,12 @@ impl WireDecode for NetMsg {
         Ok(match get_u8(buf)? {
             0 => NetMsg::Ctl(CtlMsg::decode(buf)?),
             1 => NetMsg::San(SanMsg::decode(buf)?),
-            t => return Err(WireError::BadTag { what: "NetMsg", tag: t }),
+            t => {
+                return Err(WireError::BadTag {
+                    what: "NetMsg",
+                    tag: t,
+                })
+            }
         })
     }
 }
@@ -694,21 +848,59 @@ mod tests {
         let bodies = vec![
             RequestBody::Hello,
             RequestBody::KeepAlive,
-            RequestBody::Create { parent: Ino(1), name: "a.txt".into() },
-            RequestBody::Lookup { parent: Ino(1), name: "b".into() },
-            RequestBody::Mkdir { parent: Ino(1), name: "d".into() },
+            RequestBody::Create {
+                parent: Ino(1),
+                name: "a.txt".into(),
+            },
+            RequestBody::Lookup {
+                parent: Ino(1),
+                name: "b".into(),
+            },
+            RequestBody::Mkdir {
+                parent: Ino(1),
+                name: "d".into(),
+            },
             RequestBody::ReadDir { dir: Ino(1) },
-            RequestBody::Unlink { parent: Ino(1), name: "a.txt".into() },
+            RequestBody::Unlink {
+                parent: Ino(1),
+                name: "a.txt".into(),
+            },
             RequestBody::GetAttr { ino: Ino(2) },
-            RequestBody::SetAttr { ino: Ino(2), size: Some(100) },
-            RequestBody::SetAttr { ino: Ino(2), size: None },
-            RequestBody::LockAcquire { ino: Ino(2), mode: LockMode::Exclusive },
-            RequestBody::LockRelease { ino: Ino(2), epoch: Epoch(4) },
+            RequestBody::SetAttr {
+                ino: Ino(2),
+                size: Some(100),
+            },
+            RequestBody::SetAttr {
+                ino: Ino(2),
+                size: None,
+            },
+            RequestBody::LockAcquire {
+                ino: Ino(2),
+                mode: LockMode::Exclusive,
+            },
+            RequestBody::LockRelease {
+                ino: Ino(2),
+                epoch: Epoch(4),
+            },
             RequestBody::PushAck { push_seq: 77 },
-            RequestBody::AllocBlocks { ino: Ino(2), count: 8 },
-            RequestBody::CommitWrite { ino: Ino(2), new_size: 4096 },
-            RequestBody::ReadData { ino: Ino(2), offset: 512, len: 128 },
-            RequestBody::WriteData { ino: Ino(2), offset: 0, data: vec![1, 2, 3] },
+            RequestBody::AllocBlocks {
+                ino: Ino(2),
+                count: 8,
+            },
+            RequestBody::CommitWrite {
+                ino: Ino(2),
+                new_size: 4096,
+            },
+            RequestBody::ReadData {
+                ino: Ino(2),
+                offset: 512,
+                len: 128,
+            },
+            RequestBody::WriteData {
+                ino: Ino(2),
+                offset: 0,
+                data: vec![1, 2, 3],
+            },
         ];
         for body in bodies {
             roundtrip(NetMsg::Ctl(CtlMsg::Request(Request {
@@ -723,15 +915,27 @@ mod tests {
     #[test]
     fn roundtrip_responses() {
         let outcomes = vec![
-            ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session: SessionId(3) })),
+            ResponseOutcome::Acked(Ok(ReplyBody::HelloOk {
+                session: SessionId(3),
+            })),
             ResponseOutcome::Acked(Ok(ReplyBody::Ok)),
             ResponseOutcome::Acked(Ok(ReplyBody::Created { ino: Ino(9) })),
             ResponseOutcome::Acked(Ok(ReplyBody::Resolved {
                 ino: Ino(9),
-                attr: FileAttr { size: 1, mtime: 2, version: 3, is_dir: false },
+                attr: FileAttr {
+                    size: 1,
+                    mtime: 2,
+                    version: 3,
+                    is_dir: false,
+                },
             })),
             ResponseOutcome::Acked(Ok(ReplyBody::Attr {
-                attr: FileAttr { size: 0, mtime: 0, version: 1, is_dir: true },
+                attr: FileAttr {
+                    size: 0,
+                    mtime: 0,
+                    version: 1,
+                    is_dir: true,
+                },
             })),
             ResponseOutcome::Acked(Ok(ReplyBody::Dir {
                 entries: vec![("x".into(), Ino(1)), ("y".into(), Ino(2))],
@@ -743,19 +947,23 @@ mod tests {
                 blocks: vec![BlockId(3), BlockId(4)],
                 size: 8192,
             })),
-            ResponseOutcome::Acked(Ok(ReplyBody::Allocated { blocks: vec![BlockId(5)] })),
+            ResponseOutcome::Acked(Ok(ReplyBody::Allocated {
+                blocks: vec![BlockId(5)],
+            })),
             ResponseOutcome::Acked(Ok(ReplyBody::Data { data: vec![9; 100] })),
             ResponseOutcome::Acked(Err(FsError::NotFound)),
             ResponseOutcome::Acked(Err(FsError::Unavailable)),
             ResponseOutcome::Nacked(NackReason::LeaseTimingOut),
             ResponseOutcome::Nacked(NackReason::SessionExpired),
             ResponseOutcome::Nacked(NackReason::StaleSession),
+            ResponseOutcome::Nacked(NackReason::Recovering),
         ];
         for outcome in outcomes {
             roundtrip(NetMsg::Ctl(CtlMsg::Response(Response {
                 dst: NodeId(5),
                 session: SessionId(2),
                 seq: ReqSeq(42),
+                incarnation: Incarnation(7),
                 outcome,
             })));
         }
@@ -764,7 +972,11 @@ mod tests {
     #[test]
     fn roundtrip_pushes() {
         for body in [
-            PushBody::Demand { ino: Ino(7), mode_needed: LockMode::Exclusive, epoch: Epoch(3) },
+            PushBody::Demand {
+                ino: Ino(7),
+                mode_needed: LockMode::Exclusive,
+                epoch: Epoch(3),
+            },
             PushBody::Invalidate { ino: Ino(7) },
         ] {
             roundtrip(NetMsg::Ctl(CtlMsg::Push(ServerPush {
@@ -778,19 +990,51 @@ mod tests {
 
     #[test]
     fn roundtrip_san() {
-        let tag = WriteTag { writer: NodeId(3), epoch: Epoch(8), wseq: 2 };
+        let tag = WriteTag {
+            writer: NodeId(3),
+            epoch: Epoch(8),
+            wseq: 2,
+        };
         let msgs = vec![
-            SanMsg::ReadBlock { req_id: 1, block: BlockId(2) },
-            SanMsg::WriteBlock { req_id: 2, block: BlockId(2), data: vec![1; 512], tag },
+            SanMsg::ReadBlock {
+                req_id: 1,
+                block: BlockId(2),
+            },
+            SanMsg::WriteBlock {
+                req_id: 2,
+                block: BlockId(2),
+                data: vec![1; 512],
+                tag,
+            },
             SanMsg::ReadResp {
                 req_id: 1,
-                result: Ok(SanReadOk { data: vec![1; 512], tag }),
+                result: Ok(SanReadOk {
+                    data: vec![1; 512],
+                    tag,
+                }),
             },
-            SanMsg::ReadResp { req_id: 1, result: Err(SanError::Fenced) },
-            SanMsg::WriteResp { req_id: 2, result: Ok(()) },
-            SanMsg::WriteResp { req_id: 2, result: Err(SanError::DeviceError) },
-            SanMsg::FenceCmd { req_id: 3, target: NodeId(7), op: FenceOp::Fence },
-            SanMsg::FenceCmd { req_id: 3, target: NodeId(7), op: FenceOp::Unfence },
+            SanMsg::ReadResp {
+                req_id: 1,
+                result: Err(SanError::Fenced),
+            },
+            SanMsg::WriteResp {
+                req_id: 2,
+                result: Ok(()),
+            },
+            SanMsg::WriteResp {
+                req_id: 2,
+                result: Err(SanError::DeviceError),
+            },
+            SanMsg::FenceCmd {
+                req_id: 3,
+                target: NodeId(7),
+                op: FenceOp::Fence,
+            },
+            SanMsg::FenceCmd {
+                req_id: 3,
+                target: NodeId(7),
+                op: FenceOp::Unfence,
+            },
             SanMsg::FenceResp { req_id: 3 },
         ];
         for m in msgs {
@@ -804,7 +1048,10 @@ mod tests {
             src: NodeId(5),
             session: SessionId(2),
             seq: ReqSeq(42),
-            body: RequestBody::Create { parent: Ino(1), name: "hello".into() },
+            body: RequestBody::Create {
+                parent: Ino(1),
+                name: "hello".into(),
+            },
         }));
         let full = msg.encoded();
         for cut in 0..full.len() {

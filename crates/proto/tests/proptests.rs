@@ -4,8 +4,9 @@ use proptest::prelude::*;
 use tank_proto::message::{FileAttr, FsError, NackReason, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::seqwin::SeqVerdict;
 use tank_proto::{
-    BlockId, CtlMsg, DedupWindow, Epoch, Ino, LockMode, NetMsg, NodeId, PushBody, ReqSeq, Request,
-    Response, SanMsg, SanError, SanReadOk, ServerPush, SessionId, WireDecode, WireEncode, WriteTag,
+    BlockId, CtlMsg, DedupWindow, Epoch, Incarnation, Ino, LockMode, NetMsg, NodeId, PushBody,
+    ReqSeq, Request, Response, SanError, SanMsg, SanReadOk, ServerPush, SessionId, WireDecode,
+    WireEncode, WriteTag,
 };
 
 // ------------------------------------------------------------ strategies
@@ -15,8 +16,11 @@ fn arb_mode() -> impl Strategy<Value = LockMode> {
 }
 
 fn arb_tag() -> impl Strategy<Value = WriteTag> {
-    (any::<u32>(), any::<u64>(), any::<u64>())
-        .prop_map(|(w, e, s)| WriteTag { writer: NodeId(w), epoch: Epoch(e), wseq: s })
+    (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(w, e, s)| WriteTag {
+        writer: NodeId(w),
+        epoch: Epoch(e),
+        wseq: s,
+    })
 }
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -24,45 +28,92 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_attr() -> impl Strategy<Value = FileAttr> {
-    (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>())
-        .prop_map(|(size, mtime, version, is_dir)| FileAttr { size, mtime, version, is_dir })
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+        |(size, mtime, version, is_dir)| FileAttr {
+            size,
+            mtime,
+            version,
+            is_dir,
+        },
+    )
 }
 
 fn arb_request_body() -> impl Strategy<Value = RequestBody> {
     prop_oneof![
         Just(RequestBody::Hello),
         Just(RequestBody::KeepAlive),
-        (any::<u64>(), arb_name()).prop_map(|(p, name)| RequestBody::Create { parent: Ino(p), name }),
-        (any::<u64>(), arb_name()).prop_map(|(p, name)| RequestBody::Lookup { parent: Ino(p), name }),
-        (any::<u64>(), arb_name()).prop_map(|(p, name)| RequestBody::Mkdir { parent: Ino(p), name }),
+        (any::<u64>(), arb_name()).prop_map(|(p, name)| RequestBody::Create {
+            parent: Ino(p),
+            name
+        }),
+        (any::<u64>(), arb_name()).prop_map(|(p, name)| RequestBody::Lookup {
+            parent: Ino(p),
+            name
+        }),
+        (any::<u64>(), arb_name()).prop_map(|(p, name)| RequestBody::Mkdir {
+            parent: Ino(p),
+            name
+        }),
         any::<u64>().prop_map(|d| RequestBody::ReadDir { dir: Ino(d) }),
-        (any::<u64>(), arb_name()).prop_map(|(p, name)| RequestBody::Unlink { parent: Ino(p), name }),
+        (any::<u64>(), arb_name()).prop_map(|(p, name)| RequestBody::Unlink {
+            parent: Ino(p),
+            name
+        }),
         any::<u64>().prop_map(|i| RequestBody::GetAttr { ino: Ino(i) }),
         (any::<u64>(), proptest::option::of(any::<u64>()))
             .prop_map(|(i, size)| RequestBody::SetAttr { ino: Ino(i), size }),
-        (any::<u64>(), arb_mode()).prop_map(|(i, mode)| RequestBody::LockAcquire { ino: Ino(i), mode }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(i, e)| RequestBody::LockRelease { ino: Ino(i), epoch: Epoch(e) }),
+        (any::<u64>(), arb_mode())
+            .prop_map(|(i, mode)| RequestBody::LockAcquire { ino: Ino(i), mode }),
+        (any::<u64>(), any::<u64>()).prop_map(|(i, e)| RequestBody::LockRelease {
+            ino: Ino(i),
+            epoch: Epoch(e)
+        }),
         any::<u64>().prop_map(|p| RequestBody::PushAck { push_seq: p }),
-        (any::<u64>(), any::<u32>()).prop_map(|(i, c)| RequestBody::AllocBlocks { ino: Ino(i), count: c }),
-        (any::<u64>(), any::<u64>()).prop_map(|(i, s)| RequestBody::CommitWrite { ino: Ino(i), new_size: s }),
-        (any::<u64>(), any::<u64>(), any::<u32>())
-            .prop_map(|(i, o, l)| RequestBody::ReadData { ino: Ino(i), offset: o, len: l }),
-        (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..512))
-            .prop_map(|(i, o, data)| RequestBody::WriteData { ino: Ino(i), offset: o, data }),
+        (any::<u64>(), any::<u32>()).prop_map(|(i, c)| RequestBody::AllocBlocks {
+            ino: Ino(i),
+            count: c
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(i, s)| RequestBody::CommitWrite {
+            ino: Ino(i),
+            new_size: s
+        }),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(i, o, l)| RequestBody::ReadData {
+            ino: Ino(i),
+            offset: o,
+            len: l
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..512)
+        )
+            .prop_map(|(i, o, data)| RequestBody::WriteData {
+                ino: Ino(i),
+                offset: o,
+                data
+            }),
     ]
 }
 
 fn arb_reply_body() -> impl Strategy<Value = ReplyBody> {
     prop_oneof![
-        any::<u64>().prop_map(|s| ReplyBody::HelloOk { session: SessionId(s) }),
+        any::<u64>().prop_map(|s| ReplyBody::HelloOk {
+            session: SessionId(s)
+        }),
         Just(ReplyBody::Ok),
         any::<u64>().prop_map(|i| ReplyBody::Created { ino: Ino(i) }),
         (any::<u64>(), arb_attr()).prop_map(|(i, attr)| ReplyBody::Resolved { ino: Ino(i), attr }),
         arb_attr().prop_map(|attr| ReplyBody::Attr { attr }),
-        proptest::collection::vec((arb_name(), any::<u64>()), 0..8)
-            .prop_map(|v| ReplyBody::Dir { entries: v.into_iter().map(|(n, i)| (n, Ino(i))).collect() }),
-        (any::<u64>(), arb_mode(), any::<u64>(), proptest::collection::vec(any::<u64>(), 0..32), any::<u64>())
+        proptest::collection::vec((arb_name(), any::<u64>()), 0..8).prop_map(|v| ReplyBody::Dir {
+            entries: v.into_iter().map(|(n, i)| (n, Ino(i))).collect()
+        }),
+        (
+            any::<u64>(),
+            arb_mode(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u64>(), 0..32),
+            any::<u64>()
+        )
             .prop_map(|(i, mode, e, blocks, size)| ReplyBody::LockGranted {
                 ino: Ino(i),
                 mode,
@@ -70,8 +121,9 @@ fn arb_reply_body() -> impl Strategy<Value = ReplyBody> {
                 blocks: blocks.into_iter().map(BlockId).collect(),
                 size,
             }),
-        proptest::collection::vec(any::<u64>(), 0..32)
-            .prop_map(|b| ReplyBody::Allocated { blocks: b.into_iter().map(BlockId).collect() }),
+        proptest::collection::vec(any::<u64>(), 0..32).prop_map(|b| ReplyBody::Allocated {
+            blocks: b.into_iter().map(BlockId).collect()
+        }),
         proptest::collection::vec(any::<u8>(), 0..512).prop_map(|data| ReplyBody::Data { data }),
     ]
 }
@@ -92,6 +144,7 @@ fn arb_outcome() -> impl Strategy<Value = ResponseOutcome> {
             Just(NackReason::LeaseTimingOut),
             Just(NackReason::SessionExpired),
             Just(NackReason::StaleSession),
+            Just(NackReason::Recovering),
         ]
         .prop_map(ResponseOutcome::Nacked),
     ]
@@ -99,28 +152,50 @@ fn arb_outcome() -> impl Strategy<Value = ResponseOutcome> {
 
 fn arb_netmsg() -> impl Strategy<Value = NetMsg> {
     prop_oneof![
-        (any::<u32>(), any::<u64>(), any::<u64>(), arb_request_body()).prop_map(|(src, sess, seq, body)| {
-            NetMsg::Ctl(CtlMsg::Request(Request {
-                src: NodeId(src),
-                session: SessionId(sess),
-                seq: ReqSeq(seq),
-                body,
-            }))
-        }),
-        (any::<u32>(), any::<u64>(), any::<u64>(), arb_outcome()).prop_map(|(dst, sess, seq, outcome)| {
-            NetMsg::Ctl(CtlMsg::Response(Response {
-                dst: NodeId(dst),
-                session: SessionId(sess),
-                seq: ReqSeq(seq),
-                outcome,
-            }))
-        }),
-        (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>(), arb_mode(), any::<u64>(), any::<bool>())
+        (any::<u32>(), any::<u64>(), any::<u64>(), arb_request_body()).prop_map(
+            |(src, sess, seq, body)| {
+                NetMsg::Ctl(CtlMsg::Request(Request {
+                    src: NodeId(src),
+                    session: SessionId(sess),
+                    seq: ReqSeq(seq),
+                    body,
+                }))
+            }
+        ),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_outcome()
+        )
+            .prop_map(|(dst, sess, seq, inc, outcome)| {
+                NetMsg::Ctl(CtlMsg::Response(Response {
+                    dst: NodeId(dst),
+                    session: SessionId(sess),
+                    seq: ReqSeq(seq),
+                    incarnation: Incarnation(inc),
+                    outcome,
+                }))
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_mode(),
+            any::<u64>(),
+            any::<bool>()
+        )
             .prop_map(|(dst, sess, ps, ino, mode, epoch, inval)| {
                 let body = if inval {
                     PushBody::Invalidate { ino: Ino(ino) }
                 } else {
-                    PushBody::Demand { ino: Ino(ino), mode_needed: mode, epoch: Epoch(epoch) }
+                    PushBody::Demand {
+                        ino: Ino(ino),
+                        mode_needed: mode,
+                        epoch: Epoch(epoch),
+                    }
                 };
                 NetMsg::Ctl(CtlMsg::Push(ServerPush {
                     dst: NodeId(dst),
@@ -129,12 +204,35 @@ fn arb_netmsg() -> impl Strategy<Value = NetMsg> {
                     body,
                 }))
             }),
-        (any::<u64>(), any::<u64>()).prop_map(|(r, b)| NetMsg::San(SanMsg::ReadBlock { req_id: r, block: BlockId(b) })),
-        (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256), arb_tag())
-            .prop_map(|(r, b, data, tag)| NetMsg::San(SanMsg::WriteBlock { req_id: r, block: BlockId(b), data, tag })),
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256), arb_tag())
-            .prop_map(|(r, data, tag)| NetMsg::San(SanMsg::ReadResp { req_id: r, result: Ok(SanReadOk { data, tag }) })),
-        any::<u64>().prop_map(|r| NetMsg::San(SanMsg::WriteResp { req_id: r, result: Err(SanError::Fenced) })),
+        (any::<u64>(), any::<u64>()).prop_map(|(r, b)| NetMsg::San(SanMsg::ReadBlock {
+            req_id: r,
+            block: BlockId(b)
+        })),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..256),
+            arb_tag()
+        )
+            .prop_map(|(r, b, data, tag)| NetMsg::San(SanMsg::WriteBlock {
+                req_id: r,
+                block: BlockId(b),
+                data,
+                tag
+            })),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..256),
+            arb_tag()
+        )
+            .prop_map(|(r, data, tag)| NetMsg::San(SanMsg::ReadResp {
+                req_id: r,
+                result: Ok(SanReadOk { data, tag })
+            })),
+        any::<u64>().prop_map(|r| NetMsg::San(SanMsg::WriteResp {
+            req_id: r,
+            result: Err(SanError::Fenced)
+        })),
     ]
 }
 

@@ -64,6 +64,19 @@ pub struct ServerConfig {
     /// "further unnecessary message traffic"): the client keeps
     /// retransmitting until its own lease machinery gives up.
     pub nack_suspect: bool,
+    /// Fail-stop recovery: after a restart, refuse lock grants and
+    /// metadata mutations for the lease-expiry grace window `τ(1+ε)`.
+    ///
+    /// The restarted server's lock/lease state is volatile and gone, so it
+    /// cannot know which clients still hold valid leases; granting before
+    /// every pre-crash lease has provably expired could hand a lock to a
+    /// new client while a surviving holder is still writing the SAN under
+    /// its old (still valid) lease. Waiting out `server_timeout()` makes
+    /// every pre-crash holder's own clock expire its lease (and flush its
+    /// dirty cache) first — the same rate-synchronization argument as
+    /// Theorem 3.1. Disabling this is the experiment's negative control
+    /// and demonstrably loses updates.
+    pub recovery_grace: bool,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +90,7 @@ impl Default for ServerConfig {
             push_retries: 3,
             release_timeout: LocalNs::from_secs(2),
             nack_suspect: true,
+            recovery_grace: true,
         }
     }
 }

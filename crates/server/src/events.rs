@@ -68,4 +68,11 @@ pub enum ServerEvent {
         /// The client.
         client: NodeId,
     },
+    /// The server restarted after a fail-stop crash and entered its
+    /// recovery grace window: no lock grants or metadata mutations until
+    /// every lease that might have been outstanding at the crash has
+    /// expired.
+    RecoveryBegan,
+    /// The recovery grace window elapsed; normal service resumed.
+    RecoveryEnded,
 }

@@ -47,12 +47,7 @@ impl FenceController {
     /// `(req_id, disk)` pairs to send `FenceCmd`s for. Empty `disks`
     /// completes immediately — the caller must treat a `Some` return of
     /// zero sends as already-complete.
-    pub fn begin(
-        &mut self,
-        client: NodeId,
-        op: FenceOp,
-        disks: &[NodeId],
-    ) -> Vec<(u64, NodeId)> {
+    pub fn begin(&mut self, client: NodeId, op: FenceOp, disks: &[NodeId]) -> Vec<(u64, NodeId)> {
         let campaign_id = self.next_req;
         self.next_req += 1;
         let mut sends = Vec::with_capacity(disks.len());
@@ -68,7 +63,14 @@ impl FenceController {
             // Degenerate: no disks; apply the effect immediately.
             self.apply(client, op);
         } else {
-            self.campaigns.insert(campaign_id, Campaign { client, op, awaiting });
+            self.campaigns.insert(
+                campaign_id,
+                Campaign {
+                    client,
+                    op,
+                    awaiting,
+                },
+            );
         }
         sends
     }
@@ -165,8 +167,14 @@ mod tests {
         let s2 = f.begin(NodeId(11), FenceOp::Fence, &[D1, D2]);
         assert_eq!(f.in_flight(), 2);
         assert_eq!(f.on_response(s2[0].0, D1), None);
-        assert_eq!(f.on_response(s2[1].0, D2), Some((NodeId(11), FenceOp::Fence)));
+        assert_eq!(
+            f.on_response(s2[1].0, D2),
+            Some((NodeId(11), FenceOp::Fence))
+        );
         assert_eq!(f.on_response(s1[0].0, D1), None);
-        assert_eq!(f.on_response(s1[1].0, D2), Some((NodeId(10), FenceOp::Fence)));
+        assert_eq!(
+            f.on_response(s1[1].0, D2),
+            Some((NodeId(10), FenceOp::Fence))
+        );
     }
 }

@@ -104,6 +104,14 @@ impl LockManager {
         Epoch(self.epoch_counter)
     }
 
+    /// Forget every holder and waiter (fail-stop restart: lock state is
+    /// volatile) while keeping the epoch counter, so grants issued by the
+    /// next incarnation stay newer than every pre-crash grant and fencing
+    /// order is preserved.
+    pub fn reset_volatile(&mut self) {
+        self.locks.clear();
+    }
+
     /// Handle a lock request from `client` for `ino` in `mode`.
     pub fn request(
         &mut self,
@@ -123,17 +131,34 @@ impl LockManager {
         if st.waiters.iter().any(|w| w.client == client) {
             // Already queued (a retried request under a fresh seq); do not
             // double-queue.
-            return LockRequestOutcome::Queued { demand_from: Vec::new() };
+            return LockRequestOutcome::Queued {
+                demand_from: Vec::new(),
+            };
         }
         let conflicts = st.conflicts_with(client, mode);
         if conflicts.is_empty() && st.waiters.is_empty() {
             st.holders.insert(client, Holding { mode, epoch });
-            LockRequestOutcome::Granted(Grant { client, ino, mode, epoch, answers: None })
+            LockRequestOutcome::Granted(Grant {
+                client,
+                ino,
+                mode,
+                epoch,
+                answers: None,
+            })
         } else {
             // FIFO fairness: even a compatible request queues behind
             // existing waiters so writers cannot starve.
-            let demand_from = if st.waiters.is_empty() { conflicts } else { Vec::new() };
-            st.waiters.push_back(Waiter { client, mode, session, seq });
+            let demand_from = if st.waiters.is_empty() {
+                conflicts
+            } else {
+                Vec::new()
+            };
+            st.waiters.push_back(Waiter {
+                client,
+                mode,
+                session,
+                seq,
+            });
             LockRequestOutcome::Queued { demand_from }
         }
     }
@@ -183,8 +208,12 @@ impl LockManager {
         let mut out = Vec::new();
         #[allow(clippy::while_let_loop)]
         loop {
-            let Some(st) = self.locks.get_mut(&ino) else { break };
-            let Some(w) = st.waiters.front().copied() else { break };
+            let Some(st) = self.locks.get_mut(&ino) else {
+                break;
+            };
+            let Some(w) = st.waiters.front().copied() else {
+                break;
+            };
             if !st.conflicts_with(w.client, w.mode).is_empty() {
                 break;
             }
@@ -193,7 +222,13 @@ impl LockManager {
             self.epoch_counter += 1;
             let epoch = Epoch(self.epoch_counter);
             let st = self.locks.get_mut(&ino).unwrap();
-            st.holders.insert(w.client, Holding { mode: w.mode, epoch });
+            st.holders.insert(
+                w.client,
+                Holding {
+                    mode: w.mode,
+                    epoch,
+                },
+            );
             out.push(Grant {
                 client: w.client,
                 ino,
@@ -245,7 +280,10 @@ impl LockManager {
 
     /// The epoch of `client`'s current holding on `ino`.
     pub fn holding_epoch(&self, client: NodeId, ino: Ino) -> Option<Epoch> {
-        self.locks.get(&ino).and_then(|st| st.holders.get(&client)).map(|h| h.epoch)
+        self.locks
+            .get(&ino)
+            .and_then(|st| st.holders.get(&client))
+            .map(|h| h.epoch)
     }
 
     /// Every inode `client` currently holds.
@@ -305,7 +343,9 @@ mod tests {
     fn exclusive_grant_and_already_held() {
         let mut m = LockManager::new();
         let out = req(&mut m, A, LockMode::Exclusive, 1);
-        let LockRequestOutcome::Granted(g) = out else { panic!("{out:?}") };
+        let LockRequestOutcome::Granted(g) = out else {
+            panic!("{out:?}")
+        };
         assert_eq!(g.client, A);
         assert!(m.holds(A, F, LockMode::Exclusive));
         // Re-request (covered) returns the same epoch.
@@ -321,8 +361,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut m = LockManager::new();
-        assert!(matches!(req(&mut m, A, LockMode::SharedRead, 1), LockRequestOutcome::Granted(_)));
-        assert!(matches!(req(&mut m, B, LockMode::SharedRead, 1), LockRequestOutcome::Granted(_)));
+        assert!(matches!(
+            req(&mut m, A, LockMode::SharedRead, 1),
+            LockRequestOutcome::Granted(_)
+        ));
+        assert!(matches!(
+            req(&mut m, B, LockMode::SharedRead, 1),
+            LockRequestOutcome::Granted(_)
+        ));
         assert!(m.holds(A, F, LockMode::SharedRead));
         assert!(m.holds(B, F, LockMode::SharedRead));
     }
@@ -371,11 +417,14 @@ mod tests {
         let mut m = LockManager::new();
         req(&mut m, A, LockMode::SharedRead, 1);
         req(&mut m, B, LockMode::Exclusive, 1); // queued
-        // A later shared request must queue behind the exclusive waiter,
-        // not sneak in beside A.
+                                                // A later shared request must queue behind the exclusive waiter,
+                                                // not sneak in beside A.
         match req(&mut m, C, LockMode::SharedRead, 1) {
             LockRequestOutcome::Queued { demand_from } => {
-                assert!(demand_from.is_empty(), "demand already outstanding for head waiter");
+                assert!(
+                    demand_from.is_empty(),
+                    "demand already outstanding for head waiter"
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -466,8 +515,16 @@ mod tests {
     #[test]
     fn epochs_are_globally_unique_and_increasing() {
         let mut m = LockManager::new();
-        let LockRequestOutcome::Granted(g1) = m.request(A, Ino(1), LockMode::Exclusive, SESS, ReqSeq(1)) else { panic!() };
-        let LockRequestOutcome::Granted(g2) = m.request(A, Ino(2), LockMode::Exclusive, SESS, ReqSeq(2)) else { panic!() };
+        let LockRequestOutcome::Granted(g1) =
+            m.request(A, Ino(1), LockMode::Exclusive, SESS, ReqSeq(1))
+        else {
+            panic!()
+        };
+        let LockRequestOutcome::Granted(g2) =
+            m.request(A, Ino(2), LockMode::Exclusive, SESS, ReqSeq(2))
+        else {
+            panic!()
+        };
         assert!(g2.epoch > g1.epoch);
         assert!(m.stamp_epoch() > g2.epoch);
     }

@@ -23,8 +23,8 @@ use tank_core::{ClientStanding, LeaseAuthority};
 use tank_meta::{MetaError, MetaStore};
 use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
-    CtlMsg, FenceOp, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request,
-    Response, SanMsg, ServerPush, SessionId, WriteTag,
+    CtlMsg, FenceOp, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq,
+    Request, Response, SanMsg, ServerPush, SessionId, WriteTag,
 };
 use tank_sim::{Actor, Ctx, LocalNs, NetId, TimerId, TokenMap};
 
@@ -53,6 +53,10 @@ pub struct ServerStats {
     pub fences_completed: u64,
     /// Duplicate requests replayed from the response cache.
     pub replays: u64,
+    /// Fail-stop restarts recovered from.
+    pub recoveries: u64,
+    /// Requests refused with `Recovering` during a grace window.
+    pub recovery_nacks: u64,
 }
 
 /// Timer tokens.
@@ -64,6 +68,8 @@ enum ServerTimer {
     ReleaseWait(u64),
     /// The lease authority's τ(1+ε) timer for a client.
     LeaseExpiry(NodeId),
+    /// The post-restart recovery grace window elapsed.
+    RecoveryDone,
 }
 
 /// An outstanding server push.
@@ -101,6 +107,11 @@ pub struct ServerNode<Ob> {
     timers: TokenMap<ServerTimer>,
     pending_san: HashMap<u64, SanPending>,
     next_san_req: u64,
+    /// Bumped on every fail-stop restart; stamped on every response so
+    /// clients detect restarts.
+    incarnation: Incarnation,
+    /// True while inside the post-restart recovery grace window.
+    recovering: bool,
     stats: ServerStats,
     observe: Box<dyn Fn(ServerEvent) -> Option<Ob>>,
 }
@@ -127,6 +138,8 @@ impl<Ob> ServerNode<Ob> {
             timers: TokenMap::new(),
             pending_san: HashMap::new(),
             next_san_req: 1,
+            incarnation: Incarnation(1),
+            recovering: false,
             stats: ServerStats::default(),
             observe,
         }
@@ -162,6 +175,16 @@ impl<Ob> ServerNode<Ob> {
         self.meta.root()
     }
 
+    /// The current server incarnation.
+    pub fn incarnation(&self) -> Incarnation {
+        self.incarnation
+    }
+
+    /// True while the post-restart recovery grace window is open.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
     /// Pre-create a file with `blocks` allocated blocks and a committed
     /// size covering them (harness setup; not a protocol path). Returns
     /// its inode.
@@ -169,9 +192,13 @@ impl<Ob> ServerNode<Ob> {
         let root = self.meta.root();
         let ino = self.meta.create(root, name, 0).expect("precreate: create");
         if blocks > 0 {
-            self.meta.alloc_blocks(ino, blocks).expect("precreate: alloc");
+            self.meta
+                .alloc_blocks(ino, blocks)
+                .expect("precreate: alloc");
             let size = blocks as u64 * self.meta.block_size() as u64;
-            self.meta.commit_write(ino, size, 0).expect("precreate: commit");
+            self.meta
+                .commit_write(ino, size, 0)
+                .expect("precreate: commit");
         }
         ino
     }
@@ -192,7 +219,13 @@ impl<Ob> ServerNode<Ob> {
         outcome: ResponseOutcome,
         ctx: &mut Ctx<'_, NetMsg, Ob>,
     ) {
-        let resp = Response { dst: client, session, seq, outcome };
+        let resp = Response {
+            dst: client,
+            session,
+            seq,
+            incarnation: self.incarnation,
+            outcome,
+        };
         if resp.is_ack() {
             self.sessions.record_response(client, seq, resp.clone());
         } else {
@@ -259,7 +292,11 @@ impl<Ob> ServerNode<Ob> {
             PendingPush {
                 dst: holder,
                 session,
-                body: PushBody::Demand { ino, mode_needed, epoch },
+                body: PushBody::Demand {
+                    ino,
+                    mode_needed,
+                    epoch,
+                },
                 retries_left: self.cfg.push_retries,
                 acked: false,
                 timer: None,
@@ -271,7 +308,9 @@ impl<Ob> ServerNode<Ob> {
 
     fn send_push(&mut self, push_seq: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         let interval = self.cfg.push_retry_interval;
-        let Some(p) = self.pushes.get_mut(&push_seq) else { return };
+        let Some(p) = self.pushes.get_mut(&push_seq) else {
+            return;
+        };
         let msg = ServerPush {
             dst: p.dst,
             session: p.session,
@@ -307,9 +346,9 @@ impl<Ob> ServerNode<Ob> {
                     ctx.cancel_timer(t);
                 }
             }
-            self.timers.cancel_where(|t| {
-                matches!(t, ServerTimer::PushRetry(s) | ServerTimer::ReleaseWait(s) if *s == k)
-            });
+            self.timers.cancel_where(
+                |t| matches!(t, ServerTimer::PushRetry(s) | ServerTimer::ReleaseWait(s) if *s == k),
+            );
         }
     }
 
@@ -356,7 +395,11 @@ impl<Ob> ServerNode<Ob> {
             ctx.send(
                 NetId::SAN,
                 disk,
-                NetMsg::San(SanMsg::FenceCmd { req_id, target: client, op: FenceOp::Fence }),
+                NetMsg::San(SanMsg::FenceCmd {
+                    req_id,
+                    target: client,
+                    op: FenceOp::Fence,
+                }),
             );
         }
     }
@@ -367,7 +410,11 @@ impl<Ob> ServerNode<Ob> {
             ctx.send(
                 NetId::SAN,
                 disk,
-                NetMsg::San(SanMsg::FenceCmd { req_id, target: client, op: FenceOp::Unfence }),
+                NetMsg::San(SanMsg::FenceCmd {
+                    req_id,
+                    target: client,
+                    op: FenceOp::Unfence,
+                }),
             );
         }
     }
@@ -401,22 +448,30 @@ impl<Ob> ServerNode<Ob> {
             while let Some(g) = queue.pop_front() {
                 touched.push(g.ino);
                 self.emit(
-                    ServerEvent::LockGranted { client: g.client, ino: g.ino, epoch: g.epoch, mode: g.mode },
+                    ServerEvent::LockGranted {
+                        client: g.client,
+                        ino: g.ino,
+                        epoch: g.epoch,
+                        mode: g.mode,
+                    },
                     ctx,
                 );
                 if let Some((session, seq)) = g.answers {
                     // The waiter may have re-sessioned while queued; answer
                     // on the session it asked with (a stale client ignores
                     // it).
-                    let (blocks, size) = self
-                        .meta
-                        .file_extent(g.ino)
-                        .unwrap_or((Vec::new(), 0));
+                    let (blocks, size) = self.meta.file_extent(g.ino).unwrap_or((Vec::new(), 0));
                     self.ack(
                         g.client,
                         session,
                         seq,
-                        Ok(ReplyBody::LockGranted { ino: g.ino, mode: g.mode, epoch: g.epoch, blocks, size }),
+                        Ok(ReplyBody::LockGranted {
+                            ino: g.ino,
+                            mode: g.mode,
+                            epoch: g.epoch,
+                            blocks,
+                            size,
+                        }),
                         ctx,
                     );
                 }
@@ -436,6 +491,15 @@ impl<Ob> ServerNode<Ob> {
     // ----------------------------------------------------------- requests
 
     fn do_hello(&mut self, client: NodeId, req: &Request, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        // Hello sits outside the session dedup window (it *creates* the
+        // session), so duplicates are suppressed by (client, seq) here:
+        // re-executing one would mint a second session and orphan the
+        // one the client is actually using.
+        if let Some(resp) = self.sessions.hello_replay(client, req.seq) {
+            self.stats.replays += 1;
+            ctx.send(NetId::CONTROL, client, NetMsg::Ctl(CtlMsg::Response(resp)));
+            return;
+        }
         // A fresh session abandons everything the old incarnation held.
         let (stolen, grants) = self.locks.steal_all(client);
         for (ino, epoch) in stolen {
@@ -450,13 +514,15 @@ impl<Ob> ServerNode<Ob> {
         self.emit(ServerEvent::NewSession { client }, ctx);
         // Hello replies are addressed with the *new* session so the lease
         // renewal lands in the new incarnation.
-        self.respond(
-            client,
+        let resp = Response {
+            dst: client,
             session,
-            req.seq,
-            ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session })),
-            ctx,
-        );
+            seq: req.seq,
+            incarnation: self.incarnation,
+            outcome: ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session })),
+        };
+        self.sessions.record_hello(client, req.seq, resp.clone());
+        ctx.send(NetId::CONTROL, client, NetMsg::Ctl(CtlMsg::Response(resp)));
     }
 
     fn map_meta<T>(r: Result<T, MetaError>) -> Result<T, FsError> {
@@ -483,12 +549,11 @@ impl<Ob> ServerNode<Ob> {
                 Self::map_meta(self.meta.mkdir(parent, &name, now))
                     .map(|ino| ReplyBody::Created { ino })
             }
-            RequestBody::Lookup { parent, name } => {
-                Self::map_meta(self.meta.lookup(parent, &name))
-                    .map(|(ino, attr)| ReplyBody::Resolved { ino, attr })
+            RequestBody::Lookup { parent, name } => Self::map_meta(self.meta.lookup(parent, &name))
+                .map(|(ino, attr)| ReplyBody::Resolved { ino, attr }),
+            RequestBody::ReadDir { dir } => {
+                Self::map_meta(self.meta.readdir(dir)).map(|entries| ReplyBody::Dir { entries })
             }
-            RequestBody::ReadDir { dir } => Self::map_meta(self.meta.readdir(dir))
-                .map(|entries| ReplyBody::Dir { entries }),
             RequestBody::Unlink { parent, name } => {
                 // Unlinking a locked file would free its blocks for
                 // reallocation while a holder may still flush to them —
@@ -579,7 +644,12 @@ impl<Ob> ServerNode<Ob> {
         match self.locks.request(client, ino, mode, session, seq) {
             LockRequestOutcome::Granted(g) => {
                 self.emit(
-                    ServerEvent::LockGranted { client, ino, epoch: g.epoch, mode },
+                    ServerEvent::LockGranted {
+                        client,
+                        ino,
+                        epoch: g.epoch,
+                        mode,
+                    },
                     ctx,
                 );
                 let (blocks, size) = self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
@@ -587,7 +657,13 @@ impl<Ob> ServerNode<Ob> {
                     client,
                     session,
                     seq,
-                    Ok(ReplyBody::LockGranted { ino, mode, epoch: g.epoch, blocks, size }),
+                    Ok(ReplyBody::LockGranted {
+                        ino,
+                        mode,
+                        epoch: g.epoch,
+                        blocks,
+                        size,
+                    }),
                     ctx,
                 );
             }
@@ -597,7 +673,13 @@ impl<Ob> ServerNode<Ob> {
                     client,
                     session,
                     seq,
-                    Ok(ReplyBody::LockGranted { ino, mode: held_mode, epoch, blocks, size }),
+                    Ok(ReplyBody::LockGranted {
+                        ino,
+                        mode: held_mode,
+                        epoch,
+                        blocks,
+                        size,
+                    }),
                     ctx,
                 );
             }
@@ -614,7 +696,9 @@ impl<Ob> ServerNode<Ob> {
     }
 
     fn do_push_ack(&mut self, push_seq: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(p) = self.pushes.get_mut(&push_seq) else { return };
+        let Some(p) = self.pushes.get_mut(&push_seq) else {
+            return;
+        };
         if p.acked {
             return;
         }
@@ -656,7 +740,10 @@ impl<Ob> ServerNode<Ob> {
             return self.ack(client, session, seq, Err(FsError::Invalid), ctx);
         }
         let bs = self.meta.block_size() as u64;
-        assert!(offset.is_multiple_of(bs) && len as u64 == bs, "function-ship I/O is whole-block");
+        assert!(
+            offset.is_multiple_of(bs) && len as u64 == bs,
+            "function-ship I/O is whole-block"
+        );
         let Ok((blocks, size)) = self.meta.file_extent(ino) else {
             return self.ack(client, session, seq, Err(FsError::NotFound), ctx);
         };
@@ -667,16 +754,32 @@ impl<Ob> ServerNode<Ob> {
                 client,
                 session,
                 seq,
-                Ok(ReplyBody::Data { data: vec![0u8; len as usize] }),
+                Ok(ReplyBody::Data {
+                    data: vec![0u8; len as usize],
+                }),
                 ctx,
             );
         }
         let req_id = self.next_san_req;
         self.next_san_req += 1;
-        self.pending_san
-            .insert(req_id, SanPending { client, session, seq, commit: None });
+        self.pending_san.insert(
+            req_id,
+            SanPending {
+                client,
+                session,
+                seq,
+                commit: None,
+            },
+        );
         let disk = self.disk_for(blocks[idx]);
-        ctx.send(NetId::SAN, disk, NetMsg::San(SanMsg::ReadBlock { req_id, block: blocks[idx] }));
+        ctx.send(
+            NetId::SAN,
+            disk,
+            NetMsg::San(SanMsg::ReadBlock {
+                req_id,
+                block: blocks[idx],
+            }),
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -694,7 +797,10 @@ impl<Ob> ServerNode<Ob> {
             return self.ack(client, session, seq, Err(FsError::Invalid), ctx);
         }
         let bs = self.meta.block_size() as u64;
-        assert!(offset.is_multiple_of(bs) && data.len() as u64 == bs, "function-ship I/O is whole-block");
+        assert!(
+            offset.is_multiple_of(bs) && data.len() as u64 == bs,
+            "function-ship I/O is whole-block"
+        );
         let idx = (offset / bs) as usize;
         let Ok((mut blocks, _)) = self.meta.file_extent(ino) else {
             return self.ack(client, session, seq, Err(FsError::NotFound), ctx);
@@ -709,17 +815,33 @@ impl<Ob> ServerNode<Ob> {
         let req_id = self.next_san_req;
         self.next_san_req += 1;
         let new_size = offset + bs;
-        self.pending_san
-            .insert(req_id, SanPending { client, session, seq, commit: Some((ino, new_size)) });
+        self.pending_san.insert(
+            req_id,
+            SanPending {
+                client,
+                session,
+                seq,
+                commit: Some((ino, new_size)),
+            },
+        );
         // The server serializes all function-shipped writes, so a stamped
         // epoch gives the checker the same total order locks would.
-        let tag = WriteTag { writer: client, epoch: self.locks.stamp_epoch(), wseq: 0 };
+        let tag = WriteTag {
+            writer: client,
+            epoch: self.locks.stamp_epoch(),
+            wseq: 0,
+        };
         let block = blocks[idx];
         let disk = self.disk_for(block);
         ctx.send(
             NetId::SAN,
             disk,
-            NetMsg::San(SanMsg::WriteBlock { req_id, block, data, tag }),
+            NetMsg::San(SanMsg::WriteBlock {
+                req_id,
+                block,
+                data,
+                tag,
+            }),
         );
     }
 
@@ -736,7 +858,9 @@ impl<Ob> ServerNode<Ob> {
                 }
             }
             SanMsg::ReadResp { req_id, result } => {
-                let Some(p) = self.pending_san.remove(&req_id) else { return };
+                let Some(p) = self.pending_san.remove(&req_id) else {
+                    return;
+                };
                 let reply = match result {
                     Ok(ok) => Ok(ReplyBody::Data { data: ok.data }),
                     Err(_) => Err(FsError::Invalid),
@@ -744,7 +868,9 @@ impl<Ob> ServerNode<Ob> {
                 self.ack(p.client, p.session, p.seq, reply, ctx);
             }
             SanMsg::WriteResp { req_id, result } => {
-                let Some(p) = self.pending_san.remove(&req_id) else { return };
+                let Some(p) = self.pending_san.remove(&req_id) else {
+                    return;
+                };
                 let reply = match result {
                     Ok(()) => {
                         if let Some((ino, new_size)) = p.commit {
@@ -763,8 +889,36 @@ impl<Ob> ServerNode<Ob> {
         }
     }
 
+    /// True for request bodies a recovering server must refuse: anything
+    /// that grants a lock or mutates metadata. Everything else (Hello,
+    /// keep-alives, reads, push/lock bookkeeping) is benign — in
+    /// particular, surviving clients must be able to re-register and
+    /// release while the grace window is open.
+    fn needs_full_service(body: &RequestBody) -> bool {
+        matches!(
+            body,
+            RequestBody::LockAcquire { .. }
+                | RequestBody::Create { .. }
+                | RequestBody::Mkdir { .. }
+                | RequestBody::Unlink { .. }
+                | RequestBody::SetAttr { .. }
+                | RequestBody::AllocBlocks { .. }
+                | RequestBody::CommitWrite { .. }
+                | RequestBody::WriteData { .. }
+        )
+    }
+
     fn on_request(&mut self, from: NodeId, req: Request, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        // Lease authority gate first (§3.3): a suspect client gets NACKs,
+        // Recovery gate first: a freshly-restarted server has no lock or
+        // lease state, so until the grace window closes it cannot know
+        // whether a grant would conflict with a surviving pre-crash
+        // holder. Unlike the lease-authority NACKs below, `Recovering`
+        // does not condemn the client's cache — its lease is still good.
+        if self.recovering && Self::needs_full_service(&req.body) {
+            self.stats.recovery_nacks += 1;
+            return self.nack(from, req.session, req.seq, NackReason::Recovering, ctx);
+        }
+        // Lease authority gate (§3.3): a suspect client gets NACKs,
         // an expired client gets NACKs for everything but Hello.
         match self.authority.standing_of(from) {
             ClientStanding::Good => {}
@@ -810,7 +964,13 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
         self.id = Some(ctx.node());
     }
 
-    fn on_message(&mut self, from: NodeId, _net: NetId, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        _net: NetId,
+        msg: NetMsg,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
         match msg {
             NetMsg::Ctl(CtlMsg::Request(req)) => self.on_request(from, req, ctx),
             NetMsg::San(san) => self.on_san(san, from, ctx),
@@ -821,10 +981,14 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        let Some(t) = self.timers.take(token) else { return };
+        let Some(t) = self.timers.take(token) else {
+            return;
+        };
         match t {
             ServerTimer::PushRetry(push_seq) => {
-                let Some(p) = self.pushes.get_mut(&push_seq) else { return };
+                let Some(p) = self.pushes.get_mut(&push_seq) else {
+                    return;
+                };
                 if p.acked {
                     return;
                 }
@@ -860,12 +1024,39 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
                     self.begin_fence(client, ctx);
                 }
             }
+            ServerTimer::RecoveryDone => {
+                self.recovering = false;
+                self.emit(ServerEvent::RecoveryEnded, ctx);
+            }
         }
     }
 
-    // Servers are assumed highly available and to recover their lock/lease
-    // state (§6: "Storage Tank uses a combined policy of lock reassertion
-    // and hardware supported replication ... it is assumed that Storage
-    // Tank servers are highly available"). A restart therefore keeps state.
-    fn on_restart(&mut self, _ctx: &mut Ctx<'_, NetMsg, Ob>) {}
+    /// Fail-stop restart. The metadata store survives (it lives on the
+    /// shared disks), as does fence state (it is held *at* the disks and
+    /// re-read from them); sessions, locks and lease timers were in
+    /// volatile memory and are gone. The restarted server bumps its
+    /// incarnation — stamped on every response, so surviving clients
+    /// detect the restart — and, because it cannot know which pre-crash
+    /// leases are still valid, refuses lock grants and mutations for one
+    /// full lease-expiry window `τ(1+ε)`: by then every pre-crash holder's
+    /// own clock has expired its lease and flushed its cache (the
+    /// Theorem 3.1 rate-synchronization argument, applied to recovery).
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.incarnation = self.incarnation.next();
+        self.sessions.reset_volatile();
+        self.locks.reset_volatile();
+        self.authority = LeaseAuthority::new(self.cfg.lease);
+        self.pushes.clear();
+        self.pending_san.clear();
+        // Timers armed before the crash may still fire; invalidating the
+        // tokens (while keeping the counter monotonic) makes them no-ops.
+        self.timers.cancel_where(|_| true);
+        self.stats.recoveries += 1;
+        if self.cfg.recovery_grace {
+            self.recovering = true;
+            self.emit(ServerEvent::RecoveryBegan, ctx);
+            let token = self.timers.insert(ServerTimer::RecoveryDone);
+            ctx.set_timer(self.cfg.lease.server_timeout(), token);
+        }
+    }
 }

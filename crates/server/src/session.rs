@@ -33,8 +33,18 @@ struct Session {
 #[derive(Debug, Clone, Default)]
 pub struct SessionTable {
     sessions: HashMap<NodeId, Session>,
+    /// Responses to recent Hellos, keyed by the request seq. Hello sits
+    /// outside the per-session dedup window (it *creates* the session),
+    /// so without this cache a duplicated Hello datagram would mint a
+    /// second session and orphan the one the client is actually using.
+    hellos: HashMap<NodeId, HashMap<ReqSeq, Response>>,
     next_session: u64,
 }
+
+/// Hello responses remembered per client (duplicates older than this
+/// are answered with a fresh session, which the client survives via its
+/// normal stale-session path).
+const HELLO_CACHE: usize = 8;
 
 /// Reorder history kept per session (requests further behind than this are
 /// treated as stale).
@@ -52,7 +62,11 @@ impl SessionTable {
         let id = SessionId(self.next_session);
         self.sessions.insert(
             client,
-            Session { id, window: DedupWindow::with_span(WINDOW_SPAN), replay: HashMap::new() },
+            Session {
+                id,
+                window: DedupWindow::with_span(WINDOW_SPAN),
+                replay: HashMap::new(),
+            },
         );
         id
     }
@@ -95,9 +109,36 @@ impl SessionTable {
         }
     }
 
+    /// The cached response to a Hello already answered (same client,
+    /// same seq): a duplicate delivery that must be replayed, not
+    /// re-executed.
+    pub fn hello_replay(&self, client: NodeId, seq: ReqSeq) -> Option<Response> {
+        self.hellos.get(&client).and_then(|m| m.get(&seq)).cloned()
+    }
+
+    /// Remember a Hello response for duplicate suppression.
+    pub fn record_hello(&mut self, client: NodeId, seq: ReqSeq, resp: Response) {
+        let m = self.hellos.entry(client).or_default();
+        m.insert(seq, resp);
+        while m.len() > HELLO_CACHE {
+            let oldest = m.keys().min().copied().expect("nonempty");
+            m.remove(&oldest);
+        }
+    }
+
     /// Drop a client's session entirely.
     pub fn remove(&mut self, client: NodeId) {
         self.sessions.remove(&client);
+        self.hellos.remove(&client);
+    }
+
+    /// Forget every session (fail-stop restart: session state is volatile)
+    /// while keeping the id counter, so sessions begun by the next
+    /// incarnation can never collide with pre-crash session ids still held
+    /// by surviving clients.
+    pub fn reset_volatile(&mut self) {
+        self.sessions.clear();
+        self.hellos.clear();
     }
 
     /// Approximate memory used by replay caches (diagnostics).
@@ -114,13 +155,22 @@ mod tests {
     const C: NodeId = NodeId(4);
 
     fn resp(session: SessionId, seq: ReqSeq) -> Response {
-        Response { dst: C, session, seq, outcome: ResponseOutcome::Acked(Ok(ReplyBody::Ok)) }
+        Response {
+            dst: C,
+            session,
+            seq,
+            incarnation: tank_proto::Incarnation(1),
+            outcome: ResponseOutcome::Acked(Ok(ReplyBody::Ok)),
+        }
     }
 
     #[test]
     fn unknown_client_is_wrong_session() {
         let mut t = SessionTable::new();
-        assert!(matches!(t.admit(C, SessionId(1), ReqSeq(1)), Admission::WrongSession));
+        assert!(matches!(
+            t.admit(C, SessionId(1), ReqSeq(1)),
+            Admission::WrongSession
+        ));
     }
 
     #[test]
@@ -143,7 +193,10 @@ mod tests {
         let old = t.begin(C);
         let new = t.begin(C);
         assert_ne!(old, new);
-        assert!(matches!(t.admit(C, old, ReqSeq(1)), Admission::WrongSession));
+        assert!(matches!(
+            t.admit(C, old, ReqSeq(1)),
+            Admission::WrongSession
+        ));
         assert!(matches!(t.admit(C, new, ReqSeq(1)), Admission::Execute));
     }
 
@@ -164,6 +217,32 @@ mod tests {
             t.record_response(C, ReqSeq(i), resp(sid, ReqSeq(i)));
         }
         assert!(t.replay_entries() <= 2 * WINDOW_SPAN as usize + 1);
+    }
+
+    #[test]
+    fn duplicate_hello_replays_the_same_session() {
+        let mut t = SessionTable::new();
+        assert!(t.hello_replay(C, ReqSeq(1)).is_none());
+        let sid = t.begin(C);
+        t.record_hello(C, ReqSeq(1), resp(sid, ReqSeq(1)));
+        let replay = t.hello_replay(C, ReqSeq(1)).expect("cached");
+        assert_eq!(replay.session, sid);
+        // A *new* Hello (new seq) is not a duplicate.
+        assert!(t.hello_replay(C, ReqSeq(2)).is_none());
+        // Restart wipes the cache with the rest of the volatile state.
+        t.reset_volatile();
+        assert!(t.hello_replay(C, ReqSeq(1)).is_none());
+    }
+
+    #[test]
+    fn hello_cache_is_bounded() {
+        let mut t = SessionTable::new();
+        let sid = t.begin(C);
+        for i in 1..=32u64 {
+            t.record_hello(C, ReqSeq(i), resp(sid, ReqSeq(i)));
+        }
+        assert!(t.hello_replay(C, ReqSeq(1)).is_none(), "oldest evicted");
+        assert!(t.hello_replay(C, ReqSeq(32)).is_some(), "newest kept");
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl Actor<NetMsg, ()> for Requester {
     fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_, NetMsg, ()>) {
         if let Some(req) = self.script.get(self.next) {
             self.next += 1;
-            ctx.send(NetId::CONTROL, self.server, NetMsg::Ctl(CtlMsg::Request(req.clone())));
+            ctx.send(
+                NetId::CONTROL,
+                self.server,
+                NetMsg::Ctl(CtlMsg::Request(req.clone())),
+            );
             ctx.set_timer(LocalNs::from_millis(1), 0);
         }
     }
@@ -42,22 +46,38 @@ fn run_script(script_builder: impl Fn(NodeId) -> Vec<Request>) -> Vec<(ReqSeq, R
     w.add_network(NetId::SAN, NetParams::ideal(100_000));
     let mut cfg = ServerConfig::default();
     cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(5));
-    let server = w.add_node(Box::new(ServerNode::<()>::unobserved(cfg, 1024, 512)), ClockSpec::ideal());
+    let server = w.add_node(
+        Box::new(ServerNode::<()>::unobserved(cfg, 1024, 512)),
+        ClockSpec::ideal(),
+    );
     {
         let s = w.node_mut::<ServerNode<()>>(server).unwrap();
         s.precreate_file("f0", 4);
     }
     let script = script_builder(server);
     let requester = w.add_node(
-        Box::new(Requester { server, script, responses: Vec::new(), next: 0 }),
+        Box::new(Requester {
+            server,
+            script,
+            responses: Vec::new(),
+            next: 0,
+        }),
         ClockSpec::ideal(),
     );
     w.run_until(SimTime::from_secs(2));
-    w.node_ref::<Requester>(requester).unwrap().responses.clone()
+    w.node_ref::<Requester>(requester)
+        .unwrap()
+        .responses
+        .clone()
 }
 
 fn req(src: u32, session: u64, seq: u64, body: RequestBody) -> Request {
-    Request { src: NodeId(src), session: SessionId(session), seq: ReqSeq(seq), body }
+    Request {
+        src: NodeId(src),
+        session: SessionId(session),
+        seq: ReqSeq(seq),
+        body,
+    }
 }
 
 #[test]
@@ -79,9 +99,18 @@ fn wrong_session_id_is_nacked_but_right_one_works() {
             req(1, 1, 3, RequestBody::GetAttr { ino: Ino(2) }),
         ]
     });
-    assert!(matches!(rs[0].1, ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { .. }))));
-    assert!(matches!(rs[1].1, ResponseOutcome::Nacked(NackReason::StaleSession)));
-    assert!(matches!(rs[2].1, ResponseOutcome::Acked(Ok(ReplyBody::Attr { .. }))));
+    assert!(matches!(
+        rs[0].1,
+        ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { .. }))
+    ));
+    assert!(matches!(
+        rs[1].1,
+        ResponseOutcome::Nacked(NackReason::StaleSession)
+    ));
+    assert!(matches!(
+        rs[2].1,
+        ResponseOutcome::Acked(Ok(ReplyBody::Attr { .. }))
+    ));
 }
 
 #[test]
@@ -89,17 +118,45 @@ fn duplicate_requests_are_replayed_not_reexecuted() {
     let rs = run_script(|_| {
         vec![
             req(1, 0, 1, RequestBody::Hello),
-            req(1, 1, 2, RequestBody::Create { parent: Ino(1), name: "x".into() }),
+            req(
+                1,
+                1,
+                2,
+                RequestBody::Create {
+                    parent: Ino(1),
+                    name: "x".into(),
+                },
+            ),
             // Exact duplicate: must replay Created, not answer Exists.
-            req(1, 1, 2, RequestBody::Create { parent: Ino(1), name: "x".into() }),
+            req(
+                1,
+                1,
+                2,
+                RequestBody::Create {
+                    parent: Ino(1),
+                    name: "x".into(),
+                },
+            ),
             // A *new* seq for the same name is a real re-execution.
-            req(1, 1, 3, RequestBody::Create { parent: Ino(1), name: "x".into() }),
+            req(
+                1,
+                1,
+                3,
+                RequestBody::Create {
+                    parent: Ino(1),
+                    name: "x".into(),
+                },
+            ),
         ]
     });
-    let created = |o: &ResponseOutcome| matches!(o, ResponseOutcome::Acked(Ok(ReplyBody::Created { .. })));
+    let created =
+        |o: &ResponseOutcome| matches!(o, ResponseOutcome::Acked(Ok(ReplyBody::Created { .. })));
     assert!(created(&rs[1].1));
     assert!(created(&rs[2].1), "duplicate replays the original Created");
-    assert!(matches!(rs[3].1, ResponseOutcome::Acked(Err(FsError::Exists))));
+    assert!(matches!(
+        rs[3].1,
+        ResponseOutcome::Acked(Err(FsError::Exists))
+    ));
 }
 
 #[test]
@@ -107,23 +164,89 @@ fn data_mutations_require_the_exclusive_lock() {
     let rs = run_script(|_| {
         vec![
             req(1, 0, 1, RequestBody::Hello),
-            req(1, 1, 2, RequestBody::AllocBlocks { ino: Ino(2), count: 2 }),
-            req(1, 1, 3, RequestBody::CommitWrite { ino: Ino(2), new_size: 99 }),
-            req(1, 1, 4, RequestBody::SetAttr { ino: Ino(2), size: Some(0) }),
-            req(1, 1, 5, RequestBody::LockAcquire { ino: Ino(2), mode: LockMode::Exclusive }),
-            req(1, 1, 6, RequestBody::AllocBlocks { ino: Ino(2), count: 2 }),
-            req(1, 1, 7, RequestBody::CommitWrite { ino: Ino(2), new_size: 99 }),
-            req(1, 1, 8, RequestBody::SetAttr { ino: Ino(2), size: Some(512) }),
+            req(
+                1,
+                1,
+                2,
+                RequestBody::AllocBlocks {
+                    ino: Ino(2),
+                    count: 2,
+                },
+            ),
+            req(
+                1,
+                1,
+                3,
+                RequestBody::CommitWrite {
+                    ino: Ino(2),
+                    new_size: 99,
+                },
+            ),
+            req(
+                1,
+                1,
+                4,
+                RequestBody::SetAttr {
+                    ino: Ino(2),
+                    size: Some(0),
+                },
+            ),
+            req(
+                1,
+                1,
+                5,
+                RequestBody::LockAcquire {
+                    ino: Ino(2),
+                    mode: LockMode::Exclusive,
+                },
+            ),
+            req(
+                1,
+                1,
+                6,
+                RequestBody::AllocBlocks {
+                    ino: Ino(2),
+                    count: 2,
+                },
+            ),
+            req(
+                1,
+                1,
+                7,
+                RequestBody::CommitWrite {
+                    ino: Ino(2),
+                    new_size: 99,
+                },
+            ),
+            req(
+                1,
+                1,
+                8,
+                RequestBody::SetAttr {
+                    ino: Ino(2),
+                    size: Some(512),
+                },
+            ),
         ]
     });
-    let notlocked = |o: &ResponseOutcome| matches!(o, ResponseOutcome::Acked(Err(FsError::NotLocked)));
+    let notlocked =
+        |o: &ResponseOutcome| matches!(o, ResponseOutcome::Acked(Err(FsError::NotLocked)));
     assert!(notlocked(&rs[1].1), "alloc without lock");
     assert!(notlocked(&rs[2].1), "commit without lock");
     assert!(notlocked(&rs[3].1), "truncate without lock");
-    assert!(matches!(rs[4].1, ResponseOutcome::Acked(Ok(ReplyBody::LockGranted { .. }))));
-    assert!(matches!(rs[5].1, ResponseOutcome::Acked(Ok(ReplyBody::Allocated { .. }))));
+    assert!(matches!(
+        rs[4].1,
+        ResponseOutcome::Acked(Ok(ReplyBody::LockGranted { .. }))
+    ));
+    assert!(matches!(
+        rs[5].1,
+        ResponseOutcome::Acked(Ok(ReplyBody::Allocated { .. }))
+    ));
     assert!(matches!(rs[6].1, ResponseOutcome::Acked(Ok(ReplyBody::Ok))));
-    assert!(matches!(rs[7].1, ResponseOutcome::Acked(Ok(ReplyBody::Attr { .. }))));
+    assert!(matches!(
+        rs[7].1,
+        ResponseOutcome::Acked(Ok(ReplyBody::Attr { .. }))
+    ));
 }
 
 #[test]
@@ -131,11 +254,35 @@ fn stale_epoch_release_is_a_noop() {
     let rs = run_script(|_| {
         vec![
             req(1, 0, 1, RequestBody::Hello),
-            req(1, 1, 2, RequestBody::LockAcquire { ino: Ino(2), mode: LockMode::Exclusive }),
+            req(
+                1,
+                1,
+                2,
+                RequestBody::LockAcquire {
+                    ino: Ino(2),
+                    mode: LockMode::Exclusive,
+                },
+            ),
             // Release with a wrong epoch: server must keep the holding.
-            req(1, 1, 3, RequestBody::LockRelease { ino: Ino(2), epoch: Epoch(9999) }),
+            req(
+                1,
+                1,
+                3,
+                RequestBody::LockRelease {
+                    ino: Ino(2),
+                    epoch: Epoch(9999),
+                },
+            ),
             // Still held: a covered re-acquire returns the same grant.
-            req(1, 1, 4, RequestBody::LockAcquire { ino: Ino(2), mode: LockMode::SharedRead }),
+            req(
+                1,
+                1,
+                4,
+                RequestBody::LockAcquire {
+                    ino: Ino(2),
+                    mode: LockMode::SharedRead,
+                },
+            ),
         ]
     });
     let e1 = match &rs[1].1 {
@@ -157,11 +304,27 @@ fn fresh_hello_releases_previous_incarnations_locks() {
     let rs = run_script(|_| {
         vec![
             req(1, 0, 1, RequestBody::Hello),
-            req(1, 1, 2, RequestBody::LockAcquire { ino: Ino(2), mode: LockMode::Exclusive }),
+            req(
+                1,
+                1,
+                2,
+                RequestBody::LockAcquire {
+                    ino: Ino(2),
+                    mode: LockMode::Exclusive,
+                },
+            ),
             req(1, 0, 3, RequestBody::Hello), // new incarnation
             // New session; the old lock must be gone, so this grant gets a
             // NEW epoch rather than AlreadyHeld's old one.
-            req(1, 2, 4, RequestBody::LockAcquire { ino: Ino(2), mode: LockMode::Exclusive }),
+            req(
+                1,
+                2,
+                4,
+                RequestBody::LockAcquire {
+                    ino: Ino(2),
+                    mode: LockMode::Exclusive,
+                },
+            ),
         ]
     });
     let e1 = match &rs[1].1 {
@@ -180,16 +343,54 @@ fn unlink_of_a_locked_file_is_denied() {
     let rs = run_script(|_| {
         vec![
             req(1, 0, 1, RequestBody::Hello),
-            req(1, 1, 2, RequestBody::LockAcquire { ino: Ino(2), mode: LockMode::SharedRead }),
-            req(1, 1, 3, RequestBody::Unlink { parent: Ino(1), name: "f0".into() }),
-            req(1, 1, 4, RequestBody::LockRelease { ino: Ino(2), epoch: Epoch(1) }),
-            req(1, 1, 5, RequestBody::Unlink { parent: Ino(1), name: "f0".into() }),
+            req(
+                1,
+                1,
+                2,
+                RequestBody::LockAcquire {
+                    ino: Ino(2),
+                    mode: LockMode::SharedRead,
+                },
+            ),
+            req(
+                1,
+                1,
+                3,
+                RequestBody::Unlink {
+                    parent: Ino(1),
+                    name: "f0".into(),
+                },
+            ),
+            req(
+                1,
+                1,
+                4,
+                RequestBody::LockRelease {
+                    ino: Ino(2),
+                    epoch: Epoch(1),
+                },
+            ),
+            req(
+                1,
+                1,
+                5,
+                RequestBody::Unlink {
+                    parent: Ino(1),
+                    name: "f0".into(),
+                },
+            ),
         ]
     });
-    assert!(matches!(rs[2].1, ResponseOutcome::Acked(Err(FsError::Unavailable))),
-        "unlink while locked must be denied: {:?}", rs[2].1);
-    assert!(matches!(rs[4].1, ResponseOutcome::Acked(Ok(ReplyBody::Ok))),
-        "unlink after release works: {:?}", rs[4].1);
+    assert!(
+        matches!(rs[2].1, ResponseOutcome::Acked(Err(FsError::Unavailable))),
+        "unlink while locked must be denied: {:?}",
+        rs[2].1
+    );
+    assert!(
+        matches!(rs[4].1, ResponseOutcome::Acked(Ok(ReplyBody::Ok))),
+        "unlink after release works: {:?}",
+        rs[4].1
+    );
 }
 
 #[test]
@@ -197,8 +398,24 @@ fn application_errors_still_ack() {
     let rs = run_script(|_| {
         vec![
             req(1, 0, 1, RequestBody::Hello),
-            req(1, 1, 2, RequestBody::Lookup { parent: Ino(1), name: "nope".into() }),
-            req(1, 1, 3, RequestBody::Unlink { parent: Ino(1), name: "nope".into() }),
+            req(
+                1,
+                1,
+                2,
+                RequestBody::Lookup {
+                    parent: Ino(1),
+                    name: "nope".into(),
+                },
+            ),
+            req(
+                1,
+                1,
+                3,
+                RequestBody::Unlink {
+                    parent: Ino(1),
+                    name: "nope".into(),
+                },
+            ),
             req(1, 1, 4, RequestBody::ReadDir { dir: Ino(2) }), // a file, not a dir
         ]
     });

@@ -28,7 +28,11 @@ pub(crate) enum Effect<P, Ob> {
     /// Send a datagram.
     Send { net: NetId, dst: NodeId, msg: P },
     /// Arm a timer (fire time already converted to true time).
-    SetTimer { fire_at: SimTime, id: TimerId, token: u64 },
+    SetTimer {
+        fire_at: SimTime,
+        id: TimerId,
+        token: u64,
+    },
     /// Cancel a previously armed timer.
     CancelTimer(TimerId),
     /// Emit an observation for offline checking.

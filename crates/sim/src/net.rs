@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::NodeId;
 
 /// Identifies one of the world's networks.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NetId(pub u8);
 
 impl NetId {
@@ -53,7 +51,12 @@ pub struct NetParams {
 impl Default for NetParams {
     fn default() -> Self {
         // A healthy LAN: 100µs ± 50µs, no loss.
-        NetParams { latency_ns: 100_000, jitter_ns: 50_000, drop_prob: 0.0, dup_prob: 0.0 }
+        NetParams {
+            latency_ns: 100_000,
+            jitter_ns: 50_000,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+        }
     }
 }
 
@@ -61,7 +64,12 @@ impl NetParams {
     /// A lossless, zero-jitter network (useful in unit tests that assert on
     /// exact timings).
     pub fn ideal(latency_ns: u64) -> NetParams {
-        NetParams { latency_ns, jitter_ns: 0, drop_prob: 0.0, dup_prob: 0.0 }
+        NetParams {
+            latency_ns,
+            jitter_ns: 0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+        }
     }
 }
 
@@ -78,7 +86,10 @@ pub struct Network {
 impl Network {
     /// Create a network with the given parameters.
     pub fn new(params: NetParams) -> Network {
-        Network { params, blocked: HashSet::new() }
+        Network {
+            params,
+            blocked: HashSet::new(),
+        }
     }
 
     /// Block the directed link `src → dst`.

@@ -118,7 +118,10 @@ pub struct ClockSpec {
 
 impl Default for ClockSpec {
     fn default() -> Self {
-        ClockSpec { rate: 1.0, offset_ns: 0 }
+        ClockSpec {
+            rate: 1.0,
+            offset_ns: 0,
+        }
     }
 }
 
@@ -130,12 +133,18 @@ impl ClockSpec {
 
     /// Fastest legal clock for skew bound `epsilon`.
     pub fn fastest(epsilon: f64) -> ClockSpec {
-        ClockSpec { rate: 1.0 + epsilon, offset_ns: 0 }
+        ClockSpec {
+            rate: 1.0 + epsilon,
+            offset_ns: 0,
+        }
     }
 
     /// Slowest legal clock for skew bound `epsilon`.
     pub fn slowest(epsilon: f64) -> ClockSpec {
-        ClockSpec { rate: 1.0 / (1.0 + epsilon), offset_ns: 0 }
+        ClockSpec {
+            rate: 1.0 / (1.0 + epsilon),
+            offset_ns: 0,
+        }
     }
 }
 
@@ -154,7 +163,10 @@ impl Clock {
             "clock rate must be positive and finite, got {}",
             spec.rate
         );
-        Clock { rate: spec.rate, offset_ns: spec.offset_ns }
+        Clock {
+            rate: spec.rate,
+            offset_ns: spec.offset_ns,
+        }
     }
 
     /// The clock's rate relative to true time.
@@ -166,7 +178,10 @@ impl Clock {
     /// Read the local clock at true time `t`. Monotone non-decreasing in `t`.
     #[inline]
     pub fn local(&self, t: SimTime) -> LocalNs {
-        LocalNs(self.offset_ns.saturating_add((t.0 as f64 * self.rate) as u64))
+        LocalNs(
+            self.offset_ns
+                .saturating_add((t.0 as f64 * self.rate) as u64),
+        )
     }
 
     /// Convert a *local* duration to the true-time delta after which the
@@ -191,7 +206,10 @@ mod tests {
 
     #[test]
     fn fast_clock_reads_ahead_and_timers_fire_sooner_in_true_time() {
-        let c = Clock::new(ClockSpec { rate: 1.1, offset_ns: 0 });
+        let c = Clock::new(ClockSpec {
+            rate: 1.1,
+            offset_ns: 0,
+        });
         let read = c.local(SimTime::from_secs(10));
         assert!(read > LocalNs::from_secs(10));
         // A 1s local timer elapses in less than 1s of true time.
@@ -207,7 +225,10 @@ mod tests {
 
     #[test]
     fn offset_shifts_reads_without_changing_rate() {
-        let c = Clock::new(ClockSpec { rate: 1.0, offset_ns: 500 });
+        let c = Clock::new(ClockSpec {
+            rate: 1.0,
+            offset_ns: 500,
+        });
         assert_eq!(c.local(SimTime(0)), LocalNs(500));
         assert_eq!(c.local(SimTime(100)), LocalNs(600));
     }
@@ -233,7 +254,10 @@ mod tests {
 
     #[test]
     fn monotone_reads() {
-        let c = Clock::new(ClockSpec { rate: 0.97, offset_ns: 123 });
+        let c = Clock::new(ClockSpec {
+            rate: 0.97,
+            offset_ns: 123,
+        });
         let mut prev = LocalNs(0);
         for t in (0..10_000_000u64).step_by(997) {
             let now = c.local(SimTime(t));
@@ -245,7 +269,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "clock rate must be positive")]
     fn zero_rate_rejected() {
-        let _ = Clock::new(ClockSpec { rate: 0.0, offset_ns: 0 });
+        let _ = Clock::new(ClockSpec {
+            rate: 0.0,
+            offset_ns: 0,
+        });
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct TokenMap<T> {
 
 impl<T> Default for TokenMap<T> {
     fn default() -> Self {
-        TokenMap { next: 1, live: HashMap::new() }
+        TokenMap {
+            next: 1,
+            live: HashMap::new(),
+        }
     }
 }
 

@@ -13,8 +13,7 @@ use crate::time::{Clock, ClockSpec, LocalNs, SimTime};
 use crate::{NodeId, Payload};
 
 /// World construction parameters.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct WorldConfig {
     /// Master seed; every random decision in the run derives from it.
     pub seed: u64,
@@ -22,20 +21,30 @@ pub struct WorldConfig {
     pub record_trace: bool,
 }
 
-
 /// Fault-injection and topology controls, schedulable at a future time.
 #[derive(Debug, Clone)]
 pub enum Control {
     /// Block the directed link `src → dst` on `net`.
-    BlockDirected { net: NetId, src: NodeId, dst: NodeId },
+    BlockDirected {
+        net: NetId,
+        src: NodeId,
+        dst: NodeId,
+    },
     /// Unblock the directed link.
-    UnblockDirected { net: NetId, src: NodeId, dst: NodeId },
+    UnblockDirected {
+        net: NetId,
+        src: NodeId,
+        dst: NodeId,
+    },
     /// Block both directions between two nodes.
     BlockPair { net: NetId, a: NodeId, b: NodeId },
     /// Unblock both directions.
     UnblockPair { net: NetId, a: NodeId, b: NodeId },
     /// Partition `net` into groups (cross-group traffic blocked).
-    Partition { net: NetId, groups: Vec<Vec<NodeId>> },
+    Partition {
+        net: NetId,
+        groups: Vec<Vec<NodeId>>,
+    },
     /// Remove every block on `net`.
     Heal { net: NetId },
     /// Fail-stop a node: it stops processing deliveries and timers.
@@ -52,8 +61,17 @@ pub enum Control {
 
 /// What an event in the queue does when popped.
 enum Pending<P> {
-    Deliver { net: NetId, src: NodeId, dst: NodeId, msg: P },
-    Timer { node: NodeId, id: TimerId, token: u64 },
+    Deliver {
+        net: NetId,
+        src: NodeId,
+        dst: NodeId,
+        msg: P,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        token: u64,
+    },
     Control(Control),
 }
 
@@ -151,7 +169,8 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
         let id = NodeId(self.actors.len() as u32);
         self.actors.push(Some(actor));
         self.clocks.push(Clock::new(clock));
-        self.rngs.push(ChaCha8Rng::seed_from_u64(self.seeder.next_u64()));
+        self.rngs
+            .push(ChaCha8Rng::seed_from_u64(self.seeder.next_u64()));
         self.crashed.push(false);
         self.slow_extra.push(0);
         id
@@ -320,9 +339,7 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
 
     fn handle_control(&mut self, c: Control) {
         match c {
-            Control::BlockDirected { net, src, dst } => {
-                self.net_mut(net).block_directed(src, dst)
-            }
+            Control::BlockDirected { net, src, dst } => self.net_mut(net).block_directed(src, dst),
             Control::UnblockDirected { net, src, dst } => {
                 self.net_mut(net).unblock_directed(src, dst)
             }
@@ -355,7 +372,9 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
     }
 
     fn net_mut(&mut self, id: NetId) -> &mut Network {
-        self.networks.get_mut(&id).unwrap_or_else(|| panic!("unknown network {id}"))
+        self.networks
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown network {id}"))
     }
 
     fn dispatch(
@@ -432,7 +451,15 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
                 0
             };
             let dup_at = deliver_at.after(1 + extra);
-            self.push(dup_at, Pending::Deliver { net, src, dst, msg: msg.clone() });
+            self.push(
+                dup_at,
+                Pending::Deliver {
+                    net,
+                    src,
+                    dst,
+                    msg: msg.clone(),
+                },
+            );
         }
         self.push(deliver_at, Pending::Deliver { net, src, dst, msg });
     }
@@ -484,7 +511,13 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_, TMsg, ()>) {
             ctx.set_timer(self.period, 0);
         }
-        fn on_message(&mut self, _from: NodeId, _net: NetId, msg: TMsg, ctx: &mut Ctx<'_, TMsg, ()>) {
+        fn on_message(
+            &mut self,
+            _from: NodeId,
+            _net: NetId,
+            msg: TMsg,
+            ctx: &mut Ctx<'_, TMsg, ()>,
+        ) {
             if let TMsg::Pong(n) = msg {
                 self.received.push((ctx.now(), n));
             }
@@ -499,7 +532,10 @@ mod tests {
     }
 
     fn two_node_world(params: NetParams, seed: u64) -> (World<TMsg>, NodeId, NodeId) {
-        let mut w = World::new(WorldConfig { seed, record_trace: false });
+        let mut w = World::new(WorldConfig {
+            seed,
+            record_trace: false,
+        });
         w.add_network(NetId::CONTROL, params);
         let echo = w.add_node(Box::new(Echo), ClockSpec::ideal());
         let pinger = w.add_node(
@@ -542,13 +578,21 @@ mod tests {
             (p.received.clone(), w.events_processed())
         };
         assert_eq!(run(42), run(42), "same seed, same history");
-        assert_ne!(run(42).0, run(43).0, "different seed should perturb timings");
+        assert_ne!(
+            run(42).0,
+            run(43).0,
+            "different seed should perturb timings"
+        );
     }
 
     #[test]
     fn blocked_links_suppress_delivery_and_count() {
         let (mut w, echo, pinger) = two_node_world(NetParams::ideal(1_000_000), 7);
-        w.apply_control(Control::BlockDirected { net: NetId::CONTROL, src: pinger, dst: echo });
+        w.apply_control(Control::BlockDirected {
+            net: NetId::CONTROL,
+            src: pinger,
+            dst: echo,
+        });
         w.run_until(SimTime::from_secs(1));
         let p = w.node_ref::<Pinger>(pinger).unwrap();
         assert!(p.received.is_empty());
@@ -567,7 +611,11 @@ mod tests {
         // Block pongs (echo → pinger) but not pings: deliveries happen at
         // the echo, none at the pinger.
         let (mut w, echo, pinger) = two_node_world(NetParams::ideal(1_000_000), 7);
-        w.apply_control(Control::BlockDirected { net: NetId::CONTROL, src: echo, dst: pinger });
+        w.apply_control(Control::BlockDirected {
+            net: NetId::CONTROL,
+            src: echo,
+            dst: pinger,
+        });
         w.run_until(SimTime::from_secs(1));
         assert_eq!(w.stats().delivered_kind("ping", NetId::CONTROL), 5);
         assert_eq!(w.stats().delivered_kind("pong", NetId::CONTROL), 0);
@@ -576,8 +624,17 @@ mod tests {
     #[test]
     fn heal_restores_traffic() {
         let (mut w, echo, pinger) = two_node_world(NetParams::ideal(1_000_000), 7);
-        w.apply_control(Control::BlockPair { net: NetId::CONTROL, a: echo, b: pinger });
-        w.schedule_control(SimTime::from_millis(25), Control::Heal { net: NetId::CONTROL });
+        w.apply_control(Control::BlockPair {
+            net: NetId::CONTROL,
+            a: echo,
+            b: pinger,
+        });
+        w.schedule_control(
+            SimTime::from_millis(25),
+            Control::Heal {
+                net: NetId::CONTROL,
+            },
+        );
         w.run_until(SimTime::from_secs(1));
         let p = w.node_ref::<Pinger>(pinger).unwrap();
         // Pings at 10,20 are blocked; 30,40,50 get through.
@@ -617,7 +674,10 @@ mod tests {
                 received: Vec::new(),
                 limit: 100,
             }),
-            ClockSpec { rate: 2.0, offset_ns: 0 },
+            ClockSpec {
+                rate: 2.0,
+                offset_ns: 0,
+            },
         );
         w.run_until(SimTime::from_millis(51));
         let p = w.node_ref::<Pinger>(pinger).unwrap();
@@ -677,7 +737,10 @@ mod tests {
             drop_prob: 0.5,
             dup_prob: 0.0,
         };
-        let mut w: World<TMsg> = World::new(WorldConfig { seed: 11, record_trace: false });
+        let mut w: World<TMsg> = World::new(WorldConfig {
+            seed: 11,
+            record_trace: false,
+        });
         w.add_network(NetId::CONTROL, params);
         let echo = w.add_node(Box::new(Echo), ClockSpec::ideal());
         let pinger = w.add_node(
@@ -707,7 +770,10 @@ mod tests {
             drop_prob: 0.0,
             dup_prob: 1.0,
         };
-        let mut w: World<TMsg> = World::new(WorldConfig { seed: 3, record_trace: false });
+        let mut w: World<TMsg> = World::new(WorldConfig {
+            seed: 3,
+            record_trace: false,
+        });
         w.add_network(NetId::CONTROL, params);
         let echo = w.add_node(Box::new(Echo), ClockSpec::ideal());
         let _pinger = w.add_node(
@@ -738,7 +804,11 @@ mod tests {
         w.run_until(SimTime::from_secs(1));
         w.schedule_control(
             SimTime::from_millis(1),
-            Control::BlockPair { net: NetId::CONTROL, a, b },
+            Control::BlockPair {
+                net: NetId::CONTROL,
+                a,
+                b,
+            },
         );
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use tank_proto::{BlockId, FenceOp, NetMsg, SanMsg, SanError, SanReadOk, WriteTag};
+use tank_proto::{BlockId, FenceOp, NetMsg, SanError, SanMsg, SanReadOk, WriteTag};
 use tank_sim::{Actor, Ctx, NetId, NodeId};
 
 /// Disk geometry and behaviour.
@@ -16,7 +16,10 @@ pub struct DiskConfig {
 
 impl Default for DiskConfig {
     fn default() -> Self {
-        DiskConfig { blocks: 1 << 16, block_size: 4096 }
+        DiskConfig {
+            blocks: 1 << 16,
+            block_size: 4096,
+        }
     }
 }
 
@@ -97,7 +100,14 @@ pub struct DiskNode<Ob> {
 impl<Ob> DiskNode<Ob> {
     /// New disk with the given geometry and observer.
     pub fn new(cfg: DiskConfig, observe: Box<dyn Fn(DiskEvent) -> Option<Ob>>) -> Self {
-        DiskNode { cfg, store: HashMap::new(), fenced: HashSet::new(), failing: false, stats: DiskStats::default(), observe }
+        DiskNode {
+            cfg,
+            store: HashMap::new(),
+            fenced: HashSet::new(),
+            failing: false,
+            stats: DiskStats::default(),
+            observe,
+        }
     }
 
     /// Disk with no observer.
@@ -136,7 +146,11 @@ impl<Ob> DiskNode<Ob> {
     }
 
     /// Test-only direct read (the actor interface is the product surface).
-    pub fn testing_read(&mut self, initiator: NodeId, block: BlockId) -> Result<SanReadOk, SanError> {
+    pub fn testing_read(
+        &mut self,
+        initiator: NodeId,
+        block: BlockId,
+    ) -> Result<SanReadOk, SanError> {
         self.read(initiator, block)
     }
 
@@ -178,8 +192,14 @@ impl<Ob> DiskNode<Ob> {
         self.check_addr(block)?;
         self.stats.reads += 1;
         Ok(match self.store.get(&block) {
-            Some(b) => SanReadOk { data: b.data.clone(), tag: b.tag },
-            None => SanReadOk { data: vec![0u8; self.cfg.block_size], tag: WriteTag::default() },
+            Some(b) => SanReadOk {
+                data: b.data.clone(),
+                tag: b.tag,
+            },
+            None => SanReadOk {
+                data: vec![0u8; self.cfg.block_size],
+                tag: WriteTag::default(),
+            },
         })
     }
 
@@ -221,22 +241,40 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for DiskNode<Ob> {
             SanMsg::ReadBlock { req_id, block } => {
                 let result = self.read(from, block);
                 if let Ok(ok) = &result {
-                    let ev = DiskEvent::ReadServed { initiator: from, block, tag: ok.tag };
+                    let ev = DiskEvent::ReadServed {
+                        initiator: from,
+                        block,
+                        tag: ok.tag,
+                    };
                     if let Some(ob) = (self.observe)(ev) {
                         ctx.observe(ob);
                     }
                 } else if matches!(result, Err(SanError::Fenced)) {
-                    let ev = DiskEvent::RejectedFenced { initiator: from, block, was_write: false };
+                    let ev = DiskEvent::RejectedFenced {
+                        initiator: from,
+                        block,
+                        was_write: false,
+                    };
                     if let Some(ob) = (self.observe)(ev) {
                         ctx.observe(ob);
                     }
                 }
                 ctx.send(net, from, NetMsg::San(SanMsg::ReadResp { req_id, result }));
             }
-            SanMsg::WriteBlock { req_id, block, data, tag } => {
+            SanMsg::WriteBlock {
+                req_id,
+                block,
+                data,
+                tag,
+            } => {
                 let result = match self.write(from, block, data, tag) {
                     Ok(previous) => {
-                        let ev = DiskEvent::Hardened { initiator: from, block, tag, previous };
+                        let ev = DiskEvent::Hardened {
+                            initiator: from,
+                            block,
+                            tag,
+                            previous,
+                        };
                         if let Some(ob) = (self.observe)(ev) {
                             ctx.observe(ob);
                         }
@@ -244,8 +282,11 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for DiskNode<Ob> {
                     }
                     Err(e) => {
                         if e == SanError::Fenced {
-                            let ev =
-                                DiskEvent::RejectedFenced { initiator: from, block, was_write: true };
+                            let ev = DiskEvent::RejectedFenced {
+                                initiator: from,
+                                block,
+                                was_write: true,
+                            };
                             if let Some(ob) = (self.observe)(ev) {
                                 ctx.observe(ob);
                             }
@@ -303,7 +344,13 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg, ()>) {
             ctx.set_timer(LocalNs::from_millis(1), 0);
         }
-        fn on_message(&mut self, _from: NodeId, _net: NetId, msg: NetMsg, _ctx: &mut Ctx<'_, NetMsg, ()>) {
+        fn on_message(
+            &mut self,
+            _from: NodeId,
+            _net: NetId,
+            msg: NetMsg,
+            _ctx: &mut Ctx<'_, NetMsg, ()>,
+        ) {
             if let NetMsg::San(san) = msg {
                 self.responses.push(san);
             }
@@ -321,27 +368,45 @@ mod tests {
         let mut w: World<NetMsg> = World::new(WorldConfig::default());
         w.add_network(NetId::SAN, NetParams::ideal(10_000));
         let disk = w.add_node(
-            Box::new(DiskNode::<()>::unobserved(DiskConfig { blocks: 128, block_size: 8 })),
+            Box::new(DiskNode::<()>::unobserved(DiskConfig {
+                blocks: 128,
+                block_size: 8,
+            })),
             ClockSpec::ideal(),
         );
         let init = w.add_node(
-            Box::new(Initiator { disk, script, responses: Vec::new(), next: 0 }),
+            Box::new(Initiator {
+                disk,
+                script,
+                responses: Vec::new(),
+                next: 0,
+            }),
             ClockSpec::ideal(),
         );
         (w, disk, init)
     }
 
     fn tag(writer: u32, epoch: u64, wseq: u64) -> WriteTag {
-        WriteTag { writer: NodeId(writer), epoch: Epoch(epoch), wseq }
+        WriteTag {
+            writer: NodeId(writer),
+            epoch: Epoch(epoch),
+            wseq,
+        }
     }
 
     #[test]
     fn unwritten_blocks_read_as_zeroes_with_default_tag() {
-        let (mut w, _, init) = world_with_disk(vec![SanMsg::ReadBlock { req_id: 1, block: BlockId(5) }]);
+        let (mut w, _, init) = world_with_disk(vec![SanMsg::ReadBlock {
+            req_id: 1,
+            block: BlockId(5),
+        }]);
         w.run_until(SimTime::from_secs(1));
         let r = &w.node_ref::<Initiator>(init).unwrap().responses;
         match &r[0] {
-            SanMsg::ReadResp { req_id: 1, result: Ok(ok) } => {
+            SanMsg::ReadResp {
+                req_id: 1,
+                result: Ok(ok),
+            } => {
                 assert_eq!(ok.data, vec![0u8; 8]);
                 assert_eq!(ok.tag, WriteTag::default());
             }
@@ -353,12 +418,26 @@ mod tests {
     fn write_then_read_roundtrips_data_and_tag() {
         let t = tag(1, 3, 7);
         let (mut w, disk, init) = world_with_disk(vec![
-            SanMsg::WriteBlock { req_id: 1, block: BlockId(2), data: vec![9u8; 8], tag: t },
-            SanMsg::ReadBlock { req_id: 2, block: BlockId(2) },
+            SanMsg::WriteBlock {
+                req_id: 1,
+                block: BlockId(2),
+                data: vec![9u8; 8],
+                tag: t,
+            },
+            SanMsg::ReadBlock {
+                req_id: 2,
+                block: BlockId(2),
+            },
         ]);
         w.run_until(SimTime::from_secs(1));
         let r = &w.node_ref::<Initiator>(init).unwrap().responses;
-        assert!(matches!(r[0], SanMsg::WriteResp { req_id: 1, result: Ok(()) }));
+        assert!(matches!(
+            r[0],
+            SanMsg::WriteResp {
+                req_id: 1,
+                result: Ok(())
+            }
+        ));
         match &r[1] {
             SanMsg::ReadResp { result: Ok(ok), .. } => {
                 assert_eq!(ok.data, vec![9u8; 8]);
@@ -374,13 +453,18 @@ mod tests {
 
     #[test]
     fn out_of_range_block_is_bad_address() {
-        let (mut w, _, init) =
-            world_with_disk(vec![SanMsg::ReadBlock { req_id: 1, block: BlockId(999) }]);
+        let (mut w, _, init) = world_with_disk(vec![SanMsg::ReadBlock {
+            req_id: 1,
+            block: BlockId(999),
+        }]);
         w.run_until(SimTime::from_secs(1));
         let r = &w.node_ref::<Initiator>(init).unwrap().responses;
         assert!(matches!(
             r[0],
-            SanMsg::ReadResp { result: Err(SanError::BadAddress), .. }
+            SanMsg::ReadResp {
+                result: Err(SanError::BadAddress),
+                ..
+            }
         ));
     }
 
@@ -391,33 +475,75 @@ mod tests {
         let t = tag(2, 1, 0);
         let me = NodeId(1); // initiator gets id 1 (disk is 0)
         let (mut w, _, init) = world_with_disk(vec![
-            SanMsg::FenceCmd { req_id: 1, target: me, op: FenceOp::Fence },
-            SanMsg::WriteBlock { req_id: 2, block: BlockId(0), data: vec![1u8; 8], tag: t },
-            SanMsg::ReadBlock { req_id: 3, block: BlockId(0) },
-            SanMsg::FenceCmd { req_id: 4, target: me, op: FenceOp::Unfence },
-            SanMsg::WriteBlock { req_id: 5, block: BlockId(0), data: vec![1u8; 8], tag: t },
+            SanMsg::FenceCmd {
+                req_id: 1,
+                target: me,
+                op: FenceOp::Fence,
+            },
+            SanMsg::WriteBlock {
+                req_id: 2,
+                block: BlockId(0),
+                data: vec![1u8; 8],
+                tag: t,
+            },
+            SanMsg::ReadBlock {
+                req_id: 3,
+                block: BlockId(0),
+            },
+            SanMsg::FenceCmd {
+                req_id: 4,
+                target: me,
+                op: FenceOp::Unfence,
+            },
+            SanMsg::WriteBlock {
+                req_id: 5,
+                block: BlockId(0),
+                data: vec![1u8; 8],
+                tag: t,
+            },
         ]);
         w.run_until(SimTime::from_secs(1));
         let r = &w.node_ref::<Initiator>(init).unwrap().responses;
         assert!(matches!(r[0], SanMsg::FenceResp { req_id: 1 }));
-        assert!(matches!(r[1], SanMsg::WriteResp { result: Err(SanError::Fenced), .. }));
-        assert!(matches!(r[2], SanMsg::ReadResp { result: Err(SanError::Fenced), .. }));
+        assert!(matches!(
+            r[1],
+            SanMsg::WriteResp {
+                result: Err(SanError::Fenced),
+                ..
+            }
+        ));
+        assert!(matches!(
+            r[2],
+            SanMsg::ReadResp {
+                result: Err(SanError::Fenced),
+                ..
+            }
+        ));
         assert!(matches!(r[3], SanMsg::FenceResp { req_id: 4 }));
         assert!(matches!(r[4], SanMsg::WriteResp { result: Ok(()), .. }));
     }
 
     #[test]
     fn device_failure_injection() {
-        let mut d = DiskNode::<()>::unobserved(DiskConfig { blocks: 4, block_size: 8 });
+        let mut d = DiskNode::<()>::unobserved(DiskConfig {
+            blocks: 4,
+            block_size: 8,
+        });
         d.set_failing(true);
-        assert!(matches!(d.read(NodeId(1), BlockId(0)), Err(SanError::DeviceError)));
+        assert!(matches!(
+            d.read(NodeId(1), BlockId(0)),
+            Err(SanError::DeviceError)
+        ));
         d.set_failing(false);
         assert!(d.read(NodeId(1), BlockId(0)).is_ok());
     }
 
     #[test]
     fn overwrite_reports_previous_tag() {
-        let mut d = DiskNode::<()>::unobserved(DiskConfig { blocks: 4, block_size: 4 });
+        let mut d = DiskNode::<()>::unobserved(DiskConfig {
+            blocks: 4,
+            block_size: 4,
+        });
         let t1 = tag(1, 1, 0);
         let t2 = tag(2, 2, 0);
         let prev = d.write(NodeId(1), BlockId(0), vec![1; 4], t1).unwrap();
@@ -430,7 +556,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "partial-block")]
     fn wrong_sized_write_panics() {
-        let mut d = DiskNode::<()>::unobserved(DiskConfig { blocks: 4, block_size: 8 });
+        let mut d = DiskNode::<()>::unobserved(DiskConfig {
+            blocks: 4,
+            block_size: 8,
+        });
         let _ = d.write(NodeId(1), BlockId(0), vec![1; 3], tag(1, 1, 0));
     }
 
@@ -440,7 +569,10 @@ mod tests {
         w.add_network(NetId::SAN, NetParams::ideal(10_000));
         let disk = w.add_node(
             Box::new(DiskNode::new(
-                DiskConfig { blocks: 16, block_size: 4 },
+                DiskConfig {
+                    blocks: 16,
+                    block_size: 4,
+                },
                 Box::new(Some),
             )),
             ClockSpec::ideal(),
@@ -453,13 +585,29 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg, DiskEvent>) {
                 ctx.set_timer(LocalNs::from_millis(1), 0);
             }
-            fn on_message(&mut self, _: NodeId, _: NetId, _: NetMsg, _: &mut Ctx<'_, NetMsg, DiskEvent>) {}
+            fn on_message(
+                &mut self,
+                _: NodeId,
+                _: NetId,
+                _: NetMsg,
+                _: &mut Ctx<'_, NetMsg, DiskEvent>,
+            ) {
+            }
             fn on_timer(&mut self, _: u64, ctx: &mut Ctx<'_, NetMsg, DiskEvent>) {
-                let t = WriteTag { writer: ctx.node(), epoch: Epoch(1), wseq: 0 };
+                let t = WriteTag {
+                    writer: ctx.node(),
+                    epoch: Epoch(1),
+                    wseq: 0,
+                };
                 ctx.send(
                     NetId::SAN,
                     self.disk,
-                    NetMsg::San(SanMsg::WriteBlock { req_id: 1, block: BlockId(0), data: vec![7; 4], tag: t }),
+                    NetMsg::San(SanMsg::WriteBlock {
+                        req_id: 1,
+                        block: BlockId(0),
+                        data: vec![7; 4],
+                        tag: t,
+                    }),
                 );
             }
         }
@@ -468,7 +616,9 @@ mod tests {
         let obs = w.observations();
         assert_eq!(obs.len(), 1);
         match obs[0].2 {
-            DiskEvent::Hardened { initiator, block, .. } => {
+            DiskEvent::Hardened {
+                initiator, block, ..
+            } => {
                 assert_eq!(initiator, driver);
                 assert_eq!(block, BlockId(0));
             }

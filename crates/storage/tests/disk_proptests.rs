@@ -10,16 +10,34 @@ use tank_storage::{DiskConfig, DiskNode};
 /// covered by the unit tests; here we exercise the storage semantics.
 #[derive(Debug, Clone)]
 enum Op {
-    Write { initiator: u32, block: u64, fill: u8 },
-    Read { initiator: u32, block: u64 },
-    Fence { target: u32 },
-    Unfence { target: u32 },
+    Write {
+        initiator: u32,
+        block: u64,
+        fill: u8,
+    },
+    Read {
+        initiator: u32,
+        block: u64,
+    },
+    Fence {
+        target: u32,
+    },
+    Unfence {
+        target: u32,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u32..4, 0u64..16, any::<u8>()).prop_map(|(i, b, f)| Op::Write { initiator: i, block: b, fill: f }),
-        (0u32..4, 0u64..16).prop_map(|(i, b)| Op::Read { initiator: i, block: b }),
+        (0u32..4, 0u64..16, any::<u8>()).prop_map(|(i, b, f)| Op::Write {
+            initiator: i,
+            block: b,
+            fill: f
+        }),
+        (0u32..4, 0u64..16).prop_map(|(i, b)| Op::Read {
+            initiator: i,
+            block: b
+        }),
         (0u32..4).prop_map(|t| Op::Fence { target: t }),
         (0u32..4).prop_map(|t| Op::Unfence { target: t }),
     ]

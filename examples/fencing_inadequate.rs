@@ -33,29 +33,86 @@ fn scenario(policy: RecoveryPolicy, lease_clients: bool) -> RunReport {
     cluster.attach_script(
         0,
         Script::new()
-            .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xAA; BS] })
-            .at(ms(2_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xA2; BS] })
-            .at(ms(4_500), FsOp::Read { path: "/f0".into(), offset: 0, len: 16 })
-            .at(ms(5_000), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xA3; BS] }),
+            .at(
+                ms(500),
+                FsOp::Write {
+                    path: "/f0".into(),
+                    offset: 0,
+                    data: vec![0xAA; BS],
+                },
+            )
+            .at(
+                ms(2_500),
+                FsOp::Write {
+                    path: "/f0".into(),
+                    offset: 0,
+                    data: vec![0xA2; BS],
+                },
+            )
+            .at(
+                ms(4_500),
+                FsOp::Read {
+                    path: "/f0".into(),
+                    offset: 0,
+                    len: 16,
+                },
+            )
+            .at(
+                ms(5_000),
+                FsOp::Write {
+                    path: "/f0".into(),
+                    offset: 0,
+                    data: vec![0xA3; BS],
+                },
+            ),
     );
     // The surviving client takes over the file.
     cluster.attach_script(
         1,
-        Script::new().at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xBB; BS] }),
+        Script::new().at(
+            ms(1_500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xBB; BS],
+            },
+        ),
     );
-    cluster.isolate_control(0, SimTime::from_millis(1_000), Some(SimTime::from_millis(12_000)));
+    cluster.isolate_control(
+        0,
+        SimTime::from_millis(1_000),
+        Some(SimTime::from_millis(12_000)),
+    );
     cluster.run_until(SimTime::from_secs(20));
     cluster.finish()
 }
 
 fn describe(label: &str, r: &RunReport) {
     println!("{label}");
-    println!("  lost updates (acked writes stranded):  {}", r.check.lost_updates.len());
-    println!("  stale reads served to local processes: {}", r.check.stale_reads.len());
-    println!("  write-order corruption on disk:        {}", r.check.write_order_violations.len());
-    println!("  honest denials (EIO-style errors):     {}", r.check.ops_denied);
-    println!("  fence rejections at the disks:         {}", r.check.fence_rejections);
-    println!("  verdict: {}", if r.check.safe() { "SAFE" } else { "VIOLATED" });
+    println!(
+        "  lost updates (acked writes stranded):  {}",
+        r.check.lost_updates.len()
+    );
+    println!(
+        "  stale reads served to local processes: {}",
+        r.check.stale_reads.len()
+    );
+    println!(
+        "  write-order corruption on disk:        {}",
+        r.check.write_order_violations.len()
+    );
+    println!(
+        "  honest denials (EIO-style errors):     {}",
+        r.check.ops_denied
+    );
+    println!(
+        "  fence rejections at the disks:         {}",
+        r.check.fence_rejections
+    );
+    println!(
+        "  verdict: {}",
+        if r.check.safe() { "SAFE" } else { "VIOLATED" }
+    );
     println!();
 }
 
@@ -66,7 +123,10 @@ fn main() {
     let leased = scenario(RecoveryPolicy::LeaseFence, true);
     describe("lease + fence (the paper's protocol, §3):", &leased);
 
-    assert!(!fenced.check.safe(), "fencing alone must exhibit §2.1's failures");
+    assert!(
+        !fenced.check.safe(),
+        "fencing alone must exhibit §2.1's failures"
+    );
     assert!(leased.check.safe(), "the lease protocol must not");
     println!("fencing stops disk corruption but silently lies to the fenced client;");
     println!("the lease protocol flushes in phase 4 and refuses service honestly.");

@@ -30,21 +30,53 @@ fn main() {
     cluster.attach_script(
         0,
         Script::new()
-            .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xAA; BS] })
+            .at(
+                ms(500),
+                FsOp::Write {
+                    path: "/f0".into(),
+                    offset: 0,
+                    data: vec![0xAA; BS],
+                },
+            )
             // ...and while isolated, its local processes are *refused*
             // (phase 3) instead of being fed stale cache:
-            .at(ms(3_000), FsOp::Read { path: "/f0".into(), offset: 0, len: 16 }),
+            .at(
+                ms(3_000),
+                FsOp::Read {
+                    path: "/f0".into(),
+                    offset: 0,
+                    len: 16,
+                },
+            ),
     );
     // C1 wants the same file mid-partition.
     cluster.attach_script(
         1,
         Script::new()
-            .at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xBB; BS] })
-            .at(ms(8_000), FsOp::Read { path: "/f0".into(), offset: 0, len: 16 }),
+            .at(
+                ms(1_500),
+                FsOp::Write {
+                    path: "/f0".into(),
+                    offset: 0,
+                    data: vec![0xBB; BS],
+                },
+            )
+            .at(
+                ms(8_000),
+                FsOp::Read {
+                    path: "/f0".into(),
+                    offset: 0,
+                    len: 16,
+                },
+            ),
     );
 
     println!("t=1.0s: control network partitions C0 from the server (SAN stays up)");
-    cluster.isolate_control(0, SimTime::from_millis(1_000), Some(SimTime::from_millis(12_000)));
+    cluster.isolate_control(
+        0,
+        SimTime::from_millis(1_000),
+        Some(SimTime::from_millis(12_000)),
+    );
     println!("t=12s:  partition heals\n");
     cluster.run_until(SimTime::from_secs(16));
 
@@ -89,7 +121,11 @@ fn main() {
         report.check.lost_updates.len(),
         report.check.stale_reads.len(),
         report.check.write_order_violations.len(),
-        if report.check.safe() { "SAFE" } else { "VIOLATED" }
+        if report.check.safe() {
+            "SAFE"
+        } else {
+            "VIOLATED"
+        }
     );
     assert!(report.check.safe());
 }

@@ -19,9 +19,7 @@ fn main() {
         duration: SimTime::from_secs(60),
         seed: 12,
     };
-    println!(
-        "16 active clients, 128 cached objects each, one op ≈ every 50ms, τ = 10s, 60s run\n"
-    );
+    println!("16 active clients, 128 cached objects each, one op ≈ every 50ms, τ = 10s, 60s run\n");
     let mut t = Table::new(&[
         "scheme",
         "useful ops",
@@ -30,7 +28,12 @@ fn main() {
         "server lease bytes (peak)",
         "server lease ops",
     ]);
-    for scheme in [Scheme::Tank, Scheme::VLease, Scheme::Heartbeat, Scheme::NfsPoll] {
+    for scheme in [
+        Scheme::Tank,
+        Scheme::VLease,
+        Scheme::Heartbeat,
+        Scheme::NfsPoll,
+    ] {
         let r = run_lease_layer(scheme, params);
         t.row(vec![
             r.scheme.label().into(),

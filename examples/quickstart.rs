@@ -27,10 +27,34 @@ fn main() {
     cluster.attach_script(
         0,
         Script::new()
-            .at(ms(100), FsOp::Create { path: "/hello".into() })
-            .at(ms(200), FsOp::Write { path: "/hello".into(), offset: 0, data: b"storage tank".to_vec() })
-            .at(ms(300), FsOp::Read { path: "/hello".into(), offset: 0, len: 12 })
-            .at(ms(400), FsOp::Stat { path: "/hello".into() }),
+            .at(
+                ms(100),
+                FsOp::Create {
+                    path: "/hello".into(),
+                },
+            )
+            .at(
+                ms(200),
+                FsOp::Write {
+                    path: "/hello".into(),
+                    offset: 0,
+                    data: b"storage tank".to_vec(),
+                },
+            )
+            .at(
+                ms(300),
+                FsOp::Read {
+                    path: "/hello".into(),
+                    offset: 0,
+                    len: 12,
+                },
+            )
+            .at(
+                ms(400),
+                FsOp::Stat {
+                    path: "/hello".into(),
+                },
+            ),
     );
 
     // Client 1 runs a random closed-loop workload over the shared files.

@@ -1,0 +1,162 @@
+//! Vendored minimal benchmarking harness, API-compatible with the slice
+//! of `criterion` this workspace's benches use.
+//!
+//! Each benchmark runs a short calibrated loop and prints one line of
+//! timing. There are no statistical reports or HTML output — the point is
+//! that `cargo bench` runs offline and the bench code keeps compiling
+//! against the real criterion API shape.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] times the loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f` over a short adaptive loop.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm up once, then run for a bounded wall-clock budget.
+        std::hint::black_box(f());
+        let budget = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if iters >= 10 && (start.elapsed() >= budget || iters >= 1_000_000) {
+                break;
+            }
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; only the routine
+    /// (not the setup) counts toward the reported time.
+    pub fn iter_with_setup<I, T, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        std::hint::black_box(routine(setup()));
+        let budget = Duration::from_millis(20);
+        let mut timed = Duration::ZERO;
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += t0.elapsed();
+            iters += 1;
+            if iters >= 10 && (start.elapsed() >= budget || iters >= 1_000_000) {
+                break;
+            }
+        }
+        self.ns_per_iter = timed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mb_s = n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+            println!("bench {name}: {ns_per_iter:.1} ns/iter ({mb_s:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / ns_per_iter * 1e9;
+            println!("bench {name}: {ns_per_iter:.1} ns/iter ({elem_s:.0} elem/s)");
+        }
+        None => println!("bench {name}: {ns_per_iter:.1} ns/iter"),
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&name.into(), b.ns_per_iter, None);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.into()),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

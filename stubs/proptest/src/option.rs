@@ -1,0 +1,26 @@
+//! Option strategies (`proptest::option::of`).
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// See [`of`].
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.random_bool(0.25) {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+/// `Some` of the inner strategy most of the time, `None` for the rest.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}

@@ -1,0 +1,30 @@
+//! Deterministic per-test RNG plumbing and the failure type the assertion
+//! macros thread out of a property body.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The generator driving all strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Seed a test's generator from its (module-qualified) name, so every run
+/// of a given property replays the same cases.
+pub fn rng_for(name: &str) -> TestRng {
+    // FNV-1a over the name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A failed property case (carried by `prop_assert!`-style macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}

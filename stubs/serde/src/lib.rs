@@ -1,0 +1,15 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The workspace annotates types with `serde::Serialize` /
+//! `serde::Deserialize` derives but never invokes a serializer, so the
+//! traits here are markers and the derives (re-exported from the local
+//! `serde_derive`) expand to nothing. This keeps the annotations — and
+//! the door to real serialization later — without registry access.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Vendored no-op `serde` derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types for
+//! forward compatibility with report tooling, but nothing in-tree calls a
+//! serializer. These derives accept the same syntax (including `#[serde]`
+//! helper attributes) and expand to nothing, which keeps every annotated
+//! type compiling without a registry connection.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

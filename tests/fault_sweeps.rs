@@ -49,7 +49,7 @@ fn chaos_run(policy: RecoveryPolicy, lease_clients: bool, seed: u64) -> RunRepor
     for _ in 0..2 {
         let victim = rng.random_range(0..3);
         let at = SimTime::from_millis(rng.random_range(2_000..12_000));
-        let dur = rng.random_range(4_000..10_000);
+        let dur = rng.random_range(4_000u64..10_000);
         cluster.isolate_control(victim, at, Some(at.after(dur * 1_000_000)));
     }
     let crash_victim = rng.random_range(0..3);
@@ -91,7 +91,10 @@ fn steal_without_fencing_breaks_somewhere_in_the_sweep() {
             + report.check.write_order_violations.len()
             + report.check.lost_updates.len();
     }
-    assert!(violations > 0, "the unsafe baseline must eventually corrupt");
+    assert!(
+        violations > 0,
+        "the unsafe baseline must eventually corrupt"
+    );
 }
 
 #[test]

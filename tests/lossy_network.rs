@@ -58,7 +58,10 @@ fn twenty_percent_loss_still_never_corrupts() {
     // timeouts occur — the protocol may sacrifice availability, never
     // safety.
     let mut cluster = Cluster::build(lossy_cfg(0.20, 0.05), 9);
-    let mix = Mix { think_mean: LocalNs::from_millis(10), ..Mix::default() };
+    let mix = Mix {
+        think_mean: LocalNs::from_millis(10),
+        ..Mix::default()
+    };
     for i in 0..3 {
         cluster.attach_workload(i, Box::new(PrimaryBiasGen::new(i, 3, 0.8, mix)));
     }
@@ -79,7 +82,12 @@ fn duplicated_requests_execute_at_most_once() {
     let ms = LocalNs::from_millis;
     let mut script = tank_client::fs::Script::new();
     for i in 0..40 {
-        script = script.at(ms(100 + i * 50), tank_client::FsOp::Create { path: format!("/x{i}") });
+        script = script.at(
+            ms(100 + i * 50),
+            tank_client::FsOp::Create {
+                path: format!("/x{i}"),
+            },
+        );
     }
     cluster.attach_script(0, script);
     cluster.run_until(SimTime::from_secs(10));

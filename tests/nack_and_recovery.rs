@@ -41,16 +41,28 @@ fn transient(nack: bool) -> (Cluster, RunReport) {
     cfg.policy = RecoveryPolicy::LeaseFence;
     cfg.nack_suspect = nack;
     let mut cluster = Cluster::build(cfg, 99);
-    let mut c0 = Script::new()
-        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![1; BS] });
+    let mut c0 = Script::new().at(
+        ms(500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![1; BS],
+        },
+    );
     // Steady stats: before, during (denied/queued), and after the window.
     let mut tt = 800;
     while tt < 9_000 {
         c0 = c0.at(ms(tt), FsOp::Stat { path: "/f0".into() });
         tt += 300;
     }
-    let c1 = Script::new()
-        .at(ms(1_200), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![2; BS] });
+    let c1 = Script::new().at(
+        ms(1_200),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![2; BS],
+        },
+    );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
     cluster.isolate_control(0, t(1_000), Some(t(2_500)));
@@ -70,7 +82,9 @@ fn nack_tells_the_client_immediately() {
     // right after the 2.5s heal. Check it quiesced at all and recovered.
     let c0 = cluster.clients[0];
     let evs = cluster.world.observations();
-    assert!(evs.iter().any(|(_, n, e)| *n == c0 && matches!(e, Event::Quiesced)));
+    assert!(evs
+        .iter()
+        .any(|(_, n, e)| *n == c0 && matches!(e, Event::Quiesced)));
     assert!(evs
         .iter()
         .any(|(_, _, e)| matches!(e, Event::NewSession { client } if *client == c0)));
@@ -78,7 +92,14 @@ fn nack_tells_the_client_immediately() {
     let late_ok = evs.iter().any(|(tt, n, e)| {
         *n == c0
             && tt.0 > 8_000_000_000
-            && matches!(e, Event::OpCompleted { kind: "stat", ok: true, .. })
+            && matches!(
+                e,
+                Event::OpCompleted {
+                    kind: "stat",
+                    ok: true,
+                    ..
+                }
+            )
     });
     assert!(late_ok, "C0 serves again after re-Hello");
 }
@@ -121,10 +142,13 @@ fn suspect_client_is_never_acked_before_steal() {
         .map(|(t, _, _)| *t)
         .expect("steal");
     assert!(t_err < t_steal);
-    let resumed_in_window = evs.iter().any(|(tt, n, e)| {
-        *n == c0 && *tt > t_err && *tt < t_steal && matches!(e, Event::Resumed)
-    });
-    assert!(!resumed_in_window, "no renewal between timer start and steal");
+    let resumed_in_window = evs
+        .iter()
+        .any(|(tt, n, e)| *n == c0 && *tt > t_err && *tt < t_steal && matches!(e, Event::Resumed));
+    assert!(
+        !resumed_in_window,
+        "no renewal between timer start and steal"
+    );
 }
 
 #[test]

@@ -49,14 +49,63 @@ fn figure2(policy: RecoveryPolicy, lease_clients: bool) -> Cluster {
     cfg.skew_clocks = true;
     let mut cluster = Cluster::build(cfg, 1234);
     let c0 = Script::new()
-        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xAA; BS] })
-        .at(ms(700), FsOp::Read { path: "/f0".into(), offset: 0, len: 64 })
-        .at(ms(2_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xA2; BS] })
-        .at(ms(4_500), FsOp::Read { path: "/f0".into(), offset: 0, len: 64 })
-        .at(ms(5_000), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xA3; BS] });
+        .at(
+            ms(500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xAA; BS],
+            },
+        )
+        .at(
+            ms(700),
+            FsOp::Read {
+                path: "/f0".into(),
+                offset: 0,
+                len: 64,
+            },
+        )
+        .at(
+            ms(2_500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xA2; BS],
+            },
+        )
+        .at(
+            ms(4_500),
+            FsOp::Read {
+                path: "/f0".into(),
+                offset: 0,
+                len: 64,
+            },
+        )
+        .at(
+            ms(5_000),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xA3; BS],
+            },
+        );
     let c1 = Script::new()
-        .at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xBB; BS] })
-        .at(ms(9_000), FsOp::Read { path: "/f0".into(), offset: 0, len: 64 });
+        .at(
+            ms(1_500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xBB; BS],
+            },
+        )
+        .at(
+            ms(9_000),
+            FsOp::Read {
+                path: "/f0".into(),
+                offset: 0,
+                len: 64,
+            },
+        );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
     cluster.isolate_control(0, t(1_000), Some(t(12_000)));
@@ -91,7 +140,9 @@ fn lease_fence_is_safe_and_available() {
     // delivery error → lease expiry → fence → steal.
     let evs = cluster.world.observations();
     let pos = |pred: &dyn Fn(&Event) -> bool| {
-        evs.iter().position(|(_, _, e)| pred(e)).unwrap_or(usize::MAX)
+        evs.iter()
+            .position(|(_, _, e)| pred(e))
+            .unwrap_or(usize::MAX)
     };
     let c0 = cluster.clients[0];
     let p_err = pos(&|e| matches!(e, Event::DeliveryError { client } if *client == c0));
@@ -125,7 +176,11 @@ fn lease_fence_is_safe_and_available() {
     assert_eq!(report.check.lost_updates.len(), 0);
     // The isolated client *refused* service while suspect (§3.2) instead
     // of serving stale data: its 3s/4s ops were denied.
-    assert!(report.check.ops_denied >= 1, "denied: {}", report.check.ops_denied);
+    assert!(
+        report.check.ops_denied >= 1,
+        "denied: {}",
+        report.check.ops_denied
+    );
     // After the heal, C0 re-established a session.
     assert!(evs
         .iter()
@@ -177,15 +232,19 @@ fn steal_immediately_corrupts_shared_data() {
     );
     // Specifically: C0's late write lands on top of C1's newer epoch.
     assert!(
-        !report.check.write_order_violations.is_empty()
-            || !report.check.stale_reads.is_empty(),
+        !report.check.write_order_violations.is_empty() || !report.check.stale_reads.is_empty(),
         "expected order violations or stale reads: {:#?}",
         report.check
     );
     // Availability was immediate though (that is the seduction): C1
     // waited well under the lease timeout.
     let c1 = cluster.clients[1];
-    let w = report.check.unavailability.iter().find(|w| w.client == c1).unwrap();
+    let w = report
+        .check
+        .unavailability
+        .iter()
+        .find(|w| w.client == c1)
+        .unwrap();
     let waited_s = (w.until.unwrap().0 - w.from.0) as f64 / 1e9;
     assert!(waited_s < 1.5, "steal is fast: {waited_s}");
 }
@@ -235,10 +294,22 @@ fn asymmetric_outbound_partition_still_resolves() {
     cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(2));
     cfg.policy = RecoveryPolicy::LeaseFence;
     let mut cluster = Cluster::build(cfg, 77);
-    let c0 = Script::new()
-        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![1; BS] });
-    let c1 = Script::new()
-        .at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![2; BS] });
+    let c0 = Script::new().at(
+        ms(500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![1; BS],
+        },
+    );
+    let c1 = Script::new().at(
+        ms(1_500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![2; BS],
+        },
+    );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
     cluster.isolate_control_outbound(0, t(1_000), Some(t(15_000)));
@@ -246,10 +317,18 @@ fn asymmetric_outbound_partition_still_resolves() {
     let report = cluster.finish();
     assert!(report.check.safe(), "{:#?}", report.check);
     assert!(report.server.delivery_errors >= 1);
-    assert!(report.server.locks_stolen >= 1, "C0's lock was eventually stolen");
+    assert!(
+        report.server.locks_stolen >= 1,
+        "C0's lock was eventually stolen"
+    );
     // C1 got its grant.
     let c1id = cluster.clients[1];
-    let w = report.check.unavailability.iter().find(|w| w.client == c1id).unwrap();
+    let w = report
+        .check
+        .unavailability
+        .iter()
+        .find(|w| w.client == c1id)
+        .unwrap();
     assert!(w.until.is_some());
 }
 
@@ -276,11 +355,31 @@ fn crashed_client_is_timed_out_and_excused() {
             .unwrap();
         let _ = node; // flush interval stays default; the crash at 1s beats the 2s flush anyway
     }
-    let c0 = Script::new()
-        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![7; BS] });
+    let c0 = Script::new().at(
+        ms(500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![7; BS],
+        },
+    );
     let c1 = Script::new()
-        .at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![8; BS] })
-        .at(ms(12_000), FsOp::Read { path: "/f0".into(), offset: 0, len: 16 });
+        .at(
+            ms(1_500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![8; BS],
+            },
+        )
+        .at(
+            ms(12_000),
+            FsOp::Read {
+                path: "/f0".into(),
+                offset: 0,
+                len: 16,
+            },
+        );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
     cluster.crash_client(0, t(1_000), None);
@@ -301,8 +400,14 @@ fn client_restart_after_crash_rejoins_cleanly() {
     cfg.block_size = BS;
     cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(2));
     let mut cluster = Cluster::build(cfg, 6);
-    let c0 = Script::new()
-        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![7; BS] });
+    let c0 = Script::new().at(
+        ms(500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![7; BS],
+        },
+    );
     cluster.attach_script(0, c0);
     cluster.crash_client(0, t(1_000), Some(t(3_000)));
     cluster.run_until(SimTime::from_secs(15));
@@ -317,5 +422,8 @@ fn client_restart_after_crash_rejoins_cleanly() {
         .iter()
         .filter(|(_, _, e)| matches!(e, Event::NewSession { client } if *client == c0id))
         .count();
-    assert!(sessions >= 2, "initial + post-restart sessions, got {sessions}");
+    assert!(
+        sessions >= 2,
+        "initial + post-restart sessions, got {sessions}"
+    );
 }

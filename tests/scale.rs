@@ -52,8 +52,14 @@ fn sixteen_clients_one_virtual_minute() {
     // keep-alives belong to the rare timed-out client riding out its
     // suspect window (it is refused ACKs, so it keeps probing). Bound the
     // total well below one per client-second.
-    let kas = cluster.world.stats().sent_kind("keep_alive", NetId::CONTROL);
-    assert!(kas < 16 * 60 / 4, "dedicated lease traffic stayed negligible: {kas}");
+    let kas = cluster
+        .world
+        .stats()
+        .sent_kind("keep_alive", NetId::CONTROL);
+    assert!(
+        kas < 16 * 60 / 4,
+        "dedicated lease traffic stayed negligible: {kas}"
+    );
     // Locks churned heavily and fairly (every client got work done).
     for (i, c) in report.clients.iter().enumerate() {
         assert!(c.completed > 200, "client {i} starved: {c:?}");

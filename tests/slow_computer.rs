@@ -29,11 +29,31 @@ fn slow_writer_scenario(policy: RecoveryPolicy, seed: u64) -> (Cluster, RunRepor
     cfg.policy = policy;
     let mut cluster = Cluster::build(cfg, seed);
     let ms = LocalNs::from_millis;
-    let c0 = Script::new()
-        .at(ms(500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xAA; BS] });
+    let c0 = Script::new().at(
+        ms(500),
+        FsOp::Write {
+            path: "/f0".into(),
+            offset: 0,
+            data: vec![0xAA; BS],
+        },
+    );
     let c1 = Script::new()
-        .at(ms(1_500), FsOp::Write { path: "/f0".into(), offset: 0, data: vec![0xBB; BS] })
-        .at(ms(9_000), FsOp::Read { path: "/f0".into(), offset: 0, len: 16 });
+        .at(
+            ms(1_500),
+            FsOp::Write {
+                path: "/f0".into(),
+                offset: 0,
+                data: vec![0xBB; BS],
+            },
+        )
+        .at(
+            ms(9_000),
+            FsOp::Read {
+                path: "/f0".into(),
+                offset: 0,
+                len: 16,
+            },
+        );
     cluster.attach_script(0, c0);
     cluster.attach_script(1, c1);
     // The slow computer: outbound datagrams take an extra 8s from t=0.6s.
