@@ -23,7 +23,9 @@
 pub mod cache;
 pub mod fs;
 pub mod node;
+pub mod obs;
 
 pub use cache::BlockCache;
 pub use fs::{ClientEvent, FsData, FsErr, FsOp, OpGen};
 pub use node::{ClientConfig, ClientNode, ClientStats};
+pub use obs::ClientObs;

@@ -1,8 +1,10 @@
 //! The Storage Tank client actor.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use tank_core::{ClientLease, LeaseAction, LeaseConfig, Phase};
+use tank_obs::Registry;
 use tank_proto::message::{FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     stripe_disk, BlockId, CtlMsg, Epoch, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId,
@@ -12,6 +14,7 @@ use tank_sim::{Actor, Ctx, LocalNs, NetId, TimerId, TokenMap};
 
 use crate::cache::BlockCache;
 use crate::fs::{ClientEvent, FsData, FsErr, FsOp, FsResult, OpGen, Script};
+use crate::obs::ClientObs;
 
 /// Client configuration.
 #[derive(Debug, Clone)]
@@ -330,6 +333,7 @@ pub struct ClientNode<Ob> {
     results: std::collections::VecDeque<(OpId, FsResult)>,
     stats: ClientStats,
     observe: Box<dyn Fn(ClientEvent) -> Option<Ob>>,
+    obs: Option<ClientObs>,
 }
 
 /// Cap on the retained per-client result log.
@@ -375,12 +379,25 @@ impl<Ob> ClientNode<Ob> {
             results: std::collections::VecDeque::new(),
             stats: ClientStats::default(),
             observe,
+            obs: None,
         }
     }
 
     /// Client with no observer.
     pub fn unobserved(cfg: ClientConfig) -> Self {
         ClientNode::new(cfg, Box::new(|_| None))
+    }
+
+    /// Attach an observability registry: lease-lifecycle counters, the
+    /// renewal-headroom histogram, and structured trace events.
+    pub fn set_obs(&mut self, registry: Arc<Registry>) {
+        self.obs = Some(ClientObs::new(registry));
+    }
+
+    /// Builder form of [`set_obs`](Self::set_obs).
+    pub fn with_obs(mut self, registry: Arc<Registry>) -> Self {
+        self.set_obs(registry);
+        self
     }
 
     /// Attach a closed-loop workload generator (before the world starts).
@@ -524,6 +541,12 @@ impl<Ob> ClientNode<Ob> {
         };
         p.timer = Some(ctx.set_timer(delay, token));
         self.stats.retransmits += 1;
+        if let Some(obs) = &self.obs {
+            obs.retransmits.inc();
+            obs.trace(ctx, "retransmit", || {
+                format!("seq={} rto_ns={}", seq.0, delay.0)
+            });
+        }
         ctx.send(NetId::CONTROL, server, NetMsg::Ctl(CtlMsg::Request(msg)));
     }
 
@@ -553,6 +576,10 @@ impl<Ob> ClientNode<Ob> {
         let first_service = !self.serving;
         self.serving = true;
         if first_service {
+            if let Some(obs) = &self.obs {
+                obs.phase_resume.inc();
+                obs.trace(ctx, "phase", || format!("active session={}", session.0));
+            }
             self.emit(ClientEvent::Resumed, ctx);
         }
         self.pump_lease(ctx);
@@ -593,6 +620,13 @@ impl<Ob> ClientNode<Ob> {
         self.seen_pushes.clear();
         let discarded = self.cache.invalidate_all();
         self.name_cache.clear();
+        if let Some(obs) = &self.obs {
+            obs.phase_invalid.inc();
+            obs.discarded_dirty.add(discarded as u64);
+            obs.trace(ctx, "phase", || {
+                format!("invalid discarded_dirty={discarded}")
+            });
+        }
         self.emit(
             ClientEvent::CacheInvalidated {
                 discarded_dirty: discarded,
@@ -617,6 +651,10 @@ impl<Ob> ClientNode<Ob> {
                 }
                 LeaseAction::BeginQuiesce => {
                     self.serving = false;
+                    if let Some(obs) = &self.obs {
+                        obs.phase_quiesce.inc();
+                        obs.trace(ctx, "phase", || "quiescing".to_owned());
+                    }
                     self.emit(ClientEvent::Quiesced, ctx);
                 }
                 LeaseAction::BeginFlush => {
@@ -624,6 +662,12 @@ impl<Ob> ClientNode<Ob> {
                     // is presumed dead, so sizes are not committed — data
                     // reaches disk, which is the §3.2 obligation.
                     let inos = self.cache.dirty_inos();
+                    if let Some(obs) = &self.obs {
+                        obs.phase_flush.inc();
+                        obs.trace(ctx, "phase", || {
+                            format!("flushing dirty_inos={}", inos.len())
+                        });
+                    }
                     for ino in inos {
                         self.start_flush(ino, AfterFlush::Nothing, ctx);
                     }
@@ -632,8 +676,17 @@ impl<Ob> ClientNode<Ob> {
                     self.local_expiry(ctx);
                 }
                 LeaseAction::Resume => {
-                    self.serving = true;
-                    self.emit(ClientEvent::Resumed, ctx);
+                    // After a post-expiry re-hello the session reset has
+                    // already resumed service; only an actual transition
+                    // counts as a phase change.
+                    if !self.serving {
+                        self.serving = true;
+                        if let Some(obs) = &self.obs {
+                            obs.phase_resume.inc();
+                            obs.trace(ctx, "phase", || "active resumed".to_owned());
+                        }
+                        self.emit(ClientEvent::Resumed, ctx);
+                    }
                     self.maybe_next_gen_op(ctx);
                 }
             }
@@ -1683,8 +1736,23 @@ impl<Ob> ClientNode<Ob> {
         };
         match resp.outcome {
             ResponseOutcome::Acked(result) => {
-                let renewed = self.lease.on_ack(resp.seq, ctx.now());
+                // Headroom must be read *before* the ACK extends the lease:
+                // it is the margin the old lease still had when renewal
+                // landed — the measured slack in Theorem 3.1's ordering.
+                let prior_expiry = self.lease.expiry();
+                let now = ctx.now();
+                let renewed = self.lease.on_ack(resp.seq, now);
                 if renewed {
+                    if let Some(obs) = &self.obs {
+                        obs.renewals.inc();
+                        // The first ack of a session extends nothing, so
+                        // headroom is only defined when a lease was live.
+                        if let Some(e) = prior_expiry {
+                            let headroom = e.0.saturating_sub(now.0);
+                            obs.renewal_headroom_ns.observe(headroom);
+                            obs.trace(ctx, "renewal", || format!("headroom_ns={headroom}"));
+                        }
+                    }
                     self.pump_lease(ctx);
                 }
                 self.dispatch_reply(p.purpose, result, ctx);
@@ -2128,7 +2196,12 @@ impl<Ob> ClientNode<Ob> {
                 }
             }
             other => {
-                debug_assert!(false, "client got unexpected SAN message {other:?}");
+                // Protocol anomaly: counted and traced, never printed —
+                // normal runs stay silent, exporter runs see it structured.
+                if let Some(obs) = &self.obs {
+                    obs.unexpected_msgs.inc();
+                    obs.trace(ctx, "unexpected", || format!("san {other:?}"));
+                }
             }
         }
     }
@@ -2199,8 +2272,15 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
             NetMsg::Ctl(CtlMsg::Response(resp)) => self.on_response(resp, ctx),
             NetMsg::Ctl(CtlMsg::Push(push)) => self.on_push(push, ctx),
             NetMsg::San(san) => self.on_san_resp(san, ctx),
-            NetMsg::Ctl(CtlMsg::Request(_)) => {
-                debug_assert!(false, "client got a request");
+            NetMsg::Ctl(CtlMsg::Request(req)) => {
+                // Only servers receive requests; count the anomaly instead
+                // of asserting so a confused peer cannot take us down.
+                if let Some(obs) = &self.obs {
+                    obs.unexpected_msgs.inc();
+                    obs.trace(ctx, "unexpected", || {
+                        format!("request seq={} from n{}", req.seq.0, req.src.0)
+                    });
+                }
             }
         }
         self.pump_lease(ctx);

@@ -1,0 +1,82 @@
+//! Client-side observability handles.
+//!
+//! [`ClientObs`] resolves every client-layer instrument from the shared
+//! [`Registry`] once, at attach time, so emission sites in the node touch
+//! only atomics. Trace events are stamped with *true* simulation time (an
+//! instrumentation-only privilege — protocol logic never sees it) so a
+//! merged multi-node trace is totally ordered.
+
+use std::sync::Arc;
+
+use tank_obs::{names, Counter, Histogram, Registry};
+use tank_sim::{Ctx, NodeId, Payload};
+
+/// Pre-resolved client metric handles plus the trace sink.
+pub struct ClientObs {
+    registry: Arc<Registry>,
+    /// `client.renewals`.
+    pub renewals: Arc<Counter>,
+    /// `client.phase.quiesce`.
+    pub phase_quiesce: Arc<Counter>,
+    /// `client.phase.flush`.
+    pub phase_flush: Arc<Counter>,
+    /// `client.phase.invalid`.
+    pub phase_invalid: Arc<Counter>,
+    /// `client.phase.resume`.
+    pub phase_resume: Arc<Counter>,
+    /// `client.expiry.discarded_dirty`.
+    pub discarded_dirty: Arc<Counter>,
+    /// `client.retransmits`.
+    pub retransmits: Arc<Counter>,
+    /// `client.unexpected_msgs`.
+    pub unexpected_msgs: Arc<Counter>,
+    /// `client.renewal_headroom_ns`.
+    pub renewal_headroom_ns: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for ClientObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientObs").finish_non_exhaustive()
+    }
+}
+
+impl ClientObs {
+    /// Resolve all client instruments from `registry`.
+    pub fn new(registry: Arc<Registry>) -> ClientObs {
+        ClientObs {
+            renewals: registry.counter_def(&names::CLIENT_RENEWALS),
+            phase_quiesce: registry.counter_def(&names::CLIENT_PHASE_QUIESCE),
+            phase_flush: registry.counter_def(&names::CLIENT_PHASE_FLUSH),
+            phase_invalid: registry.counter_def(&names::CLIENT_PHASE_INVALID),
+            phase_resume: registry.counter_def(&names::CLIENT_PHASE_RESUME),
+            discarded_dirty: registry.counter_def(&names::CLIENT_EXPIRY_DISCARDED_DIRTY),
+            retransmits: registry.counter_def(&names::CLIENT_RETRANSMITS),
+            unexpected_msgs: registry.counter_def(&names::CLIENT_UNEXPECTED_MSGS),
+            renewal_headroom_ns: registry.histogram_def(&names::CLIENT_RENEWAL_HEADROOM_NS),
+            registry,
+        }
+    }
+
+    /// Record a structured trace event stamped with true time and this
+    /// node's id. The detail closure runs only when tracing is enabled.
+    pub fn trace<P: Payload, Ob>(
+        &self,
+        ctx: &Ctx<'_, P, Ob>,
+        kind: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.registry.trace_with(
+            ctx.now_true_for_instrumentation().0,
+            ctx.node().to_string(),
+            kind,
+            detail,
+        );
+    }
+
+    /// Same, for call sites that only know the node id and a true-time
+    /// stamp (e.g. world-harness code outside a dispatch).
+    pub fn trace_at(&self, t_true_ns: u64, node: NodeId, kind: &'static str, detail: String) {
+        self.registry
+            .trace(t_true_ns, node.to_string(), kind, detail);
+    }
+}

@@ -63,6 +63,11 @@ pub struct ClusterConfig {
     pub flush_window: usize,
     /// Record a human-readable trace.
     pub record_trace: bool,
+    /// Observability registry shared by every layer of the cluster.
+    /// When set, the world registers the full metric contract into it,
+    /// forwards `record_trace` into its tracing gate, and the server and
+    /// every client attach their counter/histogram/trace emitters.
+    pub obs: Option<std::sync::Arc<tank_obs::Registry>>,
 }
 
 impl Default for ClusterConfig {
@@ -92,6 +97,7 @@ impl Default for ClusterConfig {
             flush_interval: LocalNs::from_secs(2),
             flush_window: 16,
             record_trace: false,
+            obs: None,
         }
     }
 }
@@ -161,6 +167,9 @@ impl Cluster {
         });
         world.add_network(NetId::CONTROL, cfg.ctl_net);
         world.add_network(NetId::SAN, cfg.san_net);
+        if let Some(reg) = &cfg.obs {
+            world.set_obs(reg.clone());
+        }
 
         let mut disks = Vec::new();
         for i in 0..cfg.disks {
@@ -181,8 +190,11 @@ impl Cluster {
         scfg.nack_suspect = cfg.nack_suspect;
         scfg.recovery_grace = cfg.recovery_grace;
         scfg.disks = disks.clone();
-        let server_node: ServerNode<Event> =
+        let mut server_node: ServerNode<Event> =
             ServerNode::new(scfg, cfg.total_blocks, cfg.block_size, Box::new(map_server));
+        if let Some(reg) = &cfg.obs {
+            server_node.set_obs(reg.clone());
+        }
         let server = world.add_node(Box::new(server_node), clock_of(NodeRole::Server));
 
         let mut clients = Vec::new();
@@ -195,7 +207,10 @@ impl Cluster {
             ccfg.flush_interval = cfg.flush_interval;
             ccfg.flush_window = cfg.flush_window;
             ccfg.function_ship = matches!(cfg.data_path, DataPath::FunctionShip);
-            let node: ClientNode<Event> = ClientNode::new(ccfg, Box::new(map_client));
+            let mut node: ClientNode<Event> = ClientNode::new(ccfg, Box::new(map_client));
+            if let Some(reg) = &cfg.obs {
+                node.set_obs(reg.clone());
+            }
             clients.push(world.add_node(Box::new(node), clock_of(NodeRole::Client(i))));
         }
 
@@ -224,6 +239,19 @@ impl Cluster {
     /// The configuration this cluster was built from.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// The attached observability registry, if one was configured.
+    pub fn obs(&self) -> Option<&std::sync::Arc<tank_obs::Registry>> {
+        self.cfg.obs.as_ref()
+    }
+
+    /// Cross-check the checker-facing event stream against the obs
+    /// registry's counters (empty = the two pipelines agree). Panics if
+    /// no registry was configured.
+    pub fn cross_check(&self) -> Vec<String> {
+        let reg = self.obs().expect("cluster built without cfg.obs");
+        tank_consistency::cross_check(self.world.observations(), &reg.snapshot())
     }
 
     /// Attach a closed-loop workload to client `idx`.

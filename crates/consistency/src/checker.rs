@@ -26,8 +26,9 @@ pub struct CheckOptions {
     /// Fail-stop *restart* instants of the metadata server. Unlike client
     /// crashes these excuse nothing — the whole point of the recovery
     /// protocol is that server loss of volatile lock/lease state must not
-    /// lose acknowledged data. Together with [`recovery_grace_ns`]
-    /// (`Self::recovery_grace_ns`) they let the checker flag grants issued
+    /// lose acknowledged data. Together with
+    /// [`recovery_grace_ns`](Self::recovery_grace_ns) they let the
+    /// checker flag grants issued
     /// before a restarted server could know they are safe, even in runs
     /// where the grace window was disabled and no recovery events exist.
     pub server_restarts: Vec<SimTime>,

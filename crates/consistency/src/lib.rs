@@ -26,8 +26,10 @@
 
 pub mod checker;
 pub mod event;
+pub mod obs_check;
 
 pub use checker::{
     CheckOptions, CheckReport, Checker, LostUpdate, StaleRead, UnavailWindow, WriteOrderViolation,
 };
 pub use event::Event;
+pub use obs_check::cross_check;

@@ -9,6 +9,7 @@ use bytes::Bytes;
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use tank_core::{ClientLease, LeaseAction, LeaseConfig, Phase};
+use tank_obs::{names, Counter, Histogram, Registry};
 use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     CtlMsg, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request, SessionId,
@@ -49,6 +50,26 @@ impl std::error::Error for NetClientError {}
 
 type Result<T> = std::result::Result<T, NetClientError>;
 
+/// Pre-resolved handles for the net-client metrics (`net.client.*` in
+/// `tank_obs::names`). Resolved once at connect time so the request hot
+/// path touches only atomics.
+struct NetClientObs {
+    timeouts: Arc<Counter>,
+    rtt_ns: Arc<Histogram>,
+    retransmissions: Arc<Histogram>,
+}
+
+impl NetClientObs {
+    fn new(registry: &Registry) -> NetClientObs {
+        names::register_all(registry);
+        NetClientObs {
+            timeouts: registry.counter_def(&names::NET_CLIENT_TIMEOUTS),
+            rtt_ns: registry.histogram_def(&names::NET_CLIENT_RTT_NS),
+            retransmissions: registry.histogram_def(&names::NET_CLIENT_RETRANSMISSIONS),
+        }
+    }
+}
+
 struct ClientState {
     lease: ClientLease,
     session: Option<SessionId>,
@@ -84,6 +105,8 @@ pub struct TankClient {
     rto: Duration,
     /// Backoff ceiling.
     max_rto: Duration,
+    /// Metric handles when connected through [`TankClient::connect_observed`].
+    obs: Option<NetClientObs>,
 }
 
 impl Drop for TankClient {
@@ -106,7 +129,19 @@ impl TankClient {
         lease: LeaseConfig,
         faults: FaultConfig,
     ) -> Result<TankClient> {
-        let sock = FaultySocket::bind("127.0.0.1:0", faults)
+        Self::connect_observed(server, lease, faults, None)
+    }
+
+    /// Connect with metrics: per-request round-trip and retransmission
+    /// histograms plus the socket's fault-injection counters land in
+    /// `registry` (see OBSERVABILITY.md for the `net.*` metric names).
+    pub fn connect_observed(
+        server: &str,
+        lease: LeaseConfig,
+        faults: FaultConfig,
+        registry: Option<&Arc<Registry>>,
+    ) -> Result<TankClient> {
+        let sock = FaultySocket::bind_observed("127.0.0.1:0", faults, registry)
             .map_err(|e| NetClientError::Io(e.to_string()))?;
         sock.connect(server)
             .map_err(|e| NetClientError::Io(e.to_string()))?;
@@ -131,6 +166,7 @@ impl TankClient {
             retries: 8,
             rto: Duration::from_millis(150),
             max_rto: Duration::from_secs(2),
+            obs: registry.map(|r| NetClientObs::new(r)),
         };
         {
             let (sock, state, stop) = (sock.clone(), state.clone(), stop.clone());
@@ -301,13 +337,24 @@ impl TankClient {
             (seq, NetMsg::Ctl(CtlMsg::Request(req)).encoded().to_vec())
         };
         let mut rto = self.rto;
-        for _attempt in 0..=self.retries {
+        let t0 = mono_now();
+        for attempt in 0..=self.retries {
             let (tx, rx) = mpsc::channel();
             self.state.lock().unwrap().pending.insert(seq, tx);
             self.sock
                 .send(&bytes)
                 .map_err(|e| NetClientError::Io(e.to_string()))?;
-            match rx.recv_timeout(self.jitter(rto)) {
+            let outcome = rx.recv_timeout(self.jitter(rto));
+            if outcome.is_ok() {
+                // A response of any flavour completes the round trip;
+                // `attempt` counts the retransmissions it took (0 = the
+                // first send was answered).
+                if let Some(obs) = &self.obs {
+                    obs.rtt_ns.observe(mono_now().0.saturating_sub(t0.0));
+                    obs.retransmissions.observe(u64::from(attempt));
+                }
+            }
+            match outcome {
                 Ok(ResponseOutcome::Acked(Ok(reply))) => return Ok(reply),
                 Ok(ResponseOutcome::Acked(Err(e))) => return Err(NetClientError::Fs(e)),
                 Ok(ResponseOutcome::Nacked(r)) => return Err(NetClientError::Nacked(r)),
@@ -319,6 +366,9 @@ impl TankClient {
                     rto = (rto * 2).min(self.max_rto);
                 }
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.timeouts.inc();
         }
         Err(NetClientError::Timeout)
     }

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use tank_obs::{names, Counter, Registry};
 
 /// Faults applied to one direction of the socket.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -96,11 +97,33 @@ struct FaultState {
     pending: VecDeque<(Vec<u8>, SocketAddr)>,
 }
 
+/// Pre-resolved fault-injection counters (`net.fault.*`).
+struct FaultObs {
+    send_dropped: Arc<Counter>,
+    send_dup: Arc<Counter>,
+    send_delayed: Arc<Counter>,
+    recv_dropped: Arc<Counter>,
+    recv_dup: Arc<Counter>,
+}
+
+impl FaultObs {
+    fn new(registry: &Registry) -> FaultObs {
+        FaultObs {
+            send_dropped: registry.counter_def(&names::NET_FAULT_SEND_DROPPED),
+            send_dup: registry.counter_def(&names::NET_FAULT_SEND_DUP),
+            send_delayed: registry.counter_def(&names::NET_FAULT_SEND_DELAYED),
+            recv_dropped: registry.counter_def(&names::NET_FAULT_RECV_DROPPED),
+            recv_dup: registry.counter_def(&names::NET_FAULT_RECV_DUP),
+        }
+    }
+}
+
 /// A UDP socket with seeded, per-direction fault injection.
 pub struct FaultySocket {
     sock: Arc<UdpSocket>,
     cfg: FaultConfig,
     state: Mutex<FaultState>,
+    obs: Option<FaultObs>,
 }
 
 impl FaultySocket {
@@ -109,8 +132,29 @@ impl FaultySocket {
         Ok(Self::wrap(UdpSocket::bind(addr)?, cfg))
     }
 
+    /// Like [`bind`](Self::bind), with fault decisions counted into
+    /// `registry` (`FaultConfig` is `Copy`, so the registry rides on the
+    /// socket rather than the config).
+    pub fn bind_observed<A: ToSocketAddrs>(
+        addr: A,
+        cfg: FaultConfig,
+        registry: Option<&Arc<Registry>>,
+    ) -> std::io::Result<FaultySocket> {
+        Ok(Self::wrap_observed(UdpSocket::bind(addr)?, cfg, registry))
+    }
+
     /// Wrap an already-bound socket.
     pub fn wrap(sock: UdpSocket, cfg: FaultConfig) -> FaultySocket {
+        Self::wrap_observed(sock, cfg, None)
+    }
+
+    /// Wrap an already-bound socket, counting fault decisions into
+    /// `registry` when given.
+    pub fn wrap_observed(
+        sock: UdpSocket,
+        cfg: FaultConfig,
+        registry: Option<&Arc<Registry>>,
+    ) -> FaultySocket {
         FaultySocket {
             sock: Arc::new(sock),
             cfg,
@@ -118,6 +162,7 @@ impl FaultySocket {
                 rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xFA17_50CC),
                 pending: VecDeque::new(),
             }),
+            obs: registry.map(|r| FaultObs::new(r)),
         }
     }
 
@@ -172,6 +217,17 @@ impl FaultySocket {
             };
             (dropped, copies, delay)
         };
+        if let Some(obs) = &self.obs {
+            if dropped {
+                obs.send_dropped.inc();
+            }
+            if copies > 1 {
+                obs.send_dup.inc();
+            }
+            if delay.is_some() {
+                obs.send_delayed.inc();
+            }
+        }
         if dropped {
             // The caller sees success: a dropped datagram is
             // indistinguishable from one lost in the network.
@@ -220,10 +276,16 @@ impl FaultySocket {
             let mut st = self.state.lock().unwrap();
             if st.rng.random_bool(f.drop_prob) {
                 drop(st);
+                if let Some(obs) = &self.obs {
+                    obs.recv_dropped.inc();
+                }
                 continue; // discarded on arrival; wait for the next one
             }
             if st.rng.random_bool(f.dup_prob) {
                 st.pending.push_back((buf[..n].to_vec(), peer));
+                if let Some(obs) = &self.obs {
+                    obs.recv_dup.inc();
+                }
             }
             return Ok((n, peer));
         }

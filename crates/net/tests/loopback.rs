@@ -275,3 +275,41 @@ fn lossy_client_socket_is_covered_by_retransmission() {
     drop(client);
     server.stop();
 }
+
+#[test]
+fn observed_client_records_rtt_and_fault_metrics() {
+    let server = LeaseServer::spawn("127.0.0.1:0", server_cfg()).unwrap();
+    let registry = std::sync::Arc::new(tank_obs::Registry::new());
+    // A drop rate high enough that some request almost surely needs a
+    // retransmission across the run, but low enough to always converge.
+    let faults = FaultConfig {
+        seed: 7,
+        send: DirFaults::dropping(0.3),
+        ..FaultConfig::none()
+    };
+    let client = TankClient::connect_observed(
+        &server.addr.to_string(),
+        short_lease(),
+        faults,
+        Some(&registry),
+    )
+    .unwrap();
+    let root = client.root();
+    for i in 0..10 {
+        client.create(root, &format!("m{i}")).unwrap();
+    }
+    drop(client);
+    server.stop();
+
+    let snap = registry.snapshot();
+    let rtt = snap.histogram("net.client.rtt_ns").unwrap();
+    // Hello + 10 creates all completed, each stamping one round trip.
+    assert!(rtt.count >= 11, "rtt count = {}", rtt.count);
+    assert!(rtt.max > Some(0) && rtt.min <= rtt.max);
+    let retx = snap.histogram("net.client.retransmissions").unwrap();
+    assert_eq!(retx.count, rtt.count);
+    // 30% send-drop over ~20+ datagrams: the fault layer must have
+    // recorded drops, and every drop forces a retransmission eventually.
+    assert!(snap.counter("net.fault.send_dropped").unwrap_or(0) > 0);
+    assert_eq!(snap.counter("net.client.timeouts").unwrap_or(0), 0);
+}

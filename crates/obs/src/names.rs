@@ -1,0 +1,353 @@
+//! The metric contract: every counter and histogram the repo registers.
+//!
+//! Each instrument is declared once here as a [`MetricDef`] and listed in
+//! [`ALL`]. `OBSERVABILITY.md` at the repository root documents the same
+//! table for humans; a unit test diffs the two so neither can drift.
+//! Emitting crates resolve handles from these constants
+//! (`registry.counter_def(&names::CLIENT_RENEWALS)`), never from ad-hoc
+//! string literals, so a typo becomes a compile error instead of a
+//! silently separate metric.
+
+use crate::Registry;
+
+/// Which instrument a [`MetricDef`] declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic saturating counter.
+    Counter,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+/// Declaration of one metric: name, kind, unit, bounds (histograms only),
+/// and a one-line description mirrored in `OBSERVABILITY.md`.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Dotted registry name, e.g. `"client.renewals"`.
+    pub name: &'static str,
+    /// Counter or histogram.
+    pub kind: MetricKind,
+    /// Unit label: `"events"` for counters, `"ns"`/`"attempts"` for
+    /// histograms.
+    pub unit: &'static str,
+    /// Inclusive upper bucket bounds; empty for counters.
+    pub bounds: &'static [u64],
+    /// One-line description (kept in sync with `OBSERVABILITY.md`).
+    pub help: &'static str,
+}
+
+const fn counter(name: &'static str, help: &'static str) -> MetricDef {
+    MetricDef {
+        name,
+        kind: MetricKind::Counter,
+        unit: "events",
+        bounds: &[],
+        help,
+    }
+}
+
+const fn histogram(
+    name: &'static str,
+    unit: &'static str,
+    bounds: &'static [u64],
+    help: &'static str,
+) -> MetricDef {
+    MetricDef {
+        name,
+        kind: MetricKind::Histogram,
+        unit,
+        bounds,
+        help,
+    }
+}
+
+const MS: u64 = 1_000_000;
+const S: u64 = 1_000_000_000;
+
+/// Duration buckets (ns) spanning sub-millisecond sim latencies up to the
+/// multi-second lease horizons of the net stack: 1ms–20s.
+pub const DURATION_BOUNDS_NS: &[u64] = &[
+    MS,
+    2 * MS,
+    5 * MS,
+    10 * MS,
+    20 * MS,
+    50 * MS,
+    100 * MS,
+    200 * MS,
+    500 * MS,
+    S,
+    2 * S,
+    3 * S,
+    4 * S,
+    5 * S,
+    7 * S,
+    10 * S,
+    15 * S,
+    20 * S,
+];
+
+/// Small-count buckets for per-request retransmission counts.
+pub const SMALL_COUNT_BOUNDS: &[u64] = &[0, 1, 2, 3, 4, 6, 8, 12, 16];
+
+// ------------------------------------------------------------- client
+
+/// Successful opportunistic lease renewals (ACK arrived in time).
+pub const CLIENT_RENEWALS: MetricDef =
+    counter("client.renewals", "successful opportunistic lease renewals");
+/// Entries into the Quiescing phase (lease past soft margin, serving stops).
+pub const CLIENT_PHASE_QUIESCE: MetricDef = counter(
+    "client.phase.quiesce",
+    "transitions into the Quiescing phase",
+);
+/// Entries into the Flushing phase (dirty data pushed while time remains).
+pub const CLIENT_PHASE_FLUSH: MetricDef =
+    counter("client.phase.flush", "transitions into the Flushing phase");
+/// Local lease expiries (cache invalidated, client goes Invalid).
+pub const CLIENT_PHASE_INVALID: MetricDef = counter(
+    "client.phase.invalid",
+    "local lease expiries (cache invalidated)",
+);
+/// Resumptions of service (new session or renewal after quiesce).
+pub const CLIENT_PHASE_RESUME: MetricDef = counter("client.phase.resume", "resumptions of service");
+/// Dirty blocks discarded at local expiry (unsynced data lost locally).
+pub const CLIENT_EXPIRY_DISCARDED_DIRTY: MetricDef = counter(
+    "client.expiry.discarded_dirty",
+    "dirty blocks discarded at local expiry",
+);
+/// Client message retransmissions in the sim stack.
+pub const CLIENT_RETRANSMITS: MetricDef =
+    counter("client.retransmits", "client message retransmissions (sim)");
+/// Messages the client could not interpret (protocol anomalies).
+pub const CLIENT_UNEXPECTED_MSGS: MetricDef = counter(
+    "client.unexpected_msgs",
+    "messages the client could not interpret",
+);
+/// Lease headroom remaining at each successful renewal: old expiry minus
+/// ACK arrival, in client-local ns. Negative headroom is impossible — a
+/// renewal past expiry is rejected by the lease machine.
+pub const CLIENT_RENEWAL_HEADROOM_NS: MetricDef = histogram(
+    "client.renewal_headroom_ns",
+    "ns",
+    DURATION_BOUNDS_NS,
+    "lease headroom remaining at each successful renewal",
+);
+
+// ------------------------------------------------------------- server
+
+/// Data locks granted to clients.
+pub const SERVER_LOCK_GRANTED: MetricDef = counter("server.lock.granted", "data locks granted");
+/// Data locks voluntarily released by clients.
+pub const SERVER_LOCK_RELEASED: MetricDef =
+    counter("server.lock.released", "data locks voluntarily released");
+/// Data locks stolen after lease condemnation.
+pub const SERVER_LOCK_STOLEN: MetricDef =
+    counter("server.lock.stolen", "data locks stolen after condemnation");
+/// Steal sweeps executed (one per condemned client, may steal many locks).
+pub const SERVER_STEALS: MetricDef =
+    counter("server.steals", "steal sweeps over condemned clients");
+/// Demand (push) messages sent asking clients to downgrade/release.
+pub const SERVER_DEMANDS_SENT: MetricDef =
+    counter("server.demands_sent", "demand/push messages sent");
+/// NACKs by reason: the server's lease was timing out.
+pub const SERVER_NACK_LEASE_TIMING_OUT: MetricDef = counter(
+    "server.nack.lease_timing_out",
+    "NACKs with reason LeaseTimingOut",
+);
+/// NACKs by reason: the client's session had expired.
+pub const SERVER_NACK_SESSION_EXPIRED: MetricDef = counter(
+    "server.nack.session_expired",
+    "NACKs with reason SessionExpired",
+);
+/// NACKs by reason: the request carried a stale session id.
+pub const SERVER_NACK_STALE_SESSION: MetricDef = counter(
+    "server.nack.stale_session",
+    "NACKs with reason StaleSession",
+);
+/// NACKs by reason: the server was replaying its log after restart.
+pub const SERVER_NACK_RECOVERING: MetricDef =
+    counter("server.nack.recovering", "NACKs with reason Recovering");
+/// Message delivery errors reported by the transport.
+pub const SERVER_DELIVERY_ERRORS: MetricDef =
+    counter("server.delivery_errors", "transport delivery errors");
+/// Condemnation timers armed after a delivery error.
+pub const SERVER_CONDEMN_ARMED: MetricDef = counter(
+    "server.condemn.armed",
+    "condemnation timers armed after delivery errors",
+);
+/// Condemnation timers that fired (client lease declared dead).
+pub const SERVER_CONDEMN_FIRED: MetricDef =
+    counter("server.condemn.fired", "condemnation timers that fired");
+/// Fence operations completed against the SAN.
+pub const SERVER_FENCES: MetricDef = counter("server.fences", "SAN fence operations completed");
+/// New client sessions established via HELLO.
+pub const SERVER_SESSIONS: MetricDef =
+    counter("server.sessions", "new client sessions established");
+/// Server recovery windows begun (restart detected).
+pub const SERVER_RECOVERY_BEGAN: MetricDef =
+    counter("server.recovery.began", "server recovery windows begun");
+/// Server recovery windows completed (grace period elapsed).
+pub const SERVER_RECOVERY_ENDED: MetricDef =
+    counter("server.recovery.ended", "server recovery windows completed");
+/// Messages the server could not interpret (protocol anomalies).
+pub const SERVER_UNEXPECTED_MSGS: MetricDef = counter(
+    "server.unexpected_msgs",
+    "messages the server could not interpret",
+);
+/// Time from arming a condemnation timer to its firing, server-local ns.
+/// Theorem 3.1 requires every value ≤ `τ_s(1+ε)`.
+pub const SERVER_STEAL_LATENCY_NS: MetricDef = histogram(
+    "server.steal_latency_ns",
+    "ns",
+    DURATION_BOUNDS_NS,
+    "condemnation-timer arm-to-fire latency",
+);
+
+// ---------------------------------------------------------------- sim
+
+/// Messages submitted to the simulated network.
+pub const SIM_MSG_SENT: MetricDef = counter(
+    "sim.msg.sent",
+    "messages submitted to the simulated network",
+);
+/// Messages delivered to a live destination actor.
+pub const SIM_MSG_DELIVERED: MetricDef =
+    counter("sim.msg.delivered", "messages delivered to live actors");
+/// Messages dropped by loss injection.
+pub const SIM_MSG_DROPPED: MetricDef =
+    counter("sim.msg.dropped", "messages dropped by loss injection");
+/// Messages dropped by a partition (link blocked).
+pub const SIM_MSG_BLOCKED: MetricDef =
+    counter("sim.msg.blocked", "messages dropped by a partition");
+/// Messages discarded because the destination was dead at delivery.
+pub const SIM_MSG_TO_DEAD: MetricDef = counter(
+    "sim.msg.to_dead",
+    "messages discarded at a dead destination",
+);
+
+// ---------------------------------------------------------------- net
+
+/// UDP datagrams dropped on send by fault injection.
+pub const NET_FAULT_SEND_DROPPED: MetricDef = counter(
+    "net.fault.send_dropped",
+    "datagrams dropped on send by fault injection",
+);
+/// UDP datagrams duplicated on send by fault injection.
+pub const NET_FAULT_SEND_DUP: MetricDef = counter(
+    "net.fault.send_dup",
+    "datagrams duplicated on send by fault injection",
+);
+/// UDP datagrams delayed on send by fault injection.
+pub const NET_FAULT_SEND_DELAYED: MetricDef = counter(
+    "net.fault.send_delayed",
+    "datagrams delayed on send by fault injection",
+);
+/// UDP datagrams dropped on receive by fault injection.
+pub const NET_FAULT_RECV_DROPPED: MetricDef = counter(
+    "net.fault.recv_dropped",
+    "datagrams dropped on receive by fault injection",
+);
+/// UDP datagrams duplicated on receive by fault injection.
+pub const NET_FAULT_RECV_DUP: MetricDef = counter(
+    "net.fault.recv_dup",
+    "datagrams duplicated on receive by fault injection",
+);
+/// Requests that exhausted all retries without any reply.
+pub const NET_CLIENT_TIMEOUTS: MetricDef =
+    counter("net.client.timeouts", "requests that exhausted all retries");
+/// Wall-clock round-trip time per completed request (first send to final
+/// reply), in ns.
+pub const NET_CLIENT_RTT_NS: MetricDef = histogram(
+    "net.client.rtt_ns",
+    "ns",
+    DURATION_BOUNDS_NS,
+    "round-trip time per completed request",
+);
+/// Retransmissions needed per completed request (0 = first try).
+pub const NET_CLIENT_RETRANSMISSIONS: MetricDef = histogram(
+    "net.client.retransmissions",
+    "attempts",
+    SMALL_COUNT_BOUNDS,
+    "retransmissions needed per completed request",
+);
+
+/// Every metric the repo registers, grouped by layer. `OBSERVABILITY.md`
+/// mirrors this list; `register_all` materialises it.
+pub const ALL: &[MetricDef] = &[
+    // client
+    CLIENT_RENEWALS,
+    CLIENT_PHASE_QUIESCE,
+    CLIENT_PHASE_FLUSH,
+    CLIENT_PHASE_INVALID,
+    CLIENT_PHASE_RESUME,
+    CLIENT_EXPIRY_DISCARDED_DIRTY,
+    CLIENT_RETRANSMITS,
+    CLIENT_UNEXPECTED_MSGS,
+    CLIENT_RENEWAL_HEADROOM_NS,
+    // server
+    SERVER_LOCK_GRANTED,
+    SERVER_LOCK_RELEASED,
+    SERVER_LOCK_STOLEN,
+    SERVER_STEALS,
+    SERVER_DEMANDS_SENT,
+    SERVER_NACK_LEASE_TIMING_OUT,
+    SERVER_NACK_SESSION_EXPIRED,
+    SERVER_NACK_STALE_SESSION,
+    SERVER_NACK_RECOVERING,
+    SERVER_DELIVERY_ERRORS,
+    SERVER_CONDEMN_ARMED,
+    SERVER_CONDEMN_FIRED,
+    SERVER_FENCES,
+    SERVER_SESSIONS,
+    SERVER_RECOVERY_BEGAN,
+    SERVER_RECOVERY_ENDED,
+    SERVER_UNEXPECTED_MSGS,
+    SERVER_STEAL_LATENCY_NS,
+    // sim
+    SIM_MSG_SENT,
+    SIM_MSG_DELIVERED,
+    SIM_MSG_DROPPED,
+    SIM_MSG_BLOCKED,
+    SIM_MSG_TO_DEAD,
+    // net
+    NET_FAULT_SEND_DROPPED,
+    NET_FAULT_SEND_DUP,
+    NET_FAULT_SEND_DELAYED,
+    NET_FAULT_RECV_DROPPED,
+    NET_FAULT_RECV_DUP,
+    NET_CLIENT_TIMEOUTS,
+    NET_CLIENT_RTT_NS,
+    NET_CLIENT_RETRANSMISSIONS,
+];
+
+/// Register every declared metric so zero-valued instruments appear in
+/// snapshots (absence of events is itself a signal).
+pub fn register_all(registry: &Registry) {
+    for def in ALL {
+        registry.register(def);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let mut seen = std::collections::BTreeSet::new();
+        for def in ALL {
+            assert!(seen.insert(def.name), "duplicate metric {}", def.name);
+            assert!(def.name.contains('.'), "{} lacks a layer prefix", def.name);
+        }
+    }
+
+    #[test]
+    fn histograms_have_bounds_counters_do_not() {
+        for def in ALL {
+            match def.kind {
+                MetricKind::Counter => assert!(def.bounds.is_empty(), "{}", def.name),
+                MetricKind::Histogram => assert!(!def.bounds.is_empty(), "{}", def.name),
+            }
+        }
+    }
+}

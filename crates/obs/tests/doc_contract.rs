@@ -1,0 +1,81 @@
+//! OBSERVABILITY.md is a contract: its metric table must list exactly
+//! the instruments the code registers — same names, same kinds, same
+//! units. This test diffs the doc against `names::ALL` and against a
+//! freshly populated registry so neither can drift from the other.
+
+use std::collections::BTreeMap;
+
+use tank_obs::names::{self, MetricKind};
+use tank_obs::Registry;
+
+/// Parse the metric-contract table: rows shaped
+/// `| `name` | C/H | unit | emitted by | meaning |`.
+/// (The trace-kind table also backticks its first cell, but its second
+/// cell is never a bare `C`/`H`.)
+fn doc_metrics() -> BTreeMap<String, (MetricKind, String)> {
+    let doc = include_str!("../../../OBSERVABILITY.md");
+    let mut out = BTreeMap::new();
+    for line in doc.lines() {
+        let cells: Vec<&str> = line
+            .trim()
+            .trim_start_matches('|')
+            .trim_end_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() != 5 {
+            continue;
+        }
+        let kind = match cells[1] {
+            "C" => MetricKind::Counter,
+            "H" => MetricKind::Histogram,
+            _ => continue,
+        };
+        let name = cells[0].trim_matches('`').to_string();
+        let unit = cells[2].trim_matches('`').to_string();
+        assert!(
+            out.insert(name.clone(), (kind, unit)).is_none(),
+            "OBSERVABILITY.md lists {name} twice"
+        );
+    }
+    out
+}
+
+#[test]
+fn doc_table_matches_declared_contract() {
+    let doc = doc_metrics();
+    assert!(
+        !doc.is_empty(),
+        "no metric rows parsed from OBSERVABILITY.md"
+    );
+    for def in names::ALL {
+        let Some((kind, unit)) = doc.get(def.name) else {
+            panic!(
+                "{} is registered but missing from OBSERVABILITY.md",
+                def.name
+            );
+        };
+        assert_eq!(*kind, def.kind, "{}: kind differs from doc", def.name);
+        assert_eq!(unit, def.unit, "{}: unit differs from doc", def.name);
+    }
+    for name in doc.keys() {
+        assert!(
+            names::ALL.iter().any(|d| d.name == name),
+            "OBSERVABILITY.md documents {name}, which no code registers"
+        );
+    }
+}
+
+#[test]
+fn doc_table_matches_live_registry() {
+    let registry = Registry::new();
+    names::register_all(&registry);
+    let snapshot = registry.snapshot();
+    let doc = doc_metrics();
+    let registered = snapshot.names();
+    let documented: Vec<String> = doc.keys().cloned().collect();
+    assert_eq!(
+        registered, documented,
+        "registry contents differ from the OBSERVABILITY.md table"
+    );
+}

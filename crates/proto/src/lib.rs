@@ -56,6 +56,11 @@ pub enum NetMsg {
 
 impl NetMsg {
     /// Short, static label for metrics aggregation.
+    ///
+    /// Consumed by the observability layer (`tank-obs`): the server's
+    /// unexpected-message trace events and any per-message-kind counter
+    /// key off this string, so variants must keep their labels stable —
+    /// `OBSERVABILITY.md` treats them as part of the trace vocabulary.
     pub fn kind(&self) -> &'static str {
         match self {
             NetMsg::Ctl(m) => m.kind(),

@@ -99,6 +99,10 @@ pub enum RequestBody {
 
 impl RequestBody {
     /// Short static label for metrics.
+    ///
+    /// The observability layer (`tank-obs`) uses these labels as stable
+    /// trace-event and counter keys; renaming one is a contract change
+    /// (see `OBSERVABILITY.md`), not a cosmetic edit.
     pub fn kind(&self) -> &'static str {
         match self {
             RequestBody::Hello => "hello",
@@ -270,6 +274,10 @@ pub enum PushBody {
 
 impl PushBody {
     /// Short static label for metrics.
+    ///
+    /// Stable trace-event/counter key consumed by `tank-obs` (the
+    /// server's "demand" trace kind is this label; see
+    /// `OBSERVABILITY.md`).
     pub fn kind(&self) -> &'static str {
         match self {
             PushBody::Demand { .. } => "demand",
@@ -293,6 +301,10 @@ pub struct ServerPush {
 
 impl CtlMsg {
     /// Short static label for metrics.
+    ///
+    /// Stable key consumed by `tank-obs`: the server's
+    /// `server.unexpected_msgs` trace detail embeds it, so the labels
+    /// are part of the documented trace vocabulary (`OBSERVABILITY.md`).
     pub fn kind(&self) -> &'static str {
         match self {
             CtlMsg::Request(r) => r.body.kind(),

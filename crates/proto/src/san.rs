@@ -108,6 +108,10 @@ pub enum SanError {
 
 impl SanMsg {
     /// Short static label for metrics.
+    ///
+    /// Stable per-message-kind key for the observability layer
+    /// (`tank-obs`); keep labels fixed — they are contract, not
+    /// decoration (`OBSERVABILITY.md`).
     pub fn kind(&self) -> &'static str {
         match self {
             SanMsg::ReadBlock { .. } => "san_read",

@@ -25,6 +25,7 @@ pub mod events;
 pub mod fence;
 pub mod lock;
 pub mod node;
+pub mod obs;
 pub mod session;
 
 pub use config::{DataPath, RecoveryPolicy, ServerConfig};
@@ -32,4 +33,5 @@ pub use events::ServerEvent;
 pub use fence::FenceController;
 pub use lock::{LockManager, LockRequestOutcome};
 pub use node::{ServerNode, ServerStats};
+pub use obs::ServerObs;
 pub use session::SessionTable;

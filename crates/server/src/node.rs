@@ -18,9 +18,11 @@
 //!   locks are redistributed (§6).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use tank_core::{ClientStanding, LeaseAuthority};
 use tank_meta::{MetaError, MetaStore};
+use tank_obs::Registry;
 use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     CtlMsg, FenceOp, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq,
@@ -32,6 +34,7 @@ use crate::config::{DataPath, RecoveryPolicy, ServerConfig};
 use crate::events::ServerEvent;
 use crate::fence::FenceController;
 use crate::lock::{Grant, LockManager, LockRequestOutcome};
+use crate::obs::ServerObs;
 use crate::session::{Admission, SessionTable};
 
 /// Operation counters for the experiments.
@@ -114,6 +117,10 @@ pub struct ServerNode<Ob> {
     recovering: bool,
     stats: ServerStats,
     observe: Box<dyn Fn(ServerEvent) -> Option<Ob>>,
+    obs: Option<ServerObs>,
+    /// When each client's condemnation timer was armed (server-local),
+    /// consumed at fire time to measure steal latency against `τ_s(1+ε)`.
+    condemn_armed_at: HashMap<NodeId, LocalNs>,
 }
 
 impl<Ob> ServerNode<Ob> {
@@ -142,12 +149,26 @@ impl<Ob> ServerNode<Ob> {
             recovering: false,
             stats: ServerStats::default(),
             observe,
+            obs: None,
+            condemn_armed_at: HashMap::new(),
         }
     }
 
     /// Server with no observer.
     pub fn unobserved(cfg: ServerConfig, total_blocks: u64, block_size: usize) -> Self {
         ServerNode::new(cfg, total_blocks, block_size, Box::new(|_| None))
+    }
+
+    /// Attach an observability registry: grant/NACK/steal counters, the
+    /// condemnation-latency histogram, and structured trace events.
+    pub fn set_obs(&mut self, registry: Arc<Registry>) {
+        self.obs = Some(ServerObs::new(registry));
+    }
+
+    /// Builder form of [`set_obs`](Self::set_obs).
+    pub fn with_obs(mut self, registry: Arc<Registry>) -> Self {
+        self.set_obs(registry);
+        self
     }
 
     /// Operation counters.
@@ -253,6 +274,17 @@ impl<Ob> ServerNode<Ob> {
         reason: NackReason,
         ctx: &mut Ctx<'_, NetMsg, Ob>,
     ) {
+        if let Some(obs) = &self.obs {
+            match reason {
+                NackReason::LeaseTimingOut => obs.nack_lease_timing_out.inc(),
+                NackReason::SessionExpired => obs.nack_session_expired.inc(),
+                NackReason::StaleSession => obs.nack_stale_session.inc(),
+                NackReason::Recovering => obs.nack_recovering.inc(),
+            }
+            obs.trace(ctx, "nack", || {
+                format!("client=n{} seq={} reason={reason:?}", client.0, seq.0)
+            });
+        }
         self.respond(client, session, seq, ResponseOutcome::Nacked(reason), ctx);
     }
 
@@ -324,6 +356,12 @@ impl<Ob> ServerNode<Ob> {
             p.timer = Some(timer);
         }
         self.stats.pushes_sent += 1;
+        if let Some(obs) = &self.obs {
+            obs.demands_sent.inc();
+            obs.trace(ctx, "demand", || {
+                format!("client=n{} push_seq={push_seq}", dst.0)
+            });
+        }
         ctx.send(NetId::CONTROL, dst, NetMsg::Ctl(CtlMsg::Push(msg)));
     }
 
@@ -356,6 +394,10 @@ impl<Ob> ServerNode<Ob> {
 
     fn delivery_error(&mut self, client: NodeId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         self.stats.delivery_errors += 1;
+        if let Some(obs) = &self.obs {
+            obs.delivery_errors.inc();
+            obs.trace(ctx, "delivery-error", || format!("client=n{}", client.0));
+        }
         self.emit(ServerEvent::DeliveryError { client }, ctx);
         // Stop pushing at the unresponsive client.
         self.cancel_pushes(|p| p.dst == client, ctx);
@@ -378,6 +420,13 @@ impl<Ob> ServerNode<Ob> {
                     let delay = LocalNs(fires_at.0.saturating_sub(now.0));
                     let token = self.timers.insert(ServerTimer::LeaseExpiry(client));
                     ctx.set_timer(delay, token);
+                    self.condemn_armed_at.entry(client).or_insert(now);
+                    if let Some(obs) = &self.obs {
+                        obs.condemn_armed.inc();
+                        obs.trace(ctx, "condemn-armed", || {
+                            format!("client=n{} fires_in_ns={}", client.0, delay.0)
+                        });
+                    }
                 }
             }
         }
@@ -421,6 +470,10 @@ impl<Ob> ServerNode<Ob> {
 
     fn fence_complete(&mut self, client: NodeId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         self.stats.fences_completed += 1;
+        if let Some(obs) = &self.obs {
+            obs.fences.inc();
+            obs.trace(ctx, "fence", || format!("client=n{}", client.0));
+        }
         self.emit(ServerEvent::Fenced { client }, ctx);
         self.do_steal(client, ctx);
     }
@@ -429,6 +482,13 @@ impl<Ob> ServerNode<Ob> {
         self.stats.steals += 1;
         let (stolen, grants) = self.locks.steal_all(client);
         self.stats.locks_stolen += stolen.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.steals.inc();
+            obs.lock_stolen.add(stolen.len() as u64);
+            obs.trace(ctx, "steal", || {
+                format!("client=n{} locks={}", client.0, stolen.len())
+            });
+        }
         for (ino, epoch) in stolen {
             self.emit(ServerEvent::LockStolen { client, ino, epoch }, ctx);
         }
@@ -447,6 +507,12 @@ impl<Ob> ServerNode<Ob> {
             let mut touched: Vec<Ino> = Vec::new();
             while let Some(g) = queue.pop_front() {
                 touched.push(g.ino);
+                if let Some(obs) = &self.obs {
+                    obs.lock_granted.inc();
+                    obs.trace(ctx, "grant", || {
+                        format!("client=n{} ino={} epoch={}", g.client.0, g.ino.0, g.epoch.0)
+                    });
+                }
                 self.emit(
                     ServerEvent::LockGranted {
                         client: g.client,
@@ -503,6 +569,15 @@ impl<Ob> ServerNode<Ob> {
         // A fresh session abandons everything the old incarnation held.
         let (stolen, grants) = self.locks.steal_all(client);
         for (ino, epoch) in stolen {
+            if let Some(obs) = &self.obs {
+                obs.lock_released.inc();
+                obs.trace(ctx, "release", || {
+                    format!(
+                        "client=n{} ino={} epoch={} abandoned",
+                        client.0, ino.0, epoch.0
+                    )
+                });
+            }
             self.emit(ServerEvent::LockReleased { client, ino, epoch }, ctx);
         }
         self.deliver_grants(grants, ctx);
@@ -511,6 +586,12 @@ impl<Ob> ServerNode<Ob> {
             self.begin_unfence(client, ctx);
         }
         let session = self.sessions.begin(client);
+        if let Some(obs) = &self.obs {
+            obs.sessions.inc();
+            obs.trace(ctx, "session", || {
+                format!("client=n{} session={}", client.0, session.0)
+            });
+        }
         self.emit(ServerEvent::NewSession { client }, ctx);
         // Hello replies are addressed with the *new* session so the lease
         // renewal lands in the new incarnation.
@@ -583,6 +664,12 @@ impl<Ob> ServerNode<Ob> {
                 let held = self.locks.holding_epoch(client, ino);
                 let grants = self.locks.release(client, ino, Some(epoch));
                 if held == Some(epoch) {
+                    if let Some(obs) = &self.obs {
+                        obs.lock_released.inc();
+                        obs.trace(ctx, "release", || {
+                            format!("client=n{} ino={} epoch={}", client.0, ino.0, epoch.0)
+                        });
+                    }
                     self.emit(ServerEvent::LockReleased { client, ino, epoch }, ctx);
                     // The demand (if any) is satisfied.
                     self.cancel_pushes(
@@ -643,6 +730,12 @@ impl<Ob> ServerNode<Ob> {
         }
         match self.locks.request(client, ino, mode, session, seq) {
             LockRequestOutcome::Granted(g) => {
+                if let Some(obs) = &self.obs {
+                    obs.lock_granted.inc();
+                    obs.trace(ctx, "grant", || {
+                        format!("client=n{} ino={} epoch={}", client.0, ino.0, g.epoch.0)
+                    });
+                }
                 self.emit(
                     ServerEvent::LockGranted {
                         client,
@@ -884,7 +977,12 @@ impl<Ob> ServerNode<Ob> {
                 self.ack(p.client, p.session, p.seq, reply, ctx);
             }
             other => {
-                debug_assert!(false, "server got unexpected SAN message {other:?}");
+                // Protocol anomaly: counted and traced, never printed —
+                // normal runs stay silent, exporter runs see it structured.
+                if let Some(obs) = &self.obs {
+                    obs.unexpected_msgs.inc();
+                    obs.trace(ctx, "unexpected", || format!("san {other:?}"));
+                }
             }
         }
     }
@@ -975,7 +1073,12 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
             NetMsg::Ctl(CtlMsg::Request(req)) => self.on_request(from, req, ctx),
             NetMsg::San(san) => self.on_san(san, from, ctx),
             NetMsg::Ctl(other) => {
-                debug_assert!(false, "server got unexpected control message {other:?}");
+                // Responses and pushes address clients; a server receiving
+                // one is a routing anomaly worth counting, not crashing on.
+                if let Some(obs) = &self.obs {
+                    obs.unexpected_msgs.inc();
+                    obs.trace(ctx, "unexpected", || format!("ctl {}", other.kind()));
+                }
             }
         }
     }
@@ -1019,13 +1122,29 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
             }
             ServerTimer::LeaseExpiry(client) => {
                 let now = ctx.now();
+                let armed_at = self.condemn_armed_at.remove(&client);
                 if self.authority.on_timer(client, now) {
+                    if let Some(obs) = &self.obs {
+                        obs.condemn_fired.inc();
+                        // The measured side of Theorem 3.1: how long the
+                        // server actually waited before declaring the lease
+                        // dead. Must never exceed τ_s(1+ε).
+                        let latency = armed_at.map_or(0, |t| now.0.saturating_sub(t.0));
+                        obs.steal_latency_ns.observe(latency);
+                        obs.trace(ctx, "condemned", || {
+                            format!("client=n{} latency_ns={latency}", client.0)
+                        });
+                    }
                     self.emit(ServerEvent::LeaseExpired { client }, ctx);
                     self.begin_fence(client, ctx);
                 }
             }
             ServerTimer::RecoveryDone => {
                 self.recovering = false;
+                if let Some(obs) = &self.obs {
+                    obs.recovery_ended.inc();
+                    obs.trace(ctx, "recovery", || "ended".to_owned());
+                }
                 self.emit(ServerEvent::RecoveryEnded, ctx);
             }
         }
@@ -1051,9 +1170,16 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
         // Timers armed before the crash may still fire; invalidating the
         // tokens (while keeping the counter monotonic) makes them no-ops.
         self.timers.cancel_where(|_| true);
+        self.condemn_armed_at.clear();
         self.stats.recoveries += 1;
         if self.cfg.recovery_grace {
             self.recovering = true;
+            if let Some(obs) = &self.obs {
+                obs.recovery_began.inc();
+                obs.trace(ctx, "recovery", || {
+                    format!("began incarnation={}", self.incarnation.0)
+                });
+            }
             self.emit(ServerEvent::RecoveryBegan, ctx);
             let token = self.timers.insert(ServerTimer::RecoveryDone);
             ctx.set_timer(self.cfg.lease.server_timeout(), token);

@@ -1,0 +1,102 @@
+//! Server-side observability handles.
+//!
+//! [`ServerObs`] resolves every server-layer instrument from the shared
+//! [`Registry`] at attach time so emission sites in the node touch only
+//! atomics. The steal-latency histogram is the measured side of the
+//! paper's `τ_s(1+ε)` condemnation bound: every arm-to-fire interval it
+//! records must sit at or below `LeaseConfig::server_timeout()`.
+
+use std::sync::Arc;
+
+use tank_obs::{names, Counter, Histogram, Registry};
+use tank_sim::{Ctx, Payload};
+
+/// Pre-resolved server metric handles plus the trace sink.
+pub struct ServerObs {
+    registry: Arc<Registry>,
+    /// `server.lock.granted`.
+    pub lock_granted: Arc<Counter>,
+    /// `server.lock.released`.
+    pub lock_released: Arc<Counter>,
+    /// `server.lock.stolen`.
+    pub lock_stolen: Arc<Counter>,
+    /// `server.steals`.
+    pub steals: Arc<Counter>,
+    /// `server.demands_sent`.
+    pub demands_sent: Arc<Counter>,
+    /// `server.nack.lease_timing_out`.
+    pub nack_lease_timing_out: Arc<Counter>,
+    /// `server.nack.session_expired`.
+    pub nack_session_expired: Arc<Counter>,
+    /// `server.nack.stale_session`.
+    pub nack_stale_session: Arc<Counter>,
+    /// `server.nack.recovering`.
+    pub nack_recovering: Arc<Counter>,
+    /// `server.delivery_errors`.
+    pub delivery_errors: Arc<Counter>,
+    /// `server.condemn.armed`.
+    pub condemn_armed: Arc<Counter>,
+    /// `server.condemn.fired`.
+    pub condemn_fired: Arc<Counter>,
+    /// `server.fences`.
+    pub fences: Arc<Counter>,
+    /// `server.sessions`.
+    pub sessions: Arc<Counter>,
+    /// `server.recovery.began`.
+    pub recovery_began: Arc<Counter>,
+    /// `server.recovery.ended`.
+    pub recovery_ended: Arc<Counter>,
+    /// `server.unexpected_msgs`.
+    pub unexpected_msgs: Arc<Counter>,
+    /// `server.steal_latency_ns`.
+    pub steal_latency_ns: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for ServerObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerObs").finish_non_exhaustive()
+    }
+}
+
+impl ServerObs {
+    /// Resolve all server instruments from `registry`.
+    pub fn new(registry: Arc<Registry>) -> ServerObs {
+        ServerObs {
+            lock_granted: registry.counter_def(&names::SERVER_LOCK_GRANTED),
+            lock_released: registry.counter_def(&names::SERVER_LOCK_RELEASED),
+            lock_stolen: registry.counter_def(&names::SERVER_LOCK_STOLEN),
+            steals: registry.counter_def(&names::SERVER_STEALS),
+            demands_sent: registry.counter_def(&names::SERVER_DEMANDS_SENT),
+            nack_lease_timing_out: registry.counter_def(&names::SERVER_NACK_LEASE_TIMING_OUT),
+            nack_session_expired: registry.counter_def(&names::SERVER_NACK_SESSION_EXPIRED),
+            nack_stale_session: registry.counter_def(&names::SERVER_NACK_STALE_SESSION),
+            nack_recovering: registry.counter_def(&names::SERVER_NACK_RECOVERING),
+            delivery_errors: registry.counter_def(&names::SERVER_DELIVERY_ERRORS),
+            condemn_armed: registry.counter_def(&names::SERVER_CONDEMN_ARMED),
+            condemn_fired: registry.counter_def(&names::SERVER_CONDEMN_FIRED),
+            fences: registry.counter_def(&names::SERVER_FENCES),
+            sessions: registry.counter_def(&names::SERVER_SESSIONS),
+            recovery_began: registry.counter_def(&names::SERVER_RECOVERY_BEGAN),
+            recovery_ended: registry.counter_def(&names::SERVER_RECOVERY_ENDED),
+            unexpected_msgs: registry.counter_def(&names::SERVER_UNEXPECTED_MSGS),
+            steal_latency_ns: registry.histogram_def(&names::SERVER_STEAL_LATENCY_NS),
+            registry,
+        }
+    }
+
+    /// Record a structured trace event stamped with true time and this
+    /// node's id. The detail closure runs only when tracing is enabled.
+    pub fn trace<P: Payload, Ob>(
+        &self,
+        ctx: &Ctx<'_, P, Ob>,
+        kind: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.registry.trace_with(
+            ctx.now_true_for_instrumentation().0,
+            ctx.node().to_string(),
+            kind,
+            detail,
+        );
+    }
+}

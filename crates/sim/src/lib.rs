@@ -68,6 +68,11 @@ impl std::fmt::Display for NodeId {
 /// Message payloads carried by a simulated network.
 pub trait Payload: Clone + std::fmt::Debug {
     /// Short static label for metrics aggregation.
+    ///
+    /// The observability layer (`tank-obs`) aggregates per-message
+    /// counters and trace details by this label, so implementations
+    /// must return stable strings — one per payload variant, never
+    /// per-instance data.
     fn kind(&self) -> &'static str {
         "msg"
     }

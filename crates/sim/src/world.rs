@@ -2,9 +2,11 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::sync::Arc;
 
 use rand::{Rng, RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use tank_obs::{names, Counter, Registry};
 
 use crate::actor::{Actor, Ctx, Effect, TimerId};
 use crate::net::{NetId, NetParams, Network};
@@ -57,6 +59,30 @@ pub enum Control {
     /// network — the paper's §6 "slow computer", whose commands arrive
     /// late. Zero clears it.
     SetNodeOutboundDelay { node: NodeId, extra_ns: u64 },
+}
+
+/// Pre-resolved obs handles so the per-message hot path in [`World::route`]
+/// and [`World::step_one`] touches atomics, never the registry lock.
+struct WorldObs {
+    registry: Arc<Registry>,
+    sent: Arc<Counter>,
+    delivered: Arc<Counter>,
+    dropped: Arc<Counter>,
+    blocked: Arc<Counter>,
+    to_dead: Arc<Counter>,
+}
+
+impl WorldObs {
+    fn new(registry: Arc<Registry>) -> WorldObs {
+        WorldObs {
+            sent: registry.counter_def(&names::SIM_MSG_SENT),
+            delivered: registry.counter_def(&names::SIM_MSG_DELIVERED),
+            dropped: registry.counter_def(&names::SIM_MSG_DROPPED),
+            blocked: registry.counter_def(&names::SIM_MSG_BLOCKED),
+            to_dead: registry.counter_def(&names::SIM_MSG_TO_DEAD),
+            registry,
+        }
+    }
 }
 
 /// What an event in the queue does when popped.
@@ -126,6 +152,7 @@ pub struct World<P: Payload, Ob = ()> {
     trace: Vec<(SimTime, NodeId, String)>,
     record_trace: bool,
     events_processed: u64,
+    obs: Option<WorldObs>,
 }
 
 impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
@@ -153,7 +180,24 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
             trace: Vec::new(),
             record_trace: config.record_trace,
             events_processed: 0,
+            obs: None,
         }
+    }
+
+    /// Attach an observability registry. Registers the sim-layer metric
+    /// contract, forwards the world's `record_trace` flag into the
+    /// registry's tracing gate, and mirrors every [`Ctx::trace`] line into
+    /// the registry's structured trace stream (stamped with true time and
+    /// the emitting node).
+    pub fn set_obs(&mut self, registry: Arc<Registry>) {
+        names::register_all(&registry);
+        registry.set_tracing(self.record_trace);
+        self.obs = Some(WorldObs::new(registry));
+    }
+
+    /// The attached observability registry, if any.
+    pub fn obs(&self) -> Option<&Arc<Registry>> {
+        self.obs.as_ref().map(|o| &o.registry)
     }
 
     /// Register a network. Must happen before the first send on it.
@@ -322,8 +366,14 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
             Pending::Deliver { net, src, dst, msg } => {
                 if self.crashed[dst.index()] {
                     self.stats.cell(msg.kind(), net).to_dead += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.to_dead.inc();
+                    }
                 } else {
                     self.stats.cell(msg.kind(), net).delivered += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.delivered.inc();
+                    }
                     self.dispatch(dst, |actor, ctx| actor.on_message(src, net, msg, ctx));
                 }
             }
@@ -411,7 +461,13 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
                     self.cancelled.insert(id.0);
                 }
                 Effect::Observe(ob) => self.observations.push((self.now, node, ob)),
-                Effect::Trace(line) => self.trace.push((self.now, node, line)),
+                Effect::Trace(line) => {
+                    if let Some(obs) = &self.obs {
+                        obs.registry
+                            .trace(self.now.0, node.to_string(), "sim", line.clone());
+                    }
+                    self.trace.push((self.now, node, line));
+                }
             }
         }
     }
@@ -427,12 +483,21 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
         let cell = self.stats.cell(msg.kind(), net);
         cell.sent += 1;
         cell.bytes_sent += msg.size_hint() as u64;
+        if let Some(obs) = &self.obs {
+            obs.sent.inc();
+        }
         if blocked {
             cell.blocked += 1;
+            if let Some(obs) = &self.obs {
+                obs.blocked.inc();
+            }
             return;
         }
         if params.drop_prob > 0.0 && self.net_rng.random_bool(params.drop_prob) {
             self.stats.cell(msg.kind(), net).dropped += 1;
+            if let Some(obs) = &self.obs {
+                obs.dropped.inc();
+            }
             return;
         }
         let jitter = if params.jitter_ns > 0 {

@@ -31,7 +31,7 @@ impl From<usize> for SizeRange {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
