@@ -530,7 +530,7 @@ impl<Ob> ClientNode<Ob> {
         let Some(p) = self.pending.get_mut(&seq) else {
             return;
         };
-        p.cur_rto = LocalNs((p.cur_rto.0 * 2).min(max_rto.0));
+        p.cur_rto = p.cur_rto.times(2).min(max_rto);
         let token = self.timers.insert(ClientTimer::ReqRetry(seq));
         let delay = p.cur_rto;
         let msg = Request {

@@ -41,7 +41,7 @@ impl Default for LeaseConfig {
             renew_frac: 0.40,
             suspect_frac: 0.70,
             flush_frac: 0.85,
-            keepalive_interval: LocalNs(tau.0 / 20),
+            keepalive_interval: tau.over(20),
         }
     }
 }
@@ -51,7 +51,7 @@ impl LeaseConfig {
     pub fn with_tau(tau: LocalNs) -> Self {
         LeaseConfig {
             tau,
-            keepalive_interval: LocalNs((tau.0 / 20).max(1)),
+            keepalive_interval: tau.over(20).max(LocalNs(1)),
             ..Default::default()
         }
     }
@@ -86,19 +86,19 @@ impl LeaseConfig {
     /// Local offset into the lease at which phase 2 begins.
     #[inline]
     pub fn renew_offset(&self) -> LocalNs {
-        LocalNs((self.tau.0 as f64 * self.renew_frac) as u64)
+        self.tau.scaled(self.renew_frac)
     }
 
     /// Local offset into the lease at which phase 3 begins.
     #[inline]
     pub fn suspect_offset(&self) -> LocalNs {
-        LocalNs((self.tau.0 as f64 * self.suspect_frac) as u64)
+        self.tau.scaled(self.suspect_frac)
     }
 
     /// Local offset into the lease at which phase 4 begins.
     #[inline]
     pub fn flush_offset(&self) -> LocalNs {
-        LocalNs((self.tau.0 as f64 * self.flush_frac) as u64)
+        self.tau.scaled(self.flush_frac)
     }
 
     /// The server-side timeout `τ(1+ε)`, counted on the server's clock
@@ -107,7 +107,7 @@ impl LeaseConfig {
     /// least τ at the client").
     #[inline]
     pub fn server_timeout(&self) -> LocalNs {
-        LocalNs((self.tau.0 as f64 * (1.0 + self.epsilon)).ceil() as u64)
+        self.tau.scaled_ceil(1.0 + self.epsilon)
     }
 }
 

@@ -1,0 +1,65 @@
+//! The committed allowlist: where a lint's rule is deliberately relaxed,
+//! with the reason on record.
+//!
+//! Policy (see `LINTS.md`): an entry here needs a *structural* reason —
+//! a whole crate whose job requires the forbidden construct — never
+//! convenience. Point exceptions inside otherwise-governed code use an
+//! inline `// tank-lint: allow(Lx) reason` comment instead, which scopes
+//! the exemption to one line and keeps the reason next to the code.
+
+/// One allowlist entry: `lint` is not reported under `path_prefix`.
+#[derive(Debug, Clone, Copy)]
+pub struct Allow {
+    /// Lint id, e.g. `L1`.
+    pub lint: &'static str,
+    /// Workspace-relative path prefix the exemption covers.
+    pub path_prefix: &'static str,
+    /// Why the exemption is sound.
+    pub reason: &'static str,
+}
+
+/// The committed exemptions.
+pub const ALLOWLIST: &[Allow] = &[
+    Allow {
+        lint: "L1",
+        path_prefix: "crates/net/",
+        reason: "real transport: socket deadlines and the monotonic epoch need the OS clock; \
+                 protocol decisions still flow through LocalNs",
+    },
+    Allow {
+        lint: "L1",
+        path_prefix: "crates/cluster/",
+        reason: "process harness: drives real OS processes on real time by design",
+    },
+    Allow {
+        lint: "L1",
+        path_prefix: "crates/bench/",
+        reason: "benchmarks measure wall-clock behaviour of the real stack",
+    },
+    Allow {
+        lint: "L2",
+        path_prefix: "crates/sim/src/time.rs",
+        reason: "the one blessed home of raw time arithmetic; every other site must go \
+                 through its checked (saturating) helpers",
+    },
+];
+
+/// The allowlist entry suppressing `lint` at `rel`, if any.
+pub fn allowed(lint: &str, rel: &str) -> Option<&'static Allow> {
+    ALLOWLIST
+        .iter()
+        .find(|a| a.lint == lint && rel.starts_with(a.path_prefix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_scoping() {
+        assert!(allowed("L1", "crates/net/src/server.rs").is_some());
+        assert!(allowed("L1", "crates/core/src/lib.rs").is_none());
+        assert!(allowed("L2", "crates/sim/src/time.rs").is_some());
+        assert!(allowed("L2", "crates/sim/src/world.rs").is_none());
+    }
+}

@@ -1,0 +1,399 @@
+//! A small Rust lexer: enough token fidelity for the repo lints.
+//!
+//! The container has no crate registry, so a full `syn` parse is off the
+//! table; the lints instead work on a token stream with source positions.
+//! The lexer understands everything that could *mislead* a token-level
+//! lint — comments, string/char/byte/raw-string literals, lifetimes, and
+//! multi-character operators (so `->` never reads as a bare `-`) — and
+//! deliberately nothing more.
+
+/// Token classes the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including a lone `_`).
+    Ident,
+    /// `'a` style lifetime (or loop label).
+    Lifetime,
+    /// Numeric literal, suffix included.
+    Number,
+    /// String/char/byte literal, quotes included.
+    Literal,
+    /// Operator or delimiter; multi-char operators are one token.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Lexer output: the token stream plus any inline lint directives found
+/// in comments (`// tank-lint: allow(L1, L4) — reason`), as
+/// `(line, lint ids)`.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    pub tokens: Vec<Tok>,
+    pub allow_directives: Vec<(u32, Vec<String>)>,
+}
+
+/// Multi-character operators, longest first so maximal munch wins.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "=>", "->", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexOut,
+}
+
+/// Lex `src` into tokens and inline directives. Unterminated literals or
+/// comments simply end the token stream at end of file: the lints prefer
+/// best-effort tokens over refusing to check a file.
+pub fn lex(src: &str) -> LexOut {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: LexOut::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one byte, tracking line/col. Multi-byte UTF-8 continuation
+    /// bytes don't advance the column, keeping columns roughly char-based.
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => self.ident(),
+                _ => self.punct(),
+            }
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.directive(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.directive(&text, line);
+    }
+
+    /// Record a `tank-lint: allow(...)` directive if `comment` has one.
+    fn directive(&mut self, comment: &str, line: u32) {
+        let Some(at) = comment.find("tank-lint: allow(") else {
+            return;
+        };
+        let rest = &comment[at + "tank-lint: allow(".len()..];
+        let Some(close) = rest.find(')') else { return };
+        let ids: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if !ids.is_empty() {
+            self.out.allow_directives.push((line, ids));
+        }
+    }
+
+    /// Try `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`; false if the `r`/`b`
+    /// here is just the start of an identifier.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == b'b' {
+            if self.peek(1) == b'\'' {
+                // Byte literal b'…'.
+                let (line, col) = (self.line, self.col);
+                let start = self.pos;
+                self.bump();
+                self.bump();
+                while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                    if self.peek(0) == b'\\' {
+                        self.bump();
+                    }
+                    self.bump();
+                }
+                if self.pos < self.src.len() {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push(TokKind::Literal, text, line, col);
+                return true;
+            }
+            if self.peek(1) == b'r' {
+                ahead = 2;
+            }
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != b'"' {
+            // Covers plain idents starting with r/b and raw `r#ident`s.
+            return false;
+        }
+        // Raw (byte) string: scan for `"` followed by `hashes` hashes.
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        for _ in 0..(ahead + hashes + 1) {
+            self.bump();
+        }
+        'scan: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != b'#' {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Literal, text, line, col);
+        true
+    }
+
+    fn string_literal(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        self.bump();
+        while self.pos < self.src.len() && self.peek(0) != b'"' {
+            if self.peek(0) == b'\\' {
+                self.bump();
+            }
+            self.bump();
+        }
+        if self.pos < self.src.len() {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Literal, text, line, col);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        let one = self.peek(1);
+        let is_lifetime =
+            (one == b'_' || one.is_ascii_alphabetic()) && self.peek(2) != b'\'' && one != 0;
+        if is_lifetime {
+            self.bump();
+            while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokKind::Lifetime, text, line, col);
+        } else {
+            self.bump();
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                if self.peek(0) == b'\\' {
+                    self.bump();
+                }
+                self.bump();
+            }
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokKind::Literal, text, line, col);
+        }
+    }
+
+    fn number(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            // Also part of the literal: a decimal point followed by a
+            // digit, and an exponent sign (`1e-9`) — not operators.
+            let exponent_sign = (b == b'+' || b == b'-')
+                && matches!(self.src.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+                && self.peek(1).is_ascii_digit();
+            if b == b'_'
+                || b.is_ascii_alphanumeric()
+                || (b == b'.' && self.peek(1).is_ascii_digit())
+                || exponent_sign
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Number, text, line, col);
+    }
+
+    fn ident(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn punct(&mut self) {
+        let (line, col) = (self.line, self.col);
+        for op in MULTI_PUNCT {
+            if self.src[self.pos..].starts_with(op.as_bytes()) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, (*op).to_owned(), line, col);
+                return;
+            }
+        }
+        let b = self.bump();
+        self.push(TokKind::Punct, (b as char).to_string(), line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn operators_are_maximal_munch() {
+        assert_eq!(
+            texts("a -> b - c ..= d"),
+            ["a", "->", "b", "-", "c", "..=", "d"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let toks = lex(r####"let s = r#"no "tokens" in + here"#; x"####).tokens;
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+        assert!(!toks.iter().any(|t| t.is_punct("+")));
+    }
+
+    #[test]
+    fn comments_yield_directives_not_tokens() {
+        let out = lex("let a = 1; // tank-lint: allow(L1, L4) timer seed\nlet b = 2;");
+        assert_eq!(
+            out.allow_directives,
+            vec![(1, vec!["L1".into(), "L4".into()])]
+        );
+        assert!(!out.tokens.iter().any(|t| t.text.contains("tank")));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_tracked() {
+        let toks = lex("ab\n  cd").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn float_exponent_sign_is_not_an_operator() {
+        assert_eq!(texts("1.5e-3 + 2"), ["1.5e-3", "+", "2"]);
+    }
+}

@@ -1,0 +1,76 @@
+//! `tank-lint`: repo-aware static analysis for the Storage Tank
+//! workspace.
+//!
+//! The compiler checks types; this crate checks the *protocol
+//! discipline* DESIGN.md's safety argument assumes but rustc cannot see:
+//! determinism under simulated time (L1), non-wrapping lease arithmetic
+//! (L2), panic-free wire paths (L3), exhaustive protocol matches (L4),
+//! and a fully-emitting metric contract (L5). The rules and their
+//! rationale are catalogued in `LINTS.md`.
+//!
+//! Pipeline: [`source::walk_sources`] lexes `crates/*/src/**/*.rs` with
+//! test items stripped, [`lints::run_all`] applies the battery, and
+//! [`check_files`] filters through the committed [`allowlist`] plus
+//! inline `tank-lint: allow(…)` directives, yielding a canonical sorted
+//! [`report::Report`]. Both the CLI (`cargo run -p tank-lint`) and the
+//! tier-1 `repo_clean` integration test are thin wrappers over
+//! [`check`].
+
+pub mod allowlist;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod source;
+
+use std::io;
+use std::path::Path;
+
+use report::Report;
+use source::SourceFile;
+
+/// Lint the workspace rooted at `root`.
+pub fn check(root: &Path) -> io::Result<Report> {
+    Ok(check_files(&source::walk_sources(root)?))
+}
+
+/// Lint an already-loaded set of sources. The result is independent of
+/// the order of `files`: violations are sorted and every lint is a pure
+/// function of the set.
+pub fn check_files(files: &[SourceFile]) -> Report {
+    let mut allowlisted = 0u64;
+    let mut violations = Vec::new();
+    for v in lints::run_all(files) {
+        let inline = files
+            .iter()
+            .find(|f| f.rel == v.file)
+            .is_some_and(|f| f.inline_allowed(&v.lint, v.line));
+        if inline || allowlist::allowed(&v.lint, &v.file).is_some() {
+            allowlisted += 1;
+        } else {
+            violations.push(v);
+        }
+    }
+    let mut report = Report {
+        checked_files: files.len() as u64,
+        allowlisted,
+        violations,
+    };
+    report.normalize();
+    report
+}
+
+/// Locate the workspace root: walk up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,216 @@
+//! L4 `exhaustive-protocol-match`: protocol enums are matched variant by
+//! variant, never with a `_ =>` wildcard.
+//!
+//! Adding a `Message` variant must be a compile error at every dispatch
+//! site (DESIGN.md §6's safety case enumerates the handling of each
+//! message in each state). A wildcard arm converts that compile error
+//! into a silent drop — exactly how a new NACK reason or push message
+//! would get ignored by an old code path. A *named* catch-all binding
+//! (`other => …`) stays legal: it shows intent and still forwards the
+//! value.
+//!
+//! A match is flagged when some arm pattern mentions a protocol enum
+//! (`Enum::Variant`) and some other arm is exactly `_` with no guard.
+
+use crate::lexer::Tok;
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+/// The protocol-surface enums: wire messages, their bodies and reasons,
+/// SAN fencing, and the client lease phases.
+const PROTO_ENUMS: &[&str] = &[
+    "NetMsg",
+    "CtlMsg",
+    "RequestBody",
+    "ReplyBody",
+    "ResponseOutcome",
+    "NackReason",
+    "PushBody",
+    "SanMsg",
+    "FenceOp",
+    "Phase",
+    "LeaseAction",
+];
+
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        let toks = &f.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident("match") {
+                continue;
+            }
+            let Some(body) = find_body_open(toks, i + 1) else {
+                continue;
+            };
+            inspect_match(f, toks, body, &mut out);
+        }
+    }
+    out
+}
+
+/// Index of the match body's `{`: the first `{` after the scrutinee at
+/// paren/bracket depth 0 (Rust bans struct literals and bare block
+/// expressions in scrutinee position, so this brace is the body).
+fn find_body_open(toks: &[Tok], mut j: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if depth == 0 && t.is_punct("{") {
+            return Some(j);
+        }
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Split the body into arms and apply the rule.
+fn inspect_match(f: &SourceFile, toks: &[Tok], body: usize, out: &mut Vec<Violation>) {
+    let mut mentions_protocol = false;
+    let mut wildcard: Option<&Tok> = None;
+    let mut k = body + 1;
+    loop {
+        // Pattern (including any guard) up to `=>` at depth 0.
+        let start = k;
+        let mut depth = 0i32;
+        while k < toks.len() {
+            let t = &toks[k];
+            if depth == 0 && (t.is_punct("=>") || t.is_punct("}")) {
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            }
+            k += 1;
+        }
+        if k >= toks.len() || toks[k].is_punct("}") {
+            break;
+        }
+        let pat = &toks[start..k];
+        if pat.len() == 1 && pat[0].is_ident("_") {
+            wildcard = Some(&pat[0]);
+        }
+        if pat
+            .windows(2)
+            .any(|w| PROTO_ENUMS.iter().any(|e| w[0].is_ident(e)) && w[1].is_punct("::"))
+        {
+            mentions_protocol = true;
+        }
+        k += 1; // past `=>`
+        k = skip_arm_expr(toks, k);
+    }
+    if mentions_protocol {
+        if let Some(w) = wildcard {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line: w.line,
+                col: w.col,
+                lint: "L4".into(),
+                message: "`_ =>` wildcard in a match over a protocol enum: new message \
+                          variants must fail to compile here, not fall through silently \
+                          (bind a name if a catch-all is intended)"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Skip one arm expression: a brace block plus optional comma, or tokens
+/// through the separating comma at depth 0 (the body's `}` also ends it).
+fn skip_arm_expr(toks: &[Tok], mut k: usize) -> usize {
+    if k < toks.len() && toks[k].is_punct("{") {
+        let mut depth = 0i32;
+        while k < toks.len() {
+            if toks[k].is_punct("{") {
+                depth += 1;
+            } else if toks[k].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        if k < toks.len() && toks[k].is_punct(",") {
+            k += 1;
+        }
+        return k;
+    }
+    let mut depth = 0i32;
+    while k < toks.len() {
+        let t = &toks[k];
+        if depth == 0 && t.is_punct(",") {
+            return k + 1;
+        }
+        if depth == 0 && t.is_punct("}") {
+            return k; // body close; leave for the caller to see
+        }
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        }
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_wildcard_alongside_protocol_variants() {
+        let f = SourceFile::parse(
+            "crates/server/src/node.rs",
+            "match m { NetMsg::Request(r) => handle(r), _ => {} }",
+        );
+        let v = check(&[f]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "L4");
+    }
+
+    #[test]
+    fn named_catch_all_is_legal() {
+        let f = SourceFile::parse(
+            "crates/server/src/node.rs",
+            "match m { NetMsg::Request(r) => handle(r), other => log(other) }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn guarded_wildcard_is_not_the_wildcard_arm() {
+        let f = SourceFile::parse(
+            "crates/server/src/node.rs",
+            "match m { NackReason::Recovering => a(), _ if odd => b(), NackReason::Stale => c() }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn non_protocol_matches_may_use_wildcards() {
+        let f = SourceFile::parse(
+            "crates/server/src/node.rs",
+            "match ev { Event::Tick => a(), _ => b() }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn nested_block_arms_do_not_confuse_arm_splitting() {
+        let f = SourceFile::parse(
+            "crates/client/src/node.rs",
+            "match m {\n  Phase::Active => { if x { y() } },\n  Phase::Renewing => z(),\n  _ => {}\n}",
+        );
+        assert_eq!(check(&[f]).len(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! The lint battery: each lint is a pure function from the lexed
+//! workspace to violations. Registration here is what the CLI's
+//! `--list` and `run_all` iterate.
+
+pub mod determinism;
+pub mod exhaustive_match;
+pub mod no_unwrap;
+pub mod obs_closure;
+pub mod time_arith;
+
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+/// Crates whose behaviour must be a pure function of simulated time and
+/// seeded randomness (DESIGN.md: one schedule ⇒ one history).
+pub const PROTOCOL_CRATES: &[&str] = &["core", "proto", "client", "server", "sim", "consistency"];
+
+/// Registry entry for one lint.
+pub struct LintInfo {
+    /// Stable id used in diagnostics, directives, and the allowlist.
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line rule statement.
+    pub summary: &'static str,
+    /// The checker.
+    pub check: fn(&[SourceFile]) -> Vec<Violation>,
+}
+
+/// All registered lints, in id order.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        id: "L1",
+        name: "determinism",
+        summary: "no ambient wall clock or OS randomness (Instant::now, SystemTime, \
+                  thread_rng) outside the real-transport crates",
+        check: determinism::check,
+    },
+    LintInfo {
+        id: "L2",
+        name: "checked-time-arithmetic",
+        summary: "no bare +/-/* or `as` casts inside LocalNs(..)/SimTime(..) constructors \
+                  outside sim::time — use the checked helpers",
+        check: time_arith::check,
+    },
+    LintInfo {
+        id: "L3",
+        name: "no-unwrap-on-wire",
+        summary: "no unwrap()/expect() on decode or socket paths (proto::wire and net)",
+        check: no_unwrap::check,
+    },
+    LintInfo {
+        id: "L4",
+        name: "exhaustive-protocol-match",
+        summary: "no `_ =>` wildcard arms in matches over protocol enums — new message \
+                  variants must be handled explicitly",
+        check: exhaustive_match::check,
+    },
+    LintInfo {
+        id: "L5",
+        name: "obs-contract-closure",
+        summary: "every metric declared in obs::names is referenced by at least one \
+                  non-test call site",
+        check: obs_closure::check,
+    },
+];
+
+/// Run every registered lint over `files`.
+pub fn run_all(files: &[SourceFile]) -> Vec<Violation> {
+    LINTS.iter().flat_map(|l| (l.check)(files)).collect()
+}

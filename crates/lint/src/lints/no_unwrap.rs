@@ -1,0 +1,90 @@
+//! L3 `no-unwrap-on-wire`: decode and socket failures must flow into
+//! typed errors, not panics.
+//!
+//! The NACK/retransmit design (DESIGN.md §6–7) assumes a malformed or
+//! truncated datagram is an *event* the protocol handles — a node that
+//! panics on a bad frame turns a lossy network into a crash fault. So on
+//! the wire-facing paths (`proto::wire`, all of `net`), `unwrap()` and
+//! `expect()` are banned outside tests; errors there are `WireError`/
+//! `NetClientError` values that feed the existing recovery machinery.
+//! Genuinely unreachable cases (e.g. lock poisoning on a crate-private
+//! mutex) use an inline `tank-lint: allow(L3)` with the argument spelled
+//! out, or better, a non-panicking idiom.
+
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+fn in_scope(rel: &str) -> bool {
+    rel == "crates/proto/src/wire.rs" || rel.starts_with("crates/net/src/")
+}
+
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        if !in_scope(&f.rel) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            let callee = if t.is_ident("unwrap") || t.is_ident("expect") {
+                &t.text
+            } else {
+                continue;
+            };
+            // Method position only: `.unwrap(`/`.expect(`. Leaves
+            // `unwrap_or_else` (a different ident) and stray mentions alone.
+            let is_method = i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            if is_method {
+                out.push(Violation {
+                    file: f.rel.clone(),
+                    line: t.line,
+                    col: t.col,
+                    lint: "L3".into(),
+                    message: format!(
+                        "`.{callee}()` on a wire path: a bad frame or socket error must \
+                         become a typed error feeding the NACK/retransmit machinery, not \
+                         a panic"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_and_expect_in_net() {
+        let f = SourceFile::parse(
+            "crates/net/src/client.rs",
+            "let g = m.lock().unwrap();\nlet v = x.expect(\"decode\");",
+        );
+        let v = check(&[f]);
+        assert_eq!(v.len(), 2);
+        assert_eq!((v[0].line, v[1].line), (1, 2));
+    }
+
+    #[test]
+    fn unwrap_or_else_is_fine() {
+        let f = SourceFile::parse(
+            "crates/net/src/client.rs",
+            "let g = m.lock().unwrap_or_else(|p| p.into_inner());",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn tests_and_other_crates_are_out_of_scope() {
+        let in_tests = SourceFile::parse(
+            "crates/net/src/client.rs",
+            "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }",
+        );
+        let elsewhere = SourceFile::parse("crates/core/src/lib.rs", "x.unwrap();");
+        assert!(check(&[in_tests, elsewhere]).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! L5 `obs-contract-closure`: every metric declared in `obs::names` has
+//! a live emitter.
+//!
+//! PR 2's doc-contract test proves OBSERVABILITY.md and `names::ALL`
+//! agree; this lint closes the loop in the other direction — a metric
+//! that no non-test code references is a contract entry measuring
+//! nothing, and experiments built on it would silently read zeros. Each
+//! `const NAME: MetricDef` in `crates/obs/src/names.rs` must be
+//! referenced by identifier in at least one other source file (test
+//! modules don't count; they are stripped before linting).
+
+use crate::lexer::TokKind;
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+const NAMES_FILE: &str = "crates/obs/src/names.rs";
+
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let Some(names) = files.iter().find(|f| f.rel == NAMES_FILE) else {
+        // Workspace slice without the obs contract (e.g. lint self-tests).
+        return Vec::new();
+    };
+    // Declarations: `pub const NAME: MetricDef = …`.
+    let mut decls: Vec<(&str, u32, u32)> = Vec::new();
+    let toks = &names.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("const")
+            && toks.get(i + 2).is_some_and(|c| c.is_punct(":"))
+            && toks.get(i + 3).is_some_and(|ty| ty.is_ident("MetricDef"))
+        {
+            if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                decls.push((&name.text, name.line, name.col));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (name, line, col) in decls {
+        let referenced = files.iter().any(|f| {
+            f.rel != NAMES_FILE
+                && f.tokens
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == name)
+        });
+        if !referenced {
+            out.push(Violation {
+                file: NAMES_FILE.into(),
+                line,
+                col,
+                lint: "L5".into(),
+                message: format!(
+                    "metric `{name}` is declared in the obs contract but never referenced \
+                     by a non-test call site: it would export constant zeros"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names_file(body: &str) -> SourceFile {
+        SourceFile::parse(NAMES_FILE, body)
+    }
+
+    #[test]
+    fn unreferenced_metric_is_flagged_at_its_declaration() {
+        let names = names_file(
+            "pub const USED: MetricDef = counter(\"a.b\", \"h\");\n\
+             pub const ORPHAN: MetricDef = counter(\"c.d\", \"h\");",
+        );
+        let user = SourceFile::parse("crates/sim/src/world.rs", "reg.counter(names::USED);");
+        let v = check(&[names, user]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("ORPHAN"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn test_only_references_do_not_count() {
+        let names = names_file("pub const M: MetricDef = counter(\"a.b\", \"h\");");
+        let user = SourceFile::parse(
+            "crates/sim/src/world.rs",
+            "#[cfg(test)]\nmod tests { fn t() { use_metric(names::M); } }",
+        );
+        assert_eq!(check(&[names, user]).len(), 1);
+    }
+}

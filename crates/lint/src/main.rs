@@ -1,0 +1,87 @@
+//! CLI for `tank-lint`.
+//!
+//! ```text
+//! cargo run -p tank-lint                      # text diagnostics
+//! cargo run -p tank-lint -- --format json     # machine-readable report
+//! cargo run -p tank-lint -- --list            # registered lints
+//! cargo run -p tank-lint -- --root path/to/ws # lint another workspace
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when violations survive the allowlist,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = "text".to_owned();
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => return usage("--format takes `text` or `json`"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root takes a path"),
+            },
+            "--list" => list = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list {
+        for l in tank_lint::lints::LINTS {
+            println!("{} {}: {}", l.id, l.name, l.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| tank_lint::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("tank-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match tank_lint::check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "tank-lint: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "usage: tank-lint [--root <workspace>] [--format text|json] [--list]";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tank-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

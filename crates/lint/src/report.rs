@@ -1,0 +1,389 @@
+//! Diagnostics and the machine-readable report.
+//!
+//! The JSON codec is hand-rolled: the workspace's vendored `serde` is a
+//! derive-marker stub (the offline container has no registry), so the
+//! types carry the standard derives for API compatibility while
+//! [`Report::to_json`]/[`Report::from_json`] do the actual work. The
+//! encoding is canonical — violations sorted, keys in a fixed order — so
+//! a report is byte-stable for a given workspace state regardless of
+//! file-walk order.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One lint violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Lint id, e.g. `L1`.
+    pub lint: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The result of a full lint run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// Number of source files checked.
+    pub checked_files: u64,
+    /// Violations suppressed by the crate allowlist or inline directives.
+    pub allowlisted: u64,
+    /// Surviving violations, sorted by `(file, line, col, lint)`.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Canonicalize: sort and dedupe violations.
+    pub fn normalize(&mut self) {
+        self.violations.sort();
+        self.violations.dedup();
+    }
+
+    /// True when the run found nothing.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// rustc-style text rendering.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                s,
+                "error[{}]: {}\n  --> {}:{}:{}",
+                v.lint, v.message, v.file, v.line, v.col
+            );
+        }
+        let _ = writeln!(
+            s,
+            "tank-lint: {} file(s) checked, {} violation(s), {} allowlisted",
+            self.checked_files,
+            self.violations.len(),
+            self.allowlisted
+        );
+        s
+    }
+
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"checked_files\":{},\"allowlisted\":{},\"violations\":[",
+            self.checked_files, self.allowlisted
+        );
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"file\":{},\"line\":{},\"col\":{},\"lint\":{},\"message\":{}}}",
+                json_str(&v.file),
+                v.line,
+                v.col,
+                json_str(&v.lint),
+                json_str(&v.message)
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Decode a report produced by [`Report::to_json`] (accepts any field
+    /// order and JSON whitespace).
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        let obj = v.as_obj("report")?;
+        let mut report = Report {
+            checked_files: obj.get_u64("checked_files")?,
+            allowlisted: obj.get_u64("allowlisted")?,
+            violations: Vec::new(),
+        };
+        for item in obj.get("violations")?.as_arr("violations")? {
+            let o = item.as_obj("violation")?;
+            report.violations.push(Violation {
+                file: o.get_str("file")?,
+                line: o.get_u64("line")? as u32,
+                col: o.get_u64("col")? as u32,
+                lint: o.get_str("lint")?,
+                message: o.get_str("message")?,
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// Escape `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for decoding (only what reports contain).
+enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self, what: &str) -> Result<&Vec<(String, Json)>, String> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&Vec<Json>, String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+}
+
+/// Field lookups over a decoded object.
+trait ObjExt {
+    fn get(&self, key: &str) -> Result<&Json, String>;
+    fn get_u64(&self, key: &str) -> Result<u64, String>;
+    fn get_str(&self, key: &str) -> Result<String, String>;
+}
+
+impl ObjExt for Vec<(String, Json)> {
+    fn get(&self, key: &str) -> Result<&Json, String> {
+        self.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key}"))
+    }
+
+    fn get_u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            Json::Num(n) => Ok(*n),
+            _ => Err(format!("field {key}: expected number")),
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Result<String, String> {
+        match self.get(key)? {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(format!("field {key}: expected string")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.obj(),
+            Some(b'[') => self.arr(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn obj(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn arr(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.b.get(self.i) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", self.i));
+        }
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences intact).
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while matches!(self.b.get(self.i), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            checked_files: 3,
+            allowlisted: 2,
+            violations: vec![Violation {
+                file: "crates/core/src/lib.rs".into(),
+                line: 10,
+                col: 5,
+                lint: "L1".into(),
+                message: "call to `Instant::now` — \"wall clock\"\tin protocol crate".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let r = sample();
+        assert_eq!(Report::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_tolerates_whitespace_and_field_order() {
+        let text = "{ \"violations\": [], \"allowlisted\": 0,\n \"checked_files\": 7 }";
+        let r = Report::from_json(text).unwrap();
+        assert_eq!(r.checked_files, 7);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Report::from_json("{\"checked_files\":1}").is_err());
+        assert!(Report::from_json("[]").is_err());
+        assert!(
+            Report::from_json("{\"checked_files\":1,\"allowlisted\":0,\"violations\":[]}x")
+                .is_err()
+        );
+    }
+}

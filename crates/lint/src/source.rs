@@ -1,0 +1,219 @@
+//! Workspace source loading: file walk, test-span stripping, and inline
+//! allow directives.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Tok};
+
+/// One lexed workspace source file, ready for the lints.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes;
+    /// this is what diagnostics and the allowlist key on).
+    pub rel: String,
+    /// Non-test tokens: `#[cfg(test)]` items are stripped before linting,
+    /// since the rules govern shipping code, not its tests.
+    pub tokens: Vec<Tok>,
+    /// Inline `tank-lint: allow(…)` directives as `(line, lint ids)`.
+    pub allow_directives: Vec<(u32, Vec<String>)>,
+}
+
+impl SourceFile {
+    /// Lex `text` as the file at `rel`.
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let out = lex(text);
+        SourceFile {
+            rel: rel.to_owned(),
+            tokens: strip_test_spans(out.tokens),
+            allow_directives: out.allow_directives,
+        }
+    }
+
+    /// The crate this file belongs to (`crates/core/src/…` → `core`).
+    pub fn crate_name(&self) -> Option<&str> {
+        self.rel.strip_prefix("crates/")?.split('/').next()
+    }
+
+    /// True if an inline directive allows `lint` on `line` (directives
+    /// cover their own line and the next, so they can sit above or beside
+    /// the flagged code).
+    pub fn inline_allowed(&self, lint: &str, line: u32) -> bool {
+        self.allow_directives
+            .iter()
+            .any(|(l, ids)| (line == *l || line == *l + 1) && ids.iter().any(|i| i == lint))
+    }
+}
+
+/// Walk `root` for lintable sources: `crates/*/src/**/*.rs`, sorted by
+/// relative path. Benches, examples, and integration tests are outside
+/// the walk by construction.
+pub fn walk_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(&p)?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            Ok(SourceFile::parse(&rel, &text))
+        })
+        .collect()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Drop every item annotated `#[cfg(test)]` (attributes included) from
+/// the token stream. The item is skipped through its closing brace, or
+/// through `;` for brace-less items like `mod tests;`.
+fn strip_test_spans(tokens: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(&tokens, i) {
+            i += 7;
+            // Skip any further attributes on the same item.
+            while i < tokens.len() && tokens[i].is_punct("#") {
+                i += 1;
+                i = skip_balanced(&tokens, i, "[", "]");
+            }
+            i = skip_item(&tokens, i);
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Does `tokens[i..]` start with exactly `#[cfg(test)]`?
+fn is_cfg_test_attr(tokens: &[Tok], i: usize) -> bool {
+    tokens.len() >= i + 7
+        && tokens[i].is_punct("#")
+        && tokens[i + 1].is_punct("[")
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_punct("(")
+        && tokens[i + 4].is_ident("test")
+        && tokens[i + 5].is_punct(")")
+        && tokens[i + 6].is_punct("]")
+}
+
+/// Skip one item starting at `i`: through the matching `}` of its first
+/// top-level brace, or through a top-level `;`.
+fn skip_item(tokens: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if depth == 0 && t.is_punct("{") {
+            return skip_balanced(tokens, i, "{", "}");
+        }
+        if depth == 0 && t.is_punct(";") {
+            return i + 1;
+        }
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// With `tokens[i]` an `open`, return the index just past its matching
+/// `close`.
+fn skip_balanced(tokens: &[Tok], mut i: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if tokens[i].is_punct(open) {
+            depth += 1;
+        } else if tokens[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_modules_are_stripped() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn keep() {}\n#[cfg(test)]\nmod tests {\n fn gone() { x.unwrap(); }\n}\nfn also_kept() {}",
+        );
+        assert!(f.tokens.iter().any(|t| t.is_ident("keep")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("also_kept")));
+        assert!(!f.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", "#[cfg(not(test))]\nfn kept() {}");
+        assert!(f.tokens.iter().any(|t| t.is_ident("kept")));
+    }
+
+    #[test]
+    fn stacked_attributes_are_skipped_with_the_item() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\n#[allow(dead_code)]\nfn gone() {}\nfn kept() {}",
+        );
+        assert!(!f.tokens.iter().any(|t| t.is_ident("gone")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("kept")));
+    }
+
+    #[test]
+    fn inline_allow_covers_own_and_next_line() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "// tank-lint: allow(L3) poisoning is unreachable here\nlet v = x.unwrap();",
+        );
+        assert!(f.inline_allowed("L3", 1));
+        assert!(f.inline_allowed("L3", 2));
+        assert!(!f.inline_allowed("L3", 3));
+        assert!(!f.inline_allowed("L1", 2));
+    }
+
+    #[test]
+    fn crate_name_is_derived_from_path() {
+        let f = SourceFile::parse("crates/proto/src/wire.rs", "");
+        assert_eq!(f.crate_name(), Some("proto"));
+    }
+}

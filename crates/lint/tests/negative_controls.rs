@@ -1,0 +1,189 @@
+//! Negative controls: prove the lints actually fire.
+//!
+//! A linter that never complains is indistinguishable from one that
+//! never runs. Each test here builds a throwaway fixture workspace with
+//! a deliberate violation and asserts the right lint reports the right
+//! file and line — through the library API and, for L1, through the
+//! installed binary with its JSON output and non-zero exit code.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use tank_lint::report::Report;
+
+/// Materialise a fixture workspace under the OS temp dir. The caller
+/// gets a unique root containing a `[workspace]` manifest plus `files`.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str, files: &[(&str, &str)]) -> Fixture {
+        let root =
+            std::env::temp_dir().join(format!("tank-lint-fixture-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+        for (rel, text) in files {
+            let path = root.join(rel);
+            fs::create_dir_all(path.parent().expect("fixture file has a parent"))
+                .expect("create fixture dirs");
+            fs::write(path, text).expect("write fixture file");
+        }
+        Fixture { root }
+    }
+
+    fn check(&self) -> Report {
+        tank_lint::check(&self.root).expect("lint fixture")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn l1_fires_on_instant_now_in_protocol_crate() {
+    let fixture = Fixture::new(
+        "l1-lib",
+        &[(
+            "crates/core/src/lib.rs",
+            "use std::time::Instant;\n\npub fn bad() -> Instant {\n    Instant::now()\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert_eq!(report.violations.len(), 1, "{}", report.to_text());
+    let v = &report.violations[0];
+    assert_eq!(v.lint, "L1");
+    assert_eq!(v.file, "crates/core/src/lib.rs");
+    assert_eq!(v.line, 4, "should point at the call, not the import");
+}
+
+#[test]
+fn l1_binary_exits_nonzero_with_json_diagnostics() {
+    let fixture = Fixture::new(
+        "l1-bin",
+        &[(
+            "crates/core/src/lib.rs",
+            "pub fn bad() -> u64 {\n    std::time::Instant::now().elapsed().as_nanos() as u64\n}\n",
+        )],
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_tank-lint"))
+        .args(["--format", "json", "--root"])
+        .arg(&fixture.root)
+        .output()
+        .expect("run tank-lint binary");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report =
+        Report::from_json(String::from_utf8_lossy(&out.stdout).trim()).expect("parse JSON output");
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.lint == "L1")
+        .expect("an L1 violation in the JSON report");
+    assert_eq!(v.file, "crates/core/src/lib.rs");
+    assert_eq!(v.line, 2);
+}
+
+#[test]
+fn l2_fires_on_bare_lease_arithmetic() {
+    let fixture = Fixture::new(
+        "l2",
+        &[(
+            "crates/client/src/lib.rs",
+            "pub fn bad(t: LocalNs) -> LocalNs {\n    LocalNs(t.0 * 2)\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.lint == "L2" && v.line == 2),
+        "{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn l3_fires_on_unwrap_in_net() {
+    let fixture = Fixture::new(
+        "l3",
+        &[(
+            "crates/net/src/client.rs",
+            "pub fn bad(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.lint == "L3" && v.line == 2),
+        "{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn l4_fires_on_wildcard_protocol_match() {
+    let fixture = Fixture::new(
+        "l4",
+        &[(
+            "crates/server/src/lib.rs",
+            "pub fn bad(m: NetMsg) -> bool {\n    match m {\n        NetMsg::Ctl(_) => true,\n        _ => false,\n    }\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(
+        report.violations.iter().any(|v| v.lint == "L4"),
+        "{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn l5_fires_on_unreferenced_metric() {
+    let fixture = Fixture::new(
+        "l5",
+        &[
+            (
+                "crates/obs/src/names.rs",
+                "pub const ORPHAN_METRIC: MetricDef = counter(\"x.orphan\", \"never emitted\");\n",
+            ),
+            ("crates/obs/src/lib.rs", "pub mod names;\n"),
+        ],
+    );
+    let report = fixture.check();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.lint == "L5" && v.message.contains("ORPHAN_METRIC")),
+        "{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn inline_directive_suppresses_and_is_counted() {
+    let fixture = Fixture::new(
+        "inline-allow",
+        &[(
+            "crates/core/src/lib.rs",
+            "pub fn special() -> std::time::Instant {\n    // tank-lint: allow(L1) negative-control fixture\n    std::time::Instant::now()\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(report.clean(), "{}", report.to_text());
+    assert_eq!(report.allowlisted, 1);
+}

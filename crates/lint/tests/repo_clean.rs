@@ -1,0 +1,26 @@
+//! Tier-1 gate: the shipped workspace obeys its own lints.
+//!
+//! This is the enforcement half of the tank-lint contract — `cargo test`
+//! fails the moment anyone commits a determinism, arithmetic, unwrap,
+//! match-exhaustiveness, or metric-closure violation that is not
+//! explicitly allowlisted (see LINTS.md for the appeal process).
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_lint_violations() {
+    let root = tank_lint::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let report = tank_lint::check(&root).expect("workspace walk");
+    assert!(
+        report.clean(),
+        "tank-lint found violations:\n{}",
+        report.to_text()
+    );
+    // Guard against the walk silently finding nothing (which would make
+    // the assertion above vacuous).
+    assert!(
+        report.checked_files >= 50,
+        "suspiciously small walk: {} files",
+        report.checked_files
+    );
+}

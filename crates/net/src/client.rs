@@ -17,7 +17,7 @@ use tank_proto::{
 };
 
 use crate::fault::{FaultConfig, FaultySocket};
-use crate::mono_now;
+use crate::{locked, mono_now};
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,8 +28,8 @@ pub enum NetClientError {
     Fs(FsError),
     /// No response within the retry budget.
     Timeout,
-    /// Unexpected reply shape.
-    Protocol,
+    /// Unexpected reply shape; carries the reply's kind label.
+    Protocol(&'static str),
     /// Socket trouble.
     Io(String),
 }
@@ -40,7 +40,9 @@ impl std::fmt::Display for NetClientError {
             NetClientError::Nacked(r) => write!(f, "nacked: {r:?}"),
             NetClientError::Fs(e) => write!(f, "fs error: {e:?}"),
             NetClientError::Timeout => write!(f, "request timed out"),
-            NetClientError::Protocol => write!(f, "protocol violation"),
+            NetClientError::Protocol(kind) => {
+                write!(f, "protocol violation: unexpected `{kind}` reply")
+            }
             NetClientError::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -57,6 +59,7 @@ struct NetClientObs {
     timeouts: Arc<Counter>,
     rtt_ns: Arc<Histogram>,
     retransmissions: Arc<Histogram>,
+    decode_errors: Arc<Counter>,
 }
 
 impl NetClientObs {
@@ -66,6 +69,7 @@ impl NetClientObs {
             timeouts: registry.counter_def(&names::NET_CLIENT_TIMEOUTS),
             rtt_ns: registry.histogram_def(&names::NET_CLIENT_RTT_NS),
             retransmissions: registry.histogram_def(&names::NET_CLIENT_RETRANSMISSIONS),
+            decode_errors: registry.counter_def(&names::NET_CLIENT_DECODE_ERRORS),
         }
     }
 }
@@ -170,7 +174,10 @@ impl TankClient {
         };
         {
             let (sock, state, stop) = (sock.clone(), state.clone(), stop.clone());
-            std::thread::spawn(move || Self::recv_loop(&sock, &state, &stop));
+            let decode_errors = client.obs.as_ref().map(|o| o.decode_errors.clone());
+            std::thread::spawn(move || {
+                Self::recv_loop(&sock, &state, &stop, decode_errors.as_deref())
+            });
         }
         std::thread::spawn(move || Self::lease_loop(&sock, &state, &stop));
         client.hello()?;
@@ -179,7 +186,14 @@ impl TankClient {
 
     /// The receive loop: responses complete pending requests (and renew
     /// the lease); pushes are acknowledged and demands auto-released.
-    fn recv_loop(sock: &Arc<FaultySocket>, state: &Arc<Mutex<ClientState>>, stop: &AtomicBool) {
+    /// Undecodable datagrams are counted (when observed) and dropped —
+    /// the sender's retransmission path covers the loss.
+    fn recv_loop(
+        sock: &Arc<FaultySocket>,
+        state: &Arc<Mutex<ClientState>>,
+        stop: &AtomicBool,
+        decode_errors: Option<&Counter>,
+    ) {
         let mut buf = vec![0u8; 64 * 1024];
         while !stop.load(Ordering::SeqCst) {
             let Ok(n) = sock.recv(&mut buf) else { continue };
@@ -190,12 +204,15 @@ impl TankClient {
             }
             let mut bytes = Bytes::copy_from_slice(&buf[..n]);
             let Ok(msg) = NetMsg::decode(&mut bytes) else {
+                if let Some(c) = decode_errors {
+                    c.inc();
+                }
                 continue;
             };
             match msg {
                 NetMsg::Ctl(CtlMsg::Response(resp)) => {
                     let waiter = {
-                        let mut st = state.lock().unwrap();
+                        let mut st = locked(state);
                         st.server_incarnation = Some(resp.incarnation.0);
                         if resp.is_ack() {
                             st.lease.on_ack(resp.seq, mono_now());
@@ -216,7 +233,9 @@ impl TankClient {
                 NetMsg::Ctl(CtlMsg::Push(push)) => {
                     Self::on_push(sock, state, push);
                 }
-                _ => {}
+                // A client never receives requests, and this endpoint is
+                // not on the SAN; both are misdirected traffic to ignore.
+                NetMsg::Ctl(CtlMsg::Request(_)) | NetMsg::San(_) => {}
             }
         }
     }
@@ -227,7 +246,7 @@ impl TankClient {
         push: tank_proto::ServerPush,
     ) {
         let (session, fresh) = {
-            let mut st = state.lock().unwrap();
+            let mut st = locked(state);
             (
                 st.session.unwrap_or(SessionId(0)),
                 st.seen_pushes.insert(push.push_seq),
@@ -252,7 +271,7 @@ impl TankClient {
                 Self::raw_request(state, session, RequestBody::LockRelease { ino, epoch });
             let _ = seq;
             let _ = sock.send(&bytes);
-            state.lock().unwrap().held.remove(&ino);
+            locked(state).held.remove(&ino);
         }
     }
 
@@ -261,7 +280,7 @@ impl TankClient {
     fn lease_loop(sock: &Arc<FaultySocket>, state: &Arc<Mutex<ClientState>>, stop: &AtomicBool) {
         while !stop.load(Ordering::SeqCst) {
             let (sleep_for, keepalive) = {
-                let mut st = state.lock().unwrap();
+                let mut st = locked(state);
                 let now = mono_now();
                 let mut ka = false;
                 for action in st.lease.poll(now) {
@@ -277,7 +296,7 @@ impl TankClient {
                 (next.max(Duration::from_millis(10)), ka)
             };
             if keepalive {
-                let session = state.lock().unwrap().session.unwrap_or(SessionId(0));
+                let session = locked(state).session.unwrap_or(SessionId(0));
                 let (_, bytes) = Self::raw_request(state, session, RequestBody::KeepAlive);
                 let _ = sock.send(&bytes);
             }
@@ -299,7 +318,7 @@ impl TankClient {
         session: SessionId,
         body: RequestBody,
     ) -> (ReqSeq, Vec<u8>) {
-        let mut st = state.lock().unwrap();
+        let mut st = locked(state);
         let seq = ReqSeq(st.next_seq);
         st.next_seq += 1;
         st.lease.on_send(seq, mono_now());
@@ -315,7 +334,7 @@ impl TankClient {
     /// Multiply a timeout by a jitter factor in `[0.75, 1.25]` so retry
     /// storms from concurrent clients decorrelate.
     fn jitter(&self, d: Duration) -> Duration {
-        let f = self.rng.lock().unwrap().random_range(0.75f64..=1.25);
+        let f = locked(&self.rng).random_range(0.75f64..=1.25);
         Duration::from_nanos((d.as_nanos() as f64 * f) as u64)
     }
 
@@ -323,7 +342,7 @@ impl TankClient {
     /// retransmissions, per-attempt timeout doubling up to the ceiling.
     fn attempt(&self, body: RequestBody) -> Result<ReplyBody> {
         let (seq, bytes) = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = locked(&self.state);
             let session = st.session.unwrap_or(SessionId(0));
             let seq = ReqSeq(st.next_seq);
             st.next_seq += 1;
@@ -340,7 +359,7 @@ impl TankClient {
         let t0 = mono_now();
         for attempt in 0..=self.retries {
             let (tx, rx) = mpsc::channel();
-            self.state.lock().unwrap().pending.insert(seq, tx);
+            locked(&self.state).pending.insert(seq, tx);
             self.sock
                 .send(&bytes)
                 .map_err(|e| NetClientError::Io(e.to_string()))?;
@@ -362,7 +381,7 @@ impl TankClient {
                     // Lost or timed out: retry with the SAME seq (the
                     // server's dedup window makes this at-most-once) and
                     // back off exponentially.
-                    self.state.lock().unwrap().pending.remove(&seq);
+                    locked(&self.state).pending.remove(&seq);
                     rto = (rto * 2).min(self.max_rto);
                 }
             }
@@ -401,14 +420,14 @@ impl TankClient {
         let sent_at = mono_now();
         match self.attempt(RequestBody::Hello)? {
             ReplyBody::HelloOk { session } => {
-                let mut st = self.state.lock().unwrap();
+                let mut st = locked(&self.state);
                 st.session = Some(session);
                 st.lease.reset_session(sent_at, mono_now());
                 st.held.clear();
                 st.seen_pushes.clear();
                 Ok(())
             }
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 
@@ -419,7 +438,7 @@ impl TankClient {
 
     /// Current lease phase on this client's clock.
     pub fn lease_phase(&self) -> Phase {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         let now = mono_now();
         let _ = st.lease.poll(now);
         st.lease.phase(now)
@@ -427,18 +446,18 @@ impl TankClient {
 
     /// Number of lease renewals observed.
     pub fn renewals(&self) -> u64 {
-        self.state.lock().unwrap().lease.renewal_count()
+        locked(&self.state).lease.renewal_count()
     }
 
     /// Keep-alives the lease machine has requested.
     pub fn keepalives(&self) -> u64 {
-        self.state.lock().unwrap().lease.keepalive_count()
+        locked(&self.state).lease.keepalive_count()
     }
 
     /// The incarnation number stamped on the last response seen (a
     /// change between observations means the server restarted).
     pub fn server_incarnation(&self) -> Option<u64> {
-        self.state.lock().unwrap().server_incarnation
+        locked(&self.state).server_incarnation
     }
 
     /// Create a file under `parent`.
@@ -448,7 +467,7 @@ impl TankClient {
             name: name.into(),
         })? {
             ReplyBody::Created { ino } => Ok(ino),
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 
@@ -459,7 +478,7 @@ impl TankClient {
             name: name.into(),
         })? {
             ReplyBody::Created { ino } => Ok(ino),
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 
@@ -470,7 +489,7 @@ impl TankClient {
             name: name.into(),
         })? {
             ReplyBody::Resolved { ino, attr } => Ok((ino, attr)),
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 
@@ -478,7 +497,7 @@ impl TankClient {
     pub fn getattr(&self, ino: Ino) -> Result<FileAttr> {
         match self.request(RequestBody::GetAttr { ino })? {
             ReplyBody::Attr { attr } => Ok(attr),
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 
@@ -486,7 +505,7 @@ impl TankClient {
     pub fn readdir(&self, dir: Ino) -> Result<Vec<(String, Ino)>> {
         match self.request(RequestBody::ReadDir { dir })? {
             ReplyBody::Dir { entries } => Ok(entries),
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 
@@ -497,7 +516,7 @@ impl TankClient {
             name: name.into(),
         })? {
             ReplyBody::Ok => Ok(()),
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 
@@ -506,10 +525,10 @@ impl TankClient {
     pub fn lock(&self, ino: Ino, mode: LockMode) -> Result<tank_proto::Epoch> {
         match self.request(RequestBody::LockAcquire { ino, mode })? {
             ReplyBody::LockGranted { epoch, .. } => {
-                self.state.lock().unwrap().held.insert(ino);
+                locked(&self.state).held.insert(ino);
                 Ok(epoch)
             }
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 
@@ -517,10 +536,10 @@ impl TankClient {
     pub fn release(&self, ino: Ino, epoch: tank_proto::Epoch) -> Result<()> {
         match self.request(RequestBody::LockRelease { ino, epoch })? {
             ReplyBody::Ok => {
-                self.state.lock().unwrap().held.remove(&ino);
+                locked(&self.state).held.remove(&ino);
                 Ok(())
             }
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 
@@ -529,7 +548,7 @@ impl TankClient {
     pub fn keep_alive(&self) -> Result<()> {
         match self.request(RequestBody::KeepAlive)? {
             ReplyBody::Ok => Ok(()),
-            _ => Err(NetClientError::Protocol),
+            unexpected => Err(NetClientError::Protocol(unexpected.kind())),
         }
     }
 

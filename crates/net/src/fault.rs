@@ -20,6 +20,8 @@ use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use tank_obs::{names, Counter, Registry};
 
+use crate::locked;
+
 /// Faults applied to one direction of the socket.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DirFaults {
@@ -201,7 +203,7 @@ impl FaultySocket {
             };
         }
         let (dropped, copies, delay) = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = locked(&self.state);
             let dropped = st.rng.random_bool(f.drop_prob);
             let copies = if st.rng.random_bool(f.dup_prob) { 2 } else { 1 };
             let delay = if st.rng.random_bool(f.delay_prob) {
@@ -263,7 +265,7 @@ impl FaultySocket {
     /// receive-side drop/duplicate faults.
     pub fn recv_from(&self, buf: &mut [u8]) -> std::io::Result<(usize, SocketAddr)> {
         let f = self.cfg.recv;
-        if let Some((data, peer)) = self.state.lock().unwrap().pending.pop_front() {
+        if let Some((data, peer)) = locked(&self.state).pending.pop_front() {
             let n = data.len().min(buf.len());
             buf[..n].copy_from_slice(&data[..n]);
             return Ok((n, peer));
@@ -273,7 +275,7 @@ impl FaultySocket {
             if f.is_none() {
                 return Ok((n, peer));
             }
-            let mut st = self.state.lock().unwrap();
+            let mut st = locked(&self.state);
             if st.rng.random_bool(f.drop_prob) {
                 drop(st);
                 if let Some(obs) = &self.obs {

@@ -37,7 +37,7 @@ pub use client::TankClient;
 pub use fault::{DirFaults, FaultConfig, FaultySocket};
 pub use server::{LeaseServer, ServerHandle};
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 use tank_sim::LocalNs;
@@ -48,6 +48,16 @@ pub fn mono_now() -> LocalNs {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     let epoch = EPOCH.get_or_init(Instant::now);
     LocalNs(epoch.elapsed().as_nanos() as u64)
+}
+
+/// Lock a mutex, recovering the data if a panicking thread poisoned it.
+///
+/// The net-layer mutexes guard plain state (counters, maps, RNGs) whose
+/// invariants hold between statements; a panic elsewhere must degrade
+/// into that thread's failure, not poison-propagate panics through every
+/// socket path (tank-lint L3 bans `unwrap` there).
+pub(crate) fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 #[cfg(test)]

@@ -242,8 +242,8 @@ impl LeaseServer {
                 Some(t) if t.at <= Instant::now() => {}
                 _ => break,
             }
-            let ev = self.timers.pop().expect("peeked").ev;
-            self.on_timer(ev);
+            let Some(t) = self.timers.pop() else { break };
+            self.on_timer(t.ev);
         }
     }
 
@@ -270,7 +270,8 @@ impl LeaseServer {
                         PushBody::Demand { ino, epoch, .. } => {
                             self.locks.holding_epoch(p.dst, *ino) == Some(*epoch)
                         }
-                        _ => false,
+                        // An Invalidate push carries no lock to re-demand.
+                        PushBody::Invalidate { .. } => false,
                     };
                     if still_held {
                         self.delivery_error(p.dst);

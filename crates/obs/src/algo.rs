@@ -1,0 +1,69 @@
+//! The lock-free update algorithms behind [`Counter`](crate::Counter) and
+//! [`Histogram`](crate::Histogram), written against an atomic-word trait
+//! so the *same* code paths run in production (over
+//! `std::sync::atomic::AtomicU64`) and under the exhaustive interleaving
+//! checker (over the `loom` shim's `AtomicU64`, see
+//! `crates/obs/tests/loom_interleavings.rs`). The model checker then
+//! vouches for exactly the loops the hot path executes, not a copy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The slice of the atomic-`u64` API the instrument algorithms need.
+///
+/// All operations are `Relaxed`: each instrument cell is an independent
+/// statistic, so only the per-cell total modification order matters, never
+/// cross-cell ordering.
+pub trait AtomicWord {
+    /// Relaxed load.
+    fn load_relaxed(&self) -> u64;
+    /// Relaxed weak compare-exchange; `Err` carries the observed value.
+    fn compare_exchange_weak_relaxed(&self, current: u64, new: u64) -> Result<u64, u64>;
+}
+
+impl AtomicWord for AtomicU64 {
+    fn load_relaxed(&self) -> u64 {
+        self.load(Ordering::Relaxed)
+    }
+
+    fn compare_exchange_weak_relaxed(&self, current: u64, new: u64) -> Result<u64, u64> {
+        self.compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+}
+
+/// Add `n` to `cell`, saturating at `u64::MAX`.
+///
+/// The CAS loop makes the read-modify-write atomic (no lost updates), and
+/// saturation keeps an overflowed statistic pinned at the maximum instead
+/// of wrapping back to a small value.
+pub fn saturating_add(cell: &impl AtomicWord, n: u64) {
+    let mut cur = cell.load_relaxed();
+    loop {
+        let next = cur.saturating_add(n);
+        match cell.compare_exchange_weak_relaxed(cur, next) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Lower `cell` to `v` if `v` is smaller (a running minimum).
+pub fn cas_min(cell: &impl AtomicWord, v: u64) {
+    let mut cur = cell.load_relaxed();
+    while v < cur {
+        match cell.compare_exchange_weak_relaxed(cur, v) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Raise `cell` to `v` if `v` is larger (a running maximum).
+pub fn cas_max(cell: &impl AtomicWord, v: u64) {
+    let mut cur = cell.load_relaxed();
+    while v > cur {
+        match cell.compare_exchange_weak_relaxed(cur, v) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}

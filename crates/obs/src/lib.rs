@@ -23,6 +23,7 @@
 //! `OBSERVABILITY.md`; a unit test diffs the two so the doc cannot drift
 //! from the code.
 
+pub mod algo;
 pub mod names;
 
 use std::collections::BTreeMap;
@@ -61,17 +62,7 @@ impl Counter {
 
     /// Add `n`, saturating at `u64::MAX`.
     pub fn add(&self, n: u64) {
-        let mut cur = self.value.load(Ordering::Relaxed);
-        loop {
-            let next = cur.saturating_add(n);
-            match self
-                .value
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
-                Ok(_) => return,
-                Err(seen) => cur = seen,
-            }
-        }
+        algo::saturating_add(&self.value, n);
     }
 
     /// Current value.
@@ -141,20 +132,9 @@ impl Histogram {
         let idx = self.bounds.partition_point(|&b| b < v);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        // Saturating sum, mirroring Counter::add.
-        let mut cur = self.sum.load(Ordering::Relaxed);
-        loop {
-            let next = cur.saturating_add(v);
-            match self
-                .sum
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
-                Ok(_) => break,
-                Err(seen) => cur = seen,
-            }
-        }
-        self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        algo::saturating_add(&self.sum, v);
+        algo::cas_min(&self.min, v);
+        algo::cas_max(&self.max, v);
     }
 
     /// Number of observations.

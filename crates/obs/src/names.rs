@@ -270,6 +270,11 @@ pub const NET_CLIENT_RETRANSMISSIONS: MetricDef = histogram(
     SMALL_COUNT_BOUNDS,
     "retransmissions needed per completed request",
 );
+/// Datagrams that failed to decode in the client's receive loop.
+pub const NET_CLIENT_DECODE_ERRORS: MetricDef = counter(
+    "net.client.decode_errors",
+    "datagrams that failed to decode in the client recv loop",
+);
 
 /// Every metric the repo registers, grouped by layer. `OBSERVABILITY.md`
 /// mirrors this list; `register_all` materialises it.
@@ -318,6 +323,7 @@ pub const ALL: &[MetricDef] = &[
     NET_CLIENT_TIMEOUTS,
     NET_CLIENT_RTT_NS,
     NET_CLIENT_RETRANSMISSIONS,
+    NET_CLIENT_DECODE_ERRORS,
 ];
 
 /// Register every declared metric so zero-valued instruments appear in

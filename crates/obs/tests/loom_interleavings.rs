@@ -1,0 +1,95 @@
+//! Exhaustive interleaving checks for the instrument CAS loops.
+//!
+//! `tank_obs::algo` is generic over [`AtomicWord`], so the *same*
+//! functions `Counter::add` and `Histogram::observe` execute in
+//! production are model-checked here over the loom shim's `AtomicU64`,
+//! whose every access is a scheduling point. Each `loom::model` call
+//! explores every interleaving of its threads (see `stubs/loom`), so
+//! these tests are proofs over the schedule space, not samples of it.
+//!
+//! This test runs in the default suite: the shim's schedule counts for
+//! two threads of a few atomic ops each are tens to hundreds, not the
+//! exponential blowups real loom budgets for.
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+use tank_obs::algo::{self, AtomicWord};
+
+/// The loom-shim atomic satisfies the same word contract as std's; the
+/// orderings requested match the production impl in `tank_obs::algo`.
+struct ModelWord(AtomicU64);
+
+impl AtomicWord for ModelWord {
+    fn load_relaxed(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn compare_exchange_weak_relaxed(&self, current: u64, new: u64) -> Result<u64, u64> {
+        self.0
+            .compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+}
+
+/// `Counter::add`'s loop never loses a concurrent update: two racing
+/// adds always both land.
+#[test]
+fn counter_add_never_loses_updates() {
+    loom::model(|| {
+        let cell = Arc::new(ModelWord(AtomicU64::new(0)));
+        let c = cell.clone();
+        let h = thread::spawn(move || algo::saturating_add(&*c, 1));
+        algo::saturating_add(&*cell, 2);
+        h.join().unwrap();
+        assert_eq!(cell.load_relaxed(), 3);
+    });
+}
+
+/// Saturation holds under every schedule: once a racing add pins the
+/// counter at `u64::MAX`, no interleaving of the other add can wrap it.
+#[test]
+fn counter_add_saturates_under_races() {
+    loom::model(|| {
+        let cell = Arc::new(ModelWord(AtomicU64::new(u64::MAX - 1)));
+        let c = cell.clone();
+        let h = thread::spawn(move || algo::saturating_add(&*c, 5));
+        algo::saturating_add(&*cell, 7);
+        h.join().unwrap();
+        assert_eq!(cell.load_relaxed(), u64::MAX, "pinned, not wrapped");
+    });
+}
+
+/// `Histogram::observe`'s min/max CAS loops converge to the true extrema
+/// regardless of which recording wins each race.
+#[test]
+fn histogram_min_max_cas_races() {
+    loom::model(|| {
+        let min = Arc::new(ModelWord(AtomicU64::new(u64::MAX)));
+        let max = Arc::new(ModelWord(AtomicU64::new(0)));
+        let (min2, max2) = (min.clone(), max.clone());
+        // Two concurrent Histogram::observe calls recording 5 and 9.
+        let h = thread::spawn(move || {
+            algo::cas_min(&*min2, 5);
+            algo::cas_max(&*max2, 5);
+        });
+        algo::cas_min(&*min, 9);
+        algo::cas_max(&*max, 9);
+        h.join().unwrap();
+        assert_eq!(min.load_relaxed(), 5);
+        assert_eq!(max.load_relaxed(), 9);
+    });
+}
+
+/// The histogram's saturating sum loop: concurrent observations near the
+/// ceiling pin the sum at `u64::MAX` in every schedule.
+#[test]
+fn histogram_sum_saturates_under_races() {
+    loom::model(|| {
+        let sum = Arc::new(ModelWord(AtomicU64::new(u64::MAX - 3)));
+        let s = sum.clone();
+        let h = thread::spawn(move || algo::saturating_add(&*s, 2));
+        algo::saturating_add(&*sum, 2);
+        h.join().unwrap();
+        assert_eq!(sum.load_relaxed(), u64::MAX);
+    });
+}

@@ -171,6 +171,24 @@ pub enum ReplyBody {
     Data { data: Vec<u8> },
 }
 
+impl ReplyBody {
+    /// Short static label, mirroring [`RequestBody::kind`]: used for
+    /// metrics and for naming unexpected reply shapes in client errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReplyBody::HelloOk { .. } => "hello_ok",
+            ReplyBody::Ok => "ok",
+            ReplyBody::Created { .. } => "created",
+            ReplyBody::Resolved { .. } => "resolved",
+            ReplyBody::Attr { .. } => "attr",
+            ReplyBody::Dir { .. } => "dir",
+            ReplyBody::LockGranted { .. } => "lock_granted",
+            ReplyBody::Allocated { .. } => "allocated",
+            ReplyBody::Data { .. } => "data",
+        }
+    }
+}
+
 /// File-system level errors. These ride inside an *acknowledged* response:
 /// the server received and processed the request, so the lease is renewed;
 /// the operation simply failed.
@@ -339,7 +357,17 @@ impl CtlMsg {
                 | RequestBody::Lookup { name, .. }
                 | RequestBody::Mkdir { name, .. }
                 | RequestBody::Unlink { name, .. } => 8 + name.len(),
-                _ => 16,
+                RequestBody::Hello
+                | RequestBody::KeepAlive
+                | RequestBody::ReadDir { .. }
+                | RequestBody::GetAttr { .. }
+                | RequestBody::SetAttr { .. }
+                | RequestBody::LockAcquire { .. }
+                | RequestBody::LockRelease { .. }
+                | RequestBody::PushAck { .. }
+                | RequestBody::AllocBlocks { .. }
+                | RequestBody::CommitWrite { .. }
+                | RequestBody::ReadData { .. } => 16,
             },
             CtlMsg::Response(r) => match &r.outcome {
                 ResponseOutcome::Acked(Ok(ReplyBody::Data { data })) => 8 + data.len(),
@@ -350,7 +378,15 @@ impl CtlMsg {
                 | ResponseOutcome::Acked(Ok(ReplyBody::Allocated { blocks })) => {
                     24 + 8 * blocks.len()
                 }
-                _ => 16,
+                ResponseOutcome::Acked(Ok(
+                    ReplyBody::HelloOk { .. }
+                    | ReplyBody::Ok
+                    | ReplyBody::Created { .. }
+                    | ReplyBody::Resolved { .. }
+                    | ReplyBody::Attr { .. },
+                ))
+                | ResponseOutcome::Acked(Err(_))
+                | ResponseOutcome::Nacked(_) => 16,
             },
             CtlMsg::Push(_) => 16,
         }

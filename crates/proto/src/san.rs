@@ -129,7 +129,11 @@ impl SanMsg {
         HDR + match self {
             SanMsg::WriteBlock { data, .. } => 32 + data.len(),
             SanMsg::ReadResp { result: Ok(ok), .. } => 32 + ok.data.len(),
-            _ => 16,
+            SanMsg::ReadBlock { .. }
+            | SanMsg::ReadResp { result: Err(_), .. }
+            | SanMsg::WriteResp { .. }
+            | SanMsg::FenceCmd { .. }
+            | SanMsg::FenceResp { .. } => 16,
         }
     }
 }

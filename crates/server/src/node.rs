@@ -1113,7 +1113,9 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
                         PushBody::Demand { ino, epoch, .. } => {
                             self.locks.holding_epoch(p.dst, *ino) == Some(*epoch)
                         }
-                        _ => false,
+                        // An invalidate push needs no release; nothing to
+                        // re-check when its ReleaseWait fires.
+                        PushBody::Invalidate { .. } => false,
                     };
                     if still_held {
                         self.delivery_error(p.dst, ctx);

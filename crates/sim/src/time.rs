@@ -96,6 +96,54 @@ impl LocalNs {
         LocalNs(self.0.saturating_sub(d.0))
     }
 
+    /// Saturating multiplication by a scalar (e.g. RTO doubling).
+    #[inline]
+    pub fn times(self, k: u64) -> LocalNs {
+        LocalNs(self.0.saturating_mul(k))
+    }
+
+    /// Division by a scalar; `over(0)` saturates to the maximum rather
+    /// than panicking (a degenerate config should fail loudly elsewhere,
+    /// not crash timer math).
+    #[inline]
+    pub fn over(self, k: u64) -> LocalNs {
+        match self.0.checked_div(k) {
+            Some(v) => LocalNs(v),
+            None => LocalNs(u64::MAX),
+        }
+    }
+
+    /// Multiply by a non-negative fraction, rounding down and saturating.
+    ///
+    /// This is the checked home for `τ · renew_frac`-style config math:
+    /// negative and NaN factors clamp to zero, infinities and overflow
+    /// saturate at the maximum, so no combination wraps.
+    #[inline]
+    pub fn scaled(self, factor: f64) -> LocalNs {
+        let x = self.0 as f64 * factor;
+        if x.is_nan() || x <= 0.0 {
+            LocalNs(0)
+        } else if x >= u64::MAX as f64 {
+            LocalNs(u64::MAX)
+        } else {
+            LocalNs(x as u64)
+        }
+    }
+
+    /// Like [`LocalNs::scaled`], but rounding up — for bounds that must
+    /// err long, like the server's `τ(1+ε)` condemnation wait.
+    #[inline]
+    pub fn scaled_ceil(self, factor: f64) -> LocalNs {
+        let x = (self.0 as f64 * factor).ceil();
+        if x.is_nan() || x <= 0.0 {
+            LocalNs(0)
+        } else if x >= u64::MAX as f64 {
+            LocalNs(u64::MAX)
+        } else {
+            LocalNs(x as u64)
+        }
+    }
+
     /// Seconds as a float, for report output only.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
@@ -282,5 +330,30 @@ mod tests {
         assert_eq!(LocalNs::from_millis(2).plus(LocalNs(5)), LocalNs(2_000_005));
         assert_eq!(LocalNs(10).minus(LocalNs(25)), LocalNs(0));
         assert_eq!(SimTime(500).after(u64::MAX), SimTime(u64::MAX));
+    }
+
+    #[test]
+    fn checked_scalar_arithmetic() {
+        assert_eq!(LocalNs(7).times(3), LocalNs(21));
+        assert_eq!(LocalNs(u64::MAX / 2 + 1).times(2), LocalNs(u64::MAX));
+        assert_eq!(LocalNs(100).over(20), LocalNs(5));
+        assert_eq!(LocalNs(100).over(0), LocalNs(u64::MAX));
+    }
+
+    #[test]
+    fn scaled_clamps_every_degenerate_factor() {
+        assert_eq!(LocalNs(1000).scaled(0.25), LocalNs(250));
+        assert_eq!(LocalNs(1000).scaled(-1.0), LocalNs(0));
+        assert_eq!(LocalNs(1000).scaled(f64::NAN), LocalNs(0));
+        assert_eq!(LocalNs(u64::MAX).scaled(2.0), LocalNs(u64::MAX));
+        assert_eq!(LocalNs(1000).scaled(f64::INFINITY), LocalNs(u64::MAX));
+    }
+
+    #[test]
+    fn scaled_ceil_errs_long() {
+        // τ(1+ε) must never round a condemnation wait *down*.
+        assert_eq!(LocalNs(1001).scaled_ceil(1.1), LocalNs(1102));
+        assert!(LocalNs(1001).scaled_ceil(1.1) >= LocalNs(1001).scaled(1.1));
+        assert_eq!(LocalNs(1000).scaled_ceil(f64::NAN), LocalNs(0));
     }
 }

@@ -1,0 +1,216 @@
+//! Vendored loom-compatible exhaustive interleaving checker.
+//!
+//! The build environment has no crate registry, so this is a local
+//! stand-in for the slice of [`loom`](https://docs.rs/loom) the workspace
+//! uses: [`model`] runs a closure under every schedule of its
+//! [`thread::spawn`]ed threads, where each [`sync::atomic`] operation is a
+//! scheduling point. Threads are real OS threads but execute strictly one
+//! at a time under a cooperative scheduler; the scheduler's decisions form
+//! a tree that is explored exhaustively by depth-first search with replay.
+//!
+//! Scope relative to real loom: atomic operations are explored at
+//! sequential consistency (orderings are accepted and ignored) and
+//! `compare_exchange_weak` never fails spuriously. For races on a *single*
+//! atomic cell — the CAS loops this workspace model-checks — SC
+//! exploration is exhaustive, because C++/Rust guarantee a total
+//! modification order per atomic object even under `Relaxed`; weak-memory
+//! reordering only distinguishes behaviors across *different* locations,
+//! and the checked invariants here are only asserted after `join`, which
+//! synchronizes.
+
+mod scheduler;
+
+pub use scheduler::model;
+
+/// Thread API mirroring `loom::thread`.
+pub mod thread {
+    pub use crate::scheduler::{spawn, yield_now, JoinHandle};
+}
+
+/// Synchronization primitives mirroring `loom::sync`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Model-checked atomics: every operation is a scheduling point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use crate::scheduler::schedule_point;
+
+        /// A `u64` atomic whose every access yields to the model scheduler.
+        #[derive(Debug, Default)]
+        pub struct AtomicU64 {
+            inner: std::sync::atomic::AtomicU64,
+        }
+
+        impl AtomicU64 {
+            /// A new atomic holding `v`.
+            pub fn new(v: u64) -> AtomicU64 {
+                AtomicU64 {
+                    inner: std::sync::atomic::AtomicU64::new(v),
+                }
+            }
+
+            /// Load (scheduling point; ordering ignored, executed SC).
+            pub fn load(&self, _order: Ordering) -> u64 {
+                schedule_point();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Store (scheduling point).
+            pub fn store(&self, v: u64, _order: Ordering) {
+                schedule_point();
+                self.inner.store(v, Ordering::SeqCst);
+            }
+
+            /// Compare-exchange (scheduling point).
+            pub fn compare_exchange(
+                &self,
+                current: u64,
+                new: u64,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<u64, u64> {
+                schedule_point();
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Weak compare-exchange (scheduling point; never spuriously
+            /// fails — see the crate docs for what that leaves unexplored).
+            pub fn compare_exchange_weak(
+                &self,
+                current: u64,
+                new: u64,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<u64, u64> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Fetch-add (scheduling point). Wraps like std's.
+            pub fn fetch_add(&self, v: u64, _order: Ordering) -> u64 {
+                schedule_point();
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+
+            /// Fetch-min (scheduling point).
+            pub fn fetch_min(&self, v: u64, _order: Ordering) -> u64 {
+                schedule_point();
+                self.inner.fetch_min(v, Ordering::SeqCst)
+            }
+
+            /// Fetch-max (scheduling point).
+            pub fn fetch_max(&self, v: u64, _order: Ordering) -> u64 {
+                schedule_point();
+                self.inner.fetch_max(v, Ordering::SeqCst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+
+    #[test]
+    fn single_thread_runs_once() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = runs.clone();
+        super::model(move || {
+            r.fetch_add(1, StdOrdering::SeqCst);
+        });
+        assert_eq!(runs.load(StdOrdering::SeqCst), 1, "no branches, one run");
+    }
+
+    #[test]
+    fn explores_more_than_one_interleaving() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = runs.clone();
+        super::model(move || {
+            r.fetch_add(1, StdOrdering::SeqCst);
+            let cell = Arc::new(AtomicU64::new(0));
+            let c = cell.clone();
+            let h = thread::spawn(move || {
+                c.store(1, Ordering::SeqCst);
+            });
+            let _seen = cell.load(Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(cell.load(Ordering::SeqCst), 1);
+        });
+        assert!(
+            runs.load(StdOrdering::SeqCst) > 1,
+            "two threads with racing accesses must branch, ran {}",
+            runs.load(StdOrdering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn lost_update_is_found() {
+        // A naive read-modify-write MUST lose an update in some schedule;
+        // the checker's job is to find that schedule.
+        let mut lost = false;
+        let observed = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let obs = observed.clone();
+        super::model(move || {
+            let cell = Arc::new(AtomicU64::new(0));
+            let c = cell.clone();
+            let h = thread::spawn(move || {
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+            });
+            let v = cell.load(Ordering::SeqCst);
+            cell.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            obs.lock().unwrap().push(cell.load(Ordering::SeqCst));
+        });
+        for v in observed.lock().unwrap().iter() {
+            if *v == 1 {
+                lost = true;
+            }
+        }
+        assert!(lost, "some interleaving must lose an update");
+    }
+
+    #[test]
+    fn cas_loop_never_loses_updates() {
+        super::model(|| {
+            let cell = Arc::new(AtomicU64::new(0));
+            let add = |c: &AtomicU64, n: u64| {
+                let mut cur = c.load(Ordering::Relaxed);
+                loop {
+                    match c.compare_exchange_weak(
+                        cur,
+                        cur + n,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return,
+                        Err(seen) => cur = seen,
+                    }
+                }
+            };
+            let c = cell.clone();
+            let h = thread::spawn(move || add(&c, 1));
+            add(&cell, 2);
+            h.join().unwrap();
+            assert_eq!(cell.load(Ordering::Relaxed), 3);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "some interleaving")]
+    fn schedule_dependent_assertions_fail_the_model() {
+        super::model(|| {
+            let cell = Arc::new(AtomicU64::new(0));
+            let c = cell.clone();
+            let h = thread::spawn(move || c.store(1, Ordering::SeqCst));
+            let seen = cell.load(Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(seen, 0, "some interleaving observes the store");
+        });
+    }
+}

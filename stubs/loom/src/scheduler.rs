@@ -1,0 +1,349 @@
+//! The cooperative scheduler behind [`model`].
+//!
+//! Managed threads are real OS threads, but exactly one executes at any
+//! moment: every scheduling point (atomic access, spawn, join, yield)
+//! hands control to the scheduler, which picks the next runnable thread.
+//! Each pick where more than one thread is runnable is a *branch*; the
+//! sequence of branches taken is a path in the schedule tree. [`model`]
+//! replays prefixes and advances the last branch with unexplored options
+//! (depth-first search), so every schedule of every run is visited
+//! exactly once. Execution must be deterministic given a schedule — true
+//! here because threads are serialized and the workloads are pure
+//! compute over the model-checked atomics.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Backstop against state-space explosion: iterations per model run.
+const MAX_ITERATIONS: usize = 1_000_000;
+/// Backstop against runaway single executions: branches per run.
+const MAX_BRANCHES: usize = 100_000;
+
+/// One recorded scheduling decision: which of `options` ran.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Branch {
+    options: Vec<usize>,
+    idx: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Ready,
+    /// Waiting for the named thread to finish (a `join`).
+    Blocked(usize),
+    Done,
+}
+
+struct Sched {
+    threads: Vec<TState>,
+    /// The thread currently allowed to run.
+    active: usize,
+    path: Vec<Branch>,
+    /// Position in `path` (how many decisions this execution has made).
+    pos: usize,
+    /// Threads not yet `Done`.
+    running: usize,
+    /// Panics recorded by finished threads whose `join` has not consumed
+    /// them (an unjoined panicking thread must still fail the model).
+    unconsumed_panics: usize,
+    /// OS handles of spawned children, joined at end of each iteration.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Execution {
+    fn new(path: Vec<Branch>) -> Execution {
+        Execution {
+            sched: Mutex::new(Sched {
+                threads: Vec::new(),
+                active: 0,
+                path,
+                pos: 0,
+                running: 0,
+                unconsumed_panics: 0,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut s = self.sched.lock().unwrap();
+        let id = s.threads.len();
+        s.threads.push(TState::Ready);
+        s.running += 1;
+        id
+    }
+
+    /// Pick the next thread to run from `options`, consuming or extending
+    /// the path. Caller holds the lock.
+    fn choose(&self, s: &mut Sched, options: Vec<usize>) -> usize {
+        debug_assert!(!options.is_empty());
+        let chosen = if s.pos < s.path.len() {
+            let b = &s.path[s.pos];
+            debug_assert_eq!(
+                b.options, options,
+                "nondeterministic execution: replay diverged at decision {}",
+                s.pos
+            );
+            b.options[b.idx]
+        } else {
+            assert!(
+                s.path.len() < MAX_BRANCHES,
+                "loom: execution exceeded {MAX_BRANCHES} scheduling decisions"
+            );
+            let chosen = options[0];
+            s.path.push(Branch { options, idx: 0 });
+            chosen
+        };
+        s.pos += 1;
+        s.active = chosen;
+        chosen
+    }
+
+    fn ready_ids(s: &Sched) -> Vec<usize> {
+        s.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TState::Ready))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A voluntary scheduling point for thread `id`.
+    fn yield_from(&self, id: usize) {
+        let mut s = self.sched.lock().unwrap();
+        let options = Self::ready_ids(&s);
+        // With one runnable thread there is no decision to record.
+        if options.len() > 1 || options != [id] {
+            self.choose(&mut s, options);
+        }
+        self.cv.notify_all();
+        while s.active != id {
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Thread `id` finished; hand control onward.
+    fn finish(&self, id: usize, panicked: bool) {
+        let mut s = self.sched.lock().unwrap();
+        s.threads[id] = TState::Done;
+        s.running -= 1;
+        if panicked {
+            s.unconsumed_panics += 1;
+        }
+        for t in s.threads.iter_mut() {
+            if *t == TState::Blocked(id) {
+                *t = TState::Ready;
+            }
+        }
+        if s.running > 0 {
+            let options = Self::ready_ids(&s);
+            assert!(
+                !options.is_empty(),
+                "loom: deadlock — {} threads alive, none runnable",
+                s.running
+            );
+            if options.len() > 1 {
+                self.choose(&mut s, options);
+            } else {
+                s.active = options[0];
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block thread `me` until thread `target` is done.
+    fn join_wait(&self, target: usize, me: usize) {
+        let mut s = self.sched.lock().unwrap();
+        if s.threads[target] != TState::Done {
+            s.threads[me] = TState::Blocked(target);
+            let options = Self::ready_ids(&s);
+            assert!(
+                !options.is_empty(),
+                "loom: deadlock — join({target}) with no runnable thread"
+            );
+            if options.len() > 1 {
+                self.choose(&mut s, options);
+            } else {
+                s.active = options[0];
+            }
+            self.cv.notify_all();
+            while s.active != me {
+                s = self.cv.wait(s).unwrap();
+            }
+            debug_assert_eq!(s.threads[target], TState::Done);
+        }
+    }
+
+    fn wait_all_done(&self) {
+        let mut s = self.sched.lock().unwrap();
+        while s.running > 0 || s.threads.is_empty() {
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Compute the next DFS path, or `None` when the tree is exhausted.
+    fn next_path(&self) -> Option<Vec<Branch>> {
+        let s = self.sched.lock().unwrap();
+        let mut path = s.path.clone();
+        while let Some(mut b) = path.pop() {
+            if b.idx + 1 < b.options.len() {
+                b.idx += 1;
+                path.push(b);
+                return Some(path);
+            }
+        }
+        None
+    }
+}
+
+/// Run a managed thread body: wait for the first turn, run, hand off.
+fn managed_run<T>(
+    exec: &Arc<Execution>,
+    id: usize,
+    f: impl FnOnce() -> T,
+) -> std::thread::Result<T> {
+    {
+        let mut s = exec.sched.lock().unwrap();
+        while s.active != id {
+            s = exec.cv.wait(s).unwrap();
+        }
+    }
+    let res = catch_unwind(AssertUnwindSafe(f));
+    exec.finish(id, res.is_err());
+    res
+}
+
+/// Insert a scheduling point for the calling managed thread. No-op when
+/// called outside [`model`] (so model-checked types still work in plain
+/// code and tests).
+pub(crate) fn schedule_point() {
+    if let Some((exec, id)) = current() {
+        exec.yield_from(id);
+    }
+}
+
+/// Voluntarily yield to the scheduler (mirrors `loom::thread::yield_now`).
+pub fn yield_now() {
+    schedule_point();
+}
+
+/// Handle to a spawned managed thread (mirrors `loom::thread::JoinHandle`).
+pub struct JoinHandle<T> {
+    exec: Arc<Execution>,
+    id: usize,
+    slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result; `Err` carries
+    /// the thread's panic payload, exactly like `std::thread`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, me) = current().expect("loom join outside model");
+        exec.join_wait(self.id, me);
+        let res = self
+            .slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("loom thread finished without storing a result");
+        if res.is_err() {
+            self.exec.sched.lock().unwrap().unconsumed_panics -= 1;
+        }
+        res
+    }
+}
+
+/// Spawn a managed thread (mirrors `loom::thread::spawn`).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, _me) = current().expect("loom spawn outside model");
+    let child = exec.register_thread();
+    let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let (slot2, exec2) = (slot.clone(), exec.clone());
+    let os = std::thread::spawn(move || {
+        CURRENT.with(|c| *c.borrow_mut() = Some((exec2.clone(), child)));
+        {
+            let mut s = exec2.sched.lock().unwrap();
+            while s.active != child {
+                s = exec2.cv.wait(s).unwrap();
+            }
+        }
+        let res = catch_unwind(AssertUnwindSafe(f));
+        let panicked = res.is_err();
+        // The result must be visible before `finish` marks this thread
+        // Done, or a joiner could wake to an empty slot.
+        *slot2.lock().unwrap() = Some(res);
+        exec2.finish(child, panicked);
+    });
+    exec.sched.lock().unwrap().os_handles.push(os);
+    // Spawning is itself a scheduling point: the child may run first.
+    schedule_point();
+    JoinHandle {
+        exec,
+        id: child,
+        slot,
+    }
+}
+
+/// Explore every interleaving of `f`'s threads (mirrors `loom::model`).
+///
+/// `f` is re-run once per schedule; it must be deterministic apart from
+/// thread interleaving. A panic in any schedule (including assertion
+/// failures) propagates out with that schedule still loaded, failing the
+/// enclosing test.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut path: Vec<Branch> = Vec::new();
+    for iteration in 0.. {
+        assert!(
+            iteration < MAX_ITERATIONS,
+            "loom: exceeded {MAX_ITERATIONS} schedules; simplify the model"
+        );
+        let exec = Arc::new(Execution::new(path));
+        let (exec2, f2) = (exec.clone(), f.clone());
+        let root = std::thread::spawn(move || {
+            let id = exec2.register_thread();
+            debug_assert_eq!(id, 0);
+            CURRENT.with(|c| *c.borrow_mut() = Some((exec2.clone(), id)));
+            let res = managed_run(&exec2, id, || f2());
+            exec2.cv.notify_all();
+            res
+        });
+        let root_res = root.join().expect("loom runner thread itself crashed");
+        exec.wait_all_done();
+        let handles = std::mem::take(&mut exec.sched.lock().unwrap().os_handles);
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Err(payload) = root_res {
+            std::panic::resume_unwind(payload);
+        }
+        let orphans = exec.sched.lock().unwrap().unconsumed_panics;
+        assert_eq!(orphans, 0, "loom: an unjoined thread panicked");
+        match exec.next_path() {
+            Some(p) => path = p,
+            None => break,
+        }
+    }
+}
