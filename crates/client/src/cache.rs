@@ -125,6 +125,13 @@ impl BlockCache {
             .unwrap_or_default()
     }
 
+    /// All inodes with any cached block (dirty or clean), sorted.
+    pub fn inos(&self) -> Vec<Ino> {
+        let mut v: Vec<Ino> = self.files.keys().copied().collect();
+        v.sort();
+        v
+    }
+
     /// All inodes that currently have dirty blocks.
     pub fn dirty_inos(&self) -> Vec<Ino> {
         let mut v: Vec<Ino> = self

@@ -55,6 +55,16 @@ pub enum FsOp {
         /// The path.
         path: String,
     },
+    /// Rename a top-level file, possibly across metadata shards. Executed
+    /// client-side as two-lock link-then-unlink (see DESIGN.md §11): the
+    /// destination entry is linked before the source is unlinked, so a
+    /// failure leaves the file reachable under at least one name.
+    Rename {
+        /// Source path (single top-level component).
+        from: String,
+        /// Destination path (single top-level component).
+        to: String,
+    },
     /// Force write-back of a file's dirty blocks (and commit its size).
     Flush {
         /// File path.
@@ -80,6 +90,7 @@ impl FsOp {
             | FsOp::Delete { path }
             | FsOp::Flush { path }
             | FsOp::Release { path } => path,
+            FsOp::Rename { from, .. } => from,
         }
     }
 
@@ -93,6 +104,7 @@ impl FsOp {
             FsOp::Stat { .. } => "stat",
             FsOp::List { .. } => "list",
             FsOp::Delete { .. } => "delete",
+            FsOp::Rename { .. } => "rename",
             FsOp::Flush { .. } => "flush",
             FsOp::Release { .. } => "release",
         }

@@ -8,8 +8,9 @@ use tank_obs::Registry;
 use tank_proto::message::{FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     stripe_disk, BlockId, CtlMsg, Epoch, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId,
-    OpId, PushBody, ReqSeq, Request, Response, SanMsg, ServerPush, SessionId, WriteTag,
+    OpId, PushBody, ReqSeq, Request, Response, SanMsg, ServerId, ServerPush, SessionId, WriteTag,
 };
+use tank_shard::ShardMap;
 use tank_sim::{Actor, Ctx, LocalNs, NetId, TimerId, TokenMap};
 
 use crate::cache::BlockCache;
@@ -19,8 +20,14 @@ use crate::obs::ClientObs;
 /// Client configuration.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
-    /// The metadata server.
+    /// The metadata server (shard 0 when sharded; kept for single-server
+    /// call sites).
     pub server: NodeId,
+    /// All metadata servers, indexed by [`ServerId`]. `new` fills this
+    /// with just `server`; [`ClientConfig::sharded`] takes the full set.
+    pub servers: Vec<NodeId>,
+    /// The shard map routing inodes to servers (must match the servers').
+    pub map: ShardMap,
     /// The SAN disks (striping order must match the server's).
     pub disks: Vec<NodeId>,
     /// Lease contract (must match the server's).
@@ -59,6 +66,8 @@ impl ClientConfig {
     pub fn new(server: NodeId, disks: Vec<NodeId>) -> Self {
         ClientConfig {
             server,
+            servers: vec![server],
+            map: ShardMap::single(),
             disks,
             lease: LeaseConfig::default(),
             block_size: 4096,
@@ -70,6 +79,17 @@ impl ClientConfig {
             flush_window: 16,
             function_ship: false,
         }
+    }
+
+    /// Defaults against a sharded server set: `servers[i]` is the lock
+    /// server governing shard `ServerId(i)`.
+    pub fn sharded(servers: Vec<NodeId>, disks: Vec<NodeId>) -> Self {
+        assert!(!servers.is_empty(), "at least one server");
+        let map = ShardMap::new(servers.len() as u16);
+        let mut cfg = ClientConfig::new(servers[0], disks);
+        cfg.servers = servers;
+        cfg.map = map;
+        cfg
     }
 }
 
@@ -105,9 +125,9 @@ enum ClientTimer {
     ReqRetry(ReqSeq),
     /// Periodic write-back.
     PeriodicFlush,
-    /// Retry a NACKed Hello once the server may have finished timing us
-    /// out.
-    HelloRetry,
+    /// Retry a NACKed Hello (on the given lane) once the server may have
+    /// finished timing us out.
+    HelloRetry(usize),
     /// Fire the next closed-loop workload operation.
     NextOp,
     /// Fire scripted operation `i`.
@@ -160,15 +180,95 @@ enum Purpose {
     ReleaseStale,
     /// Push acknowledgement.
     PushAckSend,
+    /// One step of a client-driven rename chain (lookup, link, unlink —
+    /// stage lives in the op's [`RenameFlow`]).
+    Rename {
+        op: OpId,
+    },
+    /// One shard's `ReadDir` of a root-directory listing fan-out.
+    ListShard {
+        op: OpId,
+    },
 }
 
 /// A request awaiting its response.
 struct PendingReq {
     body: RequestBody,
     purpose: Purpose,
+    /// The lease lane (server) the request went to.
+    lane: usize,
     session: SessionId,
     cur_rto: LocalNs,
     timer: Option<TimerId>,
+}
+
+/// Per-server lease lane: one independent four-phase lease machine,
+/// session, and incarnation watch per lock server. A partition from shard
+/// B walks *this lane* through quiesce → flush → invalidate while the
+/// lanes to shards A and C keep serving their inodes (the tentpole
+/// isolation property; Theorem 3.1 holds per server).
+struct Lane {
+    /// Shard this lane leases against.
+    sid: ServerId,
+    /// The server's network address.
+    addr: NodeId,
+    lease: ClientLease,
+    session: Option<SessionId>,
+    /// The server incarnation the lane last saw (restart detector).
+    server_incarnation: Option<Incarnation>,
+    /// Whether ops governed by this shard are admitted.
+    serving: bool,
+    hello_inflight: bool,
+    /// Push dedup window (push seqs are per-server).
+    seen_pushes: HashSet<u64>,
+}
+
+impl Lane {
+    fn new(sid: ServerId, addr: NodeId, lease: LeaseConfig) -> Self {
+        Lane {
+            sid,
+            addr,
+            lease: ClientLease::new(lease),
+            session: None,
+            server_incarnation: None,
+            serving: false,
+            hello_inflight: false,
+            seen_pushes: HashSet::new(),
+        }
+    }
+}
+
+/// A client-driven rename in progress (see DESIGN.md §11): exclusive
+/// locks on both parent directories in (ServerId, Ino) order, then
+/// lookup → link at destination → unlink at source. Link-before-unlink
+/// means any abort leaves the file reachable under at least one name.
+struct RenameFlow {
+    src_dir: Ino,
+    dst_dir: Ino,
+    src_name: String,
+    dst_name: String,
+    /// The file being renamed (after the lookup step).
+    ino: Option<Ino>,
+    stage: RenameStage,
+}
+
+/// Which rename step runs next / is awaited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RenameStage {
+    /// Dir locks not yet all held (or lookup not yet sent).
+    NeedLookup,
+    /// Lookup of the source entry in flight.
+    AwaitLookup,
+    /// `RenameLink` at the destination in flight.
+    AwaitLink,
+    /// `RenameUnlink` at the source in flight.
+    AwaitUnlink,
+}
+
+/// A root-directory listing fanned out to every shard.
+struct ListFanout {
+    waiting: usize,
+    entries: Vec<String>,
 }
 
 /// Data-lock state for one inode.
@@ -282,16 +382,12 @@ struct FlushCampaign {
 pub struct ClientNode<Ob> {
     cfg: ClientConfig,
     id: NodeId,
-    lease: ClientLease,
-    session: Option<SessionId>,
-    /// The server incarnation the last response carried. A change means
-    /// the server crashed and restarted (losing our session and locks).
-    server_incarnation: Option<Incarnation>,
-    serving: bool,
+    /// The shard map (copied from the config; routes every request).
+    map: ShardMap,
+    /// One lease lane per lock server, indexed by `ServerId.0`.
+    lanes: Vec<Lane>,
     next_seq: u64,
     pending: HashMap<ReqSeq, PendingReq>,
-    hello_inflight: bool,
-    seen_pushes: HashSet<u64>,
     locks: HashMap<Ino, LockEntry>,
     /// Name cache (dentry cache): full path → inode, learned from
     /// resolutions. Metadata is only weakly consistent (§3 fn.1), so using
@@ -318,6 +414,10 @@ pub struct ClientNode<Ob> {
     next_san_req: u64,
     flushes: HashMap<u64, FlushCampaign>,
     next_flush_id: u64,
+    /// In-flight client-driven renames.
+    renames: HashMap<OpId, RenameFlow>,
+    /// In-flight root-listing fan-outs.
+    list_fanout: HashMap<OpId, ListFanout>,
     timers: TokenMap<ClientTimer>,
     gen: Option<Box<dyn OpGen>>,
     script: Script,
@@ -343,19 +443,26 @@ impl<Ob> ClientNode<Ob> {
     /// New client. `observe` converts client events into world
     /// observations.
     pub fn new(cfg: ClientConfig, observe: Box<dyn Fn(ClientEvent) -> Option<Ob>>) -> Self {
-        let lease = ClientLease::new(cfg.lease);
         let cache = BlockCache::new(cfg.block_size);
+        let map = cfg.map;
+        assert_eq!(
+            cfg.servers.len(),
+            map.nshards() as usize,
+            "one server address per shard"
+        );
+        let lanes = cfg
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| Lane::new(ServerId(i as u16), addr, cfg.lease))
+            .collect();
         ClientNode {
             cfg,
             id: NodeId(u32::MAX),
-            lease,
-            session: None,
-            server_incarnation: None,
-            serving: false,
+            map,
+            lanes,
             next_seq: 1,
             pending: HashMap::new(),
-            hello_inflight: false,
-            seen_pushes: HashSet::new(),
             locks: HashMap::new(),
             name_cache: HashMap::new(),
             parked: HashMap::new(),
@@ -368,6 +475,8 @@ impl<Ob> ClientNode<Ob> {
             next_san_req: 1,
             flushes: HashMap::new(),
             next_flush_id: 1,
+            renames: HashMap::new(),
+            list_fanout: HashMap::new(),
             timers: TokenMap::new(),
             gen: None,
             script: Script::new(),
@@ -448,9 +557,15 @@ impl<Ob> ClientNode<Ob> {
         self.results.push_back((id, result.clone()));
     }
 
-    /// The embedded lease machine (diagnostics).
+    /// The embedded lease machine of shard 0's lane (diagnostics; the
+    /// only lane in single-server configurations).
     pub fn lease(&self) -> &ClientLease {
-        &self.lease
+        &self.lanes[0].lease
+    }
+
+    /// The lease machine leasing against `sid` (diagnostics).
+    pub fn lane_lease(&self, sid: ServerId) -> &ClientLease {
+        &self.lanes[sid.0 as usize].lease
     }
 
     /// Dirty blocks currently in the cache.
@@ -458,9 +573,24 @@ impl<Ob> ClientNode<Ob> {
         self.cache.dirty_count()
     }
 
-    /// Whether the client currently admits new operations.
+    /// Whether the client currently admits new operations on every shard.
     pub fn is_serving(&self) -> bool {
-        self.serving
+        self.lanes.iter().all(|l| l.serving)
+    }
+
+    /// Whether ops governed by `sid` are currently admitted.
+    pub fn is_serving_shard(&self, sid: ServerId) -> bool {
+        self.lanes[sid.0 as usize].serving
+    }
+
+    /// The lane governing `ino` under the shard map.
+    fn lane_of_ino(&self, ino: Ino) -> usize {
+        self.map.owner_of(ino).0 as usize
+    }
+
+    /// The lane whose server lives at `addr`, if any.
+    fn lane_of_addr(&self, addr: NodeId) -> Option<usize> {
+        self.lanes.iter().position(|l| l.addr == addr)
     }
 
     fn gen_of(&self, ino: Ino) -> u64 {
@@ -481,6 +611,7 @@ impl<Ob> ClientNode<Ob> {
 
     fn send_request(
         &mut self,
+        lane: usize,
         body: RequestBody,
         purpose: Purpose,
         retry: bool,
@@ -488,8 +619,10 @@ impl<Ob> ClientNode<Ob> {
     ) -> ReqSeq {
         let seq = ReqSeq(self.next_seq);
         self.next_seq += 1;
-        let session = self.session.unwrap_or(SessionId(0));
-        self.lease.on_send(seq, ctx.now());
+        let l = &mut self.lanes[lane];
+        let session = l.session.unwrap_or(SessionId(0));
+        l.lease.on_send(seq, ctx.now());
+        let server = l.addr;
         let timer = if retry {
             let token = self.timers.insert(ClientTimer::ReqRetry(seq));
             Some(ctx.set_timer(self.cfg.rto, token))
@@ -501,6 +634,7 @@ impl<Ob> ClientNode<Ob> {
             PendingReq {
                 body: body.clone(),
                 purpose,
+                lane,
                 session,
                 cur_rto: self.cfg.rto,
                 timer,
@@ -508,7 +642,7 @@ impl<Ob> ClientNode<Ob> {
         );
         ctx.send(
             NetId::CONTROL,
-            self.cfg.server,
+            server,
             NetMsg::Ctl(CtlMsg::Request(Request {
                 src: ctx.node(),
                 session,
@@ -524,12 +658,12 @@ impl<Ob> ClientNode<Ob> {
         // future ACK grants must run from a send the ACK is known to
         // follow, and only the first transmission has that property for
         // every copy the server might be answering (§3.1).
-        let server = self.cfg.server;
         let max_rto = self.cfg.max_rto;
         let me = ctx.node();
         let Some(p) = self.pending.get_mut(&seq) else {
             return;
         };
+        let server = self.lanes[p.lane].addr;
         p.cur_rto = p.cur_rto.times(2).min(max_rto);
         let token = self.timers.insert(ClientTimer::ReqRetry(seq));
         let delay = p.cur_rto;
@@ -560,25 +694,43 @@ impl<Ob> ClientNode<Ob> {
 
     // ----------------------------------------------------------- session
 
-    fn send_hello(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        if self.hello_inflight {
+    fn send_hello(&mut self, lane: usize, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if self.lanes[lane].hello_inflight {
             return;
         }
-        self.hello_inflight = true;
+        self.lanes[lane].hello_inflight = true;
         let sent_at = ctx.now();
-        self.send_request(RequestBody::Hello, Purpose::Hello { sent_at }, true, ctx);
+        let map_epoch = self.map.epoch();
+        self.send_request(
+            lane,
+            RequestBody::Hello { map_epoch },
+            Purpose::Hello { sent_at },
+            true,
+            ctx,
+        );
     }
 
-    fn on_hello_ok(&mut self, sent_at: LocalNs, session: SessionId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        self.hello_inflight = false;
-        self.session = Some(session);
-        self.lease.reset_session(sent_at, ctx.now());
-        let first_service = !self.serving;
-        self.serving = true;
+    fn on_hello_ok(
+        &mut self,
+        lane: usize,
+        sent_at: LocalNs,
+        session: SessionId,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        let now = ctx.now();
+        let l = &mut self.lanes[lane];
+        l.hello_inflight = false;
+        l.session = Some(session);
+        l.lease.reset_session(sent_at, now);
+        let first_service = !l.serving;
+        l.serving = true;
+        let sid = l.sid;
         if first_service {
             if let Some(obs) = &self.obs {
                 obs.phase_resume.inc();
-                obs.trace(ctx, "phase", || format!("active session={}", session.0));
+                obs.trace(ctx, "phase", || {
+                    format!("active session={} shard={}", session.0, sid.0)
+                });
             }
             self.emit(ClientEvent::Resumed, ctx);
         }
@@ -590,41 +742,103 @@ impl<Ob> ClientNode<Ob> {
         self.maybe_next_gen_op(ctx);
     }
 
-    /// Total local failure: lease expired or session declared dead by the
-    /// server. Everything volatile protocol state is reset and a fresh
-    /// session is sought.
-    fn local_expiry(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        self.serving = false;
-        // Fail every in-flight op (sorted: deterministic event order).
-        let mut op_ids: Vec<OpId> = self.ops.keys().copied().collect();
+    /// Whether the op touches state governed by shard `sid`: its resolved
+    /// ino, the shard root its path enters through, or (for a cross-shard
+    /// rename) either directory. List fan-outs touch every shard.
+    fn op_touches_shard(&self, id: OpId, active: &ActiveOp, sid: ServerId) -> bool {
+        if let Some(flow) = self.renames.get(&id) {
+            return self.map.owner_of(flow.src_dir) == sid
+                || self.map.owner_of(flow.dst_dir) == sid;
+        }
+        if self.list_fanout.contains_key(&id) {
+            return true;
+        }
+        if let Some(ino) = active.ino {
+            if self.map.owner_of(ino) == sid {
+                return true;
+            }
+        }
+        let first = active.op.path().split('/').find(|p| !p.is_empty());
+        let root = match first {
+            Some(name) => self.map.root_of(self.map.place_top(name)),
+            None => self.map.root_of(ServerId(0)),
+        };
+        self.map.owner_of(root) == sid
+    }
+
+    /// Local failure of ONE lane: its lease expired or its session was
+    /// declared dead by that server. Only state governed by that shard is
+    /// reset — ops, locks, and cached blocks under the other shards keep
+    /// running — and a fresh session is sought from the failed server.
+    fn local_expiry(&mut self, lane: usize, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let sid = self.lanes[lane].sid;
+        self.lanes[lane].serving = false;
+        // Fail every in-flight op governed by this shard (sorted:
+        // deterministic event order).
+        let mut op_ids: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|(id, a)| self.op_touches_shard(**id, a, sid))
+            .map(|(id, _)| *id)
+            .collect();
         op_ids.sort();
         for id in op_ids {
             self.complete_op(id, Err(FsErr::LeaseLost), ctx);
         }
-        // Abandon outstanding requests and campaigns.
-        let mut seqs: Vec<ReqSeq> = self.pending.keys().copied().collect();
+        // Abandon outstanding requests and campaigns aimed at this lane.
+        let mut seqs: Vec<ReqSeq> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.lane == lane)
+            .map(|(s, _)| *s)
+            .collect();
         seqs.sort();
         for s in seqs {
             self.drop_pending(s, ctx);
         }
-        self.hello_inflight = false;
-        self.flushes.clear();
-        self.pending_san.clear();
-        self.parked.clear();
-        self.deferred_demands.clear();
-        let held: Vec<Ino> = self.locks.keys().copied().collect();
+        self.lanes[lane].hello_inflight = false;
+        let map = self.map;
+        self.flushes.retain(|_, f| map.owner_of(f.ino) != sid);
+        self.pending_san.retain(|_, p| {
+            let ino = match p {
+                SanOp::OpRead { ino, .. } => *ino,
+                SanOp::FlushWrite { ino, .. } => *ino,
+            };
+            map.owner_of(ino) != sid
+        });
+        self.parked.retain(|ino, _| map.owner_of(*ino) != sid);
+        self.deferred_demands
+            .retain(|ino, _| map.owner_of(*ino) != sid);
+        let held: Vec<Ino> = self
+            .locks
+            .keys()
+            .copied()
+            .filter(|i| map.owner_of(*i) == sid)
+            .collect();
         for ino in held {
             self.bump_gen(ino);
+            self.locks.remove(&ino);
         }
-        self.locks.clear();
-        self.seen_pushes.clear();
-        let discarded = self.cache.invalidate_all();
-        self.name_cache.clear();
+        self.lanes[lane].seen_pushes.clear();
+        let mut owned: Vec<Ino> = self
+            .cache
+            .inos()
+            .into_iter()
+            .filter(|i| map.owner_of(*i) == sid)
+            .collect();
+        owned.sort();
+        let mut discarded = 0;
+        for ino in owned {
+            discarded += self.cache.dirty_of(ino).len();
+            self.cache.invalidate_ino(ino);
+        }
+        self.name_cache.retain(|_, ino| map.owner_of(*ino) != sid);
         if let Some(obs) = &self.obs {
             obs.phase_invalid.inc();
+            obs.lane_expiries.inc();
             obs.discarded_dirty.add(discarded as u64);
             obs.trace(ctx, "phase", || {
-                format!("invalid discarded_dirty={discarded}")
+                format!("invalid shard={} discarded_dirty={discarded}", sid.0)
             });
         }
         self.emit(
@@ -633,8 +847,8 @@ impl<Ob> ClientNode<Ob> {
             },
             ctx,
         );
-        self.session = None;
-        self.send_hello(ctx);
+        self.lanes[lane].session = None;
+        self.send_hello(lane, ctx);
     }
 
     // ------------------------------------------------------- lease driving
@@ -644,55 +858,82 @@ impl<Ob> ClientNode<Ob> {
             return;
         }
         let now = ctx.now();
-        for action in self.lease.poll(now) {
-            match action {
-                LeaseAction::SendKeepAlive => {
-                    self.send_request(RequestBody::KeepAlive, Purpose::KeepAlive, false, ctx);
-                }
-                LeaseAction::BeginQuiesce => {
-                    self.serving = false;
-                    if let Some(obs) = &self.obs {
-                        obs.phase_quiesce.inc();
-                        obs.trace(ctx, "phase", || "quiescing".to_owned());
+        // Each lane's FSM is pumped independently: a shard losing contact
+        // quiesces/flushes/invalidates only its own inodes while the other
+        // lanes keep caching at full speed.
+        for lane in 0..self.lanes.len() {
+            let sid = self.lanes[lane].sid;
+            for action in self.lanes[lane].lease.poll(now) {
+                match action {
+                    LeaseAction::SendKeepAlive => {
+                        self.send_request(
+                            lane,
+                            RequestBody::KeepAlive,
+                            Purpose::KeepAlive,
+                            false,
+                            ctx,
+                        );
                     }
-                    self.emit(ClientEvent::Quiesced, ctx);
-                }
-                LeaseAction::BeginFlush => {
-                    // Phase 4: harden everything dirty. The control network
-                    // is presumed dead, so sizes are not committed — data
-                    // reaches disk, which is the §3.2 obligation.
-                    let inos = self.cache.dirty_inos();
-                    if let Some(obs) = &self.obs {
-                        obs.phase_flush.inc();
-                        obs.trace(ctx, "phase", || {
-                            format!("flushing dirty_inos={}", inos.len())
-                        });
-                    }
-                    for ino in inos {
-                        self.start_flush(ino, AfterFlush::Nothing, ctx);
-                    }
-                }
-                LeaseAction::LeaseExpired => {
-                    self.local_expiry(ctx);
-                }
-                LeaseAction::Resume => {
-                    // After a post-expiry re-hello the session reset has
-                    // already resumed service; only an actual transition
-                    // counts as a phase change.
-                    if !self.serving {
-                        self.serving = true;
+                    LeaseAction::BeginQuiesce => {
+                        self.lanes[lane].serving = false;
                         if let Some(obs) = &self.obs {
-                            obs.phase_resume.inc();
-                            obs.trace(ctx, "phase", || "active resumed".to_owned());
+                            obs.phase_quiesce.inc();
+                            obs.trace(ctx, "phase", || format!("quiescing shard={}", sid.0));
                         }
-                        self.emit(ClientEvent::Resumed, ctx);
+                        self.emit(ClientEvent::Quiesced, ctx);
                     }
-                    self.maybe_next_gen_op(ctx);
+                    LeaseAction::BeginFlush => {
+                        // Phase 4: harden everything dirty under THIS
+                        // shard's locks. The control path to this server is
+                        // presumed dead, so sizes are not committed — data
+                        // reaches disk, which is the §3.2 obligation. Other
+                        // shards' dirty data is not touched.
+                        let map = self.map;
+                        let inos: Vec<Ino> = self
+                            .cache
+                            .dirty_inos()
+                            .into_iter()
+                            .filter(|i| map.owner_of(*i) == sid)
+                            .collect();
+                        if let Some(obs) = &self.obs {
+                            obs.phase_flush.inc();
+                            obs.trace(ctx, "phase", || {
+                                format!("flushing shard={} dirty_inos={}", sid.0, inos.len())
+                            });
+                        }
+                        for ino in inos {
+                            self.start_flush(ino, AfterFlush::Nothing, ctx);
+                        }
+                    }
+                    LeaseAction::LeaseExpired => {
+                        self.local_expiry(lane, ctx);
+                    }
+                    LeaseAction::Resume => {
+                        // After a post-expiry re-hello the session reset has
+                        // already resumed service; only an actual transition
+                        // counts as a phase change.
+                        if !self.lanes[lane].serving {
+                            self.lanes[lane].serving = true;
+                            if let Some(obs) = &self.obs {
+                                obs.phase_resume.inc();
+                                obs.trace(ctx, "phase", || {
+                                    format!("active resumed shard={}", sid.0)
+                                });
+                            }
+                            self.emit(ClientEvent::Resumed, ctx);
+                        }
+                        self.maybe_next_gen_op(ctx);
+                    }
                 }
             }
         }
-        // Arm the next poll.
-        if let Some(at) = self.lease.next_wakeup(now) {
+        // Arm the next poll at the earliest wakeup any lane wants.
+        let next = self
+            .lanes
+            .iter()
+            .filter_map(|l| l.lease.next_wakeup(now))
+            .min();
+        if let Some(at) = next {
             let due = at.max(now.plus(LocalNs(1)));
             if self.next_poll_at.is_none_or(|p| due < p || p <= now) {
                 self.next_poll_at = Some(due);
@@ -725,6 +966,31 @@ impl<Ob> ClientNode<Ob> {
         }
     }
 
+    /// Deny an op at submission time without entering the op table.
+    fn deny_submit(
+        &mut self,
+        id: OpId,
+        kind: &'static str,
+        err: FsErr,
+        from_gen: bool,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        self.stats.denied += 1;
+        self.log_result(id, &Err(err));
+        self.emit(
+            ClientEvent::OpCompleted {
+                op: id,
+                kind,
+                ok: false,
+                err: Some(err),
+            },
+            ctx,
+        );
+        if from_gen {
+            self.maybe_next_gen_op(ctx);
+        }
+    }
+
     /// Submit an operation on behalf of a local process.
     fn submit(&mut self, op: FsOp, from_gen: bool, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         self.stats.submitted += 1;
@@ -732,23 +998,8 @@ impl<Ob> ClientNode<Ob> {
         self.next_op_id += 1;
         let kind = op.kind();
         self.emit(ClientEvent::OpSubmitted { op: id, kind }, ctx);
-        if !self.serving {
-            // §3.2 phase 3+: new file-system requests are not serviced.
-            self.stats.denied += 1;
-            self.log_result(id, &Err(FsErr::Suspended));
-            self.emit(
-                ClientEvent::OpCompleted {
-                    op: id,
-                    kind,
-                    ok: false,
-                    err: Some(FsErr::Suspended),
-                },
-                ctx,
-            );
-            if from_gen {
-                self.maybe_next_gen_op(ctx);
-            }
-            return;
+        if let FsOp::Rename { .. } = &op {
+            return self.submit_rename(id, op, from_gen, ctx);
         }
         let parts: Vec<String> = op
             .path()
@@ -756,11 +1007,26 @@ impl<Ob> ClientNode<Ob> {
             .filter(|p| !p.is_empty())
             .map(str::to_owned)
             .collect();
+        // Route by the top-level component: the shard owning that name's
+        // dentry governs the whole subtree entered through it. The bare
+        // root belongs to shard 0, except a full listing which fans out.
+        let root = match parts.first() {
+            Some(name) => self.map.root_of(self.map.place_top(name)),
+            None => self.map.root_of(ServerId(0)),
+        };
+        if matches!(op, FsOp::List { .. }) && parts.is_empty() {
+            return self.submit_list_fanout(id, op, from_gen, ctx);
+        }
+        if !self.lanes[self.lane_of_ino(root)].serving {
+            // §3.2 phase 3+ on the governing shard: new file-system
+            // requests against it are not serviced. Other shards' ops are
+            // unaffected — that is the blast-radius contract.
+            return self.deny_submit(id, kind, FsErr::Suspended, from_gen, ctx);
+        }
         let to_parent = matches!(
             op,
             FsOp::Create { .. } | FsOp::Mkdir { .. } | FsOp::Delete { .. }
         );
-        let root = Ino(1); // the server's root is always ino 1
         let mut active = ActiveOp {
             op,
             state: OpState::MetaWait,
@@ -806,6 +1072,151 @@ impl<Ob> ClientNode<Ob> {
         }
     }
 
+    /// List the namespace root: every shard owns a slice of the top-level
+    /// directory, so a full listing is a fan-out of one ReadDir per shard
+    /// root, merged client-side.
+    fn submit_list_fanout(
+        &mut self,
+        id: OpId,
+        op: FsOp,
+        from_gen: bool,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        let kind = op.kind();
+        if !self.lanes.iter().all(|l| l.serving) {
+            return self.deny_submit(id, kind, FsErr::Suspended, from_gen, ctx);
+        }
+        self.ops.insert(
+            id,
+            ActiveOp {
+                op,
+                state: OpState::MetaWait,
+                from_gen,
+                ino: None,
+            },
+        );
+        self.list_fanout.insert(
+            id,
+            ListFanout {
+                waiting: self.lanes.len(),
+                entries: Vec::new(),
+            },
+        );
+        for lane in 0..self.lanes.len() {
+            let dir = self.map.root_of(self.lanes[lane].sid);
+            self.send_request(
+                lane,
+                RequestBody::ReadDir { dir },
+                Purpose::ListShard { op: id },
+                true,
+                ctx,
+            );
+        }
+    }
+
+    /// Submit a rename. Only top-level single-component files are
+    /// renameable (the sharded namespace splits the root directory, so
+    /// this is exactly the case where the two dentries can live on
+    /// different servers). The client drives it as a two-lock transaction:
+    /// Exclusive locks on both shard-root directories taken in ino order
+    /// (deadlock-free: roots are `Ino(1+sid)`, so ino order IS ServerId
+    /// order), then link at the destination, then unlink at the source.
+    fn submit_rename(&mut self, id: OpId, op: FsOp, from_gen: bool, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let kind = op.kind();
+        let FsOp::Rename { from, to } = &op else {
+            unreachable!("submit_rename only sees renames")
+        };
+        let fparts: Vec<&str> = from.split('/').filter(|p| !p.is_empty()).collect();
+        let tparts: Vec<&str> = to.split('/').filter(|p| !p.is_empty()).collect();
+        if fparts.len() != 1 || tparts.len() != 1 {
+            return self.deny_submit(id, kind, FsErr::Invalid, from_gen, ctx);
+        }
+        let (src_name, dst_name) = (fparts[0].to_owned(), tparts[0].to_owned());
+        if src_name == dst_name {
+            // Renaming to itself: trivially done.
+            self.ops.insert(
+                id,
+                ActiveOp {
+                    op,
+                    state: OpState::MetaWait,
+                    from_gen,
+                    ino: None,
+                },
+            );
+            return self.complete_op(id, Ok(FsData::Unit), ctx);
+        }
+        let src_dir = self.map.root_of(self.map.place_top(&src_name));
+        let dst_dir = self.map.root_of(self.map.place_top(&dst_name));
+        if !self.lanes[self.lane_of_ino(src_dir)].serving
+            || !self.lanes[self.lane_of_ino(dst_dir)].serving
+        {
+            return self.deny_submit(id, kind, FsErr::Suspended, from_gen, ctx);
+        }
+        self.ops.insert(
+            id,
+            ActiveOp {
+                op,
+                state: OpState::MetaWait,
+                from_gen,
+                ino: None,
+            },
+        );
+        self.renames.insert(
+            id,
+            RenameFlow {
+                src_dir,
+                dst_dir,
+                src_name,
+                dst_name,
+                ino: None,
+                stage: RenameStage::NeedLookup,
+            },
+        );
+        self.rename_advance(id, ctx);
+    }
+
+    /// Drive a rename forward: acquire both directory locks (in ino
+    /// order), then look up the source entry. Re-entered from
+    /// `on_lock_granted` via the parked-op path.
+    fn rename_advance(&mut self, id: OpId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let Some(flow) = self.renames.get(&id) else {
+            return;
+        };
+        if flow.stage != RenameStage::NeedLookup {
+            return; // already past lock acquisition
+        }
+        let (src_dir, dst_dir, src_name) = (flow.src_dir, flow.dst_dir, flow.src_name.clone());
+        let mut dirs = vec![src_dir, dst_dir];
+        dirs.sort();
+        dirs.dedup();
+        for d in dirs {
+            let covered = matches!(
+                self.locks.get(&d),
+                Some(LockEntry::Held(info)) if info.mode.covers(LockMode::Exclusive)
+            );
+            if !covered {
+                // ensure_lock_then parks the op on `d`; the grant kicks it
+                // back into run_data_op → rename_advance, which takes the
+                // next lock (strictly in order) or proceeds.
+                return self.ensure_lock_then(id, d, LockMode::Exclusive, ctx);
+            }
+        }
+        if let Some(flow) = self.renames.get_mut(&id) {
+            flow.stage = RenameStage::AwaitLookup;
+        }
+        let lane = self.lane_of_ino(src_dir);
+        self.send_request(
+            lane,
+            RequestBody::Lookup {
+                parent: src_dir,
+                name: src_name,
+            },
+            Purpose::Rename { op: id },
+            true,
+            ctx,
+        );
+    }
+
     fn resolve_step(&mut self, id: OpId, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         let Some(active) = self.ops.get(&id) else {
             return;
@@ -832,7 +1243,8 @@ impl<Ob> ClientNode<Ob> {
             parent: *cur,
             name: parts[*idx].clone(),
         };
-        self.send_request(body, Purpose::Resolve { op: id }, true, ctx);
+        let lane = self.lane_of_ino(*cur);
+        self.send_request(lane, body, Purpose::Resolve { op: id }, true, ctx);
     }
 
     /// The op's target (or parent, for to_parent ops) is known.
@@ -850,11 +1262,13 @@ impl<Ob> ClientNode<Ob> {
         let Some(active) = self.ops.get_mut(&id) else {
             return;
         };
+        let lane = self.map.owner_of(ino).0 as usize;
         match &active.op {
             FsOp::Create { path } => {
                 let name = last_component(path);
                 active.state = OpState::MetaWait;
                 self.send_request(
+                    lane,
                     RequestBody::Create { parent: ino, name },
                     Purpose::Meta { op: id },
                     true,
@@ -865,6 +1279,7 @@ impl<Ob> ClientNode<Ob> {
                 let name = last_component(path);
                 active.state = OpState::MetaWait;
                 self.send_request(
+                    lane,
                     RequestBody::Mkdir { parent: ino, name },
                     Purpose::Meta { op: id },
                     true,
@@ -875,6 +1290,7 @@ impl<Ob> ClientNode<Ob> {
                 let name = last_component(path);
                 active.state = OpState::MetaWait;
                 self.send_request(
+                    lane,
                     RequestBody::Unlink { parent: ino, name },
                     Purpose::Meta { op: id },
                     true,
@@ -884,6 +1300,7 @@ impl<Ob> ClientNode<Ob> {
             FsOp::Stat { .. } => {
                 active.state = OpState::MetaWait;
                 self.send_request(
+                    lane,
                     RequestBody::GetAttr { ino },
                     Purpose::Meta { op: id },
                     true,
@@ -893,17 +1310,22 @@ impl<Ob> ClientNode<Ob> {
             FsOp::List { .. } => {
                 active.state = OpState::MetaWait;
                 self.send_request(
+                    lane,
                     RequestBody::ReadDir { dir: ino },
                     Purpose::Meta { op: id },
                     true,
                     ctx,
                 );
             }
+            FsOp::Rename { .. } => {
+                unreachable!("renames never take the resolve path")
+            }
             FsOp::Read { offset, len, .. } => {
                 if self.cfg.function_ship {
                     let (offset, len) = (*offset, *len);
                     active.state = OpState::MetaWait;
                     self.send_request(
+                        lane,
                         RequestBody::ReadData { ino, offset, len },
                         Purpose::Meta { op: id },
                         true,
@@ -918,6 +1340,7 @@ impl<Ob> ClientNode<Ob> {
                     let (offset, data) = (*offset, data.clone());
                     active.state = OpState::MetaWait;
                     self.send_request(
+                        lane,
                         RequestBody::WriteData { ino, offset, data },
                         Purpose::Meta { op: id },
                         true,
@@ -974,7 +1397,9 @@ impl<Ob> ClientNode<Ob> {
                 self.park(id, ino, mode);
                 if need_send {
                     let gen = self.gen_of(ino);
+                    let lane = self.lane_of_ino(ino);
                     self.send_request(
+                        lane,
                         RequestBody::LockAcquire {
                             ino,
                             mode: LockMode::Exclusive,
@@ -991,7 +1416,9 @@ impl<Ob> ClientNode<Ob> {
                 self.locks.insert(ino, LockEntry::Acquiring);
                 self.park(id, ino, mode);
                 let gen = self.gen_of(ino);
+                let lane = self.lane_of_ino(ino);
                 self.send_request(
+                    lane,
                     RequestBody::LockAcquire { ino, mode },
                     Purpose::Lock { ino, gen },
                     true,
@@ -1079,7 +1506,9 @@ impl<Ob> ClientNode<Ob> {
                 self.deferred_demands.insert(ino, demanded);
             }
             None => {
+                let lane = self.lane_of_ino(ino);
                 self.send_request(
+                    lane,
                     RequestBody::LockRelease {
                         ino,
                         epoch: demanded,
@@ -1115,7 +1544,9 @@ impl<Ob> ClientNode<Ob> {
                     still_parked.push(id);
                     if need_send {
                         let gen = self.gen_of(ino);
+                        let lane = self.lane_of_ino(ino);
                         self.send_request(
+                            lane,
                             RequestBody::LockAcquire {
                                 ino,
                                 mode: LockMode::Exclusive,
@@ -1132,7 +1563,9 @@ impl<Ob> ClientNode<Ob> {
                     self.locks.insert(ino, LockEntry::Acquiring);
                     still_parked.push(id);
                     let gen = self.gen_of(ino);
+                    let lane = self.lane_of_ino(ino);
                     self.send_request(
+                        lane,
                         RequestBody::LockAcquire { ino, mode },
                         Purpose::Lock { ino, gen },
                         true,
@@ -1162,7 +1595,12 @@ impl<Ob> ClientNode<Ob> {
                 let (offset, dlen) = (*offset, data.len());
                 self.run_write_prepare(id, ino, offset, dlen, ctx);
             }
-            _ => unreachable!("only read/write take the data path"),
+            FsOp::Rename { .. } => {
+                // A directory lock the rename was parked on was granted;
+                // take the next lock or start the lookup chain.
+                self.rename_advance(id, ctx);
+            }
+            _ => unreachable!("only read/write/rename take the data path"),
         }
     }
 
@@ -1288,7 +1726,9 @@ impl<Ob> ClientNode<Ob> {
             if let Some(a) = self.ops.get_mut(&id) {
                 a.state = OpState::WaitAlloc;
             }
+            let lane = self.lane_of_ino(ino);
             self.send_request(
+                lane,
                 RequestBody::AllocBlocks { ino, count },
                 Purpose::Alloc { op: id, ino },
                 true,
@@ -1347,7 +1787,7 @@ impl<Ob> ClientNode<Ob> {
         // discarded at expiry — refuse it instead of lying to the process.
         if self.cfg.lease_enabled
             && matches!(
-                self.lease.phase(ctx.now()),
+                self.lanes[self.lane_of_ino(ino)].lease.phase(ctx.now()),
                 Phase::ExpectedFailure | Phase::Expired
             )
         {
@@ -1416,7 +1856,9 @@ impl<Ob> ClientNode<Ob> {
                 Some(LockEntry::Held(info)) => info.size,
                 _ => end,
             };
+            let lane = self.lane_of_ino(ino);
             self.send_request(
+                lane,
                 RequestBody::CommitWrite { ino, new_size },
                 Purpose::Commit { ino },
                 true,
@@ -1572,7 +2014,9 @@ impl<Ob> ClientNode<Ob> {
         if let Some(LockEntry::Held(info)) = self.locks.get(&ino) {
             if info.size > info.committed_size {
                 let new_size = info.size;
+                let lane = self.lane_of_ino(ino);
                 self.send_request(
+                    lane,
                     RequestBody::CommitWrite { ino, new_size },
                     Purpose::Commit { ino },
                     true,
@@ -1603,7 +2047,9 @@ impl<Ob> ClientNode<Ob> {
                 _ => 0,
             };
             self.release_after_commit.insert(ino, complete);
+            let lane = self.lane_of_ino(ino);
             self.send_request(
+                lane,
                 RequestBody::CommitWrite { ino, new_size },
                 Purpose::CommitThenRelease { ino },
                 true,
@@ -1642,7 +2088,9 @@ impl<Ob> ClientNode<Ob> {
             }
         }
         self.release_completes.insert(ino, complete);
+        let lane = self.lane_of_ino(ino);
         self.send_request(
+            lane,
             RequestBody::LockRelease { ino, epoch },
             Purpose::Release { ino },
             true,
@@ -1662,9 +2110,13 @@ impl<Ob> ClientNode<Ob> {
 
     // ------------------------------------------------------------- pushes
 
-    fn on_push(&mut self, push: ServerPush, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn on_push(&mut self, from: NodeId, push: ServerPush, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        // Pushes are per-server: ack on (and dedup against) the lane of
+        // the server that sent this one.
+        let lane = self.lane_of_addr(from).unwrap_or(0);
         // Always ack (stops server retries); handle the body once.
         self.send_request(
+            lane,
             RequestBody::PushAck {
                 push_seq: push.push_seq,
             },
@@ -1672,7 +2124,7 @@ impl<Ob> ClientNode<Ob> {
             false,
             ctx,
         );
-        if !self.seen_pushes.insert(push.push_seq) {
+        if !self.lanes[lane].seen_pushes.insert(push.push_seq) {
             return;
         }
         match push.body {
@@ -1707,6 +2159,7 @@ impl<Ob> ClientNode<Ob> {
                         // can move on — qualified by its epoch, so this
                         // cannot tear down a newer grant racing toward us.
                         self.send_request(
+                            lane,
                             RequestBody::LockRelease { ino, epoch },
                             Purpose::ReleaseStale,
                             false,
@@ -1726,8 +2179,13 @@ impl<Ob> ClientNode<Ob> {
     fn on_response(&mut self, resp: Response, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         // Detect a server restart before anything else: the incarnation is
         // stamped on every response, so even a NACK for a long-forgotten
-        // sequence number tells us the server we knew is gone.
-        let restarted = self
+        // sequence number tells us the server we knew is gone. Incarnations
+        // are tracked per lane — one shard restarting says nothing about
+        // the others.
+        let Some(lane) = self.pending.get(&resp.seq).map(|p| p.lane) else {
+            return;
+        };
+        let restarted = self.lanes[lane]
             .server_incarnation
             .replace(resp.incarnation)
             .is_some_and(|known| known != resp.incarnation);
@@ -1739,9 +2197,9 @@ impl<Ob> ClientNode<Ob> {
                 // Headroom must be read *before* the ACK extends the lease:
                 // it is the margin the old lease still had when renewal
                 // landed — the measured slack in Theorem 3.1's ordering.
-                let prior_expiry = self.lease.expiry();
+                let prior_expiry = self.lanes[lane].lease.expiry();
                 let now = ctx.now();
-                let renewed = self.lease.on_ack(resp.seq, now);
+                let renewed = self.lanes[lane].lease.on_ack(resp.seq, now);
                 if renewed {
                     if let Some(obs) = &self.obs {
                         obs.renewals.inc();
@@ -1755,7 +2213,7 @@ impl<Ob> ClientNode<Ob> {
                     }
                     self.pump_lease(ctx);
                 }
-                self.dispatch_reply(p.purpose, result, ctx);
+                self.dispatch_reply(p.lane, p.purpose, result, ctx);
             }
             ResponseOutcome::Nacked(reason) => self.on_nack(reason, restarted, p, ctx),
         }
@@ -1768,17 +2226,18 @@ impl<Ob> ClientNode<Ob> {
         p: PendingReq,
         ctx: &mut Ctx<'_, NetMsg, Ob>,
     ) {
+        let lane = p.lane;
         match reason {
             NackReason::LeaseTimingOut => {
-                // §3.3: we missed a message; cache is invalid; enter phase
-                // 3 directly and prepare for recovery.
-                self.lease.on_nack(ctx.now());
+                // §3.3: we missed a message; this shard's cache is invalid;
+                // enter phase 3 on its lane and prepare for recovery.
+                self.lanes[lane].lease.on_nack(ctx.now());
                 let was_hello = matches!(p.purpose, Purpose::Hello { .. });
-                self.fail_purpose(p.purpose, FsErr::Suspended, ctx);
+                self.fail_purpose(p.lane, p.purpose, FsErr::Suspended, ctx);
                 if was_hello {
                     // The server is still timing us out; try again after
                     // a respectful delay (its timer will fire eventually).
-                    let token = self.timers.insert(ClientTimer::HelloRetry);
+                    let token = self.timers.insert(ClientTimer::HelloRetry(lane));
                     ctx.set_timer(LocalNs::from_millis(500), token);
                 }
                 self.pump_lease(ctx);
@@ -1787,14 +2246,15 @@ impl<Ob> ClientNode<Ob> {
                 self.on_server_restart(p, ctx);
             }
             NackReason::SessionExpired | NackReason::StaleSession => {
-                // Our session is dead at the server: locks stolen. Unless
-                // this was the Hello itself, restart with a fresh session.
+                // Our session is dead at that server: its locks are stolen.
+                // Unless this was the Hello itself, restart the lane with a
+                // fresh session.
                 if matches!(p.purpose, Purpose::Hello { .. }) {
-                    self.hello_inflight = false;
-                    self.send_hello(ctx);
+                    self.lanes[lane].hello_inflight = false;
+                    self.send_hello(lane, ctx);
                 } else {
-                    self.fail_purpose(p.purpose, FsErr::LeaseLost, ctx);
-                    self.local_expiry(ctx);
+                    self.fail_purpose(p.lane, p.purpose, FsErr::LeaseLost, ctx);
+                    self.local_expiry(lane, ctx);
                 }
             }
             NackReason::Recovering => {
@@ -1804,9 +2264,25 @@ impl<Ob> ClientNode<Ob> {
                 // could conflict until the window closes). The operation
                 // just cannot be served yet.
                 let was_hello = matches!(p.purpose, Purpose::Hello { .. });
-                self.fail_purpose(p.purpose, FsErr::Unavailable, ctx);
+                self.fail_purpose(p.lane, p.purpose, FsErr::Unavailable, ctx);
                 if was_hello {
-                    let token = self.timers.insert(ClientTimer::HelloRetry);
+                    let token = self.timers.insert(ClientTimer::HelloRetry(lane));
+                    ctx.set_timer(LocalNs::from_millis(500), token);
+                }
+            }
+            NackReason::Misrouted(_) => {
+                // A protocol redirect, not a lease judgment: the request
+                // reached a server that does not govern its ino (or the
+                // shard maps disagree). Nothing cached is condemned — the
+                // op just fails back to the process, which can retry once
+                // the topology question settles.
+                let was_hello = matches!(p.purpose, Purpose::Hello { .. });
+                if was_hello {
+                    self.lanes[lane].hello_inflight = false;
+                }
+                self.fail_purpose(p.lane, p.purpose, FsErr::Unavailable, ctx);
+                if was_hello {
+                    let token = self.timers.insert(ClientTimer::HelloRetry(lane));
                     ctx.set_timer(LocalNs::from_millis(500), token);
                 }
             }
@@ -1823,27 +2299,44 @@ impl<Ob> ClientNode<Ob> {
     /// own expiry — exactly the sequence the grace window was sized to
     /// wait out.
     fn on_server_restart(&mut self, p: PendingReq, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        if self.locks.is_empty() && self.cache.dirty_count() == 0 {
+        let lane = p.lane;
+        let sid = self.lanes[lane].sid;
+        // "Clean" is judged per shard: only locks and dirty blocks this
+        // server governs matter for its restart.
+        let map = self.map;
+        let clean = !self.locks.keys().any(|i| map.owner_of(*i) == sid)
+            && !self
+                .cache
+                .dirty_inos()
+                .iter()
+                .any(|i| map.owner_of(*i) == sid);
+        if clean {
             if matches!(p.purpose, Purpose::Hello { .. }) {
-                self.hello_inflight = false;
-                self.send_hello(ctx);
+                self.lanes[lane].hello_inflight = false;
+                self.send_hello(lane, ctx);
             } else {
-                self.fail_purpose(p.purpose, FsErr::LeaseLost, ctx);
-                self.local_expiry(ctx);
+                self.fail_purpose(p.lane, p.purpose, FsErr::LeaseLost, ctx);
+                self.local_expiry(lane, ctx);
             }
             return;
         }
-        self.lease.on_nack(ctx.now());
+        self.lanes[lane].lease.on_nack(ctx.now());
         let was_hello = matches!(p.purpose, Purpose::Hello { .. });
-        self.fail_purpose(p.purpose, FsErr::Suspended, ctx);
+        self.fail_purpose(p.lane, p.purpose, FsErr::Suspended, ctx);
         if was_hello {
-            let token = self.timers.insert(ClientTimer::HelloRetry);
+            let token = self.timers.insert(ClientTimer::HelloRetry(lane));
             ctx.set_timer(LocalNs::from_millis(500), token);
         }
         self.pump_lease(ctx);
     }
 
-    fn fail_purpose(&mut self, purpose: Purpose, err: FsErr, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+    fn fail_purpose(
+        &mut self,
+        lane: usize,
+        purpose: Purpose,
+        err: FsErr,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
         match purpose {
             Purpose::Resolve { op } | Purpose::Meta { op } | Purpose::Alloc { op, .. } => {
                 self.complete_op(op, Err(err), ctx);
@@ -1887,7 +2380,11 @@ impl<Ob> ClientNode<Ob> {
                 self.send_release(ino, complete, ctx);
             }
             Purpose::Hello { .. } => {
-                self.hello_inflight = false;
+                self.lanes[lane].hello_inflight = false;
+            }
+            Purpose::Rename { op } | Purpose::ListShard { op } => {
+                // complete_op tears down the rename flow / fan-out state.
+                self.complete_op(op, Err(err), ctx);
             }
             Purpose::KeepAlive
             | Purpose::Commit { .. }
@@ -1898,20 +2395,45 @@ impl<Ob> ClientNode<Ob> {
 
     fn dispatch_reply(
         &mut self,
+        lane: usize,
         purpose: Purpose,
         result: Result<ReplyBody, FsError>,
         ctx: &mut Ctx<'_, NetMsg, Ob>,
     ) {
         match purpose {
             Purpose::Hello { sent_at } => {
-                if let Ok(ReplyBody::HelloOk { session }) = result {
-                    self.on_hello_ok(sent_at, session, ctx);
+                if let Ok(ReplyBody::HelloOk { session, .. }) = result {
+                    self.on_hello_ok(lane, sent_at, session, ctx);
                 } else {
-                    self.hello_inflight = false;
-                    self.send_hello(ctx);
+                    self.lanes[lane].hello_inflight = false;
+                    self.send_hello(lane, ctx);
                 }
             }
             Purpose::KeepAlive | Purpose::PushAckSend => {}
+            Purpose::Rename { op } => self.dispatch_rename(op, result, ctx),
+            Purpose::ListShard { op } => {
+                match result {
+                    Ok(ReplyBody::Dir { entries }) => {
+                        // The op may already have completed (another
+                        // shard's failure): the fan-out is then gone.
+                        let Some(f) = self.list_fanout.get_mut(&op) else {
+                            return;
+                        };
+                        f.entries.extend(entries.into_iter().map(|(n, _)| n));
+                        f.waiting -= 1;
+                        if f.waiting == 0 {
+                            let mut all = std::mem::take(&mut f.entries);
+                            all.sort();
+                            self.complete_op(op, Ok(FsData::Entries(all)), ctx);
+                        }
+                    }
+                    Ok(_) => self.complete_op(op, Err(FsErr::Invalid), ctx),
+                    Err(e) => {
+                        let e = map_fs_error(e);
+                        self.complete_op(op, Err(e), ctx);
+                    }
+                }
+            }
             Purpose::Resolve { op } => match result {
                 Ok(ReplyBody::Resolved { ino, attr }) => {
                     let Some(a) = self.ops.get_mut(&op) else {
@@ -2059,6 +2581,79 @@ impl<Ob> ClientNode<Ob> {
         }
     }
 
+    /// Advance a rename past its server round-trips: lookup → link at the
+    /// destination → unlink at the source. Link-before-unlink means any
+    /// failure leaves the file reachable under at least one name — the
+    /// invariant the cross-shard test checks for.
+    fn dispatch_rename(
+        &mut self,
+        op: OpId,
+        result: Result<ReplyBody, FsError>,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        let Some(flow) = self.renames.get(&op) else {
+            return; // already aborted (lane expiry, earlier failure)
+        };
+        let (src_dir, dst_dir) = (flow.src_dir, flow.dst_dir);
+        let (src_name, dst_name) = (flow.src_name.clone(), flow.dst_name.clone());
+        match (flow.stage, result) {
+            (RenameStage::AwaitLookup, Ok(ReplyBody::Resolved { ino, attr })) => {
+                if attr.is_dir {
+                    // Directory renames would need subtree ownership
+                    // reasoning; out of scope for the sharded top level.
+                    return self.complete_op(op, Err(FsErr::Invalid), ctx);
+                }
+                if let Some(flow) = self.renames.get_mut(&op) {
+                    flow.ino = Some(ino);
+                    flow.stage = RenameStage::AwaitLink;
+                }
+                let lane = self.lane_of_ino(dst_dir);
+                self.send_request(
+                    lane,
+                    RequestBody::RenameLink {
+                        dir: dst_dir,
+                        name: dst_name,
+                        ino,
+                    },
+                    Purpose::Rename { op },
+                    true,
+                    ctx,
+                );
+            }
+            (RenameStage::AwaitLink, Ok(ReplyBody::Ok)) => {
+                if let Some(flow) = self.renames.get_mut(&op) {
+                    flow.stage = RenameStage::AwaitUnlink;
+                }
+                let lane = self.lane_of_ino(src_dir);
+                self.send_request(
+                    lane,
+                    RequestBody::RenameUnlink {
+                        dir: src_dir,
+                        name: src_name,
+                    },
+                    Purpose::Rename { op },
+                    true,
+                    ctx,
+                );
+            }
+            (RenameStage::AwaitUnlink, Ok(ReplyBody::Ok)) => {
+                // Done. Fix the dentry cache: the old name is gone, the
+                // new one points at the moved ino.
+                let ino = self.renames.get(&op).and_then(|f| f.ino);
+                self.name_cache.remove(&format!("/{src_name}"));
+                if let Some(ino) = ino {
+                    self.name_cache.insert(format!("/{dst_name}"), ino);
+                }
+                self.complete_op(op, Ok(FsData::Unit), ctx);
+            }
+            (_, Ok(_)) => self.complete_op(op, Err(FsErr::Invalid), ctx),
+            (_, Err(e)) => {
+                let e = map_fs_error(e);
+                self.complete_op(op, Err(e), ctx);
+            }
+        }
+    }
+
     // --------------------------------------------------------- completion
 
     fn complete_op(&mut self, id: OpId, result: FsResult, ctx: &mut Ctx<'_, NetMsg, Ob>) {
@@ -2083,6 +2678,29 @@ impl<Ob> ClientNode<Ob> {
                 v.retain(|x| *x != id);
             }
         }
+        // Tear down rename state: un-park from both directories and hand
+        // back the directory locks we took for the transaction. An
+        // incomplete flow is an abort (counted) — thanks to
+        // link-before-unlink it never strands the file.
+        if let Some(flow) = self.renames.remove(&id) {
+            if result.is_err() {
+                if let Some(obs) = &self.obs {
+                    obs.rename_aborts.inc();
+                }
+            }
+            let mut dirs = vec![flow.src_dir, flow.dst_dir];
+            dirs.sort();
+            dirs.dedup();
+            for d in dirs {
+                if let Some(v) = self.parked.get_mut(&d) {
+                    v.retain(|x| *x != id);
+                }
+                if matches!(self.locks.get(&d), Some(LockEntry::Held(_))) {
+                    self.send_release(d, None, ctx);
+                }
+            }
+        }
+        self.list_fanout.remove(&id);
         let kind = active.op.kind();
         match &result {
             Ok(_) => self.stats.completed += 1,
@@ -2258,19 +2876,21 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
             let token = self.timers.insert(ClientTimer::ScriptOp(i));
             ctx.set_timer(*delay, token);
         }
-        self.send_hello(ctx);
+        for lane in 0..self.lanes.len() {
+            self.send_hello(lane, ctx);
+        }
     }
 
     fn on_message(
         &mut self,
-        _from: NodeId,
+        from: NodeId,
         _net: NetId,
         msg: NetMsg,
         ctx: &mut Ctx<'_, NetMsg, Ob>,
     ) {
         match msg {
             NetMsg::Ctl(CtlMsg::Response(resp)) => self.on_response(resp, ctx),
-            NetMsg::Ctl(CtlMsg::Push(push)) => self.on_push(push, ctx),
+            NetMsg::Ctl(CtlMsg::Push(push)) => self.on_push(from, push, ctx),
             NetMsg::San(san) => self.on_san_resp(san, ctx),
             NetMsg::Ctl(CtlMsg::Request(req)) => {
                 // Only servers receive requests; count the anomaly instead
@@ -2300,13 +2920,13 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
                     self.retransmit(seq, ctx);
                 }
             }
-            ClientTimer::HelloRetry => {
-                if self.session.is_none() {
-                    self.send_hello(ctx);
+            ClientTimer::HelloRetry(lane) => {
+                if self.lanes[lane].session.is_none() {
+                    self.send_hello(lane, ctx);
                 }
             }
             ClientTimer::PeriodicFlush => {
-                if self.session.is_some() {
+                if self.lanes.iter().any(|l| l.session.is_some()) {
                     for ino in self.cache.dirty_inos() {
                         // Skip files already being flushed.
                         if !self.flushes.values().any(|c| c.ino == ino) {
@@ -2341,13 +2961,16 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
         // Volatile state is gone: caches, locks, lease, session, pending
         // everything. (The workload generator and script also restart from
         // wherever they were — local processes died with the machine.)
-        self.lease = ClientLease::new(self.cfg.lease);
-        self.session = None;
-        self.serving = false;
+        for lane in self.lanes.iter_mut() {
+            lane.lease = ClientLease::new(self.cfg.lease);
+            lane.session = None;
+            lane.serving = false;
+            lane.hello_inflight = false;
+            lane.server_incarnation = None;
+            lane.seen_pushes.clear();
+        }
         self.next_seq += 1_000_000; // fresh seq space for the new life
         self.pending.clear();
-        self.hello_inflight = false;
-        self.seen_pushes.clear();
         let held: Vec<Ino> = self.locks.keys().copied().collect();
         for ino in held {
             self.bump_gen(ino);
@@ -2360,9 +2983,13 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
         self.ops.clear();
         self.pending_san.clear();
         self.flushes.clear();
+        self.renames.clear();
+        self.list_fanout.clear();
         self.gen_op_queued = false;
         self.queued_gen_op = None;
         self.next_poll_at = None;
-        self.send_hello(ctx);
+        for lane in 0..self.lanes.len() {
+            self.send_hello(lane, ctx);
+        }
     }
 }

@@ -30,6 +30,10 @@ pub struct ClientObs {
     pub retransmits: Arc<Counter>,
     /// `client.unexpected_msgs`.
     pub unexpected_msgs: Arc<Counter>,
+    /// `client.lane.expiries`.
+    pub lane_expiries: Arc<Counter>,
+    /// `client.rename.aborts`.
+    pub rename_aborts: Arc<Counter>,
     /// `client.renewal_headroom_ns`.
     pub renewal_headroom_ns: Arc<Histogram>,
 }
@@ -52,6 +56,8 @@ impl ClientObs {
             discarded_dirty: registry.counter_def(&names::CLIENT_EXPIRY_DISCARDED_DIRTY),
             retransmits: registry.counter_def(&names::CLIENT_RETRANSMITS),
             unexpected_msgs: registry.counter_def(&names::CLIENT_UNEXPECTED_MSGS),
+            lane_expiries: registry.counter_def(&names::CLIENT_LANE_EXPIRIES),
+            rename_aborts: registry.counter_def(&names::CLIENT_RENAME_ABORTS),
             renewal_headroom_ns: registry.histogram_def(&names::CLIENT_RENEWAL_HEADROOM_NS),
             registry,
         }

@@ -69,7 +69,7 @@ fn simulated_gap(eps: f64, seed: u64) -> Option<(f64, f64)> {
     cfg.policy = RecoveryPolicy::LeaseFence;
     cfg.skew_clocks = false;
     let mut cluster = Cluster::build_with_clocks(cfg, seed, &mut |role| match role {
-        tank_cluster::build::NodeRole::Server => ClockSpec {
+        tank_cluster::build::NodeRole::Server(_) => ClockSpec {
             rate: hi,
             offset_ns: 17,
         },

@@ -9,8 +9,9 @@ use tank_client::fs::Script;
 use tank_client::{ClientConfig, ClientNode, OpGen};
 use tank_consistency::{CheckOptions, Checker, Event};
 use tank_core::{legal_rate_range, LeaseConfig};
-use tank_proto::{NetMsg, NodeId};
+use tank_proto::{NetMsg, NodeId, ServerId};
 use tank_server::{DataPath, RecoveryPolicy, ServerConfig, ServerNode};
+use tank_shard::ShardMap;
 use tank_sim::world::Control;
 use tank_sim::{ClockSpec, LocalNs, NetId, NetParams, SimTime, World, WorldConfig};
 use tank_storage::{DiskConfig, DiskNode};
@@ -23,6 +24,9 @@ use crate::report::RunReport;
 pub struct ClusterConfig {
     /// Number of client nodes.
     pub clients: usize,
+    /// Number of metadata lock servers the inode namespace is sharded
+    /// across (1 = the classic single-server cluster).
+    pub shards: u16,
     /// Number of SAN disks.
     pub disks: usize,
     /// Files pre-created as `/f0 … /f{n-1}`.
@@ -74,6 +78,7 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             clients: 2,
+            shards: 1,
             disks: 2,
             files: 4,
             file_blocks: 4,
@@ -108,8 +113,8 @@ impl Default for ClusterConfig {
 pub enum NodeRole {
     /// The i-th disk.
     Disk(usize),
-    /// The metadata server.
-    Server,
+    /// The metadata server for shard `i` (0 in a single-server cluster).
+    Server(usize),
     /// The i-th client.
     Client(usize),
 }
@@ -120,14 +125,17 @@ pub struct Cluster {
     pub world: World<NetMsg, Event>,
     /// Disk node ids.
     pub disks: Vec<NodeId>,
-    /// The server node id.
+    /// The shard-0 server node id (the only server when `shards == 1`;
+    /// kept so single-server call sites read naturally).
     pub server: NodeId,
+    /// All server node ids, index-aligned with [`ServerId`].
+    pub servers: Vec<NodeId>,
     /// Client node ids, index-aligned with the config.
     pub clients: Vec<NodeId>,
     cfg: ClusterConfig,
     seed: u64,
     crashes: Vec<(NodeId, SimTime)>,
-    server_restarts: Vec<SimTime>,
+    server_restarts: Vec<(NodeId, SimTime)>,
 }
 
 impl Cluster {
@@ -140,7 +148,7 @@ impl Cluster {
         let skew = cfg.skew_clocks;
         Self::build_with_clocks(cfg, seed, &mut |role| match role {
             NodeRole::Disk(_) => ClockSpec::ideal(),
-            NodeRole::Server | NodeRole::Client(_) => {
+            NodeRole::Server(_) | NodeRole::Client(_) => {
                 if skew {
                     ClockSpec {
                         rate: clock_rng.random_range(lo..=hi),
@@ -183,23 +191,34 @@ impl Cluster {
             disks.push(world.add_node(Box::new(node), clock_of(NodeRole::Disk(i))));
         }
 
-        let mut scfg = ServerConfig::default();
-        scfg.lease = cfg.lease;
-        scfg.policy = cfg.policy;
-        scfg.data_path = cfg.data_path;
-        scfg.nack_suspect = cfg.nack_suspect;
-        scfg.recovery_grace = cfg.recovery_grace;
-        scfg.disks = disks.clone();
-        let mut server_node: ServerNode<Event> =
-            ServerNode::new(scfg, cfg.total_blocks, cfg.block_size, Box::new(map_server));
-        if let Some(reg) = &cfg.obs {
-            server_node.set_obs(reg.clone());
+        assert!(cfg.shards >= 1, "a cluster needs at least one shard");
+        let map = ShardMap::new(cfg.shards);
+        let mut servers = Vec::new();
+        for sid in map.servers() {
+            let mut scfg = ServerConfig::default();
+            scfg.lease = cfg.lease;
+            scfg.policy = cfg.policy;
+            scfg.data_path = cfg.data_path;
+            scfg.nack_suspect = cfg.nack_suspect;
+            scfg.recovery_grace = cfg.recovery_grace;
+            scfg.disks = disks.clone();
+            scfg.sid = sid;
+            scfg.map = map;
+            let mut server_node: ServerNode<Event> =
+                ServerNode::new(scfg, cfg.total_blocks, cfg.block_size, Box::new(map_server));
+            if let Some(reg) = &cfg.obs {
+                server_node.set_obs(reg.clone());
+            }
+            servers.push(world.add_node(
+                Box::new(server_node),
+                clock_of(NodeRole::Server(sid.0 as usize)),
+            ));
         }
-        let server = world.add_node(Box::new(server_node), clock_of(NodeRole::Server));
+        let server = servers[0];
 
         let mut clients = Vec::new();
         for i in 0..cfg.clients {
-            let mut ccfg = ClientConfig::new(server, disks.clone());
+            let mut ccfg = ClientConfig::sharded(servers.clone(), disks.clone());
             ccfg.lease = cfg.lease;
             ccfg.block_size = cfg.block_size;
             ccfg.lease_enabled = cfg.client_lease_enabled;
@@ -214,20 +233,22 @@ impl Cluster {
             clients.push(world.add_node(Box::new(node), clock_of(NodeRole::Client(i))));
         }
 
-        // Pre-create the shared files.
-        {
+        // Pre-create the shared files, each on the shard the map places
+        // its top-level name on (every shard with one server).
+        for i in 0..cfg.files {
+            let name = format!("f{i}");
+            let owner = servers[map.place_top(&name).0 as usize];
             let srv = world
-                .node_mut::<ServerNode<Event>>(server)
+                .node_mut::<ServerNode<Event>>(owner)
                 .expect("server downcast");
-            for i in 0..cfg.files {
-                srv.precreate_file(&format!("f{i}"), cfg.file_blocks);
-            }
+            srv.precreate_file(&name, cfg.file_blocks);
         }
 
         Cluster {
             world,
             disks,
             server,
+            servers,
             clients,
             cfg,
             seed,
@@ -272,12 +293,27 @@ impl Cluster {
             .set_script(script);
     }
 
-    /// Sever client `idx` from the server on the **control network only**
-    /// (both directions) at `at`, healing at `heal` if given — Figure 2's
-    /// scenario: the SAN stays reachable.
+    /// Sever client `idx` from every metadata server on the **control
+    /// network only** (both directions) at `at`, healing at `heal` if
+    /// given — Figure 2's scenario: the SAN stays reachable.
     pub fn isolate_control(&mut self, idx: usize, at: SimTime, heal: Option<SimTime>) {
+        for sid in 0..self.servers.len() {
+            self.isolate_control_shard(idx, ServerId(sid as u16), at, heal);
+        }
+    }
+
+    /// Sever client `idx` from the lock server of one shard only (both
+    /// directions on the control network). The client's other per-server
+    /// leases stay healthy: only `sid`-owned inodes should quiesce.
+    pub fn isolate_control_shard(
+        &mut self,
+        idx: usize,
+        sid: ServerId,
+        at: SimTime,
+        heal: Option<SimTime>,
+    ) {
         let c = self.clients[idx];
-        let s = self.server;
+        let s = self.servers[sid.0 as usize];
         self.world.schedule_control(
             at,
             Control::BlockPair {
@@ -324,28 +360,29 @@ impl Cluster {
         }
     }
 
-    /// Block only the direction client→server (asymmetric partition: the
-    /// client hears the server but cannot reach it).
+    /// Block only the direction client→servers (asymmetric partition: the
+    /// client hears the servers but cannot reach them).
     pub fn isolate_control_outbound(&mut self, idx: usize, at: SimTime, heal: Option<SimTime>) {
         let c = self.clients[idx];
-        let s = self.server;
-        self.world.schedule_control(
-            at,
-            Control::BlockDirected {
-                net: NetId::CONTROL,
-                src: c,
-                dst: s,
-            },
-        );
-        if let Some(h) = heal {
+        for &s in &self.servers {
             self.world.schedule_control(
-                h,
-                Control::UnblockDirected {
+                at,
+                Control::BlockDirected {
                     net: NetId::CONTROL,
                     src: c,
                     dst: s,
                 },
             );
+            if let Some(h) = heal {
+                self.world.schedule_control(
+                    h,
+                    Control::UnblockDirected {
+                        net: NetId::CONTROL,
+                        src: c,
+                        dst: s,
+                    },
+                );
+            }
         }
     }
 
@@ -372,12 +409,20 @@ impl Cluster {
     /// Sessions, locks, and lease state are volatile and lost; metadata
     /// and fence state survive on the shared disks. The restart instant
     /// is recorded so the checker can police the recovery grace window.
+    /// In a sharded cluster this is shard 0; see [`Cluster::crash_shard`].
     pub fn crash_server(&mut self, at: SimTime, restart: SimTime) {
-        let s = self.server;
+        self.crash_shard(ServerId(0), at, restart);
+    }
+
+    /// Fail-stop the lock server of one shard at `at`, restarting it at
+    /// `restart`. Only that shard's locks and sessions are lost; the
+    /// other shards keep granting throughout.
+    pub fn crash_shard(&mut self, sid: ServerId, at: SimTime, restart: SimTime) {
+        let s = self.servers[sid.0 as usize];
         self.world.schedule_control(at, Control::Crash { node: s });
         self.world
             .schedule_control(restart, Control::Restart { node: s });
-        self.server_restarts.push(restart);
+        self.server_restarts.push((s, restart));
     }
 
     /// Fail-stop client `idx` at `at`, optionally restarting it.
@@ -425,6 +470,7 @@ impl Cluster {
             recovery_grace_ns,
             end: self.world.now(),
             grace_ns,
+            shard_servers: self.servers.clone(),
         });
         let check = checker.run(&observations);
         RunReport::assemble(self, check)
@@ -437,10 +483,15 @@ impl Cluster {
             .expect("client downcast")
     }
 
-    /// The server node (downcast).
+    /// The server node (downcast). Shard 0 in a sharded cluster.
     pub fn server_node(&self) -> &ServerNode<Event> {
+        self.server_node_of(ServerId(0))
+    }
+
+    /// The lock server governing one shard (downcast).
+    pub fn server_node_of(&self, sid: ServerId) -> &ServerNode<Event> {
         self.world
-            .node_ref::<ServerNode<Event>>(self.server)
+            .node_ref::<ServerNode<Event>>(self.servers[sid.0 as usize])
             .expect("server downcast")
     }
 

@@ -4,6 +4,7 @@ use serde::Serialize;
 use tank_client::ClientStats;
 use tank_consistency::CheckReport;
 use tank_core::AuthorityStats;
+use tank_proto::ServerId;
 use tank_server::ServerStats;
 use tank_sim::{NetId, SimTime};
 
@@ -76,15 +77,43 @@ impl RunReport {
             demands: stats.sent_kind("demand", NetId::CONTROL),
             per_kind_ctl,
         };
-        let server = cluster.server_node();
+        // Sum counters across every shard's lock server (one server in
+        // the classic cluster).
+        let mut server = ServerStats::default();
+        let mut authority = tank_core::AuthorityStats::default();
+        let mut authority_memory_bytes = 0;
+        let mut meta_transactions = 0;
+        for sid in 0..cluster.servers.len() {
+            let node = cluster.server_node_of(ServerId(sid as u16));
+            let s = node.stats();
+            server.requests += s.requests;
+            server.nacks += s.nacks;
+            server.pushes_sent += s.pushes_sent;
+            server.delivery_errors += s.delivery_errors;
+            server.steals += s.steals;
+            server.locks_stolen += s.locks_stolen;
+            server.fences_completed += s.fences_completed;
+            server.replays += s.replays;
+            server.recoveries += s.recoveries;
+            server.recovery_nacks += s.recovery_nacks;
+            let a = node.authority().stats();
+            authority.empty_checks += a.empty_checks;
+            authority.tracked_checks += a.tracked_checks;
+            authority.timers_started += a.timers_started;
+            authority.expirations += a.expirations;
+            authority.nacks += a.nacks;
+            authority.peak_tracked = authority.peak_tracked.max(a.peak_tracked);
+            authority_memory_bytes += node.authority().memory_bytes();
+            meta_transactions += node.meta().transactions();
+        }
         RunReport {
             seed: cluster.seed(),
             end: cluster.world.now(),
             msg,
-            server: server.stats(),
-            authority: server.authority().stats(),
-            authority_memory_bytes: server.authority().memory_bytes(),
-            meta_transactions: server.meta().transactions(),
+            server,
+            authority,
+            authority_memory_bytes,
+            meta_transactions,
             clients: (0..cluster.clients.len())
                 .map(|i| cluster.client(i).stats())
                 .collect(),

@@ -23,20 +23,30 @@ pub struct CheckOptions {
     /// not come around yet) and is not counted as lost. Harnesses set
     /// this to a couple of flush intervals; zero means strict.
     pub grace_ns: u64,
-    /// Fail-stop *restart* instants of the metadata server. Unlike client
-    /// crashes these excuse nothing — the whole point of the recovery
-    /// protocol is that server loss of volatile lock/lease state must not
-    /// lose acknowledged data. Together with
+    /// Fail-stop *restart* instants of metadata servers, per server node.
+    /// Unlike client crashes these excuse nothing — the whole point of the
+    /// recovery protocol is that server loss of volatile lock/lease state
+    /// must not lose acknowledged data. Together with
     /// [`recovery_grace_ns`](Self::recovery_grace_ns) they let the
     /// checker flag grants issued
     /// before a restarted server could know they are safe, even in runs
     /// where the grace window was disabled and no recovery events exist.
-    pub server_restarts: Vec<SimTime>,
+    /// Each restart constrains only the server that took it: in a sharded
+    /// cluster the other lock servers grant on, which is the isolation
+    /// the sharding layer promises.
+    pub server_restarts: Vec<(NodeId, SimTime)>,
     /// The minimum safe post-restart grant blackout, `τ(1+ε)`: every
     /// lease outstanding at the crash has provably expired after this
     /// long. Zero disables the restart-proximity check (the event-driven
     /// grants-during-recovery check still runs).
     pub recovery_grace_ns: u64,
+    /// Shard topology: the lock-server node embodying each `ServerId`
+    /// (index = id). Empty = unsharded; when set, the checker audits that
+    /// every grant/steal/release a server emits is for an inode the
+    /// rendezvous shard map assigns to *that* server — a grant from the
+    /// wrong server is cross-shard interference, the failure mode that
+    /// would let two authorities hand out conflicting locks.
+    pub shard_servers: Vec<NodeId>,
 }
 
 /// A write acknowledged to a local process that never reached shared
@@ -106,6 +116,25 @@ pub struct EarlyGrant {
     pub restart_at: SimTime,
 }
 
+/// A lock event emitted by a server the shard map says does not govern
+/// the inode. Two servers acting on one inode means two authorities can
+/// hand out conflicting locks — per-server Theorem 3.1 is void.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CrossShardInterference {
+    /// The server that acted out of its shard.
+    pub server: NodeId,
+    /// The server the shard map assigns the inode to.
+    pub owner: NodeId,
+    /// The client involved.
+    pub client: NodeId,
+    /// The inode acted on.
+    pub ino: Ino,
+    /// What the server did (`"grant"`, `"steal"`, `"release"`).
+    pub what: &'static str,
+    /// When.
+    pub at: SimTime,
+}
+
 /// A window during which a client's lock request sat blocked.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct UnavailWindow {
@@ -130,6 +159,8 @@ pub struct CheckReport {
     pub write_order_violations: Vec<WriteOrderViolation>,
     /// Grants a restarted server issued before its recovery window closed.
     pub early_grants: Vec<EarlyGrant>,
+    /// Lock events from servers outside their shard.
+    pub cross_shard: Vec<CrossShardInterference>,
     /// Server recovery windows observed in the event stream.
     pub server_recoveries: u64,
     /// Lock-wait windows.
@@ -159,6 +190,7 @@ impl CheckReport {
             && self.stale_reads.is_empty()
             && self.write_order_violations.is_empty()
             && self.early_grants.is_empty()
+            && self.cross_shard.is_empty()
     }
 }
 
@@ -171,6 +203,35 @@ impl Checker {
     /// Checker with options.
     pub fn new(opts: CheckOptions) -> Self {
         Checker { opts }
+    }
+
+    /// If a shard topology was declared, verify the server that emitted a
+    /// lock event is the one the rendezvous map assigns the inode to.
+    fn audit_shard(
+        &self,
+        report: &mut CheckReport,
+        server: NodeId,
+        client: NodeId,
+        ino: Ino,
+        what: &'static str,
+        at: SimTime,
+    ) {
+        let servers = &self.opts.shard_servers;
+        if servers.is_empty() || !servers.contains(&server) {
+            return;
+        }
+        let map = tank_shard::ShardMap::new(servers.len() as u16);
+        let owner = servers[map.owner_of(ino).0 as usize];
+        if owner != server {
+            report.cross_shard.push(CrossShardInterference {
+                server,
+                owner,
+                client,
+                ino,
+                what,
+                at,
+            });
+        }
     }
 
     /// Audit a run.
@@ -189,8 +250,9 @@ impl Checker {
         let mut newest_per_block: HashMap<BlockId, WriteTag> = HashMap::new();
         // Open lock-wait windows.
         let mut open_waits: HashMap<(NodeId, Ino), SimTime> = HashMap::new();
-        // Server recovery window currently open (restart instant).
-        let mut recovering_since: Option<SimTime> = None;
+        // Server recovery windows currently open, per server node
+        // (restart instant). Sharded clusters recover independently.
+        let mut recovering_since: HashMap<NodeId, SimTime> = HashMap::new();
 
         for (t, node, ev) in events {
             match ev {
@@ -273,16 +335,19 @@ impl Checker {
                             until: Some(*t),
                         });
                     }
-                    // A grant inside an announced recovery window, or
-                    // closer to a known restart than τ(1+ε), is unsafe.
-                    let restart_at = recovering_since.or_else(|| {
+                    // A grant inside the granting server's announced
+                    // recovery window, or closer to one of *its* known
+                    // restarts than τ(1+ε), is unsafe. Restarts of other
+                    // shards do not blacklist this server's grants.
+                    let restart_at = recovering_since.get(node).copied().or_else(|| {
                         if self.opts.recovery_grace_ns == 0 {
                             return None;
                         }
                         self.opts
                             .server_restarts
                             .iter()
-                            .copied()
+                            .filter(|(srv, _)| srv == node)
+                            .map(|(_, r)| *r)
                             .filter(|r| r.0 <= t.0 && t.0 < r.0 + self.opts.recovery_grace_ns)
                             .max()
                     });
@@ -294,13 +359,17 @@ impl Checker {
                             restart_at,
                         });
                     }
+                    self.audit_shard(&mut report, *node, *client, *ino, "grant", *t);
+                }
+                Event::LockStolen { client, ino, .. } => {
+                    self.audit_shard(&mut report, *node, *client, *ino, "steal", *t);
                 }
                 Event::ServerRecovering => {
                     report.server_recoveries += 1;
-                    recovering_since = Some(*t);
+                    recovering_since.insert(*node, *t);
                 }
                 Event::ServerRecovered => {
-                    recovering_since = None;
+                    recovering_since.remove(node);
                 }
                 _ => {}
             }

@@ -25,6 +25,7 @@ const PROTO_ENUMS: &[&str] = &[
     "ReplyBody",
     "ResponseOutcome",
     "NackReason",
+    "RouteError",
     "PushBody",
     "SanMsg",
     "FenceOp",

@@ -9,8 +9,11 @@ use tank_proto::BlockId;
 /// Bitmap allocator over a fixed pool of blocks.
 #[derive(Debug, Clone)]
 pub struct BlockAllocator {
-    /// One bit per block; set = allocated.
+    /// One bit per block; set = allocated. Bit `i` covers block `base + i`.
     words: Vec<u64>,
+    /// First block address in the pool (a metadata shard allocates only
+    /// from its private slice of the shared device).
+    base: u64,
     total: u64,
     allocated: u64,
     /// Next word to try, advanced on successful allocation (first-fit with
@@ -21,9 +24,17 @@ pub struct BlockAllocator {
 impl BlockAllocator {
     /// Allocator over blocks `0..total`.
     pub fn new(total: u64) -> Self {
+        BlockAllocator::with_base(0, total)
+    }
+
+    /// Allocator over blocks `base..base + total` — the pool a shard owns
+    /// on a device shared with other shards. The bitmap stays compact:
+    /// one bit per *owned* block, not per device block.
+    pub fn with_base(base: u64, total: u64) -> Self {
         let words = vec![0u64; total.div_ceil(64) as usize];
         BlockAllocator {
             words,
+            base,
             total,
             allocated: 0,
             cursor: 0,
@@ -68,7 +79,7 @@ impl BlockAllocator {
                     }
                     self.words[w] |= 1 << bit;
                     free_bits &= free_bits - 1;
-                    out.push(BlockId(blk));
+                    out.push(BlockId(self.base + blk));
                 }
             }
             w = (w + 1) % nwords;
@@ -86,9 +97,13 @@ impl BlockAllocator {
     /// Free one block. Panics on double-free (a server bug, not an input
     /// error).
     pub fn dealloc(&mut self, block: BlockId) {
-        assert!(block.0 < self.total, "free of out-of-range {block}");
-        let w = (block.0 / 64) as usize;
-        let bit = block.0 % 64;
+        assert!(
+            block.0 >= self.base && block.0 - self.base < self.total,
+            "free of out-of-range {block}"
+        );
+        let off = block.0 - self.base;
+        let w = (off / 64) as usize;
+        let bit = off % 64;
         assert!(self.words[w] & (1 << bit) != 0, "double free of {block}");
         self.words[w] &= !(1 << bit);
         self.allocated -= 1;
@@ -96,10 +111,11 @@ impl BlockAllocator {
 
     /// Whether a block is currently allocated.
     pub fn is_allocated(&self, block: BlockId) -> bool {
-        if block.0 >= self.total {
+        if block.0 < self.base || block.0 - self.base >= self.total {
             return false;
         }
-        self.words[(block.0 / 64) as usize] & (1 << (block.0 % 64)) != 0
+        let off = block.0 - self.base;
+        self.words[(off / 64) as usize] & (1 << (off % 64)) != 0
     }
 }
 
@@ -168,6 +184,19 @@ mod tests {
         a.dealloc(b);
         assert!(!a.is_allocated(b));
         assert!(!a.is_allocated(BlockId(999)));
+    }
+
+    #[test]
+    fn based_pool_hands_out_only_its_slice() {
+        let mut a = BlockAllocator::with_base(256, 64);
+        let got = a.alloc(64).unwrap();
+        assert!(got.iter().all(|b| (256..320).contains(&b.0)));
+        assert!(a.alloc(1).is_none());
+        assert!(a.is_allocated(BlockId(256)));
+        assert!(!a.is_allocated(BlockId(0)), "below the slice");
+        assert!(!a.is_allocated(BlockId(320)), "above the slice");
+        a.dealloc(BlockId(256));
+        assert!(!a.is_allocated(BlockId(256)));
     }
 
     #[test]

@@ -56,10 +56,32 @@ impl InodeTable {
 
     /// Allocate a fresh inode.
     pub fn create(&mut self, is_dir: bool) -> Ino {
-        let ino = Ino(self.next);
-        self.next += 1;
-        self.map.insert(ino, Inode::new(ino, is_dir));
-        ino
+        self.create_where(is_dir, |_| true)
+    }
+
+    /// Allocate a fresh inode whose number satisfies `owned` — the hook a
+    /// metadata shard uses so every inode it mints is one it governs
+    /// (other numbers belong to other shards). Scans forward from the
+    /// cursor; with rendezvous placement the expected scan length is the
+    /// shard count.
+    pub fn create_where(&mut self, is_dir: bool, owned: impl Fn(Ino) -> bool) -> Ino {
+        loop {
+            let ino = Ino(self.next);
+            self.next += 1;
+            if owned(ino) {
+                self.map.insert(ino, Inode::new(ino, is_dir));
+                return ino;
+            }
+        }
+    }
+
+    /// Install an inode at an explicit number (shard namespace roots live
+    /// at reserved numbers fixed by the shard map). Panics if the number
+    /// is taken; advances the cursor past it.
+    pub fn create_at(&mut self, ino: Ino, is_dir: bool) {
+        let prev = self.map.insert(ino, Inode::new(ino, is_dir));
+        assert!(prev.is_none(), "inode {ino} created twice");
+        self.next = self.next.max(ino.0 + 1);
     }
 
     /// Look up an inode.
@@ -115,6 +137,25 @@ mod tests {
         let v0 = t.get(a).unwrap().version;
         t.get_mut(a).unwrap().size = 100;
         assert!(t.get(a).unwrap().version > v0);
+    }
+
+    #[test]
+    fn create_where_skips_foreign_numbers() {
+        let mut t = InodeTable::new();
+        // Pretend this shard owns only even inos.
+        let a = t.create_where(false, |i| i.0 % 2 == 0);
+        let b = t.create_where(false, |i| i.0 % 2 == 0);
+        assert_eq!(a, Ino(2));
+        assert_eq!(b, Ino(4));
+    }
+
+    #[test]
+    fn create_at_reserves_and_advances_cursor() {
+        let mut t = InodeTable::new();
+        t.create_at(Ino(3), true);
+        assert!(t.get(Ino(3)).unwrap().is_dir);
+        let next = t.create(false);
+        assert_eq!(next, Ino(4), "cursor moved past the reserved number");
     }
 
     #[test]

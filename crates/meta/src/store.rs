@@ -1,7 +1,8 @@
 //! The metadata store façade used by the server actor.
 
 use tank_proto::message::FileAttr;
-use tank_proto::{BlockId, Ino};
+use tank_proto::{BlockId, Ino, ServerId};
+use tank_shard::ShardMap;
 
 use crate::alloc::BlockAllocator;
 use crate::inode::InodeTable;
@@ -40,6 +41,10 @@ pub struct MetaStore {
     ns: Namespace,
     alloc: BlockAllocator,
     block_size: usize,
+    /// Shard layout and this store's slot in it. A single-server store is
+    /// the degenerate one-shard map, so every store is "sharded".
+    map: ShardMap,
+    sid: ServerId,
     /// Count of executed metadata transactions (experiment E9).
     transactions: u64,
 }
@@ -47,13 +52,29 @@ pub struct MetaStore {
 impl MetaStore {
     /// Fresh store over a pool of `total_blocks` shared blocks.
     pub fn new(total_blocks: u64, block_size: usize) -> Self {
+        MetaStore::new_sharded(ShardMap::single(), ServerId(0), total_blocks, block_size)
+    }
+
+    /// Fresh store for shard `sid` of `map`, over a SAN device of
+    /// `total_blocks` blocks shared by all shards. The store owns the
+    /// namespace root `map.root_of(sid)`, mints only inode numbers the
+    /// map assigns to `sid`, and allocates only from its private block
+    /// slice of the device.
+    pub fn new_sharded(map: ShardMap, sid: ServerId, total_blocks: u64, block_size: usize) -> Self {
         let mut inodes = InodeTable::new();
-        let root = inodes.create(true);
+        let root = map.root_of(sid);
+        inodes.create_at(root, true);
+        // `block_range` answers `ALL` for a one-shard map; the pool is
+        // still bounded by the device.
+        let range = map.block_range(sid, total_blocks);
+        let (base, count) = (range.start, range.end.min(total_blocks) - range.start);
         MetaStore {
             ns: Namespace::new(root),
             inodes,
-            alloc: BlockAllocator::new(total_blocks),
+            alloc: BlockAllocator::with_base(base, count),
             block_size,
+            map,
+            sid,
             transactions: 0,
         }
     }
@@ -73,6 +94,14 @@ impl MetaStore {
         self.transactions
     }
 
+    /// Mint an inode number this shard governs (never a reserved root,
+    /// never a number the map assigns to a different shard).
+    fn mint(&mut self, is_dir: bool) -> Ino {
+        let (map, sid) = (self.map, self.sid);
+        self.inodes
+            .create_where(is_dir, |i| !map.is_root(i) && map.owner_of(i) == sid)
+    }
+
     /// Create a file under `parent`.
     pub fn create(&mut self, parent: Ino, name: &str, now: u64) -> Result<Ino, MetaError> {
         self.transactions += 1;
@@ -82,7 +111,7 @@ impl MetaStore {
         if self.ns.lookup(parent, name).is_ok() {
             return Err(MetaError::Exists);
         }
-        let ino = self.inodes.create(false);
+        let ino = self.mint(false);
         self.inodes.get_mut(ino).unwrap().mtime = now;
         self.ns.link(parent, name, ino, false)?;
         Ok(ino)
@@ -97,7 +126,7 @@ impl MetaStore {
         if self.ns.lookup(parent, name).is_ok() {
             return Err(MetaError::Exists);
         }
-        let ino = self.inodes.create(true);
+        let ino = self.mint(true);
         self.inodes.get_mut(ino).unwrap().mtime = now;
         self.ns.link(parent, name, ino, true)?;
         Ok(ino)
@@ -107,7 +136,46 @@ impl MetaStore {
     pub fn lookup(&mut self, parent: Ino, name: &str) -> Result<(Ino, FileAttr), MetaError> {
         self.transactions += 1;
         let ino = self.ns.lookup(parent, name)?;
-        Ok((ino, self.attr_of(ino)?))
+        match self.attr_of(ino) {
+            Ok(attr) => Ok((ino, attr)),
+            // A cross-shard rename links a dentry on this shard to an
+            // inode governed by its original shard. Serve the resolution
+            // with a synthesized attr; the authoritative attributes come
+            // from the owner shard via `GetAttr` on the returned ino.
+            Err(MetaError::NotFound) => Ok((
+                ino,
+                FileAttr {
+                    size: 0,
+                    mtime: 0,
+                    version: 0,
+                    is_dir: false,
+                },
+            )),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Destination half of a rename: link `name → ino` into `dir`. Only
+    /// the dentry is created — the inode may be governed by another shard
+    /// and is not touched.
+    pub fn rename_link(&mut self, dir: Ino, name: &str, ino: Ino) -> Result<(), MetaError> {
+        self.transactions += 1;
+        if !self.ns.is_dir(dir) {
+            return Err(MetaError::Invalid);
+        }
+        if self.ns.lookup(dir, name).is_ok() {
+            return Err(MetaError::Exists);
+        }
+        self.ns.link(dir, name, ino, false)?;
+        Ok(())
+    }
+
+    /// Source half of a rename: remove the dentry `name` from `dir`
+    /// without freeing the inode or its blocks — the file now lives under
+    /// its new name, possibly on another shard.
+    pub fn rename_unlink(&mut self, dir: Ino, name: &str) -> Result<Ino, MetaError> {
+        self.transactions += 1;
+        Ok(self.ns.unlink(dir, name)?)
     }
 
     /// Attributes of an inode.
@@ -298,6 +366,62 @@ mod tests {
         s.getattr(f).unwrap();
         s.readdir(s.root()).unwrap();
         assert_eq!(s.transactions(), before + 3);
+    }
+
+    #[test]
+    fn sharded_store_mints_only_owned_inos() {
+        let map = ShardMap::new(4);
+        let sid = ServerId(2);
+        let mut s = MetaStore::new_sharded(map, sid, 4096, 4096);
+        assert_eq!(s.root(), map.root_of(sid));
+        for i in 0..20 {
+            let f = s.create(s.root(), &format!("f{i}"), 0).unwrap();
+            assert_eq!(map.owner_of(f), sid, "minted foreign ino {f}");
+            assert!(!map.is_root(f));
+        }
+    }
+
+    #[test]
+    fn sharded_store_allocates_only_its_block_slice() {
+        let map = ShardMap::new(4);
+        let sid = ServerId(1);
+        let mut s = MetaStore::new_sharded(map, sid, 4096, 4096);
+        let range = map.block_range(sid, 4096);
+        let f = s.create(s.root(), "f", 0).unwrap();
+        let blocks = s.alloc_blocks(f, 16).unwrap();
+        assert!(blocks.iter().all(|b| range.contains(*b)));
+        assert_eq!(s.free_blocks(), (range.end - range.start) - 16);
+    }
+
+    #[test]
+    fn rename_halves_move_a_dentry_without_touching_blocks() {
+        let mut s = store();
+        let f = s.create(s.root(), "old", 0).unwrap();
+        s.alloc_blocks(f, 2).unwrap();
+        let free_before = s.free_blocks();
+        s.rename_link(s.root(), "new", f).unwrap();
+        assert_eq!(s.rename_unlink(s.root(), "old").unwrap(), f);
+        assert_eq!(s.free_blocks(), free_before, "rename frees nothing");
+        assert_eq!(s.lookup(s.root(), "new").unwrap().0, f);
+        assert_eq!(s.lookup(s.root(), "old"), Err(MetaError::NotFound));
+        assert_eq!(
+            s.rename_link(s.root(), "new", f),
+            Err(MetaError::Exists),
+            "destination name collision is rejected"
+        );
+    }
+
+    #[test]
+    fn foreign_dentry_resolves_with_synthesized_attr() {
+        // A dentry pointing at an inode this shard does not hold (the
+        // cross-shard rename destination case).
+        let mut s = store();
+        s.rename_link(s.root(), "ghost", Ino(555)).unwrap();
+        let (ino, attr) = s.lookup(s.root(), "ghost").unwrap();
+        assert_eq!(ino, Ino(555));
+        assert_eq!(attr.version, 0, "synthesized, not authoritative");
+        // The dentry can be renamed away again without freeing anything.
+        assert_eq!(s.rename_unlink(s.root(), "ghost").unwrap(), Ino(555));
     }
 
     #[test]

@@ -418,8 +418,8 @@ impl TankClient {
 
     fn hello(&self) -> Result<()> {
         let sent_at = mono_now();
-        match self.attempt(RequestBody::Hello)? {
-            ReplyBody::HelloOk { session } => {
+        match self.attempt(RequestBody::Hello { map_epoch: 0 })? {
+            ReplyBody::HelloOk { session, .. } => {
                 let mut st = locked(&self.state);
                 st.session = Some(session);
                 st.lease.reset_session(sent_at, mono_now());

@@ -342,6 +342,8 @@ impl LeaseServer {
                 | RequestBody::Create { .. }
                 | RequestBody::Mkdir { .. }
                 | RequestBody::Unlink { .. }
+                | RequestBody::RenameLink { .. }
+                | RequestBody::RenameUnlink { .. }
                 | RequestBody::SetAttr { .. }
                 | RequestBody::AllocBlocks { .. }
                 | RequestBody::CommitWrite { .. }
@@ -493,7 +495,7 @@ impl LeaseServer {
                 );
             }
             ClientStanding::Expired => {
-                if !matches!(req.body, RequestBody::Hello) {
+                if !matches!(req.body, RequestBody::Hello { .. }) {
                     return self.respond(
                         addr,
                         client,
@@ -504,7 +506,7 @@ impl LeaseServer {
                 }
             }
         }
-        if matches!(req.body, RequestBody::Hello) {
+        if matches!(req.body, RequestBody::Hello { .. }) {
             // Hello sits outside the session dedup window; duplicates
             // are suppressed by (client, seq) so a replayed datagram
             // cannot mint a second session and orphan the first.
@@ -523,7 +525,10 @@ impl LeaseServer {
                 session,
                 seq: req.seq,
                 incarnation: self.incarnation,
-                outcome: ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session })),
+                outcome: ResponseOutcome::Acked(Ok(ReplyBody::HelloOk {
+                    session,
+                    map_epoch: 0,
+                })),
             };
             self.sessions.record_hello(client, req.seq, resp.clone());
             self.send(addr, &NetMsg::Ctl(CtlMsg::Response(resp)));
@@ -556,7 +561,7 @@ impl LeaseServer {
         let session = req.session;
         let seq = req.seq;
         let result: Result<ReplyBody, FsError> = match req.body {
-            RequestBody::Hello => unreachable!(),
+            RequestBody::Hello { .. } => unreachable!(),
             RequestBody::KeepAlive => Ok(ReplyBody::Ok),
             RequestBody::Create { parent, name } => {
                 Self::map_meta(self.meta.create(parent, &name, now))
@@ -570,6 +575,12 @@ impl LeaseServer {
                 .map(|(ino, attr)| ReplyBody::Resolved { ino, attr }),
             RequestBody::ReadDir { dir } => {
                 Self::map_meta(self.meta.readdir(dir)).map(|entries| ReplyBody::Dir { entries })
+            }
+            RequestBody::RenameLink { dir, name, ino } => {
+                Self::map_meta(self.meta.rename_link(dir, &name, ino)).map(|_| ReplyBody::Ok)
+            }
+            RequestBody::RenameUnlink { dir, name } => {
+                Self::map_meta(self.meta.rename_unlink(dir, &name)).map(|_| ReplyBody::Ok)
             }
             RequestBody::Unlink { parent, name } => match self.meta.lookup(parent, &name) {
                 Ok((ino, _)) if self.locks.is_contended(ino) => Err(FsError::Unavailable),

@@ -123,6 +123,18 @@ pub const CLIENT_UNEXPECTED_MSGS: MetricDef = counter(
     "client.unexpected_msgs",
     "messages the client could not interpret",
 );
+/// Per-server lease lanes that expired locally (one shard's cache
+/// condemned while the other lanes kept serving).
+pub const CLIENT_LANE_EXPIRIES: MetricDef = counter(
+    "client.lane.expiries",
+    "per-server lease lanes that expired locally",
+);
+/// Cross-shard renames abandoned before completion (a shard's lane
+/// quiesced or a lock acquire failed mid-rename).
+pub const CLIENT_RENAME_ABORTS: MetricDef = counter(
+    "client.rename.aborts",
+    "cross-shard renames abandoned before completion",
+);
 /// Lease headroom remaining at each successful renewal: old expiry minus
 /// ACK arrival, in client-local ns. Negative headroom is impossible — a
 /// renewal past expiry is rejected by the lease machine.
@@ -167,6 +179,10 @@ pub const SERVER_NACK_STALE_SESSION: MetricDef = counter(
 /// NACKs by reason: the server was replaying its log after restart.
 pub const SERVER_NACK_RECOVERING: MetricDef =
     counter("server.nack.recovering", "NACKs with reason Recovering");
+/// NACKs by reason: the request's governing inode belongs to another
+/// shard, or the client's shard map epoch was stale.
+pub const SERVER_NACK_MISROUTED: MetricDef =
+    counter("server.nack.misrouted", "NACKs with reason Misrouted");
 /// Message delivery errors reported by the transport.
 pub const SERVER_DELIVERY_ERRORS: MetricDef =
     counter("server.delivery_errors", "transport delivery errors");
@@ -288,6 +304,8 @@ pub const ALL: &[MetricDef] = &[
     CLIENT_EXPIRY_DISCARDED_DIRTY,
     CLIENT_RETRANSMITS,
     CLIENT_UNEXPECTED_MSGS,
+    CLIENT_LANE_EXPIRIES,
+    CLIENT_RENAME_ABORTS,
     CLIENT_RENEWAL_HEADROOM_NS,
     // server
     SERVER_LOCK_GRANTED,
@@ -299,6 +317,7 @@ pub const ALL: &[MetricDef] = &[
     SERVER_NACK_SESSION_EXPIRED,
     SERVER_NACK_STALE_SESSION,
     SERVER_NACK_RECOVERING,
+    SERVER_NACK_MISROUTED,
     SERVER_DELIVERY_ERRORS,
     SERVER_CONDEMN_ARMED,
     SERVER_CONDEMN_FIRED,

@@ -66,6 +66,25 @@ impl ReqSeq {
     }
 }
 
+/// Identifies one metadata shard server in a multi-server cluster.
+///
+/// The paper's client "maintains a single lease *per server*" (§3); a
+/// `ServerId` names the server a given lease, session, and lock grant
+/// belong to. Shard ids are dense (`0..n`) so topologies can index by
+/// them; the shard map (`tank-shard`) translates between `ServerId` and
+/// the owned slice of the inode namespace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ServerId(pub u16);
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
 /// A client⟷server session incarnation.
 ///
 /// After a lease expires and the server steals a client's locks, the client
@@ -199,6 +218,7 @@ mod tests {
         assert_eq!(NodeId(4).to_string(), "n4");
         assert_eq!(Ino(7).to_string(), "ino7");
         assert_eq!(BlockId(1).to_string(), "blk1");
+        assert_eq!(ServerId(2).to_string(), "s2");
     }
 
     #[test]

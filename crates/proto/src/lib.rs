@@ -29,13 +29,14 @@ pub mod seqwin;
 pub mod wire;
 
 pub use ids::{
-    BlockId, Epoch, FileHandle, Incarnation, Ino, NodeId, OpId, ReqSeq, SessionId, WriteTag,
+    BlockId, Epoch, FileHandle, Incarnation, Ino, NodeId, OpId, ReqSeq, ServerId, SessionId,
+    WriteTag,
 };
 pub use lock::LockMode;
 pub use message::{
-    CtlMsg, NackReason, PushBody, ReplyBody, Request, RequestBody, Response, ServerPush,
+    CtlMsg, NackReason, PushBody, ReplyBody, Request, RequestBody, Response, RouteError, ServerPush,
 };
-pub use san::{stripe_disk, FenceOp, SanError, SanMsg, SanReadOk};
+pub use san::{stripe_disk, BlockRange, FenceOp, SanError, SanMsg, SanReadOk};
 pub use seqwin::DedupWindow;
 pub use wire::{WireDecode, WireEncode, WireError};
 

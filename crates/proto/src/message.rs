@@ -51,7 +51,13 @@ pub struct Request {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RequestBody {
     /// Establish (or, after lease expiry, re-establish) a session.
-    Hello,
+    ///
+    /// `map_epoch` is the epoch of the shard map the client routes by; a
+    /// server holding a different epoch answers with
+    /// [`NackReason::Misrouted`]`(`[`RouteError::StaleMap`]`)` so the
+    /// client refreshes its map instead of caching against the wrong
+    /// partition of the namespace.
+    Hello { map_epoch: u64 },
     /// NULL message whose only purpose is to be ACKed, renewing the lease
     /// (§3.1: "we do provide an extra protocol message, with no metadata or
     /// lock function, for the sole purpose of renewing a lease").
@@ -95,6 +101,18 @@ pub enum RequestBody {
         offset: u64,
         data: Vec<u8>,
     },
+    /// First half of a (possibly cross-shard) rename: link `name → ino`
+    /// into directory `dir` on the shard owning `dir`. The client holds
+    /// exclusive locks on both parent directories (acquired in global
+    /// `(ServerId, Ino)` order, so two renames can never deadlock) and
+    /// performs link-before-unlink: a failure between the halves leaves
+    /// the file reachable under both names, never under none.
+    RenameLink { dir: Ino, name: String, ino: Ino },
+    /// Second half of a rename: remove the directory *entry* `name` from
+    /// `dir`. Unlike [`RequestBody::Unlink`] this never frees the inode or
+    /// its blocks — the inode lives on (possibly on another shard) under
+    /// its new name.
+    RenameUnlink { dir: Ino, name: String },
 }
 
 impl RequestBody {
@@ -105,7 +123,7 @@ impl RequestBody {
     /// (see `OBSERVABILITY.md`), not a cosmetic edit.
     pub fn kind(&self) -> &'static str {
         match self {
-            RequestBody::Hello => "hello",
+            RequestBody::Hello { .. } => "hello",
             RequestBody::KeepAlive => "keep_alive",
             RequestBody::Create { .. } => "create",
             RequestBody::Lookup { .. } => "lookup",
@@ -121,6 +139,8 @@ impl RequestBody {
             RequestBody::CommitWrite { .. } => "commit_write",
             RequestBody::ReadData { .. } => "read_data",
             RequestBody::WriteData { .. } => "write_data",
+            RequestBody::RenameLink { .. } => "rename_link",
+            RequestBody::RenameUnlink { .. } => "rename_unlink",
         }
     }
 }
@@ -142,8 +162,9 @@ pub struct FileAttr {
 /// Successful operation results.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ReplyBody {
-    /// New session established.
-    HelloOk { session: SessionId },
+    /// New session established. `map_epoch` echoes the shard-map epoch the
+    /// serving shard holds, confirming the client's routing view.
+    HelloOk { session: SessionId, map_epoch: u64 },
     /// Generic acknowledgement with no payload (keep-alive, release, ack,
     /// commit, unlink...).
     Ok,
@@ -234,6 +255,22 @@ pub enum NackReason {
     /// condemn the client's cache — the client's lease (and its SAN access)
     /// is still good; it should re-register and retry after a delay.
     Recovering,
+    /// The request was sent to a server that does not own the governing
+    /// inode (or the client's shard map is a different epoch). Like
+    /// [`NackReason::Recovering`] this does *not* condemn the client's
+    /// cache — nothing about the lease contract failed; the client simply
+    /// knocked on the wrong door and should re-route.
+    Misrouted(RouteError),
+}
+
+/// Why a request was refused by shard routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteError {
+    /// The governing inode of the request is owned by a different shard.
+    NotOwner,
+    /// The client's shard-map epoch differs from the server's; its
+    /// ownership computations cannot be trusted.
+    StaleMap,
 }
 
 /// Outcome carried by a [`Response`].
@@ -356,8 +393,10 @@ impl CtlMsg {
                 RequestBody::Create { name, .. }
                 | RequestBody::Lookup { name, .. }
                 | RequestBody::Mkdir { name, .. }
-                | RequestBody::Unlink { name, .. } => 8 + name.len(),
-                RequestBody::Hello
+                | RequestBody::Unlink { name, .. }
+                | RequestBody::RenameLink { name, .. }
+                | RequestBody::RenameUnlink { name, .. } => 8 + name.len(),
+                RequestBody::Hello { .. }
                 | RequestBody::KeepAlive
                 | RequestBody::ReadDir { .. }
                 | RequestBody::GetAttr { .. }
@@ -434,7 +473,7 @@ mod tests {
     fn keepalive_is_lease_overhead_and_nothing_else_is() {
         assert!(req(RequestBody::KeepAlive).is_lease_overhead());
         assert!(!req(RequestBody::GetAttr { ino: Ino(1) }).is_lease_overhead());
-        assert!(!req(RequestBody::Hello).is_lease_overhead());
+        assert!(!req(RequestBody::Hello { map_epoch: 0 }).is_lease_overhead());
     }
 
     #[test]

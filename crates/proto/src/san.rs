@@ -24,6 +24,35 @@ pub enum FenceOp {
     Unfence,
 }
 
+/// A half-open range `[start, end)` of block addresses on the SAN.
+///
+/// Fences are scoped to a range so a sharded metadata cluster can fence a
+/// client out of one shard's allocation range while the client keeps doing
+/// direct I/O against blocks governed by other shards (whose leases are
+/// still good). A single-server deployment fences [`BlockRange::ALL`],
+/// which degenerates to the paper's whole-device fence (§1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockRange {
+    /// First block covered.
+    pub start: u64,
+    /// One past the last block covered.
+    pub end: u64,
+}
+
+impl BlockRange {
+    /// Every block on the device.
+    pub const ALL: BlockRange = BlockRange {
+        start: 0,
+        end: u64::MAX,
+    };
+
+    /// Whether `block` falls inside the range.
+    #[inline]
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.start <= block.0 && block.0 < self.end
+    }
+}
+
 /// A message on the SAN.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SanMsg {
@@ -69,6 +98,9 @@ pub enum SanMsg {
         target: NodeId,
         /// Fence or unfence.
         op: FenceOp,
+        /// The block range the fence covers (an unfence removes exactly
+        /// the matching fenced range).
+        range: BlockRange,
     },
     /// Answer to `FenceCmd`.
     FenceResp {
@@ -165,6 +197,7 @@ mod tests {
             req_id: 9,
             target: NodeId(2),
             op: FenceOp::Fence,
+            range: BlockRange::ALL,
         };
         assert_eq!(f.kind(), "san_fence");
         let r = SanMsg::FenceResp { req_id: 9 };

@@ -13,9 +13,9 @@ use crate::ids::{BlockId, Epoch, Incarnation, Ino, NodeId, ReqSeq, SessionId, Wr
 use crate::lock::LockMode;
 use crate::message::{
     CtlMsg, FileAttr, FsError, NackReason, PushBody, ReplyBody, Request, RequestBody, Response,
-    ResponseOutcome, ServerPush,
+    ResponseOutcome, RouteError, ServerPush,
 };
-use crate::san::{FenceOp, SanError, SanMsg, SanReadOk};
+use crate::san::{BlockRange, FenceOp, SanError, SanMsg, SanReadOk};
 use crate::NetMsg;
 
 /// Errors produced while decoding.
@@ -202,7 +202,10 @@ fn get_attr(buf: &mut Bytes) -> Result<FileAttr, WireError> {
 impl WireEncode for RequestBody {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            RequestBody::Hello => buf.put_u8(0),
+            RequestBody::Hello { map_epoch } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*map_epoch);
+            }
             RequestBody::KeepAlive => buf.put_u8(1),
             RequestBody::Create { parent, name } => {
                 buf.put_u8(2);
@@ -279,6 +282,17 @@ impl WireEncode for RequestBody {
                 buf.put_u64_le(*offset);
                 put_bytes(buf, data);
             }
+            RequestBody::RenameLink { dir, name, ino } => {
+                buf.put_u8(16);
+                buf.put_u64_le(dir.0);
+                put_str(buf, name);
+                buf.put_u64_le(ino.0);
+            }
+            RequestBody::RenameUnlink { dir, name } => {
+                buf.put_u8(17);
+                buf.put_u64_le(dir.0);
+                put_str(buf, name);
+            }
         }
     }
 }
@@ -286,7 +300,9 @@ impl WireEncode for RequestBody {
 impl WireDecode for RequestBody {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(match get_u8(buf)? {
-            0 => RequestBody::Hello,
+            0 => RequestBody::Hello {
+                map_epoch: get_u64(buf)?,
+            },
             1 => RequestBody::KeepAlive,
             2 => RequestBody::Create {
                 parent: Ino(get_u64(buf)?),
@@ -348,6 +364,15 @@ impl WireDecode for RequestBody {
                 offset: get_u64(buf)?,
                 data: get_bytes(buf)?,
             },
+            16 => RequestBody::RenameLink {
+                dir: Ino(get_u64(buf)?),
+                name: get_str(buf)?,
+                ino: Ino(get_u64(buf)?),
+            },
+            17 => RequestBody::RenameUnlink {
+                dir: Ino(get_u64(buf)?),
+                name: get_str(buf)?,
+            },
             t => {
                 return Err(WireError::BadTag {
                     what: "RequestBody",
@@ -363,9 +388,10 @@ impl WireDecode for RequestBody {
 impl WireEncode for ReplyBody {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            ReplyBody::HelloOk { session } => {
+            ReplyBody::HelloOk { session, map_epoch } => {
                 buf.put_u8(0);
                 buf.put_u64_le(session.0);
+                buf.put_u64_le(*map_epoch);
             }
             ReplyBody::Ok => buf.put_u8(1),
             ReplyBody::Created { ino } => {
@@ -420,6 +446,7 @@ impl WireDecode for ReplyBody {
         Ok(match get_u8(buf)? {
             0 => ReplyBody::HelloOk {
                 session: SessionId(get_u64(buf)?),
+                map_epoch: get_u64(buf)?,
             },
             1 => ReplyBody::Ok,
             2 => ReplyBody::Created {
@@ -503,6 +530,8 @@ fn nack_tag(n: NackReason) -> u8 {
         NackReason::SessionExpired => 1,
         NackReason::StaleSession => 2,
         NackReason::Recovering => 3,
+        NackReason::Misrouted(RouteError::NotOwner) => 4,
+        NackReason::Misrouted(RouteError::StaleMap) => 5,
     }
 }
 
@@ -512,6 +541,8 @@ fn nack_from(tag: u8) -> Result<NackReason, WireError> {
         1 => NackReason::SessionExpired,
         2 => NackReason::StaleSession,
         3 => NackReason::Recovering,
+        4 => NackReason::Misrouted(RouteError::NotOwner),
+        5 => NackReason::Misrouted(RouteError::StaleMap),
         t => {
             return Err(WireError::BadTag {
                 what: "NackReason",
@@ -698,11 +729,18 @@ impl WireEncode for SanMsg {
                     }
                 }
             }
-            SanMsg::FenceCmd { req_id, target, op } => {
+            SanMsg::FenceCmd {
+                req_id,
+                target,
+                op,
+                range,
+            } => {
                 buf.put_u8(4);
                 buf.put_u64_le(*req_id);
                 buf.put_u32_le(target.0);
                 buf.put_u8(matches!(op, FenceOp::Unfence) as u8);
+                buf.put_u64_le(range.start);
+                buf.put_u64_le(range.end);
             }
             SanMsg::FenceResp { req_id } => {
                 buf.put_u8(5);
@@ -786,6 +824,10 @@ impl WireDecode for SanMsg {
                 } else {
                     FenceOp::Fence
                 },
+                range: BlockRange {
+                    start: get_u64(buf)?,
+                    end: get_u64(buf)?,
+                },
             },
             5 => SanMsg::FenceResp {
                 req_id: get_u64(buf)?,
@@ -846,7 +888,7 @@ mod tests {
     #[test]
     fn roundtrip_requests() {
         let bodies = vec![
-            RequestBody::Hello,
+            RequestBody::Hello { map_epoch: 3 },
             RequestBody::KeepAlive,
             RequestBody::Create {
                 parent: Ino(1),
@@ -901,6 +943,15 @@ mod tests {
                 offset: 0,
                 data: vec![1, 2, 3],
             },
+            RequestBody::RenameLink {
+                dir: Ino(1),
+                name: "moved".into(),
+                ino: Ino(9),
+            },
+            RequestBody::RenameUnlink {
+                dir: Ino(1),
+                name: "old".into(),
+            },
         ];
         for body in bodies {
             roundtrip(NetMsg::Ctl(CtlMsg::Request(Request {
@@ -917,6 +968,7 @@ mod tests {
         let outcomes = vec![
             ResponseOutcome::Acked(Ok(ReplyBody::HelloOk {
                 session: SessionId(3),
+                map_epoch: 1,
             })),
             ResponseOutcome::Acked(Ok(ReplyBody::Ok)),
             ResponseOutcome::Acked(Ok(ReplyBody::Created { ino: Ino(9) })),
@@ -957,6 +1009,8 @@ mod tests {
             ResponseOutcome::Nacked(NackReason::SessionExpired),
             ResponseOutcome::Nacked(NackReason::StaleSession),
             ResponseOutcome::Nacked(NackReason::Recovering),
+            ResponseOutcome::Nacked(NackReason::Misrouted(RouteError::NotOwner)),
+            ResponseOutcome::Nacked(NackReason::Misrouted(RouteError::StaleMap)),
         ];
         for outcome in outcomes {
             roundtrip(NetMsg::Ctl(CtlMsg::Response(Response {
@@ -1029,11 +1083,16 @@ mod tests {
                 req_id: 3,
                 target: NodeId(7),
                 op: FenceOp::Fence,
+                range: BlockRange::ALL,
             },
             SanMsg::FenceCmd {
                 req_id: 3,
                 target: NodeId(7),
                 op: FenceOp::Unfence,
+                range: BlockRange {
+                    start: 64,
+                    end: 128,
+                },
             },
             SanMsg::FenceResp { req_id: 3 },
         ];

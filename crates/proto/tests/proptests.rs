@@ -1,7 +1,9 @@
 //! Property tests for the wire codec and the at-most-once window.
 
 use proptest::prelude::*;
-use tank_proto::message::{FileAttr, FsError, NackReason, ReplyBody, RequestBody, ResponseOutcome};
+use tank_proto::message::{
+    FileAttr, FsError, NackReason, ReplyBody, RequestBody, ResponseOutcome, RouteError,
+};
 use tank_proto::seqwin::SeqVerdict;
 use tank_proto::{
     BlockId, CtlMsg, DedupWindow, Epoch, Incarnation, Ino, LockMode, NetMsg, NodeId, PushBody,
@@ -40,7 +42,7 @@ fn arb_attr() -> impl Strategy<Value = FileAttr> {
 
 fn arb_request_body() -> impl Strategy<Value = RequestBody> {
     prop_oneof![
-        Just(RequestBody::Hello),
+        any::<u64>().prop_map(|e| RequestBody::Hello { map_epoch: e }),
         Just(RequestBody::KeepAlive),
         (any::<u64>(), arb_name()).prop_map(|(p, name)| RequestBody::Create {
             parent: Ino(p),
@@ -92,13 +94,23 @@ fn arb_request_body() -> impl Strategy<Value = RequestBody> {
                 offset: o,
                 data
             }),
+        (any::<u64>(), arb_name(), any::<u64>()).prop_map(|(d, name, i)| {
+            RequestBody::RenameLink {
+                dir: Ino(d),
+                name,
+                ino: Ino(i),
+            }
+        }),
+        (any::<u64>(), arb_name())
+            .prop_map(|(d, name)| RequestBody::RenameUnlink { dir: Ino(d), name }),
     ]
 }
 
 fn arb_reply_body() -> impl Strategy<Value = ReplyBody> {
     prop_oneof![
-        any::<u64>().prop_map(|s| ReplyBody::HelloOk {
-            session: SessionId(s)
+        (any::<u64>(), any::<u64>()).prop_map(|(s, e)| ReplyBody::HelloOk {
+            session: SessionId(s),
+            map_epoch: e,
         }),
         Just(ReplyBody::Ok),
         any::<u64>().prop_map(|i| ReplyBody::Created { ino: Ino(i) }),
@@ -145,6 +157,8 @@ fn arb_outcome() -> impl Strategy<Value = ResponseOutcome> {
             Just(NackReason::SessionExpired),
             Just(NackReason::StaleSession),
             Just(NackReason::Recovering),
+            Just(NackReason::Misrouted(RouteError::NotOwner)),
+            Just(NackReason::Misrouted(RouteError::StaleMap)),
         ]
         .prop_map(ResponseOutcome::Nacked),
     ]

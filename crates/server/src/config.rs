@@ -1,7 +1,8 @@
 //! Server configuration: recovery policy, data path, timing knobs.
 
 use tank_core::LeaseConfig;
-use tank_proto::NodeId;
+use tank_proto::{NodeId, ServerId};
+use tank_shard::ShardMap;
 use tank_sim::LocalNs;
 
 /// What the server does about a client that stops responding while
@@ -43,6 +44,11 @@ pub enum DataPath {
 pub struct ServerConfig {
     /// Lease contract (shared with clients).
     pub lease: LeaseConfig,
+    /// Which shard of the inode namespace this server governs.
+    pub sid: ServerId,
+    /// The shard map this server was booted with; requests whose governing
+    /// inode another shard owns are NACKed `Misrouted`.
+    pub map: ShardMap,
     /// Recovery policy for unresponsive clients.
     pub policy: RecoveryPolicy,
     /// Data path mode.
@@ -83,6 +89,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             lease: LeaseConfig::default(),
+            sid: ServerId(0),
+            map: ShardMap::single(),
             policy: RecoveryPolicy::LeaseFence,
             data_path: DataPath::DirectSan,
             disks: Vec::new(),

@@ -25,8 +25,8 @@ use tank_meta::{MetaError, MetaStore};
 use tank_obs::Registry;
 use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
-    CtlMsg, FenceOp, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq,
-    Request, Response, SanMsg, ServerPush, SessionId, WriteTag,
+    BlockRange, CtlMsg, FenceOp, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody,
+    ReqSeq, Request, Response, RouteError, SanMsg, ServerPush, SessionId, WriteTag,
 };
 use tank_sim::{Actor, Ctx, LocalNs, NetId, TimerId, TokenMap};
 
@@ -121,6 +121,10 @@ pub struct ServerNode<Ob> {
     /// When each client's condemnation timer was armed (server-local),
     /// consumed at fire time to measure steal latency against `τ_s(1+ε)`.
     condemn_armed_at: HashMap<NodeId, LocalNs>,
+    /// The slice of the shared disks this shard governs: the only range it
+    /// allocates from, and the only range its fence commands cover — a
+    /// shard must never fence another shard's traffic (§6, sharded).
+    fence_range: BlockRange,
 }
 
 impl<Ob> ServerNode<Ob> {
@@ -132,10 +136,12 @@ impl<Ob> ServerNode<Ob> {
         observe: Box<dyn Fn(ServerEvent) -> Option<Ob>>,
     ) -> Self {
         let authority = LeaseAuthority::new(cfg.lease);
+        let fence_range = cfg.map.block_range(cfg.sid, total_blocks);
+        let meta = MetaStore::new_sharded(cfg.map, cfg.sid, total_blocks, block_size);
         ServerNode {
             cfg,
             id: None,
-            meta: MetaStore::new(total_blocks, block_size),
+            meta,
             locks: LockManager::new(),
             authority,
             sessions: SessionTable::new(),
@@ -151,6 +157,7 @@ impl<Ob> ServerNode<Ob> {
             observe,
             obs: None,
             condemn_armed_at: HashMap::new(),
+            fence_range,
         }
     }
 
@@ -280,6 +287,7 @@ impl<Ob> ServerNode<Ob> {
                 NackReason::SessionExpired => obs.nack_session_expired.inc(),
                 NackReason::StaleSession => obs.nack_stale_session.inc(),
                 NackReason::Recovering => obs.nack_recovering.inc(),
+                NackReason::Misrouted(_) => obs.nack_misrouted.inc(),
             }
             obs.trace(ctx, "nack", || {
                 format!("client=n{} seq={} reason={reason:?}", client.0, seq.0)
@@ -448,6 +456,7 @@ impl<Ob> ServerNode<Ob> {
                     req_id,
                     target: client,
                     op: FenceOp::Fence,
+                    range: self.fence_range,
                 }),
             );
         }
@@ -463,6 +472,7 @@ impl<Ob> ServerNode<Ob> {
                     req_id,
                     target: client,
                     op: FenceOp::Unfence,
+                    range: self.fence_range,
                 }),
             );
         }
@@ -600,7 +610,10 @@ impl<Ob> ServerNode<Ob> {
             session,
             seq: req.seq,
             incarnation: self.incarnation,
-            outcome: ResponseOutcome::Acked(Ok(ReplyBody::HelloOk { session })),
+            outcome: ResponseOutcome::Acked(Ok(ReplyBody::HelloOk {
+                session,
+                map_epoch: self.cfg.map.epoch(),
+            })),
         };
         self.sessions.record_hello(client, req.seq, resp.clone());
         ctx.send(NetId::CONTROL, client, NetMsg::Ctl(CtlMsg::Response(resp)));
@@ -620,7 +633,7 @@ impl<Ob> ServerNode<Ob> {
         let seq = req.seq;
         let now = ctx.now().0;
         let result: Result<ReplyBody, FsError> = match req.body {
-            RequestBody::Hello => unreachable!("hello handled before execute"),
+            RequestBody::Hello { .. } => unreachable!("hello handled before execute"),
             RequestBody::KeepAlive => Ok(ReplyBody::Ok),
             RequestBody::Create { parent, name } => {
                 Self::map_meta(self.meta.create(parent, &name, now))
@@ -634,6 +647,12 @@ impl<Ob> ServerNode<Ob> {
                 .map(|(ino, attr)| ReplyBody::Resolved { ino, attr }),
             RequestBody::ReadDir { dir } => {
                 Self::map_meta(self.meta.readdir(dir)).map(|entries| ReplyBody::Dir { entries })
+            }
+            RequestBody::RenameLink { dir, name, ino } => {
+                Self::map_meta(self.meta.rename_link(dir, &name, ino)).map(|_| ReplyBody::Ok)
+            }
+            RequestBody::RenameUnlink { dir, name } => {
+                Self::map_meta(self.meta.rename_unlink(dir, &name)).map(|_| ReplyBody::Ok)
             }
             RequestBody::Unlink { parent, name } => {
                 // Unlinking a locked file would free its blocks for
@@ -999,6 +1018,8 @@ impl<Ob> ServerNode<Ob> {
                 | RequestBody::Create { .. }
                 | RequestBody::Mkdir { .. }
                 | RequestBody::Unlink { .. }
+                | RequestBody::RenameLink { .. }
+                | RequestBody::RenameUnlink { .. }
                 | RequestBody::SetAttr { .. }
                 | RequestBody::AllocBlocks { .. }
                 | RequestBody::CommitWrite { .. }
@@ -1006,8 +1027,62 @@ impl<Ob> ServerNode<Ob> {
         )
     }
 
+    /// The inode whose shard ownership governs where `body` may execute:
+    /// dentry operations go to the directory's owner, inode operations to
+    /// the inode's owner. Session traffic (Hello, keep-alives, push acks)
+    /// is per-server and ungoverned.
+    fn governing_ino(body: &RequestBody) -> Option<Ino> {
+        match body {
+            RequestBody::Hello { .. } | RequestBody::KeepAlive | RequestBody::PushAck { .. } => {
+                None
+            }
+            RequestBody::Create { parent, .. }
+            | RequestBody::Lookup { parent, .. }
+            | RequestBody::Mkdir { parent, .. }
+            | RequestBody::Unlink { parent, .. } => Some(*parent),
+            RequestBody::ReadDir { dir }
+            | RequestBody::RenameLink { dir, .. }
+            | RequestBody::RenameUnlink { dir, .. } => Some(*dir),
+            RequestBody::GetAttr { ino }
+            | RequestBody::SetAttr { ino, .. }
+            | RequestBody::LockAcquire { ino, .. }
+            | RequestBody::LockRelease { ino, .. }
+            | RequestBody::AllocBlocks { ino, .. }
+            | RequestBody::CommitWrite { ino, .. }
+            | RequestBody::ReadData { ino, .. }
+            | RequestBody::WriteData { ino, .. } => Some(*ino),
+        }
+    }
+
     fn on_request(&mut self, from: NodeId, req: Request, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        // Recovery gate first: a freshly-restarted server has no lock or
+        // Routing gate first: a request this shard does not govern must
+        // not touch any state here — not even the session window — and a
+        // Hello carrying a stale shard-map epoch would register a session
+        // the client will route wrongly against. `Misrouted` is a
+        // protocol-level redirect, not a lease judgment: like
+        // `Recovering`, it does not condemn the client's cache.
+        if let RequestBody::Hello { map_epoch } = req.body {
+            if map_epoch != self.cfg.map.epoch() {
+                return self.nack(
+                    from,
+                    req.session,
+                    req.seq,
+                    NackReason::Misrouted(RouteError::StaleMap),
+                    ctx,
+                );
+            }
+        } else if let Some(gov) = Self::governing_ino(&req.body) {
+            if self.cfg.map.owner_of(gov) != self.cfg.sid {
+                return self.nack(
+                    from,
+                    req.session,
+                    req.seq,
+                    NackReason::Misrouted(RouteError::NotOwner),
+                    ctx,
+                );
+            }
+        }
+        // Recovery gate next: a freshly-restarted server has no lock or
         // lease state, so until the grace window closes it cannot know
         // whether a grant would conflict with a surviving pre-crash
         // holder. Unlike the lease-authority NACKs below, `Recovering`
@@ -1029,14 +1104,14 @@ impl<Ob> ServerNode<Ob> {
                 return;
             }
             ClientStanding::Expired => {
-                if matches!(req.body, RequestBody::Hello) {
+                if matches!(req.body, RequestBody::Hello { .. }) {
                     self.stats.requests += 1;
                     return self.do_hello(from, &req, ctx);
                 }
                 return self.nack(from, req.session, req.seq, NackReason::SessionExpired, ctx);
             }
         }
-        if matches!(req.body, RequestBody::Hello) {
+        if matches!(req.body, RequestBody::Hello { .. }) {
             self.stats.requests += 1;
             return self.do_hello(from, &req, ctx);
         }

@@ -32,6 +32,8 @@ pub struct ServerObs {
     pub nack_stale_session: Arc<Counter>,
     /// `server.nack.recovering`.
     pub nack_recovering: Arc<Counter>,
+    /// `server.nack.misrouted`.
+    pub nack_misrouted: Arc<Counter>,
     /// `server.delivery_errors`.
     pub delivery_errors: Arc<Counter>,
     /// `server.condemn.armed`.
@@ -71,6 +73,7 @@ impl ServerObs {
             nack_session_expired: registry.counter_def(&names::SERVER_NACK_SESSION_EXPIRED),
             nack_stale_session: registry.counter_def(&names::SERVER_NACK_STALE_SESSION),
             nack_recovering: registry.counter_def(&names::SERVER_NACK_RECOVERING),
+            nack_misrouted: registry.counter_def(&names::SERVER_NACK_MISROUTED),
             delivery_errors: registry.counter_def(&names::SERVER_DELIVERY_ERRORS),
             condemn_armed: registry.counter_def(&names::SERVER_CONDEMN_ARMED),
             condemn_fired: registry.counter_def(&names::SERVER_CONDEMN_FIRED),

@@ -93,7 +93,7 @@ fn requests_before_hello_are_stale_session_nacks() {
 fn wrong_session_id_is_nacked_but_right_one_works() {
     let rs = run_script(|_| {
         vec![
-            req(1, 0, 1, RequestBody::Hello),
+            req(1, 0, 1, RequestBody::Hello { map_epoch: 0 }),
             // Session ids start at 1; claim session 999.
             req(1, 999, 2, RequestBody::GetAttr { ino: Ino(2) }),
             req(1, 1, 3, RequestBody::GetAttr { ino: Ino(2) }),
@@ -117,7 +117,7 @@ fn wrong_session_id_is_nacked_but_right_one_works() {
 fn duplicate_requests_are_replayed_not_reexecuted() {
     let rs = run_script(|_| {
         vec![
-            req(1, 0, 1, RequestBody::Hello),
+            req(1, 0, 1, RequestBody::Hello { map_epoch: 0 }),
             req(
                 1,
                 1,
@@ -163,7 +163,7 @@ fn duplicate_requests_are_replayed_not_reexecuted() {
 fn data_mutations_require_the_exclusive_lock() {
     let rs = run_script(|_| {
         vec![
-            req(1, 0, 1, RequestBody::Hello),
+            req(1, 0, 1, RequestBody::Hello { map_epoch: 0 }),
             req(
                 1,
                 1,
@@ -253,7 +253,7 @@ fn data_mutations_require_the_exclusive_lock() {
 fn stale_epoch_release_is_a_noop() {
     let rs = run_script(|_| {
         vec![
-            req(1, 0, 1, RequestBody::Hello),
+            req(1, 0, 1, RequestBody::Hello { map_epoch: 0 }),
             req(
                 1,
                 1,
@@ -303,7 +303,7 @@ fn stale_epoch_release_is_a_noop() {
 fn fresh_hello_releases_previous_incarnations_locks() {
     let rs = run_script(|_| {
         vec![
-            req(1, 0, 1, RequestBody::Hello),
+            req(1, 0, 1, RequestBody::Hello { map_epoch: 0 }),
             req(
                 1,
                 1,
@@ -313,7 +313,7 @@ fn fresh_hello_releases_previous_incarnations_locks() {
                     mode: LockMode::Exclusive,
                 },
             ),
-            req(1, 0, 3, RequestBody::Hello), // new incarnation
+            req(1, 0, 3, RequestBody::Hello { map_epoch: 0 }), // new incarnation
             // New session; the old lock must be gone, so this grant gets a
             // NEW epoch rather than AlreadyHeld's old one.
             req(
@@ -342,7 +342,7 @@ fn fresh_hello_releases_previous_incarnations_locks() {
 fn unlink_of_a_locked_file_is_denied() {
     let rs = run_script(|_| {
         vec![
-            req(1, 0, 1, RequestBody::Hello),
+            req(1, 0, 1, RequestBody::Hello { map_epoch: 0 }),
             req(
                 1,
                 1,
@@ -397,7 +397,7 @@ fn unlink_of_a_locked_file_is_denied() {
 fn application_errors_still_ack() {
     let rs = run_script(|_| {
         vec![
-            req(1, 0, 1, RequestBody::Hello),
+            req(1, 0, 1, RequestBody::Hello { map_epoch: 0 }),
             req(
                 1,
                 1,

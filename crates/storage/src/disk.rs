@@ -1,8 +1,8 @@
 //! The shared virtual disk actor.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use tank_proto::{BlockId, FenceOp, NetMsg, SanError, SanMsg, SanReadOk, WriteTag};
+use tank_proto::{BlockId, BlockRange, FenceOp, NetMsg, SanError, SanMsg, SanReadOk, WriteTag};
 use tank_sim::{Actor, Ctx, NetId, NodeId};
 
 /// Disk geometry and behaviour.
@@ -89,8 +89,11 @@ pub struct DiskNode<Ob> {
     /// Sparse block store: unwritten blocks read as zeroes with the
     /// default tag.
     store: HashMap<BlockId, Block>,
-    /// Fenced initiators; enforced indefinitely (§1.2).
-    fenced: HashSet<NodeId>,
+    /// Fenced initiators and the block ranges each is fenced out of;
+    /// enforced indefinitely (§1.2). A sharded metadata cluster fences a
+    /// client out of one shard's slice at a time, so an initiator can
+    /// carry several disjoint fenced ranges.
+    fenced: HashMap<NodeId, Vec<BlockRange>>,
     /// When set, every I/O fails with `DeviceError` (fault injection).
     failing: bool,
     stats: DiskStats,
@@ -103,7 +106,7 @@ impl<Ob> DiskNode<Ob> {
         DiskNode {
             cfg,
             store: HashMap::new(),
-            fenced: HashSet::new(),
+            fenced: HashMap::new(),
             failing: false,
             stats: DiskStats::default(),
             observe,
@@ -120,9 +123,16 @@ impl<Ob> DiskNode<Ob> {
         self.stats
     }
 
-    /// Whether an initiator is currently fenced.
+    /// Whether an initiator is currently fenced out of any range.
     pub fn is_fenced(&self, initiator: NodeId) -> bool {
-        self.fenced.contains(&initiator)
+        self.fenced.get(&initiator).is_some_and(|r| !r.is_empty())
+    }
+
+    /// Whether an I/O by `initiator` against `block` would be rejected.
+    pub fn is_fenced_for(&self, initiator: NodeId, block: BlockId) -> bool {
+        self.fenced
+            .get(&initiator)
+            .is_some_and(|ranges| ranges.iter().any(|r| r.contains(block)))
     }
 
     /// Inject (or clear) a whole-device failure.
@@ -165,12 +175,31 @@ impl<Ob> DiskNode<Ob> {
         self.write(initiator, block, data, tag)
     }
 
-    /// Test-only fence toggle.
+    /// Test-only fence toggle (whole device).
     pub fn testing_fence(&mut self, target: NodeId, fence: bool) {
         if fence {
-            self.fenced.insert(target);
+            self.apply_fence(target, FenceOp::Fence, BlockRange::ALL);
         } else {
             self.fenced.remove(&target);
+        }
+    }
+
+    fn apply_fence(&mut self, target: NodeId, op: FenceOp, range: BlockRange) {
+        match op {
+            FenceOp::Fence => {
+                let ranges = self.fenced.entry(target).or_default();
+                if !ranges.contains(&range) {
+                    ranges.push(range);
+                }
+            }
+            FenceOp::Unfence => {
+                if let Some(ranges) = self.fenced.get_mut(&target) {
+                    ranges.retain(|r| *r != range);
+                    if ranges.is_empty() {
+                        self.fenced.remove(&target);
+                    }
+                }
+            }
         }
     }
 
@@ -185,7 +214,7 @@ impl<Ob> DiskNode<Ob> {
     }
 
     fn read(&mut self, initiator: NodeId, block: BlockId) -> Result<SanReadOk, SanError> {
-        if self.fenced.contains(&initiator) {
+        if self.is_fenced_for(initiator, block) {
             self.stats.fenced_rejections += 1;
             return Err(SanError::Fenced);
         }
@@ -210,7 +239,7 @@ impl<Ob> DiskNode<Ob> {
         data: Vec<u8>,
         tag: WriteTag,
     ) -> Result<WriteTag, SanError> {
-        if self.fenced.contains(&initiator) {
+        if self.is_fenced_for(initiator, block) {
             self.stats.fenced_rejections += 1;
             return Err(SanError::Fenced);
         }
@@ -296,16 +325,14 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for DiskNode<Ob> {
                 };
                 ctx.send(net, from, NetMsg::San(SanMsg::WriteResp { req_id, result }));
             }
-            SanMsg::FenceCmd { req_id, target, op } => {
+            SanMsg::FenceCmd {
+                req_id,
+                target,
+                op,
+                range,
+            } => {
                 self.stats.fence_ops += 1;
-                match op {
-                    FenceOp::Fence => {
-                        self.fenced.insert(target);
-                    }
-                    FenceOp::Unfence => {
-                        self.fenced.remove(&target);
-                    }
-                }
+                self.apply_fence(target, op, range);
                 ctx.send(net, from, NetMsg::San(SanMsg::FenceResp { req_id }));
             }
             SanMsg::ReadResp { .. } | SanMsg::WriteResp { .. } | SanMsg::FenceResp { .. } => {
@@ -479,6 +506,7 @@ mod tests {
                 req_id: 1,
                 target: me,
                 op: FenceOp::Fence,
+                range: BlockRange::ALL,
             },
             SanMsg::WriteBlock {
                 req_id: 2,
@@ -494,6 +522,7 @@ mod tests {
                 req_id: 4,
                 target: me,
                 op: FenceOp::Unfence,
+                range: BlockRange::ALL,
             },
             SanMsg::WriteBlock {
                 req_id: 5,
@@ -521,6 +550,30 @@ mod tests {
         ));
         assert!(matches!(r[3], SanMsg::FenceResp { req_id: 4 }));
         assert!(matches!(r[4], SanMsg::WriteResp { result: Ok(()), .. }));
+    }
+
+    #[test]
+    fn ranged_fence_blocks_only_its_slice() {
+        let mut d = DiskNode::<()>::unobserved(DiskConfig {
+            blocks: 128,
+            block_size: 4,
+        });
+        let me = NodeId(1);
+        let t = tag(1, 1, 0);
+        d.apply_fence(me, FenceOp::Fence, BlockRange { start: 0, end: 64 });
+        assert!(matches!(
+            d.write(me, BlockId(10), vec![1; 4], t),
+            Err(SanError::Fenced)
+        ));
+        // I/O against the unfenced half of the device still flows — the
+        // blast radius of one shard's fence is its own slice.
+        assert!(d.write(me, BlockId(100), vec![1; 4], t).is_ok());
+        assert!(d.is_fenced(me));
+        assert!(d.is_fenced_for(me, BlockId(0)));
+        assert!(!d.is_fenced_for(me, BlockId(64)));
+        d.apply_fence(me, FenceOp::Unfence, BlockRange { start: 0, end: 64 });
+        assert!(!d.is_fenced(me));
+        assert!(d.write(me, BlockId(10), vec![1; 4], t).is_ok());
     }
 
     #[test]
