@@ -1,0 +1,125 @@
+//! Batch codec throughput and the grant scratch-buffer rotation.
+//!
+//! Two claims from the batching work, measured rather than asserted:
+//!
+//! 1. **Batch encode/decode scales linearly** in element count — the
+//!    length-prefixed `RequestBody::Batch` / `ReplyBody::Batch` framing
+//!    adds no per-element surprises at the coalescing caps the client
+//!    actually uses (1/4/16) or well beyond them (64).
+//! 2. **`rotate_grants` does not allocate after warm-up** — the grant
+//!    delivery pass on the server's hot request loop reuses one
+//!    `VecDeque`/`Vec` pair (see `tank_net::server::rotate_grants`).
+//!    The bench cycles grants queue→batch→queue so a per-pass allocation
+//!    would show up as throughput loss against the element count.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::VecDeque;
+use std::hint::black_box;
+use tank_net::server::rotate_grants;
+use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
+use tank_proto::{
+    CtlMsg, Epoch, Incarnation, Ino, LockMode, NetMsg, NodeId, ReqSeq, Request, Response,
+    SessionId, WireDecode, WireEncode,
+};
+use tank_server::lock::Grant;
+
+const SIZES: [usize; 4] = [1, 4, 16, 64];
+
+/// A request batch of `n` elements, shaped like the client's coalescing
+/// queue output: mostly reads with the occasional mutation.
+fn batch_request(n: usize) -> NetMsg {
+    let elems = (0..n)
+        .map(|i| match i % 4 {
+            0 | 1 => RequestBody::GetAttr { ino: Ino(i as u64) },
+            2 => RequestBody::Lookup {
+                parent: Ino(1),
+                name: format!("f{i}"),
+            },
+            _ => RequestBody::SetAttr {
+                ino: Ino(i as u64),
+                size: Some(4096),
+            },
+        })
+        .collect();
+    NetMsg::Ctl(CtlMsg::Request(Request {
+        src: NodeId(3),
+        session: SessionId(9),
+        seq: ReqSeq(1234),
+        body: RequestBody::Batch(elems),
+    }))
+}
+
+/// The matching reply: per-element `Ok` outcomes with one trailing error,
+/// exercising both arms of the `Result` framing.
+fn batch_reply(n: usize) -> NetMsg {
+    let mut outcomes: Vec<Result<ReplyBody, FsError>> = (0..n.saturating_sub(1))
+        .map(|_| {
+            Ok(ReplyBody::Attr {
+                attr: FileAttr {
+                    size: 4096,
+                    mtime: 77,
+                    version: 3,
+                    is_dir: false,
+                },
+            })
+        })
+        .collect();
+    outcomes.push(Err(FsError::NotFound));
+    NetMsg::Ctl(CtlMsg::Response(Response {
+        dst: NodeId(3),
+        session: SessionId(9),
+        seq: ReqSeq(1234),
+        incarnation: Incarnation(1),
+        outcome: ResponseOutcome::Acked(Ok(ReplyBody::Batch(outcomes))),
+    }))
+}
+
+fn bench_codec(c: &mut Criterion) {
+    for n in SIZES {
+        for (side, msg) in [("request", batch_request(n)), ("reply", batch_reply(n))] {
+            let encoded: Bytes = msg.encoded();
+            let mut g = c.benchmark_group(format!("batch/{side}/{n}"));
+            g.throughput(Throughput::Bytes(encoded.len() as u64));
+            g.bench_function("encode", |b| b.iter(|| black_box(msg.encoded())));
+            g.bench_function("decode", |b| {
+                b.iter(|| {
+                    let mut buf = encoded.clone();
+                    black_box(NetMsg::decode(&mut buf).unwrap())
+                })
+            });
+            g.finish();
+        }
+    }
+}
+
+fn bench_rotate_grants(c: &mut Criterion) {
+    for n in SIZES {
+        let mut queue: VecDeque<Grant> = (0..n)
+            .map(|i| Grant {
+                client: NodeId(i as u32),
+                ino: Ino(i as u64),
+                mode: LockMode::Exclusive,
+                epoch: Epoch(i as u64),
+                answers: Some((SessionId(9), ReqSeq(i as u64))),
+            })
+            .collect();
+        let mut batch: Vec<Grant> = Vec::new();
+        let mut g = c.benchmark_group(format!("batch/rotate_grants/{n}"));
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function("rotate", |b| {
+            b.iter(|| {
+                rotate_grants(&mut queue, &mut batch);
+                // Refill the queue from the batch (move, not clone) so every
+                // iteration rotates a full queue — mirroring a delivery pass
+                // that immediately re-queues undeliverable grants.
+                queue.extend(batch.drain(..));
+                black_box(queue.len())
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_codec, bench_rotate_grants);
+criterion_main!(benches);

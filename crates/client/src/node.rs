@@ -59,6 +59,23 @@ pub struct ClientConfig {
     /// server baseline of §1.1 (server must run in the matching mode).
     /// Data ops must be whole-block in this mode.
     pub function_ship: bool,
+    /// Maximum control-path operations coalesced into one
+    /// [`RequestBody::Batch`] message per lease lane. `1` (the default)
+    /// disables batching entirely: every request is its own datagram,
+    /// the pre-batching wire behavior.
+    pub batch_cap: usize,
+    /// How long a queued batchable request may wait for companions
+    /// before the lane flushes anyway (the δt flush trigger).
+    pub batch_delay: LocalNs,
+    /// Absorb voluntary lock releases locally: the lock (and the cached
+    /// data under it) stays live until the server demands it back or the
+    /// retained set overflows. Releasing costs zero round trips and the
+    /// next open of the same file finds the lock already held.
+    pub lazy_release: bool,
+    /// Retained-release cap: absorbing one more voluntary release evicts
+    /// the oldest retained lock through the eager flush+commit+release
+    /// path it originally skipped.
+    pub lazy_release_cap: usize,
 }
 
 impl ClientConfig {
@@ -78,6 +95,10 @@ impl ClientConfig {
             gen_concurrency: 1,
             flush_window: 16,
             function_ship: false,
+            batch_cap: 1,
+            batch_delay: LocalNs(500_000),
+            lazy_release: false,
+            lazy_release_cap: 32,
         }
     }
 
@@ -132,6 +153,8 @@ enum ClientTimer {
     NextOp,
     /// Fire scripted operation `i`.
     ScriptOp(usize),
+    /// δt elapsed on a lane's coalescing queue: flush what gathered.
+    BatchFlush(usize),
 }
 
 /// Why a request was sent — drives reply dispatch.
@@ -189,6 +212,13 @@ enum Purpose {
     ListShard {
         op: OpId,
     },
+    /// A coalesced [`RequestBody::Batch`]: one sub-purpose per element,
+    /// in wire order. The batch reply's per-element outcomes zip back to
+    /// these; a trailing element with no outcome (first-error-stops cut
+    /// it off) never executed at the server.
+    Batch {
+        elems: Vec<Purpose>,
+    },
 }
 
 /// A request awaiting its response.
@@ -221,6 +251,10 @@ struct Lane {
     hello_inflight: bool,
     /// Push dedup window (push seqs are per-server).
     seen_pushes: HashSet<u64>,
+    /// Batchable requests gathered for the next coalesced flush.
+    queue: Vec<(RequestBody, Purpose)>,
+    /// The armed δt flush timer, if the queue is non-empty and waiting.
+    flush_timer: Option<TimerId>,
 }
 
 impl Lane {
@@ -234,6 +268,8 @@ impl Lane {
             serving: false,
             hello_inflight: false,
             seen_pushes: HashSet::new(),
+            queue: Vec::new(),
+            flush_timer: None,
         }
     }
 }
@@ -428,6 +464,10 @@ pub struct ClientNode<Ob> {
     release_after_commit: HashMap<Ino, Option<OpId>>,
     /// Ops to complete when a release reply arrives.
     release_completes: HashMap<Ino, Option<OpId>>,
+    /// Inodes whose voluntary release was absorbed locally (lazy
+    /// release), oldest first. The lock stays `Held`; a server demand or
+    /// cap overflow sends it back through the eager release path.
+    lazy_retained: Vec<Ino>,
     next_poll_at: Option<LocalNs>,
     /// Recent operation results (ring buffer) for harness/test harvesting.
     results: std::collections::VecDeque<(OpId, FsResult)>,
@@ -438,6 +478,14 @@ pub struct ClientNode<Ob> {
 
 /// Cap on the retained per-client result log.
 const RESULT_LOG_CAP: usize = 16_384;
+
+/// Flush-reason codes recorded in `client.batch.flush_reason`: the size
+/// cap filled the batch.
+const FLUSH_SIZE: u64 = 0;
+/// δt elapsed before the batch filled.
+const FLUSH_DELAY: u64 = 1;
+/// A sync point (urgent or non-batchable request) forced the flush.
+const FLUSH_SYNC: u64 = 2;
 
 impl<Ob> ClientNode<Ob> {
     /// New client. `observe` converts client events into world
@@ -484,6 +532,7 @@ impl<Ob> ClientNode<Ob> {
             queued_gen_op: None,
             release_after_commit: HashMap::new(),
             release_completes: HashMap::new(),
+            lazy_retained: Vec::new(),
             next_poll_at: None,
             results: std::collections::VecDeque::new(),
             stats: ClientStats::default(),
@@ -583,6 +632,24 @@ impl<Ob> ClientNode<Ob> {
         self.lanes[sid.0 as usize].serving
     }
 
+    /// Inodes whose voluntary release is being retained lazily
+    /// (diagnostics; oldest first).
+    pub fn lazy_retained(&self) -> &[Ino] {
+        &self.lazy_retained
+    }
+
+    /// Whether the lazy-release cache is internally consistent: every
+    /// retained inode's lock is still `Held`. Lane expiry and restart
+    /// must purge retained entries along with the locks they shadow — a
+    /// retained inode without a held lock would "absorb" releases for a
+    /// lock the server already reclaimed. (The lane may be transiently
+    /// quiesced; that suspends ops, not lock validity.)
+    pub fn lazy_cache_consistent(&self) -> bool {
+        self.lazy_retained
+            .iter()
+            .all(|ino| matches!(self.locks.get(ino), Some(LockEntry::Held(_))))
+    }
+
     /// The lane governing `ino` under the shard map.
     fn lane_of_ino(&self, ino: Ino) -> usize {
         self.map.owner_of(ino).0 as usize
@@ -609,7 +676,92 @@ impl<Ob> ClientNode<Ob> {
 
     // ------------------------------------------------------- request engine
 
+    /// Entry point for every control-path request. With batching enabled
+    /// (`batch_cap > 1`) batchable bodies coalesce in the lane's queue,
+    /// flushed by size cap, δt, or a sync point; non-batchable bodies
+    /// flush the queue ahead of themselves so the server still sees a
+    /// lane's requests in issue order. With the default `batch_cap = 1`
+    /// this is a straight passthrough to [`send_now`](Self::send_now).
     fn send_request(
+        &mut self,
+        lane: usize,
+        body: RequestBody,
+        purpose: Purpose,
+        retry: bool,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        if self.cfg.batch_cap <= 1 {
+            self.send_now(lane, body, purpose, retry, ctx);
+            return;
+        }
+        if !body.batchable() {
+            // Sync point: anything already queued (e.g. a CommitWrite)
+            // must reach the server before this request executes.
+            self.flush_batch(lane, FLUSH_SYNC, ctx);
+            self.send_now(lane, body, purpose, retry, ctx);
+            return;
+        }
+        // Urgent traffic — lease maintenance, push acks, and lock
+        // handovers — keeps its latency: it flushes the lane immediately,
+        // carrying whatever else had gathered along for free.
+        let urgent = matches!(
+            purpose,
+            Purpose::KeepAlive
+                | Purpose::PushAckSend
+                | Purpose::ReleaseStale
+                | Purpose::Release { .. }
+                | Purpose::CommitThenRelease { .. }
+        );
+        self.lanes[lane].queue.push((body, purpose));
+        let cap = self.cfg.batch_cap.min(tank_proto::MAX_BATCH_ELEMS);
+        if urgent {
+            self.flush_batch(lane, FLUSH_SYNC, ctx);
+        } else if self.lanes[lane].queue.len() >= cap {
+            self.flush_batch(lane, FLUSH_SIZE, ctx);
+        } else if self.lanes[lane].flush_timer.is_none() {
+            let token = self.timers.insert(ClientTimer::BatchFlush(lane));
+            let delay = self.cfg.batch_delay.max(LocalNs(1));
+            self.lanes[lane].flush_timer = Some(ctx.set_timer(delay, token));
+        }
+    }
+
+    /// Flush a lane's coalescing queue: one element goes out bare (a
+    /// batch of one would only add framing), more go out as a single
+    /// [`RequestBody::Batch`] under one sequence number — one message,
+    /// one ACK, one opportunistic renewal (§3.1).
+    fn flush_batch(&mut self, lane: usize, reason: u64, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if let Some(t) = self.lanes[lane].flush_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let queue = std::mem::take(&mut self.lanes[lane].queue);
+        if queue.is_empty() {
+            return;
+        }
+        if let Some(obs) = &self.obs {
+            obs.batch_size.observe(queue.len() as u64);
+            obs.batch_flush_reason.observe(reason);
+        }
+        if queue.len() == 1 {
+            let (body, purpose) = queue.into_iter().next().unwrap();
+            self.send_now(lane, body, purpose, true, ctx);
+            return;
+        }
+        let mut bodies = Vec::with_capacity(queue.len());
+        let mut elems = Vec::with_capacity(queue.len());
+        for (body, purpose) in queue {
+            bodies.push(body);
+            elems.push(purpose);
+        }
+        self.send_now(
+            lane,
+            RequestBody::Batch(bodies),
+            Purpose::Batch { elems },
+            true,
+            ctx,
+        );
+    }
+
+    fn send_now(
         &mut self,
         lane: usize,
         body: RequestBody,
@@ -796,6 +948,12 @@ impl<Ob> ClientNode<Ob> {
         for s in seqs {
             self.drop_pending(s, ctx);
         }
+        // The unsent coalescing queue dies with the lane's pending set:
+        // its purposes reference ops the sweep above already failed.
+        if let Some(t) = self.lanes[lane].flush_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.lanes[lane].queue.clear();
         self.lanes[lane].hello_inflight = false;
         let map = self.map;
         self.flushes.retain(|_, f| map.owner_of(f.ino) != sid);
@@ -819,6 +977,7 @@ impl<Ob> ClientNode<Ob> {
             self.bump_gen(ino);
             self.locks.remove(&ino);
         }
+        self.lazy_retained.retain(|i| map.owner_of(*i) != sid);
         self.lanes[lane].seen_pushes.clear();
         let mut owned: Vec<Ino> = self
             .cache
@@ -1363,6 +1522,18 @@ impl<Ob> ClientNode<Ob> {
                 if !matches!(self.locks.get(&ino), Some(LockEntry::Held(_))) {
                     return self.complete_op(id, Ok(FsData::Unit), ctx);
                 }
+                // Lazy release: absorb the voluntary release locally. The
+                // lock stays Held and the cache stays warm, so the op
+                // costs zero round trips; a server demand (or the retained
+                // set overflowing) later sends the lock back through the
+                // eager path. Nothing changes on the wire, so Theorem
+                // 3.1's per-message renewal argument is untouched. A
+                // deferred demand means the server already wants this
+                // ino — hand it over eagerly instead.
+                if self.cfg.lazy_release && !self.deferred_demands.contains_key(&ino) {
+                    self.retain_release(ino, ctx);
+                    return self.complete_op(id, Ok(FsData::Unit), ctx);
+                }
                 let dirty = self.cache.dirty_of(ino);
                 if dirty.is_empty() {
                     self.ops.get_mut(&id).unwrap().state = OpState::WaitFlush;
@@ -1376,6 +1547,24 @@ impl<Ob> ClientNode<Ob> {
     }
 
     // -------------------------------------------------------------- locks
+
+    /// Record `ino` as lazily retained (most recent last) and evict the
+    /// oldest retained locks past the cap through the eager release path
+    /// they skipped at absorb time.
+    fn retain_release(&mut self, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.lazy_retained.retain(|i| *i != ino);
+        self.lazy_retained.push(ino);
+        while self.lazy_retained.len() > self.cfg.lazy_release_cap.max(1) {
+            let evict = self.lazy_retained.remove(0);
+            if matches!(self.locks.get(&evict), Some(LockEntry::Held(_))) {
+                if self.cache.dirty_of(evict).is_empty() {
+                    self.commit_then_release(evict, None, ctx);
+                } else {
+                    self.start_flush(evict, AfterFlush::Release { complete: None }, ctx);
+                }
+            }
+        }
+    }
 
     fn ensure_lock_then(
         &mut self,
@@ -2046,6 +2235,24 @@ impl<Ob> ClientNode<Ob> {
                 Some(LockEntry::Held(info)) => info.size,
                 _ => 0,
             };
+            if self.cfg.batch_cap > 1 {
+                // Pipelined handover: queue the commit, then let the
+                // (urgent) release flush the lane — both travel in ONE
+                // batch and the 2-round-trip commit→release chain costs
+                // a single round trip. The server executes them in order;
+                // if the commit fails, first-error-stops leaves the
+                // release unexecuted and the lease machinery recovers.
+                let lane = self.lane_of_ino(ino);
+                self.send_request(
+                    lane,
+                    RequestBody::CommitWrite { ino, new_size },
+                    Purpose::Commit { ino },
+                    true,
+                    ctx,
+                );
+                self.send_release(ino, complete, ctx);
+                return;
+            }
             self.release_after_commit.insert(ino, complete);
             let lane = self.lane_of_ino(ino);
             self.send_request(
@@ -2100,6 +2307,7 @@ impl<Ob> ClientNode<Ob> {
 
     fn on_released(&mut self, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         self.locks.remove(&ino);
+        self.lazy_retained.retain(|i| *i != ino);
         self.cache.invalidate_ino(ino);
         if let Some(complete) = self.release_completes.remove(&ino).flatten() {
             self.complete_op(complete, Ok(FsData::Unit), ctx);
@@ -2386,6 +2594,12 @@ impl<Ob> ClientNode<Ob> {
                 // complete_op tears down the rename flow / fan-out state.
                 self.complete_op(op, Err(err), ctx);
             }
+            Purpose::Batch { elems } => {
+                // The whole message failed: every element shares its fate.
+                for p in elems {
+                    self.fail_purpose(lane, p, err, ctx);
+                }
+            }
             Purpose::KeepAlive
             | Purpose::Commit { .. }
             | Purpose::PushAckSend
@@ -2578,6 +2792,33 @@ impl<Ob> ClientNode<Ob> {
                 self.on_released(ino, ctx);
             }
             Purpose::ReleaseStale => {}
+            Purpose::Batch { elems } => match result {
+                Ok(ReplyBody::Batch(outcomes)) => {
+                    // Zip per-element outcomes to their purposes in wire
+                    // order. A purpose past the end of the outcomes was
+                    // cut off by first-error-stops: it never executed at
+                    // the server, so failing it as Unavailable is safe —
+                    // the caller may freely re-submit.
+                    let mut outcomes = outcomes.into_iter();
+                    for p in elems {
+                        match outcomes.next() {
+                            Some(outcome) => self.dispatch_reply(lane, p, outcome, ctx),
+                            None => self.fail_purpose(lane, p, FsErr::Unavailable, ctx),
+                        }
+                    }
+                }
+                Ok(_) => {
+                    for p in elems {
+                        self.fail_purpose(lane, p, FsErr::Invalid, ctx);
+                    }
+                }
+                Err(e) => {
+                    let err = map_fs_error(e);
+                    for p in elems {
+                        self.fail_purpose(lane, p, err, ctx);
+                    }
+                }
+            },
         }
     }
 
@@ -2951,6 +3192,10 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
                 let op = self.script.steps[i].1.clone();
                 self.submit(op, false, ctx);
             }
+            ClientTimer::BatchFlush(lane) => {
+                self.lanes[lane].flush_timer = None;
+                self.flush_batch(lane, FLUSH_DELAY, ctx);
+            }
         }
         self.pump_lease(ctx);
     }
@@ -2968,7 +3213,10 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
             lane.hello_inflight = false;
             lane.server_incarnation = None;
             lane.seen_pushes.clear();
+            lane.queue.clear();
+            lane.flush_timer = None;
         }
+        self.lazy_retained.clear();
         self.next_seq += 1_000_000; // fresh seq space for the new life
         self.pending.clear();
         let held: Vec<Ino> = self.locks.keys().copied().collect();

@@ -36,6 +36,10 @@ pub struct ClientObs {
     pub rename_aborts: Arc<Counter>,
     /// `client.renewal_headroom_ns`.
     pub renewal_headroom_ns: Arc<Histogram>,
+    /// `client.batch.size`.
+    pub batch_size: Arc<Histogram>,
+    /// `client.batch.flush_reason`.
+    pub batch_flush_reason: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for ClientObs {
@@ -59,6 +63,8 @@ impl ClientObs {
             lane_expiries: registry.counter_def(&names::CLIENT_LANE_EXPIRIES),
             rename_aborts: registry.counter_def(&names::CLIENT_RENAME_ABORTS),
             renewal_headroom_ns: registry.histogram_def(&names::CLIENT_RENEWAL_HEADROOM_NS),
+            batch_size: registry.histogram_def(&names::CLIENT_BATCH_SIZE),
+            batch_flush_reason: registry.histogram_def(&names::CLIENT_BATCH_FLUSH_REASON),
             registry,
         }
     }

@@ -1,0 +1,417 @@
+//! E15 — control-path batching + lazy lock release.
+//!
+//! The per-operation round trip is the control path's tax: every open,
+//! stat, allocation, and close pays the full client↔server latency even
+//! when the answers are independent. Two levers attack it:
+//!
+//! * **batching** — independent control ops coalesce into one
+//!   `RequestBody::Batch` datagram per lane (cap × δt window), so N ops
+//!   share one round trip and one opportunistic lease renewal;
+//! * **lazy release** — a voluntary lock release is retained client-side
+//!   (the lock stays Held, the cache stays warm); the next cycle on the
+//!   same file skips acquire/alloc entirely, and a server demand or cap
+//!   overflow sends the release back through the eager path.
+//!
+//! Two regimes, because the two levers win differently:
+//!
+//! 1. **Latency regime** — per-client **disjoint** file sets, ONE
+//!    closed-loop process per client cycling write → read → release on a
+//!    WAN-ish control network. Every round trip is on the critical path;
+//!    lazy release deletes acquire + commit + release from the
+//!    steady-state cycle. Swept over batch caps {1, 2, 4, 8, 16} × lazy
+//!    {off, on} × seeds.
+//! 2. **Message-load regime** — a concurrent stat storm (16 processes
+//!    per client). A latency-simulated network carries concurrent
+//!    singles in parallel, so batching cannot beat pipelining on
+//!    latency; its win is **datagrams per op** — the per-message server
+//!    cost the paper's §1.1 scalability argument is about. Swept over
+//!    batch caps at fixed workload.
+//!
+//! Both regimes run every seed through the offline checker (including
+//! the batch-atomicity audit). Emitted as `BENCH_batch.json`.
+//!
+//! Acceptance built into the binary:
+//! * **negative control** — cap 1 + lazy off is the pre-batching wire
+//!   behavior and must reproduce the E14-era baseline (~286 ops/s);
+//! * **speedup** — cap 16 + lazy on must clear 3× the negative control;
+//! * **message collapse** — cap 16 must at least halve control
+//!   datagrams per op in the storm without sacrificing throughput;
+//! * **safety** — zero checker violations across every swept config.
+//!
+//! `--smoke` shrinks durations and seed counts for CI; the assertions
+//! are identical.
+
+use tank_client::{FsOp, OpGen};
+use tank_cluster::table::{f, Table};
+use tank_cluster::{Cluster, ClusterConfig};
+use tank_core::LeaseConfig;
+use tank_sim::{LocalNs, NetParams, SimTime};
+
+const CLIENTS: usize = 4;
+const FILES_PER_CLIENT: usize = 4;
+const IO: u32 = 2048;
+
+/// The three-beat control cycle: write → read → release, walking
+/// round-robin over this client's private files — the open/write/close
+/// shape of real file traffic. Release is the "close" of the cycle,
+/// exactly the op lazy release absorbs; with it absorbed the lock stays
+/// held and the cache stays warm, so the next visit to the file pays no
+/// control round trip at all. Eagerly released, every visit re-pays
+/// acquire + commit + release.
+struct CycleGen {
+    files: Vec<String>,
+    beat: usize,
+    file: usize,
+    think_mean: LocalNs,
+}
+
+impl CycleGen {
+    fn new(client: usize, think_mean: LocalNs) -> Self {
+        let base = client * FILES_PER_CLIENT;
+        CycleGen {
+            files: (base..base + FILES_PER_CLIENT)
+                .map(|i| format!("/f{i}"))
+                .collect(),
+            beat: 0,
+            file: 0,
+            think_mean,
+        }
+    }
+}
+
+impl OpGen for CycleGen {
+    fn next_op(
+        &mut self,
+        rng: &mut rand_chacha::ChaCha8Rng,
+        _now: LocalNs,
+    ) -> Option<(LocalNs, FsOp)> {
+        use rand::RngExt;
+        let path = self.files[self.file].clone();
+        let op = match self.beat {
+            0 => {
+                let offset = (rng.random_range(0..3u64)) * IO as u64;
+                let base = (offset % 251) as u8;
+                FsOp::Write {
+                    path,
+                    offset,
+                    data: vec![base; IO as usize],
+                }
+            }
+            1 => FsOp::Read {
+                path,
+                offset: 0,
+                len: IO,
+            },
+            _ => FsOp::Release { path },
+        };
+        self.beat = (self.beat + 1) % 3;
+        if self.beat == 0 {
+            self.file = (self.file + 1) % self.files.len();
+        }
+        // Uniform on [0, 2·mean]: same mean as exponential, bounded tail.
+        let think = LocalNs(rng.random_range(0..=self.think_mean.0 * 2));
+        Some((think, op))
+    }
+}
+
+fn batch_cfg(cap: usize, lazy: bool) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = CLIENTS;
+    cfg.files = CLIENTS * FILES_PER_CLIENT;
+    cfg.file_blocks = 4;
+    cfg.block_size = IO as usize;
+    cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(2));
+    cfg.lease.epsilon = 0.01;
+    // ONE closed-loop process per client: every control round trip the
+    // cycle pays is on the critical path (concurrency would overlap and
+    // hide it). This is the client that feels the per-op RTT tax.
+    cfg.gen_concurrency = 1;
+    // A WAN-ish control network: the round trip (~19.5 ms) dwarfs the
+    // think time, so control-path round trips dominate the cycle — the
+    // regime the lazy-release lever exists for. The SAN keeps its
+    // default (data trips are not under test).
+    cfg.ctl_net = NetParams {
+        latency_ns: 9_700_000,
+        jitter_ns: 200_000,
+        ..NetParams::default()
+    };
+    cfg.batch_cap = cap;
+    cfg.lazy_release = lazy;
+    cfg
+}
+
+/// A metadata scan under concurrency: every local process stats a random
+/// file, 16 processes per client — the regime where independent control
+/// ops are in flight together and δt/size coalescing can pack them into
+/// shared datagrams.
+struct StatStormGen {
+    files: usize,
+    think_mean: LocalNs,
+}
+
+impl OpGen for StatStormGen {
+    fn next_op(
+        &mut self,
+        rng: &mut rand_chacha::ChaCha8Rng,
+        _now: LocalNs,
+    ) -> Option<(LocalNs, FsOp)> {
+        use rand::RngExt;
+        let f = rng.random_range(0..self.files);
+        let think = LocalNs(rng.random_range(0..=self.think_mean.0 * 2));
+        Some((
+            think,
+            FsOp::Stat {
+                path: format!("/f{f}"),
+            },
+        ))
+    }
+}
+
+fn storm_cfg(cap: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = 2;
+    cfg.files = 16;
+    cfg.block_size = IO as usize;
+    cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(2));
+    cfg.lease.epsilon = 0.01;
+    // 16 concurrent processes per client: plenty of independent GetAttrs
+    // in flight per lane, which is what gives the coalescing window
+    // something to pack.
+    cfg.gen_concurrency = 16;
+    // A metro-area control network (RTT ~4 ms) and a 2 ms coalescing
+    // window: long enough to fill batches, short against the RTT.
+    cfg.ctl_net = NetParams {
+        latency_ns: 2_000_000,
+        jitter_ns: 100_000,
+        ..NetParams::default()
+    };
+    cfg.batch_cap = cap;
+    cfg.batch_delay = LocalNs::from_millis(2);
+    cfg
+}
+
+/// Violation total the sweeps assert on — every safety family the
+/// checker audits, including the batch-atomicity ledger.
+fn violation_count(check: &tank_consistency::CheckReport) -> usize {
+    check.lost_updates.len()
+        + check.stale_reads.len()
+        + check.write_order_violations.len()
+        + check.early_grants.len()
+        + check.cross_shard.len()
+        + check.batch_atomicity.len()
+}
+
+/// One latency-regime run. Returns (ops ok, control datagrams the server
+/// saw, checker violations).
+fn run_once(cap: usize, lazy: bool, seed: u64, secs: u64) -> (u64, u64, usize) {
+    let mut cluster = Cluster::build(batch_cfg(cap, lazy), seed);
+    let think = LocalNs::from_millis(1);
+    for i in 0..CLIENTS {
+        cluster.attach_workload(i, Box::new(CycleGen::new(i, think)));
+    }
+    cluster.run_until(SimTime::from_secs(secs));
+    cluster.settle();
+    let requests = cluster.server_node().stats().requests;
+    let report = cluster.finish();
+    (
+        report.check.ops_ok,
+        requests,
+        violation_count(&report.check),
+    )
+}
+
+/// One stat-storm run. Returns (ops ok, control datagrams the server
+/// saw, checker violations).
+fn storm_once(cap: usize, seed: u64, secs: u64) -> (u64, u64, usize) {
+    let mut cluster = Cluster::build(storm_cfg(cap), seed);
+    for i in 0..2 {
+        cluster.attach_workload(
+            i,
+            Box::new(StatStormGen {
+                files: 16,
+                think_mean: LocalNs::from_millis(1),
+            }),
+        );
+    }
+    cluster.run_until(SimTime::from_secs(secs));
+    cluster.settle();
+    let requests = cluster.server_node().stats().requests;
+    let report = cluster.finish();
+    (
+        report.check.ops_ok,
+        requests,
+        violation_count(&report.check),
+    )
+}
+
+/// Virtual seconds `Cluster::settle()` appends after the timed run
+/// (2τ + 5 s at τ = 2 s). The workload keeps flowing through it, so the
+/// honest rate denominator is `secs + SETTLE_S` — that also makes the
+/// reported ops/s independent of the chosen run length (smoke and full
+/// sweeps land on the same rates).
+const SETTLE_S: u64 = 9;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (secs, seeds): (u64, u64) = if smoke { (6, 2) } else { (20, 10) };
+    let caps: Vec<usize> = vec![1, 2, 4, 8, 16];
+
+    println!("E15 — control-path batching + lazy lock release");
+    println!(
+        "({secs}s runs, {seeds} seeds per config, ctl RTT ~19.5ms{})",
+        if smoke { ", --smoke" } else { "" }
+    );
+
+    let mut t = Table::new(&[
+        "batch cap",
+        "lazy",
+        "ops ok",
+        "ops/sec",
+        "ctl msgs/op",
+        "violations",
+    ]);
+    let mut bench = String::from("{\n  \"bench\": \"batch_lazy_release\",\n  \"points\": [\n");
+    let mut total_violations = 0usize;
+    let mut baseline = 0.0f64;
+    let mut best = 0.0f64;
+    let configs: Vec<(usize, bool)> = caps.iter().flat_map(|&c| [(c, false), (c, true)]).collect();
+    for (k, &(cap, lazy)) in configs.iter().enumerate() {
+        let mut ops_sum = 0u64;
+        let mut req_sum = 0u64;
+        let mut violations = 0usize;
+        for seed in 0..seeds {
+            let (ops, reqs, v) = run_once(cap, lazy, seed, secs);
+            ops_sum += ops;
+            req_sum += reqs;
+            violations += v;
+        }
+        let ops_per_sec = ops_sum as f64 / (seeds * (secs + SETTLE_S)) as f64;
+        let msgs_per_op = req_sum as f64 / ops_sum.max(1) as f64;
+        if cap == 1 && !lazy {
+            baseline = ops_per_sec;
+        }
+        if cap == 16 && lazy {
+            best = ops_per_sec;
+        }
+        t.row(vec![
+            cap.to_string(),
+            if lazy { "on" } else { "off" }.to_string(),
+            ops_sum.to_string(),
+            f(ops_per_sec),
+            f(msgs_per_op),
+            violations.to_string(),
+        ]);
+        total_violations += violations;
+        bench.push_str(&format!(
+            "    {{ \"batch_cap\": {cap}, \"lazy_release\": {lazy}, \"seeds\": {seeds}, \
+             \"duration_s\": {secs}, \"ops_ok\": {ops_sum}, \"ops_per_sec\": {ops_per_sec:.2}, \
+             \"ctl_msgs_per_op\": {msgs_per_op:.2} }}{}\n",
+            if k + 1 < configs.len() { "," } else { "" }
+        ));
+    }
+    let speedup = best / baseline.max(1e-9);
+    print!("{}", t.render());
+
+    assert_eq!(total_violations, 0, "checker violations across the sweep");
+    println!(
+        "sweep: zero checker violations across {} configs × {seeds} seeds",
+        configs.len()
+    );
+
+    // Negative control: cap 1 + lazy off IS the old wire protocol; it must
+    // land on the E14-era baseline (~286 ops/s) so the speedup is measured
+    // against the real pre-batching system, not a strawman.
+    assert!(
+        (baseline - 286.0).abs() <= 286.0 * 0.15,
+        "negative control drifted from the E14-era baseline: {baseline:.2} ops/s"
+    );
+    assert!(
+        speedup >= 3.0,
+        "cap 16 + lazy release must clear 3x the per-op round-trip baseline \
+         (got {best:.2} vs {baseline:.2} = {speedup:.2}x)"
+    );
+    println!();
+    println!(
+        "latency regime: baseline (cap 1, lazy off) {baseline:.2} ops/s; best \
+         (cap 16, lazy on) {best:.2} ops/s — {speedup:.2}x"
+    );
+    println!("lazy release keeps the lock held and the cache warm, so the steady-state");
+    println!("write/read/release cycle pays zero control round trips.");
+    println!();
+
+    // ---- message-load regime: the stat storm. Batching cannot beat
+    // overlapped pipelining on latency (the network already carries
+    // concurrent singles in parallel); its win is DATAGRAM COUNT — the
+    // per-message server cost §1.1's scalability argument cares about.
+    let (storm_secs, storm_seeds): (u64, u64) = if smoke { (4, 2) } else { (10, 5) };
+    let storm_caps: Vec<usize> = vec![1, 2, 4, 8, 16];
+    let mut st = Table::new(&["batch cap", "ops ok", "ops/sec", "ctl msgs/op"]);
+    let mut storm_rows: Vec<(usize, u64, f64, f64)> = Vec::new();
+    let mut storm_violations = 0usize;
+    for &cap in &storm_caps {
+        let mut ops_sum = 0u64;
+        let mut req_sum = 0u64;
+        for seed in 0..storm_seeds {
+            let (ops, reqs, v) = storm_once(cap, seed, storm_secs);
+            ops_sum += ops;
+            req_sum += reqs;
+            storm_violations += v;
+        }
+        let ops_per_sec = ops_sum as f64 / (storm_seeds * (storm_secs + SETTLE_S)) as f64;
+        let msgs_per_op = req_sum as f64 / ops_sum.max(1) as f64;
+        st.row(vec![
+            cap.to_string(),
+            ops_sum.to_string(),
+            f(ops_per_sec),
+            f(msgs_per_op),
+        ]);
+        storm_rows.push((cap, ops_sum, ops_per_sec, msgs_per_op));
+    }
+    println!("stat storm (16 concurrent processes/client, metro RTT ~4ms, δt 2ms):");
+    print!("{}", st.render());
+    assert_eq!(storm_violations, 0, "checker violations in the stat storm");
+    let storm_base = storm_rows[0];
+    let storm_best = *storm_rows.last().unwrap();
+    let msg_ratio = storm_best.3 / storm_base.3.max(1e-9);
+    assert!(
+        msg_ratio <= 0.5,
+        "cap 16 must at least halve control datagrams per op \
+         (got {:.2} vs {:.2})",
+        storm_best.3,
+        storm_base.3
+    );
+    assert!(
+        storm_best.2 >= storm_base.2 * 0.7,
+        "batching must not sacrifice storm throughput for message count \
+         ({:.2} vs {:.2} ops/s)",
+        storm_best.2,
+        storm_base.2
+    );
+    println!(
+        "message load: {:.2} -> {:.2} ctl datagrams/op at cap 16 ({:.1}x fewer), \
+         throughput within {:.0}%",
+        storm_base.3,
+        storm_best.3,
+        1.0 / msg_ratio.max(1e-9),
+        (1.0 - storm_best.2 / storm_base.2).abs() * 100.0
+    );
+
+    bench.push_str("  ],\n  \"stat_storm\": [\n");
+    for (k, (cap, ops_sum, ops_per_sec, msgs_per_op)) in storm_rows.iter().enumerate() {
+        bench.push_str(&format!(
+            "    {{ \"batch_cap\": {cap}, \"seeds\": {storm_seeds}, \"duration_s\": {storm_secs}, \
+             \"ops_ok\": {ops_sum}, \"ops_per_sec\": {ops_per_sec:.2}, \
+             \"ctl_msgs_per_op\": {msgs_per_op:.3} }}{}\n",
+            if k + 1 < storm_rows.len() { "," } else { "" }
+        ));
+    }
+    bench.push_str(&format!(
+        "  ],\n  \"baseline_ops_per_sec\": {baseline:.2},\n  \"best_ops_per_sec\": {best:.2},\n  \
+         \"speedup\": {speedup:.2},\n  \"storm_msgs_per_op_cap1\": {:.3},\n  \
+         \"storm_msgs_per_op_cap16\": {:.3}\n}}\n",
+        storm_base.3, storm_best.3
+    ));
+
+    std::fs::write("BENCH_batch.json", &bench).expect("write BENCH_batch.json");
+    println!("wrote BENCH_batch.json");
+}

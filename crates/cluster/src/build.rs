@@ -65,6 +65,15 @@ pub struct ClusterConfig {
     pub flush_interval: LocalNs,
     /// Client flush queue depth (concurrent SAN writes per campaign).
     pub flush_window: usize,
+    /// Client control-path batch cap (1 = batching off, the wire
+    /// behavior every earlier experiment measured).
+    pub batch_cap: usize,
+    /// Client batch coalescing window (δt flush trigger).
+    pub batch_delay: LocalNs,
+    /// Client lazy lock release (retain voluntary releases locally).
+    pub lazy_release: bool,
+    /// Retained-release cap per client when `lazy_release` is on.
+    pub lazy_release_cap: usize,
     /// Record a human-readable trace.
     pub record_trace: bool,
     /// Observability registry shared by every layer of the cluster.
@@ -101,6 +110,10 @@ impl Default for ClusterConfig {
             gen_concurrency: 1,
             flush_interval: LocalNs::from_secs(2),
             flush_window: 16,
+            batch_cap: 1,
+            batch_delay: LocalNs(500_000),
+            lazy_release: false,
+            lazy_release_cap: 32,
             record_trace: false,
             obs: None,
         }
@@ -225,6 +238,10 @@ impl Cluster {
             ccfg.gen_concurrency = cfg.gen_concurrency;
             ccfg.flush_interval = cfg.flush_interval;
             ccfg.flush_window = cfg.flush_window;
+            ccfg.batch_cap = cfg.batch_cap;
+            ccfg.batch_delay = cfg.batch_delay;
+            ccfg.lazy_release = cfg.lazy_release;
+            ccfg.lazy_release_cap = cfg.lazy_release_cap;
             ccfg.function_ship = matches!(cfg.data_path, DataPath::FunctionShip);
             let mut node: ClientNode<Event> = ClientNode::new(ccfg, Box::new(map_client));
             if let Some(reg) = &cfg.obs {

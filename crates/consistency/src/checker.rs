@@ -135,6 +135,31 @@ pub struct CrossShardInterference {
     pub at: SimTime,
 }
 
+/// A lock-lifecycle event that breaks the per-epoch state machine a
+/// *batched* control path must preserve: each granted epoch is held
+/// exactly once until released or stolen. Vectored execution with
+/// first-error-stops could, if miswired, replay a grant inside a
+/// retransmitted batch or release an epoch the server never handed out
+/// — either would mean a batch was not applied as an atomic prefix.
+/// (A grant of a *different* epoch while one is held is a legitimate
+/// in-place upgrade and is not flagged.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BatchAtomicityViolation {
+    /// The server that emitted the inconsistent event.
+    pub server: NodeId,
+    /// The client the event names.
+    pub client: NodeId,
+    /// The inode.
+    pub ino: Ino,
+    /// The epoch the event carried.
+    pub epoch: tank_proto::Epoch,
+    /// What went wrong (`"duplicate same-epoch grant"`,
+    /// `"release of non-held epoch"`, `"steal of non-held epoch"`).
+    pub what: &'static str,
+    /// When.
+    pub at: SimTime,
+}
+
 /// A window during which a client's lock request sat blocked.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct UnavailWindow {
@@ -161,6 +186,9 @@ pub struct CheckReport {
     pub early_grants: Vec<EarlyGrant>,
     /// Lock events from servers outside their shard.
     pub cross_shard: Vec<CrossShardInterference>,
+    /// Lock-lifecycle breaks the batch audit caught (duplicate grants,
+    /// releases of epochs never held).
+    pub batch_atomicity: Vec<BatchAtomicityViolation>,
     /// Server recovery windows observed in the event stream.
     pub server_recoveries: u64,
     /// Lock-wait windows.
@@ -191,6 +219,7 @@ impl CheckReport {
             && self.write_order_violations.is_empty()
             && self.early_grants.is_empty()
             && self.cross_shard.is_empty()
+            && self.batch_atomicity.is_empty()
     }
 }
 
@@ -253,6 +282,12 @@ impl Checker {
         // Server recovery windows currently open, per server node
         // (restart instant). Sharded clusters recover independently.
         let mut recovering_since: HashMap<NodeId, SimTime> = HashMap::new();
+        // Batch-atomicity audit: the epoch each (server, client, ino)
+        // currently holds, per the server's own event stream. Epochs are
+        // per-server unique for the life of the run (the epoch counter
+        // survives restarts), so a same-epoch re-grant can only mean a
+        // replayed batch element.
+        let mut held_epoch: HashMap<(NodeId, NodeId, Ino), tank_proto::Epoch> = HashMap::new();
 
         for (t, node, ev) in events {
             match ev {
@@ -326,7 +361,29 @@ impl Checker {
                 Event::RequestBlocked { client, ino } => {
                     open_waits.entry((*client, *ino)).or_insert(*t);
                 }
-                Event::LockGranted { client, ino, .. } => {
+                Event::LockGranted {
+                    client, ino, epoch, ..
+                } => {
+                    // Batch audit: a grant must mint a fresh epoch. Seeing
+                    // the *same* epoch granted again means a batch element
+                    // was executed twice (replay through the vectored
+                    // path). A different epoch is an upgrade and simply
+                    // replaces the held one — upgrades emit no release.
+                    match held_epoch.get(&(*node, *client, *ino)) {
+                        Some(held) if held == epoch => {
+                            report.batch_atomicity.push(BatchAtomicityViolation {
+                                server: *node,
+                                client: *client,
+                                ino: *ino,
+                                epoch: *epoch,
+                                what: "duplicate same-epoch grant",
+                                at: *t,
+                            });
+                        }
+                        _ => {
+                            held_epoch.insert((*node, *client, *ino), *epoch);
+                        }
+                    }
                     if let Some(from) = open_waits.remove(&(*client, *ino)) {
                         report.unavailability.push(UnavailWindow {
                             client: *client,
@@ -361,8 +418,42 @@ impl Checker {
                     }
                     self.audit_shard(&mut report, *node, *client, *ino, "grant", *t);
                 }
-                Event::LockStolen { client, ino, .. } => {
+                Event::LockStolen { client, ino, epoch } => {
+                    // Batch audit: a server can only steal what its own
+                    // stream says is held.
+                    if held_epoch.get(&(*node, *client, *ino)) == Some(epoch) {
+                        held_epoch.remove(&(*node, *client, *ino));
+                    } else {
+                        report.batch_atomicity.push(BatchAtomicityViolation {
+                            server: *node,
+                            client: *client,
+                            ino: *ino,
+                            epoch: *epoch,
+                            what: "steal of non-held epoch",
+                            at: *t,
+                        });
+                    }
                     self.audit_shard(&mut report, *node, *client, *ino, "steal", *t);
+                }
+                Event::LockReleased { client, ino, epoch } => {
+                    // Batch audit: a release for an epoch the server's own
+                    // stream does not show as held means a batched
+                    // LockRelease was applied out of the recorded order
+                    // (or twice). The server only emits this event when
+                    // the holder matched, so in a correct run it always
+                    // pairs with the latest grant.
+                    if held_epoch.get(&(*node, *client, *ino)) == Some(epoch) {
+                        held_epoch.remove(&(*node, *client, *ino));
+                    } else {
+                        report.batch_atomicity.push(BatchAtomicityViolation {
+                            server: *node,
+                            client: *client,
+                            ino: *ino,
+                            epoch: *epoch,
+                            what: "release of non-held epoch",
+                            at: *t,
+                        });
+                    }
                 }
                 Event::ServerRecovering => {
                     report.server_recoveries += 1;
@@ -833,6 +924,146 @@ mod tests {
         assert_eq!(r.ops_failed, 1);
         assert_eq!(r.fence_rejections, 1);
         assert_eq!(r.dirty_discarded, 3);
+    }
+
+    #[test]
+    fn duplicate_same_epoch_grant_is_a_batch_violation() {
+        // A replayed batch element re-granting the identical epoch is the
+        // signature of vectored execution applying a prefix twice.
+        let grant = Event::LockGranted {
+            client: C1,
+            ino: F,
+            epoch: Epoch(7),
+            mode: tank_proto::LockMode::Exclusive,
+        };
+        let r = check(vec![
+            (t(1), NodeId(0), grant.clone()),
+            (t(2), NodeId(0), grant),
+        ]);
+        assert_eq!(r.batch_atomicity.len(), 1);
+        assert_eq!(r.batch_atomicity[0].what, "duplicate same-epoch grant");
+        assert_eq!(r.batch_atomicity[0].epoch, Epoch(7));
+        assert!(!r.safe());
+    }
+
+    #[test]
+    fn upgrade_grant_replaces_epoch_without_violation() {
+        // SharedRead → Exclusive upgrade mints a fresh epoch with no
+        // interleaved release event; the audit must treat it as a
+        // legitimate in-place replace, and the eventual release of the
+        // *new* epoch closes the ledger.
+        let r = check(vec![
+            (
+                t(1),
+                NodeId(0),
+                Event::LockGranted {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(1),
+                    mode: tank_proto::LockMode::SharedRead,
+                },
+            ),
+            (
+                t(2),
+                NodeId(0),
+                Event::LockGranted {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(2),
+                    mode: tank_proto::LockMode::Exclusive,
+                },
+            ),
+            (
+                t(3),
+                NodeId(0),
+                Event::LockReleased {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(2),
+                },
+            ),
+        ]);
+        assert!(r.safe(), "{r:?}");
+        assert!(r.batch_atomicity.is_empty());
+    }
+
+    #[test]
+    fn release_of_non_held_epoch_is_a_batch_violation() {
+        // Releasing epoch 1 after the upgrade to epoch 2 (or with no
+        // grant at all) means a batched LockRelease ran against state the
+        // recorded order never produced.
+        let r = check(vec![
+            (
+                t(1),
+                NodeId(0),
+                Event::LockGranted {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(2),
+                    mode: tank_proto::LockMode::Exclusive,
+                },
+            ),
+            (
+                t(2),
+                NodeId(0),
+                Event::LockReleased {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(1),
+                },
+            ),
+        ]);
+        assert_eq!(r.batch_atomicity.len(), 1);
+        assert_eq!(r.batch_atomicity[0].what, "release of non-held epoch");
+        assert!(!r.safe());
+    }
+
+    #[test]
+    fn grant_release_cycles_and_steals_stay_clean() {
+        // The normal lifecycle — grant, voluntary release, re-grant,
+        // steal — closes every epoch exactly once.
+        let r = check(vec![
+            (
+                t(1),
+                NodeId(0),
+                Event::LockGranted {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(1),
+                    mode: tank_proto::LockMode::Exclusive,
+                },
+            ),
+            (
+                t(2),
+                NodeId(0),
+                Event::LockReleased {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(1),
+                },
+            ),
+            (
+                t(3),
+                NodeId(0),
+                Event::LockGranted {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(2),
+                    mode: tank_proto::LockMode::Exclusive,
+                },
+            ),
+            (
+                t(4),
+                NodeId(0),
+                Event::LockStolen {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(2),
+                },
+            ),
+        ]);
+        assert!(r.safe(), "{r:?}");
+        assert!(r.batch_atomicity.is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The UDP lease/lock/metadata server (synchronous, single I/O thread).
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use tank_core::{ClientStanding, LeaseAuthority, LeaseConfig};
 use tank_meta::{MetaError, MetaStore};
+use tank_obs::{names, Histogram, Registry};
 use tank_proto::message::{FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     CtlMsg, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request,
@@ -141,6 +142,25 @@ pub struct LeaseServer {
     incarnation: Incarnation,
     recovering: bool,
     stats: NetServerStats,
+    /// Wall-clock vectored-batch execution histogram (when observed).
+    batch_exec_ns: Option<Arc<Histogram>>,
+    /// Scratch buffers for [`Self::deliver_grants`]: the grant-push path
+    /// runs on the hot request loop, so each pass reuses these instead of
+    /// collecting a fresh `Vec` (see `rotate_grants` and the criterion
+    /// datapoint in `tank-bench`).
+    grant_queue: VecDeque<Grant>,
+    grant_batch: Vec<Grant>,
+    grant_touched: Vec<Ino>,
+}
+
+/// Move all queued grants into `batch` for one delivery pass, reusing
+/// `batch`'s capacity. After warm-up neither side allocates: the queue
+/// keeps its buffer across `drain`, and `clear` + `extend` refills the
+/// batch in place. Public so the allocation claim is benchmarked
+/// (`crates/bench/benches/batch_codec.rs`) rather than asserted.
+pub fn rotate_grants(queue: &mut VecDeque<Grant>, batch: &mut Vec<Grant>) {
+    batch.clear();
+    batch.extend(queue.drain(..));
 }
 
 /// Handle returned by [`LeaseServer::spawn`].
@@ -162,6 +182,16 @@ impl ServerHandle {
 impl LeaseServer {
     /// Bind `addr` and run the server on a background thread.
     pub fn spawn(addr: &str, cfg: NetServerConfig) -> std::io::Result<ServerHandle> {
+        Self::spawn_observed(addr, cfg, None)
+    }
+
+    /// [`spawn`](Self::spawn) with an observability registry: records the
+    /// `server.batch.exec_ns` histogram for vectored batch execution.
+    pub fn spawn_observed(
+        addr: &str,
+        cfg: NetServerConfig,
+        registry: Option<&Arc<Registry>>,
+    ) -> std::io::Result<ServerHandle> {
         let sock = Arc::new(FaultySocket::bind(addr, cfg.faults)?);
         let bound = sock.local_addr()?;
         let mut server = LeaseServer {
@@ -180,6 +210,10 @@ impl LeaseServer {
             incarnation: Incarnation(cfg.incarnation),
             recovering: false,
             stats: NetServerStats::default(),
+            batch_exec_ns: registry.map(|r| r.histogram_def(&names::SERVER_BATCH_EXEC_NS)),
+            grant_queue: VecDeque::new(),
+            grant_batch: Vec::new(),
+            grant_touched: Vec::new(),
             cfg,
         };
         if server.cfg.recover {
@@ -336,19 +370,28 @@ impl LeaseServer {
     /// window; everything else (Hello, KeepAlive, reads, releases,
     /// PushAcks) is served so surviving clients can wind down cleanly.
     fn needs_full_service(body: &RequestBody) -> bool {
-        matches!(
-            body,
+        match body {
             RequestBody::LockAcquire { .. }
-                | RequestBody::Create { .. }
-                | RequestBody::Mkdir { .. }
-                | RequestBody::Unlink { .. }
-                | RequestBody::RenameLink { .. }
-                | RequestBody::RenameUnlink { .. }
-                | RequestBody::SetAttr { .. }
-                | RequestBody::AllocBlocks { .. }
-                | RequestBody::CommitWrite { .. }
-                | RequestBody::WriteData { .. }
-        )
+            | RequestBody::Create { .. }
+            | RequestBody::Mkdir { .. }
+            | RequestBody::Unlink { .. }
+            | RequestBody::RenameLink { .. }
+            | RequestBody::RenameUnlink { .. }
+            | RequestBody::SetAttr { .. }
+            | RequestBody::AllocBlocks { .. }
+            | RequestBody::CommitWrite { .. }
+            | RequestBody::WriteData { .. } => true,
+            // A batch needs full service exactly when any element does.
+            RequestBody::Batch(elems) => elems.iter().any(Self::needs_full_service),
+            RequestBody::Hello { .. }
+            | RequestBody::KeepAlive
+            | RequestBody::Lookup { .. }
+            | RequestBody::ReadDir { .. }
+            | RequestBody::GetAttr { .. }
+            | RequestBody::LockRelease { .. }
+            | RequestBody::PushAck { .. }
+            | RequestBody::ReadData { .. } => false,
+        }
     }
 
     fn delivery_error(&mut self, client: NodeId) {
@@ -421,14 +464,20 @@ impl LeaseServer {
     }
 
     fn deliver_grants(&mut self, grants: Vec<Grant>) {
-        let mut queue: std::collections::VecDeque<Grant> = grants.into();
+        // The scratch buffers live on `self` so repeated passes reuse
+        // their capacity; they are taken out for the loop because
+        // `respond`/`start_demand` need `&mut self`.
+        let mut queue = std::mem::take(&mut self.grant_queue);
+        let mut batch = std::mem::take(&mut self.grant_batch);
+        let mut touched = std::mem::take(&mut self.grant_touched);
+        queue.extend(grants);
         while !queue.is_empty() {
-            let mut touched: Vec<Ino> = Vec::new();
-            let batch: Vec<Grant> = queue.drain(..).collect();
+            rotate_grants(&mut queue, &mut batch);
+            touched.clear();
             touched.extend(batch.iter().map(|g| g.ino));
             touched.sort();
             touched.dedup();
-            for g in batch {
+            for g in batch.drain(..) {
                 if let Some((session, seq)) = g.answers {
                     let Some(&addr) = self.addrs.get(&g.client) else {
                         continue;
@@ -449,13 +498,16 @@ impl LeaseServer {
                     );
                 }
             }
-            for ino in touched {
+            for &ino in &touched {
                 for (holder, mode) in self.locks.pending_demands(ino) {
                     let more = self.start_demand(holder, ino, mode);
                     queue.extend(more);
                 }
             }
         }
+        self.grant_queue = queue;
+        self.grant_batch = batch;
+        self.grant_touched = touched;
     }
 
     fn map_meta<T>(r: Result<T, MetaError>) -> Result<T, FsError> {
@@ -557,11 +609,114 @@ impl LeaseServer {
     }
 
     fn execute(&mut self, addr: SocketAddr, client: NodeId, req: Request) {
-        let now = mono_now().0;
         let session = req.session;
         let seq = req.seq;
-        let result: Result<ReplyBody, FsError> = match req.body {
+        match req.body {
             RequestBody::Hello { .. } => unreachable!(),
+            RequestBody::LockAcquire { ino, mode } => {
+                self.do_lock_acquire(addr, client, session, seq, ino, mode);
+            }
+            RequestBody::Batch(elems) => {
+                self.do_batch(addr, client, session, seq, elems);
+            }
+            body => {
+                let result = self.execute_sync(client, body);
+                self.respond(addr, client, session, seq, ResponseOutcome::Acked(result));
+            }
+        }
+    }
+
+    /// Vectored batch execution: elements run in order, the first
+    /// file-system error stops the rest, and the whole batch is answered
+    /// with one ACK carrying per-element outcomes. Wall-clock execution
+    /// time lands in `server.batch.exec_ns` when observed.
+    fn do_batch(
+        &mut self,
+        addr: SocketAddr,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        elems: Vec<RequestBody>,
+    ) {
+        let t0 = Instant::now();
+        let mut outcomes: Vec<Result<ReplyBody, FsError>> = Vec::with_capacity(elems.len());
+        for body in elems {
+            let result = if body.batchable() {
+                self.execute_sync(client, body)
+            } else {
+                Err(FsError::Invalid)
+            };
+            let stop = result.is_err();
+            outcomes.push(result);
+            if stop {
+                break;
+            }
+        }
+        if let Some(h) = &self.batch_exec_ns {
+            h.observe(t0.elapsed().as_nanos() as u64);
+        }
+        self.respond(
+            addr,
+            client,
+            session,
+            seq,
+            ResponseOutcome::Acked(Ok(ReplyBody::Batch(outcomes))),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_lock_acquire(
+        &mut self,
+        addr: SocketAddr,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        ino: Ino,
+        mode: LockMode,
+    ) {
+        let result = if let Err(e) = Self::map_meta(self.meta.getattr(ino)) {
+            Err(e)
+        } else {
+            match self.locks.request(client, ino, mode, session, seq) {
+                LockRequestOutcome::Granted(g) => {
+                    let (blocks, size) = self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
+                    Ok(ReplyBody::LockGranted {
+                        ino,
+                        mode,
+                        epoch: g.epoch,
+                        blocks,
+                        size,
+                    })
+                }
+                LockRequestOutcome::AlreadyHeld(epoch, held) => {
+                    let (blocks, size) = self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
+                    Ok(ReplyBody::LockGranted {
+                        ino,
+                        mode: held,
+                        epoch,
+                        blocks,
+                        size,
+                    })
+                }
+                LockRequestOutcome::Queued { demand_from } => {
+                    let mut grants = Vec::new();
+                    for holder in demand_from {
+                        grants.extend(self.start_demand(holder, ino, mode));
+                    }
+                    self.deliver_grants(grants);
+                    return; // grant answers later
+                }
+            }
+        };
+        self.respond(addr, client, session, seq, ResponseOutcome::Acked(result));
+    }
+
+    /// Execute one synchronously-answerable body. `LockAcquire` (which
+    /// may queue and answer later) and session shapes are `Invalid` here;
+    /// [`Self::execute`] routes them first, and batches exclude them.
+    fn execute_sync(&mut self, client: NodeId, body: RequestBody) -> Result<ReplyBody, FsError> {
+        let now = mono_now().0;
+        match body {
             RequestBody::KeepAlive => Ok(ReplyBody::Ok),
             RequestBody::Create { parent, name } => {
                 Self::map_meta(self.meta.create(parent, &name, now))
@@ -591,44 +746,6 @@ impl LeaseServer {
             }
             RequestBody::SetAttr { ino, size } => Self::map_meta(self.meta.setattr(ino, size, now))
                 .map(|attr| ReplyBody::Attr { attr }),
-            RequestBody::LockAcquire { ino, mode } => {
-                if let Err(e) = Self::map_meta(self.meta.getattr(ino)) {
-                    Err(e)
-                } else {
-                    match self.locks.request(client, ino, mode, session, seq) {
-                        LockRequestOutcome::Granted(g) => {
-                            let (blocks, size) =
-                                self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
-                            Ok(ReplyBody::LockGranted {
-                                ino,
-                                mode,
-                                epoch: g.epoch,
-                                blocks,
-                                size,
-                            })
-                        }
-                        LockRequestOutcome::AlreadyHeld(epoch, held) => {
-                            let (blocks, size) =
-                                self.meta.file_extent(ino).unwrap_or((Vec::new(), 0));
-                            Ok(ReplyBody::LockGranted {
-                                ino,
-                                mode: held,
-                                epoch,
-                                blocks,
-                                size,
-                            })
-                        }
-                        LockRequestOutcome::Queued { demand_from } => {
-                            let mut grants = Vec::new();
-                            for holder in demand_from {
-                                grants.extend(self.start_demand(holder, ino, mode));
-                            }
-                            self.deliver_grants(grants);
-                            return; // grant answers later
-                        }
-                    }
-                }
-            }
             RequestBody::LockRelease { ino, epoch } => {
                 let grants = self.locks.release(client, ino, Some(epoch));
                 let done: Vec<u64> = self
@@ -680,7 +797,9 @@ impl LeaseServer {
                 // No SAN behind this server; data stays with the client.
                 Err(FsError::Invalid)
             }
-        };
-        self.respond(addr, client, session, seq, ResponseOutcome::Acked(result));
+            RequestBody::Hello { .. } | RequestBody::LockAcquire { .. } | RequestBody::Batch(_) => {
+                Err(FsError::Invalid)
+            }
+        }
     }
 }

@@ -144,6 +144,22 @@ pub const CLIENT_RENEWAL_HEADROOM_NS: MetricDef = histogram(
     DURATION_BOUNDS_NS,
     "lease headroom remaining at each successful renewal",
 );
+/// Ops per flushed batch (1 = the coalescing queue found nothing to fold).
+pub const CLIENT_BATCH_SIZE: MetricDef = histogram(
+    "client.batch.size",
+    "ops",
+    SMALL_COUNT_BOUNDS,
+    "ops per flushed control-path batch",
+);
+/// Why each batch left the queue: 0 = hit the size cap, 1 = the δt flush
+/// timer fired, 2 = a sync-point op (lock acquire, rename, SAN round
+/// trip...) forced everything queued ahead of it out.
+pub const CLIENT_BATCH_FLUSH_REASON: MetricDef = histogram(
+    "client.batch.flush_reason",
+    "reason",
+    SMALL_COUNT_BOUNDS,
+    "batch flush trigger (0=size cap, 1=delay, 2=sync point)",
+);
 
 // ------------------------------------------------------------- server
 
@@ -217,6 +233,14 @@ pub const SERVER_STEAL_LATENCY_NS: MetricDef = histogram(
     "ns",
     DURATION_BOUNDS_NS,
     "condemnation-timer arm-to-fire latency",
+);
+/// Wall-clock time executing one batch's elements (net stack only — the
+/// sim server executes in zero virtual time).
+pub const SERVER_BATCH_EXEC_NS: MetricDef = histogram(
+    "server.batch.exec_ns",
+    "ns",
+    DURATION_BOUNDS_NS,
+    "wall-clock vectored batch execution time",
 );
 
 // ---------------------------------------------------------------- sim
@@ -307,6 +331,8 @@ pub const ALL: &[MetricDef] = &[
     CLIENT_LANE_EXPIRIES,
     CLIENT_RENAME_ABORTS,
     CLIENT_RENEWAL_HEADROOM_NS,
+    CLIENT_BATCH_SIZE,
+    CLIENT_BATCH_FLUSH_REASON,
     // server
     SERVER_LOCK_GRANTED,
     SERVER_LOCK_RELEASED,
@@ -327,6 +353,7 @@ pub const ALL: &[MetricDef] = &[
     SERVER_RECOVERY_ENDED,
     SERVER_UNEXPECTED_MSGS,
     SERVER_STEAL_LATENCY_NS,
+    SERVER_BATCH_EXEC_NS,
     // sim
     SIM_MSG_SENT,
     SIM_MSG_DELIVERED,

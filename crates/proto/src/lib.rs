@@ -34,7 +34,8 @@ pub use ids::{
 };
 pub use lock::LockMode;
 pub use message::{
-    CtlMsg, NackReason, PushBody, ReplyBody, Request, RequestBody, Response, RouteError, ServerPush,
+    CtlMsg, NackReason, PushBody, ReplyBody, Request, RequestBody, Response, RouteError,
+    ServerPush, MAX_BATCH_ELEMS,
 };
 pub use san::{stripe_disk, BlockRange, FenceOp, SanError, SanMsg, SanReadOk};
 pub use seqwin::DedupWindow;

@@ -22,6 +22,11 @@ use serde::{Deserialize, Serialize};
 use crate::ids::{BlockId, Epoch, Incarnation, Ino, NodeId, ReqSeq, SessionId};
 use crate::lock::LockMode;
 
+/// Maximum elements in one [`RequestBody::Batch`] / [`ReplyBody::Batch`].
+/// Enforced on decode (defensive bound for the UDP path) and respected by
+/// the client's coalescing queue, whose flush cap is far below it.
+pub const MAX_BATCH_ELEMS: usize = 1024;
+
 /// A message on the control network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CtlMsg {
@@ -113,6 +118,16 @@ pub enum RequestBody {
     /// its blocks — the inode lives on (possibly on another shard) under
     /// its new name.
     RenameUnlink { dir: Ino, name: String },
+    /// Several operations folded into one datagram. One batch is one
+    /// [`Request`] — one sequence number, one ACK, one opportunistic lease
+    /// renewal (§3.1: leasing reasons about *messages*, so Theorem 3.1 is
+    /// untouched by how many ops ride inside). The server executes the
+    /// elements in order and stops at the first file-system error
+    /// (first-error-stops); the reply is [`ReplyBody::Batch`] with one
+    /// per-element outcome. Elements must be [`RequestBody::batchable`]:
+    /// nesting and ops that answer asynchronously (lock acquires, SAN
+    /// round trips) are rejected at the wire layer and by the server.
+    Batch(Vec<RequestBody>),
 }
 
 impl RequestBody {
@@ -141,6 +156,45 @@ impl RequestBody {
             RequestBody::WriteData { .. } => "write_data",
             RequestBody::RenameLink { .. } => "rename_link",
             RequestBody::RenameUnlink { .. } => "rename_unlink",
+            RequestBody::Batch(_) => "batch",
+        }
+    }
+
+    /// True for operations that may ride inside a [`RequestBody::Batch`].
+    ///
+    /// Excluded are the shapes that cannot produce a synchronous
+    /// per-element reply or that carry their own session semantics:
+    ///
+    /// * `Hello` — establishes the session a batch would already need;
+    /// * `LockAcquire` — may queue on a conflicting holder and answer
+    ///   *later* via the grant path, so it has no in-order reply;
+    /// * `ReadData` / `WriteData` — function-shipped SAN round trips that
+    ///   suspend the request on the sim server;
+    /// * `RenameLink` / `RenameUnlink` — the two halves of a rename span
+    ///   shards and must stay individually addressable for the
+    ///   link-before-unlink argument;
+    /// * `Batch` — nesting is rejected outright.
+    pub fn batchable(&self) -> bool {
+        match self {
+            RequestBody::KeepAlive
+            | RequestBody::Create { .. }
+            | RequestBody::Lookup { .. }
+            | RequestBody::Mkdir { .. }
+            | RequestBody::ReadDir { .. }
+            | RequestBody::Unlink { .. }
+            | RequestBody::GetAttr { .. }
+            | RequestBody::SetAttr { .. }
+            | RequestBody::LockRelease { .. }
+            | RequestBody::PushAck { .. }
+            | RequestBody::AllocBlocks { .. }
+            | RequestBody::CommitWrite { .. } => true,
+            RequestBody::Hello { .. }
+            | RequestBody::LockAcquire { .. }
+            | RequestBody::ReadData { .. }
+            | RequestBody::WriteData { .. }
+            | RequestBody::RenameLink { .. }
+            | RequestBody::RenameUnlink { .. }
+            | RequestBody::Batch(_) => false,
         }
     }
 }
@@ -190,6 +244,13 @@ pub enum ReplyBody {
     Allocated { blocks: Vec<BlockId> },
     /// Function-shipped read result.
     Data { data: Vec<u8> },
+    /// Per-element outcomes of a [`RequestBody::Batch`]. Under
+    /// first-error-stops semantics the vector holds one `Ok` per executed
+    /// element up to (and excluding) the first failure, then that failure
+    /// as its final `Err`; elements after the failure were never executed
+    /// and have no entry. The whole batch was still *acknowledged* — one
+    /// message, one ACK, lease renewed — even when an element failed.
+    Batch(Vec<Result<ReplyBody, FsError>>),
 }
 
 impl ReplyBody {
@@ -206,6 +267,7 @@ impl ReplyBody {
             ReplyBody::LockGranted { .. } => "lock_granted",
             ReplyBody::Allocated { .. } => "allocated",
             ReplyBody::Data { .. } => "data",
+            ReplyBody::Batch(_) => "batch",
         }
     }
 }
@@ -388,46 +450,68 @@ impl CtlMsg {
     pub fn size_hint(&self) -> usize {
         const HDR: usize = 24;
         HDR + match self {
-            CtlMsg::Request(r) => match &r.body {
-                RequestBody::WriteData { data, .. } => 16 + data.len(),
-                RequestBody::Create { name, .. }
-                | RequestBody::Lookup { name, .. }
-                | RequestBody::Mkdir { name, .. }
-                | RequestBody::Unlink { name, .. }
-                | RequestBody::RenameLink { name, .. }
-                | RequestBody::RenameUnlink { name, .. } => 8 + name.len(),
-                RequestBody::Hello { .. }
-                | RequestBody::KeepAlive
-                | RequestBody::ReadDir { .. }
-                | RequestBody::GetAttr { .. }
-                | RequestBody::SetAttr { .. }
-                | RequestBody::LockAcquire { .. }
-                | RequestBody::LockRelease { .. }
-                | RequestBody::PushAck { .. }
-                | RequestBody::AllocBlocks { .. }
-                | RequestBody::CommitWrite { .. }
-                | RequestBody::ReadData { .. } => 16,
-            },
+            CtlMsg::Request(r) => request_body_size(&r.body),
             CtlMsg::Response(r) => match &r.outcome {
-                ResponseOutcome::Acked(Ok(ReplyBody::Data { data })) => 8 + data.len(),
-                ResponseOutcome::Acked(Ok(ReplyBody::Dir { entries })) => {
-                    8 + entries.iter().map(|(n, _)| n.len() + 12).sum::<usize>()
-                }
-                ResponseOutcome::Acked(Ok(ReplyBody::LockGranted { blocks, .. }))
-                | ResponseOutcome::Acked(Ok(ReplyBody::Allocated { blocks })) => {
-                    24 + 8 * blocks.len()
-                }
-                ResponseOutcome::Acked(Ok(
-                    ReplyBody::HelloOk { .. }
-                    | ReplyBody::Ok
-                    | ReplyBody::Created { .. }
-                    | ReplyBody::Resolved { .. }
-                    | ReplyBody::Attr { .. },
-                ))
-                | ResponseOutcome::Acked(Err(_))
-                | ResponseOutcome::Nacked(_) => 16,
+                ResponseOutcome::Acked(Ok(body)) => reply_body_size(body),
+                ResponseOutcome::Acked(Err(_)) | ResponseOutcome::Nacked(_) => 16,
             },
             CtlMsg::Push(_) => 16,
+        }
+    }
+}
+
+/// Approximate body size of a request, recursing into batches (each element
+/// costs its own body plus a small per-element framing overhead).
+fn request_body_size(body: &RequestBody) -> usize {
+    match body {
+        RequestBody::WriteData { data, .. } => 16 + data.len(),
+        RequestBody::Create { name, .. }
+        | RequestBody::Lookup { name, .. }
+        | RequestBody::Mkdir { name, .. }
+        | RequestBody::Unlink { name, .. }
+        | RequestBody::RenameLink { name, .. }
+        | RequestBody::RenameUnlink { name, .. } => 8 + name.len(),
+        RequestBody::Hello { .. }
+        | RequestBody::KeepAlive
+        | RequestBody::ReadDir { .. }
+        | RequestBody::GetAttr { .. }
+        | RequestBody::SetAttr { .. }
+        | RequestBody::LockAcquire { .. }
+        | RequestBody::LockRelease { .. }
+        | RequestBody::PushAck { .. }
+        | RequestBody::AllocBlocks { .. }
+        | RequestBody::CommitWrite { .. }
+        | RequestBody::ReadData { .. } => 16,
+        RequestBody::Batch(elems) => {
+            8 + elems
+                .iter()
+                .map(|e| 4 + request_body_size(e))
+                .sum::<usize>()
+        }
+    }
+}
+
+/// Approximate body size of a successful reply, recursing into batches.
+fn reply_body_size(body: &ReplyBody) -> usize {
+    match body {
+        ReplyBody::Data { data } => 8 + data.len(),
+        ReplyBody::Dir { entries } => 8 + entries.iter().map(|(n, _)| n.len() + 12).sum::<usize>(),
+        ReplyBody::LockGranted { blocks, .. } | ReplyBody::Allocated { blocks } => {
+            24 + 8 * blocks.len()
+        }
+        ReplyBody::HelloOk { .. }
+        | ReplyBody::Ok
+        | ReplyBody::Created { .. }
+        | ReplyBody::Resolved { .. }
+        | ReplyBody::Attr { .. } => 16,
+        ReplyBody::Batch(outcomes) => {
+            8 + outcomes
+                .iter()
+                .map(|o| match o {
+                    Ok(b) => 4 + reply_body_size(b),
+                    Err(_) => 4,
+                })
+                .sum::<usize>()
         }
     }
 }
@@ -486,6 +570,54 @@ mod tests {
         })
         .size_hint();
         assert!(big > small + 4000);
+    }
+
+    #[test]
+    fn batchable_excludes_async_and_session_shapes() {
+        assert!(RequestBody::GetAttr { ino: Ino(1) }.batchable());
+        assert!(RequestBody::LockRelease {
+            ino: Ino(1),
+            epoch: crate::ids::Epoch(1),
+        }
+        .batchable());
+        assert!(RequestBody::KeepAlive.batchable());
+        // Async answers, session establishment, SAN round trips, renames,
+        // and nesting all stay out of batches.
+        assert!(!RequestBody::Hello { map_epoch: 0 }.batchable());
+        assert!(!RequestBody::LockAcquire {
+            ino: Ino(1),
+            mode: LockMode::SharedRead,
+        }
+        .batchable());
+        assert!(!RequestBody::ReadData {
+            ino: Ino(1),
+            offset: 0,
+            len: 8,
+        }
+        .batchable());
+        assert!(!RequestBody::RenameLink {
+            dir: Ino(1),
+            name: "a".into(),
+            ino: Ino(2),
+        }
+        .batchable());
+        assert!(!RequestBody::Batch(vec![]).batchable());
+    }
+
+    #[test]
+    fn batch_size_hint_sums_elements() {
+        let one = req(RequestBody::GetAttr { ino: Ino(1) }).size_hint();
+        let four = req(RequestBody::Batch(vec![
+            RequestBody::GetAttr { ino: Ino(1) },
+            RequestBody::GetAttr { ino: Ino(2) },
+            RequestBody::GetAttr { ino: Ino(3) },
+            RequestBody::GetAttr { ino: Ino(4) },
+        ]))
+        .size_hint();
+        // Four ops in one batch cost far less than four datagrams but more
+        // than one.
+        assert!(four > one);
+        assert!(four < 4 * one);
     }
 
     #[test]

@@ -150,6 +150,40 @@ mod tests {
     }
 
     #[test]
+    fn a_batch_is_one_sequence_number() {
+        // The window keys on ReqSeq alone — a Batch request travels under
+        // a single sequence number, so a retransmitted batch produces
+        // exactly ONE Duplicate verdict, never one per element. The
+        // replay cache then re-sends the whole recorded Batch reply;
+        // elements cannot be re-executed individually.
+        let mut win = w();
+        let batch_seq = ReqSeq(1);
+        assert_eq!(win.observe(batch_seq), SeqVerdict::Fresh);
+        // The retransmit (same seq, same 16-element payload) dedups as a
+        // unit: one verdict, no per-element bookkeeping grew.
+        for _retry in 0..3 {
+            assert_eq!(win.observe(batch_seq), SeqVerdict::Duplicate);
+        }
+        assert_eq!(win.sparse_len(), 0);
+        assert_eq!(win.low_watermark(), batch_seq);
+    }
+
+    #[test]
+    fn interleaved_batch_retransmits_do_not_stall_the_watermark() {
+        // Batches and singles share the lane's sequence space. Late
+        // retransmits of an already-compacted batch seq must neither
+        // re-open the window nor block later traffic from compacting.
+        let mut win = w();
+        assert_eq!(win.observe(ReqSeq(1)), SeqVerdict::Fresh); // batch A
+        assert_eq!(win.observe(ReqSeq(2)), SeqVerdict::Fresh); // single
+        assert_eq!(win.observe(ReqSeq(1)), SeqVerdict::Duplicate); // A again
+        assert_eq!(win.observe(ReqSeq(3)), SeqVerdict::Fresh); // batch B
+        assert_eq!(win.observe(ReqSeq(2)), SeqVerdict::Duplicate);
+        assert_eq!(win.low_watermark(), ReqSeq(3));
+        assert_eq!(win.sparse_len(), 0);
+    }
+
+    #[test]
     fn span_bound_limits_memory() {
         let mut win = DedupWindow::with_span(8);
         // Only even numbers arrive: gaps never fill, window must slide.

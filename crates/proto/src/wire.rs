@@ -13,7 +13,7 @@ use crate::ids::{BlockId, Epoch, Incarnation, Ino, NodeId, ReqSeq, SessionId, Wr
 use crate::lock::LockMode;
 use crate::message::{
     CtlMsg, FileAttr, FsError, NackReason, PushBody, ReplyBody, Request, RequestBody, Response,
-    ResponseOutcome, RouteError, ServerPush,
+    ResponseOutcome, RouteError, ServerPush, MAX_BATCH_ELEMS,
 };
 use crate::san::{BlockRange, FenceOp, SanError, SanMsg, SanReadOk};
 use crate::NetMsg;
@@ -293,6 +293,18 @@ impl WireEncode for RequestBody {
                 buf.put_u64_le(dir.0);
                 put_str(buf, name);
             }
+            RequestBody::Batch(elems) => {
+                debug_assert!(elems.len() <= MAX_BATCH_ELEMS, "batch over element cap");
+                debug_assert!(
+                    elems.iter().all(|e| !matches!(e, RequestBody::Batch(_))),
+                    "nested batch"
+                );
+                buf.put_u8(18);
+                buf.put_u32_le(elems.len() as u32);
+                for e in elems {
+                    e.encode(buf);
+                }
+            }
         }
     }
 }
@@ -373,6 +385,27 @@ impl WireDecode for RequestBody {
                 dir: Ino(get_u64(buf)?),
                 name: get_str(buf)?,
             },
+            18 => {
+                let n = get_u32(buf)? as usize;
+                if n > MAX_BATCH_ELEMS {
+                    return Err(WireError::TooLong);
+                }
+                let mut elems = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let e = RequestBody::decode(buf)?;
+                    if matches!(e, RequestBody::Batch(_)) {
+                        // Nesting is structurally forbidden: one batch is
+                        // one message, and recursion would let a datagram
+                        // amplify its own decode cost.
+                        return Err(WireError::BadTag {
+                            what: "RequestBody (nested batch)",
+                            tag: 18,
+                        });
+                    }
+                    elems.push(e);
+                }
+                RequestBody::Batch(elems)
+            }
             t => {
                 return Err(WireError::BadTag {
                     what: "RequestBody",
@@ -437,6 +470,27 @@ impl WireEncode for ReplyBody {
                 buf.put_u8(8);
                 put_bytes(buf, data);
             }
+            ReplyBody::Batch(outcomes) => {
+                debug_assert!(outcomes.len() <= MAX_BATCH_ELEMS, "batch over element cap");
+                buf.put_u8(9);
+                buf.put_u32_le(outcomes.len() as u32);
+                for o in outcomes {
+                    match o {
+                        Ok(body) => {
+                            debug_assert!(
+                                !matches!(body, ReplyBody::Batch(_)),
+                                "nested batch reply"
+                            );
+                            buf.put_u8(0);
+                            body.encode(buf);
+                        }
+                        Err(e) => {
+                            buf.put_u8(1);
+                            buf.put_u8(fs_error_tag(*e));
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -484,6 +538,35 @@ impl WireDecode for ReplyBody {
             8 => ReplyBody::Data {
                 data: get_bytes(buf)?,
             },
+            9 => {
+                let n = get_u32(buf)? as usize;
+                if n > MAX_BATCH_ELEMS {
+                    return Err(WireError::TooLong);
+                }
+                let mut outcomes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match get_u8(buf)? {
+                        0 => {
+                            let body = ReplyBody::decode(buf)?;
+                            if matches!(body, ReplyBody::Batch(_)) {
+                                return Err(WireError::BadTag {
+                                    what: "ReplyBody (nested batch)",
+                                    tag: 9,
+                                });
+                            }
+                            outcomes.push(Ok(body));
+                        }
+                        1 => outcomes.push(Err(fs_error_from(get_u8(buf)?)?)),
+                        t => {
+                            return Err(WireError::BadTag {
+                                what: "BatchOutcome",
+                                tag: t,
+                            })
+                        }
+                    }
+                }
+                ReplyBody::Batch(outcomes)
+            }
             t => {
                 return Err(WireError::BadTag {
                     what: "ReplyBody",
@@ -952,6 +1035,22 @@ mod tests {
                 dir: Ino(1),
                 name: "old".into(),
             },
+            RequestBody::Batch(vec![]),
+            RequestBody::Batch(vec![
+                RequestBody::Lookup {
+                    parent: Ino(1),
+                    name: "b".into(),
+                },
+                RequestBody::GetAttr { ino: Ino(2) },
+                RequestBody::LockRelease {
+                    ino: Ino(2),
+                    epoch: Epoch(4),
+                },
+                RequestBody::CommitWrite {
+                    ino: Ino(2),
+                    new_size: 4096,
+                },
+            ]),
         ];
         for body in bodies {
             roundtrip(NetMsg::Ctl(CtlMsg::Request(Request {
@@ -1003,6 +1102,20 @@ mod tests {
                 blocks: vec![BlockId(5)],
             })),
             ResponseOutcome::Acked(Ok(ReplyBody::Data { data: vec![9; 100] })),
+            ResponseOutcome::Acked(Ok(ReplyBody::Batch(vec![]))),
+            ResponseOutcome::Acked(Ok(ReplyBody::Batch(vec![
+                Ok(ReplyBody::Resolved {
+                    ino: Ino(9),
+                    attr: FileAttr {
+                        size: 1,
+                        mtime: 2,
+                        version: 3,
+                        is_dir: false,
+                    },
+                }),
+                Ok(ReplyBody::Ok),
+                Err(FsError::NotFound),
+            ]))),
             ResponseOutcome::Acked(Err(FsError::NotFound)),
             ResponseOutcome::Acked(Err(FsError::Unavailable)),
             ResponseOutcome::Nacked(NackReason::LeaseTimingOut),
@@ -1124,6 +1237,82 @@ mod tests {
     }
 
     #[test]
+    fn truncated_batch_is_an_error_not_a_panic() {
+        let msg = NetMsg::Ctl(CtlMsg::Request(Request {
+            src: NodeId(5),
+            session: SessionId(2),
+            seq: ReqSeq(42),
+            body: RequestBody::Batch(vec![
+                RequestBody::GetAttr { ino: Ino(1) },
+                RequestBody::Lookup {
+                    parent: Ino(1),
+                    name: "hello".into(),
+                },
+                RequestBody::LockRelease {
+                    ino: Ino(1),
+                    epoch: Epoch(3),
+                },
+            ]),
+        }));
+        let full = msg.encoded();
+        for cut in 0..full.len() {
+            let mut trunc = full.slice(0..cut);
+            assert!(
+                NetMsg::decode(&mut trunc).is_err(),
+                "decoding {cut}/{} bytes must fail",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn nested_batch_is_rejected_on_decode() {
+        // Hand-craft a batch whose single element is itself a batch; the
+        // encoder debug-asserts against this, so build the bytes directly.
+        let mut buf = BytesMut::new();
+        buf.put_u8(18); // outer Batch
+        buf.put_u32_le(1);
+        buf.put_u8(18); // inner Batch
+        buf.put_u32_le(0);
+        let mut bytes = buf.freeze();
+        match RequestBody::decode(&mut bytes) {
+            Err(WireError::BadTag { what, tag: 18 }) => {
+                assert!(what.contains("nested"), "got {what}");
+            }
+            other => panic!("expected nested-batch BadTag, got {other:?}"),
+        }
+
+        let mut buf = BytesMut::new();
+        buf.put_u8(9); // outer reply Batch
+        buf.put_u32_le(1);
+        buf.put_u8(0); // Ok element...
+        buf.put_u8(9); // ...that is itself a batch
+        buf.put_u32_le(0);
+        let mut bytes = buf.freeze();
+        match ReplyBody::decode(&mut bytes) {
+            Err(WireError::BadTag { what, tag: 9 }) => {
+                assert!(what.contains("nested"), "got {what}");
+            }
+            other => panic!("expected nested-batch BadTag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_batch_count_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(18);
+        buf.put_u32_le((MAX_BATCH_ELEMS + 1) as u32);
+        let mut bytes = buf.freeze();
+        assert_eq!(RequestBody::decode(&mut bytes), Err(WireError::TooLong));
+
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        buf.put_u32_le(u32::MAX);
+        let mut bytes = buf.freeze();
+        assert_eq!(ReplyBody::decode(&mut bytes), Err(WireError::TooLong));
+    }
+
+    #[test]
     fn bad_tag_reports_enum() {
         let mut buf = Bytes::from_static(&[9u8]);
         match NetMsg::decode(&mut buf) {
@@ -1132,6 +1321,121 @@ mod tests {
                 assert_eq!(tag, 9);
             }
             other => panic!("expected BadTag, got {other:?}"),
+        }
+    }
+
+    mod batch_props {
+        use super::*;
+        use proptest::collection::vec as pvec;
+        use proptest::prelude::*;
+
+        /// Arbitrary batchable request elements (all fixed-size and
+        /// string-carrying shapes the coalescing queue actually folds).
+        fn elem() -> impl Strategy<Value = RequestBody> {
+            prop_oneof![
+                Just(RequestBody::KeepAlive),
+                (any::<u64>(), "[a-z0-9._-]{1,12}").prop_map(|(p, name)| {
+                    RequestBody::Create {
+                        parent: Ino(p),
+                        name,
+                    }
+                }),
+                (any::<u64>(), "[a-z0-9._-]{1,12}").prop_map(|(p, name)| {
+                    RequestBody::Lookup {
+                        parent: Ino(p),
+                        name,
+                    }
+                }),
+                (any::<u64>(), "[a-z0-9._-]{1,12}").prop_map(|(p, name)| {
+                    RequestBody::Unlink {
+                        parent: Ino(p),
+                        name,
+                    }
+                }),
+                any::<u64>().prop_map(|i| RequestBody::GetAttr { ino: Ino(i) }),
+                any::<u64>().prop_map(|d| RequestBody::ReadDir { dir: Ino(d) }),
+                (any::<u64>(), any::<u64>()).prop_map(|(i, e)| RequestBody::LockRelease {
+                    ino: Ino(i),
+                    epoch: Epoch(e),
+                }),
+                (any::<u64>(), any::<u64>()).prop_map(|(i, s)| RequestBody::CommitWrite {
+                    ino: Ino(i),
+                    new_size: s,
+                }),
+                (any::<u64>(), any::<u32>()).prop_map(|(i, c)| RequestBody::AllocBlocks {
+                    ino: Ino(i),
+                    count: c,
+                }),
+                any::<u64>().prop_map(|s| RequestBody::PushAck { push_seq: s }),
+            ]
+        }
+
+        /// Arbitrary per-element batch outcomes, Ok and Err alike.
+        fn outcome() -> impl Strategy<Value = Result<ReplyBody, FsError>> {
+            prop_oneof![
+                Just(Ok(ReplyBody::Ok)),
+                any::<u64>().prop_map(|i| Ok(ReplyBody::Created { ino: Ino(i) })),
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+                    |(size, mtime, version, is_dir)| {
+                        Ok(ReplyBody::Attr {
+                            attr: FileAttr {
+                                size,
+                                mtime,
+                                version,
+                                is_dir,
+                            },
+                        })
+                    }
+                ),
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+                    |(ino, size, version, is_dir)| {
+                        Ok(ReplyBody::Resolved {
+                            ino: Ino(ino),
+                            attr: FileAttr {
+                                size,
+                                mtime: 0,
+                                version,
+                                is_dir,
+                            },
+                        })
+                    }
+                ),
+                Just(Err(FsError::NotFound)),
+                Just(Err(FsError::Exists)),
+                Just(Err(FsError::NotLocked)),
+                Just(Err(FsError::Unavailable)),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn request_batch_roundtrips(elems in pvec(elem(), 0..48)) {
+                let msg = NetMsg::Ctl(CtlMsg::Request(Request {
+                    src: NodeId(5),
+                    session: SessionId(2),
+                    seq: ReqSeq(42),
+                    body: RequestBody::Batch(elems),
+                }));
+                let mut enc = msg.encoded();
+                let dec = NetMsg::decode(&mut enc);
+                prop_assert_eq!(dec, Ok(msg));
+                prop_assert_eq!(enc.remaining(), 0, "trailing bytes after batch");
+            }
+
+            #[test]
+            fn reply_batch_roundtrips(outcomes in pvec(outcome(), 0..48)) {
+                let msg = NetMsg::Ctl(CtlMsg::Response(Response {
+                    dst: NodeId(5),
+                    session: SessionId(2),
+                    seq: ReqSeq(42),
+                    incarnation: Incarnation(7),
+                    outcome: ResponseOutcome::Acked(Ok(ReplyBody::Batch(outcomes))),
+                }));
+                let mut enc = msg.encoded();
+                let dec = NetMsg::decode(&mut enc);
+                prop_assert_eq!(dec, Ok(msg));
+                prop_assert_eq!(enc.remaining(), 0, "trailing bytes after batch reply");
+            }
         }
     }
 }

@@ -631,9 +631,74 @@ impl<Ob> ServerNode<Ob> {
     fn execute(&mut self, client: NodeId, req: Request, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         let session = req.session;
         let seq = req.seq;
-        let now = ctx.now().0;
-        let result: Result<ReplyBody, FsError> = match req.body {
+        match req.body {
             RequestBody::Hello { .. } => unreachable!("hello handled before execute"),
+            RequestBody::LockAcquire { ino, mode } => {
+                self.do_lock_acquire(client, session, seq, ino, mode, ctx);
+            }
+            RequestBody::ReadData { ino, offset, len } => {
+                self.do_read_data(client, session, seq, ino, offset, len, ctx);
+            }
+            RequestBody::WriteData { ino, offset, data } => {
+                self.do_write_data(client, session, seq, ino, offset, data, ctx);
+            }
+            RequestBody::Batch(elems) => {
+                self.do_batch(client, session, seq, elems, ctx);
+            }
+            body => {
+                let result = self.execute_sync(client, body, ctx);
+                self.ack(client, session, seq, result, ctx);
+            }
+        }
+    }
+
+    /// Vectored execution of a batch: elements run in order and the first
+    /// file-system error stops the rest (later elements are never
+    /// executed and get no outcome entry). The batch is answered with one
+    /// ACK carrying the per-element outcomes — one message, one lease
+    /// renewal, exactly the §3.1 accounting a single op would get.
+    fn do_batch(
+        &mut self,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        elems: Vec<RequestBody>,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) {
+        let mut outcomes: Vec<Result<ReplyBody, FsError>> = Vec::with_capacity(elems.len());
+        for body in elems {
+            // Wire decoding already rejects nesting; non-batchable shapes
+            // (lock acquires, SAN round trips...) cannot produce an
+            // in-order synchronous reply, so they fail the element rather
+            // than wedging the batch.
+            let result = if body.batchable() {
+                self.execute_sync(client, body, ctx)
+            } else {
+                Err(FsError::Invalid)
+            };
+            let stop = result.is_err();
+            outcomes.push(result);
+            if stop {
+                break;
+            }
+        }
+        self.ack(client, session, seq, Ok(ReplyBody::Batch(outcomes)), ctx);
+    }
+
+    /// Execute one synchronously-answerable request body and return its
+    /// file-system outcome. Shapes that answer asynchronously
+    /// (`LockAcquire` may queue behind a conflicting holder; the SAN data
+    /// path suspends the request) or that carry session semantics are
+    /// `Invalid` here — [`Self::execute`] routes them to their own
+    /// handlers before delegating, and batch elements exclude them.
+    fn execute_sync(
+        &mut self,
+        client: NodeId,
+        body: RequestBody,
+        ctx: &mut Ctx<'_, NetMsg, Ob>,
+    ) -> Result<ReplyBody, FsError> {
+        let now = ctx.now().0;
+        match body {
             RequestBody::KeepAlive => Ok(ReplyBody::Ok),
             RequestBody::Create { parent, name } => {
                 Self::map_meta(self.meta.create(parent, &name, now))
@@ -675,9 +740,6 @@ impl<Ob> ServerNode<Ob> {
                     Self::map_meta(self.meta.setattr(ino, size, now))
                         .map(|attr| ReplyBody::Attr { attr })
                 }
-            }
-            RequestBody::LockAcquire { ino, mode } => {
-                return self.do_lock_acquire(client, session, seq, ino, mode, ctx);
             }
             RequestBody::LockRelease { ino, epoch } => {
                 let held = self.locks.holding_epoch(client, ino);
@@ -722,14 +784,12 @@ impl<Ob> ServerNode<Ob> {
                         .map(|_| ReplyBody::Ok)
                 }
             }
-            RequestBody::ReadData { ino, offset, len } => {
-                return self.do_read_data(client, session, seq, ino, offset, len, ctx);
-            }
-            RequestBody::WriteData { ino, offset, data } => {
-                return self.do_write_data(client, session, seq, ino, offset, data, ctx);
-            }
-        };
-        self.ack(client, session, seq, result, ctx);
+            RequestBody::Hello { .. }
+            | RequestBody::LockAcquire { .. }
+            | RequestBody::ReadData { .. }
+            | RequestBody::WriteData { .. }
+            | RequestBody::Batch(_) => Err(FsError::Invalid),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1012,19 +1072,30 @@ impl<Ob> ServerNode<Ob> {
     /// particular, surviving clients must be able to re-register and
     /// release while the grace window is open.
     fn needs_full_service(body: &RequestBody) -> bool {
-        matches!(
-            body,
+        match body {
             RequestBody::LockAcquire { .. }
-                | RequestBody::Create { .. }
-                | RequestBody::Mkdir { .. }
-                | RequestBody::Unlink { .. }
-                | RequestBody::RenameLink { .. }
-                | RequestBody::RenameUnlink { .. }
-                | RequestBody::SetAttr { .. }
-                | RequestBody::AllocBlocks { .. }
-                | RequestBody::CommitWrite { .. }
-                | RequestBody::WriteData { .. }
-        )
+            | RequestBody::Create { .. }
+            | RequestBody::Mkdir { .. }
+            | RequestBody::Unlink { .. }
+            | RequestBody::RenameLink { .. }
+            | RequestBody::RenameUnlink { .. }
+            | RequestBody::SetAttr { .. }
+            | RequestBody::AllocBlocks { .. }
+            | RequestBody::CommitWrite { .. }
+            | RequestBody::WriteData { .. } => true,
+            // A batch needs full service exactly when any element does —
+            // first-error-stops would otherwise half-execute it against a
+            // recovering server.
+            RequestBody::Batch(elems) => elems.iter().any(Self::needs_full_service),
+            RequestBody::Hello { .. }
+            | RequestBody::KeepAlive
+            | RequestBody::Lookup { .. }
+            | RequestBody::ReadDir { .. }
+            | RequestBody::GetAttr { .. }
+            | RequestBody::LockRelease { .. }
+            | RequestBody::PushAck { .. }
+            | RequestBody::ReadData { .. } => false,
+        }
     }
 
     /// The inode whose shard ownership governs where `body` may execute:
@@ -1051,6 +1122,9 @@ impl<Ob> ServerNode<Ob> {
             | RequestBody::CommitWrite { ino, .. }
             | RequestBody::ReadData { ino, .. }
             | RequestBody::WriteData { ino, .. } => Some(*ino),
+            // A batch has no single governing inode; the routing gate
+            // checks every element instead (see `on_request`).
+            RequestBody::Batch(_) => None,
         }
     }
 
@@ -1068,6 +1142,23 @@ impl<Ob> ServerNode<Ob> {
                     req.session,
                     req.seq,
                     NackReason::Misrouted(RouteError::StaleMap),
+                    ctx,
+                );
+            }
+        } else if let RequestBody::Batch(elems) = &req.body {
+            // Element-wise routing: a batch executes atomically on one
+            // shard, so every element's governing inode must be owned
+            // here — otherwise the whole batch is redirected before any
+            // element runs (never a partial cross-shard execution).
+            let misrouted = elems.iter().any(|e| {
+                Self::governing_ino(e).is_some_and(|gov| self.cfg.map.owner_of(gov) != self.cfg.sid)
+            });
+            if misrouted {
+                return self.nack(
+                    from,
+                    req.session,
+                    req.seq,
+                    NackReason::Misrouted(RouteError::NotOwner),
                     ctx,
                 );
             }

@@ -69,6 +69,41 @@ fn duplicated_datagrams_execute_at_most_once_across_seeds() {
 }
 
 #[test]
+fn retransmitted_batches_dedup_as_a_unit() {
+    // With batching on, a duplicated datagram carries a whole Batch of
+    // control ops under ONE sequence number. The dedup window must
+    // answer the retransmit from the replay cache — re-sending the
+    // recorded Batch reply — and never re-execute any element. If even
+    // one element re-ran, the checker's batch-atomicity audit would see
+    // a duplicate same-epoch grant or a release of a non-held epoch.
+    let mut total_replays = 0u64;
+    for seed in 0..10u64 {
+        let mut cfg = dup_cfg(0.15);
+        cfg.batch_cap = 16;
+        cfg.lazy_release = true;
+        let mut cluster = Cluster::build(cfg, seed);
+        attach_workloads(&mut cluster);
+        cluster.run_until(SimTime::from_secs(20));
+        cluster.settle();
+        let report = cluster.finish();
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+        assert!(
+            report.check.batch_atomicity.is_empty(),
+            "seed {seed}: no batch element executed twice"
+        );
+        assert!(
+            report.check.ops_ok > 50,
+            "seed {seed}: work flowed under duplication"
+        );
+        total_replays += report.server.replays;
+    }
+    assert!(
+        total_replays > 0,
+        "duplicated batches reached the server and were replayed whole"
+    );
+}
+
+#[test]
 fn heavy_duplication_with_a_server_crash_stays_safe() {
     // Duplication and a fail-stop restart together: replayed pre-crash
     // requests carry stale sessions into the new incarnation and must

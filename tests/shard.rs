@@ -318,6 +318,55 @@ fn cross_shard_rename_under_partition_aborts_cleanly() {
 }
 
 #[test]
+fn batched_lanes_survive_a_shard_partition() {
+    // Batching under partition, 10 seeds: with the control path batching
+    // (cap 16) and lazy release on, one shard drops off the network
+    // mid-run. Three hazards are specific to this configuration and all
+    // must be handled:
+    //  * ops queued in the victim lane's coalescing buffer when the
+    //    partition hits must fail with the lane sweep, not linger,
+    //  * the retransmitted batches the partition provokes must dedup as
+    //    units (the atomicity audit would catch a re-executed element),
+    //  * the lazy-release cache must be purged of the victim shard's
+    //    inodes at lane expiry — no retained entry may outlive its lock.
+    let map = ShardMap::new(4);
+    let victim = map.place_top("f0");
+    for seed in 0..10 {
+        let mut cfg = sharded_cfg(4, 2, 16);
+        cfg.batch_cap = 16;
+        cfg.lazy_release = true;
+        cfg.gen_concurrency = 4;
+        let mut cluster = Cluster::build(cfg, seed);
+        for i in 0..2 {
+            cluster.attach_workload(i, Box::new(UniformGen::default_for(16)));
+        }
+        // Both clients lose the victim shard; it heals late in the run.
+        cluster.isolate_control_shard(0, victim, t(3_000), Some(t(14_000)));
+        cluster.isolate_control_shard(1, victim, t(3_000), Some(t(14_000)));
+        cluster.run_until(SimTime::from_secs(22));
+        cluster.settle();
+        let report = cluster.finish();
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+        assert!(
+            report.check.batch_atomicity.is_empty(),
+            "seed {seed}: batched elements executed exactly once"
+        );
+        assert!(
+            report.check.ops_ok > 50,
+            "seed {seed}: batched lanes kept serving around the partition"
+        );
+        for i in 0..2 {
+            let client = cluster.client(i);
+            assert!(
+                client.lazy_cache_consistent(),
+                "seed {seed}: client {i} retains a release for a lock it no longer holds: {:?}",
+                client.lazy_retained()
+            );
+        }
+    }
+}
+
+#[test]
 fn crashing_one_shard_leaves_the_others_granting() {
     // Satellite: `crash_shard` fail-stops a single lock server. Its locks
     // and sessions die with it; after the τ(1+ε) recovery grace window it
