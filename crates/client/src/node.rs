@@ -8,7 +8,8 @@ use tank_obs::Registry;
 use tank_proto::message::{FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     stripe_disk, BlockId, CtlMsg, Epoch, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId,
-    OpId, PushBody, ReqSeq, Request, Response, SanMsg, ServerId, ServerPush, SessionId, WriteTag,
+    OpId, PushBody, ReqSeq, Request, Response, RouteError, SanMsg, ServerId, ServerPush, SessionId,
+    WriteTag,
 };
 use tank_shard::ShardMap;
 use tank_sim::{Actor, Ctx, LocalNs, NetId, TimerId, TokenMap};
@@ -26,6 +27,12 @@ pub struct ClientConfig {
     /// All metadata servers, indexed by [`ServerId`]. `new` fills this
     /// with just `server`; [`ClientConfig::sharded`] takes the full set.
     pub servers: Vec<NodeId>,
+    /// Optional warm-standby address per shard (same indexing as
+    /// `servers`). When a lane's primary NACKs `Misrouted(NotPrimary)`
+    /// or goes silent long enough to expire the lease locally, the lane
+    /// rotates to its alternate and re-`Hello`s there. Empty (the
+    /// default) disables rotation entirely.
+    pub alternates: Vec<Option<NodeId>>,
     /// The shard map routing inodes to servers (must match the servers').
     pub map: ShardMap,
     /// The SAN disks (striping order must match the server's).
@@ -84,6 +91,7 @@ impl ClientConfig {
         ClientConfig {
             server,
             servers: vec![server],
+            alternates: Vec::new(),
             map: ShardMap::single(),
             disks,
             lease: LeaseConfig::default(),
@@ -242,6 +250,11 @@ struct Lane {
     sid: ServerId,
     /// The server's network address.
     addr: NodeId,
+    /// Alternate (warm standby) address to rotate to when `addr` stops
+    /// being the shard's primary — on `Misrouted(NotPrimary)` or local
+    /// lease expiry. Rotation swaps the two, so a bounced redirect can
+    /// rotate back.
+    alt: Option<NodeId>,
     lease: ClientLease,
     session: Option<SessionId>,
     /// The server incarnation the lane last saw (restart detector).
@@ -258,10 +271,11 @@ struct Lane {
 }
 
 impl Lane {
-    fn new(sid: ServerId, addr: NodeId, lease: LeaseConfig) -> Self {
+    fn new(sid: ServerId, addr: NodeId, alt: Option<NodeId>, lease: LeaseConfig) -> Self {
         Lane {
             sid,
             addr,
+            alt,
             lease: ClientLease::new(lease),
             session: None,
             server_incarnation: None,
@@ -498,11 +512,21 @@ impl<Ob> ClientNode<Ob> {
             map.nshards() as usize,
             "one server address per shard"
         );
+        if !cfg.alternates.is_empty() {
+            assert_eq!(
+                cfg.alternates.len(),
+                cfg.servers.len(),
+                "one alternate slot per shard (or none at all)"
+            );
+        }
         let lanes = cfg
             .servers
             .iter()
             .enumerate()
-            .map(|(i, &addr)| Lane::new(ServerId(i as u16), addr, cfg.lease))
+            .map(|(i, &addr)| {
+                let alt = cfg.alternates.get(i).copied().flatten();
+                Lane::new(ServerId(i as u16), addr, alt, cfg.lease)
+            })
             .collect();
         ClientNode {
             cfg,
@@ -660,6 +684,31 @@ impl<Ob> ClientNode<Ob> {
         self.lanes.iter().position(|l| l.addr == addr)
     }
 
+    /// Swap the lane's address with its alternate, if one is configured.
+    /// Called when the current address stops answering as the shard's
+    /// primary (a `NotPrimary` redirect, or silence long enough to expire
+    /// the lease locally). The swap is symmetric: if the alternate turns
+    /// out not to be primary either, its redirect rotates us back, and
+    /// the 500 ms hello-retry pacing keeps the ping-pong bounded until an
+    /// election settles the question. The incarnation watch is cleared —
+    /// the new address is a different server whose incarnation we have
+    /// not seen yet, not a restart of the old one.
+    fn rotate_lane(&mut self, lane: usize, ctx: &mut Ctx<'_, NetMsg, Ob>) -> bool {
+        let l = &mut self.lanes[lane];
+        let Some(alt) = l.alt else { return false };
+        let old = std::mem::replace(&mut l.addr, alt);
+        l.alt = Some(old);
+        l.server_incarnation = None;
+        l.session = None;
+        let sid = l.sid;
+        if let Some(obs) = &self.obs {
+            obs.trace(ctx, "rotate", || {
+                format!("shard={} from={} to={}", sid.0, old.0, alt.0)
+            });
+        }
+        true
+    }
+
     fn gen_of(&self, ino: Ino) -> u64 {
         self.lock_gen.get(&ino).copied().unwrap_or(0)
     }
@@ -812,6 +861,17 @@ impl<Ob> ClientNode<Ob> {
         // every copy the server might be answering (§3.1).
         let max_rto = self.cfg.max_rto;
         let me = ctx.node();
+        // An unanswered Hello probes the lane's other address on every
+        // retransmission: a dead primary never sends the NotPrimary
+        // redirect that normally steers the lane, so without this the
+        // hello would back off against the corpse forever and the shard's
+        // promoted standby would never hear from us.
+        if let Some(p) = self.pending.get(&seq) {
+            if matches!(p.purpose, Purpose::Hello { .. }) {
+                let lane = p.lane;
+                self.rotate_lane(lane, ctx);
+            }
+        }
         let Some(p) = self.pending.get_mut(&seq) else {
             return;
         };
@@ -1007,6 +1067,11 @@ impl<Ob> ClientNode<Ob> {
             ctx,
         );
         self.lanes[lane].session = None;
+        // A primary that let the lease run all the way out locally may be
+        // gone for good. If a standby is configured, aim the re-`Hello`
+        // there; if the silence was a partition and the old primary still
+        // rules, its standby's NotPrimary redirect rotates us back.
+        self.rotate_lane(lane, ctx);
         self.send_hello(lane, ctx);
     }
 
@@ -2478,20 +2543,27 @@ impl<Ob> ClientNode<Ob> {
                     ctx.set_timer(LocalNs::from_millis(500), token);
                 }
             }
-            NackReason::Misrouted(_) => {
+            NackReason::Misrouted(r) => {
                 // A protocol redirect, not a lease judgment: the request
                 // reached a server that does not govern its ino (or the
                 // shard maps disagree). Nothing cached is condemned — the
                 // op just fails back to the process, which can retry once
-                // the topology question settles.
+                // the topology question settles. `NotPrimary` carries a
+                // hint: the shard's other address holds the role now, so
+                // rotate the lane there before retrying.
                 let was_hello = matches!(p.purpose, Purpose::Hello { .. });
                 if was_hello {
                     self.lanes[lane].hello_inflight = false;
                 }
+                let rotated = r == RouteError::NotPrimary && self.rotate_lane(lane, ctx);
                 self.fail_purpose(p.lane, p.purpose, FsErr::Unavailable, ctx);
                 if was_hello {
                     let token = self.timers.insert(ClientTimer::HelloRetry(lane));
                     ctx.set_timer(LocalNs::from_millis(500), token);
+                } else if rotated {
+                    // The lane's session died with the old primary;
+                    // re-register at the standby so work can resume.
+                    self.send_hello(lane, ctx);
                 }
             }
         }
@@ -3141,6 +3213,14 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ClientNode<Ob> {
                     obs.trace(ctx, "unexpected", || {
                         format!("request seq={} from n{}", req.seq.0, req.src.0)
                     });
+                }
+            }
+            NetMsg::Repl(repl) => {
+                // Log replication is server-to-server; a client receiving
+                // it is a routing anomaly.
+                if let Some(obs) = &self.obs {
+                    obs.unexpected_msgs.inc();
+                    obs.trace(ctx, "unexpected", || format!("repl {}", repl.kind()));
                 }
             }
         }

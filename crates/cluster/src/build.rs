@@ -27,6 +27,12 @@ pub struct ClusterConfig {
     /// Number of metadata lock servers the inode namespace is sharded
     /// across (1 = the classic single-server cluster).
     pub shards: u16,
+    /// Build a warm standby per shard: a diskless mirror that tails the
+    /// primary's WAL over the control network and elects itself primary
+    /// after τ(1+ε) of replication silence. Clients get each standby as
+    /// their lane's alternate address. Off by default (every earlier
+    /// experiment's topology).
+    pub standbys: bool,
     /// Number of SAN disks.
     pub disks: usize,
     /// Files pre-created as `/f0 … /f{n-1}`.
@@ -41,6 +47,11 @@ pub struct ClusterConfig {
     pub lease: LeaseConfig,
     /// Server recovery policy.
     pub policy: RecoveryPolicy,
+    /// WAL compaction threshold in bytes: when the durable log grows past
+    /// this, the server folds it into a fresh snapshot generation. Lower
+    /// values mean shorter replays and more compaction work (E16 sweeps
+    /// this).
+    pub compact_threshold: usize,
     /// Data path (direct SAN vs function shipping).
     pub data_path: DataPath,
     /// Control network characteristics.
@@ -88,6 +99,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             clients: 2,
             shards: 1,
+            standbys: false,
             disks: 2,
             files: 4,
             file_blocks: 4,
@@ -95,6 +107,7 @@ impl Default for ClusterConfig {
             total_blocks: 1 << 16,
             lease: LeaseConfig::default(),
             policy: RecoveryPolicy::LeaseFence,
+            compact_threshold: tank_meta::wal::DEFAULT_COMPACT_THRESHOLD,
             data_path: DataPath::DirectSan,
             ctl_net: NetParams::default(),
             san_net: NetParams {
@@ -127,6 +140,9 @@ pub enum NodeRole {
     /// The i-th disk.
     Disk(usize),
     /// The metadata server for shard `i` (0 in a single-server cluster).
+    /// With `standbys`, the warm standby of shard `i` is role
+    /// `Server(shards + i)` — an existing clock-pinning closure keeps
+    /// working unchanged.
     Server(usize),
     /// The i-th client.
     Client(usize),
@@ -143,6 +159,9 @@ pub struct Cluster {
     pub server: NodeId,
     /// All server node ids, index-aligned with [`ServerId`].
     pub servers: Vec<NodeId>,
+    /// Warm-standby node ids, index-aligned with [`ServerId`] (empty
+    /// unless the cluster was built with `standbys`).
+    pub standby_servers: Vec<NodeId>,
     /// Client node ids, index-aligned with the config.
     pub clients: Vec<NodeId>,
     cfg: ClusterConfig,
@@ -211,6 +230,7 @@ impl Cluster {
             let mut scfg = ServerConfig::default();
             scfg.lease = cfg.lease;
             scfg.policy = cfg.policy;
+            scfg.compact_threshold = cfg.compact_threshold;
             scfg.data_path = cfg.data_path;
             scfg.nack_suspect = cfg.nack_suspect;
             scfg.recovery_grace = cfg.recovery_grace;
@@ -229,9 +249,50 @@ impl Cluster {
         }
         let server = servers[0];
 
+        // Warm standbys: one diskless mirror per shard, wired to tail its
+        // primary's WAL. Standbys get no precreated files — everything
+        // they know arrives through replication, which is the point.
+        let mut standby_servers = Vec::new();
+        if cfg.standbys {
+            for sid in map.servers() {
+                let mut scfg = ServerConfig::default();
+                scfg.lease = cfg.lease;
+                scfg.policy = cfg.policy;
+                scfg.compact_threshold = cfg.compact_threshold;
+                scfg.data_path = cfg.data_path;
+                scfg.nack_suspect = cfg.nack_suspect;
+                scfg.recovery_grace = cfg.recovery_grace;
+                scfg.disks = disks.clone();
+                scfg.sid = sid;
+                scfg.map = map;
+                let mut node: ServerNode<Event> =
+                    ServerNode::new(scfg, cfg.total_blocks, cfg.block_size, Box::new(map_server));
+                if let Some(reg) = &cfg.obs {
+                    node.set_obs(reg.clone());
+                }
+                standby_servers.push(world.add_node(
+                    Box::new(node),
+                    clock_of(NodeRole::Server(cfg.shards as usize + sid.0 as usize)),
+                ));
+            }
+            for (&p, &s) in servers.iter().zip(&standby_servers) {
+                world
+                    .node_mut::<ServerNode<Event>>(p)
+                    .expect("server downcast")
+                    .set_replication(s, false);
+                world
+                    .node_mut::<ServerNode<Event>>(s)
+                    .expect("standby downcast")
+                    .set_replication(p, true);
+            }
+        }
+
         let mut clients = Vec::new();
         for i in 0..cfg.clients {
             let mut ccfg = ClientConfig::sharded(servers.clone(), disks.clone());
+            if cfg.standbys {
+                ccfg.alternates = standby_servers.iter().map(|&n| Some(n)).collect();
+            }
             ccfg.lease = cfg.lease;
             ccfg.block_size = cfg.block_size;
             ccfg.lease_enabled = cfg.client_lease_enabled;
@@ -266,6 +327,7 @@ impl Cluster {
             disks,
             server,
             servers,
+            standby_servers,
             clients,
             cfg,
             seed,
@@ -442,6 +504,24 @@ impl Cluster {
         self.server_restarts.push((s, restart));
     }
 
+    /// Fail-stop the lock server of one shard at `at` **permanently** —
+    /// it never restarts; the shard's warm standby elects itself primary
+    /// after τ(1+ε) of replication silence and serves from its mirrored
+    /// WAL. The standby is recorded in the checker's restart list at the
+    /// crash instant: the same grant-proximity blackout a restarted
+    /// primary owes, the election window and grace window together must
+    /// clear it. Requires a cluster built with `standbys`.
+    pub fn crash_shard_with_failover(&mut self, sid: ServerId, at: SimTime) {
+        assert!(
+            !self.standby_servers.is_empty(),
+            "cluster built without standbys"
+        );
+        let s = self.servers[sid.0 as usize];
+        self.world.schedule_control(at, Control::Crash { node: s });
+        self.server_restarts
+            .push((self.standby_servers[sid.0 as usize], at));
+    }
+
     /// Fail-stop client `idx` at `at`, optionally restarting it.
     pub fn crash_client(&mut self, idx: usize, at: SimTime, restart: Option<SimTime>) {
         let c = self.clients[idx];
@@ -488,6 +568,7 @@ impl Cluster {
             end: self.world.now(),
             grace_ns,
             shard_servers: self.servers.clone(),
+            standby_servers: self.standby_servers.iter().map(|&n| Some(n)).collect(),
         });
         let check = checker.run(&observations);
         RunReport::assemble(self, check)
@@ -510,6 +591,14 @@ impl Cluster {
         self.world
             .node_ref::<ServerNode<Event>>(self.servers[sid.0 as usize])
             .expect("server downcast")
+    }
+
+    /// One shard's warm standby (downcast). Panics unless the cluster
+    /// was built with `standbys`.
+    pub fn standby_node_of(&self, sid: ServerId) -> &ServerNode<Event> {
+        self.world
+            .node_ref::<ServerNode<Event>>(self.standby_servers[sid.0 as usize])
+            .expect("standby downcast")
     }
 
     /// A disk node (downcast).

@@ -47,6 +47,13 @@ pub struct CheckOptions {
     /// wrong server is cross-shard interference, the failure mode that
     /// would let two authorities hand out conflicting locks.
     pub shard_servers: Vec<NodeId>,
+    /// Warm-standby topology: `standby_servers[i]`, when present, is the
+    /// node that may take over shard `i` via a failover election. Lock
+    /// events from a promoted standby are audited against the same shard
+    /// map slot as its primary — a standby granting locks for another
+    /// shard's inode is the same cross-shard interference. Empty = no
+    /// standbys (every earlier harness).
+    pub standby_servers: Vec<Option<NodeId>>,
 }
 
 /// A write acknowledged to a local process that never reached shared
@@ -246,12 +253,24 @@ impl Checker {
         at: SimTime,
     ) {
         let servers = &self.opts.shard_servers;
-        if servers.is_empty() || !servers.contains(&server) {
+        if servers.is_empty() {
             return;
         }
+        // Resolve the emitting node to the shard slot it embodies: its
+        // primary position, or the shard whose standby it is (a promoted
+        // standby speaks for its primary's slot). Unknown nodes are not
+        // audited — they are not part of the declared topology.
+        let slot = servers.iter().position(|s| *s == server).or_else(|| {
+            self.opts
+                .standby_servers
+                .iter()
+                .position(|s| *s == Some(server))
+        });
+        let Some(slot) = slot else { return };
         let map = tank_shard::ShardMap::new(servers.len() as u16);
-        let owner = servers[map.owner_of(ino).0 as usize];
-        if owner != server {
+        let owner_slot = map.owner_of(ino).0 as usize;
+        let owner = servers[owner_slot];
+        if owner_slot != slot {
             report.cross_shard.push(CrossShardInterference {
                 server,
                 owner,

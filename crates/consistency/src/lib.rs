@@ -25,11 +25,13 @@
 //! grant's writes), so "older" and "newer" are decidable without guessing.
 
 pub mod checker;
+pub mod durability;
 pub mod event;
 pub mod obs_check;
 
 pub use checker::{
     CheckOptions, CheckReport, Checker, LostUpdate, StaleRead, UnavailWindow, WriteOrderViolation,
 };
+pub use durability::{audit_store, audit_wal, DurabilityReport};
 pub use event::Event;
 pub use obs_check::cross_check;

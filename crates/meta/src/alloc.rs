@@ -10,15 +10,15 @@ use tank_proto::BlockId;
 #[derive(Debug, Clone)]
 pub struct BlockAllocator {
     /// One bit per block; set = allocated. Bit `i` covers block `base + i`.
-    words: Vec<u64>,
+    pub(crate) words: Vec<u64>,
     /// First block address in the pool (a metadata shard allocates only
     /// from its private slice of the shared device).
-    base: u64,
-    total: u64,
-    allocated: u64,
+    pub(crate) base: u64,
+    pub(crate) total: u64,
+    pub(crate) allocated: u64,
     /// Next word to try, advanced on successful allocation (first-fit with
     /// a rotating start avoids rescanning a full prefix every call).
-    cursor: usize,
+    pub(crate) cursor: usize,
 }
 
 impl BlockAllocator {

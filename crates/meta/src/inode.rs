@@ -41,8 +41,8 @@ impl Inode {
 /// Allocation and storage of inodes.
 #[derive(Debug, Clone, Default)]
 pub struct InodeTable {
-    next: u64,
-    map: HashMap<Ino, Inode>,
+    pub(crate) next: u64,
+    pub(crate) map: HashMap<Ino, Inode>,
 }
 
 impl InodeTable {

@@ -9,7 +9,12 @@
 //! * [`Namespace`] — a hierarchical directory tree;
 //! * [`BlockAllocator`] — allocation of shared-disk blocks to files;
 //! * [`MetaStore`] — the façade combining them with the operations the
-//!   server exposes (create/lookup/mkdir/readdir/unlink/attr/alloc).
+//!   server exposes (create/lookup/mkdir/readdir/unlink/attr/alloc);
+//! * [`wal`] — a CRC-framed write-ahead log with explicit group-commit
+//!   points, modeling the private device honestly (a crash keeps only
+//!   fsynced bytes);
+//! * [`snapshot`] — canonical full-state snapshots, log compaction, and
+//!   the crash-recovery replay path.
 //!
 //! Everything here is plain single-threaded data structure code: the server
 //! actor owns one `MetaStore` and serializes access through its message
@@ -18,9 +23,13 @@
 pub mod alloc;
 pub mod inode;
 pub mod namespace;
+pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use alloc::BlockAllocator;
 pub use inode::{Inode, InodeTable};
 pub use namespace::Namespace;
+pub use snapshot::{Recovered, Watermarks};
 pub use store::{MetaError, MetaStore};
+pub use wal::{DurableStore, WalDefect, WalRecord, WalStats};

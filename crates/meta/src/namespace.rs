@@ -9,10 +9,10 @@ use tank_proto::Ino;
 /// deterministic.
 #[derive(Debug, Clone)]
 pub struct Namespace {
-    root: Ino,
-    dirs: HashMap<Ino, BTreeMap<String, Ino>>,
+    pub(crate) root: Ino,
+    pub(crate) dirs: HashMap<Ino, BTreeMap<String, Ino>>,
     /// Child → parent back-pointers for validation.
-    parent: HashMap<Ino, Ino>,
+    pub(crate) parent: HashMap<Ino, Ino>,
 }
 
 impl Namespace {

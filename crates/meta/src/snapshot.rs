@@ -1,0 +1,541 @@
+//! Deterministic full-state snapshots of a [`MetaStore`], and the
+//! recovery path that rebuilds one from a snapshot plus a WAL suffix.
+//!
+//! The encoding is canonical — inodes and directories are emitted in
+//! sorted order — so two stores holding the same logical state produce
+//! the *same bytes*. The failover tests lean on this: a promoted standby
+//! is correct iff its snapshot encoding is byte-identical to the shadow
+//! model's. The `transactions` perf counter is deliberately excluded
+//! (reads bump it but are not logged, so it is not recoverable state).
+
+use tank_proto::{BlockId, Ino, ServerId};
+use tank_shard::ShardMap;
+
+use crate::alloc::BlockAllocator;
+use crate::inode::{Inode, InodeTable};
+use crate::namespace::Namespace;
+use crate::store::MetaStore;
+use crate::wal::{DurableStore, ScanOutcome, WalDefect, WalRecord};
+
+/// Durable counters that live beside the namespace: server-side
+/// high-water marks the WAL carries across incarnations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Highest session id ever begun.
+    pub session: u64,
+    /// Highest lock epoch ever granted.
+    pub epoch: u64,
+    /// Highest incarnation ever logged.
+    pub incarnation: u64,
+}
+
+/// Snapshot format version.
+const VERSION: u8 = 1;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Canonical encoding of a store plus its watermarks.
+pub fn encode(store: &MetaStore, wm: &Watermarks) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.push(VERSION);
+    put_u64(&mut buf, wm.session);
+    put_u64(&mut buf, wm.epoch);
+    put_u64(&mut buf, wm.incarnation);
+
+    // Inode table, sorted by number.
+    put_u64(&mut buf, store.inodes.next);
+    let mut inos: Vec<&Inode> = store.inodes.map.values().collect();
+    inos.sort_by_key(|i| i.ino);
+    put_u32(&mut buf, inos.len() as u32);
+    for inode in inos {
+        put_u64(&mut buf, inode.ino.0);
+        buf.push(inode.is_dir as u8);
+        put_u64(&mut buf, inode.size);
+        put_u64(&mut buf, inode.mtime);
+        put_u64(&mut buf, inode.version);
+        put_u32(&mut buf, inode.nlink);
+        put_u32(&mut buf, inode.blocks.len() as u32);
+        for b in &inode.blocks {
+            put_u64(&mut buf, b.0);
+        }
+    }
+
+    // Namespace, directories sorted by inode, entries already sorted
+    // (BTreeMap).
+    put_u64(&mut buf, store.ns.root.0);
+    let mut dirs: Vec<_> = store.ns.dirs.iter().collect();
+    dirs.sort_by_key(|(ino, _)| **ino);
+    put_u32(&mut buf, dirs.len() as u32);
+    for (ino, entries) in dirs {
+        put_u64(&mut buf, ino.0);
+        put_u32(&mut buf, entries.len() as u32);
+        for (name, child) in entries {
+            put_str(&mut buf, name);
+            put_u64(&mut buf, child.0);
+        }
+    }
+
+    // Allocator bitmap and cursor.
+    put_u64(&mut buf, store.alloc.base);
+    put_u64(&mut buf, store.alloc.total);
+    put_u64(&mut buf, store.alloc.allocated);
+    put_u64(&mut buf, store.alloc.cursor as u64);
+    put_u32(&mut buf, store.alloc.words.len() as u32);
+    for w in &store.alloc.words {
+        put_u64(&mut buf, *w);
+    }
+    buf
+}
+
+struct Rd<'a> {
+    b: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.b.len() - self.off < n {
+            return None;
+        }
+        let s = &self.b[self.off..self.off + n];
+        self.off += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+}
+
+/// Decode a snapshot back into a live store. `map`/`sid`/`block_size`
+/// are configuration, not state — the caller (the server) supplies the
+/// same values it was constructed with. Returns `None` on any
+/// malformation instead of panicking.
+pub fn decode(
+    bytes: &[u8],
+    map: ShardMap,
+    sid: ServerId,
+    block_size: usize,
+) -> Option<(MetaStore, Watermarks)> {
+    let mut r = Rd { b: bytes, off: 0 };
+    if r.u8()? != VERSION {
+        return None;
+    }
+    let wm = Watermarks {
+        session: r.u64()?,
+        epoch: r.u64()?,
+        incarnation: r.u64()?,
+    };
+
+    let next = r.u64()?;
+    let n_inodes = r.u32()? as usize;
+    let mut inodes = InodeTable::new();
+    for _ in 0..n_inodes {
+        let ino = Ino(r.u64()?);
+        let is_dir = r.u8()? != 0;
+        let size = r.u64()?;
+        let mtime = r.u64()?;
+        let version = r.u64()?;
+        let nlink = r.u32()?;
+        let n_blocks = r.u32()? as usize;
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            blocks.push(BlockId(r.u64()?));
+        }
+        inodes.map.insert(
+            ino,
+            Inode {
+                ino,
+                is_dir,
+                size,
+                mtime,
+                version,
+                blocks,
+                nlink,
+            },
+        );
+    }
+    inodes.next = next;
+
+    let root = Ino(r.u64()?);
+    let mut ns = Namespace::new(root);
+    ns.dirs.clear();
+    let n_dirs = r.u32()? as usize;
+    for _ in 0..n_dirs {
+        let dir = Ino(r.u64()?);
+        let n_entries = r.u32()? as usize;
+        let mut entries = std::collections::BTreeMap::new();
+        for _ in 0..n_entries {
+            let name = r.str()?;
+            let child = Ino(r.u64()?);
+            entries.insert(name, child);
+        }
+        ns.dirs.insert(dir, entries);
+    }
+    // Parent back-pointers are derivable (and only used for bookkeeping).
+    for (dir, entries) in &ns.dirs {
+        for child in entries.values() {
+            ns.parent.insert(*child, *dir);
+        }
+    }
+
+    let base = r.u64()?;
+    let total = r.u64()?;
+    let allocated = r.u64()?;
+    let cursor = r.u64()? as usize;
+    let n_words = r.u32()? as usize;
+    let mut alloc = BlockAllocator::with_base(base, total);
+    if alloc.words.len() != n_words || cursor >= n_words.max(1) {
+        return None;
+    }
+    for w in alloc.words.iter_mut() {
+        *w = r.u64()?;
+    }
+    alloc.allocated = allocated;
+    alloc.cursor = cursor;
+
+    Some((
+        MetaStore {
+            inodes,
+            ns,
+            alloc,
+            block_size,
+            map,
+            sid,
+            transactions: 0,
+        },
+        wm,
+    ))
+}
+
+/// FNV-1a 64 over arbitrary bytes — the digest the failover tests
+/// compare across primary, standby and shadow model.
+pub fn digest(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of a live store (canonical encoding).
+pub fn store_digest(store: &MetaStore, wm: &Watermarks) -> u64 {
+    digest(&encode(store, wm))
+}
+
+/// Everything recovery reconstructs from the durable device.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The rebuilt store.
+    pub store: MetaStore,
+    /// High-water marks carried across the crash.
+    pub watermarks: Watermarks,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Why the log scan stopped early, if it did (torn tail / bit flip).
+    pub defect: Option<WalDefect>,
+}
+
+/// Apply one WAL record to a store being rebuilt. Replay of a valid log
+/// prefix onto the matching snapshot base cannot fail; outcomes are
+/// debug-asserted rather than unwrapped so a corrupt-but-CRC-valid
+/// record degrades instead of panicking.
+pub fn apply(store: &mut MetaStore, wm: &mut Watermarks, rec: &WalRecord) {
+    match rec {
+        WalRecord::Create {
+            parent,
+            name,
+            now,
+            ino,
+        } => {
+            let got = store.create(*parent, name, *now);
+            debug_assert_eq!(got.ok(), Some(*ino), "replay diverged on create");
+        }
+        WalRecord::Mkdir {
+            parent,
+            name,
+            now,
+            ino,
+        } => {
+            let got = store.mkdir(*parent, name, *now);
+            debug_assert_eq!(got.ok(), Some(*ino), "replay diverged on mkdir");
+        }
+        WalRecord::SetAttr { ino, size, now } => {
+            let got = store.setattr(*ino, *size, *now);
+            debug_assert!(got.is_ok(), "replay diverged on setattr");
+        }
+        WalRecord::Unlink { parent, name } => {
+            let got = store.unlink(*parent, name);
+            debug_assert!(got.is_ok(), "replay diverged on unlink");
+        }
+        WalRecord::RenameLink { dir, name, ino } => {
+            let got = store.rename_link(*dir, name, *ino);
+            debug_assert!(got.is_ok(), "replay diverged on rename_link");
+        }
+        WalRecord::RenameUnlink { dir, name } => {
+            let got = store.rename_unlink(*dir, name);
+            debug_assert!(got.is_ok(), "replay diverged on rename_unlink");
+        }
+        WalRecord::Alloc { ino, count } => {
+            let got = store.alloc_blocks(*ino, *count);
+            debug_assert!(got.is_ok(), "replay diverged on alloc");
+        }
+        WalRecord::Commit { ino, new_size, now } => {
+            let got = store.commit_write(*ino, *new_size, *now);
+            debug_assert!(got.is_ok(), "replay diverged on commit");
+        }
+        WalRecord::SessionWatermark(v) => wm.session = wm.session.max(*v),
+        WalRecord::EpochWatermark(v) => wm.epoch = wm.epoch.max(*v),
+        WalRecord::Incarnation(v) => wm.incarnation = wm.incarnation.max(*v),
+    }
+}
+
+/// Full recovery: truncate the log to its valid prefix, decode the
+/// snapshot (or start from a fresh sharded store), and replay the log.
+/// Never panics — a torn tail or bit-flipped record shrinks the replayed
+/// suffix, which is exactly what a real disk would have lost.
+pub fn recover(
+    durable: &mut DurableStore,
+    map: ShardMap,
+    sid: ServerId,
+    total_blocks: u64,
+    block_size: usize,
+) -> Recovered {
+    let mut wm = Watermarks::default();
+    let mut store = match durable.snapshot() {
+        Some(bytes) => match decode(bytes, map, sid, block_size) {
+            Some((s, w)) => {
+                wm = w;
+                s
+            }
+            // Snapshot installs are atomic in the model, so a corrupt
+            // snapshot means version skew; start over rather than die.
+            None => MetaStore::new_sharded(map, sid, total_blocks, block_size),
+        },
+        None => MetaStore::new_sharded(map, sid, total_blocks, block_size),
+    };
+    let ScanOutcome {
+        records, defect, ..
+    } = durable.recover();
+    for rec in &records {
+        apply(&mut store, &mut wm, rec);
+    }
+    Recovered {
+        store,
+        watermarks: wm,
+        replayed: records.len(),
+        defect,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_store() -> MetaStore {
+        let mut s = MetaStore::new_sharded(ShardMap::new(2), ServerId(0), 4096, 512);
+        let root = s.root();
+        let d = s.mkdir(root, "dir", 1).unwrap();
+        let f = s.create(root, "f", 2).unwrap();
+        let g = s.create(d, "g", 3).unwrap();
+        s.alloc_blocks(f, 5).unwrap();
+        s.commit_write(f, 2000, 4).unwrap();
+        s.setattr(f, Some(512), 5).unwrap();
+        s.alloc_blocks(g, 2).unwrap();
+        s.rename_link(root, "g2", g).unwrap();
+        s.rename_unlink(d, "g").unwrap();
+        s.create(root, "victim", 6).unwrap();
+        s.unlink(root, "victim").unwrap();
+        s
+    }
+
+    #[test]
+    fn snapshot_roundtrips_byte_identically() {
+        let s = busy_store();
+        let wm = Watermarks {
+            session: 3,
+            epoch: 9,
+            incarnation: 2,
+        };
+        let bytes = encode(&s, &wm);
+        let (restored, wm2) = decode(&bytes, ShardMap::new(2), ServerId(0), 512).unwrap();
+        assert_eq!(wm, wm2);
+        assert_eq!(bytes, encode(&restored, &wm2), "canonical re-encoding");
+        assert_eq!(store_digest(&s, &wm), store_digest(&restored, &wm2));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let s = busy_store();
+        let bytes = encode(&s, &Watermarks::default());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut], ShardMap::new(2), ServerId(0), 512).is_none(),
+                "decoded from a {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn wal_replay_reproduces_the_store_exactly() {
+        // Drive a live store and mirror every mutation into a WAL, then
+        // recover from the WAL alone and compare canonical encodings.
+        let map = ShardMap::new(2);
+        let sid = ServerId(1);
+        let mut live = MetaStore::new_sharded(map, sid, 4096, 512);
+        let mut wal = DurableStore::default();
+
+        let root = live.root();
+        let log = |rec: WalRecord, wal: &mut DurableStore| wal.append(&rec);
+
+        let d = live.mkdir(root, "dir", 10).unwrap();
+        log(
+            WalRecord::Mkdir {
+                parent: root,
+                name: "dir".into(),
+                now: 10,
+                ino: d,
+            },
+            &mut wal,
+        );
+        let f = live.create(d, "file", 11).unwrap();
+        log(
+            WalRecord::Create {
+                parent: d,
+                name: "file".into(),
+                now: 11,
+                ino: f,
+            },
+            &mut wal,
+        );
+        live.alloc_blocks(f, 6).unwrap();
+        log(WalRecord::Alloc { ino: f, count: 6 }, &mut wal);
+        live.commit_write(f, 3000, 12).unwrap();
+        log(
+            WalRecord::Commit {
+                ino: f,
+                new_size: 3000,
+                now: 12,
+            },
+            &mut wal,
+        );
+        live.setattr(f, Some(512), 13).unwrap();
+        log(
+            WalRecord::SetAttr {
+                ino: f,
+                size: Some(512),
+                now: 13,
+            },
+            &mut wal,
+        );
+        log(WalRecord::SessionWatermark(4), &mut wal);
+        wal.fsync();
+        wal.crash();
+
+        let rec = recover(&mut wal, map, sid, 4096, 512);
+        assert!(rec.defect.is_none());
+        assert_eq!(rec.watermarks.session, 4);
+        assert_eq!(
+            encode(&rec.store, &rec.watermarks),
+            encode(
+                &live,
+                &Watermarks {
+                    session: 4,
+                    ..Default::default()
+                }
+            ),
+            "replayed store is byte-identical"
+        );
+    }
+
+    #[test]
+    fn recovery_from_snapshot_plus_suffix() {
+        let map = ShardMap::single();
+        let sid = ServerId(0);
+        let mut live = MetaStore::new_sharded(map, sid, 1024, 512);
+        let root = live.root();
+        let f = live.create(root, "f", 1).unwrap();
+        let wm = Watermarks {
+            session: 1,
+            epoch: 2,
+            incarnation: 1,
+        };
+
+        let mut wal = DurableStore::default();
+        wal.install_snapshot(encode(&live, &wm));
+        // Post-snapshot suffix.
+        live.alloc_blocks(f, 3).unwrap();
+        wal.append(&WalRecord::Alloc { ino: f, count: 3 });
+        wal.fsync();
+        // Un-fsynced tail that the crash destroys.
+        wal.append(&WalRecord::Commit {
+            ino: f,
+            new_size: 999,
+            now: 2,
+        });
+        wal.crash();
+
+        let rec = recover(&mut wal, map, sid, 1024, 512);
+        assert_eq!(rec.replayed, 1, "only the fsynced suffix survives");
+        assert_eq!(rec.store.file_extent(f).unwrap().0.len(), 3);
+        assert_eq!(rec.store.file_extent(f).unwrap().1, 0, "commit was lost");
+        assert_eq!(rec.watermarks, wm);
+    }
+
+    #[test]
+    fn torn_tail_recovery_loses_only_the_tail() {
+        let map = ShardMap::single();
+        let sid = ServerId(0);
+        let mut wal = DurableStore::default();
+        wal.append(&WalRecord::Create {
+            parent: Ino(1),
+            name: "kept".into(),
+            now: 1,
+            ino: Ino(2),
+        });
+        wal.fsync();
+        wal.append(&WalRecord::Create {
+            parent: Ino(1),
+            name: "torn".into(),
+            now: 2,
+            ino: Ino(3),
+        });
+        wal.crash_torn(5);
+        let rec = recover(&mut wal, map, sid, 1024, 512);
+        assert_eq!(rec.replayed, 1);
+        assert!(rec.defect.is_some());
+        assert!(rec.store.file_extent(Ino(2)).is_ok());
+        assert!(rec.store.file_extent(Ino(3)).is_err());
+    }
+}

@@ -37,16 +37,16 @@ impl From<NsError> for MetaError {
 /// "transactions per second" server performance is measured in).
 #[derive(Debug, Clone)]
 pub struct MetaStore {
-    inodes: InodeTable,
-    ns: Namespace,
-    alloc: BlockAllocator,
-    block_size: usize,
+    pub(crate) inodes: InodeTable,
+    pub(crate) ns: Namespace,
+    pub(crate) alloc: BlockAllocator,
+    pub(crate) block_size: usize,
     /// Shard layout and this store's slot in it. A single-server store is
     /// the degenerate one-shard map, so every store is "sharded".
-    map: ShardMap,
-    sid: ServerId,
+    pub(crate) map: ShardMap,
+    pub(crate) sid: ServerId,
     /// Count of executed metadata transactions (experiment E9).
-    transactions: u64,
+    pub(crate) transactions: u64,
 }
 
 impl MetaStore {

@@ -233,9 +233,10 @@ impl TankClient {
                 NetMsg::Ctl(CtlMsg::Push(push)) => {
                     Self::on_push(sock, state, push);
                 }
-                // A client never receives requests, and this endpoint is
-                // not on the SAN; both are misdirected traffic to ignore.
-                NetMsg::Ctl(CtlMsg::Request(_)) | NetMsg::San(_) => {}
+                // A client never receives requests, is not on the SAN, and
+                // takes no part in server-to-server log replication; all
+                // three are misdirected traffic to ignore.
+                NetMsg::Ctl(CtlMsg::Request(_)) | NetMsg::San(_) | NetMsg::Repl(_) => {}
             }
         }
     }

@@ -242,6 +242,37 @@ pub const SERVER_BATCH_EXEC_NS: MetricDef = histogram(
     DURATION_BOUNDS_NS,
     "wall-clock vectored batch execution time",
 );
+/// Standby takeovers via the diskless-lease election (τ(1+ε) of
+/// replication silence on the standby's own clock).
+pub const SERVER_FAILOVER_ELECTIONS: MetricDef = counter(
+    "server.failover.elections",
+    "standby takeovers via diskless-lease election",
+);
+/// Modeled log-replay cost per recovery (1µs per replayed WAL record;
+/// the sim itself replays in zero virtual time).
+pub const SERVER_WAL_REPLAY_LATENCY_NS: MetricDef = histogram(
+    "server.wal.replay_latency_ns",
+    "ns",
+    DURATION_BOUNDS_NS,
+    "modeled WAL replay cost per recovery",
+);
+
+// --------------------------------------------------------------- meta
+
+/// Redo records appended to the metadata write-ahead log.
+pub const META_WAL_APPENDS: MetricDef =
+    counter("meta.wal.appends", "redo records appended to the WAL");
+/// Group-commit fsyncs that advanced the durable watermark (one per
+/// acknowledgment point with new records, not one per record).
+pub const META_WAL_FSYNCS: MetricDef = counter(
+    "meta.wal.fsyncs",
+    "group-commit fsyncs that advanced the durable watermark",
+);
+/// Snapshot compactions (log folded into a fresh snapshot generation).
+pub const META_SNAPSHOT_COMPACTIONS: MetricDef = counter(
+    "meta.snapshot.compactions",
+    "WAL compactions into a fresh snapshot generation",
+);
 
 // ---------------------------------------------------------------- sim
 
@@ -354,6 +385,12 @@ pub const ALL: &[MetricDef] = &[
     SERVER_UNEXPECTED_MSGS,
     SERVER_STEAL_LATENCY_NS,
     SERVER_BATCH_EXEC_NS,
+    SERVER_FAILOVER_ELECTIONS,
+    SERVER_WAL_REPLAY_LATENCY_NS,
+    // meta
+    META_WAL_APPENDS,
+    META_WAL_FSYNCS,
+    META_SNAPSHOT_COMPACTIONS,
     // sim
     SIM_MSG_SENT,
     SIM_MSG_DELIVERED,

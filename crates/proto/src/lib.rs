@@ -24,6 +24,7 @@
 pub mod ids;
 pub mod lock;
 pub mod message;
+pub mod repl;
 pub mod san;
 pub mod seqwin;
 pub mod wire;
@@ -37,6 +38,7 @@ pub use message::{
     CtlMsg, NackReason, PushBody, ReplyBody, Request, RequestBody, Response, RouteError,
     ServerPush, MAX_BATCH_ELEMS,
 };
+pub use repl::ReplMsg;
 pub use san::{stripe_disk, BlockRange, FenceOp, SanError, SanMsg, SanReadOk};
 pub use seqwin::DedupWindow;
 pub use wire::{WireDecode, WireEncode, WireError};
@@ -54,6 +56,9 @@ pub enum NetMsg {
     Ctl(CtlMsg),
     /// Storage-area-network traffic (client/server ⟷ disk).
     San(SanMsg),
+    /// Log-replication traffic (shard primary ⟷ warm standby), carried on
+    /// the control network like any other server-to-server datagram.
+    Repl(ReplMsg),
 }
 
 impl NetMsg {
@@ -67,6 +72,7 @@ impl NetMsg {
         match self {
             NetMsg::Ctl(m) => m.kind(),
             NetMsg::San(m) => m.kind(),
+            NetMsg::Repl(m) => m.kind(),
         }
     }
 
@@ -75,6 +81,7 @@ impl NetMsg {
         match self {
             NetMsg::Ctl(m) => m.size_hint(),
             NetMsg::San(m) => m.size_hint(),
+            NetMsg::Repl(m) => m.size_hint(),
         }
     }
 
@@ -85,6 +92,8 @@ impl NetMsg {
         match self {
             NetMsg::Ctl(m) => m.is_lease_overhead(),
             NetMsg::San(_) => false,
+            // Replication is durability overhead, not lease maintenance.
+            NetMsg::Repl(_) => false,
         }
     }
 }

@@ -333,6 +333,10 @@ pub enum RouteError {
     /// The client's shard-map epoch differs from the server's; its
     /// ownership computations cannot be trusted.
     StaleMap,
+    /// The node addressed is a warm standby for the shard, not its
+    /// primary. The client should retry against the shard's other
+    /// address; after a failover election the roles have swapped.
+    NotPrimary,
 }
 
 /// Outcome carried by a [`Response`].

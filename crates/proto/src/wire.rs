@@ -15,6 +15,7 @@ use crate::message::{
     CtlMsg, FileAttr, FsError, NackReason, PushBody, ReplyBody, Request, RequestBody, Response,
     ResponseOutcome, RouteError, ServerPush, MAX_BATCH_ELEMS,
 };
+use crate::repl::ReplMsg;
 use crate::san::{BlockRange, FenceOp, SanError, SanMsg, SanReadOk};
 use crate::NetMsg;
 
@@ -615,6 +616,7 @@ fn nack_tag(n: NackReason) -> u8 {
         NackReason::Recovering => 3,
         NackReason::Misrouted(RouteError::NotOwner) => 4,
         NackReason::Misrouted(RouteError::StaleMap) => 5,
+        NackReason::Misrouted(RouteError::NotPrimary) => 6,
     }
 }
 
@@ -626,6 +628,7 @@ fn nack_from(tag: u8) -> Result<NackReason, WireError> {
         3 => NackReason::Recovering,
         4 => NackReason::Misrouted(RouteError::NotOwner),
         5 => NackReason::Misrouted(RouteError::StaleMap),
+        6 => NackReason::Misrouted(RouteError::NotPrimary),
         t => {
             return Err(WireError::BadTag {
                 what: "NackReason",
@@ -925,6 +928,84 @@ impl WireDecode for SanMsg {
     }
 }
 
+// ---------------------------------------------------------------- ReplMsg
+
+impl WireEncode for ReplMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ReplMsg::Append {
+                snap_gen,
+                snapshot,
+                offset,
+                bytes,
+                durable,
+            } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*snap_gen);
+                match snapshot {
+                    Some(s) => {
+                        buf.put_u8(1);
+                        put_bytes(buf, s);
+                    }
+                    None => buf.put_u8(0),
+                }
+                buf.put_u64_le(*offset);
+                put_bytes(buf, bytes);
+                buf.put_u64_le(*durable);
+            }
+            ReplMsg::AppendAck { snap_gen, durable } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*snap_gen);
+                buf.put_u64_le(*durable);
+            }
+            ReplMsg::Heartbeat { incarnation } => {
+                buf.put_u8(2);
+                buf.put_u64_le(incarnation.0);
+            }
+        }
+    }
+}
+
+impl WireDecode for ReplMsg {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_u8(buf)? {
+            0 => {
+                let snap_gen = get_u64(buf)?;
+                let snapshot = match get_u8(buf)? {
+                    0 => None,
+                    1 => Some(get_bytes(buf)?),
+                    t => {
+                        return Err(WireError::BadTag {
+                            what: "ReplMsg snapshot flag",
+                            tag: t,
+                        })
+                    }
+                };
+                ReplMsg::Append {
+                    snap_gen,
+                    snapshot,
+                    offset: get_u64(buf)?,
+                    bytes: get_bytes(buf)?,
+                    durable: get_u64(buf)?,
+                }
+            }
+            1 => ReplMsg::AppendAck {
+                snap_gen: get_u64(buf)?,
+                durable: get_u64(buf)?,
+            },
+            2 => ReplMsg::Heartbeat {
+                incarnation: Incarnation(get_u64(buf)?),
+            },
+            t => {
+                return Err(WireError::BadTag {
+                    what: "ReplMsg",
+                    tag: t,
+                })
+            }
+        })
+    }
+}
+
 // ---------------------------------------------------------------- NetMsg
 
 impl WireEncode for NetMsg {
@@ -938,6 +1019,10 @@ impl WireEncode for NetMsg {
                 buf.put_u8(1);
                 m.encode(buf);
             }
+            NetMsg::Repl(m) => {
+                buf.put_u8(2);
+                m.encode(buf);
+            }
         }
     }
 }
@@ -947,6 +1032,7 @@ impl WireDecode for NetMsg {
         Ok(match get_u8(buf)? {
             0 => NetMsg::Ctl(CtlMsg::decode(buf)?),
             1 => NetMsg::San(SanMsg::decode(buf)?),
+            2 => NetMsg::Repl(ReplMsg::decode(buf)?),
             t => {
                 return Err(WireError::BadTag {
                     what: "NetMsg",
@@ -1124,6 +1210,7 @@ mod tests {
             ResponseOutcome::Nacked(NackReason::Recovering),
             ResponseOutcome::Nacked(NackReason::Misrouted(RouteError::NotOwner)),
             ResponseOutcome::Nacked(NackReason::Misrouted(RouteError::StaleMap)),
+            ResponseOutcome::Nacked(NackReason::Misrouted(RouteError::NotPrimary)),
         ];
         for outcome in outcomes {
             roundtrip(NetMsg::Ctl(CtlMsg::Response(Response {
@@ -1211,6 +1298,57 @@ mod tests {
         ];
         for m in msgs {
             roundtrip(NetMsg::San(m));
+        }
+    }
+
+    #[test]
+    fn roundtrip_repl() {
+        let msgs = vec![
+            ReplMsg::Append {
+                snap_gen: 0,
+                snapshot: None,
+                offset: 128,
+                bytes: vec![7; 96],
+                durable: 224,
+            },
+            ReplMsg::Append {
+                snap_gen: 3,
+                snapshot: Some(vec![9; 256]),
+                offset: 0,
+                bytes: Vec::new(),
+                durable: 0,
+            },
+            ReplMsg::AppendAck {
+                snap_gen: 3,
+                durable: 224,
+            },
+            ReplMsg::Heartbeat {
+                incarnation: Incarnation(5),
+            },
+        ];
+        for m in msgs {
+            roundtrip(NetMsg::Repl(m));
+        }
+    }
+
+    #[test]
+    fn truncated_repl_is_an_error_not_a_panic() {
+        let msg = NetMsg::Repl(ReplMsg::Append {
+            snap_gen: 2,
+            snapshot: Some(vec![1, 2, 3]),
+            offset: 4,
+            bytes: vec![5, 6],
+            durable: 6,
+        });
+        let mut enc = BytesMut::new();
+        msg.encode(&mut enc);
+        let full = enc.freeze();
+        for cut in 0..full.len() {
+            let mut trunc = full.slice(0..cut);
+            assert!(
+                NetMsg::decode(&mut trunc).is_err(),
+                "decoded from a {cut}-byte prefix"
+            );
         }
     }
 

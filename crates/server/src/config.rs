@@ -83,6 +83,10 @@ pub struct ServerConfig {
     /// Theorem 3.1. Disabling this is the experiment's negative control
     /// and demonstrably loses updates.
     pub recovery_grace: bool,
+    /// Durable-log bytes beyond which the server folds the log into a
+    /// fresh snapshot (write-then-rename in the model; the log restarts
+    /// empty at a bumped generation). Bounds replay time after a crash.
+    pub compact_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +103,7 @@ impl Default for ServerConfig {
             release_timeout: LocalNs::from_secs(2),
             nack_suspect: true,
             recovery_grace: true,
+            compact_threshold: tank_meta::wal::DEFAULT_COMPACT_THRESHOLD,
         }
     }
 }

@@ -107,9 +107,25 @@ impl LockManager {
     /// Forget every holder and waiter (fail-stop restart: lock state is
     /// volatile) while keeping the epoch counter, so grants issued by the
     /// next incarnation stay newer than every pre-crash grant and fencing
-    /// order is preserved.
+    /// order is preserved. A *real* restart cannot rely on the counter
+    /// surviving in memory — the server logs `EpochWatermark` records to
+    /// its WAL and rebuilds via [`Self::restore_epoch`] instead.
     pub fn reset_volatile(&mut self) {
         self.locks.clear();
+    }
+
+    /// Highest epoch ever issued — the durable watermark the server's WAL
+    /// records at every grant.
+    pub fn epoch_watermark(&self) -> u64 {
+        self.epoch_counter
+    }
+
+    /// Restore the epoch counter after recovery so grants issued by the
+    /// next incarnation stay newer than every pre-crash grant (fencing
+    /// order preserved across the crash). Monotone: never moves the
+    /// counter backwards.
+    pub fn restore_epoch(&mut self, n: u64) {
+        self.epoch_counter = self.epoch_counter.max(n);
     }
 
     /// Handle a lock request from `client` for `ino` in `mode`.

@@ -21,12 +21,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use tank_core::{ClientStanding, LeaseAuthority};
-use tank_meta::{MetaError, MetaStore};
+use tank_meta::{snapshot, DurableStore, MetaError, MetaStore, WalRecord, WalStats, Watermarks};
 use tank_obs::Registry;
 use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     BlockRange, CtlMsg, FenceOp, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody,
-    ReqSeq, Request, Response, RouteError, SanMsg, ServerPush, SessionId, WriteTag,
+    ReplMsg, ReqSeq, Request, Response, RouteError, SanMsg, ServerPush, SessionId, WriteTag,
 };
 use tank_sim::{Actor, Ctx, LocalNs, NetId, TimerId, TokenMap};
 
@@ -60,6 +60,8 @@ pub struct ServerStats {
     pub recoveries: u64,
     /// Requests refused with `Recovering` during a grace window.
     pub recovery_nacks: u64,
+    /// Standby takeovers via the diskless-lease election.
+    pub elections: u64,
 }
 
 /// Timer tokens.
@@ -73,6 +75,9 @@ enum ServerTimer {
     LeaseExpiry(NodeId),
     /// The post-restart recovery grace window elapsed.
     RecoveryDone,
+    /// Periodic replication beat: the primary retransmits/heartbeats, the
+    /// standby checks its election clock. Armed only when a peer is wired.
+    ReplTick,
 }
 
 /// An outstanding server push.
@@ -125,6 +130,34 @@ pub struct ServerNode<Ob> {
     /// allocates from, and the only range its fence commands cover — a
     /// shard must never fence another shard's traffic (§6, sharded).
     fence_range: BlockRange,
+    /// The private durable device: snapshot + write-ahead log. Every
+    /// metadata mutation is appended here and group-commit-fsynced before
+    /// the acknowledgment that reports it leaves the node.
+    wal: DurableStore,
+    /// Store geometry, kept so recovery can rebuild a fresh sharded store
+    /// when no snapshot exists yet.
+    total_blocks: u64,
+    block_size: usize,
+    /// True while this node is a warm standby: it mirrors its peer's log
+    /// and NACKs every client request until elected.
+    standby: bool,
+    /// Replication peer: the standby when primary, the primary when
+    /// standby. `None` = replication unconfigured (the default; zero
+    /// overhead for single-node shards).
+    peer: Option<NodeId>,
+    /// Snapshot generation / durable offset the standby last acked.
+    peer_acked_gen: u64,
+    peer_acked_durable: u64,
+    /// What we last shipped (optimistic send cursor; the periodic tick
+    /// falls back to the acked cursor, which heals dropped shipments).
+    peer_sent_gen: u64,
+    peer_sent_durable: u64,
+    /// Standby's election clock: local time of the last Append/Heartbeat
+    /// from the primary.
+    last_repl_at: LocalNs,
+    /// Canonical state image captured at the last recovery/promotion
+    /// (tests compare it byte-for-byte against the pre-crash primary).
+    last_replay_image: Option<Vec<u8>>,
 }
 
 impl<Ob> ServerNode<Ob> {
@@ -138,6 +171,7 @@ impl<Ob> ServerNode<Ob> {
         let authority = LeaseAuthority::new(cfg.lease);
         let fence_range = cfg.map.block_range(cfg.sid, total_blocks);
         let meta = MetaStore::new_sharded(cfg.map, cfg.sid, total_blocks, block_size);
+        let wal = DurableStore::new(cfg.compact_threshold);
         ServerNode {
             cfg,
             id: None,
@@ -158,6 +192,17 @@ impl<Ob> ServerNode<Ob> {
             obs: None,
             condemn_armed_at: HashMap::new(),
             fence_range,
+            wal,
+            total_blocks,
+            block_size,
+            standby: false,
+            peer: None,
+            peer_acked_gen: 0,
+            peer_acked_durable: 0,
+            peer_sent_gen: 0,
+            peer_sent_durable: 0,
+            last_repl_at: LocalNs(0),
+            last_replay_image: None,
         }
     }
 
@@ -213,21 +258,77 @@ impl<Ob> ServerNode<Ob> {
         self.recovering
     }
 
+    /// True while this node is a warm standby (not yet elected).
+    pub fn is_standby(&self) -> bool {
+        self.standby
+    }
+
+    /// Wire this node into a replication pair (harness setup, before the
+    /// world starts). With `standby = true` this node becomes the warm
+    /// mirror of `peer`: it ingests log shipments, NACKs every client
+    /// request `Misrouted(NotPrimary)`, and takes over via the
+    /// diskless-lease election after τ(1+ε) of replication silence. With
+    /// `standby = false`, `peer` is the standby this primary ships its
+    /// durable log to at every group commit.
+    pub fn set_replication(&mut self, peer: NodeId, standby: bool) {
+        self.peer = Some(peer);
+        self.standby = standby;
+    }
+
+    /// The durable device (read access for durability audits).
+    pub fn wal(&self) -> &DurableStore {
+        &self.wal
+    }
+
+    /// The durable device, mutable (tests inject torn tails / bit flips).
+    pub fn wal_mut(&mut self) -> &mut DurableStore {
+        &mut self.wal
+    }
+
+    /// Durable-log statistics (appends / fsyncs / compactions).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// Canonical byte image of the current namespace + allocator state
+    /// (watermark-free), for byte-identical comparison in tests.
+    pub fn namespace_image(&self) -> Vec<u8> {
+        snapshot::encode(&self.meta, &Watermarks::default())
+    }
+
+    /// The namespace image captured at the last recovery or promotion.
+    pub fn last_replay_image(&self) -> Option<&[u8]> {
+        self.last_replay_image.as_deref()
+    }
+
     /// Pre-create a file with `blocks` allocated blocks and a committed
     /// size covering them (harness setup; not a protocol path). Returns
     /// its inode.
     pub fn precreate_file(&mut self, name: &str, blocks: u32) -> Ino {
         let root = self.meta.root();
         let ino = self.meta.create(root, name, 0).expect("precreate: create");
+        self.wal.append(&WalRecord::Create {
+            parent: root,
+            name: name.to_owned(),
+            now: 0,
+            ino,
+        });
         if blocks > 0 {
             self.meta
                 .alloc_blocks(ino, blocks)
                 .expect("precreate: alloc");
+            self.wal.append(&WalRecord::Alloc { ino, count: blocks });
             let size = blocks as u64 * self.meta.block_size() as u64;
             self.meta
                 .commit_write(ino, size, 0)
                 .expect("precreate: commit");
+            self.wal.append(&WalRecord::Commit {
+                ino,
+                new_size: size,
+                now: 0,
+            });
         }
+        self.wal.fsync();
         ino
     }
 
@@ -235,6 +336,93 @@ impl<Ob> ServerNode<Ob> {
         if let Some(ob) = (self.observe)(ev) {
             ctx.observe(ob);
         }
+    }
+
+    // --------------------------------------------------------- durability
+
+    /// Append one redo record to the (volatile) log tail. Durability comes
+    /// from the group-commit fsync at the next acknowledgment point.
+    fn wal_append(&mut self, rec: &WalRecord) {
+        self.wal.append(rec);
+        if let Some(obs) = &self.obs {
+            obs.wal_appends.inc();
+        }
+    }
+
+    /// Push the log tail to the durable device (no-op when nothing is
+    /// pending; the fsync counter only moves when the watermark does).
+    fn wal_fsync(&mut self) {
+        if self.wal.fsync() {
+            if let Some(obs) = &self.obs {
+                obs.wal_fsyncs.inc();
+            }
+        }
+    }
+
+    /// The watermarks a snapshot must carry so recovery restores counters
+    /// monotonically past everything this incarnation issued.
+    fn watermarks(&self) -> Watermarks {
+        Watermarks {
+            session: self.sessions.watermark(),
+            epoch: self.locks.epoch_watermark(),
+            incarnation: self.incarnation.0,
+        }
+    }
+
+    /// Group commit: fsync the log tail, fold it into a snapshot when it
+    /// outgrows the threshold, and ship new durable bytes to the warm
+    /// standby. Called at every acknowledgment point — no response leaves
+    /// this node before the records that justify it are durable.
+    fn wal_sync_and_ship(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.wal_fsync();
+        if self.wal.needs_compaction() {
+            let wm = self.watermarks();
+            let bytes = snapshot::encode(&self.meta, &wm);
+            self.wal.install_snapshot(bytes);
+            if let Some(obs) = &self.obs {
+                obs.snapshot_compactions.inc();
+            }
+        }
+        self.ship_delta(ctx);
+    }
+
+    /// Ship newly durable bytes to the standby, cumulatively from the last
+    /// offset we *sent*. The periodic [`ServerTimer::ReplTick`] resets the
+    /// send cursor to the last offset the standby *acked*, so dropped or
+    /// reordered shipments self-heal without retransmission state. A full
+    /// snapshot rides along while the standby's generation trails ours.
+    fn ship_delta(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if self.standby {
+            return;
+        }
+        let Some(peer) = self.peer else {
+            return;
+        };
+        let gen = self.wal.snap_gen();
+        let durable = self.wal.durable_len() as u64;
+        let (snapshot, offset) = if self.peer_sent_gen < gen {
+            // Our compaction outran the standby: re-base it.
+            (self.wal.snapshot().map(|s| s.to_vec()), 0)
+        } else {
+            (None, self.peer_sent_durable.min(durable))
+        };
+        if snapshot.is_none() && offset == durable {
+            return; // nothing new; the tick-time heartbeat covers liveness
+        }
+        let bytes = self.wal.durable_delta(offset as usize).to_vec();
+        self.peer_sent_gen = gen;
+        self.peer_sent_durable = durable;
+        ctx.send(
+            NetId::CONTROL,
+            peer,
+            NetMsg::Repl(ReplMsg::Append {
+                snap_gen: gen,
+                snapshot,
+                offset,
+                bytes,
+                durable,
+            }),
+        );
     }
 
     // ------------------------------------------------------------ replies
@@ -259,6 +447,9 @@ impl<Ob> ServerNode<Ob> {
         } else {
             self.stats.nacks += 1;
         }
+        // Write-ahead discipline: everything this response reports must be
+        // durable before the response exists on the wire.
+        self.wal_sync_and_ship(ctx);
         ctx.send(NetId::CONTROL, client, NetMsg::Ctl(CtlMsg::Response(resp)));
     }
 
@@ -517,6 +708,9 @@ impl<Ob> ServerNode<Ob> {
             let mut touched: Vec<Ino> = Vec::new();
             while let Some(g) = queue.pop_front() {
                 touched.push(g.ino);
+                // Grant epochs order conflicting ownership across crashes;
+                // the watermark must be durable before the grant is ACKed.
+                self.wal_append(&WalRecord::EpochWatermark(g.epoch.0));
                 if let Some(obs) = &self.obs {
                     obs.lock_granted.inc();
                     obs.trace(ctx, "grant", || {
@@ -596,6 +790,10 @@ impl<Ob> ServerNode<Ob> {
             self.begin_unfence(client, ctx);
         }
         let session = self.sessions.begin(client);
+        // The session watermark is the at-most-once fix: a reborn server
+        // restores it from the log, so post-crash sessions can never reuse
+        // an id whose dedup window a surviving client still holds open.
+        self.wal_append(&WalRecord::SessionWatermark(self.sessions.watermark()));
         if let Some(obs) = &self.obs {
             obs.sessions.inc();
             obs.trace(ctx, "session", || {
@@ -616,6 +814,9 @@ impl<Ob> ServerNode<Ob> {
             })),
         };
         self.sessions.record_hello(client, req.seq, resp.clone());
+        // Hello bypasses `respond` (it addresses the new session), so it
+        // carries its own group-commit point.
+        self.wal_sync_and_ship(ctx);
         ctx.send(NetId::CONTROL, client, NetMsg::Ctl(CtlMsg::Response(resp)));
     }
 
@@ -701,12 +902,28 @@ impl<Ob> ServerNode<Ob> {
         match body {
             RequestBody::KeepAlive => Ok(ReplyBody::Ok),
             RequestBody::Create { parent, name } => {
-                Self::map_meta(self.meta.create(parent, &name, now))
-                    .map(|ino| ReplyBody::Created { ino })
+                let r = Self::map_meta(self.meta.create(parent, &name, now));
+                if let Ok(ino) = r {
+                    self.wal_append(&WalRecord::Create {
+                        parent,
+                        name,
+                        now,
+                        ino,
+                    });
+                }
+                r.map(|ino| ReplyBody::Created { ino })
             }
             RequestBody::Mkdir { parent, name } => {
-                Self::map_meta(self.meta.mkdir(parent, &name, now))
-                    .map(|ino| ReplyBody::Created { ino })
+                let r = Self::map_meta(self.meta.mkdir(parent, &name, now));
+                if let Ok(ino) = r {
+                    self.wal_append(&WalRecord::Mkdir {
+                        parent,
+                        name,
+                        now,
+                        ino,
+                    });
+                }
+                r.map(|ino| ReplyBody::Created { ino })
             }
             RequestBody::Lookup { parent, name } => Self::map_meta(self.meta.lookup(parent, &name))
                 .map(|(ino, attr)| ReplyBody::Resolved { ino, attr }),
@@ -714,10 +931,18 @@ impl<Ob> ServerNode<Ob> {
                 Self::map_meta(self.meta.readdir(dir)).map(|entries| ReplyBody::Dir { entries })
             }
             RequestBody::RenameLink { dir, name, ino } => {
-                Self::map_meta(self.meta.rename_link(dir, &name, ino)).map(|_| ReplyBody::Ok)
+                let r = Self::map_meta(self.meta.rename_link(dir, &name, ino));
+                if r.is_ok() {
+                    self.wal_append(&WalRecord::RenameLink { dir, name, ino });
+                }
+                r.map(|_| ReplyBody::Ok)
             }
             RequestBody::RenameUnlink { dir, name } => {
-                Self::map_meta(self.meta.rename_unlink(dir, &name)).map(|_| ReplyBody::Ok)
+                let r = Self::map_meta(self.meta.rename_unlink(dir, &name));
+                if r.is_ok() {
+                    self.wal_append(&WalRecord::RenameUnlink { dir, name });
+                }
+                r.map(|_| ReplyBody::Ok)
             }
             RequestBody::Unlink { parent, name } => {
                 // Unlinking a locked file would free its blocks for
@@ -725,7 +950,13 @@ impl<Ob> ServerNode<Ob> {
                 // block reuse corruption. Deny while contended.
                 match self.meta.lookup(parent, &name) {
                     Ok((ino, _)) if self.locks.is_contended(ino) => Err(FsError::Unavailable),
-                    _ => Self::map_meta(self.meta.unlink(parent, &name)).map(|_| ReplyBody::Ok),
+                    _ => {
+                        let r = Self::map_meta(self.meta.unlink(parent, &name));
+                        if r.is_ok() {
+                            self.wal_append(&WalRecord::Unlink { parent, name });
+                        }
+                        r.map(|_| ReplyBody::Ok)
+                    }
                 }
             }
             RequestBody::GetAttr { ino } => {
@@ -737,8 +968,11 @@ impl<Ob> ServerNode<Ob> {
                 if size.is_some() && !self.locks.holds(client, ino, LockMode::Exclusive) {
                     Err(FsError::NotLocked)
                 } else {
-                    Self::map_meta(self.meta.setattr(ino, size, now))
-                        .map(|attr| ReplyBody::Attr { attr })
+                    let r = Self::map_meta(self.meta.setattr(ino, size, now));
+                    if r.is_ok() {
+                        self.wal_append(&WalRecord::SetAttr { ino, size, now });
+                    }
+                    r.map(|attr| ReplyBody::Attr { attr })
                 }
             }
             RequestBody::LockRelease { ino, epoch } => {
@@ -772,16 +1006,22 @@ impl<Ob> ServerNode<Ob> {
                 if !self.locks.holds(client, ino, LockMode::Exclusive) {
                     Err(FsError::NotLocked)
                 } else {
-                    Self::map_meta(self.meta.alloc_blocks(ino, count))
-                        .map(|blocks| ReplyBody::Allocated { blocks })
+                    let r = Self::map_meta(self.meta.alloc_blocks(ino, count));
+                    if r.is_ok() {
+                        self.wal_append(&WalRecord::Alloc { ino, count });
+                    }
+                    r.map(|blocks| ReplyBody::Allocated { blocks })
                 }
             }
             RequestBody::CommitWrite { ino, new_size } => {
                 if !self.locks.holds(client, ino, LockMode::Exclusive) {
                     Err(FsError::NotLocked)
                 } else {
-                    Self::map_meta(self.meta.commit_write(ino, new_size, now))
-                        .map(|_| ReplyBody::Ok)
+                    let r = Self::map_meta(self.meta.commit_write(ino, new_size, now));
+                    if r.is_ok() {
+                        self.wal_append(&WalRecord::Commit { ino, new_size, now });
+                    }
+                    r.map(|_| ReplyBody::Ok)
                 }
             }
             RequestBody::Hello { .. }
@@ -809,6 +1049,7 @@ impl<Ob> ServerNode<Ob> {
         }
         match self.locks.request(client, ino, mode, session, seq) {
             LockRequestOutcome::Granted(g) => {
+                self.wal_append(&WalRecord::EpochWatermark(g.epoch.0));
                 if let Some(obs) = &self.obs {
                     obs.lock_granted.inc();
                     obs.trace(ctx, "grant", || {
@@ -1003,6 +1244,7 @@ impl<Ob> ServerNode<Ob> {
             epoch: self.locks.stamp_epoch(),
             wseq: 0,
         };
+        self.wal_append(&WalRecord::EpochWatermark(tag.epoch.0));
         let block = blocks[idx];
         let disk = self.disk_for(block);
         ctx.send(
@@ -1047,7 +1289,9 @@ impl<Ob> ServerNode<Ob> {
                     Ok(()) => {
                         if let Some((ino, new_size)) = p.commit {
                             let now = ctx.now().0;
-                            let _ = self.meta.commit_write(ino, new_size, now);
+                            if self.meta.commit_write(ino, new_size, now).is_ok() {
+                                self.wal_append(&WalRecord::Commit { ino, new_size, now });
+                            }
                         }
                         Ok(ReplyBody::Ok)
                     }
@@ -1063,6 +1307,207 @@ impl<Ob> ServerNode<Ob> {
                     obs.trace(ctx, "unexpected", || format!("san {other:?}"));
                 }
             }
+        }
+    }
+
+    // -------------------------------------------------------- replication
+
+    /// Replication traffic: shipments and heartbeats land on the standby,
+    /// cumulative acks land back on the primary. Role mismatches (a dead
+    /// primary's stray shipment arriving after our promotion) are counted
+    /// as anomalies and dropped.
+    fn on_repl(&mut self, from: NodeId, msg: ReplMsg, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        match msg {
+            ReplMsg::Append {
+                snap_gen,
+                snapshot,
+                offset,
+                bytes,
+                durable,
+            } => {
+                if !self.standby {
+                    if let Some(obs) = &self.obs {
+                        obs.unexpected_msgs.inc();
+                        obs.trace(ctx, "unexpected", || {
+                            format!("repl_append at non-standby from n{}", from.0)
+                        });
+                    }
+                    return;
+                }
+                self.last_repl_at = ctx.now();
+                self.wal
+                    .ingest(snap_gen, snapshot.as_deref(), offset, &bytes, durable);
+                ctx.send(
+                    NetId::CONTROL,
+                    from,
+                    NetMsg::Repl(ReplMsg::AppendAck {
+                        snap_gen: self.wal.snap_gen(),
+                        durable: self.wal.durable_len() as u64,
+                    }),
+                );
+            }
+            ReplMsg::AppendAck { snap_gen, durable } => {
+                if self.standby {
+                    return; // stray ack; harmless
+                }
+                // Acks are cumulative within a generation; one from before
+                // our last compaction is stale (the tick re-bases the
+                // standby with a snapshot shipment).
+                if snap_gen == self.wal.snap_gen() {
+                    if snap_gen > self.peer_acked_gen {
+                        self.peer_acked_gen = snap_gen;
+                        self.peer_acked_durable = durable;
+                    } else {
+                        self.peer_acked_durable = self.peer_acked_durable.max(durable);
+                    }
+                }
+            }
+            ReplMsg::Heartbeat { .. } => {
+                if self.standby {
+                    self.last_repl_at = ctx.now();
+                }
+            }
+        }
+    }
+
+    /// Periodic replication beat. The primary retransmits from the acked
+    /// cursor (healing dropped shipments) or heartbeats when the standby
+    /// is caught up; the standby checks its election clock and takes over
+    /// after τ(1+ε) of silence. Re-arms itself while a peer is wired.
+    fn on_repl_tick(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        if self.peer.is_none() {
+            return;
+        }
+        if self.standby {
+            // Diskless-lease election: τ(1+ε) of replication silence on
+            // our own clock means every lease the primary could have
+            // granted before dying has expired on its holder's clock
+            // (Theorem 3.1's rate argument) — taking over cannot place a
+            // new grant in conflict with a surviving pre-crash holder.
+            let now = ctx.now();
+            if now.0.saturating_sub(self.last_repl_at.0) >= self.cfg.lease.server_timeout().0 {
+                self.promote(ctx);
+                return; // promoted: no longer ticking as a mirror
+            }
+        } else {
+            // Fall back to the acked cursor so anything the standby missed
+            // is reshipped; if it holds everything, just prove liveness.
+            self.peer_sent_gen = self.peer_acked_gen;
+            self.peer_sent_durable = self.peer_acked_durable;
+            let caught_up = self.peer_acked_gen == self.wal.snap_gen()
+                && self.peer_acked_durable >= self.wal.durable_len() as u64;
+            if caught_up {
+                if let Some(peer) = self.peer {
+                    ctx.send(
+                        NetId::CONTROL,
+                        peer,
+                        NetMsg::Repl(ReplMsg::Heartbeat {
+                            incarnation: self.incarnation,
+                        }),
+                    );
+                }
+            } else {
+                self.ship_delta(ctx);
+            }
+        }
+        let token = self.timers.insert(ServerTimer::ReplTick);
+        ctx.set_timer(self.repl_interval(), token);
+    }
+
+    /// Replication beat period: τ(1+ε)/4, so a healthy primary proves
+    /// liveness several times per election window.
+    fn repl_interval(&self) -> LocalNs {
+        LocalNs(self.cfg.lease.server_timeout().0 / 4)
+    }
+
+    /// Standby takeover: become the shard's primary by recovering from the
+    /// mirrored log, exactly as a restarted primary recovers from its own.
+    /// By election time every pre-crash lease has expired at its holder,
+    /// and the recovery grace window (opened inside the shared recovery
+    /// path) re-runs the same proximity argument for the new incarnation.
+    fn promote(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        self.standby = false;
+        // Single-failover scope: the dead primary does not come back as
+        // our standby; stop addressing it.
+        self.peer = None;
+        self.stats.elections += 1;
+        if let Some(obs) = &self.obs {
+            obs.failover_elections.inc();
+            obs.trace(ctx, "failover", || {
+                "elected after replication silence".to_owned()
+            });
+        }
+        self.recover_from_wal(ctx);
+    }
+
+    /// Rebuild *all* state from the durable device: decode the snapshot,
+    /// replay the log's valid prefix, restore the session/epoch
+    /// watermarks, and adopt — durably — an incarnation past every one in
+    /// the log. Shared by fail-stop restart and standby promotion: the
+    /// two are the same act of reconstruction, differing only in whose
+    /// device the bytes came from.
+    fn recover_from_wal(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
+        let recovered = snapshot::recover(
+            &mut self.wal,
+            self.cfg.map,
+            self.cfg.sid,
+            self.total_blocks,
+            self.block_size,
+        );
+        self.meta = recovered.store;
+        self.sessions = SessionTable::new();
+        self.sessions
+            .restore_watermark(recovered.watermarks.session);
+        self.locks = LockManager::new();
+        self.locks.restore_epoch(recovered.watermarks.epoch);
+        // The incarnation is read back from the log, never from memory: a
+        // replacement process — or the standby holding a mirror — computes
+        // the same successor, and it is fsynced before anything is served
+        // so the *next* recovery sees it too.
+        self.incarnation = Incarnation(recovered.watermarks.incarnation + 1);
+        self.wal_append(&WalRecord::Incarnation(self.incarnation.0));
+        self.wal_fsync();
+        // Incarnation-qualified epoch floor: the logged `EpochWatermark`
+        // can lag reality — an unfsynced tail dies with the crash, and a
+        // standby's mirror misses whatever the final replication deltas
+        // dropped. The watermark alone would let this incarnation re-mint
+        // an epoch the old one already stamped onto writes, corrupting
+        // fence ordering. Lifting the counter to `incarnation << 32`
+        // (each incarnation owns a disjoint 4-billion-epoch range, and
+        // incarnations strictly increase) makes cross-incarnation epoch
+        // monotonicity unconditional instead of watermark-dependent.
+        self.locks.restore_epoch(self.incarnation.0 << 32);
+        self.last_replay_image = Some(self.namespace_image());
+        if let Some(obs) = &self.obs {
+            // Modeled replay cost: 1µs per record (the sim replays in zero
+            // virtual time; the histogram records the modeled work).
+            obs.replay_latency_ns
+                .observe(recovered.replayed as u64 * 1_000);
+            obs.trace(ctx, "replay", || {
+                format!(
+                    "records={} defect={:?} incarnation={}",
+                    recovered.replayed, recovered.defect, self.incarnation.0
+                )
+            });
+        }
+        self.authority = LeaseAuthority::new(self.cfg.lease);
+        self.pushes.clear();
+        self.pending_san.clear();
+        // Timers armed before the crash may still fire; invalidating the
+        // tokens (while keeping the counter monotonic) makes them no-ops.
+        self.timers.cancel_where(|_| true);
+        self.condemn_armed_at.clear();
+        if self.cfg.recovery_grace {
+            self.recovering = true;
+            if let Some(obs) = &self.obs {
+                obs.recovery_began.inc();
+                obs.trace(ctx, "recovery", || {
+                    format!("began incarnation={}", self.incarnation.0)
+                });
+            }
+            self.emit(ServerEvent::RecoveryBegan, ctx);
+            let token = self.timers.insert(ServerTimer::RecoveryDone);
+            ctx.set_timer(self.cfg.lease.server_timeout(), token);
         }
     }
 
@@ -1129,7 +1574,20 @@ impl<Ob> ServerNode<Ob> {
     }
 
     fn on_request(&mut self, from: NodeId, req: Request, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        // Routing gate first: a request this shard does not govern must
+        // Standby gate before everything: a warm standby owns no live
+        // shard state and must not touch even the session window. The
+        // redirect is not a lease judgment — the client rotates to the
+        // shard's other address and retries.
+        if self.standby {
+            return self.nack(
+                from,
+                req.session,
+                req.seq,
+                NackReason::Misrouted(RouteError::NotPrimary),
+                ctx,
+            );
+        }
+        // Routing gate next: a request this shard does not govern must
         // not touch any state here — not even the session window — and a
         // Hello carrying a stale shard-map epoch would register a session
         // the client will route wrongly against. `Misrouted` is a
@@ -1226,6 +1684,19 @@ impl<Ob> ServerNode<Ob> {
 impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
     fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         self.id = Some(ctx.node());
+        if !self.standby {
+            // Every response is stamped with an incarnation that recovery
+            // reads back from the log — so the first incarnation must be
+            // durable before anything is acknowledged. (A standby appends
+            // nothing of its own: its log stays a byte-exact mirror.)
+            self.wal_append(&WalRecord::Incarnation(self.incarnation.0));
+            self.wal_fsync();
+        }
+        if self.peer.is_some() {
+            self.last_repl_at = ctx.now();
+            let token = self.timers.insert(ServerTimer::ReplTick);
+            ctx.set_timer(self.repl_interval(), token);
+        }
     }
 
     fn on_message(
@@ -1238,6 +1709,7 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
         match msg {
             NetMsg::Ctl(CtlMsg::Request(req)) => self.on_request(from, req, ctx),
             NetMsg::San(san) => self.on_san(san, from, ctx),
+            NetMsg::Repl(repl) => self.on_repl(from, repl, ctx),
             NetMsg::Ctl(other) => {
                 // Responses and pushes address clients; a server receiving
                 // one is a routing anomaly worth counting, not crashing on.
@@ -1315,42 +1787,55 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
                 }
                 self.emit(ServerEvent::RecoveryEnded, ctx);
             }
+            ServerTimer::ReplTick => self.on_repl_tick(ctx),
         }
     }
 
-    /// Fail-stop restart. The metadata store survives (it lives on the
-    /// shared disks), as does fence state (it is held *at* the disks and
-    /// re-read from them); sessions, locks and lease timers were in
-    /// volatile memory and are gone. The restarted server bumps its
-    /// incarnation — stamped on every response, so surviving clients
-    /// detect the restart — and, because it cannot know which pre-crash
-    /// leases are still valid, refuses lock grants and mutations for one
-    /// full lease-expiry window `τ(1+ε)`: by then every pre-crash holder's
-    /// own clock has expired its lease and flushed its cache (the
-    /// Theorem 3.1 rate-synchronization argument, applied to recovery).
+    /// Fail-stop: the in-memory log tail past the last fsync is lost; the
+    /// durable prefix (snapshot + synced log) survives for `on_restart`.
+    fn on_crash(&mut self) {
+        self.wal.crash();
+    }
+
+    /// Fail-stop restart. *Everything* in memory is gone — metadata,
+    /// sessions, locks, lease timers, even the incarnation counter. What
+    /// survives is the private durable device: the last snapshot plus the
+    /// fsynced log prefix, from which `recover_from_wal` rebuilds
+    /// the store, restores the session/epoch watermarks, and computes the
+    /// next incarnation from the highest one logged (stamped on every
+    /// response, so surviving clients detect the restart). Because the
+    /// reborn server cannot know which pre-crash leases are still valid,
+    /// it refuses lock grants and mutations for one full lease-expiry
+    /// window `τ(1+ε)`: by then every pre-crash holder's own clock has
+    /// expired its lease and flushed its cache (the Theorem 3.1
+    /// rate-synchronization argument, applied to recovery).
     fn on_restart(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        self.incarnation = self.incarnation.next();
-        self.sessions.reset_volatile();
-        self.locks.reset_volatile();
-        self.authority = LeaseAuthority::new(self.cfg.lease);
-        self.pushes.clear();
-        self.pending_san.clear();
-        // Timers armed before the crash may still fire; invalidating the
-        // tokens (while keeping the counter monotonic) makes them no-ops.
-        self.timers.cancel_where(|_| true);
-        self.condemn_armed_at.clear();
         self.stats.recoveries += 1;
-        if self.cfg.recovery_grace {
-            self.recovering = true;
-            if let Some(obs) = &self.obs {
-                obs.recovery_began.inc();
-                obs.trace(ctx, "recovery", || {
-                    format!("began incarnation={}", self.incarnation.0)
-                });
-            }
-            self.emit(ServerEvent::RecoveryBegan, ctx);
-            let token = self.timers.insert(ServerTimer::RecoveryDone);
-            ctx.set_timer(self.cfg.lease.server_timeout(), token);
+        if self.standby {
+            // A restarted standby has no clients to protect; it resumes
+            // mirroring. Its log must stay byte-aligned with the primary's
+            // durable prefix, so it appends nothing of its own — recovery
+            // already truncated the torn tail via `on_crash`.
+            self.sessions = SessionTable::new();
+            self.locks = LockManager::new();
+            self.authority = LeaseAuthority::new(self.cfg.lease);
+            self.pushes.clear();
+            self.pending_san.clear();
+            self.timers.cancel_where(|_| true);
+            self.condemn_armed_at.clear();
+        } else {
+            self.recover_from_wal(ctx);
+        }
+        // Replication resumes conservatively from offset zero; the
+        // standby's cumulative ingest skips everything it already holds.
+        self.peer_acked_gen = 0;
+        self.peer_acked_durable = 0;
+        self.peer_sent_gen = 0;
+        self.peer_sent_durable = 0;
+        if self.peer.is_some() {
+            self.last_repl_at = ctx.now();
+            let token = self.timers.insert(ServerTimer::ReplTick);
+            ctx.set_timer(self.repl_interval(), token);
         }
     }
 }

@@ -50,8 +50,18 @@ pub struct ServerObs {
     pub recovery_ended: Arc<Counter>,
     /// `server.unexpected_msgs`.
     pub unexpected_msgs: Arc<Counter>,
+    /// `meta.wal.appends`.
+    pub wal_appends: Arc<Counter>,
+    /// `meta.wal.fsyncs`.
+    pub wal_fsyncs: Arc<Counter>,
+    /// `meta.snapshot.compactions`.
+    pub snapshot_compactions: Arc<Counter>,
+    /// `server.failover.elections`.
+    pub failover_elections: Arc<Counter>,
     /// `server.steal_latency_ns`.
     pub steal_latency_ns: Arc<Histogram>,
+    /// `server.wal.replay_latency_ns`.
+    pub replay_latency_ns: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for ServerObs {
@@ -82,7 +92,12 @@ impl ServerObs {
             recovery_began: registry.counter_def(&names::SERVER_RECOVERY_BEGAN),
             recovery_ended: registry.counter_def(&names::SERVER_RECOVERY_ENDED),
             unexpected_msgs: registry.counter_def(&names::SERVER_UNEXPECTED_MSGS),
+            wal_appends: registry.counter_def(&names::META_WAL_APPENDS),
+            wal_fsyncs: registry.counter_def(&names::META_WAL_FSYNCS),
+            snapshot_compactions: registry.counter_def(&names::META_SNAPSHOT_COMPACTIONS),
+            failover_elections: registry.counter_def(&names::SERVER_FAILOVER_ELECTIONS),
             steal_latency_ns: registry.histogram_def(&names::SERVER_STEAL_LATENCY_NS),
+            replay_latency_ns: registry.histogram_def(&names::SERVER_WAL_REPLAY_LATENCY_NS),
             registry,
         }
     }

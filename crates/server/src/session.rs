@@ -132,13 +132,30 @@ impl SessionTable {
         self.hellos.remove(&client);
     }
 
-    /// Forget every session (fail-stop restart: session state is volatile)
-    /// while keeping the id counter, so sessions begun by the next
-    /// incarnation can never collide with pre-crash session ids still held
-    /// by surviving clients.
+    /// Forget every session (fail-stop restart: session state is volatile
+    /// — *including* the id counter; a reborn process has no memory).
+    /// Collision-freedom across incarnations comes from the WAL's
+    /// `SessionWatermark` records, restored via
+    /// [`Self::restore_watermark`] before any new session is begun.
     pub fn reset_volatile(&mut self) {
         self.sessions.clear();
         self.hellos.clear();
+        self.next_session = 0;
+    }
+
+    /// Restore the id counter after recovery. Monotone: never moves the
+    /// counter backwards. Without this a reborn server would mint session
+    /// ids that collide with pre-crash ids still held by surviving
+    /// clients, re-opening their at-most-once windows to stale duplicates.
+    pub fn restore_watermark(&mut self, n: u64) {
+        self.next_session = self.next_session.max(n);
+    }
+
+    /// Highest session id ever begun — the durable watermark the server's
+    /// WAL records at every Hello so [`Self::restore_watermark`] can
+    /// rebuild it after a crash.
+    pub fn watermark(&self) -> u64 {
+        self.next_session
     }
 
     /// Approximate memory used by replay caches (diagnostics).

@@ -1,0 +1,273 @@
+//! Standby shard failover: the primary of a shard fail-stops
+//! permanently, and its warm standby — a diskless mirror tailing the
+//! primary's WAL over the control network — elects itself primary after
+//! τ(1+ε) of replication silence (DESIGN.md §13).
+//!
+//! The subjects under test, across 10 seeds each:
+//! * the standby promotes exactly once and the cluster resumes serving
+//!   through it (clients rotate their lease lane to the standby's
+//!   address on `Misrouted(NotPrimary)` or local expiry);
+//! * the promoted standby's replayed namespace is **byte-identical** to
+//!   the dead primary's final namespace (no namespace entry lost or
+//!   duplicated across the incarnation boundary), and byte-identical to
+//!   an independent shadow replay of the mirrored log;
+//! * the checker finds zero violations — in particular no grant inside
+//!   the election + grace blackout; and
+//! * the offline durability audit passes on both the primary's durable
+//!   device and the standby's mirror.
+
+use tank_cluster::workload::{Mix, PrimaryBiasGen};
+use tank_cluster::{Cluster, ClusterConfig, RunReport};
+use tank_consistency::durability;
+use tank_core::LeaseConfig;
+use tank_meta::snapshot;
+use tank_proto::ServerId;
+use tank_sim::{LocalNs, SimTime};
+
+fn failover_cfg(shards: u16) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = 3;
+    cfg.shards = shards;
+    cfg.standbys = true;
+    cfg.disks = 2;
+    cfg.files = 6;
+    cfg.file_blocks = 4;
+    cfg.block_size = 512;
+    cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(2));
+    cfg.lease.epsilon = 0.01;
+    cfg.gen_concurrency = 4;
+    cfg
+}
+
+fn attach_workloads(cluster: &mut Cluster) {
+    let mix = Mix {
+        read_frac: 0.4,
+        meta_frac: 0.1,
+        io_size: 512,
+        max_offset: 1536,
+        think_mean: LocalNs::from_millis(8),
+    };
+    for i in 0..3 {
+        cluster.attach_workload(i, Box::new(PrimaryBiasGen::new(i, 6, 0.8, mix)));
+    }
+}
+
+fn run_to_end(cluster: &mut Cluster) -> RunReport {
+    cluster.run_until(SimTime::from_secs(30));
+    cluster.settle();
+    cluster.finish()
+}
+
+/// Crash the shard-0 primary forever at `at`; the standby must take
+/// over. Returns the finished report.
+fn crash_and_fail_over(cluster: &mut Cluster, at: SimTime) -> RunReport {
+    cluster.crash_shard_with_failover(ServerId(0), at);
+    run_to_end(cluster)
+}
+
+#[test]
+fn standby_takes_over_and_namespace_survives_bit_for_bit() {
+    for seed in 0..10u64 {
+        let cfg = failover_cfg(1);
+        let mut cluster = Cluster::build(cfg, seed);
+        attach_workloads(&mut cluster);
+        let report = crash_and_fail_over(&mut cluster, SimTime::from_secs(8));
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+
+        // Exactly one election, and the standby now rules the shard.
+        let standby = cluster.standby_node_of(ServerId(0));
+        assert_eq!(standby.stats().elections, 1, "seed {seed}");
+        assert!(!standby.is_standby(), "seed {seed}: promoted");
+
+        // The dead primary's namespace froze at the crash; the control
+        // network is loss-free here, so everything it acknowledged had
+        // reached the mirror. The promoted standby's *replayed* image —
+        // what it reconstructed purely from mirrored bytes — must match
+        // bit for bit: nothing lost, nothing duplicated.
+        let primary = cluster.server_node_of(ServerId(0));
+        let want = primary.namespace_image();
+        let got = standby
+            .last_replay_image()
+            .expect("promotion captured a replay image");
+        assert_eq!(
+            snapshot::digest(&want),
+            snapshot::digest(got),
+            "seed {seed}: promoted namespace diverged from the primary's"
+        );
+        assert_eq!(want.as_slice(), got, "seed {seed}: byte-identical");
+
+        // Progress resumed through the new primary.
+        assert!(
+            report.check.ops_ok > 20,
+            "seed {seed}: ops flowed after failover ({})",
+            report.check.ops_ok
+        );
+
+        // The new incarnation sits strictly above the dead primary's.
+        assert!(
+            standby.incarnation().0 > primary.incarnation().0,
+            "seed {seed}: incarnation advanced across the failover"
+        );
+    }
+}
+
+#[test]
+fn shadow_replay_of_the_mirror_matches_the_promoted_state() {
+    // Independent shadow model: decode the standby's mirrored device with
+    // the snapshot/replay library directly (no server code) and compare
+    // against what the promoted standby actually serves.
+    for seed in [3u64, 17, 40] {
+        let cfg = failover_cfg(1);
+        let block_size = cfg.block_size;
+        let total_blocks = cfg.total_blocks;
+        let mut cluster = Cluster::build(cfg, seed);
+        attach_workloads(&mut cluster);
+        let report = crash_and_fail_over(&mut cluster, SimTime::from_secs(8));
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+
+        let standby = cluster.standby_node_of(ServerId(0));
+        let mut shadow_dev = standby.wal().clone();
+        let shadow = snapshot::recover(
+            &mut shadow_dev,
+            tank_shard::ShardMap::new(1),
+            ServerId(0),
+            total_blocks,
+            block_size,
+        );
+        assert!(shadow.defect.is_none(), "seed {seed}: mirror is clean");
+        let shadow_image = snapshot::encode(&shadow.store, &tank_meta::Watermarks::default());
+        // The live store has moved on (post-promotion mutations); the
+        // *captured* replay image is the state at promotion — but replay
+        // replays the same log plus the promotion's own incarnation
+        // record, which is namespace-neutral. Compare digests.
+        assert_eq!(
+            snapshot::digest(&shadow_image),
+            snapshot::digest(standby.last_replay_image().expect("replay image")),
+            "seed {seed}: shadow replay and promoted state agree"
+        );
+    }
+}
+
+#[test]
+fn durability_audit_passes_on_both_devices() {
+    for seed in 0..10u64 {
+        let cfg = failover_cfg(1);
+        let block_size = cfg.block_size;
+        let mut cluster = Cluster::build(cfg, seed);
+        attach_workloads(&mut cluster);
+        let report = crash_and_fail_over(&mut cluster, SimTime::from_secs(8));
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+        let map = tank_shard::ShardMap::new(1);
+        for (name, node) in [
+            ("primary", cluster.server_node_of(ServerId(0))),
+            ("standby", cluster.standby_node_of(ServerId(0))),
+        ] {
+            let audit = durability::audit_store(node.wal(), map, ServerId(0), block_size);
+            assert!(
+                audit.safe(),
+                "seed {seed}: {name} durable image violates invariants: {:?}",
+                audit.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn failover_in_a_sharded_cluster_isolates_the_blast_radius() {
+    // Shard 0's primary dies forever; shards 1..3 must keep serving
+    // uninterrupted while shard 0 fails over to its standby.
+    for seed in 0..10u64 {
+        let mut cfg = failover_cfg(4);
+        cfg.files = 16;
+        let mut cluster = Cluster::build(cfg, seed);
+        attach_workloads(&mut cluster);
+        let report = crash_and_fail_over(&mut cluster, SimTime::from_secs(8));
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+        let standby = cluster.standby_node_of(ServerId(0));
+        assert_eq!(standby.stats().elections, 1, "seed {seed}");
+        for sid in 1..4u16 {
+            assert!(
+                cluster.standby_node_of(ServerId(sid)).is_standby(),
+                "seed {seed}: shard {sid}'s standby stayed a standby"
+            );
+        }
+        assert!(
+            report.check.ops_ok > 40,
+            "seed {seed}: the surviving shards kept the cluster busy"
+        );
+    }
+}
+
+#[test]
+fn failover_under_a_lossy_control_network_stays_safe() {
+    // With control-path drops the final unshipped tail of the primary's
+    // log can die with it (replication is asynchronous past the durable
+    // watermark), so byte-equality is not promised — but the election,
+    // the durability invariants, update durability, and the recovery
+    // blackout still are. Net profile and workload match
+    // `lossy_network.rs` (the loss regime the base protocol is validated
+    // against).
+    //
+    // Scope note: crash recovery under a lossy control network has a
+    // pre-existing stale-read window in the base protocol — the
+    // *restart* path (no standbys, no rotation) corrupts on the same
+    // seeds at the same counts, including on the tree before this layer
+    // existed (see ROADMAP.md open items). This test therefore holds
+    // failover to the same bar as restart: no lost updates, no grant
+    // inside the blackout, exactly one election, clean durable devices.
+    for seed in 0..10u64 {
+        let mut cfg = failover_cfg(1);
+        cfg.files = 3;
+        cfg.ctl_net = tank_sim::NetParams {
+            latency_ns: 300_000,
+            jitter_ns: 400_000,
+            drop_prob: 0.05,
+            dup_prob: 0.02,
+        };
+        let block_size = cfg.block_size;
+        let mut cluster = Cluster::build(cfg, seed);
+        let mix = Mix {
+            think_mean: LocalNs::from_millis(10),
+            ..Mix::default()
+        };
+        for i in 0..3 {
+            cluster.attach_workload(i, Box::new(PrimaryBiasGen::new(i, 3, 0.8, mix)));
+        }
+        let report = crash_and_fail_over(&mut cluster, SimTime::from_secs(8));
+        assert!(
+            report.check.lost_updates.is_empty(),
+            "seed {seed}: {:#?}",
+            report.check.lost_updates
+        );
+        assert!(
+            report.check.early_grants.is_empty(),
+            "seed {seed}: {:#?}",
+            report.check.early_grants
+        );
+        let standby = cluster.standby_node_of(ServerId(0));
+        assert_eq!(standby.stats().elections, 1, "seed {seed}");
+        let audit = durability::audit_store(
+            standby.wal(),
+            tank_shard::ShardMap::new(1),
+            ServerId(0),
+            block_size,
+        );
+        assert!(audit.safe(), "seed {seed}: {:?}", audit.violations);
+    }
+}
+
+#[test]
+fn quiet_cluster_with_standbys_never_elects() {
+    // A healthy primary heartbeats through every idle period: the
+    // standby must never fire its election while the primary lives.
+    for seed in 0..5u64 {
+        let cfg = failover_cfg(1);
+        let mut cluster = Cluster::build(cfg, seed);
+        attach_workloads(&mut cluster);
+        let report = run_to_end(&mut cluster);
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+        let standby = cluster.standby_node_of(ServerId(0));
+        assert!(standby.is_standby(), "seed {seed}: no spurious election");
+        assert_eq!(standby.stats().elections, 0, "seed {seed}");
+    }
+}

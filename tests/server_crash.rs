@@ -130,6 +130,48 @@ fn restart_before_and_after_client_lease_expiry_are_both_safe() {
 }
 
 #[test]
+fn restart_under_heavy_duplication_replays_at_most_once() {
+    // Regression for the restart-replay hole: session ids were volatile,
+    // so a reborn server could mint a session id still held by a
+    // surviving client and admit stale duplicates of that client's
+    // pre-crash requests into the fresh at-most-once window. The WAL's
+    // `SessionWatermark` records (appended at every Hello, restored on
+    // replay) keep post-crash ids strictly above every pre-crash id.
+    // 15% duplication plus a mid-run crash/restart hammers exactly that
+    // path: every duplicate must be absorbed or replayed, never
+    // re-executed, across the incarnation boundary.
+    for seed in 0..10u64 {
+        let mut cfg = base_cfg();
+        cfg.ctl_net.dup_prob = 0.15;
+        let block_size = cfg.block_size;
+        let mut cluster = Cluster::build(cfg, seed);
+        attach_contending_workloads(&mut cluster);
+        cluster.crash_server(SimTime::from_secs(8), SimTime::from_secs(9));
+        let report = run_to_end(&mut cluster);
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+        assert_eq!(report.check.server_recoveries, 1, "seed {seed}");
+        assert!(
+            report.server.replays > 0,
+            "seed {seed}: 15% duplication never hit the replay cache?"
+        );
+        assert!(
+            report.check.ops_ok > 20,
+            "seed {seed}: progress resumed after recovery"
+        );
+        // The durable log itself must show a monotone session watermark
+        // across the crash — the exact invariant whose absence opened
+        // the hole.
+        let audit = tank_consistency::durability::audit_store(
+            cluster.server_node_of(tank_proto::ServerId(0)).wal(),
+            tank_shard::ShardMap::new(1),
+            tank_proto::ServerId(0),
+            block_size,
+        );
+        assert!(audit.safe(), "seed {seed}: {:?}", audit.violations);
+    }
+}
+
+#[test]
 fn disabling_the_grace_window_is_demonstrably_unsafe() {
     // Negative control: a restarted server that grants immediately races
     // surviving lease holders. Somewhere in the sweep the checker must
