@@ -3,10 +3,42 @@
 //! Caches whole blocks per inode, tracks dirtiness, and remembers the
 //! provenance tag of each cached version so reads served from cache can be
 //! audited by the offline checker exactly like reads served from disk.
+//!
+//! The cache holds at most [`BlockCache::capacity`] blocks; when an insert
+//! pushes it past that, [`BlockCache::trim`] evicts **clean** blocks in
+//! least-recently-used order. Dirty blocks are never evicted — they are the
+//! write-back queue, and only drain by being hardened to the SAN
+//! ([`BlockCache::mark_clean`]) or discarded wholesale at lease expiry
+//! ([`BlockCache::invalidate_all`]). The coherence contract governing when
+//! cached data may be *served* lives one layer up, in the lease FSM — see
+//! `CACHING.md` for the phase↔admission table.
 
 use std::collections::{BTreeMap, HashMap};
 
 use tank_proto::{Ino, WriteTag};
+
+/// Lifecycle state of one cached block. `CACHING.md`'s state table mirrors
+/// this enum; a doc-contract test diffs the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Identical to the on-disk copy; may be evicted at any time.
+    Clean,
+    /// Newer than the on-disk copy; pinned until written back.
+    Dirty,
+}
+
+impl BlockState {
+    /// Every state, for contract tests.
+    pub const ALL: [BlockState; 2] = [BlockState::Clean, BlockState::Dirty];
+
+    /// The name `CACHING.md` uses.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockState::Clean => "Clean",
+            BlockState::Dirty => "Dirty",
+        }
+    }
+}
 
 /// One cached block.
 #[derive(Debug, Clone)]
@@ -17,10 +49,37 @@ pub struct CachedBlock {
     pub tag: WriteTag,
     /// Dirty = newer than the on-disk copy; must be written back.
     pub dirty: bool,
+    /// Last-use stamp for LRU eviction (monotonic insert/serve counter).
+    last_use: u64,
+}
+
+impl CachedBlock {
+    /// The block's lifecycle state.
+    pub fn state(&self) -> BlockState {
+        if self.dirty {
+            BlockState::Dirty
+        } else {
+            BlockState::Clean
+        }
+    }
 }
 
 /// Per-client block cache.
-#[derive(Debug, Default)]
+///
+/// ```
+/// use tank_client::cache::BlockCache;
+/// use tank_proto::{Ino, WriteTag};
+///
+/// // Two-block cache: filling a third clean block evicts the coldest.
+/// let mut c = BlockCache::with_capacity(8, 2);
+/// c.fill(Ino(1), 0, vec![0; 8], WriteTag::default());
+/// c.fill(Ino(1), 1, vec![1; 8], WriteTag::default());
+/// c.fill(Ino(1), 2, vec![2; 8], WriteTag::default());
+/// assert_eq!(c.trim(), 1);                    // block 0 was least recent
+/// assert!(c.get(Ino(1), 0).is_none());
+/// assert!(c.get(Ino(1), 2).is_some());
+/// ```
+#[derive(Debug)]
 pub struct BlockCache {
     /// ino → (block index → block). BTreeMap so flush order is
     /// deterministic.
@@ -28,16 +87,40 @@ pub struct BlockCache {
     block_size: usize,
     /// Total cached blocks (cheap len).
     blocks: usize,
+    /// Max blocks retained across files (`usize::MAX` = unbounded;
+    /// `0` = retain nothing clean — the "no read cache" baseline).
+    capacity: usize,
+    /// Monotonic LRU clock.
+    tick: u64,
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        BlockCache::new(0)
+    }
 }
 
 impl BlockCache {
-    /// Cache for blocks of `block_size` bytes.
+    /// Unbounded cache for blocks of `block_size` bytes.
     pub fn new(block_size: usize) -> Self {
+        BlockCache::with_capacity(block_size, usize::MAX)
+    }
+
+    /// Cache holding at most `capacity` blocks (clean blocks evict LRU;
+    /// dirty blocks may transiently exceed the limit).
+    pub fn with_capacity(block_size: usize, capacity: usize) -> Self {
         BlockCache {
             files: HashMap::new(),
             block_size,
             blocks: 0,
+            capacity,
+            tick: 0,
         }
+    }
+
+    /// The configured capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The configured block size.
@@ -67,6 +150,8 @@ impl BlockCache {
     /// read — a lost update plus a read-your-writes violation.
     pub fn fill(&mut self, ino: Ino, idx: u32, data: Vec<u8>, tag: WriteTag) {
         debug_assert_eq!(data.len(), self.block_size);
+        self.tick += 1;
+        let stamp = self.tick;
         let file = self.files.entry(ino).or_default();
         if file.contains_key(&idx) {
             return;
@@ -77,9 +162,71 @@ impl BlockCache {
                 data,
                 tag,
                 dirty: false,
+                last_use: stamp,
             },
         );
         self.blocks += 1;
+    }
+
+    /// Refresh a block's LRU stamp (a read was served from it).
+    pub fn touch(&mut self, ino: Ino, idx: u32) {
+        self.tick += 1;
+        let stamp = self.tick;
+        if let Some(b) = self.files.get_mut(&ino).and_then(|f| f.get_mut(&idx)) {
+            b.last_use = stamp;
+        }
+    }
+
+    /// Evict least-recently-used **clean** blocks until the cache is back
+    /// within capacity; returns how many were dropped. Dirty blocks are
+    /// never evicted (they are the write-back queue), so the cache can
+    /// transiently exceed capacity while dirty data awaits hardening.
+    ///
+    /// Callers invoke this *after* a read has been served, never between
+    /// the SAN fetch and the serve — at capacity 0 every fetched block
+    /// lives exactly long enough to answer its read.
+    ///
+    /// ```
+    /// use tank_client::cache::BlockCache;
+    /// use tank_proto::{Ino, WriteTag};
+    ///
+    /// // Dirty blocks are pinned: even a capacity-0 cache retains them.
+    /// let mut c = BlockCache::with_capacity(8, 0);
+    /// c.write(Ino(1), 0, 0, &[7; 8], WriteTag::default());
+    /// assert_eq!(c.trim(), 0); // nothing evictable
+    /// assert_eq!(c.dirty_count(), 1);
+    ///
+    /// // Hardened to the SAN, the block turns clean — and evictable.
+    /// c.mark_clean(Ino(1), 0, WriteTag::default());
+    /// assert_eq!(c.trim(), 1);
+    /// assert!(c.is_empty());
+    /// ```
+    pub fn trim(&mut self) -> usize {
+        let mut evicted = 0;
+        while self.blocks > self.capacity {
+            // Coldest clean block across all files.
+            let victim = self
+                .files
+                .iter()
+                .flat_map(|(ino, f)| {
+                    f.iter()
+                        .filter(|(_, b)| !b.dirty)
+                        .map(move |(idx, b)| (b.last_use, *ino, *idx))
+                })
+                .min();
+            let Some((_, ino, idx)) = victim else {
+                break; // everything left is dirty
+            };
+            if let Some(f) = self.files.get_mut(&ino) {
+                f.remove(&idx);
+                self.blocks -= 1;
+                evicted += 1;
+                if f.is_empty() {
+                    self.files.remove(&ino);
+                }
+            }
+        }
+        evicted
     }
 
     /// Write `data` at `offset` within block `idx`, marking it dirty with
@@ -87,12 +234,15 @@ impl BlockCache {
     /// uncached partial blocks) unless the write covers the whole block.
     pub fn write(&mut self, ino: Ino, idx: u32, offset: usize, data: &[u8], tag: WriteTag) {
         debug_assert!(offset + data.len() <= self.block_size);
+        self.tick += 1;
+        let stamp = self.tick;
         let file = self.files.entry(ino).or_default();
         match file.get_mut(&idx) {
             Some(b) => {
                 b.data[offset..offset + data.len()].copy_from_slice(data);
                 b.tag = tag;
                 b.dirty = true;
+                b.last_use = stamp;
             }
             None => {
                 assert!(
@@ -105,6 +255,7 @@ impl BlockCache {
                         data: data.to_vec(),
                         tag,
                         dirty: true,
+                        last_use: stamp,
                     },
                 );
                 self.blocks += 1;
@@ -293,6 +444,53 @@ mod tests {
         c.write(Ino(2), 1, 0, &[5; 8], tag(3));
         assert_eq!(c.invalidate_all(), 1, "one dirty block discarded");
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn trim_evicts_lru_clean_blocks_only() {
+        let mut c = BlockCache::with_capacity(8, 2);
+        c.fill(F, 0, vec![0; 8], tag(1));
+        c.fill(F, 1, vec![1; 8], tag(2));
+        c.fill(F, 2, vec![2; 8], tag(3));
+        // Re-use block 0 so block 1 becomes the coldest.
+        c.touch(F, 0);
+        assert_eq!(c.trim(), 1);
+        assert!(c.get(F, 1).is_none(), "coldest clean block evicted");
+        assert!(c.get(F, 0).is_some());
+        assert!(c.get(F, 2).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn trim_never_evicts_dirty_blocks() {
+        let mut c = BlockCache::with_capacity(8, 1);
+        c.write(F, 0, 0, &[9; 8], tag(1));
+        c.write(F, 1, 0, &[9; 8], tag(2));
+        assert_eq!(c.trim(), 0, "dirty write-back data is pinned");
+        assert_eq!(c.len(), 2, "cache may overflow with dirty data");
+        c.mark_clean(F, 0, tag(1));
+        assert_eq!(c.trim(), 1, "hardened block becomes evictable");
+        assert!(c.get(F, 1).unwrap().dirty);
+    }
+
+    #[test]
+    fn capacity_zero_retains_nothing_clean() {
+        let mut c = BlockCache::with_capacity(8, 0);
+        c.fill(F, 0, vec![1; 8], tag(1));
+        assert!(c.get(F, 0).is_some(), "retained until the read is served");
+        assert_eq!(c.trim(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn block_state_tracks_dirtiness() {
+        let mut c = cache();
+        c.fill(F, 0, vec![1; 8], tag(1));
+        assert_eq!(c.get(F, 0).unwrap().state(), BlockState::Clean);
+        c.write(F, 0, 0, &[2; 8], tag(2));
+        assert_eq!(c.get(F, 0).unwrap().state(), BlockState::Dirty);
+        c.mark_clean(F, 0, tag(2));
+        assert_eq!(c.get(F, 0).unwrap().state(), BlockState::Clean);
     }
 
     #[test]

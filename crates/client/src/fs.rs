@@ -218,10 +218,17 @@ pub enum ClientEvent {
         /// Dirty blocks lost.
         discarded_dirty: usize,
     },
-    /// The client began quiescing (entered phase 3).
-    Quiesced,
-    /// The client resumed service (renewed after quiesce, or re-Helloed).
-    Resumed,
+    /// The client began quiescing one lease lane (entered phase 3).
+    Quiesced {
+        /// Shard (server index) whose lane quiesced.
+        shard: u16,
+    },
+    /// The client resumed service on one lane (renewed after quiesce, or
+    /// re-Helloed).
+    Resumed {
+        /// Shard (server index) whose lane resumed.
+        shard: u16,
+    },
 }
 
 /// Closed-loop workload generator: after each completed operation the

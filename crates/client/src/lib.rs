@@ -25,7 +25,7 @@ pub mod fs;
 pub mod node;
 pub mod obs;
 
-pub use cache::BlockCache;
+pub use cache::{BlockCache, BlockState};
 pub use fs::{ClientEvent, FsData, FsErr, FsOp, OpGen};
 pub use node::{ClientConfig, ClientNode, ClientStats};
 pub use obs::ClientObs;

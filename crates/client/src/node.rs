@@ -83,6 +83,23 @@ pub struct ClientConfig {
     /// the oldest retained lock through the eager flush+commit+release
     /// path it originally skipped.
     pub lazy_release_cap: usize,
+    /// Block-cache capacity in blocks. Clean blocks past the limit evict
+    /// in LRU order after each read is served; dirty write-back blocks
+    /// are never evicted. `usize::MAX` (the default) is unbounded; `0`
+    /// retains no clean data at all — the "every read pays a SAN round
+    /// trip" baseline E17 measures against.
+    pub cache_capacity: usize,
+    /// Request `SharedRead` data locks for reads (the default), letting N
+    /// clients serve a hot file from N caches concurrently. Disabled,
+    /// every read acquires `Exclusive` — the single-owner baseline whose
+    /// lock ping-pong E17 quantifies.
+    pub shared_read: bool,
+    /// Enforce the phase-3 admission gate of PAPER.md Figure 4: once a
+    /// lane's lease turns Suspect, stop admitting operations and stop
+    /// serving cached data for that shard until the lease resumes.
+    /// Disabling this is a **negative control** — the checker's
+    /// cache-coherence audit must flag the reads a quiesced cache serves.
+    pub phase3_gate: bool,
 }
 
 impl ClientConfig {
@@ -107,6 +124,9 @@ impl ClientConfig {
             batch_delay: LocalNs(500_000),
             lazy_release: false,
             lazy_release_cap: 32,
+            cache_capacity: usize::MAX,
+            shared_read: true,
+            phase3_gate: true,
         }
     }
 
@@ -139,6 +159,8 @@ pub struct ClientStats {
     pub cache_misses: u64,
     /// Dirty blocks written back to the SAN.
     pub flushed_blocks: u64,
+    /// Clean blocks evicted by the cache-capacity limit.
+    pub cache_evictions: u64,
     /// SAN I/Os rejected because this client was fenced.
     pub fenced_io: u64,
     /// Requests retransmitted.
@@ -458,6 +480,10 @@ pub struct ClientNode<Ob> {
     /// us writing under a dead epoch.
     deferred_demands: HashMap<Ino, Epoch>,
     cache: BlockCache,
+    /// Block indices each in-flight read had to fetch from the SAN (cache
+    /// misses), so the serve step can label `ReadServed.from_cache`
+    /// accurately per block.
+    read_fetched: HashMap<OpId, Vec<u32>>,
     ops: HashMap<OpId, ActiveOp>,
     next_op_id: u64,
     pending_san: HashMap<u64, SanOp>,
@@ -505,7 +531,7 @@ impl<Ob> ClientNode<Ob> {
     /// New client. `observe` converts client events into world
     /// observations.
     pub fn new(cfg: ClientConfig, observe: Box<dyn Fn(ClientEvent) -> Option<Ob>>) -> Self {
-        let cache = BlockCache::new(cfg.block_size);
+        let cache = BlockCache::with_capacity(cfg.block_size, cfg.cache_capacity);
         let map = cfg.map;
         assert_eq!(
             cfg.servers.len(),
@@ -541,6 +567,7 @@ impl<Ob> ClientNode<Ob> {
             lock_gen: HashMap::new(),
             deferred_demands: HashMap::new(),
             cache,
+            read_fetched: HashMap::new(),
             ops: HashMap::new(),
             next_op_id: 1,
             pending_san: HashMap::new(),
@@ -944,7 +971,7 @@ impl<Ob> ClientNode<Ob> {
                     format!("active session={} shard={}", session.0, sid.0)
                 });
             }
-            self.emit(ClientEvent::Resumed, ctx);
+            self.emit(ClientEvent::Resumed { shard: sid.0 }, ctx);
         }
         self.pump_lease(ctx);
         if self.cfg.flush_interval.0 > 0 {
@@ -1104,7 +1131,7 @@ impl<Ob> ClientNode<Ob> {
                             obs.phase_quiesce.inc();
                             obs.trace(ctx, "phase", || format!("quiescing shard={}", sid.0));
                         }
-                        self.emit(ClientEvent::Quiesced, ctx);
+                        self.emit(ClientEvent::Quiesced { shard: sid.0 }, ctx);
                     }
                     LeaseAction::BeginFlush => {
                         // Phase 4: harden everything dirty under THIS
@@ -1144,7 +1171,7 @@ impl<Ob> ClientNode<Ob> {
                                     format!("active resumed shard={}", sid.0)
                                 });
                             }
-                            self.emit(ClientEvent::Resumed, ctx);
+                            self.emit(ClientEvent::Resumed { shard: sid.0 }, ctx);
                         }
                         self.maybe_next_gen_op(ctx);
                     }
@@ -1241,10 +1268,13 @@ impl<Ob> ClientNode<Ob> {
         if matches!(op, FsOp::List { .. }) && parts.is_empty() {
             return self.submit_list_fanout(id, op, from_gen, ctx);
         }
-        if !self.lanes[self.lane_of_ino(root)].serving {
+        if self.cfg.phase3_gate && !self.lanes[self.lane_of_ino(root)].serving {
             // §3.2 phase 3+ on the governing shard: new file-system
             // requests against it are not serviced. Other shards' ops are
-            // unaffected — that is the blast-radius contract.
+            // unaffected — that is the blast-radius contract. With the
+            // gate disabled (negative control) the op is admitted and the
+            // checker's coherence audit flags whatever the quiesced cache
+            // serves.
             return self.deny_submit(id, kind, FsErr::Suspended, from_gen, ctx);
         }
         let to_parent = matches!(
@@ -1556,7 +1586,15 @@ impl<Ob> ClientNode<Ob> {
                         ctx,
                     );
                 } else {
-                    self.ensure_lock_then(id, ino, LockMode::SharedRead, ctx);
+                    // Shared-read mode lets N clients serve a hot file
+                    // from N caches; disabled, reads contend for the
+                    // exclusive lock like writes (the E17 baseline).
+                    let mode = if self.cfg.shared_read {
+                        LockMode::SharedRead
+                    } else {
+                        LockMode::Exclusive
+                    };
+                    self.ensure_lock_then(id, ino, mode, ctx);
                 }
             }
             FsOp::Write { offset, data, .. } => {
@@ -1884,9 +1922,14 @@ impl<Ob> ClientNode<Ob> {
             _ => return self.complete_op(id, Err(FsErr::LeaseLost), ctx),
         };
         let mut waiting = 0;
+        let mut fetched: Vec<u32> = Vec::new();
         for idx in first..=last {
-            if self.cache.get(ino, idx).is_none() && (idx as usize) < nblocks {
+            if self.cache.get(ino, idx).is_some() {
+                // Already resident: a hit, counted at serve time so the
+                // counter matches the `from_cache` events one-for-one.
+            } else if (idx as usize) < nblocks {
                 waiting += 1;
+                fetched.push(idx);
                 self.san_read(
                     ino,
                     idx,
@@ -1900,6 +1943,9 @@ impl<Ob> ClientNode<Ob> {
                     ctx,
                 );
             }
+        }
+        if !fetched.is_empty() {
+            self.read_fetched.entry(id).or_default().extend(fetched);
         }
         if waiting == 0 {
             self.finish_read(id, ino, ctx);
@@ -1922,12 +1968,54 @@ impl<Ob> ClientNode<Ob> {
         let Some(LockEntry::Held(info)) = self.locks.get(&ino) else {
             return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
         };
+        // Phase-3 serve gate (Figure 4): the lease turned Suspect while
+        // this read was in flight — a quiesced cache serves nothing, the
+        // op fails exactly as if it had arrived after the gate closed.
+        if self.cfg.phase3_gate && !self.lanes[self.lane_of_ino(ino)].serving {
+            self.read_fetched.remove(&id);
+            return self.complete_op(id, Err(FsErr::Suspended), ctx);
+        }
         let size = info.size;
+        let nblocks = info.blocks.len();
+        let blocks = info.blocks.clone();
+        let epoch = info.epoch;
         let bs = self.cfg.block_size as u64;
         let end = (offset + len as u64).min(size);
-        let mut out = Vec::with_capacity((end - offset) as usize);
         let first = (offset / bs) as u32;
         let last = ((end - 1) / bs) as u32;
+        // A concurrent read's capacity trim may have evicted a block this
+        // op counted on while its SAN fetches were in flight: refetch
+        // before serving (zeros here would be silent corruption).
+        let mut missing = 0;
+        for idx in first..=last {
+            if self.cache.get(ino, idx).is_none() && (idx as usize) < nblocks {
+                missing += 1;
+                self.read_fetched.entry(id).or_default().push(idx);
+                self.san_read(
+                    ino,
+                    idx,
+                    blocks[idx as usize],
+                    SanOp::OpRead {
+                        op: id,
+                        ino,
+                        idx,
+                        epoch,
+                    },
+                    ctx,
+                );
+            }
+        }
+        if missing > 0 {
+            if let Some(a) = self.ops.get_mut(&id) {
+                a.state = OpState::SanReads {
+                    waiting: missing,
+                    then_write: false,
+                };
+            }
+            return;
+        }
+        let fetched = self.read_fetched.remove(&id).unwrap_or_default();
+        let mut out = Vec::with_capacity((end - offset) as usize);
         let mut served: Vec<(u32, WriteTag, bool)> = Vec::new();
         for idx in first..=last {
             let bstart = idx as u64 * bs;
@@ -1936,14 +2024,30 @@ impl<Ob> ClientNode<Ob> {
             match self.cache.get(ino, idx) {
                 Some(b) => {
                     out.extend_from_slice(&b.data[lo as usize..hi as usize]);
-                    self.stats.cache_hits += 1;
-                    served.push((idx, b.tag, true));
+                    // From cache iff it was already resident when the read
+                    // was admitted (not just fetched on its behalf).
+                    served.push((idx, b.tag, !fetched.contains(&idx)));
                 }
                 None => {
-                    // Hole (never-written block): zeros.
+                    // Hole (never-written block): zeros, not cache data.
                     out.extend(std::iter::repeat_n(0u8, (hi - lo) as usize));
-                    served.push((idx, WriteTag::default(), true));
+                    served.push((idx, WriteTag::default(), false));
                 }
+            }
+        }
+        let hits = served.iter().filter(|(_, _, fc)| *fc).count() as u64;
+        self.stats.cache_hits += hits;
+        if let Some(obs) = &self.obs {
+            obs.cache_hits.add(hits);
+        }
+        for &(idx, _, _) in &served {
+            self.cache.touch(ino, idx);
+        }
+        let evicted = self.cache.trim();
+        if evicted > 0 {
+            self.stats.cache_evictions += evicted as u64;
+            if let Some(obs) = &self.obs {
+                obs.cache_evictions.add(evicted as u64);
             }
         }
         for (idx, tag, from_cache) in served {
@@ -2136,6 +2240,9 @@ impl<Ob> ClientNode<Ob> {
         self.next_san_req += 1;
         self.pending_san.insert(req_id, what);
         self.stats.cache_misses += 1;
+        if let Some(obs) = &self.obs {
+            obs.cache_misses.inc();
+        }
         let disk = self.cfg.disks[stripe_disk(block, self.cfg.disks.len())];
         ctx.send(
             NetId::SAN,
@@ -2409,6 +2516,9 @@ impl<Ob> ClientNode<Ob> {
                         // different grant generation, releasing what we
                         // hold is safe — epoch-qualified releases cannot
                         // hurt a grant that is not ours-as-held.
+                        if let Some(obs) = &self.obs {
+                            obs.cache_revokes.inc();
+                        }
                         let dirty = self.cache.dirty_of(ino);
                         if dirty.is_empty() {
                             self.commit_then_release(ino, None, ctx);
@@ -3014,6 +3124,7 @@ impl<Ob> ClientNode<Ob> {
             }
         }
         self.list_fanout.remove(&id);
+        self.read_fetched.remove(&id);
         let kind = active.op.kind();
         match &result {
             Ok(_) => self.stats.completed += 1,
@@ -3103,6 +3214,18 @@ impl<Ob> ClientNode<Ob> {
                     Ok(()) => {
                         self.cache.mark_clean(ino, idx, tag);
                         self.stats.flushed_blocks += 1;
+                        if let Some(obs) = &self.obs {
+                            obs.writeback_flushes.inc();
+                        }
+                        // Hardening frees the block for eviction: a cache
+                        // over capacity on dirty overflow drains here.
+                        let evicted = self.cache.trim();
+                        if evicted > 0 {
+                            self.stats.cache_evictions += evicted as u64;
+                            if let Some(obs) = &self.obs {
+                                obs.cache_evictions.add(evicted as u64);
+                            }
+                        }
                     }
                     Err(e) => {
                         if e == tank_proto::SanError::Fenced {

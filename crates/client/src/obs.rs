@@ -40,6 +40,16 @@ pub struct ClientObs {
     pub batch_size: Arc<Histogram>,
     /// `client.batch.flush_reason`.
     pub batch_flush_reason: Arc<Histogram>,
+    /// `client.cache.hits`.
+    pub cache_hits: Arc<Counter>,
+    /// `client.cache.misses`.
+    pub cache_misses: Arc<Counter>,
+    /// `client.cache.evictions`.
+    pub cache_evictions: Arc<Counter>,
+    /// `client.cache.writeback_flushes`.
+    pub writeback_flushes: Arc<Counter>,
+    /// `client.cache.revokes`.
+    pub cache_revokes: Arc<Counter>,
 }
 
 impl std::fmt::Debug for ClientObs {
@@ -65,6 +75,11 @@ impl ClientObs {
             renewal_headroom_ns: registry.histogram_def(&names::CLIENT_RENEWAL_HEADROOM_NS),
             batch_size: registry.histogram_def(&names::CLIENT_BATCH_SIZE),
             batch_flush_reason: registry.histogram_def(&names::CLIENT_BATCH_FLUSH_REASON),
+            cache_hits: registry.counter_def(&names::CLIENT_CACHE_HITS),
+            cache_misses: registry.counter_def(&names::CLIENT_CACHE_MISSES),
+            cache_evictions: registry.counter_def(&names::CLIENT_CACHE_EVICTIONS),
+            writeback_flushes: registry.counter_def(&names::CLIENT_CACHE_WRITEBACK_FLUSHES),
+            cache_revokes: registry.counter_def(&names::CLIENT_CACHE_REVOKES),
             registry,
         }
     }

@@ -1,0 +1,69 @@
+//! CACHING.md is a contract: its three coherence tables must list
+//! exactly the code's enum variants — cache block states, data-lock
+//! modes, and lease phases — in declaration order. This test diffs each
+//! table against the corresponding `ALL` constant so neither the doc nor
+//! the code can drift from the other (the OBSERVABILITY.md pattern).
+
+use tank_client::BlockState;
+use tank_core::Phase;
+use tank_proto::LockMode;
+
+/// First-cell labels of the table under `heading`, in row order. Rows
+/// are `| `Label` | ... |`; the header and separator rows have no
+/// backticked first cell and fall out naturally.
+fn table_labels(heading: &str) -> Vec<String> {
+    let doc = include_str!("../../../CACHING.md");
+    let mut in_section = false;
+    let mut labels = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if let Some(title) = line.strip_prefix("## ") {
+            in_section = title == heading;
+            continue;
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let first = line
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .trim();
+        if let Some(label) = first.strip_prefix('`').and_then(|s| s.strip_suffix('`')) {
+            labels.push(label.to_string());
+        }
+    }
+    assert!(
+        !labels.is_empty(),
+        "no table rows parsed under \"## {heading}\" in CACHING.md"
+    );
+    labels
+}
+
+#[test]
+fn block_state_table_matches_enum() {
+    let doc: Vec<String> = table_labels("Cache block states");
+    let code: Vec<String> = BlockState::ALL.iter().map(|s| s.label().into()).collect();
+    assert_eq!(
+        doc, code,
+        "CACHING.md block-state table drifted from BlockState"
+    );
+}
+
+#[test]
+fn lock_mode_table_matches_enum() {
+    let doc: Vec<String> = table_labels("Lock modes");
+    let code: Vec<String> = LockMode::ALL.iter().map(|m| m.label().into()).collect();
+    assert_eq!(
+        doc, code,
+        "CACHING.md lock-mode table drifted from LockMode"
+    );
+}
+
+#[test]
+fn phase_table_matches_enum() {
+    let doc: Vec<String> = table_labels("Lease phases and cache admission");
+    let code: Vec<String> = Phase::ALL.iter().map(|p| p.label().into()).collect();
+    assert_eq!(doc, code, "CACHING.md phase table drifted from Phase");
+}

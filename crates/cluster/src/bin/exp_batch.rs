@@ -199,6 +199,7 @@ fn violation_count(check: &tank_consistency::CheckReport) -> usize {
         + check.early_grants.len()
         + check.cross_shard.len()
         + check.batch_atomicity.len()
+        + check.coherence.len()
 }
 
 /// One latency-regime run. Returns (ops ok, control datagrams the server

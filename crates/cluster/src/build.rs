@@ -85,6 +85,16 @@ pub struct ClusterConfig {
     pub lazy_release: bool,
     /// Retained-release cap per client when `lazy_release` is on.
     pub lazy_release_cap: usize,
+    /// Client block-cache capacity in blocks (`usize::MAX` = unbounded,
+    /// `0` = no read caching — the E17 cache-off baseline).
+    pub cache_capacity: usize,
+    /// Request SharedRead data locks for reads (false = every read takes
+    /// Exclusive, serializing readers — the E17 lock-mode baseline).
+    pub shared_read: bool,
+    /// Clients enforce the phase-3 cache gate (disable ONLY as the
+    /// negative control: a quiesced cache that keeps serving must trip
+    /// the checker's coherence audit).
+    pub phase3_gate: bool,
     /// Record a human-readable trace.
     pub record_trace: bool,
     /// Observability registry shared by every layer of the cluster.
@@ -127,6 +137,9 @@ impl Default for ClusterConfig {
             batch_delay: LocalNs(500_000),
             lazy_release: false,
             lazy_release_cap: 32,
+            cache_capacity: usize::MAX,
+            shared_read: true,
+            phase3_gate: true,
             record_trace: false,
             obs: None,
         }
@@ -303,6 +316,9 @@ impl Cluster {
             ccfg.batch_delay = cfg.batch_delay;
             ccfg.lazy_release = cfg.lazy_release;
             ccfg.lazy_release_cap = cfg.lazy_release_cap;
+            ccfg.cache_capacity = cfg.cache_capacity;
+            ccfg.shared_read = cfg.shared_read;
+            ccfg.phase3_gate = cfg.phase3_gate;
             ccfg.function_ship = matches!(cfg.data_path, DataPath::FunctionShip);
             let mut node: ClientNode<Event> = ClientNode::new(ccfg, Box::new(map_client));
             if let Some(reg) = &cfg.obs {

@@ -31,8 +31,8 @@ pub fn map_client(ev: ClientEvent) -> Option<Event> {
         ClientEvent::CacheInvalidated { discarded_dirty } => {
             Event::CacheInvalidated { discarded_dirty }
         }
-        ClientEvent::Quiesced => Event::Quiesced,
-        ClientEvent::Resumed => Event::Resumed,
+        ClientEvent::Quiesced { shard } => Event::Quiesced { shard },
+        ClientEvent::Resumed { shard } => Event::Resumed { shard },
     })
 }
 

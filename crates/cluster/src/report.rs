@@ -131,6 +131,7 @@ impl RunReport {
             t.failed += c.failed;
             t.cache_hits += c.cache_hits;
             t.cache_misses += c.cache_misses;
+            t.cache_evictions += c.cache_evictions;
             t.flushed_blocks += c.flushed_blocks;
             t.fenced_io += c.fenced_io;
             t.retransmits += c.retransmits;
@@ -160,8 +161,8 @@ impl RunReport {
                 "\"failed\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"flushed_blocks\": {}, ",
                 "\"fenced_io\": {}, \"retransmits\": {} }},\n",
                 "  \"check\": {{ \"safe\": {}, \"lost_updates\": {}, \"stale_reads\": {}, ",
-                "\"write_order_violations\": {}, \"fence_rejections\": {}, \"ops_ok\": {}, ",
-                "\"ops_denied\": {}, \"ops_failed\": {} }}\n",
+                "\"write_order_violations\": {}, \"coherence\": {}, \"fence_rejections\": {}, ",
+                "\"ops_ok\": {}, \"ops_denied\": {}, \"ops_failed\": {} }}\n",
                 "}}"
             ),
             self.seed,
@@ -196,6 +197,7 @@ impl RunReport {
             self.check.lost_updates.len(),
             self.check.stale_reads.len(),
             self.check.write_order_violations.len(),
+            self.check.coherence.len(),
             self.check.fence_rejections,
             self.check.ops_ok,
             self.check.ops_denied,
@@ -253,10 +255,11 @@ impl std::fmt::Display for RunReport {
         )?;
         writeln!(
             f,
-            "  safety: {} lost updates, {} stale reads, {} order violations, {} fence rejections → {}",
+            "  safety: {} lost updates, {} stale reads, {} order violations, {} coherence, {} fence rejections → {}",
             self.check.lost_updates.len(),
             self.check.stale_reads.len(),
             self.check.write_order_violations.len(),
+            self.check.coherence.len(),
             self.check.fence_rejections,
             if self.check.safe() { "SAFE" } else { "VIOLATED" }
         )?;

@@ -1,9 +1,9 @@
 //! The offline checker.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use serde::Serialize;
-use tank_proto::{BlockId, Ino, NodeId, WriteTag};
+use tank_proto::{BlockId, Ino, LockMode, NodeId, WriteTag};
 use tank_sim::SimTime;
 
 use crate::event::Event;
@@ -167,6 +167,36 @@ pub struct BatchAtomicityViolation {
     pub at: SimTime,
 }
 
+/// A break of the cache-coherence contract (CACHING.md): a client cache
+/// acted outside what its lease phase and lock mode permit. Three shapes,
+/// distinguished by `what`:
+///
+/// * `"cache read while quiesced"` — a read was served from a local cache
+///   whose governing lease lane had entered phase 3 (quiesce) or later;
+///   once suspect, cached data may be stale the moment the server steals.
+/// * `"dirty block at steal"` — the server stole a grant while the holder
+///   still had an acknowledged, unhardened write under that grant's epoch
+///   (phase 4 is supposed to flush everything before the lease can lapse).
+///   Excused when the holder fail-stopped after the ack, like lost updates.
+/// * `"write under SharedRead grant"` — a write was acknowledged into the
+///   cache while the client's grant for the file was SharedRead; shared
+///   grants license reading only.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CoherenceViolation {
+    /// The client whose cache broke the contract.
+    pub client: NodeId,
+    /// File.
+    pub ino: Ino,
+    /// Block index.
+    pub idx: u32,
+    /// The version involved (served, stranded, or acked).
+    pub tag: WriteTag,
+    /// Which clause of the contract broke.
+    pub what: &'static str,
+    /// When.
+    pub at: SimTime,
+}
+
 /// A window during which a client's lock request sat blocked.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct UnavailWindow {
@@ -196,6 +226,9 @@ pub struct CheckReport {
     /// Lock-lifecycle breaks the batch audit caught (duplicate grants,
     /// releases of epochs never held).
     pub batch_atomicity: Vec<BatchAtomicityViolation>,
+    /// Cache-coherence contract breaks (quiesced-cache reads, dirty
+    /// blocks surviving a steal, writes under shared grants).
+    pub coherence: Vec<CoherenceViolation>,
     /// Server recovery windows observed in the event stream.
     pub server_recoveries: u64,
     /// Lock-wait windows.
@@ -227,6 +260,7 @@ impl CheckReport {
             && self.early_grants.is_empty()
             && self.cross_shard.is_empty()
             && self.batch_atomicity.is_empty()
+            && self.coherence.is_empty()
     }
 }
 
@@ -307,6 +341,18 @@ impl Checker {
         // survives restarts), so a same-epoch re-grant can only mean a
         // replayed batch element.
         let mut held_epoch: HashMap<(NodeId, NodeId, Ino), tank_proto::Epoch> = HashMap::new();
+        // Coherence audit: lease lanes currently quiesced, per (client,
+        // shard); the lock mode each client's current grant carries, per
+        // (client, ino); and acked-but-unhardened versions, per (client,
+        // ino, idx) — the write-back queue as the event stream shows it.
+        let mut quiesced: HashSet<(NodeId, u16)> = HashSet::new();
+        let mut granted_mode: HashMap<(NodeId, Ino), LockMode> = HashMap::new();
+        let mut unhardened: HashMap<(NodeId, Ino, u32), (WriteTag, SimTime)> = HashMap::new();
+        // The shard an ino's lease lane answers to. Clients stamp lane
+        // events with rendezvous shard ids, so mirror their map; with no
+        // declared topology every ino maps to the one shard 0.
+        let shard_count = self.opts.shard_servers.len().max(1) as u16;
+        let shard_of = |ino: Ino| tank_shard::ShardMap::new(shard_count).owner_of(ino).0;
 
         for (t, node, ev) in events {
             match ev {
@@ -314,6 +360,17 @@ impl Checker {
                     report.writes_acked += 1;
                     last_acked.insert((*node, *ino, *idx), (*tag, *t));
                     tag_location.insert(*tag, (*ino, *idx));
+                    unhardened.insert((*node, *ino, *idx), (*tag, *t));
+                    if granted_mode.get(&(*node, *ino)) == Some(&LockMode::SharedRead) {
+                        report.coherence.push(CoherenceViolation {
+                            client: *node,
+                            ino: *ino,
+                            idx: *idx,
+                            tag: *tag,
+                            what: "write under SharedRead grant",
+                            at: *t,
+                        });
+                    }
                 }
                 Event::Hardened { block, tag, .. } => {
                     hardened_tags.insert(*tag, *t);
@@ -348,6 +405,18 @@ impl Checker {
                     from_cache,
                 } => {
                     report.reads_checked += 1;
+                    // Coherence: a cache whose lane is suspect (phase 3+)
+                    // must not serve — the server may already be stealing.
+                    if *from_cache && quiesced.contains(&(*node, shard_of(*ino))) {
+                        report.coherence.push(CoherenceViolation {
+                            client: *node,
+                            ino: *ino,
+                            idx: *idx,
+                            tag: *tag,
+                            what: "cache read while quiesced",
+                            at: *t,
+                        });
+                    }
                     if let Some(newest) = newest_on_disk.get(&(*ino, *idx)) {
                         if newest.order_key() > tag.order_key() {
                             report.stale_reads.push(StaleRead {
@@ -381,8 +450,12 @@ impl Checker {
                     open_waits.entry((*client, *ino)).or_insert(*t);
                 }
                 Event::LockGranted {
-                    client, ino, epoch, ..
+                    client,
+                    ino,
+                    epoch,
+                    mode,
                 } => {
+                    granted_mode.insert((*client, *ino), *mode);
                     // Batch audit: a grant must mint a fresh epoch. Seeing
                     // the *same* epoch granted again means a batch element
                     // was executed twice (replay through the vectored
@@ -438,6 +511,43 @@ impl Checker {
                     self.audit_shard(&mut report, *node, *client, *ino, "grant", *t);
                 }
                 Event::LockStolen { client, ino, epoch } => {
+                    granted_mode.remove(&(*client, *ino));
+                    // Coherence: phase 4 hardens every dirty block before
+                    // the lease can lapse, and the server only steals after
+                    // lapse — so an acked write whose version has not
+                    // reached disk by the steal is stranded under a grant
+                    // that no longer exists. Hardened-ness is judged by
+                    // tag, exactly as the lost-update pass judges it at
+                    // run end. A fail-stop after the ack is excused (same
+                    // semantics there too).
+                    let mut stranded: Vec<(u32, WriteTag, SimTime)> = unhardened
+                        .iter()
+                        .filter(|((c, i, _), (w, _))| c == client && i == ino && w.epoch == *epoch)
+                        .map(|((_, _, idx), (w, acked_at))| (*idx, *w, *acked_at))
+                        .collect();
+                    stranded.sort_by_key(|(idx, _, _)| *idx);
+                    for (idx, w, acked_at) in stranded {
+                        unhardened.remove(&(*client, *ino, idx));
+                        if hardened_tags.contains_key(&w) {
+                            continue;
+                        }
+                        let crashed = self
+                            .opts
+                            .crashes
+                            .iter()
+                            .any(|(c, tc)| c == client && *tc >= acked_at);
+                        if crashed {
+                            continue;
+                        }
+                        report.coherence.push(CoherenceViolation {
+                            client: *client,
+                            ino: *ino,
+                            idx,
+                            tag: w,
+                            what: "dirty block at steal",
+                            at: *t,
+                        });
+                    }
                     // Batch audit: a server can only steal what its own
                     // stream says is held.
                     if held_epoch.get(&(*node, *client, *ino)) == Some(epoch) {
@@ -455,6 +565,7 @@ impl Checker {
                     self.audit_shard(&mut report, *node, *client, *ino, "steal", *t);
                 }
                 Event::LockReleased { client, ino, epoch } => {
+                    granted_mode.remove(&(*client, *ino));
                     // Batch audit: a release for an epoch the server's own
                     // stream does not show as held means a batched
                     // LockRelease was applied out of the recorded order
@@ -480,6 +591,12 @@ impl Checker {
                 }
                 Event::ServerRecovered => {
                     recovering_since.remove(node);
+                }
+                Event::Quiesced { shard } => {
+                    quiesced.insert((*node, *shard));
+                }
+                Event::Resumed { shard } => {
+                    quiesced.remove(&(*node, *shard));
                 }
                 _ => {}
             }
@@ -1083,6 +1200,192 @@ mod tests {
         ]);
         assert!(r.safe(), "{r:?}");
         assert!(r.batch_atomicity.is_empty());
+    }
+
+    #[test]
+    fn cache_read_while_quiesced_is_flagged() {
+        // Phase 3 means stop serving from cache; a from_cache read in the
+        // window between Quiesced and Resumed breaks the contract, while
+        // the same read after Resumed (or from the SAN) is fine.
+        let w = tag(C1, 1, 1);
+        let served = |from_cache| Event::ReadServed {
+            ino: F,
+            idx: 0,
+            tag: w,
+            from_cache,
+        };
+        let r = check(vec![
+            (t(1), C1, Event::Quiesced { shard: 0 }),
+            (t(2), C1, served(true)),
+            (t(3), C1, served(false)),
+            (t(4), C1, Event::Resumed { shard: 0 }),
+            (t(5), C1, served(true)),
+        ]);
+        assert_eq!(r.coherence.len(), 1, "{r:?}");
+        assert_eq!(r.coherence[0].what, "cache read while quiesced");
+        assert_eq!(r.coherence[0].at, t(2));
+        assert!(!r.safe());
+    }
+
+    #[test]
+    fn quiesce_of_another_clients_lane_does_not_taint_reads() {
+        let w = tag(C1, 1, 1);
+        let r = check(vec![
+            (t(1), C2, Event::Quiesced { shard: 0 }),
+            (
+                t(2),
+                C1,
+                Event::ReadServed {
+                    ino: F,
+                    idx: 0,
+                    tag: w,
+                    from_cache: true,
+                },
+            ),
+        ]);
+        assert!(r.coherence.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn dirty_block_at_steal_is_flagged_unless_crashed() {
+        // An acked write under epoch 1 that never hardened before the
+        // server stole epoch 1: phase 4 failed its one job. The same
+        // stream with a client crash after the ack is excused.
+        let w = tag(C1, 1, 1);
+        let events = vec![
+            (
+                t(1),
+                C1,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: w,
+                },
+            ),
+            (
+                t(2),
+                NodeId(0),
+                Event::LockStolen {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(1),
+                },
+            ),
+        ];
+        let r = check(events.clone());
+        let dirty: Vec<_> = r
+            .coherence
+            .iter()
+            .filter(|c| c.what == "dirty block at steal")
+            .collect();
+        assert_eq!(dirty.len(), 1, "{r:?}");
+        assert_eq!(dirty[0].tag, w);
+        let excused = Checker::new(CheckOptions {
+            crashes: vec![(C1, t(1))],
+            ..Default::default()
+        })
+        .run(&events);
+        assert!(excused.coherence.is_empty(), "{excused:?}");
+    }
+
+    #[test]
+    fn flushed_block_survives_steal_cleanly() {
+        // The normal phase-4 story: ack, harden, then the steal finds
+        // nothing dirty.
+        let w = tag(C1, 1, 1);
+        let r = check(vec![
+            (
+                t(1),
+                C1,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: w,
+                },
+            ),
+            (
+                t(2),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C1,
+                    block: B,
+                    tag: w,
+                    previous: WriteTag::default(),
+                },
+            ),
+            (
+                t(3),
+                NodeId(0),
+                Event::LockStolen {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(1),
+                },
+            ),
+        ]);
+        assert!(r.coherence.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn write_under_shared_grant_is_flagged() {
+        // SharedRead licenses reading only; a write ack under it is the
+        // cache acting beyond its grant. After the upgrade to Exclusive
+        // the same write is legitimate.
+        let w1 = tag(C1, 1, 1);
+        let w2 = tag(C1, 2, 1);
+        let r = check(vec![
+            (
+                t(1),
+                NodeId(0),
+                Event::LockGranted {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(1),
+                    mode: tank_proto::LockMode::SharedRead,
+                },
+            ),
+            (
+                t(2),
+                C1,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: w1,
+                },
+            ),
+            (
+                t(3),
+                NodeId(0),
+                Event::LockGranted {
+                    client: C1,
+                    ino: F,
+                    epoch: Epoch(2),
+                    mode: tank_proto::LockMode::Exclusive,
+                },
+            ),
+            (
+                t(4),
+                C1,
+                Event::WriteAcked {
+                    ino: F,
+                    idx: 0,
+                    tag: w2,
+                },
+            ),
+            (
+                t(5),
+                NodeId(0),
+                Event::Hardened {
+                    initiator: C1,
+                    block: B,
+                    tag: w2,
+                    previous: WriteTag::default(),
+                },
+            ),
+        ]);
+        assert_eq!(r.coherence.len(), 1, "{r:?}");
+        assert_eq!(r.coherence[0].what, "write under SharedRead grant");
+        assert_eq!(r.coherence[0].tag, w1);
     }
 
     #[test]

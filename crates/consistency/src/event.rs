@@ -59,10 +59,16 @@ pub enum Event {
         /// Unhardened dirty blocks lost at invalidation.
         discarded_dirty: usize,
     },
-    /// The client stopped admitting requests (phase 3).
-    Quiesced,
-    /// The client resumed service.
-    Resumed,
+    /// The client stopped admitting requests on one lease lane (phase 3).
+    Quiesced {
+        /// Shard (server index) whose lane quiesced.
+        shard: u16,
+    },
+    /// The client resumed service on one lane.
+    Resumed {
+        /// Shard (server index) whose lane resumed.
+        shard: u16,
+    },
     /// Fail-stop crash of a client (emitted by the harness, which is the
     /// entity that injects it).
     Crashed {

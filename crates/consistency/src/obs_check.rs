@@ -8,6 +8,7 @@
 //! rot this module exists to catch before a perf PR trusts the numbers.
 
 use tank_obs::{names, Snapshot};
+use tank_proto::LockMode;
 use tank_sim::{NodeId, SimTime};
 
 use crate::event::Event;
@@ -35,11 +36,11 @@ pub fn cross_check(events: &[(SimTime, NodeId, Event)], snapshot: &Snapshot) -> 
     let pairs: Vec<(&str, u64)> = vec![
         (
             names::CLIENT_PHASE_QUIESCE.name,
-            count(events, |e| matches!(e, Event::Quiesced)),
+            count(events, |e| matches!(e, Event::Quiesced { .. })),
         ),
         (
             names::CLIENT_PHASE_RESUME.name,
-            count(events, |e| matches!(e, Event::Resumed)),
+            count(events, |e| matches!(e, Event::Resumed { .. })),
         ),
         (
             names::CLIENT_PHASE_INVALID.name,
@@ -57,6 +58,42 @@ pub fn cross_check(events: &[(SimTime, NodeId, Event)], snapshot: &Snapshot) -> 
         (
             names::SERVER_LOCK_STOLEN.name,
             count(events, |e| matches!(e, Event::LockStolen { .. })),
+        ),
+        (
+            names::SERVER_DATALOCK_SHARED_GRANTS.name,
+            count(events, |e| {
+                matches!(
+                    e,
+                    Event::LockGranted {
+                        mode: LockMode::SharedRead,
+                        ..
+                    }
+                )
+            }),
+        ),
+        (
+            names::SERVER_DATALOCK_EXCLUSIVE_GRANTS.name,
+            count(events, |e| {
+                matches!(
+                    e,
+                    Event::LockGranted {
+                        mode: LockMode::Exclusive,
+                        ..
+                    }
+                )
+            }),
+        ),
+        (
+            names::CLIENT_CACHE_HITS.name,
+            count(events, |e| {
+                matches!(
+                    e,
+                    Event::ReadServed {
+                        from_cache: true,
+                        ..
+                    }
+                )
+            }),
         ),
         (
             names::SERVER_DELIVERY_ERRORS.name,

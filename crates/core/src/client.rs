@@ -38,6 +38,31 @@ pub enum Phase {
     Expired,
 }
 
+impl Phase {
+    /// Every phase, in order of distress — the CACHING.md phase/admission
+    /// table is diffed against this list by the doc-contract test.
+    pub const ALL: [Phase; 6] = [
+        Phase::NoLease,
+        Phase::Valid,
+        Phase::Renewal,
+        Phase::Suspect,
+        Phase::ExpectedFailure,
+        Phase::Expired,
+    ];
+
+    /// The variant name as it appears in the coherence contract's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::NoLease => "NoLease",
+            Phase::Valid => "Valid",
+            Phase::Renewal => "Renewal",
+            Phase::Suspect => "Suspect",
+            Phase::ExpectedFailure => "ExpectedFailure",
+            Phase::Expired => "Expired",
+        }
+    }
+}
+
 /// Edge-triggered action requested by the lease machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeaseAction {
@@ -178,13 +203,43 @@ impl ClientLease {
     }
 
     /// Whether new file-system requests from local processes may be
-    /// admitted (phases 1–2 only).
+    /// admitted (phases 1–2 only). This is the *admission* half of the
+    /// cache-coherence contract's phase table (`CACHING.md`); the *serve*
+    /// half is [`ClientLease::cache_usable`].
+    ///
+    /// ```
+    /// use tank_core::{ClientLease, LeaseConfig};
+    /// use tank_sim::LocalNs;
+    ///
+    /// let mut lease = ClientLease::new(LeaseConfig::default()); // τ = 10 s
+    /// lease.reset_session(LocalNs::from_secs(0), LocalNs::from_secs(0));
+    ///
+    /// // Phases 1–2 (valid / renewal): new operations are admitted.
+    /// assert!(lease.may_admit(LocalNs::from_secs(5)));
+    /// // Phase 3 (suspect — default 70% of τ): the admission gate closes.
+    /// assert!(!lease.may_admit(LocalNs::from_secs(8)));
+    /// ```
     pub fn may_admit(&self, now: LocalNs) -> bool {
         matches!(self.phase(now), Phase::Valid | Phase::Renewal)
     }
 
     /// Whether cached data may still be used (anything before expiry: in
     /// phases 3–4 in-progress operations continue against the cache).
+    ///
+    /// ```
+    /// use tank_core::{ClientLease, LeaseConfig};
+    /// use tank_sim::LocalNs;
+    ///
+    /// let mut lease = ClientLease::new(LeaseConfig::default()); // τ = 10 s
+    /// lease.reset_session(LocalNs::from_secs(0), LocalNs::from_secs(0));
+    ///
+    /// // Phase 3: new ops are refused, but ops already in flight may
+    /// // still finish against the cache (quiesce = drain, not drop).
+    /// assert!(!lease.may_admit(LocalNs::from_secs(8)));
+    /// assert!(lease.cache_usable(LocalNs::from_secs(8)));
+    /// // Past τ the cache is condemned until a new session.
+    /// assert!(!lease.cache_usable(LocalNs::from_secs(10)));
+    /// ```
     pub fn cache_usable(&self, now: LocalNs) -> bool {
         let p = self.phase(now);
         p != Phase::Expired && p != Phase::NoLease

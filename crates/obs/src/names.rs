@@ -160,6 +160,36 @@ pub const CLIENT_BATCH_FLUSH_REASON: MetricDef = histogram(
     SMALL_COUNT_BOUNDS,
     "batch flush trigger (0=size cap, 1=delay, 2=sync point)",
 );
+/// Read blocks served from the local block cache without a SAN trip
+/// (phases 1–2 of the lease lifecycle; CACHING.md has the admission
+/// table).
+pub const CLIENT_CACHE_HITS: MetricDef = counter(
+    "client.cache.hits",
+    "read blocks served from the local cache",
+);
+/// Read blocks that missed the cache and paid a SAN round trip.
+pub const CLIENT_CACHE_MISSES: MetricDef = counter(
+    "client.cache.misses",
+    "read blocks fetched from the SAN on a cache miss",
+);
+/// Clean blocks evicted to hold the cache at its configured capacity
+/// (dirty blocks are never evicted — they drain through write-back).
+pub const CLIENT_CACHE_EVICTIONS: MetricDef = counter(
+    "client.cache.evictions",
+    "clean blocks evicted by the capacity limit",
+);
+/// Dirty write-back blocks hardened to the SAN (periodic flush, demand
+/// flush, or the phase-4 flush-everything campaign).
+pub const CLIENT_CACHE_WRITEBACK_FLUSHES: MetricDef = counter(
+    "client.cache.writeback_flushes",
+    "dirty write-back blocks hardened to the SAN",
+);
+/// Server demands that revoked a held data lock (flush-then-release on
+/// the client; the shared-read → exclusive coherence path).
+pub const CLIENT_CACHE_REVOKES: MetricDef = counter(
+    "client.cache.revokes",
+    "held data locks revoked by a server demand",
+);
 
 // ------------------------------------------------------------- server
 
@@ -255,6 +285,22 @@ pub const SERVER_WAL_REPLAY_LATENCY_NS: MetricDef = histogram(
     "ns",
     DURATION_BOUNDS_NS,
     "modeled WAL replay cost per recovery",
+);
+/// Data locks granted in `SharedRead` mode (N concurrent reader caches).
+pub const SERVER_DATALOCK_SHARED_GRANTS: MetricDef = counter(
+    "server.datalock.shared_grants",
+    "data locks granted in SharedRead mode",
+);
+/// Data locks granted in `Exclusive` mode (single writer).
+pub const SERVER_DATALOCK_EXCLUSIVE_GRANTS: MetricDef = counter(
+    "server.datalock.exclusive_grants",
+    "data locks granted in Exclusive mode",
+);
+/// Revocation demands sent against held data locks (a waiter needs an
+/// incompatible mode — the revoke-to-exclusive coherence storm path).
+pub const SERVER_DATALOCK_REVOKES: MetricDef = counter(
+    "server.datalock.revokes",
+    "revocation demands sent against held data locks",
 );
 
 // --------------------------------------------------------------- meta
@@ -364,6 +410,11 @@ pub const ALL: &[MetricDef] = &[
     CLIENT_RENEWAL_HEADROOM_NS,
     CLIENT_BATCH_SIZE,
     CLIENT_BATCH_FLUSH_REASON,
+    CLIENT_CACHE_HITS,
+    CLIENT_CACHE_MISSES,
+    CLIENT_CACHE_EVICTIONS,
+    CLIENT_CACHE_WRITEBACK_FLUSHES,
+    CLIENT_CACHE_REVOKES,
     // server
     SERVER_LOCK_GRANTED,
     SERVER_LOCK_RELEASED,
@@ -387,6 +438,9 @@ pub const ALL: &[MetricDef] = &[
     SERVER_BATCH_EXEC_NS,
     SERVER_FAILOVER_ELECTIONS,
     SERVER_WAL_REPLAY_LATENCY_NS,
+    SERVER_DATALOCK_SHARED_GRANTS,
+    SERVER_DATALOCK_EXCLUSIVE_GRANTS,
+    SERVER_DATALOCK_REVOKES,
     // meta
     META_WAL_APPENDS,
     META_WAL_FSYNCS,

@@ -17,6 +17,18 @@ pub enum LockMode {
 }
 
 impl LockMode {
+    /// Every mode, in lattice order — the CACHING.md lock-mode table is
+    /// diffed against this list by the doc-contract test.
+    pub const ALL: [LockMode; 2] = [LockMode::SharedRead, LockMode::Exclusive];
+
+    /// The variant name as it appears in the coherence contract's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            LockMode::SharedRead => "SharedRead",
+            LockMode::Exclusive => "Exclusive",
+        }
+    }
+
     /// Whether two locks in these modes may be held simultaneously by
     /// different clients.
     #[inline]

@@ -533,6 +533,9 @@ impl<Ob> ServerNode<Ob> {
                 timer: None,
             },
         );
+        if let Some(obs) = &self.obs {
+            obs.datalock_revokes.inc();
+        }
         self.send_push(push_seq, ctx);
         Vec::new()
     }
@@ -713,6 +716,10 @@ impl<Ob> ServerNode<Ob> {
                 self.wal_append(&WalRecord::EpochWatermark(g.epoch.0));
                 if let Some(obs) = &self.obs {
                     obs.lock_granted.inc();
+                    match g.mode {
+                        LockMode::SharedRead => obs.datalock_shared_grants.inc(),
+                        LockMode::Exclusive => obs.datalock_exclusive_grants.inc(),
+                    }
                     obs.trace(ctx, "grant", || {
                         format!("client=n{} ino={} epoch={}", g.client.0, g.ino.0, g.epoch.0)
                     });
@@ -1052,6 +1059,10 @@ impl<Ob> ServerNode<Ob> {
                 self.wal_append(&WalRecord::EpochWatermark(g.epoch.0));
                 if let Some(obs) = &self.obs {
                     obs.lock_granted.inc();
+                    match mode {
+                        LockMode::SharedRead => obs.datalock_shared_grants.inc(),
+                        LockMode::Exclusive => obs.datalock_exclusive_grants.inc(),
+                    }
                     obs.trace(ctx, "grant", || {
                         format!("client=n{} ino={} epoch={}", client.0, ino.0, g.epoch.0)
                     });

@@ -58,6 +58,12 @@ pub struct ServerObs {
     pub snapshot_compactions: Arc<Counter>,
     /// `server.failover.elections`.
     pub failover_elections: Arc<Counter>,
+    /// `server.datalock.shared_grants`.
+    pub datalock_shared_grants: Arc<Counter>,
+    /// `server.datalock.exclusive_grants`.
+    pub datalock_exclusive_grants: Arc<Counter>,
+    /// `server.datalock.revokes`.
+    pub datalock_revokes: Arc<Counter>,
     /// `server.steal_latency_ns`.
     pub steal_latency_ns: Arc<Histogram>,
     /// `server.wal.replay_latency_ns`.
@@ -96,6 +102,10 @@ impl ServerObs {
             wal_fsyncs: registry.counter_def(&names::META_WAL_FSYNCS),
             snapshot_compactions: registry.counter_def(&names::META_SNAPSHOT_COMPACTIONS),
             failover_elections: registry.counter_def(&names::SERVER_FAILOVER_ELECTIONS),
+            datalock_shared_grants: registry.counter_def(&names::SERVER_DATALOCK_SHARED_GRANTS),
+            datalock_exclusive_grants: registry
+                .counter_def(&names::SERVER_DATALOCK_EXCLUSIVE_GRANTS),
+            datalock_revokes: registry.counter_def(&names::SERVER_DATALOCK_REVOKES),
             steal_latency_ns: registry.histogram_def(&names::SERVER_STEAL_LATENCY_NS),
             replay_latency_ns: registry.histogram_def(&names::SERVER_WAL_REPLAY_LATENCY_NS),
             registry,

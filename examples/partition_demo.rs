@@ -86,7 +86,9 @@ fn main() {
             Event::LockGranted { client, ino, mode, .. } => {
                 Some(format!("{client} granted {mode} lock on {ino}"))
             }
-            Event::Quiesced => Some(format!("{node} quiesced (phase 3: stops serving)")),
+            Event::Quiesced { shard } => Some(format!(
+                "{node} quiesced shard {shard} (phase 3: stops serving)"
+            )),
             Event::CacheInvalidated { discarded_dirty } => Some(format!(
                 "{node} lease expired locally: cache invalidated ({discarded_dirty} dirty blocks lost)"
             )),
@@ -101,7 +103,7 @@ fn main() {
                 Some(format!("server: stole {client}'s lock on {ino}"))
             }
             Event::NewSession { client } => Some(format!("server: new session for {client}")),
-            Event::Resumed => Some(format!("{node} serving again")),
+            Event::Resumed { shard } => Some(format!("{node} serving shard {shard} again")),
             Event::OpCompleted { kind, ok, err, .. } => match err {
                 Some(e) => Some(format!("{node} op {kind} → refused ({e})")),
                 None if *ok => Some(format!("{node} op {kind} → ok")),

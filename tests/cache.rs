@@ -1,0 +1,245 @@
+//! Client block-cache scenarios: the "safe caching" contract of CACHING.md
+//! exercised end to end.
+//!
+//! The subjects under test, each across 10 seeds:
+//! * a read-mostly file served from N clients' shared-read caches — hits
+//!   dominate misses and the server hands out SharedRead grants,
+//! * a writer revoking those shared caches mid-storm — demands flow, the
+//!   readers' caches drop the file, and no reader ever sees stale data,
+//! * a client crash with dirty write-back blocks still queued — the
+//!   checker's crash excuse (volatile loss is the accepted semantics)
+//!   keeps the run safe, and the same stream WITHOUT the excuse trips
+//!   the dirty-at-steal coherence audit,
+//! * the negative control: a client with the phase-3 cache gate disabled
+//!   keeps serving from a quiesced cache, which the coherence audit must
+//!   flag on every seed (and its gated twin must not).
+
+use std::sync::Arc;
+
+use tank_client::fs::Script;
+use tank_client::FsOp;
+use tank_cluster::workload::{HotFileGen, Mix, ZipfGen};
+use tank_cluster::{Cluster, ClusterConfig};
+use tank_consistency::{CheckOptions, Checker};
+use tank_core::LeaseConfig;
+use tank_obs::Registry;
+use tank_sim::{LocalNs, SimTime};
+
+const BS: usize = 512;
+const FILE_BLOCKS: u32 = 4;
+
+fn ms(x: u64) -> LocalNs {
+    LocalNs::from_millis(x)
+}
+
+fn t(x_ms: u64) -> SimTime {
+    SimTime::from_millis(x_ms)
+}
+
+fn cache_cfg(clients: usize, files: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.clients = clients;
+    cfg.files = files;
+    cfg.file_blocks = FILE_BLOCKS;
+    cfg.block_size = BS;
+    cfg.lease = LeaseConfig::with_tau(LocalNs::from_secs(2));
+    cfg.lease.epsilon = 0.01;
+    cfg
+}
+
+/// Read-only mix over the first `FILE_BLOCKS` blocks.
+fn read_mix(think_ms: u64) -> Mix {
+    Mix {
+        read_frac: 1.0,
+        meta_frac: 0.0,
+        io_size: BS as u32,
+        max_offset: (FILE_BLOCKS as u64) * BS as u64,
+        think_mean: ms(think_ms),
+    }
+}
+
+/// A write covering every block of `path` (one cache-warming burst).
+fn full_write(path: &str, fill: u8) -> FsOp {
+    FsOp::Write {
+        path: path.into(),
+        offset: 0,
+        data: vec![fill; BS * FILE_BLOCKS as usize],
+    }
+}
+
+#[test]
+fn shared_caches_serve_a_read_mostly_file() {
+    for seed in 0..10u64 {
+        let registry = Arc::new(Registry::new());
+        let mut cfg = cache_cfg(4, 2);
+        cfg.obs = Some(registry.clone());
+        let mut cluster = Cluster::build(cfg, seed);
+        // Client 0 warms the data once; clients 1–3 then read it all run
+        // long, Zipf-skewed across the two files.
+        cluster.attach_script(0, Script::new().at(ms(300), full_write("/f0", 0xAA)));
+        for i in 1..4 {
+            cluster.attach_workload(i, Box::new(ZipfGen::new(2, 1.0, read_mix(5))));
+        }
+        cluster.run_until(SimTime::from_secs(10));
+        cluster.settle();
+        let report = cluster.finish();
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+        let totals = report.client_totals();
+        assert!(
+            totals.cache_hits > totals.cache_misses,
+            "seed {seed}: read-mostly traffic should hit: {} hits / {} misses",
+            totals.cache_hits,
+            totals.cache_misses,
+        );
+        // The readers coexist: the server granted SharedRead to more than
+        // one of them rather than serializing through Exclusive.
+        let snap = registry.snapshot();
+        let shared = snap.counter("server.datalock.shared_grants").unwrap_or(0);
+        assert!(shared >= 2, "seed {seed}: shared grants: {shared}");
+    }
+}
+
+#[test]
+fn revoke_to_exclusive_mid_storm_stays_coherent() {
+    for seed in 0..10u64 {
+        let registry = Arc::new(Registry::new());
+        let mut cfg = cache_cfg(3, 1);
+        cfg.obs = Some(registry.clone());
+        let mut cluster = Cluster::build(cfg, seed);
+        // Clients 1–2 hammer /f0 from their shared caches; client 0
+        // writes it twice mid-storm. Each write must demand every shared
+        // holder's cache away, and no post-revoke read may return the
+        // superseded bytes (the checker's stale-read pass proves that).
+        cluster.attach_script(
+            0,
+            Script::new()
+                .at(ms(500), full_write("/f0", 0x11))
+                .at(ms(4_000), full_write("/f0", 0x22))
+                .at(ms(7_000), full_write("/f0", 0x33)),
+        );
+        for i in 1..3 {
+            cluster.attach_workload(i, Box::new(HotFileGen::new("/f0", read_mix(5))));
+        }
+        cluster.run_until(SimTime::from_secs(12));
+        cluster.settle();
+        let report = cluster.finish();
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+        assert!(
+            report.check.ops_ok > 100,
+            "seed {seed}: the storm did work: {}",
+            report.check.ops_ok
+        );
+        let snap = registry.snapshot();
+        let revoked = snap.counter("client.cache.revokes").unwrap_or(0);
+        let demanded = snap.counter("server.datalock.revokes").unwrap_or(0);
+        assert!(revoked >= 1, "seed {seed}: client revokes: {revoked}");
+        assert!(demanded >= 1, "seed {seed}: server demands: {demanded}");
+        assert!(
+            snap.counter("server.datalock.exclusive_grants")
+                .unwrap_or(0)
+                >= 1,
+            "seed {seed}: the writer got Exclusive"
+        );
+    }
+}
+
+#[test]
+fn client_crash_with_queued_dirty_blocks_is_excused() {
+    for seed in 0..10u64 {
+        let cfg = cache_cfg(2, 1);
+        // The crash at 1s lands before the first periodic write-back tick
+        // (2s): client 0's acknowledged write is still queued dirty when
+        // the machine dies.
+        let mut cluster = Cluster::build(cfg, seed);
+        cluster.attach_script(0, Script::new().at(ms(400), full_write("/f0", 0xD1)));
+        cluster.attach_script(
+            1,
+            Script::new().at(ms(3_000), full_write("/f0", 0xD2)).at(
+                ms(9_000),
+                FsOp::Read {
+                    path: "/f0".into(),
+                    offset: 0,
+                    len: BS as u32,
+                },
+            ),
+        );
+        cluster.crash_client(0, t(1_000), None);
+        cluster.run_until(SimTime::from_secs(12));
+        cluster.settle();
+        let report = cluster.finish();
+        // The crash excuse keeps the run safe: an acknowledged write died
+        // with the machine, which is §1.2's accepted volatile loss — NOT
+        // a lost acknowledged write chargeable to the protocol.
+        assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
+        assert!(
+            cluster.server_node().stats().locks_stolen >= 1,
+            "seed {seed}: the dead client's lock was stolen"
+        );
+        // Sanity of the audit itself: the same event stream WITHOUT the
+        // crash excuse must flag the stranded block at the steal.
+        let strict = Checker::new(CheckOptions {
+            end: cluster.world.now(),
+            shard_servers: cluster.servers.clone(),
+            ..Default::default()
+        })
+        .run(cluster.world.observations());
+        assert!(
+            strict
+                .coherence
+                .iter()
+                .any(|c| c.what == "dirty block at steal"),
+            "seed {seed}: strict re-check saw the stranded dirty block: {:#?}",
+            strict.coherence
+        );
+    }
+}
+
+#[test]
+fn disabled_phase3_gate_trips_the_coherence_audit() {
+    for seed in 0..10u64 {
+        // One run per gate setting, identical timeline: client 0 warms its
+        // cache, loses the control network, and keeps issuing reads
+        // straight through the quiesce window.
+        let run = |phase3_gate: bool| {
+            let mut cfg = cache_cfg(1, 1);
+            cfg.phase3_gate = phase3_gate;
+            let mut cluster = Cluster::build(cfg, seed);
+            let mut script = Script::new().at(ms(400), full_write("/f0", 0x77));
+            for i in 0..14 {
+                script = script.at(
+                    ms(1_200 + i * 100),
+                    FsOp::Read {
+                        path: "/f0".into(),
+                        offset: 0,
+                        len: BS as u32,
+                    },
+                );
+            }
+            cluster.attach_script(0, script);
+            cluster.isolate_control(0, t(1_000), Some(t(15_000)));
+            cluster.run_until(SimTime::from_secs(20));
+            cluster.settle();
+            cluster.finish()
+        };
+
+        let gated = run(true);
+        assert!(gated.check.safe(), "seed {seed}: {:#?}", gated.check);
+        assert!(
+            gated.check.ops_denied >= 1,
+            "seed {seed}: the gate refused quiesce-window reads: {:#?}",
+            gated.check
+        );
+
+        let ungated = run(false);
+        assert!(
+            ungated
+                .check
+                .coherence
+                .iter()
+                .any(|c| c.what == "cache read while quiesced"),
+            "seed {seed}: the audit caught the quiesced cache serving: {:#?}",
+            ungated.check.coherence
+        );
+        assert!(!ungated.check.safe(), "seed {seed}");
+    }
+}

@@ -84,7 +84,7 @@ fn nack_tells_the_client_immediately() {
     let evs = cluster.world.observations();
     assert!(evs
         .iter()
-        .any(|(_, n, e)| *n == c0 && matches!(e, Event::Quiesced)));
+        .any(|(_, n, e)| *n == c0 && matches!(e, Event::Quiesced { .. })));
     assert!(evs
         .iter()
         .any(|(_, _, e)| matches!(e, Event::NewSession { client } if *client == c0)));
@@ -142,9 +142,9 @@ fn suspect_client_is_never_acked_before_steal() {
         .map(|(t, _, _)| *t)
         .expect("steal");
     assert!(t_err < t_steal);
-    let resumed_in_window = evs
-        .iter()
-        .any(|(tt, n, e)| *n == c0 && *tt > t_err && *tt < t_steal && matches!(e, Event::Resumed));
+    let resumed_in_window = evs.iter().any(|(tt, n, e)| {
+        *n == c0 && *tt > t_err && *tt < t_steal && matches!(e, Event::Resumed { .. })
+    });
     assert!(
         !resumed_in_window,
         "no renewal between timer start and steal"
