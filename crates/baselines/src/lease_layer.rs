@@ -451,6 +451,7 @@ pub fn run_lease_layer(scheme: Scheme, params: LayerParams) -> LayerReport {
     let mut world: World<LayerMsg> = World::new(WorldConfig {
         seed: params.seed,
         record_trace: false,
+        record_causal: false,
     });
     world.add_network(NetId::CONTROL, NetParams::default());
     let server = world.add_node(

@@ -1957,6 +1957,25 @@ impl<Ob> ClientNode<Ob> {
         }
     }
 
+    /// Phase gate for *serving* cached data (DESIGN.md Figure 4): only a
+    /// lane in phases 1–2 may serve. Once the lease turns Suspect the
+    /// lane stops `serving` and its quiesced cache answers nothing until
+    /// recovery — every cached-read serve path must consult this.
+    fn cache_usable(&self, ino: Ino) -> bool {
+        !self.cfg.phase3_gate || self.lanes[self.lane_of_ino(ino)].serving
+    }
+
+    /// Admission gate for *filling* the cache: data may enter only if it
+    /// was read under the lock epoch we still hold. A SAN response that
+    /// crossed a release/re-grant is a stale snapshot of the block —
+    /// every cache fill must consult this.
+    fn may_admit(&self, ino: Ino, epoch: Epoch) -> bool {
+        matches!(
+            self.locks.get(&ino),
+            Some(LockEntry::Held(info)) if info.epoch == epoch
+        )
+    }
+
     fn finish_read(&mut self, id: OpId, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         let Some(active) = self.ops.get(&id) else {
             return;
@@ -1971,7 +1990,7 @@ impl<Ob> ClientNode<Ob> {
         // Phase-3 serve gate (Figure 4): the lease turned Suspect while
         // this read was in flight — a quiesced cache serves nothing, the
         // op fails exactly as if it had arrived after the gate closed.
-        if self.cfg.phase3_gate && !self.lanes[self.lane_of_ino(ino)].serving {
+        if !self.cache_usable(ino) {
             self.read_fetched.remove(&id);
             return self.complete_op(id, Err(FsErr::Suspended), ctx);
         }
@@ -2479,6 +2498,12 @@ impl<Ob> ClientNode<Ob> {
 
     fn on_released(&mut self, ino: Ino, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         self.locks.remove(&ino);
+        // The release ends this inode's lock era: a still-pending acquire
+        // from before it (e.g. a dropped upgrade reply the server later
+        // replays from its dedup window) would otherwise pass the
+        // `Purpose::Lock` gen guard and reinstate the dead epoch with a
+        // reset write-sequence counter — non-monotone tags.
+        self.bump_gen(ino);
         self.lazy_retained.retain(|i| *i != ino);
         self.cache.invalidate_ino(ino);
         if let Some(complete) = self.release_completes.remove(&ino).flatten() {
@@ -3163,11 +3188,7 @@ impl<Ob> ClientNode<Ob> {
                 // The lock this read was issued under must still be the
                 // one we hold: a response that crossed a release/re-grant
                 // is a stale snapshot and must not enter the cache.
-                let still_valid = matches!(
-                    self.locks.get(&ino),
-                    Some(LockEntry::Held(info)) if info.epoch == epoch
-                );
-                if !still_valid {
+                if !self.may_admit(ino, epoch) {
                     return self.complete_op(op, Err(FsErr::LeaseLost), ctx);
                 }
                 match result {

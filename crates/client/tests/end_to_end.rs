@@ -23,6 +23,7 @@ fn rig(scripts: Vec<Script>, lease: LeaseConfig) -> Rig {
     let mut world: World<NetMsg> = World::new(WorldConfig {
         seed: 42,
         record_trace: false,
+        record_causal: false,
     });
     world.add_network(NetId::CONTROL, NetParams::ideal(200_000)); // 0.2ms
     world.add_network(NetId::SAN, NetParams::ideal(100_000)); // 0.1ms

@@ -97,6 +97,10 @@ pub struct ClusterConfig {
     pub phase3_gate: bool,
     /// Record a human-readable trace.
     pub record_trace: bool,
+    /// Record the simulator's causal log so [`Cluster::hb_audit`] can
+    /// run. Pure logging: the schedule and history are bit-identical
+    /// with it on or off.
+    pub record_hb: bool,
     /// Observability registry shared by every layer of the cluster.
     /// When set, the world registers the full metric contract into it,
     /// forwards `record_trace` into its tracing gate, and the server and
@@ -141,6 +145,7 @@ impl Default for ClusterConfig {
             shared_read: true,
             phase3_gate: true,
             record_trace: false,
+            record_hb: false,
             obs: None,
         }
     }
@@ -217,6 +222,7 @@ impl Cluster {
         let mut world: World<NetMsg, Event> = World::new(WorldConfig {
             seed,
             record_trace: cfg.record_trace,
+            record_causal: cfg.record_hb,
         });
         world.add_network(NetId::CONTROL, cfg.ctl_net);
         world.add_network(NetId::SAN, cfg.san_net);
@@ -368,6 +374,55 @@ impl Cluster {
     pub fn cross_check(&self) -> Vec<String> {
         let reg = self.obs().expect("cluster built without cfg.obs");
         tank_consistency::cross_check(self.world.observations(), &reg.snapshot())
+    }
+
+    /// The happens-before auditor's default options for this cluster's
+    /// topology: every disk severs cross-dispatch program order, every
+    /// primary and standby is registered under its shard, and all edge
+    /// families are enabled.
+    pub fn hb_options(&self) -> tank_consistency::HbOptions {
+        let mut server_shards: Vec<(NodeId, u16)> = self
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u16))
+            .collect();
+        server_shards.extend(
+            self.standby_servers
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, i as u16)),
+        );
+        tank_consistency::HbOptions::new(self.disks.clone(), server_shards)
+    }
+
+    /// Run the happens-before race auditor over the causal log (requires
+    /// the cluster to have been built with `cfg.record_hb`). Reports
+    /// every conflicting block-access pair the happens-before relation
+    /// leaves unordered; also feeds the `consistency.hb.*` counters when
+    /// an obs registry is attached.
+    pub fn hb_audit(&self) -> tank_consistency::HbReport {
+        self.hb_audit_with(&self.hb_options())
+    }
+
+    /// [`Cluster::hb_audit`] with explicit options — used by the
+    /// negative controls, which sever one edge family and expect the
+    /// auditor to fire.
+    pub fn hb_audit_with(&self, opts: &tank_consistency::HbOptions) -> tank_consistency::HbReport {
+        let records = self
+            .world
+            .causal()
+            .expect("cluster built without cfg.record_hb");
+        let report = tank_consistency::hb::audit(records, self.world.observations(), opts);
+        if let Some(reg) = self.obs() {
+            reg.counter_def(&tank_obs::names::CONSISTENCY_HB_EVENTS)
+                .add(report.records as u64);
+            reg.counter_def(&tank_obs::names::CONSISTENCY_HB_EDGES)
+                .add(report.edges as u64);
+            reg.counter_def(&tank_obs::names::CONSISTENCY_HB_RACY_PAIRS)
+                .add(report.racy.len() as u64);
+        }
+        report
     }
 
     /// Attach a closed-loop workload to client `idx`.

@@ -57,6 +57,7 @@ pub fn map_server(ev: ServerEvent) -> Option<Event> {
         ServerEvent::RequestBlocked { client, ino, .. } => Event::RequestBlocked { client, ino },
         ServerEvent::DeliveryError { client } => Event::DeliveryError { client },
         ServerEvent::LeaseExpired { client } => Event::LeaseExpired { client },
+        ServerEvent::WalSynced { durable } => Event::WalSynced { durable },
         ServerEvent::Fenced { client } => Event::Fenced { client },
         ServerEvent::NewSession { client } => Event::NewSession { client },
         ServerEvent::RecoveryBegan => Event::ServerRecovering,
@@ -86,6 +87,11 @@ pub fn map_disk(ev: DiskEvent) -> Option<Event> {
             initiator,
             block,
             tag,
+        },
+        DiskEvent::FenceInstalled { target, range } => Event::FenceInstalled {
+            target,
+            range_start: range.start,
+            range_end: range.end,
         },
         DiskEvent::RejectedFenced {
             initiator,

@@ -100,7 +100,17 @@ pub fn audit_wal(baseline: &Watermarks, log: &[u8]) -> DurabilityReport {
                     ino.0
                 ));
             }
-            _ => {}
+            // First-time mints (the guard above consumed the duplicates)
+            // and mutations with no cross-incarnation invariant of their
+            // own — replay equivalence covers them.
+            WalRecord::Create { .. }
+            | WalRecord::Mkdir { .. }
+            | WalRecord::SetAttr { .. }
+            | WalRecord::Unlink { .. }
+            | WalRecord::RenameLink { .. }
+            | WalRecord::RenameUnlink { .. }
+            | WalRecord::Alloc { .. }
+            | WalRecord::Commit { .. } => {}
         }
     }
     report

@@ -133,6 +133,12 @@ pub enum Event {
         /// The client.
         client: NodeId,
     },
+    /// The WAL's durable watermark advanced (group-commit fsync). Orders
+    /// the durability point before every subsequently sent ACK.
+    WalSynced {
+        /// Durable log length in bytes after the fsync.
+        durable: u64,
+    },
     /// The server restarted after a fail-stop crash and entered its
     /// recovery grace window (no grants or mutations until every lease
     /// that might have been outstanding at the crash has expired).
@@ -160,6 +166,17 @@ pub enum Event {
         block: BlockId,
         /// Version returned.
         tag: WriteTag,
+    },
+    /// A fence took effect at one disk for one initiator/range. Every
+    /// earlier harden by that initiator inside the range happens-before
+    /// this event (the disk processes commands serially).
+    FenceInstalled {
+        /// The fenced initiator.
+        target: NodeId,
+        /// First block covered by the fence.
+        range_start: u64,
+        /// One past the last block covered.
+        range_end: u64,
     },
     /// An I/O was rejected by a fence.
     FenceRejected {

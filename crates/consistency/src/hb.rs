@@ -1,0 +1,1211 @@
+//! Happens-before race auditor over the simulator's causal log.
+//!
+//! The paper's safety argument (Theorem 3.1) is an *ordering* claim: a
+//! lease holder's last effect on shared storage precedes the next
+//! holder's first observation of it. The main [`crate::Checker`] verifies
+//! the *consequences* of that ordering (no stale reads, no lost updates);
+//! this module verifies the ordering itself, so a violation can be
+//! localized to the exact pair of events the protocol failed to order —
+//! before (or even without) a stale read materializing.
+//!
+//! The engine assigns vector clocks to the causal records the simulator
+//! logs (see [`tank_sim::CausalRecord`]), building the happens-before
+//! relation from four edge families:
+//!
+//! * **program order** — consecutive records at one node. Disks are the
+//!   deliberate exception: a disk serializes commands, but that
+//!   serialization is exactly what the protocol may *not* rely on (a
+//!   "late command" from a stolen-lock holder lands in the same serial
+//!   stream), so disk records chain only within one dispatch and
+//!   cross-dispatch order at a disk must be earned via messages or
+//!   fences.
+//! * **message edges** — each send to its deliveries (duplicates each
+//!   get an edge).
+//! * **fence edges** — a [`Event::FenceInstalled`] for client *c* is
+//!   ordered after every earlier harden by *c* inside the fenced range
+//!   at that disk: once the fence is in force, any not-yet-applied write
+//!   would be rejected, so the applied ones precede it in every
+//!   schedule.
+//! * **expiry edges** — a server-side [`Event::LeaseExpired`] (and a
+//!   recovery-grace [`Event::ServerRecovered`]) is ordered after the
+//!   client's own latest [`Event::Quiesced`] on that shard's lane. This
+//!   is Theorem 3.1 itself: the server waits `τ_s ≥ τ_c(1+ε)²`, so the
+//!   holder's clock has expired the lease — and phase 3 quiesced the
+//!   lane — strictly before the authority declares it dead.
+//!
+//! The WAL fsync→ACK edge needs no special casing: the server emits
+//! [`Event::WalSynced`] and then sends the response *within one
+//! dispatch*, so program order already places the durability point
+//! before every acknowledgment it justifies (tank-lint L6 checks the
+//! same property in source form).
+//!
+//! After the clocks are assigned, the auditor sweeps every conflicting
+//! pair — a dirty-block harden against a consumed read or lock grant of
+//! the same `(ino, block)` by a different node — and reports the pairs
+//! the happens-before relation leaves unordered, rustc-style. "Consumed"
+//! is load-bearing: reads anchor at the client's [`Event::ReadServed`],
+//! not the disk-side [`Event::DiskRead`], because a SAN read can be
+//! physically in flight while its lock is revoked — the client then
+//! fails the op (`LeaseLost`) and discards the data, and for discarded
+//! reads the safety net is epoch validation, not ordering.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use tank_proto::{Ino, WriteTag};
+use tank_sim::{CausalRecord, NodeId, SimTime};
+
+use crate::Event;
+
+// ------------------------------------------------------- vector clocks
+
+/// A vector clock over node components.
+///
+/// Components are dense by [`NodeId`] index. Only non-disk nodes tick
+/// their own component (disk records have no total per-node order — see
+/// the module docs); a disk record's clock is the merged causal past it
+/// inherited, which is exactly what downstream queries need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock over `width` node components.
+    pub fn new(width: usize) -> VClock {
+        VClock(vec![0; width])
+    }
+
+    /// This clock's entry for `node` (0 = has seen nothing of it).
+    pub fn get(&self, node: NodeId) -> u64 {
+        self.0.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Set `node`'s component (used when a record ticks its own entry).
+    pub fn set(&mut self, node: NodeId, v: u64) {
+        self.0[node.index()] = v;
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn merge(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether this clock has seen `node`'s `seq`-th record. `seq` 0
+    /// never counts: it is the "no own component" marker for disk
+    /// records, which are queried through their outgoing messages
+    /// instead.
+    pub fn covers(&self, node: NodeId, seq: u64) -> bool {
+        seq != 0 && self.get(node) >= seq
+    }
+
+    /// Pointwise `self >= other`.
+    pub fn dominates(&self, other: &VClock) -> bool {
+        let n = self.0.len().max(other.0.len());
+        (0..n).all(|i| {
+            self.0.get(i).copied().unwrap_or(0) >= other.0.get(i).copied().unwrap_or(0)
+        })
+    }
+
+    /// Neither clock dominates the other: the records are concurrent.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+}
+
+// ------------------------------------------------------------- options
+
+/// Which edge families the auditor builds, and the cluster topology it
+/// needs to interpret events.
+#[derive(Debug, Clone, Default)]
+pub struct HbOptions {
+    /// Disk nodes (program order is severed across dispatches here).
+    pub disks: Vec<NodeId>,
+    /// Every server node (primaries and standbys) with the shard it
+    /// serves, for pairing `Quiesced{shard}` with that shard's expiry
+    /// and recovery events.
+    pub server_shards: Vec<(NodeId, u16)>,
+    /// Build fence edges (sever as the negative control: steals lose
+    /// their ordering and the auditor must fire).
+    pub fence_edges: bool,
+    /// Build lease-expiry and recovery-grace edges.
+    pub expiry_edges: bool,
+}
+
+impl HbOptions {
+    /// All edge families enabled for the given topology.
+    pub fn new(disks: Vec<NodeId>, server_shards: Vec<(NodeId, u16)>) -> HbOptions {
+        HbOptions {
+            disks,
+            server_shards,
+            fence_edges: true,
+            expiry_edges: true,
+        }
+    }
+}
+
+/// Why one record happens-before another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Program order at one node (for disks: within one dispatch).
+    Po,
+    /// A send to one of its deliveries.
+    Msg,
+    /// Hardened write → fence installation at the same disk.
+    Fence,
+    /// Client lane quiesce → server-side lease expiry / recovery end.
+    Expiry,
+}
+
+// ------------------------------------------------------------ accesses
+
+/// How a conflicting access touched the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A dirty block reached shared storage.
+    Harden,
+    /// An uncached read consumed by the client (value came off the SAN).
+    DiskRead,
+    /// A read served from a client's local cache.
+    CacheRead,
+    /// A lock grant over the whole inode (the next holder's entry
+    /// point — everything it will do starts here).
+    Grant,
+}
+
+impl AccessKind {
+    fn label(self) -> &'static str {
+        match self {
+            AccessKind::Harden => "harden",
+            AccessKind::DiskRead => "disk read",
+            AccessKind::CacheRead => "cached read",
+            AccessKind::Grant => "lock grant",
+        }
+    }
+}
+
+/// One block access relevant to the race sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Index of the access's record in the causal log.
+    pub rec: usize,
+    /// Node that emitted the observation (disk, client, or server).
+    pub node: NodeId,
+    /// Node the access is attributed to (writer, reader, or grantee).
+    pub who: NodeId,
+    /// File the block belongs to.
+    pub ino: Ino,
+    /// Block index within the file; `None` for whole-inode grants.
+    pub idx: Option<u32>,
+    /// Access flavour.
+    pub kind: AccessKind,
+    /// True time of the observation.
+    pub at: SimTime,
+}
+
+impl std::fmt::Display for Access {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.idx {
+            Some(idx) => write!(
+                f,
+                "{} of (ino {}, block {}) by {} at {}, t={:.3}s (record #{})",
+                self.kind.label(),
+                self.ino.0,
+                idx,
+                self.who,
+                self.node,
+                self.at.as_secs_f64(),
+                self.rec
+            ),
+            None => write!(
+                f,
+                "{} of ino {} to {} at {}, t={:.3}s (record #{})",
+                self.kind.label(),
+                self.ino.0,
+                self.who,
+                self.node,
+                self.at.as_secs_f64(),
+                self.rec
+            ),
+        }
+    }
+}
+
+/// A conflicting pair the happens-before relation leaves unordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RacyPair {
+    /// The harden side.
+    pub write: Access,
+    /// The read or grant side.
+    pub other: Access,
+}
+
+/// The auditor's verdict for one run.
+#[derive(Debug, Clone, Default)]
+pub struct HbReport {
+    /// Causal records consumed.
+    pub records: usize,
+    /// Happens-before edges built.
+    pub edges: usize,
+    /// Block accesses that entered the sweep.
+    pub accesses: usize,
+    /// Conflicting pairs whose ordering was checked.
+    pub pairs_checked: usize,
+    /// Pairs left unordered — each one is a window in which the
+    /// schedule, not the protocol, decided who won.
+    pub racy: Vec<RacyPair>,
+}
+
+impl HbReport {
+    /// No unordered conflicting pairs.
+    pub fn ok(&self) -> bool {
+        self.racy.is_empty()
+    }
+
+    /// One-line summary for logs and smoke output.
+    pub fn summary(&self) -> String {
+        format!(
+            "hb: {} records, {} edges, {} accesses, {} pairs checked, {} racy",
+            self.records, self.edges, self.accesses, self.pairs_checked, self.racy.len()
+        )
+    }
+
+    /// Full rustc-style rendering of every racy pair.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for pair in &self.racy {
+            let _ = writeln!(
+                out,
+                "error[hb]: conflicting accesses to ino {}{} are not ordered by happens-before",
+                pair.write.ino.0,
+                pair.write
+                    .idx
+                    .map(|i| format!(", block {i}"))
+                    .unwrap_or_default()
+            );
+            let _ = writeln!(out, "  --> write: {}", pair.write);
+            let _ = writeln!(out, "  --> other: {}", pair.other);
+            let _ = writeln!(
+                out,
+                "  = note: no causal path connects these events in either direction;\n\
+                 \x20         under a different schedule they could have landed in either order"
+            );
+        }
+        let _ = writeln!(out, "{}", self.summary());
+        out
+    }
+}
+
+impl std::fmt::Display for HbReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+// -------------------------------------------------------------- graph
+
+/// The happens-before graph for one run's causal log.
+pub struct HbGraph<'a> {
+    records: &'a [CausalRecord],
+    obs: &'a [(SimTime, NodeId, Event)],
+    /// Outgoing adjacency (all edges point forward in log order).
+    fwd: Vec<Vec<(u32, EdgeKind)>>,
+    /// Per-record vector clock (the record's causal past, inclusive).
+    vc: Vec<VClock>,
+    /// Program-order position at the record's node; 0 for disk records,
+    /// whose cross-dispatch order is deliberately unranked.
+    seq: Vec<u64>,
+    /// Per-node "is a disk" flag, dense by node index.
+    is_disk: Vec<bool>,
+    /// Total edges built.
+    edges: usize,
+}
+
+fn rec_node(r: &CausalRecord) -> NodeId {
+    match r {
+        CausalRecord::Send { node, .. }
+        | CausalRecord::Deliver { node, .. }
+        | CausalRecord::Observe { node, .. } => *node,
+    }
+}
+
+fn rec_dispatch(r: &CausalRecord) -> u64 {
+    match r {
+        CausalRecord::Send { dispatch, .. }
+        | CausalRecord::Deliver { dispatch, .. }
+        | CausalRecord::Observe { dispatch, .. } => *dispatch,
+    }
+}
+
+fn rec_at(r: &CausalRecord) -> SimTime {
+    match r {
+        CausalRecord::Send { at, .. }
+        | CausalRecord::Deliver { at, .. }
+        | CausalRecord::Observe { at, .. } => *at,
+    }
+}
+
+impl<'a> HbGraph<'a> {
+    /// Build the graph: one forward pass assigns every record its edges
+    /// and vector clock (all edges point from earlier to later log
+    /// positions, so predecessors' clocks are final when merged).
+    pub fn build(
+        records: &'a [CausalRecord],
+        obs: &'a [(SimTime, NodeId, Event)],
+        opts: &HbOptions,
+    ) -> HbGraph<'a> {
+        let width = records
+            .iter()
+            .map(|r| rec_node(r).index() + 1)
+            .chain(obs.iter().map(|(_, n, _)| n.index() + 1))
+            .chain(opts.disks.iter().map(|n| n.index() + 1))
+            .chain(opts.server_shards.iter().map(|(n, _)| n.index() + 1))
+            .max()
+            .unwrap_or(1);
+        let mut is_disk = vec![false; width];
+        for d in &opts.disks {
+            is_disk[d.index()] = true;
+        }
+        let shard_of: HashMap<NodeId, u16> = opts.server_shards.iter().copied().collect();
+
+        let n = records.len();
+        let mut g = HbGraph {
+            records,
+            obs,
+            fwd: vec![Vec::new(); n],
+            vc: Vec::with_capacity(n),
+            seq: vec![0; n],
+            is_disk,
+            edges: 0,
+        };
+
+        // Build state: program-order tails, send registry, and the
+        // event context the fence/expiry edges need.
+        let mut tail_of_node: HashMap<NodeId, usize> = HashMap::new();
+        let mut tail_of_dispatch: HashMap<u64, usize> = HashMap::new();
+        let mut send_of_msg: HashMap<u64, usize> = HashMap::new();
+        // Hardens per disk: (record, writer, block address).
+        let mut hardens_at: HashMap<NodeId, Vec<(usize, NodeId, u64)>> = HashMap::new();
+        // Latest lane quiesce per (client, shard).
+        let mut last_quiesce: HashMap<(NodeId, u16), usize> = HashMap::new();
+
+        for (i, r) in records.iter().enumerate() {
+            let node = rec_node(r);
+            let disk = g.is_disk[node.index()];
+            let mut vc = VClock::new(width);
+
+            // Program order.
+            let pred = if disk {
+                tail_of_dispatch.get(&rec_dispatch(r))
+            } else {
+                tail_of_node.get(&node)
+            };
+            if let Some(&p) = pred {
+                g.link(p, i, EdgeKind::Po, &mut vc);
+            }
+
+            match r {
+                CausalRecord::Send { msg_id, .. } => {
+                    send_of_msg.insert(*msg_id, i);
+                }
+                CausalRecord::Deliver { msg_id, .. } => {
+                    if let Some(&s) = send_of_msg.get(msg_id) {
+                        g.link(s, i, EdgeKind::Msg, &mut vc);
+                    }
+                }
+                CausalRecord::Observe { obs_index, .. } => {
+                    match &obs[*obs_index].2 {
+                        Event::FenceInstalled {
+                            target,
+                            range_start,
+                            range_end,
+                        } if opts.fence_edges && disk => {
+                            let sources: Vec<usize> = hardens_at
+                                .get(&node)
+                                .map(|hs| {
+                                    hs.iter()
+                                        .filter(|(_, w, b)| {
+                                            w == target && *range_start <= *b && *b < *range_end
+                                        })
+                                        .map(|(rec, _, _)| *rec)
+                                        .collect()
+                                })
+                                .unwrap_or_default();
+                            for h in sources {
+                                g.link(h, i, EdgeKind::Fence, &mut vc);
+                            }
+                        }
+                        Event::Hardened {
+                            initiator, block, ..
+                        } if disk => {
+                            hardens_at
+                                .entry(node)
+                                .or_default()
+                                .push((i, *initiator, block.0));
+                        }
+                        Event::Quiesced { shard } => {
+                            last_quiesce.insert((node, *shard), i);
+                        }
+                        Event::LeaseExpired { client } if opts.expiry_edges => {
+                            if let Some(shard) = shard_of.get(&node) {
+                                if let Some(&q) = last_quiesce.get(&(*client, *shard)) {
+                                    g.link(q, i, EdgeKind::Expiry, &mut vc);
+                                }
+                            }
+                        }
+                        Event::ServerRecovered if opts.expiry_edges => {
+                            // Recovery grace: the restarted authority waited
+                            // out every lease that could have been live at
+                            // the crash, so each client's own latest lane
+                            // quiesce on this shard precedes the grace end.
+                            if let Some(shard) = shard_of.get(&node) {
+                                let sources: Vec<usize> = last_quiesce
+                                    .iter()
+                                    .filter(|((_, s), _)| s == shard)
+                                    .map(|(_, &q)| q)
+                                    .collect();
+                                for q in sources {
+                                    g.link(q, i, EdgeKind::Expiry, &mut vc);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            // Tick the record's own component (non-disk nodes only: a
+            // disk's cross-dispatch serialization is exactly the order
+            // the protocol may not rely on).
+            if !disk {
+                let s = vc.get(node) + 1;
+                vc.set(node, s);
+                g.seq[i] = s;
+                tail_of_node.insert(node, i);
+            } else {
+                tail_of_dispatch.insert(rec_dispatch(r), i);
+            }
+            g.vc.push(vc);
+        }
+        g
+    }
+
+    fn link(&mut self, from: usize, to: usize, kind: EdgeKind, vc: &mut VClock) {
+        debug_assert!(from < to, "hb edges must point forward in log order");
+        self.fwd[from].push((to as u32, kind));
+        vc.merge(&self.vc[from]);
+        self.edges += 1;
+    }
+
+    /// Total edges built.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The vector clock assigned to record `i`.
+    pub fn clock(&self, i: usize) -> &VClock {
+        &self.vc[i]
+    }
+
+    /// Program-order rank of record `i` at its node (0 for disk records).
+    pub fn rank(&self, i: usize) -> u64 {
+        self.seq[i]
+    }
+
+    /// Strict happens-before between two records.
+    ///
+    /// Non-disk sources answer in O(1) from the target's vector clock.
+    /// Disk sources have no own clock component; their causal future
+    /// leaves the disk through finitely many explicit edges (the
+    /// response send of their dispatch, fence successors), so a bounded
+    /// walk converts the query into vector-clock lookups at the first
+    /// non-disk record of each escape route.
+    pub fn ordered(&self, a: usize, b: usize) -> bool {
+        if a == b || a > b {
+            // All edges point forward in log order, and log order
+            // respects true time, so a later record never precedes an
+            // earlier one.
+            return false;
+        }
+        let an = rec_node(&self.records[a]);
+        if !self.is_disk[an.index()] {
+            return self.vc[b].covers(an, self.seq[a]);
+        }
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut stack: Vec<usize> = self.fwd[a].iter().map(|(t, _)| *t as usize).collect();
+        while let Some(x) = stack.pop() {
+            if x == b {
+                return true;
+            }
+            if x > b || !visited.insert(x) {
+                continue;
+            }
+            let xn = rec_node(&self.records[x]);
+            if !self.is_disk[xn.index()] {
+                // Vector clocks are complete for non-disk ancestors of
+                // `b`: if `x` is not covered, nothing reachable from it
+                // can be either.
+                if self.vc[b].covers(xn, self.seq[x]) {
+                    return true;
+                }
+            } else {
+                stack.extend(self.fwd[x].iter().map(|(t, _)| *t as usize));
+            }
+        }
+        false
+    }
+
+    /// Shortest causal path (by hop count) from `a` to `b` over the
+    /// explicit edges, as `(record, edge-into-it)` steps starting at
+    /// `a`. `None` when no path exists — which for a conflicting pair
+    /// means the pair is racy.
+    pub fn causal_path(&self, a: usize, b: usize) -> Option<Vec<(usize, Option<EdgeKind>)>> {
+        if a >= b && a != b {
+            return None;
+        }
+        let mut parent: HashMap<usize, (usize, EdgeKind)> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(a);
+        'bfs: while let Some(x) = queue.pop_front() {
+            for &(t, kind) in &self.fwd[x] {
+                let t = t as usize;
+                if t > b || parent.contains_key(&t) || t == a {
+                    continue;
+                }
+                parent.insert(t, (x, kind));
+                if t == b {
+                    break 'bfs;
+                }
+                queue.push_back(t);
+            }
+        }
+        if a != b && !parent.contains_key(&b) {
+            return None;
+        }
+        let mut path = vec![];
+        let mut cur = b;
+        while cur != a {
+            let (p, kind) = parent[&cur];
+            path.push((cur, Some(kind)));
+            cur = p;
+        }
+        path.push((a, None));
+        path.reverse();
+        Some(path)
+    }
+
+    /// Human rendering of one record, for path displays.
+    pub fn describe(&self, i: usize) -> String {
+        match &self.records[i] {
+            CausalRecord::Send {
+                node, dst, kind, at, ..
+            } => format!(
+                "#{i} {} sends {kind} to {} at t={:.3}s",
+                node,
+                dst,
+                at.as_secs_f64()
+            ),
+            CausalRecord::Deliver {
+                node, src, kind, at, ..
+            } => format!(
+                "#{i} {} receives {kind} from {} at t={:.3}s",
+                node,
+                src,
+                at.as_secs_f64()
+            ),
+            CausalRecord::Observe {
+                node, obs_index, at, ..
+            } => format!(
+                "#{i} {} observes {:?} at t={:.3}s",
+                node,
+                self.obs[*obs_index].2,
+                at.as_secs_f64()
+            ),
+        }
+    }
+
+    /// Collect every access the race sweep cares about.
+    ///
+    /// Reads anchor at the client's [`Event::ReadServed`] — the point
+    /// where the value is consumed — rather than at the disk-side
+    /// [`Event::DiskRead`]. A SAN read can be physically in flight when
+    /// the lock is revoked out from under it; the client then fails the
+    /// op (`LeaseLost`) and discards the data, so the protocol owes that
+    /// read no ordering — epoch validation is its safety net. A serve
+    /// that *does* happen is causally downstream of its physical disk
+    /// read via the SAN response, so anchoring at the serve still races
+    /// it correctly against every harden.
+    pub fn accesses(&self) -> Vec<Access> {
+        // Tags are minted at WriteAcked time, which precedes the harden,
+        // so one forward prepass resolves every harden's tag to its
+        // (ino, block index).
+        let mut tag_loc: HashMap<WriteTag, (Ino, u32)> = HashMap::new();
+        for (_, _, ev) in self.obs {
+            if let Event::WriteAcked { ino, idx, tag } = ev {
+                tag_loc.insert(*tag, (*ino, *idx));
+            }
+        }
+        let mut out = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            let CausalRecord::Observe { obs_index, .. } = r else {
+                continue;
+            };
+            let (at, node, ev) = &self.obs[*obs_index];
+            let (who, loc, kind) = match ev {
+                Event::Hardened { initiator, tag, .. } => {
+                    let Some(&(ino, idx)) = tag_loc.get(tag) else {
+                        continue; // untagged content (e.g. precreated blocks)
+                    };
+                    (*initiator, (ino, Some(idx)), AccessKind::Harden)
+                }
+                Event::ReadServed {
+                    ino,
+                    idx,
+                    from_cache,
+                    ..
+                } => {
+                    let kind = if *from_cache {
+                        AccessKind::CacheRead
+                    } else {
+                        AccessKind::DiskRead
+                    };
+                    (*node, (*ino, Some(*idx)), kind)
+                }
+                Event::LockGranted { client, ino, .. } => {
+                    (*client, (*ino, None), AccessKind::Grant)
+                }
+                _ => continue,
+            };
+            out.push(Access {
+                rec: i,
+                node: *node,
+                who,
+                ino: loc.0,
+                idx: loc.1,
+                kind,
+                at: *at,
+            });
+        }
+        out
+    }
+
+    /// Sweep every conflicting pair and report the unordered ones.
+    pub fn sweep(&self) -> HbReport {
+        let accesses = self.accesses();
+        let mut reads_at: HashMap<(Ino, u32), Vec<usize>> = HashMap::new();
+        let mut grants_of: HashMap<Ino, Vec<usize>> = HashMap::new();
+        let mut hardens: Vec<usize> = Vec::new();
+        for (k, a) in accesses.iter().enumerate() {
+            match (a.kind, a.idx) {
+                (AccessKind::Harden, _) => hardens.push(k),
+                (AccessKind::Grant, _) => grants_of.entry(a.ino).or_default().push(k),
+                (_, Some(idx)) => reads_at.entry((a.ino, idx)).or_default().push(k),
+                _ => {}
+            }
+        }
+        let mut report = HbReport {
+            records: self.records.len(),
+            edges: self.edges,
+            accesses: accesses.len(),
+            ..HbReport::default()
+        };
+        for &h in &hardens {
+            let w = accesses[h];
+            let idx = w.idx.expect("hardens carry a block index");
+            let candidates = reads_at
+                .get(&(w.ino, idx))
+                .into_iter()
+                .flatten()
+                .chain(grants_of.get(&w.ino).into_iter().flatten());
+            for &c in candidates {
+                let r = accesses[c];
+                if r.who == w.who {
+                    continue; // one node's own accesses are its business
+                }
+                report.pairs_checked += 1;
+                if !self.ordered(w.rec, r.rec) && !self.ordered(r.rec, w.rec) {
+                    report.racy.push(RacyPair { write: w, other: r });
+                }
+            }
+        }
+        report
+            .racy
+            .sort_by_key(|p| (rec_at(&self.records[p.write.rec]).0, p.write.rec, p.other.rec));
+        report
+    }
+}
+
+/// Build the graph and run the sweep in one call.
+pub fn audit(
+    records: &[CausalRecord],
+    obs: &[(SimTime, NodeId, Event)],
+    opts: &HbOptions,
+) -> HbReport {
+    HbGraph::build(records, obs, opts).sweep()
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+    use tank_proto::{BlockId, Epoch, LockMode};
+    use tank_sim::NetId;
+
+    fn nid(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn tag(writer: u32, wseq: u64) -> WriteTag {
+        WriteTag {
+            writer: nid(writer),
+            epoch: Epoch(1),
+            wseq,
+        }
+    }
+
+    /// Synthetic trace builder: appends records with monotone time and
+    /// explicit dispatch ids, mirroring what the simulator logs.
+    struct TraceBuilder {
+        recs: Vec<CausalRecord>,
+        obs: Vec<(SimTime, NodeId, Event)>,
+        next_msg: u64,
+        t: u64,
+    }
+
+    impl TraceBuilder {
+        fn new() -> TraceBuilder {
+            TraceBuilder {
+                recs: Vec::new(),
+                obs: Vec::new(),
+                next_msg: 0,
+                t: 0,
+            }
+        }
+
+        fn now(&mut self) -> SimTime {
+            self.t += 1;
+            SimTime(self.t)
+        }
+
+        fn send(&mut self, node: u32, dst: u32, dispatch: u64) -> u64 {
+            self.next_msg += 1;
+            let at = self.now();
+            self.recs.push(CausalRecord::Send {
+                msg_id: self.next_msg,
+                dispatch,
+                node: nid(node),
+                dst: nid(dst),
+                net: NetId::CONTROL,
+                kind: "m",
+                at,
+            });
+            self.next_msg
+        }
+
+        fn deliver(&mut self, msg_id: u64, node: u32, src: u32, dispatch: u64) -> usize {
+            let at = self.now();
+            self.recs.push(CausalRecord::Deliver {
+                msg_id,
+                dispatch,
+                node: nid(node),
+                src: nid(src),
+                net: NetId::CONTROL,
+                kind: "m",
+                at,
+            });
+            self.recs.len() - 1
+        }
+
+        fn observe(&mut self, node: u32, dispatch: u64, ev: Event) -> usize {
+            let at = self.now();
+            self.recs.push(CausalRecord::Observe {
+                obs_index: self.obs.len(),
+                dispatch,
+                node: nid(node),
+                at,
+            });
+            self.obs.push((at, nid(node), ev));
+            self.recs.len() - 1
+        }
+    }
+
+    /// Every graph must agree between its two order oracles: the vector
+    /// clocks and explicit-path reachability.
+    fn assert_clocks_match_paths(g: &HbGraph<'_>) {
+        for a in 0..g.records.len() {
+            for b in 0..g.records.len() {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    g.ordered(a, b),
+                    g.causal_path(a, b).is_some(),
+                    "oracle mismatch for ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vclock_merge_compare() {
+        let mut a = VClock::new(3);
+        let mut b = VClock::new(3);
+        a.set(nid(0), 2);
+        b.set(nid(1), 5);
+        assert!(a.concurrent_with(&b));
+        assert!(!a.dominates(&b) && !b.dominates(&a));
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(m.dominates(&a) && m.dominates(&b));
+        assert_eq!(m.get(nid(0)), 2);
+        assert_eq!(m.get(nid(1)), 5);
+        assert!(m.covers(nid(1), 5) && !m.covers(nid(1), 6));
+        // seq 0 is the "no own component" marker and never counts.
+        assert!(!m.covers(nid(2), 0));
+    }
+
+    #[test]
+    fn po_and_message_edges_order_across_nodes() {
+        let mut tb = TraceBuilder::new();
+        let a0 = tb.observe(0, 0, Event::Quiesced { shard: 9 });
+        let m = tb.send(0, 1, 1);
+        let d = tb.deliver(m, 1, 0, 2);
+        let b0 = tb.observe(1, 2, Event::Resumed { shard: 9 });
+        let lone = tb.observe(2, 3, Event::Quiesced { shard: 8 });
+        let g = HbGraph::build(&tb.recs, &tb.obs, &HbOptions::default());
+        assert!(g.ordered(a0, b0), "po + msg + po chains the observes");
+        assert!(!g.ordered(b0, a0));
+        assert!(!g.ordered(a0, lone) && !g.ordered(lone, a0));
+        assert_eq!(g.edge_count(), 3); // 2 po + 1 msg
+        let path = g.causal_path(a0, b0).expect("ordered pair has a path");
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0].0, a0);
+        assert_eq!(path[2], (d, Some(EdgeKind::Msg)));
+        assert_clocks_match_paths(&g);
+    }
+
+    /// A steal ordered by the fence round-trip: harden → FenceInstalled
+    /// → FenceResp → grant. Severing the fence edge (the negative
+    /// control) must leave the pair racy.
+    fn steal_trace() -> (TraceBuilder, HbOptions) {
+        let mut tb = TraceBuilder::new();
+        // Client A=0, client B=1, server S=2 (shard 0), disk D=3.
+        tb.observe(
+            0,
+            0,
+            Event::WriteAcked {
+                ino: Ino(1),
+                idx: 0,
+                tag: tag(0, 1),
+            },
+        );
+        let w = tb.send(0, 3, 0); // WriteBlock
+        tb.deliver(w, 3, 0, 1);
+        tb.observe(
+            3,
+            1,
+            Event::Hardened {
+                initiator: nid(0),
+                block: BlockId(5),
+                tag: tag(0, 1),
+                previous: WriteTag::default(),
+            },
+        );
+        let wr = tb.send(3, 0, 1); // WriteResp
+        tb.deliver(wr, 0, 3, 2);
+        // Server declares A dead and fences.
+        tb.observe(2, 3, Event::LeaseExpired { client: nid(0) });
+        let f = tb.send(2, 3, 3); // FenceCmd
+        tb.deliver(f, 3, 2, 4);
+        tb.observe(
+            3,
+            4,
+            Event::FenceInstalled {
+                target: nid(0),
+                range_start: 0,
+                range_end: u64::MAX,
+            },
+        );
+        let fr = tb.send(3, 2, 4); // FenceResp
+        tb.deliver(fr, 2, 3, 5);
+        tb.observe(
+            2,
+            5,
+            Event::LockGranted {
+                client: nid(1),
+                ino: Ino(1),
+                epoch: Epoch(2),
+                mode: LockMode::Exclusive,
+            },
+        );
+        let opts = HbOptions::new(vec![nid(3)], vec![(nid(2), 0)]);
+        (tb, opts)
+    }
+
+    #[test]
+    fn fence_edge_orders_steal() {
+        let (tb, opts) = steal_trace();
+        let report = audit(&tb.recs, &tb.obs, &opts);
+        assert_eq!(report.pairs_checked, 1, "harden vs grant");
+        assert!(report.ok(), "fenced steal is ordered:\n{}", report.render());
+        let g = HbGraph::build(&tb.recs, &tb.obs, &opts);
+        assert_clocks_match_paths(&g);
+    }
+
+    #[test]
+    fn severed_fence_edge_fires() {
+        let (tb, mut opts) = steal_trace();
+        opts.fence_edges = false;
+        let report = audit(&tb.recs, &tb.obs, &opts);
+        assert_eq!(report.racy.len(), 1, "severed fence must leave the pair racy");
+        let pair = report.racy[0];
+        assert_eq!(pair.write.kind, AccessKind::Harden);
+        assert_eq!(pair.other.kind, AccessKind::Grant);
+        assert!(report.render().contains("error[hb]"));
+        let g = HbGraph::build(&tb.recs, &tb.obs, &opts);
+        assert_clocks_match_paths(&g);
+    }
+
+    /// Disk serialization alone must not order cross-dispatch disk
+    /// records: that order is the schedule's accident, not the
+    /// protocol's achievement.
+    #[test]
+    fn disk_program_order_is_severed_across_dispatches() {
+        let mut tb = TraceBuilder::new();
+        // Two independent writers harden to the same disk back-to-back.
+        for (client, dispatch) in [(0u32, 0u64), (1, 2)] {
+            tb.observe(
+                client,
+                dispatch,
+                Event::WriteAcked {
+                    ino: Ino(1),
+                    idx: 0,
+                    tag: tag(client, 1),
+                },
+            );
+            let m = tb.send(client, 3, dispatch);
+            tb.deliver(m, 3, client, dispatch + 1);
+            tb.observe(
+                3,
+                dispatch + 1,
+                Event::Hardened {
+                    initiator: nid(client),
+                    block: BlockId(5),
+                    tag: tag(client, 1),
+                    previous: WriteTag::default(),
+                },
+            );
+        }
+        let opts = HbOptions::new(vec![nid(3)], vec![]);
+        let g = HbGraph::build(&tb.recs, &tb.obs, &opts);
+        // The two hardens share a node but not a dispatch: unordered.
+        assert!(!g.ordered(3, 7) && !g.ordered(7, 3));
+        assert_clocks_match_paths(&g);
+    }
+
+    /// The expiry edge carries a quiesced lane's cached reads into the
+    /// server's timeline: reads before the quiesce are ordered before
+    /// grants after the expiry.
+    #[test]
+    fn expiry_edge_orders_cached_reads_before_next_grant() {
+        let mut tb = TraceBuilder::new();
+        // A=0 reads from cache, lane quiesces; S=2 expires the lease,
+        // grants to B=1, which writes; D=3 hardens.
+        tb.observe(
+            1,
+            0,
+            Event::WriteAcked {
+                ino: Ino(1),
+                idx: 0,
+                tag: tag(1, 1),
+            },
+        );
+        let read = tb.observe(
+            0,
+            1,
+            Event::ReadServed {
+                ino: Ino(1),
+                idx: 0,
+                tag: tag(9, 9),
+                from_cache: true,
+            },
+        );
+        tb.observe(0, 2, Event::Quiesced { shard: 0 });
+        tb.observe(2, 3, Event::LeaseExpired { client: nid(0) });
+        let gmsg = tb.send(2, 1, 3);
+        tb.deliver(gmsg, 1, 2, 4);
+        let wmsg = tb.send(1, 3, 4);
+        tb.deliver(wmsg, 3, 1, 5);
+        let harden = tb.observe(
+            3,
+            5,
+            Event::Hardened {
+                initiator: nid(1),
+                block: BlockId(5),
+                tag: tag(1, 1),
+                previous: WriteTag::default(),
+            },
+        );
+        let opts = HbOptions::new(vec![nid(3)], vec![(nid(2), 0)]);
+        let g = HbGraph::build(&tb.recs, &tb.obs, &opts);
+        assert!(g.ordered(read, harden), "quiesce→expiry edge orders the read");
+        let report = g.sweep();
+        assert!(report.ok(), "{}", report.render());
+        assert_clocks_match_paths(&g);
+
+        let severed = HbOptions {
+            expiry_edges: false,
+            ..opts
+        };
+        let report = audit(&tb.recs, &tb.obs, &severed);
+        assert_eq!(report.racy.len(), 1, "without the edge the pair is racy");
+        let g = HbGraph::build(&tb.recs, &tb.obs, &severed);
+        assert_clocks_match_paths(&g);
+    }
+
+    /// A physical disk read whose result the client discards (lock
+    /// revoked mid-flight, op failed with `LeaseLost`) is not an access:
+    /// epoch validation, not ordering, covers it. The same read becomes
+    /// a racy access the moment the client serves the value.
+    #[test]
+    fn only_consumed_reads_enter_the_sweep() {
+        let mut tb = TraceBuilder::new();
+        // Writer A=0 hardens (ino 1, block 0) at disk D=3.
+        tb.observe(
+            0,
+            0,
+            Event::WriteAcked {
+                ino: Ino(1),
+                idx: 0,
+                tag: tag(0, 1),
+            },
+        );
+        let w = tb.send(0, 3, 0);
+        tb.deliver(w, 3, 0, 1);
+        tb.observe(
+            3,
+            1,
+            Event::Hardened {
+                initiator: nid(0),
+                block: BlockId(5),
+                tag: tag(0, 1),
+                previous: WriteTag::default(),
+            },
+        );
+        // Reader B=1's SAN read races the harden; the response arrives
+        // but B discards it — no ReadServed.
+        let r = tb.send(1, 3, 2);
+        tb.deliver(r, 3, 1, 3);
+        tb.observe(
+            3,
+            3,
+            Event::DiskRead {
+                initiator: nid(1),
+                block: BlockId(5),
+                tag: WriteTag::default(),
+            },
+        );
+        let rr = tb.send(3, 1, 3);
+        let resp = tb.deliver(rr, 1, 3, 4);
+        let opts = HbOptions::new(vec![nid(3)], vec![]);
+        let report = audit(&tb.recs, &tb.obs, &opts);
+        assert_eq!(report.pairs_checked, 0, "a discarded read is no access");
+        assert!(report.ok());
+
+        // Same trace, but B serves the value: now the pair exists and,
+        // with no release→grant chain ordering it, is racy.
+        tb.observe(
+            1,
+            rec_dispatch(&tb.recs[resp]),
+            Event::ReadServed {
+                ino: Ino(1),
+                idx: 0,
+                tag: WriteTag::default(),
+                from_cache: false,
+            },
+        );
+        let report = audit(&tb.recs, &tb.obs, &opts);
+        assert_eq!(report.pairs_checked, 1);
+        assert_eq!(report.racy.len(), 1);
+        assert_eq!(report.racy[0].other.kind, AccessKind::DiskRead);
+        let g = HbGraph::build(&tb.recs, &tb.obs, &opts);
+        assert_clocks_match_paths(&g);
+    }
+
+    /// Duplicate deliveries each get a message edge from the one send.
+    #[test]
+    fn duplicate_deliveries_share_the_send() {
+        let mut tb = TraceBuilder::new();
+        let a = tb.observe(0, 0, Event::Quiesced { shard: 1 });
+        let m = tb.send(0, 1, 0);
+        tb.deliver(m, 1, 0, 1);
+        tb.deliver(m, 1, 0, 2);
+        let b = tb.observe(1, 3, Event::Resumed { shard: 1 });
+        let g = HbGraph::build(&tb.recs, &tb.obs, &HbOptions::default());
+        assert!(g.ordered(a, b));
+        // po(0→1), msg(1→2), msg(1→3), po(2→3), po(3→4).
+        assert_eq!(g.edge_count(), 5);
+        assert_clocks_match_paths(&g);
+    }
+
+    proptest! {
+        /// On arbitrary interleavings of observes, sends, and (possibly
+        /// reordered or lost) deliveries across three nodes: the two
+        /// order oracles agree, and every reported causal path is a
+        /// valid chain — starts at the source, ends at the sink, walks
+        /// only forward in log order, and every hop is itself an
+        /// ordering the graph stands behind.
+        #[test]
+        fn causal_paths_are_valid_chains(
+            ops in proptest::collection::vec((0u8..3, 0u8..3, 0u8..3), 1..40),
+        ) {
+            let mut tb = TraceBuilder::new();
+            let mut in_flight: std::collections::VecDeque<(u64, u8, u8)> =
+                std::collections::VecDeque::new();
+            for (i, (kind, a, b)) in ops.iter().copied().enumerate() {
+                let disp = i as u64;
+                match kind {
+                    0 => {
+                        tb.observe(a as u32, disp, Event::Quiesced { shard: b as u16 });
+                    }
+                    1 => {
+                        let m = tb.send(a as u32, b as u32, disp);
+                        in_flight.push_back((m, a, b));
+                    }
+                    _ => {
+                        // Deliver out of order half the time (pop the
+                        // back instead of the front); `a % 2` decides.
+                        let popped = if a % 2 == 0 {
+                            in_flight.pop_front()
+                        } else {
+                            in_flight.pop_back()
+                        };
+                        if let Some((m, src, dst)) = popped {
+                            tb.deliver(m, dst as u32, src as u32, disp);
+                        }
+                    }
+                }
+            }
+            // Messages still in `in_flight` at the end were lost.
+            let opts = HbOptions::new(vec![], vec![]);
+            let g = HbGraph::build(&tb.recs, &tb.obs, &opts);
+            assert_clocks_match_paths(&g);
+            for a in 0..tb.recs.len() {
+                for b in 0..tb.recs.len() {
+                    let Some(path) = g.causal_path(a, b) else {
+                        continue;
+                    };
+                    prop_assert_eq!(path[0].0, a);
+                    prop_assert!(path[0].1.is_none());
+                    prop_assert_eq!(path[path.len() - 1].0, b);
+                    for w in path.windows(2) {
+                        prop_assert!(w[0].0 < w[1].0);
+                        prop_assert!(w[1].1.is_some());
+                        prop_assert!(g.ordered(w[0].0, w[1].0));
+                    }
+                }
+            }
+        }
+    }
+}

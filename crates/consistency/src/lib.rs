@@ -27,6 +27,7 @@
 pub mod checker;
 pub mod durability;
 pub mod event;
+pub mod hb;
 pub mod obs_check;
 
 pub use checker::{
@@ -34,4 +35,5 @@ pub use checker::{
 };
 pub use durability::{audit_store, audit_wal, DurabilityReport};
 pub use event::Event;
+pub use hb::{Access, AccessKind, EdgeKind, HbGraph, HbOptions, HbReport, RacyPair, VClock};
 pub use obs_check::cross_check;

@@ -42,6 +42,12 @@ pub const ALLOWLIST: &[Allow] = &[
         reason: "the one blessed home of raw time arithmetic; every other site must go \
                  through its checked (saturating) helpers",
     },
+    Allow {
+        lint: "L7",
+        path_prefix: "crates/client/src/lib.rs",
+        reason: "the crate root re-exports BlockCache/BlockState as the public API surface \
+                 for the cache's own integration tests; no cache *access* happens here",
+    },
 ];
 
 /// The allowlist entry suppressing `lint` at `rel`, if any.

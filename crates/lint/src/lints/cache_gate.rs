@@ -1,0 +1,151 @@
+//! L7 `phase-gated-cache-access`: the client block cache is only touched
+//! through its two gates, and only from the two files that own it.
+//!
+//! CACHING.md's coherence contract hangs on two funnels: cached data is
+//! *served* only while the lane's lease phase allows it (`cache_usable`,
+//! the Figure-4 phase 1–2 gate), and data *enters* the cache only when
+//! read under the currently-held lock epoch (`may_admit`). A cache
+//! access that bypasses either gate is exactly the bug class the
+//! checker's coherence audit exists to catch at runtime; this lint
+//! catches it at review time instead.
+//!
+//! Three clauses:
+//!
+//! 1. the `BlockCache` type is confined to `client/src/cache.rs` (its
+//!    home) and `client/src/node.rs` (its one consumer); any other
+//!    mention is a violation (`client/src/lib.rs` re-exports it for the
+//!    cache's own integration tests, on the committed allowlist);
+//! 2. a function that calls `.fill(` on the cache must consult
+//!    `may_admit` in the same function;
+//! 3. a function that both reads the cache (`.get(`) and serves a
+//!    `ReadServed` event must consult `cache_usable` in the same
+//!    function.
+
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+use super::scan;
+
+const CACHE_FILES: &[&str] = &["crates/client/src/cache.rs", "crates/client/src/node.rs"];
+
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        let toks = &f.tokens;
+        if !CACHE_FILES.contains(&f.rel.as_str()) {
+            for t in toks {
+                if t.is_ident("BlockCache") {
+                    out.push(Violation {
+                        file: f.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        lint: "L7".into(),
+                        message: "`BlockCache` outside client/src/{cache,node}.rs: every \
+                                  cache access must flow through the gated paths in \
+                                  node.rs, not reach the cache directly"
+                            .into(),
+                    });
+                }
+            }
+            continue;
+        }
+        // Inside the owning files the gates themselves apply. The cache
+        // implementation file defines fill/get; only the consumer is
+        // held to the gate rule.
+        if f.rel != "crates/client/src/node.rs" {
+            continue;
+        }
+        for (start, end) in scan::fn_bodies(toks) {
+            let body = &toks[start..end];
+            let mentions = |name: &str| body.iter().any(|t| t.is_ident(name));
+            let fill_at = (start..end).find(|&i| scan::is_method_call(toks, i, "fill"));
+            if let Some(i) = fill_at {
+                if !mentions("may_admit") {
+                    out.push(Violation {
+                        file: f.rel.clone(),
+                        line: toks[i].line,
+                        col: toks[i].col,
+                        lint: "L7".into(),
+                        message: "cache `.fill(` without consulting `may_admit` in this \
+                                  function: data read under a dead lock epoch must not \
+                                  enter the cache"
+                            .into(),
+                    });
+                }
+            }
+            let get_at = (start..end).find(|&i| scan::is_method_call(toks, i, "get"));
+            if let (Some(i), true) = (get_at, mentions("ReadServed")) {
+                if !mentions("cache_usable") {
+                    out.push(Violation {
+                        file: f.rel.clone(),
+                        line: toks[i].line,
+                        col: toks[i].col,
+                        lint: "L7".into(),
+                        message: "cache `.get(` on a serve path (`ReadServed`) without \
+                                  consulting `cache_usable`: a quiesced lane (phase 3+) \
+                                  must not serve cached data"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_cache_escaping_its_home_fires() {
+        let f = SourceFile::parse(
+            "crates/server/src/node.rs",
+            "fn peek(c: &BlockCache) { c.len(); }",
+        );
+        let v = check(&[f]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "L7");
+    }
+
+    #[test]
+    fn ungated_fill_fires() {
+        let f = SourceFile::parse(
+            "crates/client/src/node.rs",
+            "fn on_resp(&mut self) { self.cache.fill(ino, idx, data, tag); }",
+        );
+        assert_eq!(check(&[f]).len(), 1);
+    }
+
+    #[test]
+    fn gated_fill_is_clean() {
+        let f = SourceFile::parse(
+            "crates/client/src/node.rs",
+            "fn on_resp(&mut self) { if !self.may_admit(ino, epoch) { return; } \
+             self.cache.fill(ino, idx, data, tag); }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn ungated_serve_fires() {
+        let f = SourceFile::parse(
+            "crates/client/src/node.rs",
+            "fn serve(&mut self) { let b = self.cache.get(ino, idx); \
+             self.emit(ClientEvent::ReadServed { op, ino, idx, tag, from_cache }, ctx); }",
+        );
+        assert_eq!(check(&[f]).len(), 1);
+    }
+
+    #[test]
+    fn gated_serve_and_non_serving_get_are_clean() {
+        let f = SourceFile::parse(
+            "crates/client/src/node.rs",
+            "fn serve(&mut self) { if !self.cache_usable(ino) { return; } \
+             let b = self.cache.get(ino, idx); \
+             self.emit(ClientEvent::ReadServed { op, ino, idx, tag, from_cache }, ctx); }\n\
+             fn gather(&mut self) { if self.cache.get(ino, idx).is_none() { fetch(); } }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+}

@@ -17,7 +17,8 @@ use crate::report::Violation;
 use crate::source::SourceFile;
 
 /// The protocol-surface enums: wire messages, their bodies and reasons,
-/// SAN fencing, and the client lease phases.
+/// SAN fencing, the client lease phases, lock and cache state machines,
+/// the WAL record vocabulary, and the replication stream.
 const PROTO_ENUMS: &[&str] = &[
     "NetMsg",
     "CtlMsg",
@@ -31,6 +32,10 @@ const PROTO_ENUMS: &[&str] = &[
     "FenceOp",
     "Phase",
     "LeaseAction",
+    "LockMode",
+    "BlockState",
+    "WalRecord",
+    "ReplMsg",
 ];
 
 pub fn check(files: &[SourceFile]) -> Vec<Violation> {

@@ -1,0 +1,126 @@
+//! L8 `shard-lock-order`: a loop that acquires locks on several inodes
+//! must iterate them in sorted order.
+//!
+//! DESIGN.md §12's deadlock-freedom argument for multi-inode operations
+//! (rename holds up to four locks across two shards) is a total
+//! acquisition order: every participant collects the inodes it needs,
+//! sorts them, and acquires in that order. Two renames whose lock sets
+//! overlap then conflict on the *lowest* contested inode and one of them
+//! waits there, holding nothing the other needs.
+//!
+//! The lint is the lexical shadow of that argument: in the protocol
+//! crates, a `for` loop whose body calls `ensure_lock_then` must be
+//! preceded, in the same function, by a `sort`-family call (`sort`,
+//! `sort_by`, `sort_unstable`, …) — evidence the iteration order was
+//! normalized before the acquisition sweep. A loop acquiring in
+//! caller-supplied order is exactly the shape that deadlocks.
+
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+use super::scan;
+
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        let Some(krate) = f.crate_name() else { continue };
+        if !super::PROTOCOL_CRATES.contains(&krate) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for (start, end) in scan::fn_bodies(toks) {
+            let mut i = start;
+            while i < end {
+                if toks[i].is_ident("for") {
+                    // Body of the `for` is the first `{` after the
+                    // iterator expression at brace depth 0.
+                    let mut j = i + 1;
+                    while j < end && !toks[j].is_punct("{") {
+                        j += 1;
+                    }
+                    if j >= end {
+                        break;
+                    }
+                    let close = scan::match_brace(toks, j).min(end);
+                    let acquires = toks[j..close].iter().any(|t| t.is_ident("ensure_lock_then"));
+                    if acquires {
+                        let sorted_before = toks[start..i]
+                            .iter()
+                            .any(|t| t.kind == crate::lexer::TokKind::Ident && t.text.starts_with("sort"));
+                        if !sorted_before {
+                            out.push(Violation {
+                                file: f.rel.clone(),
+                                line: toks[i].line,
+                                col: toks[i].col,
+                                lint: "L8".into(),
+                                message: "loop acquires locks (`ensure_lock_then`) over an \
+                                          iteration order never sorted in this function: \
+                                          multi-inode acquisition must follow the global \
+                                          sorted order or two overlapping ops can deadlock"
+                                    .into(),
+                            });
+                        }
+                        i = close;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsorted_acquisition_loop_fires() {
+        let f = SourceFile::parse(
+            "crates/client/src/node.rs",
+            "fn advance(&mut self) { for ino in dirs { self.ensure_lock_then(ino, m, k, ctx); } }",
+        );
+        let v = check(&[f]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "L8");
+    }
+
+    #[test]
+    fn sorted_acquisition_loop_is_clean() {
+        let f = SourceFile::parse(
+            "crates/client/src/node.rs",
+            "fn advance(&mut self) { dirs.sort(); \
+             for ino in dirs { self.ensure_lock_then(ino, m, k, ctx); } }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn sort_variants_count() {
+        let f = SourceFile::parse(
+            "crates/client/src/node.rs",
+            "fn advance(&mut self) { dirs.sort_unstable_by_key(|i| i.0); \
+             for ino in dirs { self.ensure_lock_then(ino, m, k, ctx); } }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn loops_without_lock_acquisition_are_ignored() {
+        let f = SourceFile::parse(
+            "crates/client/src/node.rs",
+            "fn drain(&mut self) { for x in items { self.push(x); } }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn non_protocol_crates_are_out_of_scope() {
+        let f = SourceFile::parse(
+            "crates/lint/src/lib.rs",
+            "fn advance() { for ino in dirs { x.ensure_lock_then(ino); } }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+}

@@ -2,10 +2,14 @@
 //! workspace to violations. Registration here is what the CLI's
 //! `--list` and `run_all` iterate.
 
+pub mod cache_gate;
 pub mod determinism;
 pub mod exhaustive_match;
+pub mod fsync_before_ack;
+pub mod lock_order;
 pub mod no_unwrap;
 pub mod obs_closure;
+pub mod scan;
 pub mod time_arith;
 
 use crate::report::Violation;
@@ -62,6 +66,29 @@ pub const LINTS: &[LintInfo] = &[
         summary: "every metric declared in obs::names is referenced by at least one \
                   non-test call site",
         check: obs_closure::check,
+    },
+    LintInfo {
+        id: "L6",
+        name: "fsync-before-ack",
+        summary: "the server never builds a `CtlMsg::Response` with un-synced WAL state \
+                  earlier in the same function — durability precedes acknowledgement",
+        check: fsync_before_ack::check,
+    },
+    LintInfo {
+        id: "L7",
+        name: "phase-gated-cache-access",
+        summary: "the client block cache stays behind its two gates: fills consult \
+                  `may_admit`, serve paths consult `cache_usable`, and `BlockCache` \
+                  never escapes client/src/{cache,node}.rs",
+        check: cache_gate::check,
+    },
+    LintInfo {
+        id: "L8",
+        name: "shard-lock-order",
+        summary: "a loop acquiring locks over several inodes (`ensure_lock_then`) must \
+                  be preceded by a sort of its iteration order — the global acquisition \
+                  order is the deadlock-freedom argument",
+        check: lock_order::check,
     },
 ];
 

@@ -1,0 +1,124 @@
+//! Shared token-scanning helpers for the function-scoped lints.
+//!
+//! L6–L8 reason about what happens *inside one function*: whether an ack
+//! follows a sync, whether a cache access sits behind its gate, whether a
+//! lock loop was preceded by a sort. This module finds function bodies in
+//! the token stream so each lint can walk them independently.
+
+use crate::lexer::Tok;
+
+/// Token ranges `[start, end)` of every `fn` body in `toks`, outermost
+/// first. Nested items (closures, inner fns) stay inside their enclosing
+/// body's range — the lints treat a function and its closures as one
+/// scope, which is the conservative direction for all three rules.
+pub fn fn_bodies(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // `fn name` — an identifier must follow, which excludes `fn(..)`
+        // pointer types and the `Fn` traits (capitalised, so not `fn`).
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+        {
+            // The body is the first `{` after the signature at
+            // paren/bracket depth 0 (return types and where clauses
+            // contain no braces; a `;` first means a trait method
+            // declaration with no body).
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut body = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if depth == 0 && t.is_punct("{") {
+                    body = Some(j);
+                    break;
+                }
+                if depth == 0 && t.is_punct(";") {
+                    break;
+                }
+                if t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                let close = match_brace(toks, open);
+                out.push((open + 1, close));
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// With `toks[open]` a `{`, the index of its matching `}` (or the end of
+/// the stream on imbalance).
+pub fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// True when `toks[i..]` spells the method-call suffix `.name(`.
+pub fn is_method_call(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks[i].is_punct(".")
+        && toks.get(i + 1).is_some_and(|t| t.is_ident(name))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+}
+
+/// True when `toks[i..]` spells the path `a::b`.
+pub fn is_path(toks: &[Tok], i: usize, a: &str, b: &str) -> bool {
+    toks[i].is_ident(a)
+        && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn finds_bodies_and_skips_fn_pointers() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "struct S { check: fn(&str) -> bool }\nfn a() { one(); }\nfn b(x: u8) -> u8 { x }\n",
+        );
+        let bodies = fn_bodies(&f.tokens);
+        assert_eq!(bodies.len(), 2);
+        let (s, e) = bodies[0];
+        assert!(f.tokens[s..e].iter().any(|t| t.is_ident("one")));
+    }
+
+    #[test]
+    fn nested_closures_stay_in_the_outer_body() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn outer() { let c = |x| { inner(x) }; c(1); }",
+        );
+        let bodies = fn_bodies(&f.tokens);
+        assert_eq!(bodies.len(), 1);
+        let (s, e) = bodies[0];
+        assert!(f.tokens[s..e].iter().any(|t| t.is_ident("inner")));
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", "trait T { fn m(&self) -> u8; }");
+        assert!(fn_bodies(&f.tokens).is_empty());
+    }
+}

@@ -175,6 +175,152 @@ fn l5_fires_on_unreferenced_metric() {
 }
 
 #[test]
+fn l4_fires_on_wildcard_over_the_state_machine_enums() {
+    // The PR-8 additions to the protocol-enum set: lock modes, cache
+    // block states, WAL records, and the replication stream.
+    for (name, arm) in [
+        ("lockmode", "LockMode::Shared"),
+        ("blockstate", "BlockState::Dirty"),
+        ("walrecord", "WalRecord::Incarnation(_)"),
+        ("replmsg", "ReplMsg::Append { .. }"),
+    ] {
+        let fixture = Fixture::new(
+            &format!("l4-{name}"),
+            &[(
+                "crates/server/src/lib.rs",
+                &format!(
+                    "pub fn bad(m: M) -> bool {{\n    match m {{\n        {arm} => true,\n        _ => false,\n    }}\n}}\n"
+                ),
+            )],
+        );
+        let report = fixture.check();
+        assert!(
+            report.violations.iter().any(|v| v.lint == "L4"),
+            "{arm}: {}",
+            report.to_text()
+        );
+    }
+}
+
+#[test]
+fn l6_fires_on_ack_before_fsync() {
+    let fixture = Fixture::new(
+        "l6",
+        &[(
+            "crates/server/src/node.rs",
+            "pub fn respond(&mut self, ctx: &mut Ctx) {\n    \
+             self.wal_append(&rec);\n    \
+             ctx.send(NetId::CONTROL, c, NetMsg::Ctl(CtlMsg::Response(resp)));\n    \
+             self.wal_fsync(ctx);\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.lint == "L6" && v.line == 3),
+        "{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn l6_sync_before_ack_is_clean() {
+    let fixture = Fixture::new(
+        "l6-clean",
+        &[(
+            "crates/server/src/node.rs",
+            "pub fn respond(&mut self, ctx: &mut Ctx) {\n    \
+             self.wal_append(&rec);\n    \
+             self.wal_sync_and_ship(ctx);\n    \
+             ctx.send(NetId::CONTROL, c, NetMsg::Ctl(CtlMsg::Response(resp)));\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(report.clean(), "{}", report.to_text());
+}
+
+#[test]
+fn l7_fires_on_block_cache_escaping_the_client() {
+    let fixture = Fixture::new(
+        "l7-escape",
+        &[(
+            "crates/server/src/node.rs",
+            "pub fn peek(c: &BlockCache) -> usize {\n    c.len()\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.lint == "L7" && v.line == 1),
+        "{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn l7_fires_on_ungated_cache_fill() {
+    let fixture = Fixture::new(
+        "l7-fill",
+        &[(
+            "crates/client/src/node.rs",
+            "impl ClientNode {\n    fn on_resp(&mut self) {\n        \
+             self.cache.fill(ino, idx, data, tag);\n    }\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.lint == "L7" && v.message.contains("may_admit")),
+        "{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn l8_fires_on_unsorted_lock_acquisition_loop() {
+    let fixture = Fixture::new(
+        "l8",
+        &[(
+            "crates/client/src/node.rs",
+            "impl ClientNode {\n    fn advance(&mut self, ctx: &mut Ctx) {\n        \
+             for ino in self.rename_dirs() {\n            \
+             self.ensure_lock_then(ino, LockMode::Exclusive, k, ctx);\n        }\n    }\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.lint == "L8" && v.line == 3),
+        "{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn l8_sorted_acquisition_is_clean() {
+    let fixture = Fixture::new(
+        "l8-clean",
+        &[(
+            "crates/client/src/node.rs",
+            "impl ClientNode {\n    fn advance(&mut self, ctx: &mut Ctx) {\n        \
+             let mut dirs = self.rename_dirs();\n        dirs.sort();\n        \
+             for ino in dirs {\n            \
+             self.ensure_lock_then(ino, LockMode::Exclusive, k, ctx);\n        }\n    }\n}\n",
+        )],
+    );
+    let report = fixture.check();
+    assert!(report.clean(), "{}", report.to_text());
+}
+
+#[test]
 fn inline_directive_suppresses_and_is_counted() {
     let fixture = Fixture::new(
         "inline-allow",

@@ -320,6 +320,24 @@ pub const META_SNAPSHOT_COMPACTIONS: MetricDef = counter(
     "WAL compactions into a fresh snapshot generation",
 );
 
+// -------------------------------------------------------- consistency
+
+/// Causal records the happens-before auditor consumed.
+pub const CONSISTENCY_HB_EVENTS: MetricDef = counter(
+    "consistency.hb.events",
+    "causal records consumed by the happens-before auditor",
+);
+/// Happens-before edges the auditor built over those records.
+pub const CONSISTENCY_HB_EDGES: MetricDef = counter(
+    "consistency.hb.edges",
+    "happens-before edges built by the auditor",
+);
+/// Conflicting block-access pairs left unordered by happens-before.
+pub const CONSISTENCY_HB_RACY_PAIRS: MetricDef = counter(
+    "consistency.hb.racy_pairs",
+    "conflicting access pairs left unordered by happens-before",
+);
+
 // ---------------------------------------------------------------- sim
 
 /// Messages submitted to the simulated network.
@@ -445,6 +463,10 @@ pub const ALL: &[MetricDef] = &[
     META_WAL_APPENDS,
     META_WAL_FSYNCS,
     META_SNAPSHOT_COMPACTIONS,
+    // consistency
+    CONSISTENCY_HB_EVENTS,
+    CONSISTENCY_HB_EDGES,
+    CONSISTENCY_HB_RACY_PAIRS,
     // sim
     SIM_MSG_SENT,
     SIM_MSG_DELIVERED,

@@ -58,6 +58,14 @@ pub enum ServerEvent {
         /// The timed-out client.
         client: NodeId,
     },
+    /// The WAL's durable watermark advanced (group-commit fsync). Every
+    /// response acknowledged after this point is justified by records at
+    /// or below `durable` — the fsync→ACK ordering edge the hb auditor
+    /// relies on.
+    WalSynced {
+        /// Durable log length in bytes after the fsync.
+        durable: u64,
+    },
     /// A fence was established at every disk for the client.
     Fenced {
         /// The fenced client.

@@ -350,12 +350,15 @@ impl<Ob> ServerNode<Ob> {
     }
 
     /// Push the log tail to the durable device (no-op when nothing is
-    /// pending; the fsync counter only moves when the watermark does).
-    fn wal_fsync(&mut self) {
+    /// pending; the fsync counter and the [`ServerEvent::WalSynced`]
+    /// event only move when the watermark does).
+    fn wal_fsync(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
         if self.wal.fsync() {
             if let Some(obs) = &self.obs {
                 obs.wal_fsyncs.inc();
             }
+            let durable = self.wal.durable_len() as u64;
+            self.emit(ServerEvent::WalSynced { durable }, ctx);
         }
     }
 
@@ -374,7 +377,7 @@ impl<Ob> ServerNode<Ob> {
     /// standby. Called at every acknowledgment point — no response leaves
     /// this node before the records that justify it are durable.
     fn wal_sync_and_ship(&mut self, ctx: &mut Ctx<'_, NetMsg, Ob>) {
-        self.wal_fsync();
+        self.wal_fsync(ctx);
         if self.wal.needs_compaction() {
             let wm = self.watermarks();
             let bytes = snapshot::encode(&self.meta, &wm);
@@ -774,6 +777,7 @@ impl<Ob> ServerNode<Ob> {
         // one the client is actually using.
         if let Some(resp) = self.sessions.hello_replay(client, req.seq) {
             self.stats.replays += 1;
+            // tank-lint: allow(L6) resends the cached hello reply; its state was synced when first produced
             ctx.send(NetId::CONTROL, client, NetMsg::Ctl(CtlMsg::Response(resp)));
             return;
         }
@@ -1477,7 +1481,7 @@ impl<Ob> ServerNode<Ob> {
         // so the *next* recovery sees it too.
         self.incarnation = Incarnation(recovered.watermarks.incarnation + 1);
         self.wal_append(&WalRecord::Incarnation(self.incarnation.0));
-        self.wal_fsync();
+        self.wal_fsync(ctx);
         // Incarnation-qualified epoch floor: the logged `EpochWatermark`
         // can lag reality — an unfsynced tail dies with the crash, and a
         // standby's mirror misses whatever the final replication deltas
@@ -1682,6 +1686,7 @@ impl<Ob> ServerNode<Ob> {
             }
             Admission::Replay(resp) => {
                 self.stats.replays += 1;
+                // tank-lint: allow(L6) dedup-window replay of an already-durable response (synced before first send)
                 ctx.send(NetId::CONTROL, from, NetMsg::Ctl(CtlMsg::Response(*resp)));
             }
             Admission::InProgress => {}
@@ -1701,7 +1706,7 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
             // durable before anything is acknowledged. (A standby appends
             // nothing of its own: its log stays a byte-exact mirror.)
             self.wal_append(&WalRecord::Incarnation(self.incarnation.0));
-            self.wal_fsync();
+            self.wal_fsync(ctx);
         }
         if self.peer.is_some() {
             self.last_repl_at = ctx.now();

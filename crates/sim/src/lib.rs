@@ -37,7 +37,7 @@ pub use net::{NetId, NetParams, Network};
 pub use stats::{MsgCounter, MsgStats};
 pub use time::{Clock, ClockSpec, LocalNs, SimTime};
 pub use token::TokenMap;
-pub use world::{World, WorldConfig};
+pub use world::{CausalRecord, World, WorldConfig};
 
 use serde::{Deserialize, Serialize};
 

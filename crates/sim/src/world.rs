@@ -21,6 +21,68 @@ pub struct WorldConfig {
     pub seed: u64,
     /// Record human-readable trace lines emitted via [`Ctx::trace`].
     pub record_trace: bool,
+    /// Record the causal skeleton of the run — send, deliver, and observe
+    /// records grouped by dispatch — for offline happens-before analysis.
+    /// Pure logging: the schedule, RNG draws, and history are bit-identical
+    /// with it on or off.
+    pub record_causal: bool,
+}
+
+/// One entry in the causal log: enough structure to reconstruct the
+/// happens-before skeleton of a run offline. `dispatch` groups records by
+/// the actor activation that produced (or consumed) them — everything
+/// inside one dispatch is a single atomic step in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CausalRecord {
+    /// A message was submitted to a network (before loss/partition rules
+    /// applied — a send with no matching deliver was dropped en route).
+    Send {
+        /// Globally unique message id; duplicated deliveries share it.
+        msg_id: u64,
+        /// The dispatch that emitted the send.
+        dispatch: u64,
+        /// Sending node.
+        node: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Network carrying the datagram.
+        net: NetId,
+        /// Payload kind label (for rendering causal paths).
+        kind: &'static str,
+        /// True send time.
+        at: SimTime,
+    },
+    /// A message reached a live destination actor. Duplicate deliveries
+    /// produce one record each, all pointing at the same `msg_id`.
+    Deliver {
+        /// The id assigned at the matching [`CausalRecord::Send`].
+        msg_id: u64,
+        /// The dispatch this delivery triggered at the destination.
+        dispatch: u64,
+        /// Receiving node.
+        node: NodeId,
+        /// Originating node.
+        src: NodeId,
+        /// Network that carried the datagram.
+        net: NetId,
+        /// Payload kind label.
+        kind: &'static str,
+        /// True delivery time.
+        at: SimTime,
+    },
+    /// An observation was emitted; `obs_index` is its position in
+    /// [`World::observations`], linking the causal skeleton to the
+    /// checker-facing event stream.
+    Observe {
+        /// Index into the observation stream.
+        obs_index: usize,
+        /// The dispatch that emitted it.
+        dispatch: u64,
+        /// Emitting node.
+        node: NodeId,
+        /// True emission time.
+        at: SimTime,
+    },
 }
 
 /// Fault-injection and topology controls, schedulable at a future time.
@@ -92,6 +154,8 @@ enum Pending<P> {
         src: NodeId,
         dst: NodeId,
         msg: P,
+        /// Causal id assigned at send time (0 when causal logging is off).
+        msg_id: u64,
     },
     Timer {
         node: NodeId,
@@ -153,6 +217,12 @@ pub struct World<P: Payload, Ob = ()> {
     record_trace: bool,
     events_processed: u64,
     obs: Option<WorldObs>,
+    /// Causal log (None unless `record_causal`).
+    causal: Option<Vec<CausalRecord>>,
+    /// Next message id for causal sends (ids start at 1; 0 = unlogged).
+    next_msg_id: u64,
+    /// Next dispatch id (each actor activation gets one).
+    next_dispatch: u64,
 }
 
 impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
@@ -181,6 +251,9 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
             record_trace: config.record_trace,
             events_processed: 0,
             obs: None,
+            causal: config.record_causal.then(Vec::new),
+            next_msg_id: 0,
+            next_dispatch: 0,
         }
     }
 
@@ -263,6 +336,12 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
     /// Recorded trace lines (empty unless `record_trace`).
     pub fn trace(&self) -> &[(SimTime, NodeId, String)] {
         &self.trace
+    }
+
+    /// The causal log (None unless the world was built with
+    /// `record_causal`).
+    pub fn causal(&self) -> Option<&[CausalRecord]> {
+        self.causal.as_deref()
     }
 
     /// Total events dispatched (progress/looping diagnostics).
@@ -363,7 +442,13 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
         self.now = ev.at;
         self.events_processed += 1;
         match ev.what {
-            Pending::Deliver { net, src, dst, msg } => {
+            Pending::Deliver {
+                net,
+                src,
+                dst,
+                msg,
+                msg_id,
+            } => {
                 if self.crashed[dst.index()] {
                     self.stats.cell(msg.kind(), net).to_dead += 1;
                     if let Some(obs) = &self.obs {
@@ -373,6 +458,21 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
                     self.stats.cell(msg.kind(), net).delivered += 1;
                     if let Some(obs) = &self.obs {
                         obs.delivered.inc();
+                    }
+                    if self.causal.is_some() {
+                        // The dispatch about to run takes the next id;
+                        // logging it here ties the delivery to everything
+                        // that dispatch goes on to do.
+                        let rec = CausalRecord::Deliver {
+                            msg_id,
+                            dispatch: self.next_dispatch,
+                            node: dst,
+                            src,
+                            net,
+                            kind: msg.kind(),
+                            at: self.now,
+                        };
+                        self.causal.as_mut().expect("checked above").push(rec);
                     }
                     self.dispatch(dst, |actor, ctx| actor.on_message(src, net, msg, ctx));
                 }
@@ -432,6 +532,8 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
         node: NodeId,
         f: impl FnOnce(&mut dyn Actor<P, Ob>, &mut Ctx<'_, P, Ob>),
     ) {
+        let dispatch_id = self.next_dispatch;
+        self.next_dispatch += 1;
         let mut actor = self.actors[node.index()]
             .take()
             .expect("re-entrant dispatch on one node");
@@ -447,20 +549,30 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
         f(actor.as_mut(), &mut ctx);
         let effects = ctx.effects;
         self.actors[node.index()] = Some(actor);
-        self.apply_effects(node, effects);
+        self.apply_effects(node, effects, dispatch_id);
     }
 
-    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<P, Ob>>) {
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<P, Ob>>, dispatch: u64) {
         for e in effects {
             match e {
-                Effect::Send { net, dst, msg } => self.route(net, node, dst, msg),
+                Effect::Send { net, dst, msg } => self.route(net, node, dst, msg, dispatch),
                 Effect::SetTimer { fire_at, id, token } => {
                     self.push(fire_at.max(self.now), Pending::Timer { node, id, token });
                 }
                 Effect::CancelTimer(id) => {
                     self.cancelled.insert(id.0);
                 }
-                Effect::Observe(ob) => self.observations.push((self.now, node, ob)),
+                Effect::Observe(ob) => {
+                    if let Some(causal) = &mut self.causal {
+                        causal.push(CausalRecord::Observe {
+                            obs_index: self.observations.len(),
+                            dispatch,
+                            node,
+                            at: self.now,
+                        });
+                    }
+                    self.observations.push((self.now, node, ob));
+                }
                 Effect::Trace(line) => {
                     if let Some(obs) = &self.obs {
                         obs.registry
@@ -472,7 +584,7 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
         }
     }
 
-    fn route(&mut self, net: NetId, src: NodeId, dst: NodeId, msg: P) {
+    fn route(&mut self, net: NetId, src: NodeId, dst: NodeId, msg: P, dispatch: u64) {
         let (blocked, params) = {
             let n = self
                 .networks
@@ -486,6 +598,21 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
         if let Some(obs) = &self.obs {
             obs.sent.inc();
         }
+        let msg_id = if let Some(causal) = &mut self.causal {
+            self.next_msg_id += 1;
+            causal.push(CausalRecord::Send {
+                msg_id: self.next_msg_id,
+                dispatch,
+                node: src,
+                dst,
+                net,
+                kind: msg.kind(),
+                at: self.now,
+            });
+            self.next_msg_id
+        } else {
+            0
+        };
         if blocked {
             cell.blocked += 1;
             if let Some(obs) = &self.obs {
@@ -523,10 +650,20 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
                     src,
                     dst,
                     msg: msg.clone(),
+                    msg_id,
                 },
             );
         }
-        self.push(deliver_at, Pending::Deliver { net, src, dst, msg });
+        self.push(
+            deliver_at,
+            Pending::Deliver {
+                net,
+                src,
+                dst,
+                msg,
+                msg_id,
+            },
+        );
     }
 }
 
@@ -600,6 +737,7 @@ mod tests {
         let mut w = World::new(WorldConfig {
             seed,
             record_trace: false,
+            record_causal: false,
         });
         w.add_network(NetId::CONTROL, params);
         let echo = w.add_node(Box::new(Echo), ClockSpec::ideal());
@@ -805,6 +943,7 @@ mod tests {
         let mut w: World<TMsg> = World::new(WorldConfig {
             seed: 11,
             record_trace: false,
+            record_causal: false,
         });
         w.add_network(NetId::CONTROL, params);
         let echo = w.add_node(Box::new(Echo), ClockSpec::ideal());
@@ -838,6 +977,7 @@ mod tests {
         let mut w: World<TMsg> = World::new(WorldConfig {
             seed: 3,
             record_trace: false,
+            record_causal: false,
         });
         w.add_network(NetId::CONTROL, params);
         let echo = w.add_node(Box::new(Echo), ClockSpec::ideal());

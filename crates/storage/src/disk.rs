@@ -47,6 +47,16 @@ pub enum DiskEvent {
         /// Tag of the contents returned.
         tag: WriteTag,
     },
+    /// A fence took effect: from this point on, I/O from `target` inside
+    /// `range` is rejected. Marks the disk-side end of a steal's fence
+    /// round-trip — every earlier harden by `target` in `range`
+    /// happens-before this event.
+    FenceInstalled {
+        /// The initiator being fenced out.
+        target: NodeId,
+        /// The block range the fence covers.
+        range: BlockRange,
+    },
     /// An I/O was rejected because the initiator is fenced — the "late
     /// command" fencing exists to stop (§6).
     RejectedFenced {
@@ -333,6 +343,12 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for DiskNode<Ob> {
             } => {
                 self.stats.fence_ops += 1;
                 self.apply_fence(target, op, range);
+                if op == FenceOp::Fence {
+                    let ev = DiskEvent::FenceInstalled { target, range };
+                    if let Some(ob) = (self.observe)(ev) {
+                        ctx.observe(ob);
+                    }
+                }
                 ctx.send(net, from, NetMsg::San(SanMsg::FenceResp { req_id }));
             }
             SanMsg::ReadResp { .. } | SanMsg::WriteResp { .. } | SanMsg::FenceResp { .. } => {

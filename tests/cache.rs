@@ -105,6 +105,7 @@ fn revoke_to_exclusive_mid_storm_stays_coherent() {
         let registry = Arc::new(Registry::new());
         let mut cfg = cache_cfg(3, 1);
         cfg.obs = Some(registry.clone());
+        cfg.record_hb = true;
         let mut cluster = Cluster::build(cfg, seed);
         // Clients 1–2 hammer /f0 from their shared caches; client 0
         // writes it twice mid-storm. Each write must demand every shared
@@ -122,6 +123,15 @@ fn revoke_to_exclusive_mid_storm_stays_coherent() {
         }
         cluster.run_until(SimTime::from_secs(12));
         cluster.settle();
+        // The checker proves the *consequences* stayed coherent; the hb
+        // auditor proves the *ordering itself*: every harden/read/grant
+        // pair in the storm is causally ordered, no racy pairs.
+        let hb = cluster.hb_audit();
+        assert!(hb.ok(), "seed {seed}:\n{}", hb.render());
+        assert!(
+            hb.pairs_checked > 0,
+            "seed {seed}: the storm produced no conflicting pairs to audit"
+        );
         let report = cluster.finish();
         assert!(report.check.safe(), "seed {seed}: {:#?}", report.check);
         assert!(

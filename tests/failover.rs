@@ -208,16 +208,28 @@ fn failover_under_a_lossy_control_network_stays_safe() {
     // `lossy_network.rs` (the loss regime the base protocol is validated
     // against).
     //
-    // Scope note: crash recovery under a lossy control network has a
-    // pre-existing stale-read window in the base protocol — the
-    // *restart* path (no standbys, no rotation) corrupts on the same
-    // seeds at the same counts, including on the tree before this layer
-    // existed (see ROADMAP.md open items). This test therefore holds
-    // failover to the same bar as restart: no lost updates, no grant
-    // inside the blackout, exactly one election, clean durable devices.
+    // History note: this test used to hold a *reduced* bar (no lost
+    // updates / no early grants only) because crash recovery under loss
+    // had a stale-read window in the base protocol. PR 8's
+    // happens-before auditor localized it — every symptom was a single
+    // client racing itself (program-order-ordered, zero unordered
+    // pairs), so the defect was tag accounting: a dropped lock-upgrade
+    // reply left a stale pending acquire whose dedup-window replay
+    // reinstated a released epoch with `wseq = 0`. Fixed by ending the
+    // inode's lock era (`bump_gen`) in the client's `on_released`; the
+    // stale-read / write-order classes are now asserted empty here.
+    //
+    // One known gap remains (pre-existing, fires with or without the
+    // PR-8 fix, seed 3): under loss a post-failover lease steal can
+    // catch a client mid-flush with dirty blocks still pinned — the
+    // coherence audit's "dirty block at steal" clause. No reader ever
+    // observes the stale data (stale_reads stays empty); the hazard is
+    // the pinned-dirty window itself. Filed in ROADMAP; this test
+    // tolerates exactly that clause and nothing else.
     for seed in 0..10u64 {
         let mut cfg = failover_cfg(1);
         cfg.files = 3;
+        cfg.record_hb = true;
         cfg.ctl_net = tank_sim::NetParams {
             latency_ns: 300_000,
             jitter_ns: 400_000,
@@ -234,15 +246,29 @@ fn failover_under_a_lossy_control_network_stays_safe() {
             cluster.attach_workload(i, Box::new(PrimaryBiasGen::new(i, 3, 0.8, mix)));
         }
         let report = crash_and_fail_over(&mut cluster, SimTime::from_secs(8));
+        // The hb auditor on the same run: even under loss + failover,
+        // every conflicting block access must be causally ordered. (This
+        // is the battery that localized the PR-8 stale-epoch bug.)
+        let hb = cluster.hb_audit();
+        assert!(hb.ok(), "seed {seed}:\n{}", hb.render());
         assert!(
-            report.check.lost_updates.is_empty(),
+            report.check.lost_updates.is_empty()
+                && report.check.stale_reads.is_empty()
+                && report.check.write_order_violations.is_empty()
+                && report.check.early_grants.is_empty()
+                && report.check.cross_shard.is_empty()
+                && report.check.batch_atomicity.is_empty(),
             "seed {seed}: {:#?}",
-            report.check.lost_updates
+            report.check
         );
         assert!(
-            report.check.early_grants.is_empty(),
+            report
+                .check
+                .coherence
+                .iter()
+                .all(|v| v.what == "dirty block at steal"),
             "seed {seed}: {:#?}",
-            report.check.early_grants
+            report.check.coherence
         );
         let standby = cluster.standby_node_of(ServerId(0));
         assert_eq!(standby.stats().elections, 1, "seed {seed}");
