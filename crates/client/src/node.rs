@@ -367,8 +367,6 @@ struct LockInfo {
     size: u64,
     /// Size the server has confirmed.
     committed_size: u64,
-    /// Per-epoch write sequence for tags.
-    wseq: u64,
     upgrading: bool,
 }
 
@@ -486,6 +484,10 @@ pub struct ClientNode<Ob> {
     read_fetched: HashMap<OpId, Vec<u32>>,
     ops: HashMap<OpId, ActiveOp>,
     next_op_id: u64,
+    /// Global write-tag counter: every client-minted [`WriteTag`] draws a
+    /// fresh odd `wseq` from it, making tags unique across all of this
+    /// client's locks and shards (see `WriteTag`'s uniqueness contract).
+    next_wseq: u64,
     pending_san: HashMap<u64, SanOp>,
     next_san_req: u64,
     flushes: HashMap<u64, FlushCampaign>,
@@ -570,6 +572,7 @@ impl<Ob> ClientNode<Ob> {
             read_fetched: HashMap::new(),
             ops: HashMap::new(),
             next_op_id: 1,
+            next_wseq: 0,
             pending_san: HashMap::new(),
             next_san_req: 1,
             flushes: HashMap::new(),
@@ -1768,7 +1771,6 @@ impl<Ob> ClientNode<Ob> {
                 blocks,
                 size,
                 committed_size: size,
-                wseq: 0,
                 upgrading: false,
             }),
         );
@@ -2173,23 +2175,26 @@ impl<Ob> ClientNode<Ob> {
         let me = ctx.node();
         let bs = self.cfg.block_size as u64;
         let end = offset + data.len() as u64;
-        let (epoch, wseq_base) = match self.locks.get(&ino) {
-            Some(LockEntry::Held(info)) => (info.epoch, info.wseq),
+        let epoch = match self.locks.get(&ino) {
+            Some(LockEntry::Held(info)) => info.epoch,
             _ => return self.complete_op(id, Err(FsErr::LeaseLost), ctx),
         };
         let first = (offset / bs) as u32;
         let last = ((end - 1) / bs) as u32;
         let mut acked: Vec<(u32, WriteTag)> = Vec::new();
-        let mut wseq = wseq_base;
         for idx in first..=last {
             let bstart = idx as u64 * bs;
             let lo = offset.max(bstart);
             let hi = end.min(bstart + bs);
-            wseq += 1;
+            // Odd wseq from the client-global counter: still monotone
+            // within this lock's epoch, and never equal to any other tag
+            // this client's writes produce under any epoch of any shard
+            // (server-stamped tags take the even values).
+            self.next_wseq += 1;
             let tag = WriteTag {
                 writer: me,
                 epoch,
-                wseq,
+                wseq: 2 * self.next_wseq + 1,
             };
             let slice = &data[(lo - offset) as usize..(hi - offset) as usize];
             let covers_fully = lo == bstart && hi == bstart + bs;
@@ -2209,7 +2214,6 @@ impl<Ob> ClientNode<Ob> {
             let Some(LockEntry::Held(info)) = self.locks.get_mut(&ino) else {
                 return self.complete_op(id, Err(FsErr::LeaseLost), ctx);
             };
-            info.wseq = wseq;
             if end > info.size {
                 info.size = end;
             }

@@ -70,6 +70,12 @@ pub struct ClusterConfig {
     /// only as the negative control: a restarted server that grants
     /// immediately races surviving lease holders and loses updates).
     pub recovery_grace: bool,
+    /// Steal-side grace for in-flight hardens (see
+    /// [`ServerConfig::harden_grace`]): how long a server waits between
+    /// lease expiry and the fence-and-steal, so SAN writes the condemned
+    /// client issued before its own expiry can land. Zero (the default)
+    /// keeps the prompt-steal behavior.
+    pub harden_grace: LocalNs,
     /// Concurrent closed-loop operations per client (local processes).
     pub gen_concurrency: usize,
     /// Client periodic write-back interval (0 disables).
@@ -134,6 +140,7 @@ impl Default for ClusterConfig {
             client_lease_enabled: true,
             nack_suspect: true,
             recovery_grace: true,
+            harden_grace: LocalNs(0),
             gen_concurrency: 1,
             flush_interval: LocalNs::from_secs(2),
             flush_window: 16,
@@ -253,6 +260,7 @@ impl Cluster {
             scfg.data_path = cfg.data_path;
             scfg.nack_suspect = cfg.nack_suspect;
             scfg.recovery_grace = cfg.recovery_grace;
+            scfg.harden_grace = cfg.harden_grace;
             scfg.disks = disks.clone();
             scfg.sid = sid;
             scfg.map = map;
@@ -281,6 +289,7 @@ impl Cluster {
                 scfg.data_path = cfg.data_path;
                 scfg.nack_suspect = cfg.nack_suspect;
                 scfg.recovery_grace = cfg.recovery_grace;
+                scfg.harden_grace = cfg.harden_grace;
                 scfg.disks = disks.clone();
                 scfg.sid = sid;
                 scfg.map = map;

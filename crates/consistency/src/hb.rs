@@ -101,9 +101,7 @@ impl VClock {
     /// Pointwise `self >= other`.
     pub fn dominates(&self, other: &VClock) -> bool {
         let n = self.0.len().max(other.0.len());
-        (0..n).all(|i| {
-            self.0.get(i).copied().unwrap_or(0) >= other.0.get(i).copied().unwrap_or(0)
-        })
+        (0..n).all(|i| self.0.get(i).copied().unwrap_or(0) >= other.0.get(i).copied().unwrap_or(0))
     }
 
     /// Neither clock dominates the other: the records are concurrent.
@@ -265,7 +263,11 @@ impl HbReport {
     pub fn summary(&self) -> String {
         format!(
             "hb: {} records, {} edges, {} accesses, {} pairs checked, {} racy",
-            self.records, self.edges, self.accesses, self.pairs_checked, self.racy.len()
+            self.records,
+            self.edges,
+            self.accesses,
+            self.pairs_checked,
+            self.racy.len()
         )
     }
 
@@ -521,7 +523,7 @@ impl<'a> HbGraph<'a> {
     /// walk converts the query into vector-clock lookups at the first
     /// non-disk record of each escape route.
     pub fn ordered(&self, a: usize, b: usize) -> bool {
-        if a == b || a > b {
+        if a >= b {
             // All edges point forward in log order, and log order
             // respects true time, so a later record never precedes an
             // earlier one.
@@ -560,7 +562,7 @@ impl<'a> HbGraph<'a> {
     /// `a`. `None` when no path exists — which for a conflicting pair
     /// means the pair is racy.
     pub fn causal_path(&self, a: usize, b: usize) -> Option<Vec<(usize, Option<EdgeKind>)>> {
-        if a >= b && a != b {
+        if a > b {
             return None;
         }
         let mut parent: HashMap<usize, (usize, EdgeKind)> = HashMap::new();
@@ -598,7 +600,11 @@ impl<'a> HbGraph<'a> {
     pub fn describe(&self, i: usize) -> String {
         match &self.records[i] {
             CausalRecord::Send {
-                node, dst, kind, at, ..
+                node,
+                dst,
+                kind,
+                at,
+                ..
             } => format!(
                 "#{i} {} sends {kind} to {} at t={:.3}s",
                 node,
@@ -606,7 +612,11 @@ impl<'a> HbGraph<'a> {
                 at.as_secs_f64()
             ),
             CausalRecord::Deliver {
-                node, src, kind, at, ..
+                node,
+                src,
+                kind,
+                at,
+                ..
             } => format!(
                 "#{i} {} receives {kind} from {} at t={:.3}s",
                 node,
@@ -614,7 +624,10 @@ impl<'a> HbGraph<'a> {
                 at.as_secs_f64()
             ),
             CausalRecord::Observe {
-                node, obs_index, at, ..
+                node,
+                obs_index,
+                at,
+                ..
             } => format!(
                 "#{i} {} observes {:?} at t={:.3}s",
                 node,
@@ -642,7 +655,16 @@ impl<'a> HbGraph<'a> {
         let mut tag_loc: HashMap<WriteTag, (Ino, u32)> = HashMap::new();
         for (_, _, ev) in self.obs {
             if let Event::WriteAcked { ino, idx, tag } = ev {
-                tag_loc.insert(*tag, (*ino, *idx));
+                let prev = tag_loc.insert(*tag, (*ino, *idx));
+                // The resolution is only sound if tags never repeat across
+                // locations (WriteTag's uniqueness contract): a collision
+                // here would silently mislabel a harden and fabricate or
+                // hide races.
+                debug_assert!(
+                    prev.is_none_or(|p| p == (*ino, *idx)),
+                    "WriteTag {tag:?} reused across locations {prev:?} and {:?}",
+                    (*ino, *idx),
+                );
             }
         }
         let mut out = Vec::new();
@@ -728,9 +750,13 @@ impl<'a> HbGraph<'a> {
                 }
             }
         }
-        report
-            .racy
-            .sort_by_key(|p| (rec_at(&self.records[p.write.rec]).0, p.write.rec, p.other.rec));
+        report.racy.sort_by_key(|p| {
+            (
+                rec_at(&self.records[p.write.rec]).0,
+                p.write.rec,
+                p.other.rec,
+            )
+        });
         report
     }
 }
@@ -958,7 +984,11 @@ mod tests {
         let (tb, mut opts) = steal_trace();
         opts.fence_edges = false;
         let report = audit(&tb.recs, &tb.obs, &opts);
-        assert_eq!(report.racy.len(), 1, "severed fence must leave the pair racy");
+        assert_eq!(
+            report.racy.len(),
+            1,
+            "severed fence must leave the pair racy"
+        );
         let pair = report.racy[0];
         assert_eq!(pair.write.kind, AccessKind::Harden);
         assert_eq!(pair.other.kind, AccessKind::Grant);
@@ -1049,7 +1079,10 @@ mod tests {
         );
         let opts = HbOptions::new(vec![nid(3)], vec![(nid(2), 0)]);
         let g = HbGraph::build(&tb.recs, &tb.obs, &opts);
-        assert!(g.ordered(read, harden), "quiesce→expiry edge orders the read");
+        assert!(
+            g.ordered(read, harden),
+            "quiesce→expiry edge orders the read"
+        );
         let report = g.sweep();
         assert!(report.ok(), "{}", report.render());
         assert_clocks_match_paths(&g);

@@ -23,7 +23,9 @@ use super::scan;
 pub fn check(files: &[SourceFile]) -> Vec<Violation> {
     let mut out = Vec::new();
     for f in files {
-        let Some(krate) = f.crate_name() else { continue };
+        let Some(krate) = f.crate_name() else {
+            continue;
+        };
         if !super::PROTOCOL_CRATES.contains(&krate) {
             continue;
         }
@@ -42,11 +44,13 @@ pub fn check(files: &[SourceFile]) -> Vec<Violation> {
                         break;
                     }
                     let close = scan::match_brace(toks, j).min(end);
-                    let acquires = toks[j..close].iter().any(|t| t.is_ident("ensure_lock_then"));
+                    let acquires = toks[j..close]
+                        .iter()
+                        .any(|t| t.is_ident("ensure_lock_then"));
                     if acquires {
-                        let sorted_before = toks[start..i]
-                            .iter()
-                            .any(|t| t.kind == crate::lexer::TokKind::Ident && t.text.starts_with("sort"));
+                        let sorted_before = toks[start..i].iter().any(|t| {
+                            t.kind == crate::lexer::TokKind::Ident && t.text.starts_with("sort")
+                        });
                         if !sorted_before {
                             out.push(Violation {
                                 file: f.rel.clone(),

@@ -17,7 +17,10 @@ pub fn fn_bodies(toks: &[Tok]) -> Vec<(usize, usize)> {
     while i < toks.len() {
         // `fn name` — an identifier must follow, which excludes `fn(..)`
         // pointer types and the `Fn` traits (capitalised, so not `fn`).
-        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+        if toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
         {
             // The body is the first `{` after the signature at
             // paren/bracket depth 0 (return types and where clauses

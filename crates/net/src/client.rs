@@ -13,7 +13,7 @@ use tank_obs::{names, Counter, Histogram, Registry};
 use tank_proto::message::{FileAttr, FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     CtlMsg, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request, SessionId,
-    WireDecode, WireEncode,
+    WireDecode, WireEncode, MAX_DATAGRAM,
 };
 
 use crate::fault::{FaultConfig, FaultySocket};
@@ -194,7 +194,7 @@ impl TankClient {
         stop: &AtomicBool,
         decode_errors: Option<&Counter>,
     ) {
-        let mut buf = vec![0u8; 64 * 1024];
+        let mut buf = vec![0u8; MAX_DATAGRAM];
         while !stop.load(Ordering::SeqCst) {
             let Ok(n) = sock.recv(&mut buf) else { continue };
             // Re-check after the blocking recv: a dropped client must not

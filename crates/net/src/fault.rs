@@ -11,10 +11,10 @@
 //! it as their only socket type — so injected faults exercise the real
 //! retransmission, dedup-window, and lease paths rather than mocks.
 
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -99,6 +99,128 @@ struct FaultState {
     pending: VecDeque<(Vec<u8>, SocketAddr)>,
 }
 
+/// A send-side datagram held back by delay injection.
+struct DelayedSend {
+    due: Instant,
+    /// Admission order; ties on `due` deliver in send order.
+    seq: u64,
+    data: Vec<u8>,
+    addr: Option<SocketAddr>,
+    copies: u32,
+}
+
+impl PartialEq for DelayedSend {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayedSend {}
+impl PartialOrd for DelayedSend {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedSend {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct DelayQueueState {
+    heap: BinaryHeap<DelayedSend>,
+    next_seq: u64,
+    stop: bool,
+}
+
+/// One timer queue per socket for every delayed delivery: the delivery
+/// thread sleeps until the earliest deadline (or new work) instead of a
+/// `thread::spawn` per delayed datagram — at 10k-client offered loads a
+/// few percent of delay probability would otherwise mean thousands of
+/// one-shot threads per second.
+struct DelayQueue {
+    state: Mutex<DelayQueueState>,
+    cv: Condvar,
+}
+
+impl DelayQueue {
+    fn new() -> DelayQueue {
+        DelayQueue {
+            state: Mutex::new(DelayQueueState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, due: Instant, data: Vec<u8>, addr: Option<SocketAddr>, copies: u32) {
+        let mut st = locked(&self.state);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.heap.push(DelayedSend {
+            due,
+            seq,
+            data,
+            addr,
+            copies,
+        });
+        self.cv.notify_one();
+    }
+
+    /// Deliver due datagrams until stopped. Undelivered entries at stop
+    /// time are discarded — indistinguishable from datagrams lost in the
+    /// network, which is the faulty contract anyway.
+    fn run(&self, sock: &UdpSocket) {
+        let mut st = locked(&self.state);
+        loop {
+            if st.stop {
+                return;
+            }
+            let now = Instant::now();
+            match st.heap.peek() {
+                None => {
+                    st = self
+                        .cv
+                        .wait(st)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                Some(top) if top.due > now => {
+                    let dur = top.due - now;
+                    st = self
+                        .cv
+                        .wait_timeout(st, dur)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .0;
+                }
+                Some(_) => {
+                    if let Some(ds) = st.heap.pop() {
+                        // Send outside the lock so a slow syscall never
+                        // blocks producers.
+                        drop(st);
+                        for _ in 0..ds.copies {
+                            let _ = match ds.addr {
+                                Some(a) => sock.send_to(&ds.data, a),
+                                None => sock.send(&ds.data),
+                            };
+                        }
+                        st = locked(&self.state);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stop(&self) {
+        locked(&self.state).stop = true;
+        self.cv.notify_all();
+    }
+}
+
 /// Pre-resolved fault-injection counters (`net.fault.*`).
 struct FaultObs {
     send_dropped: Arc<Counter>,
@@ -126,6 +248,19 @@ pub struct FaultySocket {
     cfg: FaultConfig,
     state: Mutex<FaultState>,
     obs: Option<FaultObs>,
+    /// Timer queue for send-side delay injection; the delivery thread is
+    /// spawned on the first delayed datagram and joined on drop.
+    delay: Arc<DelayQueue>,
+    delay_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for FaultySocket {
+    fn drop(&mut self) {
+        self.delay.stop();
+        if let Some(handle) = locked(&self.delay_thread).take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl FaultySocket {
@@ -165,6 +300,8 @@ impl FaultySocket {
                 pending: VecDeque::new(),
             }),
             obs: registry.map(|r| FaultObs::new(r)),
+            delay: Arc::new(DelayQueue::new()),
+            delay_thread: Mutex::new(None),
         }
     }
 
@@ -182,6 +319,14 @@ impl FaultySocket {
     /// drop can stall a caller: at most one extra timeout period).
     pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
         self.sock.set_read_timeout(dur)
+    }
+
+    /// Switch the socket to nonblocking mode (the reactor's drain
+    /// contract: recv until `WouldBlock`). Receive-side drop faults then
+    /// surface as `WouldBlock` instead of stalling — the dropped datagram
+    /// simply vanishes from the backlog.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.sock.set_nonblocking(nonblocking)
     }
 
     /// Send to the connected peer, possibly dropping/duplicating/delaying.
@@ -245,20 +390,22 @@ impl FaultySocket {
                 }
             }
             Some(d) => {
-                let sock = self.sock.clone();
-                let data = buf.to_vec();
-                std::thread::spawn(move || {
-                    std::thread::sleep(d);
-                    for _ in 0..copies {
-                        let _ = match addr {
-                            Some(a) => sock.send_to(&data, a),
-                            None => sock.send(&data),
-                        };
-                    }
-                });
+                self.ensure_delay_thread();
+                self.delay
+                    .push(Instant::now() + d, buf.to_vec(), addr, copies);
             }
         }
         Ok(buf.len())
+    }
+
+    /// Spawn the single delay-delivery thread if it is not running yet.
+    fn ensure_delay_thread(&self) {
+        let mut slot = locked(&self.delay_thread);
+        if slot.is_none() {
+            let queue = self.delay.clone();
+            let sock = self.sock.clone();
+            *slot = Some(std::thread::spawn(move || queue.run(&sock)));
+        }
     }
 
     /// Receive one datagram (source address included), applying
@@ -296,6 +443,13 @@ impl FaultySocket {
     /// Receive from the connected peer.
     pub fn recv(&self, buf: &mut [u8]) -> std::io::Result<usize> {
         self.recv_from(buf).map(|(n, _)| n)
+    }
+}
+
+#[cfg(unix)]
+impl std::os::fd::AsRawFd for FaultySocket {
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        self.sock.as_raw_fd()
     }
 }
 
@@ -394,6 +548,52 @@ mod tests {
             t0.elapsed() >= Duration::from_millis(60),
             "datagram was held back"
         );
+    }
+
+    #[test]
+    fn delay_queue_delivers_every_datagram_through_one_thread() {
+        // A burst of delayed datagrams all arrive (the single timer queue
+        // loses nothing relative to the old thread-per-datagram scheme),
+        // and each respects its lower delay bound.
+        let send = DirFaults::delaying(1.0, Duration::from_millis(10), Duration::from_millis(60));
+        let cfg = FaultConfig {
+            seed: 7,
+            send,
+            ..FaultConfig::none()
+        };
+        let (a, b) = pair(cfg);
+        b.set_read_timeout(Some(Duration::from_millis(1000)))
+            .unwrap();
+        let t0 = std::time::Instant::now();
+        for i in 0..20u8 {
+            a.send(&[i]).unwrap();
+        }
+        let mut buf = [0u8; 8];
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            let n = b.recv(&mut buf).unwrap();
+            assert_eq!(n, 1);
+            got.push(buf[0]);
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn dropping_the_socket_discards_pending_delays_without_panicking() {
+        let send = DirFaults::delaying(1.0, Duration::from_secs(5), Duration::from_secs(5));
+        let cfg = FaultConfig {
+            seed: 8,
+            send,
+            ..FaultConfig::none()
+        };
+        let (a, b) = pair(cfg);
+        a.send(b"never").unwrap();
+        drop(a); // joins the delay thread; the 5s-out datagram dies with it
+        b.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut buf = [0u8; 8];
+        assert!(b.recv(&mut buf).is_err(), "pending delayed send discarded");
     }
 
     #[test]

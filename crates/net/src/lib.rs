@@ -8,13 +8,18 @@
 //! and a virtual network:
 //!
 //! * [`LeaseServer`] — a metadata/lock/lease server on a UDP socket
-//!   (`tankd` is its binary form). No SAN exists here, so the data path is
-//!   metadata + locks only and fencing is recorded rather than enforced;
-//!   everything lease-related is the real protocol: opportunistic renewal,
-//!   NACKs for suspect clients, `τ(1+ε)` timers, steal-on-expiry, and the
-//!   fail-stop recovery grace window (`--recover`): a restarted server
-//!   refuses grants and mutations for `τ(1+ε)` so every lease that might
-//!   have been outstanding at the crash has expired on its holder's clock.
+//!   (`tankd` is its binary form), event-driven: a readiness reactor
+//!   ([`poll`] + [`reactor`]) batch-drains every ready datagram per
+//!   wakeup and feeds a fixed worker pool, with all protocol timers
+//!   multiplexed into the poll timeout (DESIGN.md §15). No SAN exists
+//!   here, so the data path is metadata + locks only and fencing is
+//!   recorded rather than enforced; everything lease-related is the real
+//!   protocol: opportunistic renewal, NACKs for suspect clients,
+//!   `τ(1+ε)` timers, steal-on-expiry behind an optional harden grace,
+//!   and the fail-stop recovery grace window (`--recover`): a restarted
+//!   server refuses grants and mutations for `τ(1+ε)` so every lease
+//!   that might have been outstanding at the crash has expired on its
+//!   holder's clock.
 //! * [`TankClient`] — a synchronous client: request/retry with stable
 //!   sequence numbers (at-most-once at the server) under exponential
 //!   backoff with jitter, implicit lease renewal on every acknowledged
@@ -31,10 +36,13 @@
 
 pub mod client;
 pub mod fault;
+pub mod poll;
+pub mod reactor;
 pub mod server;
 
 pub use client::TankClient;
 pub use fault::{DirFaults, FaultConfig, FaultySocket};
+pub use poll::Poller;
 pub use server::{LeaseServer, ServerHandle};
 
 use std::sync::{Mutex, MutexGuard, OnceLock};

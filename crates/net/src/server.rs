@@ -1,25 +1,46 @@
-//! The UDP lease/lock/metadata server (synchronous, single I/O thread).
+//! The UDP lease/lock/metadata server, event-driven.
+//!
+//! One reactor thread waits for socket readiness ([`crate::poll`]) with
+//! its timeout bounded by the earliest pending protocol timer, drains
+//! every ready datagram into an arena batch per wakeup, and hands the
+//! batch to a fixed worker pool ([`crate::reactor`]). Workers decode off
+//! the state lock, run the protocol state machines under it, and send
+//! replies outside it again via an outbox. Push retries, release waits,
+//! lease expiries, the steal grace and the recovery window are all
+//! multiplexed into the reactor's poll timeout — no thread ever sleeps
+//! per event. DESIGN.md §15 walks the architecture.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use tank_core::{ClientStanding, LeaseAuthority, LeaseConfig};
 use tank_meta::{MetaError, MetaStore};
-use tank_obs::{names, Histogram, Registry};
+use tank_obs::{names, Counter, Histogram, Registry};
 use tank_proto::message::{FsError, ReplyBody, RequestBody, ResponseOutcome};
 use tank_proto::{
     CtlMsg, Incarnation, Ino, LockMode, NackReason, NetMsg, NodeId, PushBody, ReqSeq, Request,
-    Response, ServerPush, SessionId, WireDecode, WireEncode,
+    Response, ServerPush, SessionId, WireEncode,
 };
 use tank_server::lock::{Grant, LockManager, LockRequestOutcome};
 use tank_server::session::{Admission, SessionTable};
 
 use crate::fault::{FaultConfig, FaultySocket};
-use crate::mono_now;
+use crate::poll::{set_recv_buffer, Poller};
+use crate::reactor::{
+    decode_batch, drain_ready, recv_scratch, TimerQueue, WakeupBatch, WorkerPool,
+};
+use crate::{locked, mono_now};
+
+/// Shortest poll timeout: epoll has millisecond resolution, and a
+/// sub-millisecond timeout must not busy-spin.
+const MIN_POLL: Duration = Duration::from_millis(1);
+/// Longest poll timeout: bounds both timer slop when a worker arms a
+/// deadline mid-wait and the latency of noticing a stop request.
+const MAX_POLL: Duration = Duration::from_millis(25);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -46,6 +67,30 @@ pub struct NetServerConfig {
     pub recover: bool,
     /// Fault injection applied to this server's socket.
     pub faults: FaultConfig,
+    /// Worker threads executing drained batches.
+    pub workers: usize,
+    /// Extra delay between a lease expiring and its locks being stolen,
+    /// covering SAN writes the holder issued before it quiesced but
+    /// that had not landed at expiry (the net mirror of
+    /// `ServerConfig::harden_grace` on the sim side). Delaying the
+    /// steal only widens the exclusion window, so Theorem 3.1 is
+    /// unaffected; zero steals immediately.
+    pub harden_grace: Duration,
+    /// Modeled per-transaction service time, slept inside the state
+    /// lock for every request except `KeepAlive`. Zero (the default)
+    /// disables it. The capacity experiment (E19) sets this so the
+    /// saturation resource is the modeled metadata device rather than
+    /// the host CPU — on a single-core runner, N shard servers sleeping
+    /// concurrently still model N independent devices, so the measured
+    /// ceiling scales with shard count the way real spindles would.
+    pub service: Duration,
+    /// Kernel receive-buffer size to request (`SO_RCVBUF`), letting the
+    /// socket absorb a burst while the reactor drains. `None` keeps the
+    /// OS default.
+    pub recv_buf: Option<usize>,
+    /// Most datagrams drained per wakeup; a deeper backlog surfaces on
+    /// the next wakeup so timers still fire between batches.
+    pub max_batch: usize,
 }
 
 impl Default for NetServerConfig {
@@ -58,42 +103,25 @@ impl Default for NetServerConfig {
             incarnation: 1,
             recover: false,
             faults: FaultConfig::none(),
+            workers: 2,
+            harden_grace: Duration::ZERO,
+            service: Duration::ZERO,
+            recv_buf: None,
+            max_batch: 1024,
         }
     }
 }
 
-/// Timer events multiplexed into the single-threaded server loop.
+/// Timer events multiplexed into the reactor's poll timeout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TimerEv {
     PushRetry(u64),
     ReleaseWait(u64),
     LeaseExpiry(NodeId),
+    /// Harden grace between lease expiry and the steal (see
+    /// [`NetServerConfig::harden_grace`]).
+    StealGrace(NodeId),
     RecoveryDone,
-}
-
-/// Heap entry ordered so the earliest deadline pops first.
-struct TimerEntry {
-    at: Instant,
-    seq: u64,
-    ev: TimerEv,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest.
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
-    }
 }
 
 struct PendingPush {
@@ -123,10 +151,12 @@ pub struct NetServerStats {
     pub recovery_nacks: u64,
 }
 
-/// The server state, owned by the run loop.
+/// The server's protocol state, shared between the reactor thread (which
+/// fires timers against it) and the worker pool (which executes drained
+/// requests against it) under one mutex. All sends go through
+/// the `outbox` field and happen after the lock is released.
 pub struct LeaseServer {
     cfg: NetServerConfig,
-    sock: Arc<FaultySocket>,
     meta: MetaStore,
     locks: LockManager,
     authority: LeaseAuthority,
@@ -137,18 +167,20 @@ pub struct LeaseServer {
     next_id: u32,
     pushes: HashMap<u64, PendingPush>,
     next_push: u64,
-    timers: BinaryHeap<TimerEntry>,
-    next_timer: u64,
+    timers: TimerQueue<TimerEv>,
     incarnation: Incarnation,
     recovering: bool,
     stats: NetServerStats,
+    /// Encoded responses awaiting transmission; drained by whichever
+    /// thread holds the lock, sent after it unlocks.
+    outbox: Vec<(SocketAddr, Bytes)>,
     /// Wall-clock vectored-batch execution histogram (when observed).
     batch_exec_ns: Option<Arc<Histogram>>,
     /// Scratch buffers for [`Self::deliver_grants`]: the grant-push path
     /// runs on the hot request loop, so each pass reuses these instead of
     /// collecting a fresh `Vec` (see `rotate_grants` and the criterion
     /// datapoint in `tank-bench`).
-    grant_queue: VecDeque<Grant>,
+    grant_queue: std::collections::VecDeque<Grant>,
     grant_batch: Vec<Grant>,
     grant_touched: Vec<Ino>,
 }
@@ -158,9 +190,40 @@ pub struct LeaseServer {
 /// keeps its buffer across `drain`, and `clear` + `extend` refills the
 /// batch in place. Public so the allocation claim is benchmarked
 /// (`crates/bench/benches/batch_codec.rs`) rather than asserted.
-pub fn rotate_grants(queue: &mut VecDeque<Grant>, batch: &mut Vec<Grant>) {
+pub fn rotate_grants(queue: &mut std::collections::VecDeque<Grant>, batch: &mut Vec<Grant>) {
     batch.clear();
     batch.extend(queue.drain(..));
+}
+
+/// What the reactor and workers share: the protocol state and the one
+/// socket everything is sent on.
+struct Shared {
+    state: Mutex<LeaseServer>,
+    sock: Arc<FaultySocket>,
+}
+
+impl Shared {
+    /// Send everything the locked section queued, outside the lock.
+    fn flush(&self, out: Vec<(SocketAddr, Bytes)>) {
+        for (dst, bytes) in out {
+            let _ = self.sock.send_to(&bytes, dst);
+        }
+    }
+
+    /// [`Shared::flush`] draining a reusable buffer in place (keeps its
+    /// capacity; send errors are the peer's loss, as everywhere).
+    fn flush_from(&self, out: &mut Vec<(SocketAddr, Bytes)>) {
+        for (dst, bytes) in out.drain(..) {
+            let _ = self.sock.send_to(&bytes, dst);
+        }
+    }
+}
+
+/// Reactor-loop instruments (when observed).
+struct ReactorObs {
+    wakeups: Arc<Counter>,
+    datagrams_per_wakeup: Arc<Histogram>,
+    queue_depth: Arc<Histogram>,
 }
 
 /// Handle returned by [`LeaseServer::spawn`].
@@ -180,13 +243,15 @@ impl ServerHandle {
 }
 
 impl LeaseServer {
-    /// Bind `addr` and run the server on a background thread.
+    /// Bind `addr` and run the server: one reactor thread plus
+    /// `cfg.workers` execution threads.
     pub fn spawn(addr: &str, cfg: NetServerConfig) -> std::io::Result<ServerHandle> {
         Self::spawn_observed(addr, cfg, None)
     }
 
     /// [`spawn`](Self::spawn) with an observability registry: records the
-    /// `server.batch.exec_ns` histogram for vectored batch execution.
+    /// `server.batch.exec_ns` execution histogram and the
+    /// `net.reactor.*` loop instruments.
     pub fn spawn_observed(
         addr: &str,
         cfg: NetServerConfig,
@@ -194,8 +259,15 @@ impl LeaseServer {
     ) -> std::io::Result<ServerHandle> {
         let sock = Arc::new(FaultySocket::bind(addr, cfg.faults)?);
         let bound = sock.local_addr()?;
+        if let Some(bytes) = cfg.recv_buf {
+            // Best effort: rmem_max may clamp it, and a smaller backlog
+            // only costs drops the retry machinery already absorbs.
+            let _ = set_recv_buffer(&*sock, bytes);
+        }
+        sock.set_nonblocking(true)?;
+        let workers = cfg.workers;
+        let max_batch = cfg.max_batch.max(1);
         let mut server = LeaseServer {
-            sock,
             meta: MetaStore::new(1 << 16, 4096),
             locks: LockManager::new(),
             authority: LeaseAuthority::new(cfg.lease),
@@ -205,13 +277,13 @@ impl LeaseServer {
             next_id: 1,
             pushes: HashMap::new(),
             next_push: 1,
-            timers: BinaryHeap::new(),
-            next_timer: 1,
+            timers: TimerQueue::new(),
             incarnation: Incarnation(cfg.incarnation),
             recovering: false,
             stats: NetServerStats::default(),
+            outbox: Vec::new(),
             batch_exec_ns: registry.map(|r| r.histogram_def(&names::SERVER_BATCH_EXEC_NS)),
-            grant_queue: VecDeque::new(),
+            grant_queue: std::collections::VecDeque::new(),
             grant_batch: Vec::new(),
             grant_touched: Vec::new(),
             cfg,
@@ -224,11 +296,48 @@ impl LeaseServer {
             // the crash — and the crash predates our startup.
             server.recovering = true;
             let grace = Duration::from_nanos(server.cfg.lease.server_timeout().0);
-            server.arm(grace, TimerEv::RecoveryDone);
+            server.timers.arm(grace, TimerEv::RecoveryDone);
         }
+        let obs = registry.map(|r| ReactorObs {
+            wakeups: r.counter_def(&names::NET_REACTOR_WAKEUPS),
+            datagrams_per_wakeup: r.histogram_def(&names::NET_REACTOR_DATAGRAMS_PER_WAKEUP),
+            queue_depth: r.histogram_def(&names::NET_REACTOR_WORKER_QUEUE_DEPTH),
+        });
+        let shared = Arc::new(Shared {
+            state: Mutex::new(server),
+            sock,
+        });
+        let pool = {
+            let shared = shared.clone();
+            WorkerPool::spawn(workers, move |recycler| {
+                let shared = shared.clone();
+                let mut requests: Vec<(SocketAddr, Request)> = Vec::new();
+                let mut out: Vec<(SocketAddr, Bytes)> = Vec::new();
+                move |batch: WakeupBatch| {
+                    requests.clear();
+                    decode_batch(&batch, &mut requests);
+                    WorkerPool::recycle(&recycler, batch);
+                    // One lock scope per request, not per batch: the
+                    // modeled service time sleeps under the state lock,
+                    // so a batch-wide scope would stall the reactor (and
+                    // overflow the kernel receive buffer) for the whole
+                    // batch and delay every reply to the end of it.
+                    // Swapping the outbox out under the lock recycles one
+                    // send buffer with zero steady-state allocation.
+                    for (peer, req) in requests.drain(..) {
+                        {
+                            let mut st = locked(&shared.state);
+                            st.on_request(peer, req);
+                            std::mem::swap(&mut st.outbox, &mut out);
+                        }
+                        shared.flush_from(&mut out);
+                    }
+                }
+            })
+        };
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
-        let join = std::thread::spawn(move || server.run(&stop2));
+        let join = std::thread::spawn(move || run_reactor(&shared, pool, max_batch, obs, &stop2));
         Ok(ServerHandle {
             addr: bound,
             join,
@@ -236,49 +345,43 @@ impl LeaseServer {
         })
     }
 
-    fn run(mut self, stop: &AtomicBool) -> NetServerStats {
-        let mut buf = vec![0u8; 64 * 1024];
-        while !stop.load(Ordering::SeqCst) {
-            self.fire_due_timers();
-            let wait = self
-                .timers
-                .peek()
-                .map(|t| t.at.saturating_duration_since(Instant::now()))
-                .unwrap_or(Duration::from_millis(10))
-                .clamp(Duration::from_millis(1), Duration::from_millis(10));
-            let _ = self.sock.set_read_timeout(Some(wait));
-            match self.sock.recv_from(&mut buf) {
-                Ok((n, peer)) => {
-                    let mut bytes = Bytes::copy_from_slice(&buf[..n]);
-                    if let Ok(NetMsg::Ctl(CtlMsg::Request(req))) = NetMsg::decode(&mut bytes) {
-                        self.on_request(peer, req);
-                    }
-                }
-                Err(_) => continue, // timeout or transient error
-            }
+    fn node_of(&mut self, addr: SocketAddr) -> NodeId {
+        if let Some(&id) = self.ids.get(&addr) {
+            return id;
         }
-        self.stats
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.ids.insert(addr, id);
+        self.addrs.insert(id, addr);
+        id
     }
 
-    fn arm(&mut self, after: Duration, ev: TimerEv) {
-        let seq = self.next_timer;
-        self.next_timer += 1;
-        self.timers.push(TimerEntry {
-            at: Instant::now() + after,
+    /// Queue a message for transmission once the state lock drops.
+    fn send(&mut self, addr: SocketAddr, msg: &NetMsg) {
+        self.outbox.push((addr, msg.encoded()));
+    }
+
+    fn respond(
+        &mut self,
+        addr: SocketAddr,
+        client: NodeId,
+        session: SessionId,
+        seq: ReqSeq,
+        outcome: ResponseOutcome,
+    ) {
+        let resp = Response {
+            dst: client,
+            session,
             seq,
-            ev,
-        });
-    }
-
-    fn fire_due_timers(&mut self) {
-        loop {
-            match self.timers.peek() {
-                Some(t) if t.at <= Instant::now() => {}
-                _ => break,
-            }
-            let Some(t) = self.timers.pop() else { break };
-            self.on_timer(t.ev);
+            incarnation: self.incarnation,
+            outcome,
+        };
+        if resp.is_ack() {
+            self.sessions.record_response(client, seq, resp.clone());
+        } else {
+            self.stats.nacks += 1;
         }
+        self.send(addr, &NetMsg::Ctl(CtlMsg::Response(resp)));
     }
 
     fn on_timer(&mut self, ev: TimerEv) {
@@ -314,10 +417,22 @@ impl LeaseServer {
             }
             TimerEv::LeaseExpiry(client) => {
                 if self.authority.on_timer(client, mono_now()) {
-                    // No SAN here: fencing is a no-op; steal directly.
-                    self.stats.steals += 1;
-                    let (_stolen, grants) = self.locks.steal_all(client);
-                    self.deliver_grants(grants);
+                    if self.cfg.harden_grace > Duration::ZERO {
+                        // Expiry already bans the client from acks; hold
+                        // the steal back so in-flight hardens can land.
+                        self.timers
+                            .arm(self.cfg.harden_grace, TimerEv::StealGrace(client));
+                    } else {
+                        self.steal(client);
+                    }
+                }
+            }
+            TimerEv::StealGrace(client) => {
+                // A Hello in the grace window clears the Expired
+                // standing (new session), making the steal moot — the
+                // Hello path already stole and regranted.
+                if self.authority.standing_of(client) == ClientStanding::Expired {
+                    self.steal(client);
                 }
             }
             TimerEv::RecoveryDone => {
@@ -326,43 +441,12 @@ impl LeaseServer {
         }
     }
 
-    fn node_of(&mut self, addr: SocketAddr) -> NodeId {
-        if let Some(&id) = self.ids.get(&addr) {
-            return id;
-        }
-        let id = NodeId(self.next_id);
-        self.next_id += 1;
-        self.ids.insert(addr, id);
-        self.addrs.insert(id, addr);
-        id
-    }
-
-    fn send(&self, addr: SocketAddr, msg: &NetMsg) {
-        let bytes = msg.encoded();
-        let _ = self.sock.send_to(&bytes, addr);
-    }
-
-    fn respond(
-        &mut self,
-        addr: SocketAddr,
-        client: NodeId,
-        session: SessionId,
-        seq: ReqSeq,
-        outcome: ResponseOutcome,
-    ) {
-        let resp = Response {
-            dst: client,
-            session,
-            seq,
-            incarnation: self.incarnation,
-            outcome,
-        };
-        if resp.is_ack() {
-            self.sessions.record_response(client, seq, resp.clone());
-        } else {
-            self.stats.nacks += 1;
-        }
-        self.send(addr, &NetMsg::Ctl(CtlMsg::Response(resp)));
+    /// Take an expired client's locks. No SAN sits behind this server, so
+    /// fencing is a no-op and the steal happens directly.
+    fn steal(&mut self, client: NodeId) {
+        self.stats.steals += 1;
+        let (_stolen, grants) = self.locks.steal_all(client);
+        self.deliver_grants(grants);
     }
 
     /// Requests that need the server's full authority: lock grants and
@@ -407,7 +491,7 @@ impl LeaseServer {
         }
         if let Some(fires_at) = self.authority.on_delivery_error(client, mono_now()) {
             let delay = Duration::from_nanos(fires_at.0.saturating_sub(mono_now().0));
-            self.arm(delay, TimerEv::LeaseExpiry(client));
+            self.timers.arm(delay, TimerEv::LeaseExpiry(client));
         }
     }
 
@@ -424,7 +508,7 @@ impl LeaseServer {
         let addr = p.addr;
         self.send(addr, &msg);
         let delay = self.cfg.push_retry;
-        self.arm(delay, TimerEv::PushRetry(push_seq));
+        self.timers.arm(delay, TimerEv::PushRetry(push_seq));
     }
 
     /// Returns grants unblocked when the holder had no live session.
@@ -715,6 +799,12 @@ impl LeaseServer {
     /// may queue and answer later) and session shapes are `Invalid` here;
     /// [`Self::execute`] routes them first, and batches exclude them.
     fn execute_sync(&mut self, client: NodeId, body: RequestBody) -> Result<ReplyBody, FsError> {
+        // Modeled metadata-device service time (see
+        // [`NetServerConfig::service`]). KeepAlive is pure lease
+        // maintenance and costs no device work.
+        if !self.cfg.service.is_zero() && !matches!(body, RequestBody::KeepAlive) {
+            std::thread::sleep(self.cfg.service);
+        }
         let now = mono_now().0;
         match body {
             RequestBody::KeepAlive => Ok(ReplyBody::Ok),
@@ -773,7 +863,7 @@ impl LeaseServer {
                 }
                 if arm_release {
                     let delay = self.cfg.release_timeout;
-                    self.arm(delay, TimerEv::ReleaseWait(push_seq));
+                    self.timers.arm(delay, TimerEv::ReleaseWait(push_seq));
                 }
                 Ok(ReplyBody::Ok)
             }
@@ -802,4 +892,79 @@ impl LeaseServer {
             }
         }
     }
+}
+
+/// The reactor loop: fire due timers, flush their output, wait for
+/// readiness bounded by the next deadline, drain the backlog into one
+/// batch, and hand it to the pool. Returns the final counters once the
+/// stop flag is seen and the pool has drained.
+fn run_reactor(
+    shared: &Arc<Shared>,
+    pool: WorkerPool,
+    max_batch: usize,
+    obs: Option<ReactorObs>,
+    stop: &AtomicBool,
+) -> NetServerStats {
+    let mut poller = match Poller::new() {
+        Ok(mut p) => match p.register(&*shared.sock, 0) {
+            Ok(()) => p,
+            Err(_) => sleeper_poller(),
+        },
+        Err(_) => sleeper_poller(),
+    };
+    let mut scratch = recv_scratch();
+    let recycler = pool.recycler();
+    loop {
+        // Fire everything due and compute how long the next wait may be.
+        let (wait, out) = {
+            let mut st = locked(&shared.state);
+            let now = Instant::now();
+            while let Some(ev) = st.timers.pop_due(now) {
+                st.on_timer(ev);
+            }
+            let wait = st
+                .timers
+                .next_deadline()
+                .map(|at| at.saturating_duration_since(now))
+                .unwrap_or(MAX_POLL)
+                .clamp(MIN_POLL, MAX_POLL);
+            (wait, std::mem::take(&mut st.outbox))
+        };
+        shared.flush(out);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let ready = match poller.wait(wait) {
+            Ok(tokens) => !tokens.is_empty(),
+            Err(_) => false,
+        };
+        let mut drained = 0;
+        if ready {
+            let mut batch = pool.take_spare();
+            drained = drain_ready(&shared.sock, &mut scratch, &mut batch, max_batch);
+            if drained > 0 {
+                let depth = pool.submit(batch);
+                if let Some(o) = &obs {
+                    o.queue_depth.observe(depth as u64);
+                }
+            } else {
+                WorkerPool::recycle(&recycler, batch);
+            }
+        }
+        poller.note_progress(drained > 0);
+        if let Some(o) = &obs {
+            o.wakeups.inc();
+            o.datagrams_per_wakeup.observe(drained as u64);
+        }
+    }
+    // Let queued batches finish before reading the counters.
+    pool.shutdown();
+    locked(&shared.state).stats
+}
+
+/// The portable fallback with the server socket's token registered.
+fn sleeper_poller() -> Poller {
+    let mut p = Poller::sleeper();
+    p.register_token(0);
+    p
 }

@@ -441,6 +441,30 @@ impl HistogramSnap {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate of the `q`-quantile (`0.0..=1.0`), or `None` when empty.
+    ///
+    /// Resolution is the bucket grid: the estimate is the inclusive
+    /// upper bound of the bucket the quantile rank falls in, clamped to
+    /// the observed `max` (so the overflow bucket answers with a real
+    /// observation instead of infinity, and a coarse ladder never
+    /// reports a value above anything seen). The open-loop harness reads
+    /// p50/p99/p999 through this.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(u64::MAX);
+                return Some(bound.min(self.max.unwrap_or(bound)));
+            }
+        }
+        self.max
+    }
 }
 
 /// A full registry snapshot (both instrument kinds, names sorted).

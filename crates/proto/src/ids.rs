@@ -167,6 +167,16 @@ pub struct OpId(pub u64);
 /// `wseq` orders a single owner's writes to the block. The tag exists purely
 /// for the checker and the experiments; the protocol itself never inspects
 /// it (real disks store bytes, not tags).
+///
+/// **Uniqueness contract.** Whole tags are unique system-wide, not just
+/// ordered per block — the happens-before auditor resolves a disk-side
+/// harden back to its `(ino, block)` through the tag alone, and epochs are
+/// per-shard counters that collide across shards. The two tag minters split
+/// the `wseq` space to guarantee it: client-minted tags draw odd values
+/// from a per-client global counter; server-stamped tags (function-shipped
+/// writes, minted under the *client's* writer id) use the even value
+/// `2 × shard id`, unique per stamped write because every stamp takes a
+/// fresh epoch from its shard.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]

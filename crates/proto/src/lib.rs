@@ -41,7 +41,7 @@ pub use message::{
 pub use repl::ReplMsg;
 pub use san::{stripe_disk, BlockRange, FenceOp, SanError, SanMsg, SanReadOk};
 pub use seqwin::DedupWindow;
-pub use wire::{WireDecode, WireEncode, WireError};
+pub use wire::{WireDecode, WireEncode, WireError, MAX_DATAGRAM};
 
 /// The single payload type carried by the simulated world: a message on the
 /// control network or a message on the SAN.

@@ -19,6 +19,13 @@ use crate::repl::ReplMsg;
 use crate::san::{BlockRange, FenceOp, SanError, SanMsg, SanReadOk};
 use crate::NetMsg;
 
+/// Upper bound on one encoded [`NetMsg`] datagram, and therefore the
+/// receive-buffer size every transport endpoint needs: the codec's
+/// length prefixes are sanity-bounded well below this, and UDP itself
+/// cannot carry more. The net layer's drain path sizes its per-datagram
+/// scratch with it.
+pub const MAX_DATAGRAM: usize = 64 * 1024;
+
 /// Errors produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {

@@ -87,6 +87,22 @@ pub struct ServerConfig {
     /// fresh snapshot (write-then-rename in the model; the log restarts
     /// empty at a bumped generation). Bounds replay time after a crash.
     pub compact_threshold: usize,
+    /// Steal-side grace for in-flight hardens: after a lease expires
+    /// (condemnation fires, the client is NACKed and will never be ACKed
+    /// again), wait this long before fencing and stealing its locks.
+    ///
+    /// The lease contract bounds when the *client stops issuing* SAN
+    /// writes — phase 4 ends at `flush_frac·τ` on the client's clock — but
+    /// not when its last issued write *lands*: delivery rides the SAN's
+    /// latency, outside the clock-rate argument. A steal that lands inside
+    /// that delivery window catches acknowledged-but-unhardened blocks
+    /// pinned under the stolen epoch (the coherence audit's
+    /// "dirty block at steal" clause). Delaying the steal is in the safe
+    /// direction for Theorem 3.1 — it only lengthens mutual exclusion at
+    /// the cost of availability — and a grace covering the SAN's in-flight
+    /// delivery closes the window. Zero (the default) preserves the
+    /// prompt-steal behavior the negative-control experiments depend on.
+    pub harden_grace: LocalNs,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +120,7 @@ impl Default for ServerConfig {
             nack_suspect: true,
             recovery_grace: true,
             compact_threshold: tank_meta::wal::DEFAULT_COMPACT_THRESHOLD,
+            harden_grace: LocalNs(0),
         }
     }
 }

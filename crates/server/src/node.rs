@@ -73,6 +73,11 @@ enum ServerTimer {
     ReleaseWait(u64),
     /// The lease authority's τ(1+ε) timer for a client.
     LeaseExpiry(NodeId),
+    /// Steal-side grace for in-flight hardens: the lease expired (the
+    /// client is condemned and NACKed) but the fence-and-steal waits
+    /// `harden_grace` for SAN writes the client issued before its own
+    /// expiry to land.
+    StealGrace(NodeId),
     /// The post-restart recovery grace window elapsed.
     RecoveryDone,
     /// Periodic replication beat: the primary retransmits/heartbeats, the
@@ -1253,11 +1258,15 @@ impl<Ob> ServerNode<Ob> {
             },
         );
         // The server serializes all function-shipped writes, so a stamped
-        // epoch gives the checker the same total order locks would.
+        // epoch gives the checker the same total order locks would. The
+        // even wseq carries this shard's id: epochs are per-shard
+        // counters, so without it two shards could stamp the same
+        // (writer, epoch, wseq) for one client and break the tag
+        // uniqueness contract (client-minted tags take the odd values).
         let tag = WriteTag {
             writer: client,
             epoch: self.locks.stamp_epoch(),
-            wseq: 0,
+            wseq: 2 * self.cfg.sid.0 as u64,
         };
         self.wal_append(&WalRecord::EpochWatermark(tag.epoch.0));
         let block = blocks[idx];
@@ -1792,6 +1801,32 @@ impl<Ob: 'static> Actor<NetMsg, Ob> for ServerNode<Ob> {
                         });
                     }
                     self.emit(ServerEvent::LeaseExpired { client }, ctx);
+                    if self.cfg.harden_grace.0 > 0 {
+                        // The client can no longer be ACKed (Expired ⇒
+                        // NACK), so waiting costs only availability; it
+                        // lets SAN writes issued before the client's own
+                        // expiry land instead of being caught mid-flight
+                        // by the steal.
+                        let token = self.timers.insert(ServerTimer::StealGrace(client));
+                        ctx.set_timer(self.cfg.harden_grace, token);
+                        if let Some(obs) = &self.obs {
+                            obs.trace(ctx, "steal-grace", || {
+                                format!(
+                                    "client=n{} fires_in_ns={}",
+                                    client.0, self.cfg.harden_grace.0
+                                )
+                            });
+                        }
+                    } else {
+                        self.begin_fence(client, ctx);
+                    }
+                }
+            }
+            ServerTimer::StealGrace(client) => {
+                // Steal only if the client is still expired: a Hello during
+                // the grace already abandoned its old locks (and reset its
+                // standing), so there is nothing left to fence-and-steal.
+                if self.authority.standing_of(client) == ClientStanding::Expired {
                     self.begin_fence(client, ctx);
                 }
             }

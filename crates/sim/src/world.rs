@@ -459,11 +459,11 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
                     if let Some(obs) = &self.obs {
                         obs.delivered.inc();
                     }
-                    if self.causal.is_some() {
+                    if let Some(causal) = self.causal.as_mut() {
                         // The dispatch about to run takes the next id;
                         // logging it here ties the delivery to everything
                         // that dispatch goes on to do.
-                        let rec = CausalRecord::Deliver {
+                        causal.push(CausalRecord::Deliver {
                             msg_id,
                             dispatch: self.next_dispatch,
                             node: dst,
@@ -471,8 +471,7 @@ impl<P: Payload + 'static, Ob: 'static> World<P, Ob> {
                             net,
                             kind: msg.kind(),
                             at: self.now,
-                        };
-                        self.causal.as_mut().expect("checked above").push(rec);
+                        });
                     }
                     self.dispatch(dst, |actor, ctx| actor.on_message(src, net, msg, ctx));
                 }
